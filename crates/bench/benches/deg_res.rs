@@ -1,0 +1,34 @@
+//! Throughput of a single Deg-Res-Sampling run (Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fews_common::rng::rng_for;
+use fews_core::deg_res::DegResSampling;
+use fews_stream::gen::zipf::zipf_stream;
+
+fn bench_process(c: &mut Criterion) {
+    let n = 8192u32;
+    let stream = zipf_stream(n, 1.0, 200_000, &mut rng_for(3, 0));
+    let mut group = c.benchmark_group("deg_res_process");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(stream.edges.len() as u64));
+    for s in [64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::new("reservoir", s), &s, |b, &s| {
+            b.iter(|| {
+                let mut rng = rng_for(11, s as u64);
+                let mut run = DegResSampling::new(4, 16, s);
+                let mut deg = vec![0u32; n as usize];
+                for &e in &stream.edges {
+                    deg[e.a as usize] += 1;
+                    run.process(e, deg[e.a as usize], &mut rng);
+                }
+                std::hint::black_box(run.succeeded())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_process);
+criterion_main!(benches);

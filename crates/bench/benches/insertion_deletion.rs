@@ -1,0 +1,39 @@
+//! Throughput of the insertion-deletion FEwW algorithm (Algorithm 3) and
+//! the sampler-scale ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fews_common::rng::rng_for;
+use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
+use fews_stream::gen::planted::planted_star;
+use fews_stream::gen::turnstile::churn_stream;
+
+fn bench_push(c: &mut Criterion) {
+    let (n, m, d, alpha) = (64u32, 4096u64, 16u32, 4u32);
+    let g = planted_star(n, m, d, 2, &mut rng_for(8, 0));
+    let stream = churn_stream(&g.edges, n, m, 1.0, &mut rng_for(8, 1));
+    let mut group = c.benchmark_group("insertion_deletion_push");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for scale in [0.05f64, 0.1, 0.25] {
+        group.bench_with_input(
+            BenchmarkId::new("sampler_scale", format!("{scale}")),
+            &scale,
+            |b, &scale| {
+                b.iter(|| {
+                    let cfg = IdConfig::with_scale(n, m, d, alpha, scale);
+                    let mut alg = FewwInsertDelete::new(cfg, 3);
+                    for u in &stream {
+                        alg.push(*u);
+                    }
+                    std::hint::black_box(alg.result())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Throughput of the insertion-only FEwW algorithm (Algorithm 2) across α,
+//! plus the reservoir-size ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fews_common::rng::rng_for;
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_stream::gen::planted::planted_star;
+
+fn bench_push(c: &mut Criterion) {
+    let n = 4096u32;
+    let d = 64u32;
+    let g = planted_star(n, 1 << 24, d, 8, &mut rng_for(1, 0));
+    let mut group = c.benchmark_group("insertion_only_push");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(g.edges.len() as u64));
+    for alpha in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("alpha", alpha), &alpha, |b, &alpha| {
+            b.iter(|| {
+                let mut alg = FewwInsertOnly::new(FewwConfig::new(n, d, alpha), 7);
+                for e in &g.edges {
+                    alg.push(*e);
+                }
+                std::hint::black_box(alg.result())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reservoir_ablation(c: &mut Criterion) {
+    let n = 4096u32;
+    let d = 64u32;
+    let g = planted_star(n, 1 << 24, d, 8, &mut rng_for(2, 0));
+    let mut group = c.benchmark_group("insertion_only_reservoir_factor");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(g.edges.len() as u64));
+    for factor in [0.5f64, 1.0, 2.0] {
+        group.bench_with_input(
+            BenchmarkId::new("factor", format!("{factor}")),
+            &factor,
+            |b, &factor| {
+                let cfg = FewwConfig {
+                    reservoir_factor: factor,
+                    ..FewwConfig::new(n, d, 4)
+                };
+                b.iter(|| {
+                    let mut alg = FewwInsertOnly::new(cfg, 9);
+                    for e in &g.edges {
+                        alg.push(*e);
+                    }
+                    std::hint::black_box(alg.result())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push, bench_reservoir_ablation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! ℓ₀-sampler update/sample cost and the sparsity ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fews_common::rng::rng_for;
+use fews_sketch::l0::{L0Config, L0Sampler};
+
+fn bench_update(c: &mut Criterion) {
+    let dim = 1u64 << 32;
+    let updates: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B9) % dim).collect();
+    let mut group = c.benchmark_group("l0_update");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(updates.len() as u64));
+    for sparsity in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("sparsity", sparsity), &sparsity, |b, &s| {
+            b.iter(|| {
+                let mut rng = rng_for(5, s as u64);
+                let cfg = L0Config { sparsity: s, rows: 3 };
+                let mut sampler = L0Sampler::with_config(dim, cfg, &mut rng);
+                for &u in &updates {
+                    sampler.update(u, 1);
+                }
+                std::hint::black_box(sampler.sample())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let dim = 1u64 << 32;
+    let mut rng = rng_for(6, 0);
+    let mut sampler = L0Sampler::new(dim, &mut rng);
+    for i in 0..5_000u64 {
+        sampler.update(i * 977, 1);
+    }
+    c.bench_function("l0_sample_query", |b| {
+        b.iter(|| std::hint::black_box(sampler.sample()))
+    });
+}
+
+criterion_group!(benches, bench_update, bench_sample);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Update throughput of the witness-free baselines (§1.3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fews_common::rng::rng_for;
+use fews_sketch::bloom::MultistageBloom;
+use fews_sketch::count_min::CountMin;
+use fews_sketch::distinct::BottomK;
+use fews_sketch::count_sketch::CountSketch;
+use fews_sketch::misra_gries::MisraGries;
+use fews_sketch::space_saving::SpaceSaving;
+use fews_stream::gen::zipf::zipf_stream;
+
+fn bench_baselines(c: &mut Criterion) {
+    let stream = zipf_stream(8192, 1.1, 100_000, &mut rng_for(4, 0));
+    let items: Vec<u64> = stream.edges.iter().map(|e| e.a as u64).collect();
+    let mut group = c.benchmark_group("sketch_update");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(items.len() as u64));
+
+    group.bench_function("misra_gries_k256", |b| {
+        b.iter(|| {
+            let mut mg = MisraGries::new(256);
+            for &i in &items {
+                mg.update(i);
+            }
+            std::hint::black_box(mg.heavy_hitters(100).len())
+        })
+    });
+    group.bench_function("space_saving_k256", |b| {
+        b.iter(|| {
+            let mut ss = SpaceSaving::new(256);
+            for &i in &items {
+                ss.update(i);
+            }
+            std::hint::black_box(ss.heavy_hitters(100).len())
+        })
+    });
+    group.bench_function("count_min_1024x4", |b| {
+        b.iter(|| {
+            let mut cm = CountMin::new(1024, 4, &mut rng_for(5, 0));
+            for &i in &items {
+                cm.update(i, 1);
+            }
+            std::hint::black_box(cm.estimate(0))
+        })
+    });
+    group.bench_function("multistage_bloom_2048x4", |b| {
+        b.iter(|| {
+            let mut f = MultistageBloom::new(2048, 4, 100, true, &mut rng_for(7, 0));
+            for &i in &items {
+                f.update(i);
+            }
+            std::hint::black_box(f.estimate(0))
+        })
+    });
+    group.bench_function("bottomk_distinct_256", |b| {
+        b.iter(|| {
+            let mut sk = BottomK::new(256, &mut rng_for(8, 0));
+            for &i in &items {
+                sk.update(i);
+            }
+            std::hint::black_box(sk.estimate())
+        })
+    });
+    group.bench_function("count_sketch_1024x5", |b| {
+        b.iter(|| {
+            let mut cs = CountSketch::new(1024, 5, &mut rng_for(6, 0));
+            for &i in &items {
+                cs.update(i, 1);
+            }
+            std::hint::black_box(cs.estimate(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

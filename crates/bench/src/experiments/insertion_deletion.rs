@@ -1,0 +1,242 @@
+//! Experiments for §5: Lemmas 5.1–5.3 and Theorem 5.4.
+
+use super::ExpCtx;
+use crate::runner::parallel_trials;
+use crate::table::{f3, Table};
+use fews_common::math::insertion_deletion_space_curve;
+use fews_common::rng::{derive_seed, rng_for};
+use fews_common::stats::Summary;
+use fews_common::SpaceUsage;
+use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
+use fews_stream::gen::planted::{degree_ladder, planted_star, Tier};
+use fews_stream::gen::turnstile::churn_stream;
+use rand::RngExt;
+
+/// Lemma 5.1: sampling `C·ln(n)·n·y/k` times from a universe of `n` with `k`
+/// marked items collects ≥ y distinct marked items w.p. `1 − n^{−(C−3)}`.
+pub fn l51(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Lemma 5.1 — coupon-collection concentration",
+        &["n", "k", "y", "C", "samples", "trials", "fail_bound", "measured_fail"],
+    );
+    let n = 1000u64;
+    let k = 100u64;
+    let trials = ctx.trials(1000, 50);
+    for &y in &[10u64, 50, 90] {
+        for &c in &[4u64, 5, 6] {
+            let samples = (c as f64 * (n as f64).ln() * n as f64 * y as f64 / k as f64)
+                .ceil() as u64;
+            let fails = parallel_trials(trials, |t| {
+                let mut rng = rng_for(derive_seed(ctx.seed, 0x151_0000 + t), y ^ (c << 32));
+                // Marked items are 0..k; sample uniformly with repetition.
+                let mut hit = vec![false; k as usize];
+                let mut distinct = 0u64;
+                for _ in 0..samples {
+                    let x = rng.random_range(0..n);
+                    if x < k && !hit[x as usize] {
+                        hit[x as usize] = true;
+                        distinct += 1;
+                        if distinct >= y {
+                            return false; // success
+                        }
+                    }
+                }
+                true // failure
+            })
+            .into_iter()
+            .filter(|&b| b)
+            .count();
+            let bound = (n as f64).powi(-(c as i32 - 3));
+            table.push_row(vec![
+                n.to_string(),
+                k.to_string(),
+                y.to_string(),
+                c.to_string(),
+                samples.to_string(),
+                trials.to_string(),
+                format!("{bound:.2e}"),
+                f3(fails as f64 / trials as f64),
+            ]);
+        }
+    }
+    table.write_csv(&ctx.out_dir, "l51").expect("csv");
+    vec![table]
+}
+
+fn run_id_on_stream(
+    cfg: IdConfig,
+    survivors: &[fews_stream::Edge],
+    churn: f64,
+    seed: u64,
+    strategy: Strategy,
+) -> (bool, usize) {
+    let stream = churn_stream(survivors, cfg.n, cfg.m, churn, &mut rng_for(seed, 7));
+    let mut alg = FewwInsertDelete::new(cfg, seed);
+    for u in &stream {
+        alg.push(*u);
+    }
+    let out = match strategy {
+        Strategy::Both => alg.result(),
+        Strategy::Vertex => alg.vertex_strategy_result(),
+        Strategy::Edge => alg.edge_strategy_result(),
+    };
+    let ok = out
+        .map(|nb| nb.size() >= cfg.witness_target() as usize && nb.verify_against(survivors))
+        .unwrap_or(false);
+    (ok, alg.space_bytes())
+}
+
+#[derive(Clone, Copy)]
+enum Strategy {
+    Both,
+    Vertex,
+    Edge,
+}
+
+/// Lemma 5.2: the vertex-sampling strategy alone succeeds in the dense
+/// regime (many vertices of degree ≥ d/α).
+pub fn l52(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Lemma 5.2 — vertex sampling succeeds in the dense regime",
+        &["n", "d", "alpha", "heavy_count", "n/x", "trials", "success(vertex-only)"],
+    );
+    let (n, d, alpha) = (64u32, 16u32, 4u32);
+    let cfg = IdConfig::with_scale(n, 1024, d, alpha, 0.25);
+    let n_over_x = (n as u64 / cfg.x()).max(1);
+    let trials = ctx.trials(16, 8);
+    for &heavy_count in &[n_over_x as u32, 2 * n_over_x as u32, 8 * n_over_x as u32] {
+        let ok = parallel_trials(trials, |t| {
+            let seed = derive_seed(ctx.seed, 0x152_0000 + ((heavy_count as u64) << 8) + t);
+            let mut rng = rng_for(seed, 0);
+            // `heavy_count` vertices at degree d/α (the dense hypothesis),
+            // everyone else degree 1.
+            let d2 = d / alpha;
+            let tiers = [
+                Tier { count: n - heavy_count, degree: 1 },
+                Tier { count: heavy_count, degree: d2 },
+            ];
+            let g = degree_ladder(n, 1024, &tiers, &mut rng);
+            // Promise parameter: some vertex has degree ≥ d/α ⇒ run the
+            // algorithm with threshold d' = d2·α ... the strategy statement
+            // is about finding *a* d/α-neighbourhood, so d stays d.
+            run_id_on_stream(cfg, &g.edges, 1.0, seed, Strategy::Vertex).0
+        })
+        .into_iter()
+        .filter(|&b| b)
+        .count();
+        table.push_row(vec![
+            n.to_string(),
+            d.to_string(),
+            alpha.to_string(),
+            heavy_count.to_string(),
+            n_over_x.to_string(),
+            trials.to_string(),
+            f3(ok as f64 / trials as f64),
+        ]);
+    }
+    table.write_csv(&ctx.out_dir, "l52").expect("csv");
+    vec![table]
+}
+
+/// Lemma 5.3: the edge-sampling strategy alone succeeds in the sparse
+/// regime (one max-degree vertex owns a large edge share).
+pub fn l53(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Lemma 5.3 — edge sampling succeeds in the sparse regime",
+        &["n", "d", "alpha", "background_deg", "trials", "success(edge-only)"],
+    );
+    let (n, d, alpha) = (64u32, 16u32, 4u32);
+    let cfg = IdConfig::with_scale(n, 1024, d, alpha, 0.25);
+    let trials = ctx.trials(16, 8);
+    for &background in &[0u32, 1, 2] {
+        let ok = parallel_trials(trials, |t| {
+            let seed = derive_seed(ctx.seed, 0x153_0000 + ((background as u64) << 8) + t);
+            let mut rng = rng_for(seed, 0);
+            let g = if background == 0 {
+                // Lone star: one vertex of degree d, nothing else.
+                let heavy = 0u32;
+                let edges = (0..d as u64)
+                    .map(|b| fews_stream::Edge::new(heavy, b))
+                    .collect::<Vec<_>>();
+                fews_stream::gen::planted::PlantedStar { edges, heavy, degree: d }
+            } else {
+                planted_star(n, 1024, d, background, &mut rng)
+            };
+            run_id_on_stream(cfg, &g.edges, 1.0, seed, Strategy::Edge).0
+        })
+        .into_iter()
+        .filter(|&b| b)
+        .count();
+        table.push_row(vec![
+            n.to_string(),
+            d.to_string(),
+            alpha.to_string(),
+            background.to_string(),
+            trials.to_string(),
+            f3(ok as f64 / trials as f64),
+        ]);
+    }
+    table.write_csv(&ctx.out_dir, "l53").expect("csv");
+    vec![table]
+}
+
+/// Theorem 5.4: end-to-end success rate and measured space vs the
+/// `dn/α²` (α ≤ √n) and `√n·d/α` (α > √n) curves, under heavy churn.
+pub fn t54(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Theorem 5.4 — insertion-deletion FEwW: success and space vs curve",
+        &[
+            "n", "d", "alpha", "branch", "scale", "churn", "trials", "success",
+            "space_bytes", "curve_words", "norm_ratio",
+        ],
+    );
+    let scale = 0.2;
+    let churn = 2.0;
+    let trials = ctx.trials(12, 6);
+    let configs: &[(u32, u32, u32)] = if ctx.quick {
+        &[(32, 16, 2), (64, 16, 4)]
+    } else {
+        &[(32, 16, 2), (64, 16, 2), (64, 16, 4), (128, 16, 4), (64, 16, 16)]
+    };
+    let mut first_ratio: Option<f64> = None;
+    for &(n, d, alpha) in configs {
+        let cfg = IdConfig::with_scale(n, 1024, d, alpha, scale);
+        let results = parallel_trials(trials, |t| {
+            let seed = derive_seed(ctx.seed, 0x154_0000 + ((n as u64) << 16) + ((alpha as u64) << 8) + t);
+            let mut rng = rng_for(seed, 0);
+            let g = planted_star(n, 1024, d, (d / alpha / 2).max(1).min(d - 1), &mut rng);
+            run_id_on_stream(cfg, &g.edges, churn, seed, Strategy::Both)
+        });
+        let success = results.iter().filter(|(ok, _)| *ok).count() as f64 / trials as f64;
+        let mut space = Summary::new();
+        for &(_, b) in &results {
+            space.push(b as f64);
+        }
+        let curve = insertion_deletion_space_curve(n as u64, d as u64, alpha);
+        let branch = if (alpha as f64) <= (n as f64).sqrt() {
+            "dn/a^2"
+        } else {
+            "sqrt(n)d/a"
+        };
+        // Shape check: space/curve normalised to the first row. A value
+        // near 1 across the sweep means measured space follows the curve
+        // (the absolute constant is the implementation's polylog factor).
+        let ratio = space.mean() / curve.max(1.0);
+        let norm = ratio / *first_ratio.get_or_insert(ratio);
+        table.push_row(vec![
+            n.to_string(),
+            d.to_string(),
+            alpha.to_string(),
+            branch.to_string(),
+            f3(scale),
+            f3(churn),
+            trials.to_string(),
+            f3(success),
+            format!("{:.0}", space.mean()),
+            format!("{curve:.0}"),
+            f3(norm),
+        ]);
+    }
+    table.write_csv(&ctx.out_dir, "t54").expect("csv");
+    vec![table]
+}

@@ -1,0 +1,243 @@
+//! Experiments for §3: Lemma 3.1, Theorem 3.2, Corollary 3.4.
+
+use super::ExpCtx;
+use crate::runner::parallel_trials;
+use crate::table::{f3, Table};
+use fews_common::math::{deg_res_success_lower_bound, insertion_only_space_curve};
+use fews_common::rng::{derive_seed, rng_for};
+use fews_common::stats::Summary;
+use fews_common::SpaceUsage;
+use fews_core::deg_res::DegResSampling;
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_core::star::StarInsertOnly;
+use fews_stream::gen::planted::{degree_ladder, geometric_ladder, Tier};
+use fews_stream::gen::social::{general_max_degree, preferential_attachment};
+use fews_stream::order::{arrange, shuffle, Order};
+
+/// Lemma 3.1: measured success probability of one Deg-Res-Sampling run vs
+/// the analytic bound `1 − e^{−s·n₂/n₁}`, sweeping the reservoir size.
+pub fn l31(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Lemma 3.1 — Deg-Res-Sampling success probability vs bound",
+        &["s", "n1", "n2", "d1", "d2", "trials", "bound", "measured"],
+    );
+    let (d1, d2) = (2u32, 4u32);
+    let trials = ctx.trials(500, 40);
+    for &(n1, n2) in &[(120u32, 6u32), (120, 24), (240, 6)] {
+        for &s in &[5usize, 10, 20, 40, 80] {
+            let successes = parallel_trials(trials, |t| {
+                let seed = derive_seed(ctx.seed, 0x131_0000 + t);
+                let mut rng = rng_for(seed, 0);
+                // n₂ vertices at degree d₁+d₂−1, the rest of the n₁ at d₁.
+                let tiers = [
+                    Tier { count: n1 - n2, degree: d1 },
+                    Tier { count: n2, degree: d1 + d2 - 1 },
+                ];
+                let mut g = degree_ladder(n1, 1 << 16, &tiers, &mut rng);
+                shuffle(&mut g.edges, &mut rng);
+                let mut run = DegResSampling::new(d1, d2, s);
+                let mut deg = vec![0u32; n1 as usize];
+                for &e in &g.edges {
+                    deg[e.a as usize] += 1;
+                    run.process(e, deg[e.a as usize], &mut rng);
+                }
+                run.succeeded()
+            })
+            .into_iter()
+            .filter(|&b| b)
+            .count();
+            let measured = successes as f64 / trials as f64;
+            let bound = deg_res_success_lower_bound(s as u64, n1 as u64, n2 as u64);
+            table.push_row(vec![
+                s.to_string(),
+                n1.to_string(),
+                n2.to_string(),
+                d1.to_string(),
+                d2.to_string(),
+                trials.to_string(),
+                f3(bound),
+                f3(measured),
+            ]);
+        }
+    }
+    table.write_csv(&ctx.out_dir, "l31").expect("csv");
+    vec![table]
+}
+
+/// Theorem 3.2: success rate ≥ 1 − 1/n and measured space vs the
+/// `n log n + n^{1/α} d log² n` curve, on the adversarial geometric ladder,
+/// across arrival orders.
+pub fn t32(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Theorem 3.2 — insertion-only FEwW: success rate and space vs curve",
+        &[
+            "n", "d", "alpha", "order", "trials", "success", "target(1-1/n)",
+            "space_bytes", "curve_bits", "bytes/curve",
+        ],
+    );
+    let d = 64u32;
+    let ns: &[u32] = if ctx.quick { &[256, 1024] } else { &[256, 1024, 4096, 16384] };
+    for &n in ns {
+        for &alpha in &[1u32, 2, 4, 6] {
+            for order in [Order::Shuffled, Order::HeavyFirst] {
+                let trials = ctx.trials(60, 8);
+                let results = parallel_trials(trials, |t| {
+                    let seed = derive_seed(ctx.seed, 0x132_0000 + ((n as u64) << 8) + t);
+                    let mut rng = rng_for(seed, 0);
+                    let g = geometric_ladder(n, 1 << 24, d, alpha, &mut rng);
+                    // The ladder's top tier reaches α·⌊d/α⌋; use that as the
+                    // promise so ⌊d_alg/α⌋ witnesses are achievable exactly.
+                    let d_alg = alpha * (d / alpha).max(1);
+                    let heavy = g
+                        .vertex_tiers
+                        .iter()
+                        .position(|&t| t as usize == g.tiers.len() - 1)
+                        .unwrap_or(0) as u32;
+                    let mut edges = g.edges.clone();
+                    arrange(&mut edges, order, heavy, &mut rng_for(seed, 1));
+                    let mut alg = FewwInsertOnly::new(FewwConfig::new(n, d_alg, alpha), seed);
+                    for e in &edges {
+                        alg.push(*e);
+                    }
+                    let ok = alg
+                        .result()
+                        .map(|nb| {
+                            nb.size() >= (d_alg / alpha) as usize && nb.verify_against(&g.edges)
+                        })
+                        .unwrap_or(false);
+                    (ok, alg.space_bytes())
+                });
+                let success =
+                    results.iter().filter(|(ok, _)| *ok).count() as f64 / trials as f64;
+                let mut space = Summary::new();
+                for (_, b) in &results {
+                    space.push(*b as f64);
+                }
+                let curve = insertion_only_space_curve(n as u64, d as u64, alpha);
+                table.push_row(vec![
+                    n.to_string(),
+                    d.to_string(),
+                    alpha.to_string(),
+                    order.label().to_string(),
+                    trials.to_string(),
+                    f3(success),
+                    f3(1.0 - 1.0 / n as f64),
+                    format!("{:.0}", space.mean()),
+                    format!("{curve:.0}"),
+                    f3(space.mean() / curve),
+                ]);
+            }
+        }
+    }
+    table.write_csv(&ctx.out_dir, "t32").expect("csv");
+    vec![table]
+}
+
+/// Corollary 3.4: semi-streaming O(log n)-approximation for Star Detection
+/// on preferential-attachment graphs.
+pub fn c34(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Corollary 3.4 — semi-streaming Star Detection (α = ⌈log₂ n⌉, ε = 1/2)",
+        &[
+            "n", "edges", "Δ", "trials", "mean_star", "worst_ratio",
+            "bound((1+ε)α)", "space_bytes", "guesses",
+        ],
+    );
+    let ns: &[u32] = if ctx.quick { &[256] } else { &[256, 1024, 4096] };
+    for &n in ns {
+        let trials = ctx.trials(10, 3);
+        let results = parallel_trials(trials, |t| {
+            let seed = derive_seed(ctx.seed, 0x134_0000 + t);
+            let edges = preferential_attachment(n, 2, &mut rng_for(seed, 0));
+            let delta = general_max_degree(&edges, n);
+            let mut star = StarInsertOnly::semi_streaming(n, seed);
+            for &(u, v) in &edges {
+                star.push(u, v);
+            }
+            let size = star.result().map_or(0, |nb| nb.size());
+            (
+                edges.len(),
+                delta,
+                size,
+                star.space_bytes(),
+                star.guess_count(),
+            )
+        });
+        let mut star_sizes = Summary::new();
+        let mut worst_ratio = 0.0f64;
+        for &(_, delta, size, _, _) in &results {
+            star_sizes.push(size as f64);
+            let ratio = delta as f64 / (size.max(1)) as f64;
+            worst_ratio = worst_ratio.max(ratio);
+        }
+        let alpha = fews_common::math::ilog2_ceil(n as u64).max(1);
+        table.push_row(vec![
+            n.to_string(),
+            results[0].0.to_string(),
+            results[0].1.to_string(),
+            trials.to_string(),
+            f3(star_sizes.mean()),
+            f3(worst_ratio),
+            f3(1.5 * alpha as f64),
+            results[0].3.to_string(),
+            results[0].4.to_string(),
+        ]);
+    }
+    table.write_csv(&ctx.out_dir, "c34").expect("csv");
+    vec![table]
+}
+
+/// Ablation: success probability of Algorithm 2 as the reservoir size is
+/// scaled below/above the paper's `⌈ln(n)·n^{1/α}⌉`. The proof of Theorem
+/// 3.2 needs `s ≥ n^{1/α}·ln n` exactly; undersized reservoirs should start
+/// failing on the geometric ladder (the input family matching the proof's
+/// tightness), oversized ones buy nothing but space.
+pub fn ablate(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Ablation — reservoir factor vs success (geometric ladder, n=1024, d=64, α=4)",
+        &["factor", "s", "trials", "success", "space_bytes"],
+    );
+    let (n, d, alpha) = (1024u32, 64u32, 4u32);
+    let trials = ctx.trials(100, 10);
+    for &factor in &[0.05f64, 0.1, 0.25, 0.5, 1.0, 2.0] {
+        let results = parallel_trials(trials, |t| {
+            let seed = derive_seed(ctx.seed, 0xAB1A + (factor * 1000.0) as u64 * 131 + t);
+            let mut rng = rng_for(seed, 0);
+            let g = geometric_ladder(n, 1 << 22, d, alpha, &mut rng);
+            let d_alg = alpha * (d / alpha).max(1);
+            let mut edges = g.edges.clone();
+            shuffle(&mut edges, &mut rng_for(seed, 1));
+            let cfg = FewwConfig {
+                reservoir_factor: factor,
+                ..FewwConfig::new(n, d_alg, alpha)
+            };
+            let mut alg = FewwInsertOnly::new(cfg, seed);
+            for e in &edges {
+                alg.push(*e);
+            }
+            let ok = alg
+                .result()
+                .map(|nb| nb.size() >= (d_alg / alpha) as usize && nb.verify_against(&g.edges))
+                .unwrap_or(false);
+            (ok, alg.space_bytes())
+        });
+        let success = results.iter().filter(|(ok, _)| *ok).count() as f64 / trials as f64;
+        let mut space = Summary::new();
+        for &(_, b) in &results {
+            space.push(b as f64);
+        }
+        let cfg = FewwConfig {
+            reservoir_factor: factor,
+            ..FewwConfig::new(n, d, alpha)
+        };
+        table.push_row(vec![
+            f3(factor),
+            cfg.reservoir().to_string(),
+            trials.to_string(),
+            f3(success),
+            format!("{:.0}", space.mean()),
+        ]);
+    }
+    table.write_csv(&ctx.out_dir, "ablate").expect("csv");
+    vec![table]
+}

@@ -1,0 +1,285 @@
+//! Experiments for §4 and §6: the lower-bound reductions and worked figures.
+
+use super::ExpCtx;
+use crate::runner::parallel_trials;
+use crate::table::{f3, Table};
+use fews_common::math::{amri_lower_bound_bits, bvl_lower_bound_bits};
+use fews_common::rng::{derive_seed, rng_for};
+use fews_common::stats::Summary;
+use fews_comm::amri::{run_protocol as run_amri, AmriInstance, AmriProtocolConfig};
+use fews_comm::bvl::{run_protocol as run_bvl, trivial_protocol, BvlInstance};
+use fews_comm::disjointness::{gen_disjoint, gen_intersecting, run_protocol as run_disj};
+
+/// Theorem 4.1: the FEwW-powered protocol decides Set-Disjointness_p, and
+/// its longest message tracks the Ω(n/p²)-style growth in n.
+pub fn t41(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Theorem 4.1 — Set-Disjointness via insertion-only FEwW (α = p−1, d = k·p)",
+        &[
+            "p", "n", "k", "trials", "accuracy", "false_pos", "max_msg_bits",
+            "n/p^2 (ref)",
+        ],
+    );
+    let k = 8u32;
+    let trials = ctx.trials(40, 8);
+    for &p in &[2u32, 3, 4] {
+        for &n in &[256u32, 1024, 4096] {
+            let set_size = (n / (2 * p)).max(1);
+            let results = parallel_trials(trials, |t| {
+                let seed = derive_seed(ctx.seed, 0x141_0000 + ((p as u64) << 20) + ((n as u64) << 4) + t);
+                let mut rng = rng_for(seed, 0);
+                let intersecting = t % 2 == 1;
+                let inst = if intersecting {
+                    gen_intersecting(p, n, set_size, &mut rng)
+                } else {
+                    gen_disjoint(p, n, set_size, &mut rng)
+                };
+                let out = run_disj(&inst, k, seed);
+                (
+                    out.decided_intersecting == intersecting,
+                    out.decided_intersecting && !intersecting,
+                    out.transcript.cost_bits(),
+                )
+            });
+            let acc = results.iter().filter(|r| r.0).count() as f64 / trials as f64;
+            let fp = results.iter().filter(|r| r.1).count();
+            let max_bits = results.iter().map(|r| r.2).max().unwrap_or(0);
+            table.push_row(vec![
+                p.to_string(),
+                n.to_string(),
+                k.to_string(),
+                trials.to_string(),
+                f3(acc),
+                fp.to_string(),
+                max_bits.to_string(),
+                format!("{:.0}", n as f64 / (p * p) as f64),
+            ]);
+        }
+    }
+    table.write_csv(&ctx.out_dir, "t41").expect("csv");
+    vec![table]
+}
+
+/// Theorems 4.7/4.8: the FEwW-powered protocol learns ≥ 1.01k bits of some
+/// Z_I; its longest (real, serialized) message is compared with the
+/// Ω(k·n^{1/(p−1)}/p) lower-bound curve and the trivial k-bit protocol.
+pub fn t47(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Theorems 4.7/4.8 — Bit-Vector-Learning via insertion-only FEwW",
+        &[
+            "p", "n", "k", "trials", "success", "mean_bits_learnt", "target(1.01k)",
+            "trivial_bits", "max_msg_bits", "lower_bound_bits",
+        ],
+    );
+    let trials = ctx.trials(30, 6);
+    // Small k shows the protocol mechanics; k = 400 makes the paper's
+    // (0.005k − 1)-style lower bound non-vacuous so the measured message
+    // provably sits above it.
+    let cases: &[(u32, u32, u32)] = &[
+        (2, 16, 8),
+        (2, 64, 8),
+        (2, 256, 8),
+        (3, 16, 8),
+        (3, 64, 8),
+        (3, 256, 8),
+        (4, 27, 8),
+        (2, 64, 400),
+        (3, 64, 400),
+    ];
+    for &(p, n, k) in cases {
+        let results = parallel_trials(trials, |t| {
+            let seed = derive_seed(ctx.seed, 0x147_0000 + ((p as u64) << 20) + ((n as u64) << 4) + t);
+            let inst = BvlInstance::generate(p, n, k, &mut rng_for(seed, 0));
+            let out = run_bvl(&inst, seed);
+            assert!(out.all_correct, "protocol fabricated a bit");
+            (out.success, out.bits_learnt, out.transcript.cost_bits())
+        });
+        let success = results.iter().filter(|r| r.0).count() as f64 / trials as f64;
+        let mut bits = Summary::new();
+        for r in &results {
+            bits.push(r.1 as f64);
+        }
+        let max_msg = results.iter().map(|r| r.2).max().unwrap_or(0);
+        table.push_row(vec![
+            p.to_string(),
+            n.to_string(),
+            k.to_string(),
+            trials.to_string(),
+            f3(success),
+            f3(bits.mean()),
+            ((1.01 * k as f64).ceil() as u64).to_string(),
+            k.to_string(),
+            max_msg.to_string(),
+            format!("{:.1}", bvl_lower_bound_bits(p, n as u64, k as u64)),
+        ]);
+    }
+    table.write_csv(&ctx.out_dir, "t47").expect("csv");
+    vec![table]
+}
+
+/// Theorems 6.2/6.4 via Lemma 6.3: full-row recovery rate of the
+/// insertion-deletion reduction and its message cost vs `(n−1)(k−1−εm)`.
+pub fn t62(ctx: &ExpCtx) -> Vec<Table> {
+    let mut table = Table::new(
+        "Theorems 6.2/6.4 — Augmented-Matrix-Row-Index via insertion-deletion FEwW",
+        &[
+            "n", "m(=2d)", "k(=d/α−1)", "alpha", "rounds", "trials", "exact_rows",
+            "max_msg_bits", "lower_bound_bits(ε=.01)",
+        ],
+    );
+    let alpha = 2u32;
+    let trials = ctx.trials(6, 3);
+    let cases: &[(u32, u32)] = if ctx.quick {
+        &[(8, 16)]
+    } else {
+        &[(8, 16), (12, 16)]
+    };
+    for &(n, m) in cases {
+        let d = m / 2;
+        let k = d / alpha - 1;
+        let cfg = AmriProtocolConfig::standard(alpha, n, 0.08);
+        let results = parallel_trials(trials, |t| {
+            let seed = derive_seed(ctx.seed, 0x162_0000 + ((n as u64) << 16) + ((m as u64) << 4) + t);
+            let inst = AmriInstance::generate(n, m, k, &mut rng_for(seed, 0));
+            let out = run_amri(&inst, cfg, seed);
+            (out.exact, out.transcript.cost_bits())
+        });
+        let exact = results.iter().filter(|r| r.0).count();
+        let max_msg = results.iter().map(|r| r.1).max().unwrap_or(0);
+        table.push_row(vec![
+            n.to_string(),
+            m.to_string(),
+            k.to_string(),
+            alpha.to_string(),
+            cfg.rounds.to_string(),
+            trials.to_string(),
+            format!("{exact}/{trials}"),
+            max_msg.to_string(),
+            format!(
+                "{:.1}",
+                amri_lower_bound_bits(n as u64, m as u64, k as u64, 0.01)
+            ),
+        ]);
+    }
+    table.write_csv(&ctx.out_dir, "t62").expect("csv");
+    vec![table]
+}
+
+/// Figure 1: the worked Bit-Vector-Learning(3, 4, 5) instance, end-to-end.
+pub fn fig1(ctx: &ExpCtx) -> Vec<Table> {
+    let inst = BvlInstance::figure1();
+    let mut table = Table::new(
+        "Figure 1 — Bit-Vector-Learning(3,4,5) worked example",
+        &["item(paper)", "depth", "Z_j"],
+    );
+    for j in 0..4u32 {
+        let z: String = inst
+            .z(j)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        table.push_row(vec![(j + 1).to_string(), inst.depth(j).to_string(), z]);
+    }
+    let mut outcome = Table::new(
+        "Figure 1 — protocol run (trivial vs FEwW reduction)",
+        &["protocol", "index(paper)", "bits", "meets_1.01k", "max_msg_bits"],
+    );
+    let (idx, bits) = trivial_protocol(&inst);
+    outcome.push_row(vec![
+        "trivial (no communication)".into(),
+        (idx + 1).to_string(),
+        bits.to_string(),
+        "no".into(),
+        "0".into(),
+    ]);
+    let out = run_bvl(&inst, ctx.seed);
+    outcome.push_row(vec![
+        "FEwW reduction (α = 2)".into(),
+        out.index.map_or("-".into(), |i| (i + 1).to_string()),
+        out.bits_learnt.to_string(),
+        if out.success { "yes" } else { "no" }.into(),
+        out.transcript.cost_bits().to_string(),
+    ]);
+    table.write_csv(&ctx.out_dir, "f1").expect("csv");
+    outcome.write_csv(&ctx.out_dir, "f1_protocol").expect("csv");
+    vec![table, outcome]
+}
+
+/// Figure 2: the bit-encoding gadget — Alice's edges for each string.
+pub fn fig2(ctx: &ExpCtx) -> Vec<Table> {
+    let inst = BvlInstance::figure1();
+    let mut table = Table::new(
+        "Figure 2 — Theorem 4.8 edge gadget (party 1 = Alice)",
+        &["vertex(paper)", "string Y^j_1", "edge B-labels (bit = label mod 2)"],
+    );
+    for j in 0..4u32 {
+        let y: String = inst.bits[0][&j]
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        let mut edges: Vec<u64> = inst
+            .party_edges(0)
+            .into_iter()
+            .filter(|e| e.a == j)
+            .map(|e| e.b)
+            .collect();
+        edges.sort_unstable();
+        let labels: Vec<String> = edges.iter().map(u64::to_string).collect();
+        table.push_row(vec![format!("a{}", j + 1), y, labels.join(" ")]);
+    }
+    table.write_csv(&ctx.out_dir, "f2").expect("csv");
+    vec![table]
+}
+
+/// Figure 3: the worked Augmented-Matrix-Row-Index(4, 6, 2) instance.
+pub fn fig3(ctx: &ExpCtx) -> Vec<Table> {
+    let inst = AmriInstance::figure3();
+    let mut table = Table::new(
+        "Figure 3 — Augmented-Matrix-Row-Index(4,6,2) worked example",
+        &["row(paper)", "Alice's bits", "Bob knows", "is J"],
+    );
+    for i in 0..4u32 {
+        let bits: String = inst.matrix[i as usize]
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        let known: Vec<String> = inst.revealed[i as usize]
+            .iter()
+            .map(|c| (c + 1).to_string())
+            .collect();
+        table.push_row(vec![
+            (i + 1).to_string(),
+            bits,
+            if known.is_empty() { "-".into() } else { format!("cols {}", known.join(",")) },
+            if i == inst.j { "yes".into() } else { "no".into() },
+        ]);
+    }
+    // Run the Lemma 6.3 protocol on the worked instance (m = 6 is not of
+    // the 2d/α shape with α = 2 ⇒ k would be 0; use α = 3: d = 3, d/α = 1 ⇒
+    // k = 0 ≠ 2). The figure's (k = 2) shape corresponds to d/α = 3, i.e.
+    // α = 1: report the exact-recovery outcome for α = 1.
+    let cfg = AmriProtocolConfig {
+        alpha: 1,
+        rounds: 12,
+        sampler_scale: 0.2,
+    };
+    // α = 1 ⇒ k must equal d − 1 = 2 ✓ (matches the figure).
+    let out = run_amri(&inst, cfg, ctx.seed);
+    let mut outcome = Table::new(
+        "Figure 3 — Lemma 6.3 protocol run (α = 1, d = 3, k = 2)",
+        &["recovered row 3", "exact", "ones_found", "zeros_found", "max_msg_bits"],
+    );
+    outcome.push_row(vec![
+        out.row
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect::<String>(),
+        out.exact.to_string(),
+        out.ones_found.to_string(),
+        out.zeros_found.to_string(),
+        out.transcript.cost_bits().to_string(),
+    ]);
+    table.write_csv(&ctx.out_dir, "f3").expect("csv");
+    outcome.write_csv(&ctx.out_dir, "f3_protocol").expect("csv");
+    vec![table, outcome]
+}

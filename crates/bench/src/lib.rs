@@ -1,0 +1,19 @@
+//! Experiment harness for the FEwW reproduction.
+//!
+//! One experiment per theorem/lemma/figure of the paper (see DESIGN.md's
+//! per-experiment index). Each experiment produces a [`table::Table`] that
+//! is printed to stdout and written as CSV under `results/`, and
+//! `EXPERIMENTS.md` records paper-claim vs. measured outcome.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p fews-bench --bin experiments -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;

@@ -1,0 +1,66 @@
+//! Parallel Monte-Carlo trial runner.
+
+/// Run `trials` independent trials of `f(trial_index)` across all cores and
+/// collect results in trial order. `f` receives the trial index; derive
+/// per-trial seeds from it (see `fews_common::rng::derive_seed`).
+pub fn parallel_trials<T, F>(trials: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(trials.max(1) as usize);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= trials {
+                    return;
+                }
+                let result = f(t);
+                let mut guard = slots_mutex.lock().expect("runner poisoned");
+                guard[t as usize] = Some(result);
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("all trials ran")).collect()
+}
+
+/// Convenience: fraction of `true` outcomes over `trials` parallel runs.
+pub fn success_rate<F>(trials: u64, f: F) -> f64
+where
+    F: Fn(u64) -> bool + Sync,
+{
+    let ok = parallel_trials(trials, f).into_iter().filter(|&b| b).count();
+    ok as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_trial_order() {
+        let out = parallel_trials(100, |t| t * 2);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn success_rate_counts() {
+        let rate = success_rate(100, |t| t % 4 == 0);
+        assert!((rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_trial_works() {
+        assert_eq!(parallel_trials(1, |_| 7u32), vec![7]);
+    }
+}

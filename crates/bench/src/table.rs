@@ -1,0 +1,137 @@
+//! Aligned text tables + CSV output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A result table: title, column headers, string rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (also the CSV stem).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Empty table with the given title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write as CSV to `dir/<name>.csv`.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", escaped.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a byte count human-readably.
+pub fn bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100".into(), "x".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_escaping() {
+        let dir = std::env::temp_dir().join("fews_table_test");
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "q\"z".into()]);
+        t.write_csv(&dir, "demo").unwrap();
+        let text = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(text.contains("\"x,y\""));
+        assert!(text.contains("\"q\"\"z\""));
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(bytes(12), "12 B");
+        assert_eq!(bytes(2048), "2.0 KiB");
+        assert_eq!(bytes(3 << 20), "3.00 MiB");
+    }
+}

@@ -1,0 +1,202 @@
+//! `fews` — command-line front end for the FEwW reproduction.
+//!
+//! ```text
+//! fews generate <planted|zipf|dos|dblog> [--key value …] --out FILE
+//! fews stats FILE [--n N]
+//! fews run FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X]
+//! ```
+//!
+//! Stream files use the `fews-stream::io` text format: one `a b [-]` update
+//! per line.
+
+mod opts;
+
+use fews_common::SpaceUsage;
+use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_stream::update::{as_insertions, degrees, net_graph};
+use fews_stream::{io as sio, Update};
+use opts::Opts;
+use std::io::BufReader;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| usage("missing subcommand"));
+    let rest: Vec<String> = args.collect();
+    match cmd.as_str() {
+        "generate" => generate(&rest),
+        "stats" => stats(&rest),
+        "run" => run(&rest),
+        "--help" | "-h" | "help" => usage("…"),
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage:\n  fews generate <planted|zipf|dos|dblog> [--key value …] --out FILE\n  \
+         fews stats FILE [--n N]\n  \
+         fews run FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X] [--m M]"
+    );
+    std::process::exit(2);
+}
+
+fn write_stream(path: &str, updates: &[Update]) {
+    let f = std::fs::File::create(path).unwrap_or_else(|e| usage(&format!("create {path}: {e}")));
+    sio::write_updates(std::io::BufWriter::new(f), updates).expect("write stream");
+    println!("wrote {} updates to {path}", updates.len());
+}
+
+fn read_stream(path: &str) -> Vec<Update> {
+    let f = std::fs::File::open(path).unwrap_or_else(|e| usage(&format!("open {path}: {e}")));
+    sio::read_updates(BufReader::new(f)).unwrap_or_else(|e| usage(&format!("parse {path}: {e}")))
+}
+
+fn generate(rest: &[String]) {
+    let workload = rest.first().cloned().unwrap_or_else(|| usage("generate needs a workload"));
+    let o = Opts::parse(&rest[1..]);
+    let seed: u64 = o.get("seed", 1);
+    let out: String = o.get_str("out").unwrap_or_else(|| usage("--out is required"));
+    let mut rng = fews_common::rng::rng_for(seed, 0xC11);
+    match workload.as_str() {
+        "planted" => {
+            let n = o.get("n", 256u32);
+            let m = o.get("m", 1u64 << 20);
+            let d = o.get("d", 64u32);
+            let bg = o.get("background", 4u32);
+            let g = fews_stream::gen::planted::planted_star(n, m, d, bg, &mut rng);
+            let mut edges = g.edges;
+            fews_stream::order::shuffle(&mut edges, &mut rng);
+            println!("# planted heavy vertex {} with degree {}", g.heavy, g.degree);
+            write_stream(&out, &as_insertions(&edges));
+        }
+        "zipf" => {
+            let n = o.get("n", 1024u32);
+            let len = o.get("len", 100_000u64);
+            let theta = o.get("theta", 1.1f64);
+            let s = fews_stream::gen::zipf::zipf_stream(n, theta, len, &mut rng);
+            write_stream(&out, &as_insertions(&s.edges));
+        }
+        "dos" => {
+            let dsts = o.get("dsts", 256u32);
+            let srcs = o.get("srcs", 1u64 << 24);
+            let packets = o.get("packets", 20_000u64);
+            let attack = o.get("attack", 400u32);
+            let t = fews_stream::gen::dos::dos_trace(dsts, srcs, packets, 1.0, attack, &mut rng);
+            println!("# victim destination {}", t.victim);
+            write_stream(&out, &as_insertions(&t.edges));
+        }
+        "dblog" => {
+            let records = o.get("records", 64u32);
+            let users = o.get("users", 1u64 << 16);
+            let hot = o.get("hot", 32u32);
+            let bg = o.get("background", 4u32);
+            let retract = o.get("retract", 0.5f64);
+            let log = fews_stream::gen::dblog::db_log(records, users, hot, bg, retract, &mut rng);
+            println!("# hot record {}", log.hot_record);
+            write_stream(&out, &log.updates);
+        }
+        other => usage(&format!("unknown workload {other}")),
+    }
+}
+
+fn stats(rest: &[String]) {
+    let path = rest.first().cloned().unwrap_or_else(|| usage("stats needs a FILE"));
+    let o = Opts::parse(&rest[1..]);
+    let updates = read_stream(&path);
+    let inserts = updates.iter().filter(|u| u.delta > 0).count();
+    let deletes = updates.len() - inserts;
+    let net = net_graph(&updates);
+    let n: u32 = o.get(
+        "n",
+        updates.iter().map(|u| u.edge.a).max().map_or(1, |a| a + 1),
+    );
+    let deg = degrees(&net, n);
+    let (argmax, &max) = deg
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &d)| d)
+        .expect("n >= 1");
+    println!("updates        : {} ({inserts} inserts, {deletes} deletes)", updates.len());
+    println!("surviving edges: {}", net.len());
+    println!("A-vertices     : {n}");
+    println!("max degree     : Δ = {max} at vertex {argmax}");
+    let hist = [1u32, 2, 4, 8, 16, 32, 64, u32::MAX];
+    let mut prev = 0u32;
+    for &hi in &hist {
+        let c = deg.iter().filter(|&&d| d > prev && d <= hi).count();
+        if c > 0 {
+            if hi == u32::MAX {
+                println!("degree > {prev:4}    : {c} vertices");
+            } else {
+                println!("degree {:4}-{:4}: {c} vertices", prev + 1, hi);
+            }
+        }
+        prev = hi;
+    }
+}
+
+fn run(rest: &[String]) {
+    let path = rest.first().cloned().unwrap_or_else(|| usage("run needs a FILE"));
+    let o = Opts::parse(&rest[1..]);
+    let updates = read_stream(&path);
+    let n: u32 = o.get(
+        "n",
+        updates.iter().map(|u| u.edge.a).max().map_or(1, |a| a + 1),
+    );
+    let d: u32 = o.get_str("d").map(|s| s.parse().expect("--d")).unwrap_or_else(|| usage("--d is required"));
+    let alpha: u32 = o.get("alpha", 2);
+    let seed: u64 = o.get("seed", 2021);
+    let model: String = o.get_str("model").unwrap_or_else(|| {
+        if updates.iter().any(|u| u.delta < 0) {
+            "id".into()
+        } else {
+            "io".into()
+        }
+    });
+    let started = std::time::Instant::now();
+    let (result, space) = match model.as_str() {
+        "io" => {
+            if updates.iter().any(|u| u.delta < 0) {
+                usage("stream contains deletions; use --model id");
+            }
+            let mut alg = FewwInsertOnly::new(FewwConfig::new(n, d, alpha), seed);
+            for u in &updates {
+                alg.push(u.edge);
+            }
+            (alg.result(), alg.space_bytes())
+        }
+        "id" => {
+            let m = o.get(
+                "m",
+                updates.iter().map(|u| u.edge.b).max().map_or(1, |b| b + 1),
+            );
+            let scale = o.get("scale", 0.1f64);
+            let cfg = IdConfig::with_scale(n, m, d, alpha, scale);
+            let mut alg = FewwInsertDelete::new(cfg, seed);
+            for u in &updates {
+                alg.push(*u);
+            }
+            (alg.result(), alg.space_bytes())
+        }
+        other => usage(&format!("unknown model {other} (io|id)")),
+    };
+    let elapsed = started.elapsed();
+    match result {
+        Some(nb) => {
+            println!("vertex   : {}", nb.vertex);
+            println!("witnesses: {}", nb.size());
+            let shown: Vec<String> = nb.witnesses.iter().take(10).map(u64::to_string).collect();
+            println!("           [{}{}]", shown.join(", "), if nb.size() > 10 { ", …" } else { "" });
+        }
+        None => println!("fail (no ⌊d/α⌋-neighbourhood certified)"),
+    }
+    println!(
+        "model {} | {} updates in {:.2?} | state {} KiB",
+        model,
+        updates.len(),
+        elapsed,
+        space / 1024
+    );
+}

@@ -1,0 +1,71 @@
+//! Minimal `--key value` option parsing for the CLI (no dependencies).
+
+/// Parsed `--key value` pairs.
+pub struct Opts {
+    pairs: Vec<(String, String)>,
+}
+
+impl Opts {
+    /// Parse a flat argument list of `--key value` pairs.
+    pub fn parse(args: &[String]) -> Opts {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let Some(key) = args[i].strip_prefix("--") else {
+                eprintln!("error: expected --flag, got {}", args[i]);
+                std::process::exit(2);
+            };
+            let Some(val) = args.get(i + 1) else {
+                eprintln!("error: --{key} needs a value");
+                std::process::exit(2);
+            };
+            pairs.push((key.to_string(), val.clone()));
+            i += 2;
+        }
+        Opts { pairs }
+    }
+
+    /// Typed lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get_str(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{key} got an unparsable value {v:?}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    /// Raw string lookup.
+    pub fn get_str(&self, key: &str) -> Option<String> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_typed_values() {
+        let o = Opts::parse(&strs(&["--n", "42", "--theta", "1.5", "--out", "x.txt"]));
+        assert_eq!(o.get("n", 0u32), 42);
+        assert_eq!(o.get("theta", 0.0f64), 1.5);
+        assert_eq!(o.get_str("out").as_deref(), Some("x.txt"));
+        assert_eq!(o.get("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let o = Opts::parse(&strs(&["--n", "1", "--n", "2"]));
+        assert_eq!(o.get("n", 0u32), 2);
+    }
+}

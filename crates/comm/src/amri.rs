@@ -1,0 +1,345 @@
+//! Augmented-Matrix-Row-Index — **Problem 5**, **Lemma 6.3**,
+//! **Theorems 6.2/6.4**, Figure 3.
+//!
+//! Alice holds a uniform matrix `X ∈ {0,1}^{n×m}`; Bob holds a row index `J`
+//! and, for every other row, `m − k` uniformly chosen revealed positions.
+//! Bob must output the entire row `X_J`. Theorem 6.2 shows this costs
+//! `(n−1)(k−1−εm)` bits one-way; Lemma 6.3 converts any insertion-deletion
+//! FEwW algorithm into such a protocol with `m = 2d`, `k = d/α − 1`:
+//!
+//! 1. (Repeated `Θ(α log n)` times with fresh public randomness.) Both
+//!    parties permute each row by a public random permutation; Alice streams
+//!    the 1-entries of the permuted matrix as edge insertions and sends the
+//!    algorithm's state; Bob **deletes** every revealed 1-entry outside row
+//!    `J`, leaving every row but `J` with at most `d/α − 1` ones.
+//! 2. If row `J` has ≥ d ones the promise holds and the output must be
+//!    rooted at `J`; each witness reveals one 1-position, un-permuted by
+//!    Bob. Each repetition reveals each 1 with probability ≥ 1/(2α), so all
+//!    are found w.h.p.
+//! 3. A parallel run on the bit-inverted matrix covers rows with < d ones
+//!    (then the inverted row has > d ones and the same argument reveals all
+//!    0-positions).
+
+use crate::protocol::Transcript;
+use fews_common::rng::rng_for;
+use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
+use fews_core::wire_id::IdMemoryState;
+use fews_stream::{Edge, Update};
+use rand::{Rng, RngExt};
+
+/// An instance of Augmented-Matrix-Row-Index(n, m, k).
+#[derive(Debug, Clone)]
+pub struct AmriInstance {
+    /// Row count.
+    pub n: u32,
+    /// Column count.
+    pub m: u32,
+    /// Unrevealed positions per row.
+    pub k: u32,
+    /// Alice's matrix, row-major (`matrix[i][j]`).
+    pub matrix: Vec<Vec<bool>>,
+    /// Bob's row index.
+    pub j: u32,
+    /// `revealed[i]` = sorted column positions of row `i` Bob knows
+    /// (`m − k` of them for `i ≠ j`; empty for row `j`).
+    pub revealed: Vec<Vec<u32>>,
+}
+
+impl AmriInstance {
+    /// Draw an instance from the problem's distribution.
+    pub fn generate(n: u32, m: u32, k: u32, rng: &mut impl Rng) -> Self {
+        assert!(k <= m && n >= 1);
+        let matrix = (0..n)
+            .map(|_| (0..m).map(|_| rng.random::<bool>()).collect())
+            .collect();
+        let j = rng.random_range(0..n);
+        let revealed = (0..n)
+            .map(|i| {
+                if i == j {
+                    Vec::new()
+                } else {
+                    let mut cols =
+                        fews_stream::gen::sample_distinct(m as u64, (m - k) as usize, rng);
+                    cols.sort_unstable();
+                    cols.into_iter().map(|c| c as u32).collect()
+                }
+            })
+            .collect();
+        AmriInstance {
+            n,
+            m,
+            k,
+            matrix,
+            j,
+            revealed,
+        }
+    }
+
+    /// The Figure 3 instance of AMRI(4, 6, 2): Bob must output row 3 of the
+    /// printed matrix (0-based row 2 here) knowing 4 positions of every
+    /// other row. (The figure does not pin down *which* positions Bob
+    /// knows; we fix the first four columns, which matches the counts.)
+    pub fn figure3() -> Self {
+        let rows = ["011100", "110010", "000010", "101010"];
+        let matrix = rows
+            .iter()
+            .map(|r| r.chars().map(|c| c == '1').collect())
+            .collect();
+        let j = 2;
+        let revealed = (0..4)
+            .map(|i| if i == j { vec![] } else { vec![0, 1, 2, 3] })
+            .collect();
+        AmriInstance {
+            n: 4,
+            m: 6,
+            k: 2,
+            matrix,
+            j: j as u32,
+            revealed,
+        }
+    }
+
+    /// Number of ones in row `i`.
+    pub fn row_ones(&self, i: u32) -> u32 {
+        self.matrix[i as usize].iter().filter(|&&b| b).count() as u32
+    }
+}
+
+/// Outcome of the Lemma 6.3 protocol.
+#[derive(Debug, Clone)]
+pub struct AmriOutcome {
+    /// Bob's reconstruction of row `J`.
+    pub row: Vec<bool>,
+    /// Whether it equals the true row exactly.
+    pub exact: bool,
+    /// Positions recovered by the normal branch (genuine 1s of row J).
+    pub ones_found: usize,
+    /// Positions recovered by the inverted branch (genuine 0s of row J).
+    pub zeros_found: usize,
+    /// Message bookkeeping: one real serialized register-file message per
+    /// repetition per branch.
+    pub transcript: Transcript,
+}
+
+/// Tuning for the protocol runner.
+#[derive(Debug, Clone, Copy)]
+pub struct AmriProtocolConfig {
+    /// The FEwW approximation factor α (determines `k = d/α − 1`).
+    pub alpha: u32,
+    /// Repetitions (`Θ(α log n)`; the paper's constant is absorbed here).
+    pub rounds: u32,
+    /// `sampler_scale` forwarded to the insertion-deletion algorithm.
+    pub sampler_scale: f64,
+}
+
+impl AmriProtocolConfig {
+    /// `rounds = ⌈3·α·ln(n+1)⌉` with the given scale.
+    pub fn standard(alpha: u32, n: u32, sampler_scale: f64) -> Self {
+        AmriProtocolConfig {
+            alpha,
+            rounds: (3.0 * alpha as f64 * ((n + 1) as f64).ln()).ceil() as u32,
+            sampler_scale,
+        }
+    }
+}
+
+/// Run the Lemma 6.3 reduction on an instance with `m = 2d` columns.
+///
+/// Panics unless `inst.m` is even and `inst.k == d/α − 1` for
+/// `d = inst.m / 2` (the shape Lemma 6.3 produces).
+pub fn run_protocol(inst: &AmriInstance, cfg: AmriProtocolConfig, seed: u64) -> AmriOutcome {
+    let d = inst.m / 2;
+    assert!(inst.m % 2 == 0, "Lemma 6.3 instances have m = 2d");
+    let d2 = d / cfg.alpha;
+    assert!(d2 >= 1, "need d/α ≥ 1");
+    assert_eq!(inst.k, d2 - 1, "Lemma 6.3 requires k = d/α − 1");
+
+    let mut transcript = Transcript::new();
+    let truth = &inst.matrix[inst.j as usize];
+    let mut ones: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut zeros: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+    for round in 0..cfg.rounds {
+        for invert in [false, true] {
+            let mut pub_rng = rng_for(seed, (round as u64) << 1 | invert as u64);
+            // Public random permutation per row.
+            let perms: Vec<Vec<u32>> = (0..inst.n)
+                .map(|_| {
+                    let mut p: Vec<u32> = (0..inst.m).collect();
+                    for i in 0..p.len() {
+                        let j = pub_rng.random_range(i..p.len());
+                        p.swap(i, j);
+                    }
+                    p
+                })
+                .collect();
+            let bit_at = |i: u32, c: u32| inst.matrix[i as usize][c as usize] != invert;
+
+            let id_cfg = IdConfig::with_scale(
+                inst.n,
+                inst.m as u64,
+                d,
+                cfg.alpha,
+                cfg.sampler_scale,
+            );
+            let alg_seed =
+                fews_common::rng::derive_seed(seed, 0xA3B1 + ((round as u64) << 1 | invert as u64));
+            let mut alice = FewwInsertDelete::new(id_cfg, alg_seed);
+            // Alice: insert every 1 of the permuted (possibly inverted) matrix.
+            for i in 0..inst.n {
+                for c in 0..inst.m {
+                    if bit_at(i, c) {
+                        alice
+                            .push(Update::insert(Edge::new(i, perms[i as usize][c as usize] as u64)));
+                    }
+                }
+            }
+            // Send the real serialized register file; Bob re-derives the
+            // sampler hash functions from the shared seed (public coins).
+            let msg = IdMemoryState::capture(&alice).encode();
+            transcript.record(msg.len());
+            let mut alg = FewwInsertDelete::new(id_cfg, alg_seed);
+            IdMemoryState::decode(&msg)
+                .expect("self-produced message decodes")
+                .restore(&mut alg);
+            // Bob: delete the revealed 1s of every row except J.
+            for i in 0..inst.n {
+                if i == inst.j {
+                    continue;
+                }
+                for &c in &inst.revealed[i as usize] {
+                    if bit_at(i, c) {
+                        alg.push(Update::delete(Edge::new(
+                            i,
+                            perms[i as usize][c as usize] as u64,
+                        )));
+                    }
+                }
+            }
+            if let Some(nb) = alg.result() {
+                if nb.vertex == inst.j {
+                    // Un-permute: each witness is a genuine entry of row J.
+                    let inv: Vec<u32> = {
+                        let mut inv = vec![0u32; inst.m as usize];
+                        for (orig, &permuted) in perms[inst.j as usize].iter().enumerate() {
+                            inv[permuted as usize] = orig as u32;
+                        }
+                        inv
+                    };
+                    for &w in &nb.witnesses {
+                        let col = inv[w as usize];
+                        debug_assert_eq!(truth[col as usize], !invert);
+                        if invert {
+                            zeros.insert(col);
+                        } else {
+                            ones.insert(col);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Decision rule (final paragraph of Lemma 6.3's proof): if the normal
+    // branch certified ≥ d ones, row J is dense and `ones` is complete
+    // w.h.p.; otherwise the inverted branch found all zeros.
+    let row: Vec<bool> = if ones.len() >= d as usize {
+        (0..inst.m).map(|c| ones.contains(&c)).collect()
+    } else {
+        (0..inst.m).map(|c| !zeros.contains(&c)).collect()
+    };
+    let exact = row == *truth;
+    AmriOutcome {
+        row,
+        exact,
+        ones_found: ones.len(),
+        zeros_found: zeros.len(),
+        transcript,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_matches_paper() {
+        let inst = AmriInstance::figure3();
+        assert_eq!(inst.n, 4);
+        assert_eq!(inst.m, 6);
+        assert_eq!(inst.k, 2);
+        assert_eq!(inst.j, 2);
+        // Row 3 of the paper (our row index 2) is 000010.
+        assert_eq!(inst.row_ones(2), 1);
+        // Bob knows m − k = 4 positions of every other row.
+        for i in 0..4u32 {
+            let want = if i == 2 { 0 } else { 4 };
+            assert_eq!(inst.revealed[i as usize].len(), want);
+        }
+    }
+
+    #[test]
+    fn generated_shape() {
+        let mut r = rng_for(1, 0);
+        let inst = AmriInstance::generate(8, 12, 3, &mut r);
+        assert_eq!(inst.matrix.len(), 8);
+        assert!(inst.matrix.iter().all(|row| row.len() == 12));
+        for (i, rev) in inst.revealed.iter().enumerate() {
+            if i as u32 == inst.j {
+                assert!(rev.is_empty());
+            } else {
+                assert_eq!(rev.len(), 9);
+                assert!(rev.windows(2).all(|w| w[0] < w[1]), "not sorted/unique");
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_recovers_the_row() {
+        let mut exact = 0;
+        let trials = 6;
+        for t in 0..trials {
+            let mut r = rng_for(100 + t, 0);
+            // m = 2d = 16, α = 2 ⇒ k = d/α − 1 = 3.
+            let inst = AmriInstance::generate(12, 16, 3, &mut r);
+            let cfg = AmriProtocolConfig {
+                alpha: 2,
+                rounds: 30,
+                sampler_scale: 0.08,
+            };
+            let out = run_protocol(&inst, cfg, 200 + t);
+            assert_eq!(out.row.len(), 16);
+            if out.exact {
+                exact += 1;
+            }
+        }
+        assert!(exact >= trials - 1, "only {exact}/{trials} rows recovered");
+    }
+
+    #[test]
+    fn transcript_records_both_branches() {
+        let mut r = rng_for(3, 0);
+        let inst = AmriInstance::generate(6, 8, 1, &mut r);
+        let cfg = AmriProtocolConfig {
+            alpha: 2,
+            rounds: 4,
+            sampler_scale: 0.05,
+        };
+        let out = run_protocol(&inst, cfg, 5);
+        assert_eq!(out.transcript.messages(), 8); // rounds × 2 branches
+        assert!(out.transcript.cost_bits() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k = d/α − 1")]
+    fn wrong_k_rejected() {
+        let mut r = rng_for(4, 0);
+        let inst = AmriInstance::generate(4, 8, 3, &mut r); // d=4, α=2 ⇒ k must be 1
+        let cfg = AmriProtocolConfig {
+            alpha: 2,
+            rounds: 1,
+            sampler_scale: 0.05,
+        };
+        let _ = run_protocol(&inst, cfg, 1);
+    }
+}

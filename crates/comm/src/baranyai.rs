@@ -1,0 +1,212 @@
+//! Constructive Baranyai factorisation — **Theorem 4.4** [7].
+//!
+//! Baranyai's theorem: for `k | n`, the `C(n,k)` k-subsets of `[n]`
+//! partition into `M = C(n−1, k−1)` classes, each class being a *1-factor*:
+//! `n/k` pairwise-disjoint k-sets covering `[n]`. The paper uses the theorem
+//! to slice the information revealed about `Y^{X_i}_{i−1}` into symmetric
+//! pieces (Lemma 4.5); here we *construct* the partition, which makes the
+//! combinatorial object inspectable and testable.
+//!
+//! Construction (Brouwer–Schrijver style): add elements `0 … n−1` one at a
+//! time. Each class always holds `n/k` *partial edges* (subsets of the
+//! elements placed so far, empties allowed); when element `i` arrives, every
+//! class extends exactly one of its partial edges with `i`, and globally the
+//! number of copies of each partial edge `A` that get extended must equal
+//! `C(n−i−1, k−|A|−1)`, keeping the invariant that `A` appears with total
+//! multiplicity `C(n−i, k−|A|)`. Picking *which* copy each class extends is
+//! an integral flow problem — feasible fractionally by symmetry, hence
+//! integrally by max-flow integrality ([`crate::maxflow`]).
+
+use crate::maxflow::FlowNetwork;
+use fews_common::math::binomial;
+use std::collections::HashMap;
+
+/// A Baranyai partition: `classes[c]` is a 1-factor, each factor a list of
+/// `n/k` bitmask-encoded k-subsets of `[n]` (bit `i` = element `i`).
+#[derive(Debug, Clone)]
+pub struct BaranyaiPartition {
+    /// Ground-set size.
+    pub n: u32,
+    /// Edge size.
+    pub k: u32,
+    /// The 1-factors.
+    pub classes: Vec<Vec<u64>>,
+}
+
+/// Construct the factorisation. Requires `k | n`, `1 ≤ k ≤ n ≤ 24`
+///
+/// ```
+/// // The classic 1-factorisation of K₆ into 5 perfect matchings.
+/// let p = fews_comm::baranyai::baranyai(6, 2);
+/// assert_eq!(p.classes.len(), 5);
+/// p.validate().unwrap();
+/// ```
+/// (the class count `C(n−1, k−1)` and per-step flow stay laptop-sized for
+/// the (n, k) the experiments use).
+pub fn baranyai(n: u32, k: u32) -> BaranyaiPartition {
+    assert!(k >= 1 && k <= n && n <= 24, "supported range: 1 ≤ k ≤ n ≤ 24");
+    assert!(n % k == 0, "Baranyai's theorem needs k | n");
+    let m_classes = binomial(n as u64 - 1, k as u64 - 1) as usize;
+    let per_class = (n / k) as usize;
+    // Each class: multiset of partial edges (bitmasks over placed elements).
+    let mut classes: Vec<Vec<u64>> = vec![vec![0u64; per_class]; m_classes];
+
+    for i in 0..n {
+        // Distinct partial edges present anywhere, and the per-class counts.
+        let mut mask_ids: HashMap<u64, usize> = HashMap::new();
+        let mut masks: Vec<u64> = Vec::new();
+        let mut class_counts: Vec<HashMap<u64, i64>> = vec![HashMap::new(); m_classes];
+        for (c, parts) in classes.iter().enumerate() {
+            for &p in parts {
+                if p.count_ones() < k {
+                    *class_counts[c].entry(p).or_insert(0) += 1;
+                    if let std::collections::hash_map::Entry::Vacant(e) = mask_ids.entry(p) {
+                        e.insert(masks.len());
+                        masks.push(p);
+                    }
+                }
+            }
+        }
+
+        // Flow network: source → class (1) → mask (count) → sink (ext(A)).
+        let n_nodes = 2 + m_classes + masks.len();
+        let (src, snk) = (0usize, 1usize);
+        let class_node = |c: usize| 2 + c;
+        let mask_node = |mid: usize| 2 + m_classes + mid;
+        let mut net = FlowNetwork::new(n_nodes);
+        for c in 0..m_classes {
+            net.add_edge(src, class_node(c), 1);
+        }
+        let mut class_mask_edges: Vec<(usize, usize, u64)> = Vec::new();
+        for (c, counts) in class_counts.iter().enumerate() {
+            for (&mask, &cnt) in counts {
+                let id = net.add_edge(class_node(c), mask_node(mask_ids[&mask]), cnt);
+                class_mask_edges.push((id, c, mask));
+            }
+        }
+        for (mid, &mask) in masks.iter().enumerate() {
+            let a = mask.count_ones() as u64;
+            // ext(A) = C(n−i−1, k−|A|−1): copies of A that take element i.
+            let ext = binomial((n - i - 1) as u64, (k as u64).wrapping_sub(a + 1)) as i64;
+            net.add_edge(mask_node(mid), snk, ext);
+        }
+        let flow = net.max_flow(src, snk);
+        assert_eq!(
+            flow, m_classes as i64,
+            "Baranyai flow infeasible at element {i} (n={n}, k={k})"
+        );
+
+        // Apply: each class extends the mask its unit of flow selected.
+        for &(edge_id, c, mask) in &class_mask_edges {
+            let f = net.flow_on(edge_id);
+            debug_assert!(f >= 0);
+            for _ in 0..f {
+                let slot = classes[c]
+                    .iter()
+                    .position(|&p| p == mask)
+                    .expect("flow respects multiplicities");
+                classes[c][slot] = mask | (1u64 << i);
+            }
+        }
+    }
+
+    BaranyaiPartition { n, k, classes }
+}
+
+impl BaranyaiPartition {
+    /// Check every property of Theorem 4.4: each class has `n/k` pairwise
+    /// disjoint k-sets covering `[n]`; classes are disjoint as set families;
+    /// their union is all `C(n,k)` subsets.
+    pub fn validate(&self) -> Result<(), String> {
+        let full: u64 = if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        };
+        let mut seen = std::collections::HashSet::new();
+        for (c, factor) in self.classes.iter().enumerate() {
+            if factor.len() != (self.n / self.k) as usize {
+                return Err(format!("class {c}: wrong factor size"));
+            }
+            let mut union = 0u64;
+            for &e in factor {
+                if e.count_ones() != self.k {
+                    return Err(format!("class {c}: edge {e:#b} has wrong size"));
+                }
+                if union & e != 0 {
+                    return Err(format!("class {c}: overlapping edges"));
+                }
+                union |= e;
+                if !seen.insert(e) {
+                    return Err(format!("edge {e:#b} appears in two classes"));
+                }
+            }
+            if union != full {
+                return Err(format!("class {c}: does not cover [n]"));
+            }
+        }
+        let want = binomial(self.n as u64, self.k as u64) as usize;
+        if seen.len() != want {
+            return Err(format!("covered {} of {want} k-subsets", seen.len()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_equals_one_is_identity() {
+        let p = baranyai(5, 1);
+        assert_eq!(p.classes.len(), 1);
+        p.validate().expect("valid");
+    }
+
+    #[test]
+    fn k_equals_n_is_single_edge_classes() {
+        let p = baranyai(6, 6);
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.classes[0], vec![(1u64 << 6) - 1]);
+        p.validate().expect("valid");
+    }
+
+    #[test]
+    fn perfect_matchings_of_k6() {
+        // n = 6, k = 2: the classic 1-factorisation of K₆ into 5 perfect
+        // matchings.
+        let p = baranyai(6, 2);
+        assert_eq!(p.classes.len(), 5);
+        p.validate().expect("valid");
+    }
+
+    #[test]
+    fn triple_systems() {
+        for n in [3u32, 6, 9, 12] {
+            let p = baranyai(n, 3);
+            assert_eq!(p.classes.len(), binomial(n as u64 - 1, 2) as usize);
+            p.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn quadruple_system_n8() {
+        let p = baranyai(8, 4);
+        assert_eq!(p.classes.len(), 35);
+        p.validate().expect("valid");
+    }
+
+    #[test]
+    fn pairs_up_to_n10() {
+        for n in [2u32, 4, 8, 10] {
+            baranyai(n, 2).validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k | n")]
+    fn indivisible_rejected() {
+        let _ = baranyai(7, 2);
+    }
+}

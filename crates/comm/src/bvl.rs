@@ -1,0 +1,386 @@
+//! Bit-Vector-Learning — **Problem 4**, **Theorems 4.7–4.8**, Figures 1–2.
+//!
+//! `p` parties hold a chain `[n] = X₁ ⊇ X₂ ⊇ … ⊇ X_p` with
+//! `|X_i| = n^{1−(i−1)/(p−1)}` and, for every `j ∈ X_i`, a uniform bit
+//! string `Y_i^j ∈ {0,1}^k`. The concatenation `Z_j = Y₁^j ∘ … ∘ Y_p^j`
+//! grows with how deep `j` survives in the chain. Party `p` must output an
+//! index `I` and **1.01k** correct bits of `Z_I` — easy for `k` bits (output
+//! its own element of `X_p`, zero communication), but Theorem 4.7 shows any
+//! protocol for `1.01k` bits needs a message of `Ω(k·n^{1/(p−1)}/p)` bits.
+//!
+//! Theorem 4.8 converts a FEwW streaming algorithm into such a protocol via
+//! the Figure 2 gadget: party `i` encodes each bit `Y_i^ℓ[j]` as one edge
+//! `(ℓ, 2k(i−1) + 2j + bit)`, so `deg(ℓ) = k·(chain depth of ℓ)` and every
+//! witness reveals one bit.
+
+use crate::protocol::Transcript;
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_core::wire::MemoryState;
+use fews_stream::Edge;
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+
+/// An instance of Bit-Vector-Learning(p, n, k).
+#[derive(Debug, Clone)]
+pub struct BvlInstance {
+    /// Number of parties.
+    pub p: u32,
+    /// Chain root size (`|X₁| = n`).
+    pub n: u32,
+    /// Bits per (party, surviving index).
+    pub k: u32,
+    /// `chain[i]` = the sorted elements of `X_{i+1}` (0-based parties).
+    pub chain: Vec<Vec<u32>>,
+    /// `bits[i]` maps `j ∈ X_{i+1}` to `Y_{i+1}^j`.
+    pub bits: Vec<HashMap<u32, Vec<bool>>>,
+}
+
+/// The chain sizes `n_i = n^{1−(i−1)/(p−1)}`; requires `n = r^{p−1}` for an
+/// integer `r` (the paper's divisibility convention for Baranyai's theorem).
+pub fn chain_sizes(p: u32, n: u32) -> Option<Vec<u32>> {
+    assert!(p >= 2);
+    let r = (n as f64).powf(1.0 / (p as f64 - 1.0)).round() as u64;
+    if r.pow(p - 1) != n as u64 {
+        return None;
+    }
+    Some((0..p).map(|i| r.pow(p - 1 - i) as u32).collect())
+}
+
+impl BvlInstance {
+    /// Draw an instance from the problem's input distribution.
+    pub fn generate(p: u32, n: u32, k: u32, rng: &mut impl Rng) -> Self {
+        let sizes = chain_sizes(p, n).expect("n must be a (p−1)-th power");
+        let mut chain: Vec<Vec<u32>> = Vec::with_capacity(p as usize);
+        let mut current: Vec<u32> = (0..n).collect();
+        chain.push(current.clone());
+        for &size in &sizes[1..] {
+            // Uniform random subset of the previous level.
+            for i in 0..size as usize {
+                let j = rng.random_range(i..current.len());
+                current.swap(i, j);
+            }
+            current.truncate(size as usize);
+            current.sort_unstable();
+            chain.push(current.clone());
+        }
+        let bits = chain
+            .iter()
+            .map(|level| {
+                level
+                    .iter()
+                    .map(|&j| (j, (0..k).map(|_| rng.random::<bool>()).collect()))
+                    .collect()
+            })
+            .collect();
+        BvlInstance {
+            p,
+            n,
+            k,
+            chain,
+            bits,
+        }
+    }
+
+    /// The exact Figure 1 instance of BVL(3, 4, 5) (indices 0-based: the
+    /// paper's items 1–4 are 0–3 here).
+    pub fn figure1() -> Self {
+        fn bits(s: &str) -> Vec<bool> {
+            s.chars().map(|c| c == '1').collect()
+        }
+        let chain = vec![vec![0, 1, 2, 3], vec![0, 3], vec![3]];
+        let mut b1 = HashMap::new();
+        b1.insert(0, bits("10010"));
+        b1.insert(1, bits("01000"));
+        b1.insert(2, bits("01011"));
+        b1.insert(3, bits("01111"));
+        let mut b2 = HashMap::new();
+        b2.insert(0, bits("11011"));
+        b2.insert(3, bits("01010"));
+        let mut b3 = HashMap::new();
+        b3.insert(3, bits("00011"));
+        BvlInstance {
+            p: 3,
+            n: 4,
+            k: 5,
+            chain,
+            bits: vec![b1, b2, b3],
+        }
+    }
+
+    /// The concatenated string `Z_j` (empty segments skipped).
+    pub fn z(&self, j: u32) -> Vec<bool> {
+        let mut out = Vec::new();
+        for level in &self.bits {
+            if let Some(y) = level.get(&j) {
+                out.extend_from_slice(y);
+            }
+        }
+        out
+    }
+
+    /// Chain depth of `j`: the number of parties holding a string for it.
+    pub fn depth(&self, j: u32) -> u32 {
+        self.bits.iter().filter(|l| l.contains_key(&j)).count() as u32
+    }
+
+    /// Party `i`'s edges in the Theorem 4.8 graph (0-based party).
+    ///
+    /// For `ℓ ∈ X_{i+1}` and bit position `j`, the edge
+    /// `(ℓ, 2k·i + 2j + Y[j])` — Figure 2's construction.
+    pub fn party_edges(&self, i: usize) -> Vec<Edge> {
+        let k = self.k as u64;
+        let mut edges: Vec<Edge> = self.bits[i]
+            .iter()
+            .flat_map(|(&l, y)| {
+                y.iter().enumerate().map(move |(j, &bit)| {
+                    Edge::new(l, 2 * k * i as u64 + 2 * j as u64 + bit as u64)
+                })
+            })
+            .collect();
+        // Deterministic order (HashMap iteration is not): protocol runs are
+        // then exactly reproducible from the seed.
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Decode a witness `b` back into `(party, bit position, bit value)`.
+    pub fn decode_witness(&self, b: u64) -> (usize, usize, bool) {
+        let k = self.k as u64;
+        let party = (b / (2 * k)) as usize;
+        let rem = b % (2 * k);
+        ((party), (rem / 2) as usize, rem % 2 == 1)
+    }
+
+    /// Offset of party `i`'s segment inside `Z_j` (depends on which levels
+    /// hold `j`). `None` if party `i` holds no string for `j`.
+    pub fn segment_offset(&self, j: u32, party: usize) -> Option<usize> {
+        if !self.bits[party].contains_key(&j) {
+            return None;
+        }
+        let mut off = 0usize;
+        for level in &self.bits[..party] {
+            if level.contains_key(&j) {
+                off += self.k as usize;
+            }
+        }
+        Some(off)
+    }
+}
+
+/// Outcome of the Theorem 4.8 protocol.
+#[derive(Debug, Clone)]
+pub struct BvlOutcome {
+    /// The reported index `I`.
+    pub index: Option<u32>,
+    /// Number of distinct bit positions of `Z_I` learnt.
+    pub bits_learnt: usize,
+    /// Whether every learnt bit matched `Z_I` (must always hold — witnesses
+    /// are genuine edges).
+    pub all_correct: bool,
+    /// Whether the 1.01k target was met.
+    pub success: bool,
+    /// Message bookkeeping.
+    pub transcript: Transcript,
+}
+
+/// The zero-communication baseline: party `p` outputs its element of `X_p`
+/// with its own `k` bits — correct but short of the 1.01k target. Returns
+/// `(index, bits available)`.
+pub fn trivial_protocol(inst: &BvlInstance) -> (u32, usize) {
+    let j = inst.chain[inst.p as usize - 1][0];
+    (j, inst.k as usize)
+}
+
+/// Run the Theorem 4.8 reduction with the insertion-only FEwW algorithm at
+/// integral `α = p − 1` (which certifies `⌊kp/(p−1)⌋ ≥ ⌈1.01k⌉` bits for all
+/// `p ≤ 101` — the integral realisation of the paper's `p/1.01` factor).
+pub fn run_protocol(inst: &BvlInstance, seed: u64) -> BvlOutcome {
+    let p = inst.p;
+    assert!(p >= 2);
+    let d = inst.k * p; // Δ: the X_p element's degree
+    let alpha = (p - 1).max(1);
+    let config = FewwConfig::new(inst.n, d, alpha);
+    let mut transcript = Transcript::new();
+
+    let mut alg = FewwInsertOnly::new(config, seed);
+    for party in 0..p as usize {
+        if party > 0 {
+            let msg = MemoryState::capture(&alg).encode();
+            transcript.record(msg.len());
+            let mut next = FewwInsertOnly::new(config, seed);
+            MemoryState::decode(&msg)
+                .expect("self-produced message decodes")
+                .restore(&mut next);
+            alg = next;
+        }
+        for e in inst.party_edges(party) {
+            alg.push(e);
+        }
+    }
+
+    let target = ((1.01 * inst.k as f64).ceil() as usize).max(inst.k as usize + 1);
+    match alg.result() {
+        None => BvlOutcome {
+            index: None,
+            bits_learnt: 0,
+            all_correct: true,
+            success: false,
+            transcript,
+        },
+        Some(nb) => {
+            let z = inst.z(nb.vertex);
+            let mut positions = std::collections::HashSet::new();
+            let mut all_correct = true;
+            for &w in &nb.witnesses {
+                let (party, pos, bit) = inst.decode_witness(w);
+                match inst.segment_offset(nb.vertex, party) {
+                    Some(off) => {
+                        let global = off + pos;
+                        positions.insert(global);
+                        if z.get(global).copied() != Some(bit) {
+                            all_correct = false;
+                        }
+                    }
+                    None => all_correct = false,
+                }
+            }
+            BvlOutcome {
+                index: Some(nb.vertex),
+                bits_learnt: positions.len(),
+                all_correct,
+                success: all_correct && positions.len() >= target,
+                transcript,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fews_common::rng::rng_for;
+
+    #[test]
+    fn chain_sizes_table() {
+        assert_eq!(chain_sizes(3, 4), Some(vec![4, 2, 1]));
+        assert_eq!(chain_sizes(3, 16), Some(vec![16, 4, 1]));
+        assert_eq!(chain_sizes(4, 27), Some(vec![27, 9, 3, 1]));
+        assert_eq!(chain_sizes(2, 10), Some(vec![10, 1]));
+        assert_eq!(chain_sizes(3, 10), None); // 10 is not a square
+    }
+
+    #[test]
+    fn figure1_matches_paper() {
+        let inst = BvlInstance::figure1();
+        // Z₁ = 1001011011 (paper's item 1 = our 0).
+        let z0: String = inst.z(0).iter().map(|&b| if b { '1' } else { '0' }).collect();
+        assert_eq!(z0, "1001011011");
+        let z1: String = inst.z(1).iter().map(|&b| if b { '1' } else { '0' }).collect();
+        assert_eq!(z1, "01000");
+        let z2: String = inst.z(2).iter().map(|&b| if b { '1' } else { '0' }).collect();
+        assert_eq!(z2, "01011");
+        let z3: String = inst.z(3).iter().map(|&b| if b { '1' } else { '0' }).collect();
+        assert_eq!(z3, "011110101000011");
+        assert_eq!(inst.depth(3), 3);
+        assert_eq!(inst.depth(1), 1);
+    }
+
+    #[test]
+    fn figure2_edge_labels_encode_bits() {
+        // Reading Alice's B-labels for vertex 3 (paper's a₄) left to right
+        // recovers Y₁⁴ = 01111.
+        let inst = BvlInstance::figure1();
+        let mut edges: Vec<Edge> = inst
+            .party_edges(0)
+            .into_iter()
+            .filter(|e| e.a == 3)
+            .collect();
+        edges.sort_by_key(|e| e.b);
+        let read: String = edges
+            .iter()
+            .map(|e| if e.b % 2 == 1 { '1' } else { '0' })
+            .collect();
+        assert_eq!(read, "01111");
+        // Each bit position uses its own 2-slot block: b/2 enumerates 0..k.
+        let blocks: Vec<u64> = edges.iter().map(|e| e.b / 2).collect();
+        assert_eq!(blocks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn generated_instance_is_well_formed() {
+        let mut r = rng_for(1, 0);
+        let inst = BvlInstance::generate(3, 16, 6, &mut r);
+        assert_eq!(inst.chain[0].len(), 16);
+        assert_eq!(inst.chain[1].len(), 4);
+        assert_eq!(inst.chain[2].len(), 1);
+        // Chain is nested.
+        for w in inst.chain.windows(2) {
+            assert!(w[1].iter().all(|x| w[0].contains(x)));
+        }
+        // Bits exist exactly on chain membership, with length k.
+        for (level, bits) in inst.chain.iter().zip(&inst.bits) {
+            assert_eq!(bits.len(), level.len());
+            assert!(bits.values().all(|y| y.len() == 6));
+        }
+        // Z-length = k · depth.
+        let deep = inst.chain[2][0];
+        assert_eq!(inst.z(deep).len(), 18);
+    }
+
+    #[test]
+    fn max_degree_is_kp_at_the_deep_element() {
+        let mut r = rng_for(2, 0);
+        let inst = BvlInstance::generate(3, 16, 5, &mut r);
+        let mut deg = vec![0u32; 16];
+        for party in 0..3 {
+            for e in inst.party_edges(party) {
+                deg[e.a as usize] += 1;
+            }
+        }
+        let deep = inst.chain[2][0];
+        assert_eq!(deg[deep as usize], 15);
+        assert_eq!(*deg.iter().max().unwrap(), 15);
+    }
+
+    #[test]
+    fn protocol_learns_1_01k_bits() {
+        let mut ok = 0;
+        let trials = 15;
+        for t in 0..trials {
+            let mut r = rng_for(3000 + t, 0);
+            let inst = BvlInstance::generate(3, 16, 8, &mut r);
+            let out = run_protocol(&inst, 4000 + t);
+            assert!(out.all_correct, "protocol fabricated a bit");
+            if out.success {
+                // With α = p − 1 = 2, the certificate has ⌊kp/α⌋ = 12 ≥ 9 bits.
+                assert!(out.bits_learnt >= 9);
+                ok += 1;
+            }
+            assert_eq!(out.transcript.messages(), 2);
+        }
+        assert!(ok >= trials - 2, "only {ok}/{trials} runs hit 1.01k bits");
+    }
+
+    #[test]
+    fn trivial_protocol_caps_at_k() {
+        let inst = BvlInstance::figure1();
+        let (idx, bits) = trivial_protocol(&inst);
+        assert_eq!(idx, 3);
+        assert_eq!(bits, 5);
+    }
+
+    #[test]
+    fn figure1_protocol_run() {
+        // The worked example end-to-end: 1.01·5 ⇒ at least 6 positions of
+        // some Z must be learnt; only indices of chain depth ≥ 2 (paper's
+        // items 1 and 4, |Z| ∈ {10, 15}) have that many positions.
+        let inst = BvlInstance::figure1();
+        let out = run_protocol(&inst, 99);
+        if out.success {
+            let idx = out.index.expect("success implies an index");
+            assert!(inst.depth(idx) >= 2, "item {idx} has only k = 5 bits");
+            assert!(out.bits_learnt >= 6);
+        }
+        assert!(out.all_correct);
+    }
+}

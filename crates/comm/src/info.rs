@@ -1,0 +1,293 @@
+//! Exact information theory over enumerated joint distributions.
+//!
+//! The paper's lower bounds (§4.2, Lemmas 4.2–4.6, 6.1) manipulate Shannon
+//! entropy and mutual information through five rules. This module computes
+//! those quantities *exactly* (up to f64 arithmetic) for joint distributions
+//! over small finite alphabets, so the rules themselves become executable,
+//! property-testable statements — and so tiny instances of the hard
+//! communication problems can be analysed exactly in experiment `info`.
+
+/// A joint distribution over `shape.len()` variables, variable `v` taking
+/// values in `0..shape[v]`. Probabilities are stored row-major.
+///
+/// ```
+/// use fews_comm::info::JointDist;
+///
+/// // A = B = fair coin, perfectly correlated: I(A : B) = 1 bit.
+/// let d = JointDist::new(vec![2, 2], vec![0.5, 0.0, 0.0, 0.5]);
+/// assert!((d.mutual_info(&[0], &[1]) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JointDist {
+    shape: Vec<usize>,
+    probs: Vec<f64>,
+}
+
+impl JointDist {
+    /// Build from a dense probability table (must sum to 1 within 1e-9).
+    pub fn new(shape: Vec<usize>, probs: Vec<f64>) -> Self {
+        let cells: usize = shape.iter().product();
+        assert_eq!(cells, probs.len(), "table size mismatch");
+        assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "probabilities sum to {total}");
+        JointDist { shape, probs }
+    }
+
+    /// Uniform distribution over the full product space.
+    pub fn uniform(shape: Vec<usize>) -> Self {
+        let cells: usize = shape.iter().product();
+        JointDist {
+            probs: vec![1.0 / cells as f64; cells],
+            shape,
+        }
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Decode a flat cell index into per-variable values.
+    fn unrank(&self, mut idx: usize) -> Vec<usize> {
+        let mut vals = vec![0usize; self.shape.len()];
+        for v in (0..self.shape.len()).rev() {
+            vals[v] = idx % self.shape[v];
+            idx /= self.shape[v];
+        }
+        vals
+    }
+
+    /// Joint entropy `H(vars)` in bits. `vars` lists variable indices
+    /// (deduplicated; order irrelevant).
+    pub fn entropy(&self, vars: &[usize]) -> f64 {
+        let mut vars: Vec<usize> = vars.to_vec();
+        vars.sort_unstable();
+        vars.dedup();
+        assert!(vars.iter().all(|&v| v < self.shape.len()));
+        // Marginalize onto `vars`.
+        let mut marg: std::collections::HashMap<Vec<usize>, f64> =
+            std::collections::HashMap::new();
+        for (idx, &p) in self.probs.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let vals = self.unrank(idx);
+            let key: Vec<usize> = vars.iter().map(|&v| vals[v]).collect();
+            *marg.entry(key).or_insert(0.0) += p;
+        }
+        -marg
+            .values()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+
+    /// Conditional entropy `H(x | given)`.
+    pub fn cond_entropy(&self, x: &[usize], given: &[usize]) -> f64 {
+        let joint: Vec<usize> = x.iter().chain(given).copied().collect();
+        self.entropy(&joint) - self.entropy(given)
+    }
+
+    /// Mutual information `I(x : y)`.
+    pub fn mutual_info(&self, x: &[usize], y: &[usize]) -> f64 {
+        self.entropy(x) - self.cond_entropy(x, y)
+    }
+
+    /// Conditional mutual information `I(x : y | given)`.
+    pub fn cond_mutual_info(&self, x: &[usize], y: &[usize], given: &[usize]) -> f64 {
+        let yg: Vec<usize> = y.iter().chain(given).copied().collect();
+        self.cond_entropy(x, given) - self.cond_entropy(x, &yg)
+    }
+
+    /// Extend with a new variable that is a deterministic function of the
+    /// existing ones (for data-processing-inequality constructions).
+    pub fn extend_deterministic(
+        &self,
+        new_cardinality: usize,
+        f: impl Fn(&[usize]) -> usize,
+    ) -> JointDist {
+        let mut shape = self.shape.clone();
+        shape.push(new_cardinality);
+        let cells: usize = shape.iter().product();
+        let mut probs = vec![0.0; cells];
+        for (idx, &p) in self.probs.iter().enumerate() {
+            let vals = self.unrank(idx);
+            let nv = f(&vals);
+            assert!(nv < new_cardinality, "function value out of range");
+            probs[idx * new_cardinality + nv] = p;
+        }
+        JointDist { shape, probs }
+    }
+}
+
+/// Verify the five rules of §4.2 on a distribution with ≥ 3 variables
+/// (A = var 0, B = var 1, C = var 2). Returns the maximum absolute violation.
+pub fn max_rule_violation(d: &JointDist) -> f64 {
+    assert!(d.arity() >= 3);
+    let (a, b, c) = (&[0usize][..], &[1usize][..], &[2usize][..]);
+    let mut worst: f64 = 0.0;
+
+    // (1) Chain rule for entropy: H(AB|C) = H(A|C) + H(B|AC).
+    let lhs = d.cond_entropy(&[0, 1], c);
+    let rhs = d.cond_entropy(a, c) + d.cond_entropy(b, &[0, 2]);
+    worst = worst.max((lhs - rhs).abs());
+
+    // (2) Conditioning reduces entropy: H(A) ≥ H(A|B) ≥ H(A|BC).
+    worst = worst.max((d.cond_entropy(a, b) - d.entropy(a)).max(0.0));
+    worst = worst.max((d.cond_entropy(a, &[1, 2]) - d.cond_entropy(a, b)).max(0.0));
+
+    // (3) Chain rule for mutual information: I(A:BC) = I(A:B) + I(A:C|B).
+    let lhs = d.mutual_info(a, &[1, 2]);
+    let rhs = d.mutual_info(a, b) + d.cond_mutual_info(a, c, b);
+    worst = worst.max((lhs - rhs).abs());
+
+    // (4) Data processing: for F = f(B), I(A:B) ≥ I(A:F).
+    let ext = d.extend_deterministic(2, |vals| vals[1] % 2);
+    let f_var = ext.arity() - 1;
+    worst = worst.max((ext.mutual_info(a, &[f_var]) - ext.mutual_info(a, b)).max(0.0));
+
+    // (5) Independent events: for E independent of (A,B,C),
+    //     I(A:B | C,E) = I(A:B | C).
+    let ind = product_with_coin(d);
+    let e_var = ind.arity() - 1;
+    let lhs = ind.cond_mutual_info(a, b, &[2, e_var]);
+    let rhs = ind.cond_mutual_info(a, b, c);
+    worst = worst.max((lhs - rhs).abs());
+
+    worst
+}
+
+/// Check Lemma 4.2 — `A ⊥ D | C` implies `I(A:B|CD) ≥ I(A:B|C)` — on a
+/// distribution *constructed* to satisfy the hypothesis: D is drawn fresh
+/// given C only. Returns `I(A:B|CD) − I(A:B|C)` (must be ≥ −tolerance).
+pub fn lemma_42_gap(base: &JointDist, d_card: usize, kernel: impl Fn(usize, usize) -> f64) -> f64 {
+    assert!(base.arity() >= 3);
+    // Extend with D | C = c distributed by `kernel(c, d)` (rows sum to 1).
+    let mut shape = base.shape.clone();
+    shape.push(d_card);
+    let cells: usize = shape.iter().product();
+    let mut probs = vec![0.0; cells];
+    for (idx, &p) in base.probs.iter().enumerate() {
+        let vals = base.unrank(idx);
+        let c = vals[2];
+        for dv in 0..d_card {
+            probs[idx * d_card + dv] = p * kernel(c, dv);
+        }
+    }
+    let ext = JointDist::new(shape, probs);
+    let d_var = ext.arity() - 1;
+    ext.cond_mutual_info(&[0], &[1], &[2, d_var]) - ext.cond_mutual_info(&[0], &[1], &[2])
+}
+
+/// Cross product with a fair coin independent of everything.
+fn product_with_coin(d: &JointDist) -> JointDist {
+    let mut shape = d.shape.clone();
+    shape.push(2);
+    let mut probs = Vec::with_capacity(d.probs.len() * 2);
+    for &p in &d.probs {
+        probs.push(p * 0.5);
+        probs.push(p * 0.5);
+    }
+    JointDist::new(shape, probs)
+}
+
+/// A random joint distribution over the given shape (Dirichlet-ish: iid
+/// exponentials, normalised).
+pub fn random_joint(shape: Vec<usize>, rng: &mut impl rand::Rng) -> JointDist {
+    use rand::RngExt;
+    let cells: usize = shape.iter().product();
+    let mut probs: Vec<f64> = (0..cells)
+        .map(|_| -(1.0 - rng.random::<f64>()).ln())
+        .collect();
+    let total: f64 = probs.iter().sum();
+    for p in &mut probs {
+        *p /= total;
+    }
+    JointDist::new(shape, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fews_common::rng::rng_for;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn entropy_of_uniform_bits() {
+        let d = JointDist::uniform(vec![2, 2, 2]);
+        assert!((d.entropy(&[0]) - 1.0).abs() < TOL);
+        assert!((d.entropy(&[0, 1]) - 2.0).abs() < TOL);
+        assert!((d.entropy(&[0, 1, 2]) - 3.0).abs() < TOL);
+        assert!(d.mutual_info(&[0], &[1]).abs() < TOL);
+    }
+
+    #[test]
+    fn perfectly_correlated_variables() {
+        // A = B uniform bit: H(A)=1, H(A|B)=0, I(A:B)=1.
+        let d = JointDist::new(vec![2, 2], vec![0.5, 0.0, 0.0, 0.5]);
+        assert!((d.entropy(&[0]) - 1.0).abs() < TOL);
+        assert!(d.cond_entropy(&[0], &[1]).abs() < TOL);
+        assert!((d.mutual_info(&[0], &[1]) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn xor_three_bits() {
+        // C = A XOR B with A,B iid fair: pairwise independent, I(A:B|C) = 1.
+        let mut probs = vec![0.0; 8];
+        for a in 0..2 {
+            for b in 0..2 {
+                let c = a ^ b;
+                probs[a * 4 + b * 2 + c] = 0.25;
+            }
+        }
+        let d = JointDist::new(vec![2, 2, 2], probs);
+        assert!(d.mutual_info(&[0], &[1]).abs() < TOL);
+        assert!(d.mutual_info(&[0], &[2]).abs() < TOL);
+        assert!((d.cond_mutual_info(&[0], &[1], &[2]) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn five_rules_hold_on_random_distributions() {
+        for seed in 0..30 {
+            let mut r = rng_for(seed, 0);
+            let d = random_joint(vec![3, 4, 2], &mut r);
+            let v = max_rule_violation(&d);
+            assert!(v < 1e-8, "seed {seed}: violation {v}");
+        }
+    }
+
+    #[test]
+    fn lemma_42_nonnegative_gap() {
+        for seed in 0..20 {
+            let mut r = rng_for(seed, 1);
+            let base = random_joint(vec![2, 3, 2], &mut r);
+            // Kernel: D | C=c is Bernoulli(0.3 + 0.4c) over {0,1}.
+            let gap = lemma_42_gap(&base, 2, |c, d| {
+                let p1 = 0.3 + 0.4 * c as f64;
+                if d == 1 {
+                    p1
+                } else {
+                    1.0 - p1
+                }
+            });
+            assert!(gap > -1e-9, "seed {seed}: Lemma 4.2 violated: {gap}");
+        }
+    }
+
+    #[test]
+    fn deterministic_extension_preserves_mass() {
+        let d = JointDist::uniform(vec![2, 3]);
+        let e = d.extend_deterministic(6, |v| v[0] * 3 + v[1]);
+        // New variable determines (and is determined by) the pair.
+        assert!((e.entropy(&[2]) - e.entropy(&[0, 1])).abs() < TOL);
+        assert!(e.cond_entropy(&[2], &[0, 1]).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn bad_table_rejected() {
+        let _ = JointDist::new(vec![2], vec![0.5, 0.6]);
+    }
+}

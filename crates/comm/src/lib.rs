@@ -1,0 +1,34 @@
+//! Communication-complexity substrate: the paper's lower bounds, executable.
+//!
+//! Lower bounds are statements about *all* algorithms and cannot be "run";
+//! what can be run are the **reductions** that prove them. This crate
+//! implements each hard communication problem, its instance distribution,
+//! and the reduction that turns the workspace's FEwW streaming algorithms
+//! into one-way communication protocols whose *real, serialized* message
+//! sizes the experiments measure against the analytic lower-bound curves:
+//!
+//! * [`disjointness`] — multi-party Set-Disjointness (Problem 3) and the
+//!   Ω(n/α²) reduction of Theorem 4.1;
+//! * [`bvl`] — Bit-Vector-Learning (Problem 4), its communication lower
+//!   bound (Theorem 4.7), the FEwW reduction of Theorem 4.8, and the exact
+//!   worked instances of Figures 1 and 2;
+//! * [`amri`] — Augmented-Matrix-Row-Index (Problem 5), the insertion-
+//!   deletion reduction of Lemma 6.3 (random row permutations, Θ(α log n)
+//!   parallel repetitions, and the bit-inversion branch), and Figure 3;
+//! * [`baranyai`] — a *constructive* Baranyai 1-factorisation of complete
+//!   k-uniform hypergraphs (Theorem 4.4), built on integral max-flow;
+//! * [`maxflow`] — Dinic's algorithm (substrate for [`baranyai`]);
+//! * [`info`] — exact entropy / conditional entropy / mutual information
+//!   over enumerated joint distributions, with executable checks of the
+//!   five information rules of §4.2 and Lemma 4.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amri;
+pub mod baranyai;
+pub mod bvl;
+pub mod disjointness;
+pub mod info;
+pub mod maxflow;
+pub mod protocol;

@@ -1,0 +1,191 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Substrate for the constructive Baranyai factorisation ([`crate::baranyai`]):
+//! each element-placement step there is an integral flow problem, and
+//! max-flow integrality is what rounds the fractional Baranyai solution.
+
+/// A directed flow network with integer capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// Adjacency: node → indices into `edges`.
+    adj: Vec<Vec<usize>>,
+    /// Flat edge list; edge `2i+1` is the residual twin of `2i`.
+    edges: Vec<FlowEdge>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlowEdge {
+    to: usize,
+    cap: i64,
+}
+
+impl FlowNetwork {
+    /// Network with `nodes` vertices and no edges.
+    pub fn new(nodes: usize) -> Self {
+        FlowNetwork {
+            adj: vec![Vec::new(); nodes],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a directed edge `from → to` with capacity `cap ≥ 0`; returns an
+    /// edge id usable with [`Self::flow_on`].
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> usize {
+        assert!(cap >= 0);
+        let id = self.edges.len();
+        self.edges.push(FlowEdge { to, cap });
+        self.edges.push(FlowEdge { to: from, cap: 0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// Flow currently routed through edge `id` (its twin's residual).
+    pub fn flow_on(&self, id: usize) -> i64 {
+        self.edges[id ^ 1].cap
+    }
+
+    /// Compute the maximum `source → sink` flow (Dinic).
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> i64 {
+        assert_ne!(source, sink);
+        let n = self.adj.len();
+        let mut total = 0i64;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; n];
+            level[source] = 0;
+            let mut queue = std::collections::VecDeque::from([source]);
+            while let Some(u) = queue.pop_front() {
+                for &eid in &self.adj[u] {
+                    let e = self.edges[eid];
+                    if e.cap > 0 && level[e.to] == usize::MAX {
+                        level[e.to] = level[u] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[sink] == usize::MAX {
+                return total;
+            }
+            // DFS blocking flow with iteration pointers.
+            let mut it = vec![0usize; n];
+            loop {
+                let pushed = self.dfs(source, sink, i64::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        u: usize,
+        sink: usize,
+        limit: i64,
+        level: &[usize],
+        it: &mut [usize],
+    ) -> i64 {
+        if u == sink {
+            return limit;
+        }
+        while it[u] < self.adj[u].len() {
+            let eid = self.adj[u][it[u]];
+            let FlowEdge { to, cap } = self.edges[eid];
+            if cap > 0 && level[to] == level[u] + 1 {
+                let pushed = self.dfs(to, sink, limit.min(cap), level, it);
+                if pushed > 0 {
+                    self.edges[eid].cap -= pushed;
+                    self.edges[eid ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1), 7);
+        assert_eq!(net.flow_on(e), 7);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // 0→1 (3), 0→2 (2), 1→3 (2), 2→3 (3), 1→2 (5): max flow = 5.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 100);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 100);
+        assert_eq!(net.max_flow(0, 3), 1);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn bipartite_matching_via_flow() {
+        // Perfect matching on K_{3,3} minus a perfect matching: still has a
+        // perfect matching (it's 2-regular bipartite).
+        let (l, r) = (3usize, 3usize);
+        let mut net = FlowNetwork::new(2 + l + r);
+        let (s, t) = (0usize, 1usize);
+        for u in 0..l {
+            net.add_edge(s, 2 + u, 1);
+        }
+        for v in 0..r {
+            net.add_edge(2 + l + v, t, 1);
+        }
+        for u in 0..l {
+            for v in 0..r {
+                if u != v {
+                    net.add_edge(2 + u, 2 + l + v, 1);
+                }
+            }
+        }
+        assert_eq!(net.max_flow(s, t), 3);
+    }
+
+    #[test]
+    fn flow_conservation() {
+        let mut net = FlowNetwork::new(5);
+        let ids: Vec<usize> = vec![
+            net.add_edge(0, 1, 4),
+            net.add_edge(0, 2, 3),
+            net.add_edge(1, 3, 2),
+            net.add_edge(2, 3, 4),
+            net.add_edge(1, 2, 1),
+            net.add_edge(3, 4, 5),
+        ];
+        let f = net.max_flow(0, 4);
+        assert_eq!(f, 5);
+        // Conservation at node 3: in-flow = out-flow.
+        let into3 = net.flow_on(ids[2]) + net.flow_on(ids[3]);
+        let out3 = net.flow_on(ids[5]);
+        assert_eq!(into3, out3);
+    }
+}

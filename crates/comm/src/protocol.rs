@@ -1,0 +1,63 @@
+//! One-way multi-party protocol bookkeeping.
+//!
+//! In the model of §2, parties `P₁ … P_p` speak once each, left to right,
+//! and the **communication cost is the length of the longest message**.
+//! Every reduction in this crate records its messages here so experiments
+//! can report honest bit counts.
+
+/// A record of the messages sent during one protocol execution.
+#[derive(Debug, Clone, Default)]
+pub struct Transcript {
+    message_bytes: Vec<usize>,
+}
+
+impl Transcript {
+    /// Empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message of `bytes` length.
+    pub fn record(&mut self, bytes: usize) {
+        self.message_bytes.push(bytes);
+    }
+
+    /// Number of messages sent.
+    pub fn messages(&self) -> usize {
+        self.message_bytes.len()
+    }
+
+    /// The protocol's cost: `max_i |M_i|` in **bits**.
+    pub fn cost_bits(&self) -> usize {
+        self.message_bytes.iter().max().copied().unwrap_or(0) * 8
+    }
+
+    /// Total communication in bits (for reporting; the model's cost measure
+    /// is [`Self::cost_bits`]).
+    pub fn total_bits(&self) -> usize {
+        self.message_bytes.iter().sum::<usize>() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_max_message() {
+        let mut t = Transcript::new();
+        t.record(10);
+        t.record(100);
+        t.record(50);
+        assert_eq!(t.messages(), 3);
+        assert_eq!(t.cost_bits(), 800);
+        assert_eq!(t.total_bits(), 160 * 8);
+    }
+
+    #[test]
+    fn empty_transcript_costs_zero() {
+        let t = Transcript::new();
+        assert_eq!(t.cost_bits(), 0);
+        assert_eq!(t.messages(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared substrate for the FEwW reproduction.
+//!
+//! This crate holds the small, dependency-free building blocks every other
+//! crate in the workspace relies on:
+//!
+//! * [`space`] — the [`SpaceUsage`](space::SpaceUsage) trait through which all
+//!   data structures report their memory footprint. The paper's theorems are
+//!   statements about space; experiments measure it through this trait.
+//! * [`math`] — exact integer combinatorics (binomials, ceil-div, integer
+//!   logs) and the analytic bound curves the experiments compare against.
+//! * [`stats`] — summary statistics (mean, standard deviation, quantiles,
+//!   exact binomial confidence bounds) used by the experiment harness.
+//! * [`rng`] — deterministic seed derivation so that every run of every
+//!   experiment and every parallel trial is reproducible from a single seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod math;
+pub mod rng;
+pub mod space;
+pub mod stats;
+
+pub use space::SpaceUsage;

@@ -1,0 +1,260 @@
+//! Exact integer combinatorics and the analytic curves from the paper.
+//!
+//! The experiment harness compares measured quantities against the paper's
+//! bounds; the bound formulas live here so that every experiment uses the
+//! same, unit-tested definitions.
+
+/// `⌈a / b⌉` for positive integers. Panics if `b == 0`.
+pub fn ceil_div(a: u64, b: u64) -> u64 {
+    assert!(b > 0, "ceil_div by zero");
+    a.div_ceil(b)
+}
+
+/// Floor of log base 2; `ilog2(0)` is defined as 0 for convenience in
+/// level-count computations.
+pub fn ilog2_floor(x: u64) -> u32 {
+    if x == 0 {
+        0
+    } else {
+        x.ilog2()
+    }
+}
+
+/// Ceiling of log base 2 (`0 → 0`, `1 → 0`).
+pub fn ilog2_ceil(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        (x - 1).ilog2() + 1
+    }
+}
+
+/// Binomial coefficient `C(n, k)` as `u128`; saturates on overflow.
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = match acc.checked_mul((n - i) as u128) {
+            Some(v) => v / (i + 1) as u128,
+            None => return u128::MAX,
+        };
+    }
+    acc
+}
+
+/// Natural log of `C(n, k)` via `ln_gamma`, stable for large arguments.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)` via Stirling's series for large `n`, exact summation for small.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 32 {
+        let mut acc = 0.0;
+        for i in 2..=n {
+            acc += (i as f64).ln();
+        }
+        return acc;
+    }
+    let x = n as f64;
+    // Stirling with the 1/(12n) and 1/(360n^3) correction terms.
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// `n^(1/alpha)` as used in the reservoir size `s = ⌈ln(n) · n^{1/α}⌉` of
+/// Algorithm 2.
+pub fn nth_root(n: u64, alpha: u32) -> f64 {
+    assert!(alpha >= 1);
+    (n as f64).powf(1.0 / alpha as f64)
+}
+
+/// Reservoir size from Algorithm 2: `s = ⌈ln(n) · n^{1/α}⌉` (at least 1).
+pub fn reservoir_size(n: u64, alpha: u32) -> u64 {
+    let s = ((n as f64).ln() * nth_root(n, alpha)).ceil();
+    (s as u64).max(1)
+}
+
+/// Lemma 3.1 success-probability lower bound `1 − e^{−s·n₂/n₁}`.
+pub fn deg_res_success_lower_bound(s: u64, n1: u64, n2: u64) -> f64 {
+    if n1 == 0 {
+        return 1.0;
+    }
+    1.0 - (-(s as f64) * n2 as f64 / n1 as f64).exp()
+}
+
+/// Theorem 3.2 space bound shape `n·log n + n^{1/α}·d·log² n` (in "bits",
+/// up to the constant the theorem hides). Used as the comparison curve in
+/// experiment `t32`.
+pub fn insertion_only_space_curve(n: u64, d: u64, alpha: u32) -> f64 {
+    let ln = (n as f64).ln().max(1.0);
+    n as f64 * ln + nth_root(n, alpha) * d as f64 * ln * ln
+}
+
+/// Theorem 5.4 space bound shape: `d·n/α²` when `α ≤ √n`, else `√n·d/α`.
+pub fn insertion_deletion_space_curve(n: u64, d: u64, alpha: u32) -> f64 {
+    let a = alpha as f64;
+    let sqrt_n = (n as f64).sqrt();
+    if a <= sqrt_n {
+        d as f64 * n as f64 / (a * a)
+    } else {
+        sqrt_n * d as f64 / a
+    }
+}
+
+/// Theorem 4.7 lower-bound curve `(0.005k − 1)·n^{1/(p−1)} / (p−1)` on the
+/// one-way communication of Bit-Vector-Learning(p, n, k).
+pub fn bvl_lower_bound_bits(p: u32, n: u64, k: u64) -> f64 {
+    assert!(p >= 2);
+    let root = (n as f64).powf(1.0 / (p as f64 - 1.0));
+    ((0.005 * k as f64) - 1.0).max(0.0) * root / (p as f64 - 1.0)
+}
+
+/// Theorem 6.2 lower-bound curve `(n−1)(k−1−εm)` on the one-way
+/// communication of Augmented-Matrix-Row-Index(n, m, k).
+pub fn amri_lower_bound_bits(n: u64, m: u64, k: u64, eps: f64) -> f64 {
+    (n as f64 - 1.0) * ((k as f64 - 1.0) - eps * m as f64).max(0.0)
+}
+
+/// The `x = max(n/α, √n)` split point of Algorithm 3.
+pub fn insertion_deletion_x(n: u64, alpha: u32) -> u64 {
+    let by_alpha = ceil_div(n, alpha as u64);
+    let sqrt_n = (n as f64).sqrt().ceil() as u64;
+    by_alpha.max(sqrt_n).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_basics() {
+        assert_eq!(ceil_div(10, 3), 4);
+        assert_eq!(ceil_div(9, 3), 3);
+        assert_eq!(ceil_div(1, 5), 1);
+        assert_eq!(ceil_div(0, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ceil_div by zero")]
+    fn ceil_div_zero_divisor_panics() {
+        let _ = ceil_div(3, 0);
+    }
+
+    #[test]
+    fn ilog2_edges() {
+        assert_eq!(ilog2_floor(0), 0);
+        assert_eq!(ilog2_floor(1), 0);
+        assert_eq!(ilog2_floor(2), 1);
+        assert_eq!(ilog2_floor(255), 7);
+        assert_eq!(ilog2_ceil(0), 0);
+        assert_eq!(ilog2_ceil(1), 0);
+        assert_eq!(ilog2_ceil(2), 1);
+        assert_eq!(ilog2_ceil(3), 2);
+        assert_eq!(ilog2_ceil(256), 8);
+        assert_eq!(ilog2_ceil(257), 9);
+    }
+
+    #[test]
+    fn binomial_table() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(10, 11), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..30u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k),
+                    binomial(n - 1, k) + binomial(n - 1, k - 1),
+                    "Pascal fails at ({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        for &(n, k) in &[(10u64, 3u64), (52, 5), (100, 50), (30, 15)] {
+            let exact = (binomial(n, k) as f64).ln();
+            let approx = ln_binomial(n, k);
+            assert!(
+                (exact - approx).abs() < 1e-6 * exact.abs().max(1.0),
+                "ln C({n},{k}): exact {exact} vs {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_matches_exact_small() {
+        let mut f = 1.0f64;
+        for n in 1..=20u64 {
+            f *= n as f64;
+            assert!((ln_factorial(n) - f.ln()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ln_factorial_stirling_continuity() {
+        // The exact/Stirling crossover at n = 32 must be smooth.
+        let a = ln_factorial(31);
+        let b = ln_factorial(32);
+        assert!((b - a - 32f64.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reservoir_size_matches_formula() {
+        // n = e^2 ≈ 7.39 ⇒ ln n ≈ 2; α = 1 ⇒ s = ⌈2 · n⌉.
+        assert_eq!(reservoir_size(1024, 1), ((1024f64).ln() * 1024.0).ceil() as u64);
+        assert_eq!(reservoir_size(1024, 10), ((1024f64).ln() * 1024f64.powf(0.1)).ceil() as u64);
+        assert!(reservoir_size(1, 1) >= 1);
+    }
+
+    #[test]
+    fn id_space_curve_branches() {
+        let n = 10_000;
+        let d = 100;
+        // α = 10 ≤ √n = 100: dense branch d·n/α².
+        assert_eq!(insertion_deletion_space_curve(n, d, 10), 100.0 * 10_000.0 / 100.0);
+        // α = 1000 > √n: √n·d/α branch.
+        assert!((insertion_deletion_space_curve(n, d, 1000) - 100.0 * 100.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn x_split_point() {
+        // n/α dominates for small α, √n for large α.
+        assert_eq!(insertion_deletion_x(10_000, 2), 5_000);
+        assert_eq!(insertion_deletion_x(10_000, 1_000), 100);
+    }
+
+    #[test]
+    fn lemma31_bound_monotone_in_s() {
+        let mut prev = 0.0;
+        for s in [1u64, 10, 100, 1000] {
+            let p = deg_res_success_lower_bound(s, 1000, 10);
+            assert!(p >= prev);
+            prev = p;
+        }
+        assert!(deg_res_success_lower_bound(10, 0, 0) == 1.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic randomness plumbing.
+//!
+//! Every randomized component in the workspace is seeded. Experiments derive
+//! per-trial / per-component seeds from a single master seed through
+//! [`derive_seed`], a SplitMix64 finalizer, so that (a) runs are exactly
+//! reproducible, (b) parallel trials are independent, and (c) no component
+//! accidentally shares a stream of randomness with another.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive an independent sub-seed from `(master, stream)`.
+///
+/// Distinct `stream` labels yield (with overwhelming probability) unrelated
+/// seeds even for adjacent masters.
+#[inline]
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    splitmix64(master ^ splitmix64(stream.wrapping_mul(0xA076_1D64_78BD_642F)))
+}
+
+/// Construct a seeded [`StdRng`] from `(master, stream)`.
+pub fn rng_for(master: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn derive_is_deterministic() {
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+        assert_ne!(derive_seed(42, 7), derive_seed(42, 8));
+        assert_ne!(derive_seed(42, 7), derive_seed(43, 7));
+    }
+
+    #[test]
+    fn rng_for_reproduces_streams() {
+        let mut a = rng_for(1, 2);
+        let mut b = rng_for(1, 2);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn adjacent_masters_decorrelate() {
+        // Crude avalanche check: adjacent masters must not produce adjacent
+        // seeds for the same stream.
+        let d = derive_seed(100, 0) ^ derive_seed(101, 0);
+        assert!(d.count_ones() > 10, "poor mixing: {d:x}");
+    }
+
+    #[test]
+    fn splitmix_known_nonfixed() {
+        // splitmix64 has no small-cycle fixed point at 0.
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(splitmix64(0)), splitmix64(0));
+    }
+}

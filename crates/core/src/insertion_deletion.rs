@@ -1,0 +1,402 @@
+//! The insertion-deletion FEwW algorithm — **Algorithm 3** of the paper.
+//!
+//! Two ℓ₀-sampling strategies run side by side (§5):
+//!
+//! * **Vertex sampling** — before the stream, sample `10·x·ln n` A-vertices
+//!   (`x = max(n/α, √n)`); for each, run `10·(d/α)·ln n` ℓ₀-samplers over its
+//!   incident edges. Succeeds w.h.p. when ≥ n/x vertices have degree ≥ d/α
+//!   (Lemma 5.2 — the *dense* regime).
+//! * **Edge sampling** — run `10·(nd/α)(1/x + 1/α)·ln(nm)` ℓ₀-samplers over
+//!   the whole edge set. Succeeds w.h.p. when ≤ n/x vertices have degree
+//!   ≥ d/α (Lemma 5.3 — the *sparse* regime, where the max-degree vertex
+//!   owns a large fraction of all edges).
+//!
+//! **Theorem 5.4.** Together they give an α-approximation w.h.p. in space
+//! `Õ(dn/α²)` for α ≤ √n and `Õ(√n·d/α)` for α > √n.
+//!
+//! The paper's constants (the two `10·ln` factors) are tuned for the w.h.p.
+//! union bounds at asymptotic scale; [`IdConfig::sampler_scale`] scales both
+//! sampler-count formulas so laptop-scale experiments stay tractable
+//! (`1.0` = paper-faithful; experiments report the scale they used).
+
+use crate::neighbourhood::Neighbourhood;
+use fews_common::math::insertion_deletion_x;
+use fews_common::rng::rng_for;
+use fews_common::SpaceUsage;
+use fews_sketch::l0::{L0Config, L0Sampler};
+use fews_stream::{Edge, Update};
+use std::collections::HashMap;
+
+/// Parameters of the insertion-deletion algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct IdConfig {
+    /// Number of A-vertices.
+    pub n: u32,
+    /// Number of B-vertices (`m = poly(n)`).
+    pub m: u64,
+    /// Degree threshold.
+    pub d: u32,
+    /// Approximation factor α ≥ 1.
+    pub alpha: u32,
+    /// Multiplier on both sampler-count formulas (1.0 = paper-faithful).
+    pub sampler_scale: f64,
+    /// ℓ₀-sampler tuning.
+    pub l0: L0Config,
+}
+
+impl IdConfig {
+    /// Paper-faithful configuration.
+    pub fn new(n: u32, m: u64, d: u32, alpha: u32) -> Self {
+        assert!(n >= 1 && m >= 1 && d >= 1 && alpha >= 1);
+        IdConfig {
+            n,
+            m,
+            d,
+            alpha,
+            sampler_scale: 1.0,
+            l0: L0Config::default(),
+        }
+    }
+
+    /// Same, with a sampler-count scale for laptop-sized experiments.
+    pub fn with_scale(n: u32, m: u64, d: u32, alpha: u32, sampler_scale: f64) -> Self {
+        assert!(sampler_scale > 0.0);
+        IdConfig {
+            sampler_scale,
+            ..Self::new(n, m, d, alpha)
+        }
+    }
+
+    /// The witness target `d₂ = max(1, ⌊d/α⌋)`.
+    pub fn witness_target(&self) -> u32 {
+        (self.d / self.alpha).max(1)
+    }
+
+    /// `x = max(n/α, √n)` — the strategy split point (step 1 of Algorithm 3).
+    pub fn x(&self) -> u64 {
+        insertion_deletion_x(self.n as u64, self.alpha)
+    }
+
+    /// Number of vertices to sample: `min(n, ⌈scale·10·x·ln n⌉)`.
+    pub fn vertex_sample_size(&self) -> usize {
+        let ln_n = (self.n as f64).ln().max(1.0);
+        let want = (self.sampler_scale * 10.0 * self.x() as f64 * ln_n).ceil() as u64;
+        want.min(self.n as u64).max(1) as usize
+    }
+
+    /// ℓ₀-samplers per sampled vertex: `⌈scale·10·(d/α)·ln n⌉`.
+    pub fn samplers_per_vertex(&self) -> usize {
+        let ln_n = (self.n as f64).ln().max(1.0);
+        let per = self.sampler_scale * 10.0 * self.witness_target() as f64 * ln_n;
+        (per.ceil() as usize).max(1)
+    }
+
+    /// Global edge ℓ₀-samplers: `⌈scale·10·(nd/α)(1/x + 1/α)·ln(nm)⌉`.
+    pub fn edge_sampler_count(&self) -> usize {
+        let ln_nm = ((self.n as f64) * (self.m as f64)).ln().max(1.0);
+        let nd_over_alpha = self.n as f64 * self.d as f64 / self.alpha as f64;
+        let mix = 1.0 / self.x() as f64 + 1.0 / self.alpha as f64;
+        let want = self.sampler_scale * 10.0 * nd_over_alpha * mix * ln_nm;
+        (want.ceil() as usize).max(1)
+    }
+}
+
+/// The α-approximation insertion-deletion streaming algorithm for FEwW.
+#[derive(Debug)]
+pub struct FewwInsertDelete {
+    config: IdConfig,
+    /// Sampled vertex → its per-vertex ℓ₀-samplers over `0..m` (vertex
+    /// sampling strategy).
+    vertex_samplers: HashMap<u32, Vec<L0Sampler>>,
+    /// Global ℓ₀-samplers over the `n·m` edge-indicator vector (edge
+    /// sampling strategy).
+    edge_samplers: Vec<L0Sampler>,
+    pushed: u64,
+}
+
+impl FewwInsertDelete {
+    /// Initialise: draws the vertex sample `A′` and all sampler hash
+    /// functions up front (Algorithm 3 samples *before* the stream starts).
+    pub fn new(config: IdConfig, seed: u64) -> Self {
+        let mut rng = rng_for(seed, 0x1D_0001);
+        let sample_size = config.vertex_sample_size();
+        let per_vertex = config.samplers_per_vertex();
+        let sampled = fews_stream::gen::sample_distinct(config.n as u64, sample_size, &mut rng);
+        let mut vertex_samplers = HashMap::with_capacity(sample_size);
+        for a in sampled {
+            let samplers = (0..per_vertex)
+                .map(|_| L0Sampler::with_config(config.m, config.l0, &mut rng))
+                .collect();
+            vertex_samplers.insert(a as u32, samplers);
+        }
+        let edge_samplers = (0..config.edge_sampler_count())
+            .map(|_| {
+                L0Sampler::with_config(config.n as u64 * config.m, config.l0, &mut rng)
+            })
+            .collect();
+        FewwInsertDelete {
+            config,
+            vertex_samplers,
+            edge_samplers,
+            pushed: 0,
+        }
+    }
+
+    /// Process one turnstile update.
+    pub fn push(&mut self, update: Update) {
+        let e = update.edge;
+        debug_assert!(e.a < self.config.n && e.b < self.config.m);
+        self.pushed += 1;
+        let delta = update.delta as i64;
+        if let Some(samplers) = self.vertex_samplers.get_mut(&e.a) {
+            for s in samplers {
+                s.update(e.b, delta);
+            }
+        }
+        let idx = e.linear_index(self.config.m);
+        for s in &mut self.edge_samplers {
+            s.update(idx, delta);
+        }
+    }
+
+    /// Step 4 of Algorithm 3: pool every recovered edge and output any
+    /// vertex owning ≥ d/α distinct witnesses (we return the best such
+    /// vertex). `None` = *fail*.
+    pub fn result(&self) -> Option<Neighbourhood> {
+        let mut witnesses: HashMap<u32, std::collections::HashSet<u64>> = HashMap::new();
+        for (&a, samplers) in &self.vertex_samplers {
+            let entry = witnesses.entry(a).or_default();
+            for s in samplers {
+                if let Some((b, c)) = s.sample() {
+                    if c > 0 {
+                        entry.insert(b);
+                    }
+                }
+            }
+        }
+        for s in &self.edge_samplers {
+            if let Some((idx, c)) = s.sample() {
+                if c > 0 {
+                    let e = Edge::from_linear_index(idx, self.config.m);
+                    witnesses.entry(e.a).or_default().insert(e.b);
+                }
+            }
+        }
+        let d2 = self.config.witness_target() as usize;
+        witnesses
+            .into_iter()
+            .filter(|(_, ws)| ws.len() >= d2)
+            .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
+            .map(|(a, ws)| Neighbourhood::new(a, ws.into_iter().collect()))
+    }
+
+    /// Witnesses recovered by the *vertex* strategy alone (Lemma 5.2
+    /// experiments).
+    pub fn vertex_strategy_result(&self) -> Option<Neighbourhood> {
+        let d2 = self.config.witness_target() as usize;
+        self.vertex_samplers
+            .iter()
+            .map(|(&a, samplers)| {
+                let ws: std::collections::HashSet<u64> = samplers
+                    .iter()
+                    .filter_map(|s| s.sample())
+                    .filter(|&(_, c)| c > 0)
+                    .map(|(b, _)| b)
+                    .collect();
+                (a, ws)
+            })
+            .filter(|(_, ws)| ws.len() >= d2)
+            .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
+            .map(|(a, ws)| Neighbourhood::new(a, ws.into_iter().collect()))
+    }
+
+    /// Witnesses recovered by the *edge* strategy alone (Lemma 5.3
+    /// experiments).
+    pub fn edge_strategy_result(&self) -> Option<Neighbourhood> {
+        let mut by_vertex: HashMap<u32, std::collections::HashSet<u64>> = HashMap::new();
+        for s in &self.edge_samplers {
+            if let Some((idx, c)) = s.sample() {
+                if c > 0 {
+                    let e = Edge::from_linear_index(idx, self.config.m);
+                    by_vertex.entry(e.a).or_default().insert(e.b);
+                }
+            }
+        }
+        let d2 = self.config.witness_target() as usize;
+        by_vertex
+            .into_iter()
+            .filter(|(_, ws)| ws.len() >= d2)
+            .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
+            .map(|(a, ws)| Neighbourhood::new(a, ws.into_iter().collect()))
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IdConfig {
+        &self.config
+    }
+
+    /// Number of updates processed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Whether a given vertex is in the pre-drawn sample `A′`.
+    pub fn vertex_sampled(&self, a: u32) -> bool {
+        self.vertex_samplers.contains_key(&a)
+    }
+
+    /// Total ℓ₀-sampler count (diagnostics).
+    pub fn sampler_count(&self) -> usize {
+        self.vertex_samplers.values().map(Vec::len).sum::<usize>() + self.edge_samplers.len()
+    }
+
+    /// Visit every ℓ₀-sampler in deterministic order (sampled vertices
+    /// ascending, then the edge samplers) — the serialization order of
+    /// [`crate::wire_id`].
+    pub fn visit_samplers(&self, mut f: impl FnMut(&L0Sampler)) {
+        let mut keys: Vec<u32> = self.vertex_samplers.keys().copied().collect();
+        keys.sort_unstable();
+        for a in keys {
+            for s in &self.vertex_samplers[&a] {
+                f(s);
+            }
+        }
+        for s in &self.edge_samplers {
+            f(s);
+        }
+    }
+
+    /// Mutably visit every ℓ₀-sampler in the same order.
+    pub fn visit_samplers_mut(&mut self, mut f: impl FnMut(&mut L0Sampler)) {
+        let mut keys: Vec<u32> = self.vertex_samplers.keys().copied().collect();
+        keys.sort_unstable();
+        for a in keys {
+            for s in self.vertex_samplers.get_mut(&a).expect("key exists") {
+                f(s);
+            }
+        }
+        for s in &mut self.edge_samplers {
+            f(s);
+        }
+    }
+}
+
+impl SpaceUsage for FewwInsertDelete {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            - std::mem::size_of::<HashMap<u32, Vec<L0Sampler>>>()
+            - std::mem::size_of::<Vec<L0Sampler>>()
+            + self.vertex_samplers.space_bytes()
+            + self.edge_samplers.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fews_common::rng::rng_for;
+    use fews_stream::gen::planted::planted_star;
+    use fews_stream::gen::turnstile::churn_stream;
+    use fews_stream::update::as_insertions;
+
+    fn small_cfg() -> IdConfig {
+        IdConfig::with_scale(64, 4096, 16, 4, 0.05)
+    }
+
+    #[test]
+    fn config_formulas() {
+        let c = IdConfig::new(10_000, 1 << 20, 100, 10);
+        assert_eq!(c.x(), 1000); // max(n/α, √n) = max(1000, 100)
+        assert_eq!(c.witness_target(), 10);
+        // Paper-scale counts are large; the scaled ones shrink linearly.
+        let scaled = IdConfig::with_scale(10_000, 1 << 20, 100, 10, 0.01);
+        assert!(scaled.vertex_sample_size() <= c.vertex_sample_size());
+        assert!(scaled.edge_sampler_count() < c.edge_sampler_count());
+    }
+
+    #[test]
+    fn finds_planted_star_in_turnstile_stream() {
+        let mut found = 0;
+        let trials = 10;
+        for t in 0..trials {
+            let seed = 900 + t;
+            let g = planted_star(64, 4096, 16, 2, &mut rng_for(seed, 1));
+            let stream = churn_stream(&g.edges, 64, 4096, 1.0, &mut rng_for(seed, 2));
+            let mut alg = FewwInsertDelete::new(small_cfg(), seed);
+            for u in &stream {
+                alg.push(*u);
+            }
+            if let Some(out) = alg.result() {
+                assert!(
+                    out.verify_against(&g.edges),
+                    "witness not in surviving graph"
+                );
+                assert!(out.size() >= 4);
+                found += 1;
+            }
+        }
+        assert!(found >= trials - 2, "only {found}/{trials} succeeded");
+    }
+
+    #[test]
+    fn deleted_edges_never_reported() {
+        // Insert a decoy super-star then delete it entirely; the surviving
+        // graph has a different heavy vertex.
+        let seed = 4242;
+        let mut updates = Vec::new();
+        for b in 0..40u64 {
+            updates.push(Update::insert(Edge::new(0, b)));
+        }
+        let survivor = planted_star(64, 4096, 16, 2, &mut rng_for(seed, 1));
+        updates.extend(as_insertions(&survivor.edges));
+        for b in 0..40u64 {
+            updates.push(Update::delete(Edge::new(0, b)));
+        }
+        let mut alg = FewwInsertDelete::new(small_cfg(), seed);
+        for u in &updates {
+            alg.push(*u);
+        }
+        if let Some(out) = alg.result() {
+            assert!(
+                out.verify_against(&survivor.edges),
+                "reported a deleted edge: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_fails_cleanly() {
+        let alg = FewwInsertDelete::new(small_cfg(), 1);
+        assert!(alg.result().is_none());
+    }
+
+    #[test]
+    fn fully_cancelled_stream_fails_cleanly() {
+        let mut alg = FewwInsertDelete::new(small_cfg(), 2);
+        for b in 0..30u64 {
+            alg.push(Update::insert(Edge::new(5, b)));
+        }
+        for b in 0..30u64 {
+            alg.push(Update::delete(Edge::new(5, b)));
+        }
+        assert!(alg.result().is_none(), "reported witnesses from nothing");
+    }
+
+    #[test]
+    fn sampler_counts_match_config() {
+        let cfg = small_cfg();
+        let alg = FewwInsertDelete::new(cfg, 3);
+        let expected = cfg.vertex_sample_size() * cfg.samplers_per_vertex()
+            + cfg.edge_sampler_count();
+        assert_eq!(alg.sampler_count(), expected);
+    }
+
+    #[test]
+    fn space_grows_with_d_over_alpha() {
+        // Theorem 5.4 shape: more witnesses required ⇒ more samplers ⇒ more
+        // space.
+        let lo = FewwInsertDelete::new(IdConfig::with_scale(64, 4096, 8, 4, 0.05), 1);
+        let hi = FewwInsertDelete::new(IdConfig::with_scale(64, 4096, 32, 4, 0.05), 1);
+        assert!(hi.space_bytes() > lo.space_bytes());
+    }
+}

@@ -1,0 +1,71 @@
+//! The output type of every FEwW algorithm.
+
+use fews_common::SpaceUsage;
+
+/// A vertex together with a set of its neighbours ("a neighbourhood in G",
+/// §2 of the paper). The witnesses *prove* the vertex has degree at least
+/// `witnesses.len()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Neighbourhood {
+    /// The reported A-vertex.
+    pub vertex: u32,
+    /// Distinct neighbours of `vertex` observed in the stream.
+    pub witnesses: Vec<u64>,
+}
+
+impl Neighbourhood {
+    /// Construct, deduplicating and sorting the witness list.
+    pub fn new(vertex: u32, mut witnesses: Vec<u64>) -> Self {
+        witnesses.sort_unstable();
+        witnesses.dedup();
+        Neighbourhood { vertex, witnesses }
+    }
+
+    /// The size `|(a, S)| = |S|` of the neighbourhood (§2).
+    pub fn size(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Check this neighbourhood against ground truth: every witness must be
+    /// a real neighbour of `vertex` in `edges`.
+    pub fn verify_against(&self, edges: &[fews_stream::Edge]) -> bool {
+        use std::collections::HashSet;
+        let nbrs: HashSet<u64> = edges
+            .iter()
+            .filter(|e| e.a == self.vertex)
+            .map(|e| e.b)
+            .collect();
+        self.witnesses.iter().all(|w| nbrs.contains(w))
+    }
+}
+
+impl SpaceUsage for Neighbourhood {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<Vec<u64>>()
+            + self.witnesses.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fews_stream::Edge;
+
+    #[test]
+    fn dedups_and_sorts() {
+        let n = Neighbourhood::new(3, vec![5, 1, 5, 2]);
+        assert_eq!(n.witnesses, vec![1, 2, 5]);
+        assert_eq!(n.size(), 3);
+    }
+
+    #[test]
+    fn verification() {
+        let edges = vec![Edge::new(3, 1), Edge::new(3, 2), Edge::new(4, 9)];
+        let good = Neighbourhood::new(3, vec![1, 2]);
+        assert!(good.verify_against(&edges));
+        let bad = Neighbourhood::new(3, vec![1, 9]); // 9 belongs to vertex 4
+        assert!(!bad.verify_against(&edges));
+        let empty = Neighbourhood::new(7, vec![]);
+        assert!(empty.verify_against(&edges)); // vacuous
+    }
+}

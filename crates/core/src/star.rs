@@ -1,0 +1,249 @@
+//! Star Detection — **Problem 2** of the paper, via **Lemma 3.3**.
+//!
+//! Given a *general* graph stream, output a vertex of (near-)maximum degree
+//! Δ together with ≥ Δ/((1+ε)α) of its neighbours. The reduction runs one
+//! FEwW instance per geometric guess `Δ′ ∈ {1, (1+ε), (1+ε)², …}` on the
+//! bipartite double cover `H = (V, V, E′)` where every edge `uv` contributes
+//! `uv` and `vu`.
+//!
+//! * Corollary 3.4: with `α = ⌈log n⌉` this is a semi-streaming
+//!   `O(log n)`-approximation in insertion-only streams.
+//! * Corollary 5.5: with the insertion-deletion algorithm and `α = Θ(√n)` it
+//!   is a semi-streaming `O(√n)`-approximation for turnstile streams.
+
+use crate::insertion_deletion::{FewwInsertDelete, IdConfig};
+use crate::insertion_only::{FewwConfig, FewwInsertOnly};
+use crate::neighbourhood::Neighbourhood;
+use fews_common::rng::derive_seed;
+use fews_common::SpaceUsage;
+use fews_sketch::l0::L0Config;
+use fews_stream::{Edge, Update};
+
+/// The geometric guesses `Δ′ = (1+ε)^j ≤ n`, always including 1.
+pub fn delta_guesses(n: u32, eps: f64) -> Vec<u32> {
+    assert!(eps > 0.0);
+    let mut guesses = vec![1u32];
+    let mut x = 1.0f64;
+    loop {
+        x *= 1.0 + eps;
+        let g = x.ceil() as u32;
+        if g > n {
+            break;
+        }
+        if g > *guesses.last().expect("nonempty") {
+            guesses.push(g);
+        }
+    }
+    guesses
+}
+
+/// Star Detection for insertion-only general-graph streams.
+#[derive(Debug)]
+pub struct StarInsertOnly {
+    instances: Vec<FewwInsertOnly>,
+    n: u32,
+}
+
+impl StarInsertOnly {
+    /// `n` = number of vertices; `alpha`, `eps` per Lemma 3.3. The result is
+    /// a `(1+ε)α`-approximation w.h.p.
+    pub fn new(n: u32, alpha: u32, eps: f64, seed: u64) -> Self {
+        let instances = delta_guesses(n, eps)
+            .into_iter()
+            .enumerate()
+            .map(|(j, dprime)| {
+                FewwInsertOnly::new(
+                    FewwConfig::new(n, dprime, alpha),
+                    derive_seed(seed, j as u64),
+                )
+            })
+            .collect();
+        StarInsertOnly { instances, n }
+    }
+
+    /// Semi-streaming `O(log n)`-approximation (Corollary 3.4): `α = ⌈log₂ n⌉`,
+    /// `ε = 1/2`.
+    pub fn semi_streaming(n: u32, seed: u64) -> Self {
+        let alpha = fews_common::math::ilog2_ceil(n as u64).max(1);
+        Self::new(n, alpha, 0.5, seed)
+    }
+
+    /// Feed one undirected edge `{u, v}`: inserted as `uv` and `vu` into the
+    /// double cover.
+    pub fn push(&mut self, u: u32, v: u32) {
+        assert!(u < self.n && v < self.n);
+        for inst in &mut self.instances {
+            inst.push(Edge::new(u, v as u64));
+            inst.push(Edge::new(v, u as u64));
+        }
+    }
+
+    /// Best star found across all guesses (most witnesses).
+    pub fn result(&self) -> Option<Neighbourhood> {
+        self.instances
+            .iter()
+            .filter_map(FewwInsertOnly::result)
+            .max_by_key(Neighbourhood::size)
+    }
+
+    /// Number of Δ-guess instances running.
+    pub fn guess_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+impl SpaceUsage for StarInsertOnly {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<Vec<FewwInsertOnly>>()
+            + self.instances.space_bytes()
+    }
+}
+
+/// Star Detection for insertion-deletion general-graph streams
+/// (Corollary 5.5 when `alpha = Θ(√n)`).
+#[derive(Debug)]
+pub struct StarInsertDelete {
+    instances: Vec<FewwInsertDelete>,
+    n: u32,
+}
+
+impl StarInsertDelete {
+    /// As [`StarInsertOnly::new`] but over turnstile streams.
+    /// `sampler_scale` is forwarded to every FEwW instance.
+    pub fn new(n: u32, alpha: u32, eps: f64, sampler_scale: f64, seed: u64) -> Self {
+        let instances = delta_guesses(n, eps)
+            .into_iter()
+            .enumerate()
+            .map(|(j, dprime)| {
+                let mut cfg = IdConfig::with_scale(n, n as u64, dprime, alpha, sampler_scale);
+                cfg.l0 = L0Config::default();
+                FewwInsertDelete::new(cfg, derive_seed(seed, 0x57A2 + j as u64))
+            })
+            .collect();
+        StarInsertDelete { instances, n }
+    }
+
+    /// Feed one undirected edge update (`delta = ±1` applied to both
+    /// orientations).
+    pub fn push(&mut self, u: u32, v: u32, delta: i8) {
+        assert!(u < self.n && v < self.n);
+        for inst in &mut self.instances {
+            let up1 = Update {
+                edge: Edge::new(u, v as u64),
+                delta,
+            };
+            let up2 = Update {
+                edge: Edge::new(v, u as u64),
+                delta,
+            };
+            inst.push(up1);
+            inst.push(up2);
+        }
+    }
+
+    /// Best star found across all guesses.
+    pub fn result(&self) -> Option<Neighbourhood> {
+        self.instances
+            .iter()
+            .filter_map(FewwInsertDelete::result)
+            .max_by_key(Neighbourhood::size)
+    }
+
+    /// Number of Δ-guess instances running.
+    pub fn guess_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+impl SpaceUsage for StarInsertDelete {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<Vec<FewwInsertDelete>>()
+            + self
+                .instances
+                .iter()
+                .map(SpaceUsage::space_bytes)
+                .sum::<usize>()
+            + std::mem::size_of::<Vec<FewwInsertDelete>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fews_common::rng::rng_for;
+    use fews_stream::gen::social::{general_max_degree, preferential_attachment};
+
+    #[test]
+    fn guesses_cover_geometrically() {
+        let g = delta_guesses(1000, 0.5);
+        assert_eq!(g[0], 1);
+        assert!(*g.last().unwrap() <= 1000);
+        // Consecutive ratios ≤ (1+ε) up to ceiling effects: every degree in
+        // 1..=n is within factor (1+ε)·(rounding) of some guess below it.
+        for w in g.windows(2) {
+            assert!(w[1] as f64 <= w[0] as f64 * 1.5 + 1.0);
+        }
+        assert!(delta_guesses(1, 0.5) == vec![1]);
+    }
+
+    #[test]
+    fn finds_big_star_in_social_graph() {
+        let n = 256u32;
+        let edges = preferential_attachment(n, 2, &mut rng_for(1, 0));
+        let delta = general_max_degree(&edges, n);
+        let mut star = StarInsertOnly::new(n, 4, 0.5, 99);
+        for &(u, v) in &edges {
+            star.push(u, v);
+        }
+        let out = star.result().expect("promise holds: Δ ≥ 1");
+        // (1+ε)α = 6-approximation.
+        assert!(
+            out.size() as f64 >= delta as f64 / 6.0,
+            "star size {} vs Δ {}",
+            out.size(),
+            delta
+        );
+        // Witnesses must be genuine neighbours.
+        let nbrs: std::collections::HashSet<u64> = edges
+            .iter()
+            .flat_map(|&(u, v)| {
+                [
+                    (u, v as u64),
+                    (v, u as u64),
+                ]
+            })
+            .filter(|&(a, _)| a == out.vertex)
+            .map(|(_, b)| b)
+            .collect();
+        assert!(out.witnesses.iter().all(|w| nbrs.contains(w)));
+    }
+
+    #[test]
+    fn semi_streaming_uses_log_alpha() {
+        let s = StarInsertOnly::semi_streaming(1024, 7);
+        assert!(s.guess_count() >= 17); // log_{1.5} 1024 ≈ 17.1
+        assert_eq!(s.instances[0].config().alpha, 10);
+    }
+
+    #[test]
+    fn insertion_deletion_star_small() {
+        let n = 32u32;
+        let mut star = StarInsertDelete::new(n, 2, 1.0, 0.1, 5);
+        // A 12-star at vertex 3, plus noise inserted then deleted.
+        for v in 4..16u32 {
+            star.push(3, v, 1);
+        }
+        for v in 20..28u32 {
+            star.push(19, v, 1);
+        }
+        for v in 20..28u32 {
+            star.push(19, v, -1);
+        }
+        if let Some(out) = star.result() {
+            assert_ne!(out.vertex, 19, "deleted star reported");
+            if out.vertex == 3 {
+                assert!(out.witnesses.iter().all(|&w| (4..16).contains(&(w as u32))));
+            }
+        }
+    }
+}

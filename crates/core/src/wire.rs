@@ -1,0 +1,267 @@
+//! Compact wire format for algorithm memory states.
+//!
+//! The lower-bound reductions (Theorems 4.1, 4.8, and Lemma 6.3) turn a
+//! streaming algorithm into a one-way communication protocol by sending the
+//! algorithm's **memory state** from party to party. To measure message
+//! sizes honestly, this module serializes the state of
+//! [`FewwInsertOnly`](crate::insertion_only::FewwInsertOnly) into a compact
+//! LEB128-varint byte string and restores it on the receiving side.
+//!
+//! The RNG stream is *not* part of the message: in the one-way communication
+//! model the parties share public coins (§2 of the paper), which is exactly
+//! how the reductions use randomness.
+
+use crate::deg_res::DegResSampling;
+use crate::insertion_only::FewwInsertOnly;
+
+/// Append `v` as an unsigned LEB128 varint.
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint; advances `pos`.
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None; // overlong encoding
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Serialized state of one Deg-Res-Sampling run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunState {
+    /// Threshold d₁.
+    pub d1: u32,
+    /// Witness target d₂.
+    pub d2: u32,
+    /// Reservoir size s.
+    pub s: u64,
+    /// Crossing counter x.
+    pub crossings: u64,
+    /// Reservoir members with their collected witnesses, in slot order.
+    pub entries: Vec<(u32, Vec<u64>)>,
+}
+
+/// Serialized state of the insertion-only algorithm: the degree table plus
+/// every run's reservoir (exactly the state Theorem 3.2 charges space for).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryState {
+    /// Degrees of all A-vertices.
+    pub degrees: Vec<u32>,
+    /// Per-run reservoir states.
+    pub runs: Vec<RunState>,
+}
+
+impl MemoryState {
+    /// Extract the state from a running algorithm.
+    pub fn capture(alg: &FewwInsertOnly) -> Self {
+        let runs = alg
+            .runs_slice()
+            .iter()
+            .map(|r| RunState {
+                d1: r.d1(),
+                d2: r.d2(),
+                s: r.s() as u64,
+                crossings: r.crossings(),
+                entries: r.export_entries(),
+            })
+            .collect();
+        MemoryState {
+            degrees: alg.degrees_slice().to_vec(),
+            runs,
+        }
+    }
+
+    /// Install this state into an algorithm instance (which must have been
+    /// constructed with the same configuration).
+    pub fn restore(&self, alg: &mut FewwInsertOnly) {
+        let runs: Vec<DegResSampling> = self
+            .runs
+            .iter()
+            .map(|rs| {
+                let mut run = DegResSampling::new(rs.d1, rs.d2, rs.s as usize);
+                run.import_entries(rs.crossings, &rs.entries);
+                run
+            })
+            .collect();
+        alg.replace_state(self.degrees.clone(), runs);
+    }
+
+    /// Encode to bytes. Degree tables are delta-friendly small numbers, so
+    /// varints keep the message near the information-theoretic size.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.degrees.len() + 64);
+        put_uvarint(&mut buf, self.degrees.len() as u64);
+        for &d in &self.degrees {
+            put_uvarint(&mut buf, d as u64);
+        }
+        put_uvarint(&mut buf, self.runs.len() as u64);
+        for run in &self.runs {
+            put_uvarint(&mut buf, run.d1 as u64);
+            put_uvarint(&mut buf, run.d2 as u64);
+            put_uvarint(&mut buf, run.s);
+            put_uvarint(&mut buf, run.crossings);
+            put_uvarint(&mut buf, run.entries.len() as u64);
+            for (a, ws) in &run.entries {
+                put_uvarint(&mut buf, *a as u64);
+                put_uvarint(&mut buf, ws.len() as u64);
+                for &w in ws {
+                    put_uvarint(&mut buf, w);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decode from bytes; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let n = get_uvarint(buf, &mut pos)? as usize;
+        let mut degrees = Vec::with_capacity(n);
+        for _ in 0..n {
+            degrees.push(u32::try_from(get_uvarint(buf, &mut pos)?).ok()?);
+        }
+        let n_runs = get_uvarint(buf, &mut pos)? as usize;
+        let mut runs = Vec::with_capacity(n_runs);
+        for _ in 0..n_runs {
+            let d1 = u32::try_from(get_uvarint(buf, &mut pos)?).ok()?;
+            let d2 = u32::try_from(get_uvarint(buf, &mut pos)?).ok()?;
+            let s = get_uvarint(buf, &mut pos)?;
+            let crossings = get_uvarint(buf, &mut pos)?;
+            let n_entries = get_uvarint(buf, &mut pos)? as usize;
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let a = u32::try_from(get_uvarint(buf, &mut pos)?).ok()?;
+                let n_ws = get_uvarint(buf, &mut pos)? as usize;
+                let mut ws = Vec::with_capacity(n_ws);
+                for _ in 0..n_ws {
+                    ws.push(get_uvarint(buf, &mut pos)?);
+                }
+                entries.push((a, ws));
+            }
+            runs.push(RunState {
+                d1,
+                d2,
+                s,
+                crossings,
+                entries,
+            });
+        }
+        if pos != buf.len() {
+            return None; // trailing bytes
+        }
+        Some(MemoryState { degrees, runs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion_only::FewwConfig;
+    use fews_stream::Edge;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1 << 40);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        let mut buf = Vec::new();
+        for v in 0..128u64 {
+            put_uvarint(&mut buf, v);
+        }
+        assert_eq!(buf.len(), 128); // one byte each
+    }
+
+    fn run_alg(edges: &[Edge]) -> FewwInsertOnly {
+        let mut alg = FewwInsertOnly::new(FewwConfig::new(32, 8, 2), 5);
+        for &e in edges {
+            alg.push(e);
+        }
+        alg
+    }
+
+    #[test]
+    fn state_roundtrip_through_bytes() {
+        let edges: Vec<Edge> = (0..8u64)
+            .map(|b| Edge::new(3, b))
+            .chain((0..16u32).map(|a| Edge::new(a, 100 + a as u64)))
+            .collect();
+        let alg = run_alg(&edges);
+        let state = MemoryState::capture(&alg);
+        let bytes = state.encode();
+        let back = MemoryState::decode(&bytes).expect("decodes");
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn restored_algorithm_continues_correctly() {
+        // Party 1 processes half the stream, ships its state; party 2
+        // restores and processes the rest. The final result must certify a
+        // genuine neighbourhood.
+        let first: Vec<Edge> = (0..4u64).map(|b| Edge::new(3, b)).collect();
+        let second: Vec<Edge> = (4..8u64).map(|b| Edge::new(3, b)).collect();
+
+        let mut party1 = FewwInsertOnly::new(FewwConfig::new(32, 8, 2), 5);
+        for &e in &first {
+            party1.push(e);
+        }
+        let msg = MemoryState::capture(&party1).encode();
+
+        let mut party2 = FewwInsertOnly::new(FewwConfig::new(32, 8, 2), 5);
+        MemoryState::decode(&msg).unwrap().restore(&mut party2);
+        for &e in &second {
+            party2.push(e);
+        }
+        assert_eq!(party2.degree(3), 8);
+        let out = party2.result().expect("degree-8 vertex with α = 2");
+        assert_eq!(out.vertex, 3);
+        assert!(out.size() >= 4);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MemoryState::decode(&[0xff, 0xff]).is_none());
+        let edges: Vec<Edge> = (0..4u32).map(|a| Edge::new(a, 0)).collect();
+        let mut bytes = MemoryState::capture(&run_alg(&edges)).encode();
+        bytes.push(0); // trailing byte
+        assert!(MemoryState::decode(&bytes).is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Wire format for the insertion-deletion algorithm's memory state.
+//!
+//! The Lemma 6.3 reduction sends the state of
+//! [`FewwInsertDelete`](crate::insertion_deletion::FewwInsertDelete) from
+//! Alice to Bob. That state is the register file of every ℓ₀-sampler: per
+//! level and hash row, the `(count, index-sum, fingerprint)` triple of each
+//! 1-sparse cell. This module serializes exactly those registers (sampler
+//! hash functions are shared public randomness, re-derived from the seed on
+//! Bob's side), giving the reduction *real* message bytes instead of a
+//! space-accounting proxy.
+//!
+//! Encoding: zig-zag + LEB128 varints, cells in deterministic (sampler,
+//! level, row, column) order, preceded by a small header that pins the
+//! geometry so decode can validate against the receiver's configuration.
+
+use crate::insertion_deletion::FewwInsertDelete;
+use crate::wire::{get_uvarint, put_uvarint};
+
+/// Zig-zag encode a signed value for varint storage.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode a 128-bit signed value as two varints (low/high halves of the
+/// zig-zagged magnitude).
+fn put_i128(buf: &mut Vec<u8>, v: i128) {
+    let z = ((v << 1) ^ (v >> 127)) as u128;
+    put_uvarint(buf, (z & u64::MAX as u128) as u64);
+    put_uvarint(buf, (z >> 64) as u64);
+}
+
+fn get_i128(buf: &[u8], pos: &mut usize) -> Option<i128> {
+    let lo = get_uvarint(buf, pos)? as u128;
+    let hi = get_uvarint(buf, pos)? as u128;
+    let z = lo | (hi << 64);
+    Some(((z >> 1) as i128) ^ -((z & 1) as i128))
+}
+
+/// Serialized register file of an insertion-deletion algorithm instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdMemoryState {
+    /// Geometry header: (sampler count, cells per sampler) for validation.
+    pub samplers: u64,
+    /// Flat register stream: for every cell, `(count, index_sum,
+    /// fingerprint)` in deterministic order.
+    pub registers: Vec<(i64, i128, u64)>,
+}
+
+impl IdMemoryState {
+    /// Extract the register file from a running instance.
+    pub fn capture(alg: &FewwInsertDelete) -> Self {
+        let mut registers = Vec::new();
+        let mut samplers = 0u64;
+        alg.visit_samplers(|sampler| {
+            samplers += 1;
+            sampler.visit_cells(|count, index_sum, fingerprint| {
+                registers.push((count, index_sum, fingerprint));
+            });
+        });
+        IdMemoryState {
+            samplers,
+            registers,
+        }
+    }
+
+    /// Install the register file into an instance constructed with the same
+    /// configuration and seed (hash functions are public randomness).
+    pub fn restore(&self, alg: &mut FewwInsertDelete) {
+        let mut idx = 0usize;
+        let mut samplers = 0u64;
+        alg.visit_samplers_mut(|sampler| {
+            samplers += 1;
+            sampler.visit_cells_mut(|count, index_sum, fingerprint| {
+                let (c, s, f) = self.registers[idx];
+                idx += 1;
+                *count = c;
+                *index_sum = s;
+                *fingerprint = f;
+            });
+        });
+        assert_eq!(samplers, self.samplers, "geometry mismatch on restore");
+        assert_eq!(idx, self.registers.len(), "register count mismatch");
+    }
+
+    /// Encode to bytes. Empty cells (the overwhelming majority on sparse
+    /// inputs) cost 3 bytes; varints keep live cells near their entropy.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.registers.len() * 4 + 16);
+        put_uvarint(&mut buf, self.samplers);
+        put_uvarint(&mut buf, self.registers.len() as u64);
+        for &(count, index_sum, fingerprint) in &self.registers {
+            put_uvarint(&mut buf, zigzag(count));
+            put_i128(&mut buf, index_sum);
+            put_uvarint(&mut buf, fingerprint);
+        }
+        buf
+    }
+
+    /// Decode from bytes; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let samplers = get_uvarint(buf, &mut pos)?;
+        let n = get_uvarint(buf, &mut pos)? as usize;
+        let mut registers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let count = unzigzag(get_uvarint(buf, &mut pos)?);
+            let index_sum = get_i128(buf, &mut pos)?;
+            let fingerprint = get_uvarint(buf, &mut pos)?;
+            registers.push((count, index_sum, fingerprint));
+        }
+        if pos != buf.len() {
+            return None;
+        }
+        Some(IdMemoryState {
+            samplers,
+            registers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion_deletion::IdConfig;
+    use fews_stream::{Edge, Update};
+
+    fn tiny() -> FewwInsertDelete {
+        FewwInsertDelete::new(IdConfig::with_scale(8, 32, 4, 2, 0.2), 9)
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn i128_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0i128, -1, 1, i128::from(i64::MAX) * 3, -(1i128 << 100)];
+        for &v in &values {
+            put_i128(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_i128(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn capture_restore_roundtrip_preserves_results() {
+        let mut alice = tiny();
+        for b in 0..4u64 {
+            alice.push(Update::insert(Edge::new(3, b)));
+        }
+        let msg = IdMemoryState::capture(&alice).encode();
+
+        // Bob: same config + seed ⇒ same hash functions.
+        let mut bob = tiny();
+        IdMemoryState::decode(&msg).expect("decodes").restore(&mut bob);
+        for b in 0..4u64 {
+            bob.push(Update::delete(Edge::new(3, b)));
+        }
+        assert!(bob.result().is_none(), "all edges were deleted");
+
+        // And continuing with fresh edges works.
+        let mut bob2 = tiny();
+        IdMemoryState::decode(&msg).unwrap().restore(&mut bob2);
+        for b in 4..8u64 {
+            bob2.push(Update::insert(Edge::new(3, b)));
+        }
+        if let Some(nb) = bob2.result() {
+            assert_eq!(nb.vertex, 3);
+            assert!(nb.witnesses.iter().all(|&w| w < 8));
+        }
+    }
+
+    #[test]
+    fn empty_state_is_compact() {
+        let alg = tiny();
+        let state = IdMemoryState::capture(&alg);
+        let bytes = state.encode();
+        // 3 varint bytes per empty cell + header.
+        assert!(
+            bytes.len() <= state.registers.len() * 4 + 16,
+            "{} bytes for {} cells",
+            bytes.len(),
+            state.registers.len()
+        );
+        assert_eq!(IdMemoryState::decode(&bytes), Some(state));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing() {
+        let alg = tiny();
+        let mut bytes = IdMemoryState::capture(&alg).encode();
+        bytes.push(7);
+        assert!(IdMemoryState::decode(&bytes).is_none());
+        bytes.pop();
+        bytes.pop();
+        assert!(IdMemoryState::decode(&bytes).is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Multi-stage Bloom filters for frequent-element detection
+//! (Chabchoub–Fricker–Mohamed [11], after Estan–Varghese [21]).
+//!
+//! A counting Bloom filter per stage; an item is "frequent" when *every*
+//! stage's counter crosses the threshold. Another witness-free baseline from
+//! the paper's related-work list (§1.3): it can flag frequent elements with
+//! small space but reports neither exact counts nor any satellite data.
+
+use crate::hash::PolyHash;
+use fews_common::SpaceUsage;
+use rand::Rng;
+
+/// A multi-stage counting Bloom filter.
+#[derive(Debug, Clone)]
+pub struct MultistageBloom {
+    stages: Vec<Vec<u32>>,
+    hashes: Vec<PolyHash>,
+    width: usize,
+    threshold: u32,
+    /// Conservative update: only increment the minimal counters (Estan &
+    /// Varghese's optimisation) — strictly reduces overestimation.
+    conservative: bool,
+}
+
+impl MultistageBloom {
+    /// Filter with `stages` stages of `width` counters, flagging items whose
+    /// every counter reaches `threshold`.
+    pub fn new(
+        width: usize,
+        stages: usize,
+        threshold: u32,
+        conservative: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(width >= 1 && stages >= 1 && threshold >= 1);
+        MultistageBloom {
+            stages: vec![vec![0; width]; stages],
+            hashes: (0..stages).map(|_| PolyHash::pairwise(rng)).collect(),
+            width,
+            threshold,
+            conservative,
+        }
+    }
+
+    /// Process one item occurrence; returns `true` if the item is (now)
+    /// flagged as frequent.
+    pub fn update(&mut self, item: u64) -> bool {
+        let buckets: Vec<usize> = self
+            .hashes
+            .iter()
+            .map(|h| h.bucket(item, self.width))
+            .collect();
+        if self.conservative {
+            // Increment only the stages currently at the minimum value.
+            let min = self
+                .stages
+                .iter()
+                .zip(&buckets)
+                .map(|(stage, &b)| stage[b])
+                .min()
+                .expect("stages >= 1");
+            for (stage, &b) in self.stages.iter_mut().zip(&buckets) {
+                if stage[b] == min {
+                    stage[b] += 1;
+                }
+            }
+        } else {
+            for (stage, &b) in self.stages.iter_mut().zip(&buckets) {
+                stage[b] += 1;
+            }
+        }
+        self.contains_frequent(item)
+    }
+
+    /// Whether all of the item's counters have reached the threshold.
+    pub fn contains_frequent(&self, item: u64) -> bool {
+        self.hashes
+            .iter()
+            .zip(&self.stages)
+            .all(|(h, stage)| stage[h.bucket(item, self.width)] >= self.threshold)
+    }
+
+    /// The min-counter estimate (a Count-Min-style upper bound).
+    pub fn estimate(&self, item: u64) -> u32 {
+        self.hashes
+            .iter()
+            .zip(&self.stages)
+            .map(|(h, stage)| stage[h.bucket(item, self.width)])
+            .min()
+            .expect("stages >= 1")
+    }
+}
+
+impl SpaceUsage for MultistageBloom {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.stages.space_bytes() + self.hashes.space_bytes()
+            - std::mem::size_of::<Vec<Vec<u32>>>()
+            - std::mem::size_of::<Vec<PolyHash>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn frequent_item_is_flagged() {
+        let mut f = MultistageBloom::new(256, 4, 50, true, &mut rng(1));
+        let mut flagged_at = None;
+        for i in 0..100u32 {
+            if f.update(42) && flagged_at.is_none() {
+                flagged_at = Some(i + 1);
+            }
+        }
+        assert_eq!(flagged_at, Some(50), "flag must trip exactly at threshold");
+    }
+
+    #[test]
+    fn rare_items_not_flagged_without_collisions() {
+        let mut f = MultistageBloom::new(1024, 4, 20, true, &mut rng(2));
+        for i in 0..2000u64 {
+            f.update(i); // each item once
+        }
+        let flagged = (0..2000u64).filter(|&i| f.contains_frequent(i)).count();
+        assert_eq!(flagged, 0, "{flagged} rare items flagged");
+    }
+
+    #[test]
+    fn conservative_never_overestimates_more_than_plain() {
+        let mut plain = MultistageBloom::new(64, 3, 10, false, &mut rng(3));
+        let mut cons = MultistageBloom::new(64, 3, 10, true, &mut rng(3));
+        for i in 0..3000u64 {
+            let item = i % 97;
+            plain.update(item);
+            cons.update(item);
+        }
+        for item in 0..97u64 {
+            assert!(cons.estimate(item) <= plain.estimate(item));
+            // Both are upper bounds on the true count (3000/97 ≈ 31).
+            assert!(cons.estimate(item) >= 30);
+        }
+    }
+
+    #[test]
+    fn estimate_upper_bounds_truth() {
+        let mut f = MultistageBloom::new(128, 4, 5, true, &mut rng(4));
+        for _ in 0..17 {
+            f.update(7);
+        }
+        assert!(f.estimate(7) >= 17);
+    }
+}

@@ -1,0 +1,142 @@
+//! The Count-Min sketch of Cormode and Muthukrishnan [17].
+//!
+//! `depth` rows of `width` counters with independent pairwise hashes; a point
+//! query takes the minimum over rows and overcounts by at most `ε·m` with
+//! probability `1 − δ` for `width = ⌈e/ε⌉`, `depth = ⌈ln 1/δ⌉`. Supports the
+//! turnstile model (negative updates) via the `estimate` min of row counts —
+//! we restrict to the strict turnstile (no item goes negative), which is what
+//! the paper's deletion streams guarantee.
+
+use crate::hash::PolyHash;
+use fews_common::SpaceUsage;
+use rand::Rng;
+
+/// A Count-Min sketch.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    width: usize,
+    rows: Vec<Vec<i64>>,
+    hashes: Vec<PolyHash>,
+    total: i64,
+}
+
+impl CountMin {
+    /// Sketch with the given geometry.
+    pub fn new(width: usize, depth: usize, rng: &mut impl Rng) -> Self {
+        assert!(width >= 1 && depth >= 1);
+        CountMin {
+            width,
+            rows: vec![vec![0; width]; depth],
+            hashes: (0..depth).map(|_| PolyHash::pairwise(rng)).collect(),
+            total: 0,
+        }
+    }
+
+    /// Geometry from accuracy targets: error ≤ `eps·m` w.p. ≥ `1 − delta`.
+    pub fn with_error(eps: f64, delta: f64, rng: &mut impl Rng) -> Self {
+        assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / eps).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, rng)
+    }
+
+    /// Add `delta` to `item`'s count (negative for deletions).
+    pub fn update(&mut self, item: u64, delta: i64) {
+        self.total += delta;
+        for (row, h) in self.rows.iter_mut().zip(&self.hashes) {
+            row[h.bucket(item, self.width)] += delta;
+        }
+    }
+
+    /// Point query: min over rows (never undercounts in the strict turnstile).
+    pub fn estimate(&self, item: u64) -> i64 {
+        self.rows
+            .iter()
+            .zip(&self.hashes)
+            .map(|(row, h)| row[h.bucket(item, self.width)])
+            .min()
+            .expect("depth >= 1")
+    }
+
+    /// Net stream weight Σ delta.
+    pub fn total(&self) -> i64 {
+        self.total
+    }
+}
+
+impl SpaceUsage for CountMin {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.rows.space_bytes() + self.hashes.space_bytes()
+            - std::mem::size_of::<Vec<Vec<i64>>>()
+            - std::mem::size_of::<Vec<PolyHash>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn never_undercounts() {
+        let mut r = rng(1);
+        let mut cm = CountMin::new(50, 4, &mut r);
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        for i in 0..5000u64 {
+            let item = i % 300;
+            cm.update(item, 1);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        for (&item, &t) in &truth {
+            assert!(cm.estimate(item) >= t, "undercount for {item}");
+        }
+    }
+
+    #[test]
+    fn error_within_bound_mostly() {
+        let mut r = rng(2);
+        let eps = 0.01;
+        let mut cm = CountMin::with_error(eps, 0.01, &mut r);
+        let m = 20_000u64;
+        for i in 0..m {
+            cm.update(i % 1000, 1);
+        }
+        let bound = (eps * m as f64) as i64;
+        let mut violations = 0;
+        for item in 0..1000u64 {
+            if cm.estimate(item) - 20 > bound {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 20, "{violations} items exceeded eps·m");
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut r = rng(3);
+        let mut cm = CountMin::new(64, 3, &mut r);
+        for i in 0..100u64 {
+            cm.update(i, 1);
+        }
+        for i in 0..100u64 {
+            cm.update(i, -1);
+        }
+        assert_eq!(cm.total(), 0);
+        for i in 0..100u64 {
+            assert_eq!(cm.estimate(i), 0, "residue at {i}");
+        }
+    }
+
+    #[test]
+    fn with_error_geometry() {
+        let mut r = rng(4);
+        let cm = CountMin::with_error(0.1, 0.05, &mut r);
+        assert_eq!(cm.width, (std::f64::consts::E / 0.1).ceil() as usize);
+        assert_eq!(cm.rows.len(), 3); // ⌈ln 20⌉ = 3
+    }
+}

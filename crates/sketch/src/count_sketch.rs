@@ -1,0 +1,121 @@
+//! The CountSketch of Charikar, Chen, and Farach-Colton [14, 15].
+//!
+//! Like Count-Min but with ±1 signs and a median estimator: unbiased, error
+//! `O(‖f‖₂ / √width)` per row, boosted by the median over `depth` rows.
+
+use crate::hash::PolyHash;
+use fews_common::SpaceUsage;
+use rand::Rng;
+
+/// A CountSketch.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    width: usize,
+    rows: Vec<Vec<i64>>,
+    bucket_hashes: Vec<PolyHash>,
+    sign_hashes: Vec<PolyHash>,
+}
+
+impl CountSketch {
+    /// Sketch with the given geometry (`depth` odd recommended for a clean
+    /// median).
+    pub fn new(width: usize, depth: usize, rng: &mut impl Rng) -> Self {
+        assert!(width >= 1 && depth >= 1);
+        CountSketch {
+            width,
+            rows: vec![vec![0; width]; depth],
+            bucket_hashes: (0..depth).map(|_| PolyHash::pairwise(rng)).collect(),
+            sign_hashes: (0..depth).map(|_| PolyHash::new(4, rng)).collect(),
+        }
+    }
+
+    /// Add `delta` to `item` (negative for deletions).
+    pub fn update(&mut self, item: u64, delta: i64) {
+        for ((row, bh), sh) in self
+            .rows
+            .iter_mut()
+            .zip(&self.bucket_hashes)
+            .zip(&self.sign_hashes)
+        {
+            row[bh.bucket(item, self.width)] += sh.sign(item) * delta;
+        }
+    }
+
+    /// Median-of-rows point estimate (unbiased).
+    pub fn estimate(&self, item: u64) -> i64 {
+        let mut ests: Vec<i64> = self
+            .rows
+            .iter()
+            .zip(&self.bucket_hashes)
+            .zip(&self.sign_hashes)
+            .map(|((row, bh), sh)| sh.sign(item) * row[bh.bucket(item, self.width)])
+            .collect();
+        ests.sort_unstable();
+        ests[ests.len() / 2]
+    }
+}
+
+impl SpaceUsage for CountSketch {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.rows.space_bytes() + self.bucket_hashes.space_bytes()
+            + self.sign_hashes.space_bytes()
+            - 3 * std::mem::size_of::<Vec<u8>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn heavy_item_estimated_well() {
+        let mut r = rng(1);
+        let mut cs = CountSketch::new(256, 5, &mut r);
+        // Heavy item 0 with count 1000, light tail.
+        for _ in 0..1000 {
+            cs.update(0, 1);
+        }
+        for i in 1..2000u64 {
+            cs.update(i, 1);
+        }
+        let est = cs.estimate(0);
+        assert!(
+            (est - 1000).abs() <= 100,
+            "estimate {est} far from 1000"
+        );
+    }
+
+    #[test]
+    fn roughly_unbiased_over_seeds() {
+        let mut total = 0i64;
+        let trials = 60;
+        for seed in 0..trials {
+            let mut r = rng(seed);
+            let mut cs = CountSketch::new(32, 1, &mut r);
+            for i in 0..500u64 {
+                cs.update(i, 1);
+            }
+            total += cs.estimate(7) - 1;
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(mean.abs() < 3.0, "bias {mean}");
+    }
+
+    #[test]
+    fn deletions_cancel_exactly() {
+        let mut r = rng(2);
+        let mut cs = CountSketch::new(64, 3, &mut r);
+        for i in 0..100u64 {
+            cs.update(i, 2);
+            cs.update(i, -2);
+        }
+        for row in &cs.rows {
+            assert!(row.iter().all(|&c| c == 0));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Distinct counting (KMV / bottom-k sketch).
+//!
+//! The paper's DoS example builds on *distinct* heavy hitters [22]: a
+//! destination is suspicious when contacted by many **distinct** sources.
+//! The bottom-k ("k minimum values") sketch estimates the number of distinct
+//! items in a stream with `O(k)` space and relative error `O(1/√k)` — the
+//! witness-free way to detect that a vertex has high distinct degree, used
+//! as a baseline alongside FEwW which additionally *names* the sources.
+
+use crate::hash::{PolyHash, MERSENNE61};
+use fews_common::SpaceUsage;
+use rand::Rng;
+
+/// A bottom-k distinct-count sketch.
+#[derive(Debug, Clone)]
+pub struct BottomK {
+    k: usize,
+    hash: PolyHash,
+    /// The k smallest distinct hash values seen, as a sorted vec
+    /// (small k ⇒ linear ops beat a heap).
+    smallest: Vec<u64>,
+}
+
+impl BottomK {
+    /// Sketch keeping the `k ≥ 1` minimum hash values.
+    pub fn new(k: usize, rng: &mut impl Rng) -> Self {
+        assert!(k >= 1);
+        BottomK {
+            k,
+            hash: PolyHash::new(4, rng),
+            smallest: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// Observe one item (duplicates are absorbed by hashing).
+    pub fn update(&mut self, item: u64) {
+        let h = self.hash.hash(item);
+        match self.smallest.binary_search(&h) {
+            Ok(_) => {} // duplicate value (same item, or a collision)
+            Err(pos) => {
+                if pos < self.k {
+                    self.smallest.insert(pos, h);
+                    self.smallest.truncate(self.k);
+                }
+            }
+        }
+    }
+
+    /// Estimate the number of distinct items seen.
+    ///
+    /// With fewer than k values the count is exact; otherwise the classic
+    /// KMV estimator `(k − 1) / v_k` over the unit interval.
+    pub fn estimate(&self) -> f64 {
+        if self.smallest.len() < self.k {
+            return self.smallest.len() as f64;
+        }
+        let vk = *self.smallest.last().expect("k >= 1") as f64 / MERSENNE61 as f64;
+        (self.k as f64 - 1.0) / vk
+    }
+
+    /// Merge another sketch drawn with the *same* hash function.
+    pub fn merge(&mut self, other: &BottomK) {
+        assert_eq!(self.k, other.k);
+        for &h in &other.smallest {
+            match self.smallest.binary_search(&h) {
+                Ok(_) => {}
+                Err(pos) => {
+                    if pos < self.k {
+                        self.smallest.insert(pos, h);
+                        self.smallest.truncate(self.k);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SpaceUsage for BottomK {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.smallest.capacity() * 8 + self.hash.space_bytes()
+            - std::mem::size_of::<PolyHash>()
+    }
+}
+
+/// Distinct-degree tracker: one [`BottomK`] per *tracked* A-vertex,
+/// admitting vertices lazily up to a budget — the witness-free
+/// distinct-heavy-hitter baseline for the DoS workload.
+#[derive(Debug)]
+pub struct DistinctDegree {
+    budget: usize,
+    k: usize,
+    sketches: std::collections::HashMap<u32, BottomK>,
+    seed_rng: rand::rngs::StdRng,
+}
+
+impl DistinctDegree {
+    /// Track up to `budget` vertices, each with a bottom-`k` sketch.
+    pub fn new(budget: usize, k: usize, seed: u64) -> Self {
+        DistinctDegree {
+            budget,
+            k,
+            sketches: std::collections::HashMap::with_capacity(budget),
+            seed_rng: fews_common::rng::rng_for(seed, 0xD157),
+        }
+    }
+
+    /// Observe a `(vertex, witness)` contact.
+    pub fn update(&mut self, a: u32, b: u64) {
+        if !self.sketches.contains_key(&a) {
+            if self.sketches.len() >= self.budget {
+                return; // budget exhausted: untracked vertex
+            }
+            let sk = BottomK::new(self.k, &mut self.seed_rng);
+            self.sketches.insert(a, sk);
+        }
+        self.sketches.get_mut(&a).expect("just ensured").update(b);
+    }
+
+    /// Estimated distinct degree of a vertex (0 if untracked).
+    pub fn estimate(&self, a: u32) -> f64 {
+        self.sketches.get(&a).map_or(0.0, BottomK::estimate)
+    }
+
+    /// The tracked vertex with the largest estimated distinct degree.
+    pub fn argmax(&self) -> Option<(u32, f64)> {
+        self.sketches
+            .iter()
+            .map(|(&a, sk)| (a, sk.estimate()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("no NaN"))
+    }
+}
+
+impl SpaceUsage for DistinctDegree {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .sketches
+                .values()
+                .map(|sk| 4 + sk.space_bytes())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exact_below_k() {
+        let mut sk = BottomK::new(64, &mut rng(1));
+        for i in 0..40u64 {
+            sk.update(i);
+        }
+        assert_eq!(sk.estimate(), 40.0);
+        // Duplicates don't change the estimate.
+        for i in 0..40u64 {
+            sk.update(i);
+        }
+        assert_eq!(sk.estimate(), 40.0);
+    }
+
+    #[test]
+    fn estimate_within_relative_error() {
+        let mut errs = 0;
+        let trials = 30;
+        for t in 0..trials {
+            let mut sk = BottomK::new(128, &mut rng(100 + t));
+            let truth = 10_000u64;
+            for i in 0..truth {
+                sk.update(i.wrapping_mul(0x9E37_79B9));
+            }
+            let est = sk.estimate();
+            if (est - truth as f64).abs() > 0.3 * truth as f64 {
+                errs += 1;
+            }
+        }
+        assert!(errs <= 2, "{errs}/{trials} estimates off by > 30%");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut r = rng(7);
+        let mut a = BottomK::new(32, &mut r);
+        // Same hash function for a mergeable pair.
+        let mut b = a.clone();
+        for i in 0..500u64 {
+            a.update(i);
+        }
+        for i in 250..750u64 {
+            b.update(i);
+        }
+        a.merge(&b);
+        let mut whole = BottomK::new(32, &mut rng(7));
+        // Rebuild with identical hash: reuse `a`'s via clone of fresh — the
+        // cleanest check is just that the merged estimate ≈ 750.
+        for i in 0..750u64 {
+            whole.update(i);
+        }
+        assert!((a.estimate() - 750.0).abs() < 250.0, "{}", a.estimate());
+    }
+
+    #[test]
+    fn distinct_degree_finds_dos_victim() {
+        let mut dd = DistinctDegree::new(64, 64, 3);
+        // Victim 5 contacted by 400 distinct sources; others by few.
+        for s in 0..400u64 {
+            dd.update(5, s);
+        }
+        for a in 0..30u32 {
+            for s in 0..10u64 {
+                dd.update(a, s);
+            }
+        }
+        let (victim, est) = dd.argmax().unwrap();
+        assert_eq!(victim, 5);
+        assert!(est > 200.0);
+        // But: no witness identities are available from the sketch — only
+        // hashed values. (This is the §1 motivation for FEwW.)
+    }
+
+    #[test]
+    fn budget_respected() {
+        let mut dd = DistinctDegree::new(4, 8, 1);
+        for a in 0..20u32 {
+            dd.update(a, 0);
+        }
+        assert!(dd.sketches.len() <= 4);
+        assert_eq!(dd.estimate(19), 0.0);
+    }
+}

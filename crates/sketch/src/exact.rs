@@ -1,0 +1,183 @@
+//! Exact reference implementations.
+//!
+//! Used as ground truth in tests and as the "no space constraint" endpoint in
+//! the baseline experiments: an exact frequency counter (witness-free) and an
+//! exact witness store (keeps everything — the trivial FEwW "algorithm" whose
+//! space the streaming algorithms beat).
+
+use fews_common::SpaceUsage;
+use std::collections::HashMap;
+
+/// Exact frequency counter over `u64` items.
+#[derive(Debug, Clone, Default)]
+pub struct ExactCounter {
+    counts: HashMap<u64, i64>,
+    processed: u64,
+}
+
+impl ExactCounter {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to `item` (negative for deletions); zeroed entries are
+    /// dropped so space reflects the live support.
+    pub fn update(&mut self, item: u64, delta: i64) {
+        self.processed += 1;
+        let e = self.counts.entry(item).or_insert(0);
+        *e += delta;
+        if *e == 0 {
+            self.counts.remove(&item);
+        }
+    }
+
+    /// Exact count of `item`.
+    pub fn count(&self, item: u64) -> i64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Items with count ≥ threshold, sorted by count desc.
+    pub fn heavy_hitters(&self, threshold: i64) -> Vec<(u64, i64)> {
+        let mut v: Vec<(u64, i64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        v.sort_by_key(|&(i, c)| (std::cmp::Reverse(c), i));
+        v
+    }
+
+    /// Number of updates processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of items with nonzero count.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl SpaceUsage for ExactCounter {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<HashMap<u64, i64>>()
+            + self.counts.space_bytes()
+    }
+}
+
+/// Exact witness store: remembers every surviving edge, grouped by A-vertex.
+/// This is the brute-force FEwW solution (space Θ(|E|)).
+#[derive(Debug, Clone, Default)]
+pub struct ExactWitnessStore {
+    adj: HashMap<u32, Vec<u64>>,
+}
+
+impl ExactWitnessStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an edge insertion.
+    pub fn insert(&mut self, a: u32, b: u64) {
+        self.adj.entry(a).or_default().push(b);
+    }
+
+    /// Record an edge deletion (must have been inserted).
+    pub fn delete(&mut self, a: u32, b: u64) {
+        let list = self.adj.get_mut(&a).expect("delete of unknown vertex");
+        let pos = list
+            .iter()
+            .position(|&x| x == b)
+            .expect("delete of absent edge");
+        list.swap_remove(pos);
+        if list.is_empty() {
+            self.adj.remove(&a);
+        }
+    }
+
+    /// The vertex of maximum degree with its full neighbourhood
+    /// (ties broken toward the smaller id).
+    pub fn max_star(&self) -> Option<(u32, &[u64])> {
+        self.adj
+            .iter()
+            .max_by_key(|(&a, n)| (n.len(), std::cmp::Reverse(a)))
+            .map(|(&a, n)| (a, n.as_slice()))
+    }
+
+    /// Degree of a vertex.
+    pub fn degree(&self, a: u32) -> usize {
+        self.adj.get(&a).map_or(0, Vec::len)
+    }
+}
+
+impl SpaceUsage for ExactWitnessStore {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<HashMap<u32, Vec<u64>>>()
+            + self.adj.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_tracks_turnstile() {
+        let mut c = ExactCounter::new();
+        c.update(5, 1);
+        c.update(5, 1);
+        c.update(5, -1);
+        assert_eq!(c.count(5), 1);
+        c.update(5, -1);
+        assert_eq!(c.count(5), 0);
+        assert_eq!(c.support_size(), 0);
+        assert_eq!(c.processed(), 4);
+    }
+
+    #[test]
+    fn heavy_hitters_ordering() {
+        let mut c = ExactCounter::new();
+        for (item, n) in [(1u64, 5), (2, 9), (3, 9), (4, 1)] {
+            for _ in 0..n {
+                c.update(item, 1);
+            }
+        }
+        assert_eq!(c.heavy_hitters(5), vec![(2, 9), (3, 9), (1, 5)]);
+    }
+
+    #[test]
+    fn witness_store_max_star() {
+        let mut w = ExactWitnessStore::new();
+        for b in 0..10 {
+            w.insert(3, b);
+        }
+        w.insert(1, 100);
+        let (a, nbrs) = w.max_star().unwrap();
+        assert_eq!(a, 3);
+        assert_eq!(nbrs.len(), 10);
+        assert_eq!(w.degree(1), 1);
+    }
+
+    #[test]
+    fn witness_store_deletion() {
+        let mut w = ExactWitnessStore::new();
+        w.insert(0, 1);
+        w.insert(0, 2);
+        w.delete(0, 1);
+        assert_eq!(w.degree(0), 1);
+        w.delete(0, 2);
+        assert_eq!(w.degree(0), 0);
+        assert!(w.max_star().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "absent edge")]
+    fn deleting_absent_edge_panics() {
+        let mut w = ExactWitnessStore::new();
+        w.insert(0, 1);
+        w.delete(0, 2);
+    }
+}

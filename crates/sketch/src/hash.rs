@@ -1,0 +1,229 @@
+//! k-wise independent hashing.
+//!
+//! Polynomial hashing over the Mersenne prime `p = 2⁶¹ − 1`: a random degree
+//! `< k` polynomial evaluated at the key is a k-wise independent family, the
+//! standard construction behind sketch guarantees. Mersenne-prime modular
+//! reduction needs no division, keeping evaluation fast.
+
+use fews_common::SpaceUsage;
+use rand::{Rng, RngExt};
+
+/// The Mersenne prime `2⁶¹ − 1`.
+pub const MERSENNE61: u64 = (1u64 << 61) - 1;
+
+/// Reduce `x` modulo `2⁶¹ − 1` (input < 2¹²²; output < p).
+#[inline]
+fn mod_mersenne(x: u128) -> u64 {
+    let p = MERSENNE61 as u128;
+    let r = (x & p) + (x >> 61);
+    let r = (r & p) + (r >> 61);
+    if r >= p {
+        (r - p) as u64
+    } else {
+        r as u64
+    }
+}
+
+/// Multiply two residues mod `2⁶¹ − 1`.
+#[inline]
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    mod_mersenne(a as u128 * b as u128)
+}
+
+/// Add two residues mod `2⁶¹ − 1`.
+#[inline]
+pub fn add_mod(a: u64, b: u64) -> u64 {
+    let s = a + b; // both < 2^61, no overflow
+    if s >= MERSENNE61 {
+        s - MERSENNE61
+    } else {
+        s
+    }
+}
+
+/// Modular exponentiation mod `2⁶¹ − 1`.
+pub fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= MERSENNE61;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// A k-wise independent hash function `h : u64 → [0, 2⁶¹−1)`.
+#[derive(Debug, Clone)]
+pub struct PolyHash {
+    /// Coefficients `c₀ … c_{k−1}`; `h(x) = Σ cᵢ xⁱ mod p`.
+    coeffs: Vec<u64>,
+}
+
+impl PolyHash {
+    /// Draw a random member of the k-wise independent family (`k ≥ 1`).
+    pub fn new(k: usize, rng: &mut impl Rng) -> Self {
+        assert!(k >= 1);
+        let coeffs = (0..k).map(|_| rng.random_range(0..MERSENNE61)).collect();
+        PolyHash { coeffs }
+    }
+
+    /// Pairwise-independent member (degree-1 polynomial).
+    pub fn pairwise(rng: &mut impl Rng) -> Self {
+        Self::new(2, rng)
+    }
+
+    /// Evaluate the hash; output is uniform in `[0, 2⁶¹−1)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        // Keys ≥ p would collide with their reductions; fold them in first.
+        let x = x % MERSENNE61;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add_mod(mul_mod(acc, x), c);
+        }
+        acc
+    }
+
+    /// Hash into a bucket `[0, range)` (by multiply-shift on the 61-bit
+    /// output; bias is ≤ range / 2⁶¹, negligible for sketch widths).
+    #[inline]
+    pub fn bucket(&self, x: u64, range: usize) -> usize {
+        debug_assert!(range > 0);
+        ((self.hash(x) as u128 * range as u128) >> 61) as usize
+    }
+
+    /// A ±1 sign derived from the low bit (used by CountSketch).
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.hash(x) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Geometric level of `x`: number of leading zeros of the hash value in
+    /// its 61-bit representation, capped at `max_level`. `P(level ≥ ℓ) ≈ 2^{−ℓ}`.
+    #[inline]
+    pub fn level(&self, x: u64, max_level: u32) -> u32 {
+        let h = self.hash(x);
+        // 61 significant bits; shift into the top of a u64 for leading_zeros.
+        let lz = (h << 3).leading_zeros().min(60);
+        lz.min(max_level)
+    }
+}
+
+impl SpaceUsage for PolyHash {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.coeffs.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn mersenne_arith_identities() {
+        assert_eq!(add_mod(MERSENNE61 - 1, 1), 0);
+        assert_eq!(mul_mod(MERSENNE61 - 1, MERSENNE61 - 1), 1); // (-1)² = 1
+        assert_eq!(pow_mod(2, 61), 1); // 2^61 ≡ 2^61 mod (2^61 − 1) = 1
+        assert_eq!(pow_mod(5, MERSENNE61 - 1), 1); // Fermat
+    }
+
+    #[test]
+    fn mod_mersenne_matches_naive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x: u128 = (r.random::<u64>() as u128) * (r.random::<u64>() as u128 >> 3);
+            assert_eq!(mod_mersenne(x) as u128, x % MERSENNE61 as u128);
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let h = PolyHash::new(4, &mut rng());
+        for x in 0..1000u64 {
+            let v = h.hash(x);
+            assert!(v < MERSENNE61);
+            assert_eq!(v, h.hash(x));
+        }
+    }
+
+    #[test]
+    fn buckets_roughly_uniform() {
+        let h = PolyHash::pairwise(&mut rng());
+        let range = 16;
+        let mut counts = vec![0u32; range];
+        let n = 64_000u64;
+        for x in 0..n {
+            counts[h.bucket(x, range)] += 1;
+        }
+        let expect = n as f64 / range as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "bucket {b}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn levels_geometric() {
+        let h = PolyHash::pairwise(&mut rng());
+        let n = 1u64 << 16;
+        let mut at_least = vec![0u64; 12];
+        for x in 0..n {
+            let l = h.level(x, 40);
+            for (ell, slot) in at_least.iter_mut().enumerate() {
+                if l >= ell as u32 {
+                    *slot += 1;
+                }
+            }
+        }
+        for (ell, &c) in at_least.iter().enumerate() {
+            let expect = n as f64 / 2f64.powi(ell as i32);
+            assert!(
+                (c as f64 - expect).abs() < 8.0 * expect.sqrt().max(4.0),
+                "level ≥ {ell}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn signs_balanced() {
+        let h = PolyHash::pairwise(&mut rng());
+        let n = 20_000i64;
+        let total: i64 = (0..n as u64).map(|x| h.sign(x)).sum();
+        assert!(total.abs() < 8 * (n as f64).sqrt() as i64, "bias {total}");
+    }
+
+    #[test]
+    fn pairwise_independence_collision_rate() {
+        // For pairwise families, P(h(x) mod R = h(y) mod R) ≈ 1/R.
+        let mut r = rng();
+        let range = 64;
+        let (x, y) = (17u64, 9123u64);
+        let trials = 20_000;
+        let mut coll = 0u32;
+        for _ in 0..trials {
+            let h = PolyHash::pairwise(&mut r);
+            if h.bucket(x, range) == h.bucket(y, range) {
+                coll += 1;
+            }
+        }
+        let expect = trials as f64 / range as f64;
+        assert!(
+            (coll as f64 - expect).abs() < 6.0 * expect.sqrt().max(3.0),
+            "collisions {coll} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! ℓ₀-sampling for turnstile streams, after Jowhari, Sağlam, and Tardos [26].
+//!
+//! An ℓ₀-sampler returns a (near-)uniform element of the *support* of the
+//! vector described by an insertion-deletion stream. Construction: a
+//! pairwise-independent hash assigns each coordinate a geometric *level*
+//! (`P(level ≥ ℓ) = 2^{−ℓ}`); level ℓ maintains an s-sparse recovery
+//! structure over the coordinates of level ≥ ℓ. At query time the deepest
+//! non-empty level holds few coordinates w.h.p., is decoded exactly, and the
+//! coordinate with the minimum hash value is returned — a function of the
+//! hash only, which is what makes repeated queries consistent and the output
+//! near-uniform over the support.
+//!
+//! Space is `O(levels · sparsity · rows)` cells of `O(log)` bits =
+//! `O(log²(dim) · log(1/δ))`-style, matching the [26] bound shape quoted in
+//! the paper (§5).
+
+use crate::hash::PolyHash;
+use crate::sparse::KSparse;
+use fews_common::math::ilog2_ceil;
+use fews_common::SpaceUsage;
+use rand::Rng;
+
+/// Tuning knobs for the sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct L0Config {
+    /// Per-level sparse-recovery capacity (default 8).
+    pub sparsity: usize,
+    /// Hash rows per sparse-recovery structure (default 3).
+    pub rows: usize,
+}
+
+impl Default for L0Config {
+    fn default() -> Self {
+        L0Config {
+            sparsity: 8,
+            rows: 3,
+        }
+    }
+}
+
+/// An ℓ₀-sampler over coordinates `0..dim`.
+///
+/// ```
+/// use fews_sketch::l0::L0Sampler;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut s = L0Sampler::new(1 << 20, &mut rng);
+/// s.update(12345, 1);
+/// s.update(777, 1);
+/// s.update(777, -1); // deleted: can never be sampled
+/// assert_eq!(s.sample(), Some((12345, 1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct L0Sampler {
+    level_hash: PolyHash,
+    levels: Vec<KSparse>,
+    max_level: u32,
+    dim: u64,
+}
+
+impl L0Sampler {
+    /// Sampler over `0..dim` with default tuning.
+    pub fn new(dim: u64, rng: &mut impl Rng) -> Self {
+        Self::with_config(dim, L0Config::default(), rng)
+    }
+
+    /// Sampler with explicit tuning.
+    pub fn with_config(dim: u64, cfg: L0Config, rng: &mut impl Rng) -> Self {
+        assert!(dim >= 1);
+        // Levels 0..=max_level; beyond log2(dim) the expected occupancy is
+        // below 1, one extra level of headroom keeps the deepest level usable.
+        let max_level = ilog2_ceil(dim) + 1;
+        L0Sampler {
+            // Min-hash uniformity needs more than pairwise independence;
+            // 8-wise keeps the argmin within a few percent of uniform (the
+            // `roughly_uniform_over_support` test pins this down).
+            level_hash: PolyHash::new(8, rng),
+            levels: (0..=max_level)
+                .map(|_| KSparse::new(cfg.sparsity, cfg.rows, rng))
+                .collect(),
+            max_level,
+            dim,
+        }
+    }
+
+    /// Apply `(index, delta)`; `index < dim`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        debug_assert!(index < self.dim, "index {index} out of dim {}", self.dim);
+        let l = self.level_hash.level(index, self.max_level);
+        for level in &mut self.levels[..=l as usize] {
+            level.update(index, delta);
+        }
+    }
+
+    /// Draw the sample: `Some((index, net_count))` on success.
+    ///
+    /// Repeated calls return the *same* coordinate for the same net vector
+    /// (the sample is a function of the hash and the support). `None` means
+    /// the support is empty *or* the decoder failed at the deepest non-empty
+    /// level (a `δ`-probability event governed by the config).
+    pub fn sample(&self) -> Option<(u64, i64)> {
+        for level in self.levels.iter().rev() {
+            if level.is_zero() {
+                continue;
+            }
+            // Deepest non-empty level: decode it exactly or fail.
+            let items = level.decode()?;
+            debug_assert!(!items.is_empty());
+            return items
+                .into_iter()
+                .min_by_key(|&(i, _)| self.level_hash.hash(i));
+        }
+        None // empty support
+    }
+
+    /// Decode *all* coordinates the deepest non-empty level holds (used by
+    /// the insertion-deletion algorithm to harvest several witnesses from a
+    /// single sampler when it can).
+    pub fn sample_all(&self) -> Option<Vec<(u64, i64)>> {
+        for level in self.levels.iter().rev() {
+            if level.is_zero() {
+                continue;
+            }
+            return level.decode();
+        }
+        Some(Vec::new())
+    }
+
+    /// The coordinate universe size.
+    pub fn dim(&self) -> u64 {
+        self.dim
+    }
+
+    /// Visit every sparse-recovery cell in deterministic (level, row,
+    /// column) order (serialization of the register file).
+    pub fn visit_cells(&self, mut f: impl FnMut(i64, i128, u64)) {
+        for level in &self.levels {
+            level.visit_cells(&mut f);
+        }
+    }
+
+    /// Mutably visit every cell in the same order (deserialization).
+    pub fn visit_cells_mut(&mut self, mut f: impl FnMut(&mut i64, &mut i128, &mut u64)) {
+        for level in &mut self.levels {
+            level.visit_cells_mut(&mut f);
+        }
+    }
+}
+
+impl SpaceUsage for L0Sampler {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.level_hash.space_bytes() + self.levels.space_bytes()
+            - std::mem::size_of::<PolyHash>()
+            - std::mem::size_of::<Vec<KSparse>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn empty_support_returns_none() {
+        let s = L0Sampler::new(1 << 20, &mut rng(1));
+        assert_eq!(s.sample(), None);
+    }
+
+    #[test]
+    fn cancelled_support_returns_none() {
+        let mut s = L0Sampler::new(1 << 20, &mut rng(2));
+        for i in 0..50u64 {
+            s.update(i * 7, 1);
+        }
+        for i in 0..50u64 {
+            s.update(i * 7, -1);
+        }
+        assert_eq!(s.sample(), None);
+    }
+
+    #[test]
+    fn singleton_support_found() {
+        let mut s = L0Sampler::new(1 << 30, &mut rng(3));
+        s.update(123_456_789, 5);
+        assert_eq!(s.sample(), Some((123_456_789, 5)));
+    }
+
+    #[test]
+    fn sample_is_from_support() {
+        let mut s = L0Sampler::new(1 << 16, &mut rng(4));
+        let support: Vec<u64> = (0..300u64).map(|i| i * 31 % 65_536).collect();
+        let mut net: HashMap<u64, i64> = HashMap::new();
+        for &i in &support {
+            s.update(i, 1);
+            *net.entry(i).or_insert(0) += 1;
+        }
+        let (idx, cnt) = s.sample().expect("should decode");
+        assert_eq!(net.get(&idx).copied(), Some(cnt));
+    }
+
+    #[test]
+    fn sample_is_stable_across_calls() {
+        let mut s = L0Sampler::new(1 << 16, &mut rng(5));
+        for i in 0..100u64 {
+            s.update(i * 3, 1);
+        }
+        let first = s.sample();
+        for _ in 0..5 {
+            assert_eq!(s.sample(), first);
+        }
+    }
+
+    #[test]
+    fn success_rate_high() {
+        let mut ok = 0;
+        let trials = 100;
+        for seed in 0..trials {
+            let mut s = L0Sampler::new(1 << 20, &mut rng(1000 + seed));
+            for i in 0..500u64 {
+                s.update(i * 1999, 1);
+            }
+            if s.sample().is_some() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials - 3, "only {ok}/{trials} sampled");
+    }
+
+    #[test]
+    fn roughly_uniform_over_support() {
+        // Sample the same 16-element support with many independent samplers;
+        // each element should be hit ≈ 1/16 of the time.
+        let support: Vec<u64> = (0..16u64).map(|i| i * 4093 + 5).collect();
+        let trials = 4000;
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let mut fails = 0;
+        for seed in 0..trials {
+            let mut s = L0Sampler::new(1 << 16, &mut rng(50_000 + seed));
+            for &i in &support {
+                s.update(i, 1);
+            }
+            match s.sample() {
+                Some((idx, _)) => *counts.entry(idx).or_insert(0) += 1,
+                None => fails += 1,
+            }
+        }
+        assert!(fails < trials / 50, "{fails} failures");
+        let expect = (trials - fails) as f64 / 16.0;
+        for &i in &support {
+            let c = *counts.get(&i).unwrap_or(&0) as f64;
+            assert!(
+                (c - expect).abs() < 6.0 * expect.sqrt(),
+                "element {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn deletion_shifts_sample() {
+        // After deleting the sampled element, a fresh sample returns a
+        // different (still-live) element.
+        let mut s = L0Sampler::new(1 << 16, &mut rng(77));
+        for i in 0..20u64 {
+            s.update(i * 100, 1);
+        }
+        let (first, _) = s.sample().unwrap();
+        s.update(first, -1);
+        let (second, c) = s.sample().unwrap();
+        assert_ne!(second, first);
+        assert_eq!(c, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Sketching substrate and classic frequent-elements baselines.
+//!
+//! Everything the paper's algorithms depend on, built from scratch:
+//!
+//! * [`hash`] — k-wise independent polynomial hashing over the Mersenne
+//!   prime `2⁶¹ − 1`;
+//! * [`reservoir`] — Vitter's reservoir sampling (Algorithm R), the
+//!   primitive behind Deg-Res-Sampling;
+//! * [`sparse`] — 1-sparse and s-sparse recovery for turnstile vectors;
+//! * [`l0`] — an ℓ₀-sampler in the style of Jowhari–Sağlam–Tardos
+//!   (geometric level subsampling over sparse recovery), the engine of the
+//!   insertion-deletion algorithm;
+//! * classic *witness-free* frequent-elements baselines the paper's §1.3
+//!   compares against: [`misra_gries`], [`space_saving`], [`count_min`],
+//!   [`count_sketch`], the multi-stage Bloom filter [`bloom`] of [11], the
+//!   distinct-count sketches [`distinct`] behind the distinct-heavy-hitters
+//!   setting of [22], and the exact-counting reference [`exact`].
+//!
+//! All structures implement [`fews_common::SpaceUsage`] so experiments can
+//! measure the space the theorems bound, and all take explicit RNGs/seeds
+//! for reproducibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod count_min;
+pub mod count_sketch;
+pub mod distinct;
+pub mod exact;
+pub mod hash;
+pub mod l0;
+pub mod misra_gries;
+pub mod reservoir;
+pub mod space_saving;
+pub mod sparse;
+
+pub use l0::L0Sampler;
+pub use reservoir::Reservoir;

@@ -1,0 +1,165 @@
+//! Vitter's reservoir sampling (Algorithm R) [38].
+//!
+//! Maintains a uniform random sample of size `s` from a stream of unknown
+//! length. Deg-Res-Sampling (Algorithm 1 of the paper) embeds this logic
+//! over the sub-stream of vertices whose degree crosses `d₁`; this standalone
+//! version is the primitive, unit-tested for its uniformity invariant.
+
+use fews_common::SpaceUsage;
+use rand::{Rng, RngExt};
+
+/// A uniform reservoir sample of fixed capacity.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    items: Vec<T>,
+    capacity: usize,
+    seen: u64,
+}
+
+/// The outcome of offering an item to the reservoir.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission<T> {
+    /// The item was added without displacing anything.
+    Added,
+    /// The item replaced the returned previous occupant.
+    Replaced(T),
+    /// The item was rejected.
+    Rejected,
+}
+
+impl<T> Reservoir<T> {
+    /// An empty reservoir of the given capacity (`> 0`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Offer the next stream item. Maintains the invariant that the contents
+    /// are a uniform sample (without replacement) of all items offered so far.
+    pub fn offer(&mut self, item: T, rng: &mut impl Rng) -> Admission<T> {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return Admission::Added;
+        }
+        // With probability capacity / seen, replace a uniform victim.
+        if rng.random_range(0..self.seen) < self.capacity as u64 {
+            let victim = rng.random_range(0..self.items.len());
+            let old = std::mem::replace(&mut self.items[victim], item);
+            Admission::Replaced(old)
+        } else {
+            Admission::Rejected
+        }
+    }
+
+    /// Current sample contents.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the reservoir holds `capacity` items.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for Reservoir<T> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<Vec<T>>() + self.items.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn fills_before_sampling() {
+        let mut r = rng(1);
+        let mut res = Reservoir::new(5);
+        for i in 0..5 {
+            assert_eq!(res.offer(i, &mut r), Admission::Added);
+        }
+        assert!(res.is_full());
+        assert_eq!(res.items(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn uniformity_chi_square_ish() {
+        // Each of 20 items should appear in a 4-slot reservoir with
+        // probability 4/20 = 0.2.
+        let trials = 20_000;
+        let mut counts = [0u32; 20];
+        for t in 0..trials {
+            let mut r = rng(t as u64);
+            let mut res = Reservoir::new(4);
+            for i in 0..20u32 {
+                res.offer(i, &mut r);
+            }
+            for &i in res.items() {
+                counts[i as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * 0.2;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * (expect * 0.8).sqrt(),
+                "item {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn replacement_reports_victim() {
+        let mut r = rng(7);
+        let mut res = Reservoir::new(1);
+        assert_eq!(res.offer(10, &mut r), Admission::Added);
+        let mut replaced = 0;
+        let mut rejected = 0;
+        for i in 0..1000 {
+            match res.offer(i, &mut r) {
+                Admission::Replaced(_) => replaced += 1,
+                Admission::Rejected => rejected += 1,
+                Admission::Added => panic!("reservoir already full"),
+            }
+        }
+        assert!(replaced > 0 && rejected > 0);
+        // E[replacements] = Σ_{t=2}^{1001} 1/t ≈ ln(1001) − 1 ≈ 5.9.
+        assert!(replaced < 30, "too many replacements: {replaced}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Reservoir::<u32>::new(0);
+    }
+
+    #[test]
+    fn seen_counter_tracks() {
+        let mut r = rng(3);
+        let mut res = Reservoir::new(2);
+        for i in 0..10 {
+            res.offer(i, &mut r);
+        }
+        assert_eq!(res.seen(), 10);
+    }
+}

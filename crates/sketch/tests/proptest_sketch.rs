@@ -1,0 +1,176 @@
+//! Property-based tests for the sketching substrate's core invariants.
+
+use fews_common::rng::rng_for;
+use fews_sketch::bloom::MultistageBloom;
+use fews_sketch::count_min::CountMin;
+use fews_sketch::distinct::BottomK;
+use fews_sketch::hash::{add_mod, mul_mod, pow_mod, PolyHash, MERSENNE61};
+use fews_sketch::l0::L0Sampler;
+use fews_sketch::reservoir::Reservoir;
+use fews_sketch::sparse::{KSparse, OneSparse, OneSparseState};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn mersenne_field_axioms(a in 0..MERSENNE61, b in 0..MERSENNE61, c in 0..MERSENNE61) {
+        // Commutativity and associativity of the reduced arithmetic.
+        prop_assert_eq!(add_mod(a, b), add_mod(b, a));
+        prop_assert_eq!(mul_mod(a, b), mul_mod(b, a));
+        prop_assert_eq!(mul_mod(mul_mod(a, b), c), mul_mod(a, mul_mod(b, c)));
+        // Distributivity.
+        prop_assert_eq!(mul_mod(a, add_mod(b, c)), add_mod(mul_mod(a, b), mul_mod(a, c)));
+    }
+
+    #[test]
+    fn fermat_little_theorem(a in 1..MERSENNE61) {
+        prop_assert_eq!(pow_mod(a, MERSENNE61 - 1), 1);
+    }
+
+    #[test]
+    fn pow_mod_adds_exponents(a in 1..MERSENNE61, x in 0u64..1000, y in 0u64..1000) {
+        prop_assert_eq!(mul_mod(pow_mod(a, x), pow_mod(a, y)), pow_mod(a, x + y));
+    }
+
+    #[test]
+    fn poly_hash_buckets_in_range(seed in 0u64..500, keys in proptest::collection::vec(any::<u64>(), 1..50), range in 1usize..1000) {
+        let h = PolyHash::new(4, &mut rng_for(seed, 0));
+        for &k in &keys {
+            prop_assert!(h.bucket(k, range) < range);
+            prop_assert_eq!(h.bucket(k, range), h.bucket(k, range));
+        }
+    }
+
+    #[test]
+    fn one_sparse_decodes_any_single_coordinate(idx in 0u64..u64::MAX / 2, delta in -1000i64..1000, z in 1..MERSENNE61) {
+        prop_assume!(delta != 0);
+        let mut cell = OneSparse::default();
+        cell.update(idx, delta, pow_mod(z, idx));
+        prop_assert_eq!(cell.decode(z), OneSparseState::One(idx, delta));
+    }
+
+    #[test]
+    fn one_sparse_cancellation_is_exact(updates in proptest::collection::vec((0u64..1000, -5i64..5), 0..40), z in 1..MERSENNE61) {
+        let mut cell = OneSparse::default();
+        let mut net: HashMap<u64, i64> = HashMap::new();
+        for &(i, d) in &updates {
+            cell.update(i, d, pow_mod(z, i));
+            *net.entry(i).or_insert(0) += d;
+        }
+        net.retain(|_, v| *v != 0);
+        match net.len() {
+            0 => prop_assert_eq!(cell.decode(z), OneSparseState::Zero),
+            1 => {
+                let (&i, &c) = net.iter().next().unwrap();
+                prop_assert_eq!(cell.decode(z), OneSparseState::One(i, c));
+            }
+            _ => {
+                // Many: decode may say Many, or (with prob ~1/p) lie — the
+                // fingerprint makes lying negligible; treat One as failure.
+                if let OneSparseState::One(i, c) = cell.decode(z) {
+                    prop_assert!(net.get(&i) == Some(&c), "fingerprint collision fabricated ({i},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_sparse_recovers_within_capacity(
+        items in proptest::collection::hash_map(0u64..100_000, 1i64..100, 0..8),
+        seed in 0u64..300,
+    ) {
+        let mut ks = KSparse::new(8, 3, &mut rng_for(seed, 0));
+        for (&i, &c) in &items {
+            ks.update(i, c);
+        }
+        if let Some(dec) = ks.decode() {
+            let got: HashMap<u64, i64> = dec.into_iter().collect();
+            prop_assert_eq!(got, items);
+        }
+    }
+
+    #[test]
+    fn l0_sample_always_in_support(
+        support in proptest::collection::hash_set(0u64..65_536, 0..80),
+        seed in 0u64..200,
+    ) {
+        let mut s = L0Sampler::new(65_536, &mut rng_for(seed, 0));
+        for &i in &support {
+            s.update(i, 1);
+        }
+        match s.sample() {
+            Some((idx, c)) => {
+                prop_assert!(support.contains(&idx));
+                prop_assert_eq!(c, 1);
+            }
+            None => prop_assert!(true), // failure allowed; wrongness is not
+        }
+    }
+
+    #[test]
+    fn reservoir_size_invariant(n_items in 1u64..200, cap in 1usize..20, seed in 0u64..100) {
+        let mut res = Reservoir::new(cap);
+        let mut rng = rng_for(seed, 1);
+        for i in 0..n_items {
+            res.offer(i, &mut rng);
+        }
+        prop_assert_eq!(res.items().len(), cap.min(n_items as usize));
+        prop_assert_eq!(res.seen(), n_items);
+        // Contents are distinct stream items.
+        let set: HashSet<u64> = res.items().iter().copied().collect();
+        prop_assert_eq!(set.len(), res.items().len());
+        prop_assert!(set.iter().all(|&x| x < n_items));
+    }
+
+    #[test]
+    fn count_min_strict_turnstile_never_undercounts(
+        updates in proptest::collection::vec(0u64..64, 1..500),
+        seed in 0u64..100,
+    ) {
+        let mut cm = CountMin::new(32, 3, &mut rng_for(seed, 2));
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        for &i in &updates {
+            cm.update(i, 1);
+            *truth.entry(i).or_insert(0) += 1;
+        }
+        for (&i, &t) in &truth {
+            prop_assert!(cm.estimate(i) >= t);
+        }
+    }
+
+    #[test]
+    fn bloom_estimate_upper_bounds_truth(
+        updates in proptest::collection::vec(0u64..32, 1..400),
+        seed in 0u64..100,
+    ) {
+        let mut f = MultistageBloom::new(64, 3, 10, true, &mut rng_for(seed, 3));
+        let mut truth: HashMap<u64, u32> = HashMap::new();
+        for &i in &updates {
+            f.update(i);
+            *truth.entry(i).or_insert(0) += 1;
+        }
+        for (&i, &t) in &truth {
+            prop_assert!(f.estimate(i) >= t, "item {i}");
+            if t >= 10 {
+                prop_assert!(f.contains_frequent(i));
+            }
+        }
+    }
+
+    #[test]
+    fn bottomk_exact_in_small_regime(
+        items in proptest::collection::hash_set(any::<u64>(), 0..64),
+        seed in 0u64..100,
+    ) {
+        let mut sk = BottomK::new(64, &mut rng_for(seed, 4));
+        for &i in &items {
+            sk.update(i);
+            sk.update(i); // duplicates must not inflate
+        }
+        // Below k the estimate is exact up to hash collisions (negligible
+        // at 61-bit range, but allow one).
+        prop_assert!((sk.estimate() - items.len() as f64).abs() <= 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Database audit-log workload (insertion-deletion model).
+//!
+//! The paper's first motivating example: a database log where A-vertices are
+//! records, B-vertices are users, and an edge means "user touched record".
+//! In the insertion-deletion variant an audit entry can be *retracted*
+//! (e.g. a rolled-back transaction), so the hot record must be found from a
+//! turnstile stream. The generator plants one hot record touched by many
+//! distinct users, background records touched by few, and retracts a fraction
+//! of background entries.
+
+use crate::gen::sample_distinct;
+use crate::update::{Edge, Update};
+use rand::{Rng, RngExt};
+
+/// A generated audit log.
+#[derive(Debug, Clone)]
+pub struct DbLog {
+    /// Insert/retract events in arrival order.
+    pub updates: Vec<Update>,
+    /// The planted hot record.
+    pub hot_record: u32,
+    /// Users that touched the hot record (none retracted).
+    pub hot_users: Vec<u64>,
+}
+
+/// Generate a log over `n_records` records and `n_users` users. The hot
+/// record is touched by `hot_touches` distinct users; every other record by
+/// `background_touches` distinct users, of which fraction `retract_frac` are
+/// later retracted.
+pub fn db_log(
+    n_records: u32,
+    n_users: u64,
+    hot_touches: u32,
+    background_touches: u32,
+    retract_frac: f64,
+    rng: &mut impl Rng,
+) -> DbLog {
+    assert!(hot_touches > background_touches);
+    assert!((0.0..=1.0).contains(&retract_frac));
+    let hot_record = rng.random_range(0..n_records);
+    let hot_users = sample_distinct(n_users, hot_touches as usize, rng);
+
+    // Event list keyed for random interleave, like `turnstile::churn_stream`.
+    let mut keyed: Vec<(u64, Update)> = Vec::new();
+    for &u in &hot_users {
+        keyed.push((rng.random(), Update::insert(Edge::new(hot_record, u))));
+    }
+    for rec in 0..n_records {
+        if rec == hot_record {
+            continue;
+        }
+        for u in sample_distinct(n_users, background_touches as usize, rng) {
+            let e = Edge::new(rec, u);
+            let (mut k1, mut k2) = (rng.random::<u64>(), rng.random::<u64>());
+            if k1 > k2 {
+                std::mem::swap(&mut k1, &mut k2);
+            }
+            keyed.push((k1, Update::insert(e)));
+            if rng.random::<f64>() < retract_frac {
+                if k1 == k2 {
+                    k2 = k2.wrapping_add(1);
+                }
+                keyed.push((k2, Update::delete(e)));
+            }
+        }
+    }
+    keyed.sort_by_key(|&(k, u)| (k, u.delta < 0));
+    DbLog {
+        updates: keyed.into_iter().map(|(_, u)| u).collect(),
+        hot_record,
+        hot_users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{degrees, net_graph};
+    use rand::SeedableRng;
+
+    #[test]
+    fn hot_record_survives_with_full_degree() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(31);
+        let log = db_log(40, 1 << 16, 100, 10, 0.5, &mut r);
+        let net = net_graph(&log.updates);
+        let deg = degrees(&net, 40);
+        assert_eq!(deg[log.hot_record as usize], 100);
+        for (rec, &d) in deg.iter().enumerate() {
+            if rec as u32 != log.hot_record {
+                assert!(d <= 10, "record {rec} has surviving degree {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn retractions_happen() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(32);
+        let log = db_log(40, 1 << 16, 50, 10, 0.5, &mut r);
+        let dels = log.updates.iter().filter(|u| u.delta < 0).count();
+        assert!(dels > 0);
+        // Retract rate ≈ 0.5 of the 39 × 10 background touches.
+        assert!((dels as f64 - 195.0).abs() < 60.0, "dels = {dels}");
+    }
+
+    #[test]
+    fn prefixes_are_simple() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(33);
+        let log = db_log(20, 4096, 30, 5, 0.8, &mut r);
+        let mut alive = std::collections::HashSet::new();
+        for u in &log.updates {
+            if u.delta > 0 {
+                assert!(alive.insert(u.edge));
+            } else {
+                assert!(alive.remove(&u.edge));
+            }
+        }
+    }
+}

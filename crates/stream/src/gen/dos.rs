@@ -1,0 +1,127 @@
+//! The DoS-detection trace from the paper's introduction.
+//!
+//! An Internet router logs `(destination IP, source IP)` per forwarded
+//! packet. A (distinct-)frequent-elements algorithm can flag a destination
+//! under attack, but only a *witness* algorithm can also report the attacking
+//! sources. We model destinations as A-vertices and **distinct sources** as
+//! B-vertices: the attack plants one destination contacted by `attack_sources`
+//! distinct sources, over background traffic where a handful of sources
+//! repeatedly talk to Zipf-popular destinations (repeat packets between the
+//! same pair deduplicate to one edge — degree counts *distinct* sources,
+//! exactly the distinct-heavy-hitter semantics of [22] in the paper).
+
+use crate::gen::sample_distinct;
+use crate::gen::zipf::Zipf;
+use crate::update::Edge;
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// A generated attack trace.
+#[derive(Debug, Clone)]
+pub struct DosTrace {
+    /// Deduplicated `(dst, src)` contact edges in arrival order.
+    pub edges: Vec<Edge>,
+    /// The destination under attack.
+    pub victim: u32,
+    /// The distinct sources participating in the attack.
+    pub attackers: Vec<u64>,
+}
+
+/// Generate a trace over `n_dst` destinations and `n_src` possible sources.
+///
+/// * `background_packets` raw packets are drawn with Zipf(`theta`)-popular
+///   destinations and sources from a small "regular client" pool, then
+///   deduplicated per `(dst, src)` pair;
+/// * the victim receives contacts from `attack_sources` *distinct* sources.
+///
+/// The attack edges are interleaved uniformly into the background.
+pub fn dos_trace(
+    n_dst: u32,
+    n_src: u64,
+    background_packets: u64,
+    theta: f64,
+    attack_sources: u32,
+    rng: &mut impl Rng,
+) -> DosTrace {
+    assert!(attack_sources as u64 <= n_src);
+    let victim = rng.random_range(0..n_dst);
+    let zipf = Zipf::new(n_dst, theta);
+    // Regular clients: a small pool of sources generates all background
+    // traffic, so no background destination can accumulate anywhere near
+    // `attack_sources` distinct sources (pool ≤ attack_sources / 2).
+    let pool = ((n_src as f64).sqrt().ceil() as u64)
+        .min((attack_sources as u64 / 2).max(1))
+        .clamp(1, n_src - attack_sources as u64);
+    let mut seen: HashSet<Edge> = HashSet::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    for _ in 0..background_packets {
+        let dst = zipf.sample(rng);
+        let src = rng.random_range(0..pool);
+        let e = Edge::new(dst, src);
+        if seen.insert(e) {
+            edges.push(e);
+        }
+    }
+    let attackers = sample_distinct(n_src - pool, attack_sources as usize, rng)
+        .into_iter()
+        .map(|s| s + pool) // attackers are outside the regular-client pool
+        .collect::<Vec<_>>();
+    for &src in &attackers {
+        let e = Edge::new(victim, src);
+        debug_assert!(!seen.contains(&e));
+        let pos = rng.random_range(0..=edges.len());
+        edges.insert(pos, e);
+    }
+    DosTrace {
+        edges,
+        victim,
+        attackers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::degrees;
+    use rand::SeedableRng;
+
+    #[test]
+    fn victim_dominates_distinct_degree() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(11);
+        let t = dos_trace(100, 1 << 20, 5000, 1.0, 500, &mut r);
+        let deg = degrees(&t.edges, 100);
+        let victim_deg = deg[t.victim as usize];
+        assert!(victim_deg >= 500, "victim degree {victim_deg}");
+        let runner_up = deg
+            .iter()
+            .enumerate()
+            .filter(|(a, _)| *a as u32 != t.victim)
+            .map(|(_, &d)| d)
+            .max()
+            .unwrap();
+        assert!(
+            victim_deg > 3 * runner_up / 2,
+            "victim {victim_deg} vs runner-up {runner_up}"
+        );
+    }
+
+    #[test]
+    fn attackers_are_distinct_and_disjoint_from_pool() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(12);
+        let t = dos_trace(50, 10_000, 1000, 0.8, 200, &mut r);
+        let set: HashSet<u64> = t.attackers.iter().copied().collect();
+        assert_eq!(set.len(), 200);
+        let pool = (10_000f64).sqrt().ceil() as u64;
+        assert!(t.attackers.iter().all(|&s| s >= pool));
+    }
+
+    #[test]
+    fn trace_is_simple() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(13);
+        let t = dos_trace(30, 5000, 2000, 1.0, 100, &mut r);
+        let mut s = t.edges.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), t.edges.len());
+    }
+}

@@ -1,0 +1,101 @@
+//! Workload generators.
+//!
+//! One module per workload family from the paper's motivating applications
+//! (§1) plus the synthetic families the experiments need:
+//!
+//! * [`planted`] — planted heavy vertices and degree ladders (the adversarial
+//!   inputs for Lemma 3.1 / Theorem 3.2 experiments),
+//! * [`zipf`] — Zipf-distributed item frequencies (classic heavy-hitter
+//!   workloads),
+//! * [`powerlaw`] — Chung–Lu bipartite graphs with power-law expected degrees,
+//! * [`social`] — preferential-attachment *general* graphs for Star Detection,
+//! * [`dos`] — the Internet-router / DoS-detection trace from the paper's
+//!   introduction (targets × distinct attack sources, with timestamps),
+//! * [`dblog`] — the database audit-log workload (records × users) in the
+//!   insertion-deletion model,
+//! * [`turnstile`] — churn wrapper turning any final graph into an
+//!   insertion-deletion stream with transient decoy edges.
+
+pub mod dblog;
+pub mod dos;
+pub mod planted;
+pub mod powerlaw;
+pub mod social;
+pub mod turnstile;
+pub mod zipf;
+
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// Sample `k` distinct values from `0..m` uniformly at random.
+///
+/// Uses rejection sampling when `k ≪ m` and a partial Fisher–Yates shuffle
+/// otherwise; panics if `k > m`.
+pub fn sample_distinct(m: u64, k: usize, rng: &mut impl Rng) -> Vec<u64> {
+    assert!(k as u64 <= m, "cannot sample {k} distinct values from 0..{m}");
+    if (k as u64) * 3 < m {
+        let mut seen = HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let x = rng.random_range(0..m);
+            if seen.insert(x) {
+                out.push(x);
+            }
+        }
+        out
+    } else {
+        // Dense regime: partial shuffle of the full range.
+        let mut all: Vec<u64> = (0..m).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..all.len());
+            all.swap(i, j);
+        }
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for &(m, k) in &[(100u64, 10usize), (100, 90), (5, 5), (1, 1), (1000, 0)] {
+            let s = sample_distinct(m, k, &mut rng);
+            assert_eq!(s.len(), k);
+            let set: HashSet<u64> = s.iter().copied().collect();
+            assert_eq!(set.len(), k, "duplicates for (m={m},k={k})");
+            assert!(s.iter().all(|&x| x < m));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_overflow_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = sample_distinct(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn sample_distinct_roughly_uniform() {
+        // Each element of 0..10 should be picked ~ k/m of the time.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        let trials = 2000;
+        for _ in 0..trials {
+            for x in sample_distinct(10, 3, &mut rng) {
+                counts[x as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * 0.3;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.25,
+                "element {i} count {c} far from {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Planted heavy vertices and degree ladders.
+//!
+//! These are the controlled inputs for the correctness experiments: the
+//! ground-truth maximum degree and its witnesses are known by construction.
+
+use crate::update::Edge;
+use crate::gen::sample_distinct;
+use rand::{Rng, RngExt};
+
+/// A generated graph with a known planted heavy vertex.
+#[derive(Debug, Clone)]
+pub struct PlantedStar {
+    /// All edges (unordered; callers choose an arrival order).
+    pub edges: Vec<Edge>,
+    /// The planted heavy A-vertex.
+    pub heavy: u32,
+    /// Its exact degree.
+    pub degree: u32,
+}
+
+/// Plant one A-vertex of degree exactly `d`; every other A-vertex receives
+/// degree `background` (< d). Witness sets are disjoint across vertices when
+/// `m ≥ n·max(d, background)`, otherwise sampled per-vertex without
+/// within-vertex repetition (the graph is always simple).
+pub fn planted_star(
+    n: u32,
+    m: u64,
+    d: u32,
+    background: u32,
+    rng: &mut impl Rng,
+) -> PlantedStar {
+    assert!(n >= 1 && d >= 1);
+    assert!(background < d, "background degree must be below the planted degree");
+    assert!(m >= d as u64, "need at least d distinct witnesses");
+    let heavy = rng.random_range(0..n);
+    let mut edges = Vec::with_capacity(d as usize + (n as usize - 1) * background as usize);
+    for a in 0..n {
+        let deg = if a == heavy { d } else { background };
+        for b in sample_distinct(m, deg as usize, rng) {
+            edges.push(Edge::new(a, b));
+        }
+    }
+    PlantedStar { edges, heavy, degree: d }
+}
+
+/// One tier of a degree ladder: `count` A-vertices, each of degree `degree`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tier {
+    /// Number of A-vertices in this tier.
+    pub count: u32,
+    /// Exact degree of each vertex in this tier.
+    pub degree: u32,
+}
+
+/// A generated degree-ladder graph.
+#[derive(Debug, Clone)]
+pub struct Ladder {
+    /// All edges (unordered).
+    pub edges: Vec<Edge>,
+    /// `vertex_tiers[a]` = tier index of A-vertex `a` (vertices are assigned
+    /// to tiers in shuffled order, so tier membership is random).
+    pub vertex_tiers: Vec<u32>,
+    /// The tier specification used.
+    pub tiers: Vec<Tier>,
+}
+
+/// Build a graph where tier `t` contributes `tiers[t].count` A-vertices of
+/// exact degree `tiers[t].degree`. A-vertices are shuffled among tiers; the
+/// total vertex count across tiers must not exceed `n` (leftover vertices get
+/// degree 0).
+///
+/// This is the natural hard input family for Algorithm 2: a geometric ladder
+/// (`count_i ≈ n^{1−i/α}`, `degree_i = i·d/α`) makes *every* ratio
+/// `n_i / n_{i+1}` as large as the proof of Theorem 3.2 tolerates.
+pub fn degree_ladder(n: u32, m: u64, tiers: &[Tier], rng: &mut impl Rng) -> Ladder {
+    let total: u64 = tiers.iter().map(|t| t.count as u64).sum();
+    assert!(total <= n as u64, "tiers hold {total} vertices but n = {n}");
+    let max_deg = tiers.iter().map(|t| t.degree as u64).max().unwrap_or(0);
+    assert!(m >= max_deg, "m too small for tier degrees");
+
+    // Random assignment of vertex ids to tiers.
+    let mut ids: Vec<u32> = (0..n).collect();
+    for i in 0..ids.len() {
+        let j = rng.random_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    let mut vertex_tiers = vec![u32::MAX; n as usize];
+    let mut edges = Vec::new();
+    let mut cursor = 0usize;
+    for (t_idx, t) in tiers.iter().enumerate() {
+        for _ in 0..t.count {
+            let a = ids[cursor];
+            cursor += 1;
+            vertex_tiers[a as usize] = t_idx as u32;
+            for b in sample_distinct(m, t.degree as usize, rng) {
+                edges.push(Edge::new(a, b));
+            }
+        }
+    }
+    Ladder {
+        edges,
+        vertex_tiers,
+        tiers: tiers.to_vec(),
+    }
+}
+
+/// The geometric ladder described above: `α` tiers where tier `i`
+/// (0-based) has `⌈n^{1 − i/α}⌉` vertices of degree `max(1, (i+1)·⌊d/α⌋)`,
+/// capped so the total vertex count fits in `n`. Tier `α−1` vertices have
+/// degree ≥ d·(1−1/α) and at least one vertex reaches degree `α·⌊d/α⌋ ≥ d − α`.
+pub fn geometric_ladder(n: u32, m: u64, d: u32, alpha: u32, rng: &mut impl Rng) -> Ladder {
+    assert!(alpha >= 1);
+    assert!(n as u64 >= 2 * alpha as u64, "need n ≥ 2α for a ladder");
+    let d2 = (d / alpha).max(1);
+    // Allocate the small, high-degree tiers first so the heavy tier always
+    // exists, then give tier 0 whatever budget remains.
+    let mut budget = n as u64;
+    let mut tiers = vec![Tier {
+        count: 0, // patched below with the leftover budget
+        degree: d2,
+    }];
+    let mut high = Vec::new();
+    for i in (1..alpha).rev() {
+        let want = (n as f64).powf(1.0 - i as f64 / alpha as f64).ceil() as u64;
+        let count = want.clamp(1, budget - i as u64); // leave room for lower tiers
+        budget -= count;
+        high.push(Tier {
+            count: count as u32,
+            degree: (i + 1) * d2,
+        });
+    }
+    tiers[0].count = budget as u32;
+    high.reverse();
+    tiers.extend(high);
+    degree_ladder(n, m, &tiers, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{degrees, max_degree};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn planted_star_degrees_exact() {
+        let mut r = rng();
+        let g = planted_star(50, 10_000, 40, 5, &mut r);
+        let deg = degrees(&g.edges, 50);
+        assert_eq!(deg[g.heavy as usize], 40);
+        for (a, &d) in deg.iter().enumerate() {
+            if a as u32 != g.heavy {
+                assert_eq!(d, 5);
+            }
+        }
+        assert_eq!(g.degree, 40);
+    }
+
+    #[test]
+    fn planted_star_is_simple() {
+        let mut r = rng();
+        let g = planted_star(20, 100, 50, 10, &mut r);
+        let mut sorted = g.edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), g.edges.len(), "duplicate edge generated");
+    }
+
+    #[test]
+    fn ladder_tier_degrees() {
+        let mut r = rng();
+        let tiers = vec![
+            Tier { count: 10, degree: 2 },
+            Tier { count: 3, degree: 8 },
+            Tier { count: 1, degree: 20 },
+        ];
+        let g = degree_ladder(30, 1000, &tiers, &mut r);
+        let deg = degrees(&g.edges, 30);
+        for a in 0..30u32 {
+            let t = g.vertex_tiers[a as usize];
+            let want = if t == u32::MAX { 0 } else { tiers[t as usize].degree };
+            assert_eq!(deg[a as usize], want, "vertex {a} tier {t}");
+        }
+        assert_eq!(max_degree(&g.edges, 30), 20);
+    }
+
+    #[test]
+    fn geometric_ladder_has_heavy_vertex() {
+        let mut r = rng();
+        let (n, d, alpha) = (256, 32, 4);
+        let g = geometric_ladder(n, 1 << 20, d, alpha, &mut r);
+        let top = g.tiers.last().expect("tiers nonempty");
+        assert!(top.degree >= d - alpha, "top degree {} vs d {}", top.degree, d);
+        assert_eq!(max_degree(&g.edges, n), top.degree);
+        // Tier sizes decay geometrically.
+        assert!(g.tiers[0].count >= g.tiers.last().unwrap().count);
+    }
+
+    #[test]
+    #[should_panic(expected = "background degree")]
+    fn planted_star_rejects_bad_background() {
+        let mut r = rng();
+        let _ = planted_star(10, 100, 5, 5, &mut r);
+    }
+}

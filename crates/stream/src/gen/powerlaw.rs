@@ -1,0 +1,82 @@
+//! Chung–Lu bipartite graphs with power-law expected A-degrees.
+
+use crate::update::Edge;
+use rand::{Rng, RngExt};
+
+/// Generate a simple bipartite graph where A-vertex `a` (rank order) has
+/// expected degree `≈ d_max · (a+1)^{−β}`, with each witness drawn uniformly
+/// from `0..m` (resampled on collision within a vertex).
+///
+/// The realised degrees are `Binomial`-like around the expectation; the graph
+/// is simple by construction.
+pub fn chung_lu_bipartite(
+    n: u32,
+    m: u64,
+    d_max: u32,
+    beta: f64,
+    rng: &mut impl Rng,
+) -> Vec<Edge> {
+    assert!(beta >= 0.0);
+    assert!(m >= d_max as u64);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        let expect = d_max as f64 * ((a + 1) as f64).powf(-beta);
+        // Poissonised degree: number of successes in d_max Bernoulli trials
+        // with p = expect / d_max (≤ 1 by construction).
+        let p = (expect / d_max as f64).min(1.0);
+        let mut picked = std::collections::HashSet::new();
+        for _ in 0..d_max {
+            if rng.random::<f64>() < p {
+                // Resample on collision to keep the graph simple.
+                loop {
+                    let b = rng.random_range(0..m);
+                    if picked.insert(b) {
+                        edges.push(Edge::new(a, b));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::degrees;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_is_heaviest_on_average() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(5);
+        let mut top = 0u64;
+        let mut mid = 0u64;
+        for _ in 0..20 {
+            let edges = chung_lu_bipartite(64, 1 << 20, 40, 0.8, &mut r);
+            let deg = degrees(&edges, 64);
+            top += deg[0] as u64;
+            mid += deg[32] as u64;
+        }
+        assert!(top > 2 * mid, "top {top}, mid {mid}");
+    }
+
+    #[test]
+    fn graph_is_simple() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(6);
+        let edges = chung_lu_bipartite(32, 200, 50, 0.5, &mut r);
+        let mut s = edges.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), edges.len());
+    }
+
+    #[test]
+    fn degree_near_expectation_for_flat_beta() {
+        // β = 0 ⇒ every vertex has expected degree d_max exactly (p = 1).
+        let mut r = rand::rngs::StdRng::seed_from_u64(7);
+        let edges = chung_lu_bipartite(16, 10_000, 25, 0.0, &mut r);
+        let deg = degrees(&edges, 16);
+        assert!(deg.iter().all(|&d| d == 25));
+    }
+}

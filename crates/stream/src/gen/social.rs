@@ -1,0 +1,103 @@
+//! Preferential-attachment *general* graphs for Star Detection.
+//!
+//! Star Detection (Problem 2) takes a general graph; the paper's example is
+//! finding an influencer together with their followers in a social network.
+//! Barabási–Albert preferential attachment produces exactly the heavy-tailed
+//! degree distribution that makes a large star emerge organically.
+
+use rand::{Rng, RngExt};
+
+/// An undirected edge of a general graph (`u < v` is *not* required; edges
+/// are stored as generated).
+pub type GeneralEdge = (u32, u32);
+
+/// Barabási–Albert graph: start from a clique on `m0 = attach + 1` vertices;
+/// each subsequent vertex attaches to `attach` distinct existing vertices
+/// chosen proportionally to current degree.
+pub fn preferential_attachment(n: u32, attach: u32, rng: &mut impl Rng) -> Vec<GeneralEdge> {
+    let attach = attach.max(1);
+    let m0 = attach + 1;
+    assert!(n >= m0, "need n ≥ attach+1");
+    let mut edges: Vec<GeneralEdge> = Vec::new();
+    // `targets` holds one entry per edge endpoint, so uniform sampling from
+    // it is degree-proportional sampling.
+    let mut targets: Vec<u32> = Vec::new();
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            edges.push((u, v));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    for v in m0..n {
+        let mut chosen = std::collections::HashSet::new();
+        while chosen.len() < attach as usize {
+            let t = targets[rng.random_range(0..targets.len())];
+            chosen.insert(t);
+        }
+        for &u in &chosen {
+            edges.push((u, v));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    edges
+}
+
+/// Degrees of a general graph with `n` vertices.
+pub fn general_degrees(edges: &[GeneralEdge], n: u32) -> Vec<u32> {
+    let mut deg = vec![0u32; n as usize];
+    for &(u, v) in edges {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    deg
+}
+
+/// Maximum degree Δ of a general graph.
+pub fn general_max_degree(edges: &[GeneralEdge], n: u32) -> u32 {
+    general_degrees(edges, n).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_formula() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(3);
+        let (n, attach) = (200u32, 3u32);
+        let edges = preferential_attachment(n, attach, &mut r);
+        let m0 = attach + 1;
+        let expect = (m0 * (m0 - 1) / 2) + (n - m0) * attach;
+        assert_eq!(edges.len() as u32, expect);
+    }
+
+    #[test]
+    fn graph_is_simple_per_new_vertex() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(4);
+        let edges = preferential_attachment(100, 2, &mut r);
+        let mut s: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), edges.len());
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 2000;
+        let edges = preferential_attachment(n, 2, &mut r);
+        let deg = general_degrees(&edges, n);
+        let max = *deg.iter().max().unwrap();
+        let mean = deg.iter().map(|&d| d as u64).sum::<u64>() / n as u64;
+        assert!(
+            max as u64 > 8 * mean,
+            "no hub: max {max}, mean {mean}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Churn wrapper: turn any final edge set into an insertion-deletion stream.
+//!
+//! The wrapper inserts the surviving edges in random order and, interleaved
+//! with them, `churn_factor × |E|` transient decoy edges that are inserted
+//! and later deleted. Every prefix of the stream describes a simple graph
+//! (an edge is never inserted while present nor deleted while absent).
+
+use crate::update::{Edge, Update};
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// Build a turnstile stream whose net effect is exactly `survivors`.
+///
+/// Decoys are drawn from `0..n × 0..m` avoiding the survivor set and each
+/// other while alive. `churn_factor = 0.0` yields a pure-insertion stream in
+/// random order.
+pub fn churn_stream(
+    survivors: &[Edge],
+    n: u32,
+    m: u64,
+    churn_factor: f64,
+    rng: &mut impl Rng,
+) -> Vec<Update> {
+    assert!(churn_factor >= 0.0);
+    let survivor_set: HashSet<Edge> = survivors.iter().copied().collect();
+    let n_decoys = (survivors.len() as f64 * churn_factor).round() as usize;
+    assert!(
+        (survivors.len() + n_decoys) as u64 <= (n as u64).saturating_mul(m),
+        "not enough edge slots for decoys"
+    );
+
+    // Sample decoy edges distinct from survivors and from each other.
+    let mut decoys: Vec<Edge> = Vec::with_capacity(n_decoys);
+    let mut used = survivor_set.clone();
+    while decoys.len() < n_decoys {
+        let e = Edge::new(rng.random_range(0..n), rng.random_range(0..m));
+        if used.insert(e) {
+            decoys.push(e);
+        }
+    }
+
+    // Event list: survivor insertions at one random position each; decoy
+    // insert+delete at an ordered random pair of positions.
+    let total_events = survivors.len() + 2 * n_decoys;
+    let mut keyed: Vec<(u64, Update)> = Vec::with_capacity(total_events);
+    for &e in survivors {
+        keyed.push((rng.random::<u64>(), Update::insert(e)));
+    }
+    for &e in &decoys {
+        let (mut k1, mut k2) = (rng.random::<u64>(), rng.random::<u64>());
+        if k1 > k2 {
+            std::mem::swap(&mut k1, &mut k2);
+        }
+        if k1 == k2 {
+            k2 = k2.wrapping_add(1);
+        }
+        keyed.push((k1, Update::insert(e)));
+        keyed.push((k2, Update::delete(e)));
+    }
+    keyed.sort_by_key(|&(k, u)| (k, u.delta < 0));
+    keyed.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::net_graph;
+    use rand::SeedableRng;
+
+    fn survivors() -> Vec<Edge> {
+        (0..20u32).map(|a| Edge::new(a, (a as u64) * 7)).collect()
+    }
+
+    #[test]
+    fn net_effect_is_survivor_set() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(21);
+        let s = survivors();
+        let stream = churn_stream(&s, 20, 1000, 3.0, &mut r);
+        let mut want = s.clone();
+        want.sort_unstable();
+        assert_eq!(net_graph(&stream), want);
+    }
+
+    #[test]
+    fn stream_length_accounts_for_churn() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(22);
+        let s = survivors();
+        let stream = churn_stream(&s, 20, 1000, 2.0, &mut r);
+        assert_eq!(stream.len(), s.len() + 2 * (2 * s.len()));
+    }
+
+    #[test]
+    fn every_prefix_is_simple() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(23);
+        let s = survivors();
+        let stream = churn_stream(&s, 20, 100, 5.0, &mut r);
+        let mut alive: HashSet<Edge> = HashSet::new();
+        for u in &stream {
+            if u.delta > 0 {
+                assert!(alive.insert(u.edge), "double insert {:?}", u.edge);
+            } else {
+                assert!(alive.remove(&u.edge), "delete absent {:?}", u.edge);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_churn_is_pure_insertions() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(24);
+        let s = survivors();
+        let stream = churn_stream(&s, 20, 1000, 0.0, &mut r);
+        assert_eq!(stream.len(), s.len());
+        assert!(stream.iter().all(|u| u.delta == 1));
+    }
+}

@@ -1,0 +1,167 @@
+//! Zipf-distributed item frequencies, encoded as a bipartite graph.
+//!
+//! Classic heavy-hitter workloads draw stream items from a Zipf(θ)
+//! distribution. In the witness formulation each *occurrence* of item `a`
+//! arrives with fresh satellite data (e.g. a timestamp), i.e. a fresh
+//! B-vertex, so item frequency equals A-vertex degree exactly.
+
+use crate::update::Edge;
+use rand::{Rng, RngExt};
+
+/// A sampler for `Zipf(θ)` over `{0, …, n−1}` (rank 0 is the most frequent),
+/// built on an explicit CDF with binary-search inversion.
+///
+/// `P(i) ∝ (i+1)^{−θ}`.
+///
+/// ```
+/// use fews_stream::gen::zipf::Zipf;
+///
+/// let z = Zipf::new(100, 1.0);
+/// assert!(z.pmf(0) > z.pmf(1));
+/// let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. `theta = 0` is uniform; `theta ≈ 1` is the classic
+    /// web-traffic skew.
+    pub fn new(n: u32, theta: f64) -> Self {
+        assert!(n >= 1);
+        assert!(theta >= 0.0 && theta.is_finite());
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let u: f64 = rng.random::<f64>();
+        // partition_point: first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: u32) -> f64 {
+        let i = i as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// A Zipf item stream encoded as edges: occurrence `t` of the stream is the
+/// edge `(item_t, t)` — B-vertices are the (unique) timestamps `0..len`, so
+/// the stream is simple and `deg(a)` = frequency of `a`.
+#[derive(Debug, Clone)]
+pub struct ZipfStream {
+    /// Edges in arrival (timestamp) order.
+    pub edges: Vec<Edge>,
+    /// Exact frequency of every item.
+    pub frequencies: Vec<u32>,
+}
+
+/// Generate a Zipf(θ) stream of `len` occurrences over `n` items.
+pub fn zipf_stream(n: u32, theta: f64, len: u64, rng: &mut impl Rng) -> ZipfStream {
+    let zipf = Zipf::new(n, theta);
+    let mut frequencies = vec![0u32; n as usize];
+    let mut edges = Vec::with_capacity(len as usize);
+    for t in 0..len {
+        let a = zipf.sample(rng);
+        frequencies[a as usize] += 1;
+        edges.push(Edge::new(a, t));
+    }
+    ZipfStream { edges, frequencies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &theta in &[0.0, 0.5, 1.0, 2.0] {
+            let z = Zipf::new(100, theta);
+            let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "theta={theta}: {total}");
+        }
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_ranks() {
+        let z = Zipf::new(50, 1.2);
+        for i in 1..50 {
+            assert!(z.pmf(i - 1) > z.pmf(i));
+        }
+    }
+
+    #[test]
+    fn empirical_matches_pmf() {
+        let z = Zipf::new(8, 1.0);
+        let mut r = rng();
+        let trials = 40_000;
+        let mut counts = [0u32; 8];
+        for _ in 0..trials {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        for i in 0..8u32 {
+            let want = z.pmf(i) * trials as f64;
+            let got = counts[i as usize] as f64;
+            assert!(
+                (got - want).abs() < 5.0 * want.sqrt().max(5.0),
+                "rank {i}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_frequencies_consistent() {
+        let mut r = rng();
+        let s = zipf_stream(20, 1.0, 5000, &mut r);
+        assert_eq!(s.edges.len(), 5000);
+        let total: u32 = s.frequencies.iter().sum();
+        assert_eq!(total, 5000);
+        // Timestamps are unique ⇒ the graph is simple.
+        let mut bs: Vec<u64> = s.edges.iter().map(|e| e.b).collect();
+        bs.sort_unstable();
+        bs.dedup();
+        assert_eq!(bs.len(), 5000);
+        // Rank 0 should dominate under θ = 1.
+        let max_item = s
+            .frequencies
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(max_item < 3, "most frequent rank was {max_item}");
+    }
+}

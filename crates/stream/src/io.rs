@@ -1,0 +1,132 @@
+//! Plain-text stream interchange format.
+//!
+//! One update per line: `a b` for an insertion, `a b -` for a deletion.
+//! Lines starting with `#` and blank lines are ignored. The format is meant
+//! for example binaries and for moving traces between tools, not for speed.
+
+use crate::update::{Edge, Update};
+use std::io::{BufRead, Write};
+
+/// Errors produced when parsing a stream file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and content.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, content } => {
+                write!(f, "malformed stream line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Write a turnstile stream in the text format.
+pub fn write_updates(mut w: impl Write, updates: &[Update]) -> std::io::Result<()> {
+    for u in updates {
+        if u.delta >= 0 {
+            writeln!(w, "{} {}", u.edge.a, u.edge.b)?;
+        } else {
+            writeln!(w, "{} {} -", u.edge.a, u.edge.b)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a turnstile stream from the text format.
+pub fn read_updates(r: impl BufRead) -> Result<Vec<Update>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(ParseError::Malformed {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        let tail = parts.next();
+        if parts.next().is_some() || !matches!(tail, None | Some("-")) {
+            return Err(ParseError::Malformed {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        }
+        let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u64>()) else {
+            return Err(ParseError::Malformed {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        let edge = Edge::new(a, b);
+        out.push(match tail {
+            Some("-") => Update::delete(edge),
+            _ => Update::insert(edge),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let ups = vec![
+            Update::insert(Edge::new(1, 2)),
+            Update::delete(Edge::new(1, 2)),
+            Update::insert(Edge::new(4_000_000_000, u64::MAX / 2)),
+        ];
+        let mut buf = Vec::new();
+        write_updates(&mut buf, &ups).unwrap();
+        let back = read_updates(&buf[..]).unwrap();
+        assert_eq!(back, ups);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n1 2\n  \n3 4 -\n";
+        let ups = read_updates(text.as_bytes()).unwrap();
+        assert_eq!(ups.len(), 2);
+        assert_eq!(ups[1], Update::delete(Edge::new(3, 4)));
+    }
+
+    #[test]
+    fn malformed_reports_line_number() {
+        let text = "1 2\nnot a line\n";
+        match read_updates(text.as_bytes()) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(read_updates("1 2 3 4\n".as_bytes()).is_err());
+        assert!(read_updates("1 2 +\n".as_bytes()).is_err());
+    }
+}

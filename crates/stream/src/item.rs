@@ -1,0 +1,81 @@
+//! Item-stream-with-metadata → bipartite-graph encoding.
+//!
+//! The paper's Problem 1 formulates witness-reporting over a *graph* so that
+//! different occurrences of the same item can carry distinct satellite data.
+//! This module provides the canonical encoding the introduction describes:
+//! stream items become A-vertices and each occurrence's metadata (timestamp,
+//! source IP, user id, …) becomes a B-vertex connected to it.
+
+use crate::update::Edge;
+
+/// One occurrence of a stream item together with its satellite datum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemOccurrence {
+    /// The item identifier (the thing whose frequency matters).
+    pub item: u32,
+    /// The satellite datum for this occurrence (the witness to report).
+    pub meta: u64,
+}
+
+/// Encode an item stream as an edge stream, deduplicating `(item, meta)`
+/// pairs so the result is a simple bipartite graph (an item seen twice with
+/// the *same* metadata contributes one witness, matching the "distinct
+/// frequent elements" semantics; with unique timestamps the encoding is
+/// lossless).
+pub fn encode(occurrences: &[ItemOccurrence]) -> Vec<Edge> {
+    let mut seen = std::collections::HashSet::with_capacity(occurrences.len());
+    occurrences
+        .iter()
+        .filter_map(|o| {
+            let e = Edge::new(o.item, o.meta);
+            seen.insert(e).then_some(e)
+        })
+        .collect()
+}
+
+/// Encode with automatic timestamps: occurrence `t` of the stream gets
+/// metadata `t`. This is the "report *when* the frequent item appeared"
+/// variant; frequencies map to degrees exactly.
+pub fn encode_with_timestamps(items: &[u32]) -> Vec<Edge> {
+    items
+        .iter()
+        .enumerate()
+        .map(|(t, &item)| Edge::new(item, t as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::degrees;
+
+    #[test]
+    fn timestamps_make_degree_equal_frequency() {
+        let items = vec![0, 1, 0, 2, 0, 1];
+        let edges = encode_with_timestamps(&items);
+        assert_eq!(edges.len(), 6);
+        assert_eq!(degrees(&edges, 3), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn encode_dedups_identical_pairs() {
+        let occ = vec![
+            ItemOccurrence { item: 7, meta: 1 },
+            ItemOccurrence { item: 7, meta: 1 },
+            ItemOccurrence { item: 7, meta: 2 },
+        ];
+        let edges = encode(&occ);
+        assert_eq!(edges, vec![Edge::new(7, 1), Edge::new(7, 2)]);
+    }
+
+    #[test]
+    fn encode_preserves_order_of_first_appearance() {
+        let occ = vec![
+            ItemOccurrence { item: 1, meta: 9 },
+            ItemOccurrence { item: 0, meta: 9 },
+            ItemOccurrence { item: 1, meta: 9 },
+        ];
+        let edges = encode(&occ);
+        assert_eq!(edges, vec![Edge::new(1, 9), Edge::new(0, 9)]);
+    }
+}

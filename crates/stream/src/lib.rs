@@ -1,0 +1,27 @@
+//! Stream model substrate for the FEwW reproduction.
+//!
+//! The paper works over streams of edges of a bipartite graph
+//! `G = (A, B, E)` with `|A| = n` and `|B| = m = poly(n)`:
+//!
+//! * **insertion-only** streams are arbitrary-order sequences of edge
+//!   insertions ([`Edge`]);
+//! * **insertion-deletion** streams are arbitrary sequences of edge
+//!   insertions and deletions ([`Update`]) whose net effect is a simple
+//!   bipartite graph.
+//!
+//! This crate provides the concrete types for both models, workload
+//! generators matching the paper's motivating applications ([`gen`]),
+//! arrival-order suites for adversarial testing ([`order`]), a plain-text
+//! stream interchange format ([`io`]), and the item-stream-with-metadata to
+//! bipartite-graph encoding from the paper's introduction ([`item`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod io;
+pub mod item;
+pub mod order;
+pub mod update;
+
+pub use update::{Edge, Update};

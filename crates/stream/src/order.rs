@@ -1,0 +1,161 @@
+//! Arrival orders.
+//!
+//! The paper's algorithms must work for *arbitrary-order* streams. The
+//! experiments therefore run every workload under a suite of orders,
+//! including the ones that are adversarial for reservoir-based witness
+//! collection (heavy vertex's edges arriving *first*, so a reservoir that
+//! samples the vertex late has no edges left to collect).
+
+use crate::update::Edge;
+use rand::{Rng, RngExt};
+
+/// The arrival-order suite used by the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Uniformly random permutation.
+    Shuffled,
+    /// All edges of the highest-degree vertex arrive first.
+    HeavyFirst,
+    /// All edges of the highest-degree vertex arrive last.
+    HeavyLast,
+    /// Edges grouped by A-vertex (sorted by `a`, then `b`).
+    GroupedByVertex,
+    /// Round-robin across A-vertices: first edge of each vertex, then second
+    /// of each, … (degree-sequence interleave).
+    RoundRobin,
+}
+
+impl Order {
+    /// All variants, for sweep loops.
+    pub const ALL: [Order; 5] = [
+        Order::Shuffled,
+        Order::HeavyFirst,
+        Order::HeavyLast,
+        Order::GroupedByVertex,
+        Order::RoundRobin,
+    ];
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Order::Shuffled => "shuffled",
+            Order::HeavyFirst => "heavy-first",
+            Order::HeavyLast => "heavy-last",
+            Order::GroupedByVertex => "grouped",
+            Order::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// Fisher–Yates shuffle of an edge list.
+pub fn shuffle(edges: &mut [Edge], rng: &mut impl Rng) {
+    for i in (1..edges.len()).rev() {
+        let j = rng.random_range(0..=i);
+        edges.swap(i, j);
+    }
+}
+
+/// Rearrange `edges` according to `order`. `heavy` identifies the vertex the
+/// Heavy* orders move; pass the ground-truth max-degree vertex.
+pub fn arrange(edges: &mut Vec<Edge>, order: Order, heavy: u32, rng: &mut impl Rng) {
+    match order {
+        Order::Shuffled => shuffle(edges, rng),
+        Order::HeavyFirst => {
+            shuffle(edges, rng);
+            edges.sort_by_key(|e| e.a != heavy); // stable: heavy block first
+        }
+        Order::HeavyLast => {
+            shuffle(edges, rng);
+            edges.sort_by_key(|e| e.a == heavy);
+        }
+        Order::GroupedByVertex => {
+            edges.sort_unstable();
+        }
+        Order::RoundRobin => {
+            shuffle(edges, rng);
+            // Index each edge by its within-vertex position, then sort by it.
+            let mut pos = std::collections::HashMap::<u32, u32>::new();
+            let mut keyed: Vec<(u32, Edge)> = edges
+                .iter()
+                .map(|&e| {
+                    let p = pos.entry(e.a).or_insert(0);
+                    let k = *p;
+                    *p += 1;
+                    (k, e)
+                })
+                .collect();
+            keyed.sort_by_key(|&(k, e)| (k, e.a));
+            *edges = keyed.into_iter().map(|(_, e)| e).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_edges() -> Vec<Edge> {
+        let mut v = Vec::new();
+        for a in 0..5u32 {
+            let deg = if a == 3 { 10 } else { 2 };
+            for b in 0..deg {
+                v.push(Edge::new(a, b as u64 + a as u64 * 100));
+            }
+        }
+        v
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn arrange_preserves_multiset() {
+        let base = sample_edges();
+        for order in Order::ALL {
+            let mut e = base.clone();
+            arrange(&mut e, order, 3, &mut rng());
+            let mut a = e.clone();
+            let mut b = base.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "order {order:?} changed the multiset");
+        }
+    }
+
+    #[test]
+    fn heavy_first_puts_heavy_block_first() {
+        let mut e = sample_edges();
+        arrange(&mut e, Order::HeavyFirst, 3, &mut rng());
+        assert!(e[..10].iter().all(|x| x.a == 3));
+        assert!(e[10..].iter().all(|x| x.a != 3));
+    }
+
+    #[test]
+    fn heavy_last_puts_heavy_block_last() {
+        let mut e = sample_edges();
+        arrange(&mut e, Order::HeavyLast, 3, &mut rng());
+        let n = e.len();
+        assert!(e[n - 10..].iter().all(|x| x.a == 3));
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let mut e = sample_edges();
+        arrange(&mut e, Order::RoundRobin, 3, &mut rng());
+        // First 5 edges must be 5 distinct vertices (every vertex has ≥ 2
+        // edges, so round 0 contains each of the 5 vertices once).
+        let firsts: std::collections::HashSet<u32> = e[..5].iter().map(|x| x.a).collect();
+        assert_eq!(firsts.len(), 5);
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let mut a = sample_edges();
+        let mut b = sample_edges();
+        shuffle(&mut a, &mut rng());
+        shuffle(&mut b, &mut rng());
+        assert_eq!(a, b);
+    }
+}

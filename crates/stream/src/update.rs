@@ -1,0 +1,175 @@
+//! Edges and turnstile updates.
+
+use fews_common::SpaceUsage;
+use std::collections::HashMap;
+
+/// An edge of the bipartite input graph `G = (A, B, E)`.
+///
+/// `a` indexes the left side (`0..n`) whose frequent/high-degree members the
+/// algorithms report; `b` indexes the right side (`0..m`, `m = poly(n)`),
+/// whose members serve as *witnesses* (timestamps, source IPs, users, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Left (A-side) vertex — the potential frequent element.
+    pub a: u32,
+    /// Right (B-side) vertex — the witness.
+    pub b: u64,
+}
+
+impl Edge {
+    /// Construct an edge.
+    pub fn new(a: u32, b: u64) -> Self {
+        Edge { a, b }
+    }
+
+    /// Flatten to a coordinate in the `n × m` edge-indicator vector used by
+    /// the ℓ₀-sampling machinery of Algorithm 3.
+    pub fn linear_index(&self, m: u64) -> u64 {
+        debug_assert!(self.b < m, "b={} out of range m={m}", self.b);
+        self.a as u64 * m + self.b
+    }
+
+    /// Inverse of [`Edge::linear_index`].
+    pub fn from_linear_index(idx: u64, m: u64) -> Self {
+        Edge {
+            a: (idx / m) as u32,
+            b: idx % m,
+        }
+    }
+}
+
+impl SpaceUsage for Edge {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Edge>()
+    }
+}
+
+/// A turnstile update: an edge insertion (`delta = +1`) or deletion
+/// (`delta = −1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// The edge being inserted or deleted.
+    pub edge: Edge,
+    /// `+1` for insertion, `−1` for deletion.
+    pub delta: i8,
+}
+
+impl Update {
+    /// An insertion of `edge`.
+    pub fn insert(edge: Edge) -> Self {
+        Update { edge, delta: 1 }
+    }
+
+    /// A deletion of `edge`.
+    pub fn delete(edge: Edge) -> Self {
+        Update { edge, delta: -1 }
+    }
+}
+
+impl SpaceUsage for Update {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Update>()
+    }
+}
+
+/// Lift an insertion-only stream to a turnstile stream.
+pub fn as_insertions(edges: &[Edge]) -> Vec<Update> {
+    edges.iter().copied().map(Update::insert).collect()
+}
+
+/// Materialize the graph described by a turnstile stream.
+///
+/// Returns the multiset of surviving edges. Panics (in debug builds) if any
+/// multiplicity leaves `{0, 1}` — the paper's streams describe *simple*
+/// graphs at every prefix end, and our generators maintain that.
+pub fn net_graph(updates: &[Update]) -> Vec<Edge> {
+    let mut mult: HashMap<Edge, i32> = HashMap::new();
+    for u in updates {
+        let e = mult.entry(u.edge).or_insert(0);
+        *e += u.delta as i32;
+        debug_assert!(
+            *e == 0 || *e == 1,
+            "non-simple multiplicity {} for {:?}",
+            *e,
+            u.edge
+        );
+    }
+    let mut edges: Vec<Edge> = mult
+        .into_iter()
+        .filter_map(|(e, c)| (c > 0).then_some(e))
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// Degree of every A-vertex in an edge set (dense vector of length `n`).
+pub fn degrees(edges: &[Edge], n: u32) -> Vec<u32> {
+    let mut deg = vec![0u32; n as usize];
+    for e in edges {
+        deg[e.a as usize] += 1;
+    }
+    deg
+}
+
+/// Maximum A-side degree Δ of an edge set.
+pub fn max_degree(edges: &[Edge], n: u32) -> u32 {
+    degrees(edges, n).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_index_roundtrip() {
+        let m = 1000;
+        for &(a, b) in &[(0u32, 0u64), (3, 999), (17, 500), (u32::MAX / 2, 1)] {
+            let e = Edge::new(a, b);
+            assert_eq!(Edge::from_linear_index(e.linear_index(m), m), e);
+        }
+    }
+
+    #[test]
+    fn net_graph_cancels_deletions() {
+        let e1 = Edge::new(0, 1);
+        let e2 = Edge::new(0, 2);
+        let ups = vec![
+            Update::insert(e1),
+            Update::insert(e2),
+            Update::delete(e1),
+        ];
+        assert_eq!(net_graph(&ups), vec![e2]);
+    }
+
+    #[test]
+    fn net_graph_reinsertion_survives() {
+        let e = Edge::new(5, 7);
+        let ups = vec![Update::insert(e), Update::delete(e), Update::insert(e)];
+        assert_eq!(net_graph(&ups), vec![e]);
+    }
+
+    #[test]
+    fn degree_counting() {
+        let edges = vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(2, 0)];
+        assert_eq!(degrees(&edges, 3), vec![2, 0, 1]);
+        assert_eq!(max_degree(&edges, 3), 2);
+        assert_eq!(max_degree(&[], 3), 0);
+    }
+
+    #[test]
+    fn as_insertions_preserves_order() {
+        let edges = vec![Edge::new(1, 1), Edge::new(0, 0)];
+        let ups = as_insertions(&edges);
+        assert_eq!(ups[0].edge, edges[0]);
+        assert_eq!(ups[1].edge, edges[1]);
+        assert!(ups.iter().all(|u| u.delta == 1));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn double_insert_is_rejected_in_debug() {
+        let e = Edge::new(0, 0);
+        let _ = net_graph(&[Update::insert(e), Update::insert(e)]);
+    }
+}

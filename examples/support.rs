@@ -1,0 +1,63 @@
+//! Shared helpers for the example binaries.
+
+/// Parse `--flag value` style options from the command line, with defaults.
+/// Unknown flags abort with a usage message listing the known ones.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Collect `--key value` pairs from `std::env::args`.
+    pub fn parse(known: &[&str]) -> Args {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .unwrap_or_else(|| usage(known, &format!("unexpected argument {}", raw[i])));
+            if !known.contains(&key) {
+                usage(known, &format!("unknown flag --{key}"));
+            }
+            let val = raw
+                .get(i + 1)
+                .unwrap_or_else(|| usage(known, &format!("--{key} needs a value")));
+            pairs.push((key.to_string(), val.clone()));
+            i += 2;
+        }
+        Args { pairs }
+    }
+
+    /// Fetch a parsed value or the default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn usage(known: &[&str], msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "known flags: {}",
+        known
+            .iter()
+            .map(|k| format!("--{k} <value>"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(2);
+}
+
+/// Render a witness list compactly (first few + count).
+pub fn preview_witnesses(ws: &[u64], show: usize) -> String {
+    let head: Vec<String> = ws.iter().take(show).map(u64::to_string).collect();
+    if ws.len() > show {
+        format!("[{}, … {} total]", head.join(", "), ws.len())
+    } else {
+        format!("[{}]", head.join(", "))
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use fews_stream::Edge;
+use std::collections::HashSet;
+
+/// Ground-truth neighbour set of a vertex in an edge list.
+pub fn true_neighbours(edges: &[Edge], a: u32) -> HashSet<u64> {
+    edges.iter().filter(|e| e.a == a).map(|e| e.b).collect()
+}
+
+/// Assert a reported neighbourhood is sound (vertex real, witnesses genuine,
+/// enough of them) against ground truth.
+pub fn assert_sound(
+    nb: &fews_core::Neighbourhood,
+    edges: &[Edge],
+    min_witnesses: usize,
+) {
+    let nbrs = true_neighbours(edges, nb.vertex);
+    assert!(
+        nb.size() >= min_witnesses,
+        "only {} witnesses, need {min_witnesses}",
+        nb.size()
+    );
+    for w in &nb.witnesses {
+        assert!(
+            nbrs.contains(w),
+            "witness {w} is not a neighbour of {}",
+            nb.vertex
+        );
+    }
+}

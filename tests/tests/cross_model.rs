@@ -1,0 +1,104 @@
+//! Cross-model tests: the same task through both algorithms, deletions
+//! honoured, and the Star Detection wrappers in both stream models.
+
+use fews_common::rng::rng_for;
+use fews_common::SpaceUsage;
+use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_core::star::StarInsertOnly;
+use fews_integration_tests::assert_sound;
+use fews_stream::gen::dblog::db_log;
+use fews_stream::gen::planted::planted_star;
+use fews_stream::gen::social::{general_max_degree, preferential_attachment};
+use fews_stream::gen::turnstile::churn_stream;
+use fews_stream::update::net_graph;
+
+#[test]
+fn both_models_find_the_same_planted_star() {
+    let (n, m, d, alpha) = (64u32, 4096u64, 16u32, 4u32);
+    let mut both = 0;
+    let trials = 8;
+    for t in 0..trials {
+        let g = planted_star(n, m, d, 2, &mut rng_for(400 + t, 0));
+        // Insertion-only.
+        let mut io = FewwInsertOnly::new(FewwConfig::new(n, d, alpha), 500 + t);
+        for e in &g.edges {
+            io.push(*e);
+        }
+        // Insertion-deletion over a churned version of the same graph.
+        let stream = churn_stream(&g.edges, n, m, 1.5, &mut rng_for(600 + t, 0));
+        let mut id = FewwInsertDelete::new(IdConfig::with_scale(n, m, d, alpha, 0.1), 700 + t);
+        for u in &stream {
+            id.push(*u);
+        }
+        if let (Some(a), Some(b)) = (io.result(), id.result()) {
+            assert_sound(&a, &g.edges, 4);
+            assert_sound(&b, &g.edges, 4);
+            assert_eq!(a.vertex, g.heavy);
+            assert_eq!(b.vertex, g.heavy);
+            both += 1;
+        }
+    }
+    assert!(both >= trials - 2, "only {both}/{trials} agreed");
+}
+
+#[test]
+fn db_log_retractions_respected() {
+    // The insertion-deletion algorithm must never report a retracted entry.
+    for t in 0..5u64 {
+        let log = db_log(48, 1 << 14, 20, 4, 0.7, &mut rng_for(800 + t, 0));
+        let survivors = net_graph(&log.updates);
+        let mut alg = FewwInsertDelete::new(
+            IdConfig::with_scale(48, 1 << 14, 20, 2, 0.12),
+            900 + t,
+        );
+        for u in &log.updates {
+            alg.push(*u);
+        }
+        if let Some(nb) = alg.result() {
+            assert_sound(&nb, &survivors, 10);
+            assert_eq!(nb.vertex, log.hot_record);
+        }
+    }
+}
+
+#[test]
+fn star_detection_insertion_only_on_social_graph() {
+    let n = 512u32;
+    let edges = preferential_attachment(n, 2, &mut rng_for(31, 0));
+    let delta = general_max_degree(&edges, n);
+    let mut star = StarInsertOnly::new(n, 4, 0.5, 77);
+    for &(u, v) in &edges {
+        star.push(u, v);
+    }
+    let nb = star.result().expect("a star exists");
+    assert!(
+        nb.size() as f64 * 6.0 >= delta as f64,
+        "approximation broke: {} vs Δ = {delta}",
+        nb.size()
+    );
+}
+
+#[test]
+fn space_separation_is_visible_at_matched_parameters() {
+    // At the same (n, d, α), the turnstile algorithm pays measurably more
+    // than the insertion-only one — the §1.1 separation, at laptop scale.
+    let (n, m, d, alpha) = (128u32, 1u64 << 14, 32u32, 4u32);
+    let io = FewwInsertOnly::new(FewwConfig::new(n, d, alpha), 1);
+    let id = FewwInsertDelete::new(IdConfig::with_scale(n, m, d, alpha, 0.1), 1);
+    assert!(
+        id.space_bytes() > 2 * io.space_bytes(),
+        "insertion-deletion {} vs insertion-only {}",
+        id.space_bytes(),
+        io.space_bytes()
+    );
+}
+
+#[test]
+fn insertion_only_space_shrinks_with_alpha() {
+    // Theorem 3.2's n^{1/α}·d term: larger α ⇒ smaller witness storage.
+    let (n, d) = (4096u32, 256u32);
+    let s1 = FewwConfig::new(n, d, 1).reservoir() * 256;
+    let s4 = FewwConfig::new(n, d, 4).reservoir() * (256 / 4);
+    assert!(s4 < s1 / 8, "reservoir×d₂: α=1 {} vs α=4 {}", s1, s4);
+}

@@ -1,0 +1,111 @@
+//! End-to-end pipelines: generator → arrival order → algorithm → verified
+//! output, across the paper's motivating applications.
+
+use fews_common::rng::rng_for;
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_integration_tests::assert_sound;
+use fews_stream::gen::dos::dos_trace;
+use fews_stream::gen::zipf::zipf_stream;
+use fews_stream::item::encode_with_timestamps;
+use fews_stream::order::{arrange, Order};
+
+#[test]
+fn zipf_item_stream_with_timestamps() {
+    // Heavy-hitter-with-timestamps: degree = frequency exactly.
+    let mut found = 0;
+    let trials = 10;
+    for t in 0..trials {
+        let s = zipf_stream(512, 1.2, 20_000, &mut rng_for(100 + t, 0));
+        let top = (0..512u32)
+            .max_by_key(|&a| s.frequencies[a as usize])
+            .unwrap();
+        let d = s.frequencies[top as usize];
+        let mut alg = FewwInsertOnly::new(FewwConfig::new(512, d, 2), 100 + t);
+        for e in &s.edges {
+            alg.push(*e);
+        }
+        if let Some(nb) = alg.result() {
+            assert_sound(&nb, &s.edges, (d / 2) as usize);
+            // The certified vertex really is d/α-frequent.
+            assert!(s.frequencies[nb.vertex as usize] >= d / 2);
+            found += 1;
+        }
+    }
+    assert!(found >= trials - 1, "only {found}/{trials}");
+}
+
+#[test]
+fn dos_trace_names_victim_and_attackers() {
+    let mut named = 0;
+    let trials = 8;
+    for t in 0..trials {
+        let trace = dos_trace(128, 1 << 20, 4000, 1.0, 300, &mut rng_for(200 + t, 0));
+        let mut alg = FewwInsertOnly::new(FewwConfig::new(128, 300, 2), 300 + t);
+        for e in &trace.edges {
+            alg.push(*e);
+        }
+        if let Some(nb) = alg.result() {
+            assert_sound(&nb, &trace.edges, 150);
+            assert_eq!(nb.vertex, trace.victim, "wrong victim");
+            // A sizeable share of witnesses are genuine attackers.
+            let attackers: std::collections::HashSet<u64> =
+                trace.attackers.iter().copied().collect();
+            let caught = nb.witnesses.iter().filter(|w| attackers.contains(w)).count();
+            assert!(caught >= 100, "only {caught} attackers among witnesses");
+            named += 1;
+        }
+    }
+    assert!(named >= trials - 1, "only {named}/{trials}");
+}
+
+#[test]
+fn timestamp_encoding_roundtrip_through_algorithm() {
+    // An explicit item stream; the witness set must be timestamps at which
+    // the item really appeared.
+    let items: Vec<u32> = (0..200u32).map(|t| if t % 4 == 0 { 9 } else { t % 32 }).collect();
+    let edges = encode_with_timestamps(&items);
+    let mut alg = FewwInsertOnly::new(FewwConfig::new(32, 50, 2), 17);
+    for e in &edges {
+        alg.push(*e);
+    }
+    let nb = alg.result().expect("item 9 has frequency 50");
+    assert_eq!(nb.vertex, 9);
+    for &w in &nb.witnesses {
+        assert_eq!(items[w as usize], 9, "timestamp {w} is not an occurrence of 9");
+    }
+}
+
+#[test]
+fn all_arrival_orders_agree_on_the_heavy_vertex() {
+    let g = fews_stream::gen::planted::planted_star(96, 1 << 18, 48, 6, &mut rng_for(5, 0));
+    for (i, order) in Order::ALL.into_iter().enumerate() {
+        let mut edges = g.edges.clone();
+        arrange(&mut edges, order, g.heavy, &mut rng_for(6, i as u64));
+        let mut alg = FewwInsertOnly::new(FewwConfig::new(96, 48, 2), 7 + i as u64);
+        for e in &edges {
+            alg.push(*e);
+        }
+        if let Some(nb) = alg.result() {
+            assert_sound(&nb, &g.edges, 24);
+            assert_eq!(nb.vertex, g.heavy, "order {order:?} certified a non-heavy vertex");
+        }
+    }
+}
+
+#[test]
+fn stream_io_feeds_the_algorithm() {
+    // Write a trace to the text format, read it back, run the algorithm.
+    let g = fews_stream::gen::planted::planted_star(32, 1024, 16, 2, &mut rng_for(8, 0));
+    let updates = fews_stream::update::as_insertions(&g.edges);
+    let mut buf = Vec::new();
+    fews_stream::io::write_updates(&mut buf, &updates).unwrap();
+    let back = fews_stream::io::read_updates(&buf[..]).unwrap();
+    assert_eq!(back, updates);
+    let mut alg = FewwInsertOnly::new(FewwConfig::new(32, 16, 2), 9);
+    for u in &back {
+        assert!(u.delta > 0);
+        alg.push(u.edge);
+    }
+    let nb = alg.result().expect("planted star present");
+    assert_sound(&nb, &g.edges, 8);
+}

@@ -1,0 +1,160 @@
+//! Property-based cross-crate invariants (proptest).
+//!
+//! These pin down the *structural* guarantees that must hold for every
+//! input, independent of probability: soundness of witnesses, turnstile
+//! cancellation, serialization round-trips, and sketch error bounds.
+
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_core::wire::{get_uvarint, put_uvarint, MemoryState};
+use fews_sketch::misra_gries::MisraGries;
+use fews_sketch::space_saving::SpaceSaving;
+use fews_sketch::sparse::KSparse;
+use fews_stream::update::{degrees, net_graph, Update};
+use fews_stream::Edge;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Strategy: a small simple bipartite edge set.
+fn edge_set(n: u32, m: u64, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
+    proptest::collection::hash_set((0..n, 0..m), 0..max_edges)
+        .prop_map(|set| set.into_iter().map(|(a, b)| Edge::new(a, b)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn feww_witnesses_are_always_genuine(edges in edge_set(24, 64, 200), seed in 0u64..1000) {
+        // Regardless of promise violations, every reported witness must be
+        // a real neighbour of the reported vertex, and the count is ≥ ⌊d/α⌋.
+        let mut alg = FewwInsertOnly::new(FewwConfig::new(24, 8, 2), seed);
+        for e in &edges {
+            alg.push(*e);
+        }
+        if let Some(nb) = alg.result() {
+            prop_assert!(nb.verify_against(&edges));
+            prop_assert!(nb.size() >= 4);
+        }
+    }
+
+    #[test]
+    fn feww_degree_table_is_exact(edges in edge_set(24, 64, 200)) {
+        let mut alg = FewwInsertOnly::new(FewwConfig::new(24, 4, 2), 0);
+        for e in &edges {
+            alg.push(*e);
+        }
+        let truth = degrees(&edges, 24);
+        for a in 0..24u32 {
+            prop_assert_eq!(alg.degree(a), truth[a as usize]);
+        }
+    }
+
+    #[test]
+    fn memory_state_roundtrips(edges in edge_set(16, 32, 120), seed in 0u64..100) {
+        let mut alg = FewwInsertOnly::new(FewwConfig::new(16, 6, 3), seed);
+        for e in &edges {
+            alg.push(*e);
+        }
+        let state = MemoryState::capture(&alg);
+        let bytes = state.encode();
+        let back = MemoryState::decode(&bytes);
+        prop_assert_eq!(back.as_ref(), Some(&state));
+    }
+
+    #[test]
+    fn varint_roundtrips(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn net_graph_of_insert_delete_pairs_is_empty(edges in edge_set(16, 32, 60)) {
+        let mut ups: Vec<Update> = Vec::new();
+        for &e in &edges {
+            ups.push(Update::insert(e));
+        }
+        for &e in &edges {
+            ups.push(Update::delete(e));
+        }
+        prop_assert!(net_graph(&ups).is_empty());
+    }
+
+    #[test]
+    fn misra_gries_undercount_bound(items in proptest::collection::vec(0u64..32, 1..800), k in 1usize..16) {
+        let mut mg = MisraGries::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &i in &items {
+            mg.update(i);
+            *truth.entry(i).or_insert(0) += 1;
+        }
+        let bound = items.len() as u64 / (k as u64 + 1);
+        for (&item, &t) in &truth {
+            let est = mg.estimate(item);
+            prop_assert!(est <= t, "overcount");
+            prop_assert!(t - est <= bound, "undercount {} > {bound}", t - est);
+        }
+    }
+
+    #[test]
+    fn space_saving_sandwich(items in proptest::collection::vec(0u64..32, 1..800), k in 1usize..16) {
+        let mut ss = SpaceSaving::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &i in &items {
+            ss.update(i);
+            *truth.entry(i).or_insert(0) += 1;
+        }
+        for (&item, &t) in &truth {
+            // guaranteed ≤ true ≤ estimate (when tracked), estimate ≤ true + m/k.
+            prop_assert!(ss.guaranteed(item) <= t);
+            let est = ss.estimate(item);
+            if est > 0 {
+                prop_assert!(est >= t || est >= ss.guaranteed(item));
+                prop_assert!(est <= t + items.len() as u64 / k as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn k_sparse_never_lies(indices in proptest::collection::hash_set(0u64..10_000, 0..6), seed in 0u64..500) {
+        // Decode returns exactly the truth or None — never a wrong set.
+        let mut rng = fews_common::rng::rng_for(seed, 0);
+        let mut ks = KSparse::new(8, 3, &mut rng);
+        for &i in &indices {
+            ks.update(i, 1);
+        }
+        if let Some(decoded) = ks.decode() {
+            let got: HashSet<u64> = decoded.iter().map(|&(i, _)| i).collect();
+            let want: HashSet<u64> = indices.iter().copied().collect();
+            prop_assert_eq!(got, want);
+            prop_assert!(decoded.iter().all(|&(_, c)| c == 1));
+        }
+    }
+
+    #[test]
+    fn neighbourhood_dedup_sorted(vertex in 0u32..100, ws in proptest::collection::vec(any::<u64>(), 0..50)) {
+        let nb = fews_core::Neighbourhood::new(vertex, ws.clone());
+        let unique: HashSet<u64> = ws.iter().copied().collect();
+        prop_assert_eq!(nb.size(), unique.len());
+        prop_assert!(nb.witnesses.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn churn_stream_nets_to_survivors(
+        edges in edge_set(12, 24, 40),
+        churn in 0.0f64..3.0,
+        seed in 0u64..100,
+    ) {
+        let mut rng = fews_common::rng::rng_for(seed, 1);
+        let stream = fews_stream::gen::turnstile::churn_stream(&edges, 12, 24, churn, &mut rng);
+        let mut want = edges.clone();
+        want.sort_unstable();
+        prop_assert_eq!(net_graph(&stream), want);
+    }
+}
