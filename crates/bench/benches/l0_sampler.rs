@@ -6,24 +6,33 @@ use fews_sketch::l0::{L0Config, L0Sampler};
 
 fn bench_update(c: &mut Criterion) {
     let dim = 1u64 << 32;
-    let updates: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B9) % dim).collect();
+    let updates: Vec<u64> = (0..10_000u64)
+        .map(|i| i.wrapping_mul(0x9E3779B9) % dim)
+        .collect();
     let mut group = c.benchmark_group("l0_update");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
     group.throughput(Throughput::Elements(updates.len() as u64));
     for sparsity in [4usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("sparsity", sparsity), &sparsity, |b, &s| {
-            b.iter(|| {
-                let mut rng = rng_for(5, s as u64);
-                let cfg = L0Config { sparsity: s, rows: 3 };
-                let mut sampler = L0Sampler::with_config(dim, cfg, &mut rng);
-                for &u in &updates {
-                    sampler.update(u, 1);
-                }
-                std::hint::black_box(sampler.sample())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sparsity", sparsity),
+            &sparsity,
+            |b, &s| {
+                b.iter(|| {
+                    let mut rng = rng_for(5, s as u64);
+                    let cfg = L0Config {
+                        sparsity: s,
+                        rows: 3,
+                    };
+                    let mut sampler = L0Sampler::with_config(dim, cfg, &mut rng);
+                    for &u in &updates {
+                        sampler.update(u, 1);
+                    }
+                    std::hint::black_box(sampler.sample())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -4,8 +4,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fews_common::rng::rng_for;
 use fews_sketch::bloom::MultistageBloom;
 use fews_sketch::count_min::CountMin;
-use fews_sketch::distinct::BottomK;
 use fews_sketch::count_sketch::CountSketch;
+use fews_sketch::distinct::BottomK;
 use fews_sketch::misra_gries::MisraGries;
 use fews_sketch::space_saving::SpaceSaving;
 use fews_stream::gen::zipf::zipf_stream;

@@ -17,15 +17,24 @@ use rand::RngExt;
 pub fn l51(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Lemma 5.1 — coupon-collection concentration",
-        &["n", "k", "y", "C", "samples", "trials", "fail_bound", "measured_fail"],
+        &[
+            "n",
+            "k",
+            "y",
+            "C",
+            "samples",
+            "trials",
+            "fail_bound",
+            "measured_fail",
+        ],
     );
     let n = 1000u64;
     let k = 100u64;
     let trials = ctx.trials(1000, 50);
     for &y in &[10u64, 50, 90] {
         for &c in &[4u64, 5, 6] {
-            let samples = (c as f64 * (n as f64).ln() * n as f64 * y as f64 / k as f64)
-                .ceil() as u64;
+            let samples =
+                (c as f64 * (n as f64).ln() * n as f64 * y as f64 / k as f64).ceil() as u64;
             let fails = parallel_trials(trials, |t| {
                 let mut rng = rng_for(derive_seed(ctx.seed, 0x151_0000 + t), y ^ (c << 32));
                 // Marked items are 0..k; sample uniformly with repetition.
@@ -98,7 +107,15 @@ enum Strategy {
 pub fn l52(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Lemma 5.2 — vertex sampling succeeds in the dense regime",
-        &["n", "d", "alpha", "heavy_count", "n/x", "trials", "success(vertex-only)"],
+        &[
+            "n",
+            "d",
+            "alpha",
+            "heavy_count",
+            "n/x",
+            "trials",
+            "success(vertex-only)",
+        ],
     );
     let (n, d, alpha) = (64u32, 16u32, 4u32);
     let cfg = IdConfig::with_scale(n, 1024, d, alpha, 0.25);
@@ -112,8 +129,14 @@ pub fn l52(ctx: &ExpCtx) -> Vec<Table> {
             // everyone else degree 1.
             let d2 = d / alpha;
             let tiers = [
-                Tier { count: n - heavy_count, degree: 1 },
-                Tier { count: heavy_count, degree: d2 },
+                Tier {
+                    count: n - heavy_count,
+                    degree: 1,
+                },
+                Tier {
+                    count: heavy_count,
+                    degree: d2,
+                },
             ];
             let g = degree_ladder(n, 1024, &tiers, &mut rng);
             // Promise parameter: some vertex has degree ≥ d/α ⇒ run the
@@ -143,7 +166,14 @@ pub fn l52(ctx: &ExpCtx) -> Vec<Table> {
 pub fn l53(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Lemma 5.3 — edge sampling succeeds in the sparse regime",
-        &["n", "d", "alpha", "background_deg", "trials", "success(edge-only)"],
+        &[
+            "n",
+            "d",
+            "alpha",
+            "background_deg",
+            "trials",
+            "success(edge-only)",
+        ],
     );
     let (n, d, alpha) = (64u32, 16u32, 4u32);
     let cfg = IdConfig::with_scale(n, 1024, d, alpha, 0.25);
@@ -158,7 +188,11 @@ pub fn l53(ctx: &ExpCtx) -> Vec<Table> {
                 let edges = (0..d as u64)
                     .map(|b| fews_stream::Edge::new(heavy, b))
                     .collect::<Vec<_>>();
-                fews_stream::gen::planted::PlantedStar { edges, heavy, degree: d }
+                fews_stream::gen::planted::PlantedStar {
+                    edges,
+                    heavy,
+                    degree: d,
+                }
             } else {
                 planted_star(n, 1024, d, background, &mut rng)
             };
@@ -186,8 +220,17 @@ pub fn t54(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Theorem 5.4 — insertion-deletion FEwW: success and space vs curve",
         &[
-            "n", "d", "alpha", "branch", "scale", "churn", "trials", "success",
-            "space_bytes", "curve_words", "norm_ratio",
+            "n",
+            "d",
+            "alpha",
+            "branch",
+            "scale",
+            "churn",
+            "trials",
+            "success",
+            "space_bytes",
+            "curve_words",
+            "norm_ratio",
         ],
     );
     let scale = 0.2;
@@ -196,13 +239,22 @@ pub fn t54(ctx: &ExpCtx) -> Vec<Table> {
     let configs: &[(u32, u32, u32)] = if ctx.quick {
         &[(32, 16, 2), (64, 16, 4)]
     } else {
-        &[(32, 16, 2), (64, 16, 2), (64, 16, 4), (128, 16, 4), (64, 16, 16)]
+        &[
+            (32, 16, 2),
+            (64, 16, 2),
+            (64, 16, 4),
+            (128, 16, 4),
+            (64, 16, 16),
+        ]
     };
     let mut first_ratio: Option<f64> = None;
     for &(n, d, alpha) in configs {
         let cfg = IdConfig::with_scale(n, 1024, d, alpha, scale);
         let results = parallel_trials(trials, |t| {
-            let seed = derive_seed(ctx.seed, 0x154_0000 + ((n as u64) << 16) + ((alpha as u64) << 8) + t);
+            let seed = derive_seed(
+                ctx.seed,
+                0x154_0000 + ((n as u64) << 16) + ((alpha as u64) << 8) + t,
+            );
             let mut rng = rng_for(seed, 0);
             let g = planted_star(n, 1024, d, (d / alpha / 2).max(1).min(d - 1), &mut rng);
             run_id_on_stream(cfg, &g.edges, churn, seed, Strategy::Both)

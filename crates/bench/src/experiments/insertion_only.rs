@@ -30,8 +30,14 @@ pub fn l31(ctx: &ExpCtx) -> Vec<Table> {
                 let mut rng = rng_for(seed, 0);
                 // n₂ vertices at degree d₁+d₂−1, the rest of the n₁ at d₁.
                 let tiers = [
-                    Tier { count: n1 - n2, degree: d1 },
-                    Tier { count: n2, degree: d1 + d2 - 1 },
+                    Tier {
+                        count: n1 - n2,
+                        degree: d1,
+                    },
+                    Tier {
+                        count: n2,
+                        degree: d1 + d2 - 1,
+                    },
                 ];
                 let mut g = degree_ladder(n1, 1 << 16, &tiers, &mut rng);
                 shuffle(&mut g.edges, &mut rng);
@@ -71,12 +77,24 @@ pub fn t32(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Theorem 3.2 — insertion-only FEwW: success rate and space vs curve",
         &[
-            "n", "d", "alpha", "order", "trials", "success", "target(1-1/n)",
-            "space_bytes", "curve_bits", "bytes/curve",
+            "n",
+            "d",
+            "alpha",
+            "order",
+            "trials",
+            "success",
+            "target(1-1/n)",
+            "space_bytes",
+            "curve_bits",
+            "bytes/curve",
         ],
     );
     let d = 64u32;
-    let ns: &[u32] = if ctx.quick { &[256, 1024] } else { &[256, 1024, 4096, 16384] };
+    let ns: &[u32] = if ctx.quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096, 16384]
+    };
     for &n in ns {
         for &alpha in &[1u32, 2, 4, 6] {
             for order in [Order::Shuffled, Order::HeavyFirst] {
@@ -107,8 +125,7 @@ pub fn t32(ctx: &ExpCtx) -> Vec<Table> {
                         .unwrap_or(false);
                     (ok, alg.space_bytes())
                 });
-                let success =
-                    results.iter().filter(|(ok, _)| *ok).count() as f64 / trials as f64;
+                let success = results.iter().filter(|(ok, _)| *ok).count() as f64 / trials as f64;
                 let mut space = Summary::new();
                 for (_, b) in &results {
                     space.push(*b as f64);
@@ -139,11 +156,22 @@ pub fn c34(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Corollary 3.4 — semi-streaming Star Detection (α = ⌈log₂ n⌉, ε = 1/2)",
         &[
-            "n", "edges", "Δ", "trials", "mean_star", "worst_ratio",
-            "bound((1+ε)α)", "space_bytes", "guesses",
+            "n",
+            "edges",
+            "Δ",
+            "trials",
+            "mean_star",
+            "worst_ratio",
+            "bound((1+ε)α)",
+            "space_bytes",
+            "guesses",
         ],
     );
-    let ns: &[u32] = if ctx.quick { &[256] } else { &[256, 1024, 4096] };
+    let ns: &[u32] = if ctx.quick {
+        &[256]
+    } else {
+        &[256, 1024, 4096]
+    };
     for &n in ns {
         let trials = ctx.trials(10, 3);
         let results = parallel_trials(trials, |t| {

@@ -3,12 +3,12 @@
 use super::ExpCtx;
 use crate::runner::parallel_trials;
 use crate::table::{f3, Table};
-use fews_common::math::{amri_lower_bound_bits, bvl_lower_bound_bits};
-use fews_common::rng::{derive_seed, rng_for};
-use fews_common::stats::Summary;
 use fews_comm::amri::{run_protocol as run_amri, AmriInstance, AmriProtocolConfig};
 use fews_comm::bvl::{run_protocol as run_bvl, trivial_protocol, BvlInstance};
 use fews_comm::disjointness::{gen_disjoint, gen_intersecting, run_protocol as run_disj};
+use fews_common::math::{amri_lower_bound_bits, bvl_lower_bound_bits};
+use fews_common::rng::{derive_seed, rng_for};
+use fews_common::stats::Summary;
 
 /// Theorem 4.1: the FEwW-powered protocol decides Set-Disjointness_p, and
 /// its longest message tracks the Ω(n/p²)-style growth in n.
@@ -16,7 +16,13 @@ pub fn t41(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Theorem 4.1 — Set-Disjointness via insertion-only FEwW (α = p−1, d = k·p)",
         &[
-            "p", "n", "k", "trials", "accuracy", "false_pos", "max_msg_bits",
+            "p",
+            "n",
+            "k",
+            "trials",
+            "accuracy",
+            "false_pos",
+            "max_msg_bits",
             "n/p^2 (ref)",
         ],
     );
@@ -26,7 +32,10 @@ pub fn t41(ctx: &ExpCtx) -> Vec<Table> {
         for &n in &[256u32, 1024, 4096] {
             let set_size = (n / (2 * p)).max(1);
             let results = parallel_trials(trials, |t| {
-                let seed = derive_seed(ctx.seed, 0x141_0000 + ((p as u64) << 20) + ((n as u64) << 4) + t);
+                let seed = derive_seed(
+                    ctx.seed,
+                    0x141_0000 + ((p as u64) << 20) + ((n as u64) << 4) + t,
+                );
                 let mut rng = rng_for(seed, 0);
                 let intersecting = t % 2 == 1;
                 let inst = if intersecting {
@@ -67,8 +76,16 @@ pub fn t47(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Theorems 4.7/4.8 — Bit-Vector-Learning via insertion-only FEwW",
         &[
-            "p", "n", "k", "trials", "success", "mean_bits_learnt", "target(1.01k)",
-            "trivial_bits", "max_msg_bits", "lower_bound_bits",
+            "p",
+            "n",
+            "k",
+            "trials",
+            "success",
+            "mean_bits_learnt",
+            "target(1.01k)",
+            "trivial_bits",
+            "max_msg_bits",
+            "lower_bound_bits",
         ],
     );
     let trials = ctx.trials(30, 6);
@@ -88,7 +105,10 @@ pub fn t47(ctx: &ExpCtx) -> Vec<Table> {
     ];
     for &(p, n, k) in cases {
         let results = parallel_trials(trials, |t| {
-            let seed = derive_seed(ctx.seed, 0x147_0000 + ((p as u64) << 20) + ((n as u64) << 4) + t);
+            let seed = derive_seed(
+                ctx.seed,
+                0x147_0000 + ((p as u64) << 20) + ((n as u64) << 4) + t,
+            );
             let inst = BvlInstance::generate(p, n, k, &mut rng_for(seed, 0));
             let out = run_bvl(&inst, seed);
             assert!(out.all_correct, "protocol fabricated a bit");
@@ -123,8 +143,15 @@ pub fn t62(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Theorems 6.2/6.4 — Augmented-Matrix-Row-Index via insertion-deletion FEwW",
         &[
-            "n", "m(=2d)", "k(=d/α−1)", "alpha", "rounds", "trials", "exact_rows",
-            "max_msg_bits", "lower_bound_bits(ε=.01)",
+            "n",
+            "m(=2d)",
+            "k(=d/α−1)",
+            "alpha",
+            "rounds",
+            "trials",
+            "exact_rows",
+            "max_msg_bits",
+            "lower_bound_bits(ε=.01)",
         ],
     );
     let alpha = 2u32;
@@ -139,7 +166,10 @@ pub fn t62(ctx: &ExpCtx) -> Vec<Table> {
         let k = d / alpha - 1;
         let cfg = AmriProtocolConfig::standard(alpha, n, 0.08);
         let results = parallel_trials(trials, |t| {
-            let seed = derive_seed(ctx.seed, 0x162_0000 + ((n as u64) << 16) + ((m as u64) << 4) + t);
+            let seed = derive_seed(
+                ctx.seed,
+                0x162_0000 + ((n as u64) << 16) + ((m as u64) << 4) + t,
+            );
             let inst = AmriInstance::generate(n, m, k, &mut rng_for(seed, 0));
             let out = run_amri(&inst, cfg, seed);
             (out.exact, out.transcript.cost_bits())
@@ -182,7 +212,13 @@ pub fn fig1(ctx: &ExpCtx) -> Vec<Table> {
     }
     let mut outcome = Table::new(
         "Figure 1 — protocol run (trivial vs FEwW reduction)",
-        &["protocol", "index(paper)", "bits", "meets_1.01k", "max_msg_bits"],
+        &[
+            "protocol",
+            "index(paper)",
+            "bits",
+            "meets_1.01k",
+            "max_msg_bits",
+        ],
     );
     let (idx, bits) = trivial_protocol(&inst);
     outcome.push_row(vec![
@@ -210,7 +246,11 @@ pub fn fig2(ctx: &ExpCtx) -> Vec<Table> {
     let inst = BvlInstance::figure1();
     let mut table = Table::new(
         "Figure 2 — Theorem 4.8 edge gadget (party 1 = Alice)",
-        &["vertex(paper)", "string Y^j_1", "edge B-labels (bit = label mod 2)"],
+        &[
+            "vertex(paper)",
+            "string Y^j_1",
+            "edge B-labels (bit = label mod 2)",
+        ],
     );
     for j in 0..4u32 {
         let y: String = inst.bits[0][&j]
@@ -250,8 +290,16 @@ pub fn fig3(ctx: &ExpCtx) -> Vec<Table> {
         table.push_row(vec![
             (i + 1).to_string(),
             bits,
-            if known.is_empty() { "-".into() } else { format!("cols {}", known.join(",")) },
-            if i == inst.j { "yes".into() } else { "no".into() },
+            if known.is_empty() {
+                "-".into()
+            } else {
+                format!("cols {}", known.join(","))
+            },
+            if i == inst.j {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     // Run the Lemma 6.3 protocol on the worked instance (m = 6 is not of
@@ -267,7 +315,13 @@ pub fn fig3(ctx: &ExpCtx) -> Vec<Table> {
     let out = run_amri(&inst, cfg, ctx.seed);
     let mut outcome = Table::new(
         "Figure 3 — Lemma 6.3 protocol run (α = 1, d = 3, k = 2)",
-        &["recovered row 3", "exact", "ones_found", "zeros_found", "max_msg_bits"],
+        &[
+            "recovered row 3",
+            "exact",
+            "ones_found",
+            "zeros_found",
+            "max_msg_bits",
+        ],
     );
     outcome.push_row(vec![
         out.row

@@ -4,13 +4,11 @@
 use super::ExpCtx;
 use crate::runner::parallel_trials;
 use crate::table::{bytes, Table};
-use fews_common::math::{
-    insertion_deletion_space_curve, insertion_only_space_curve,
-};
-use fews_common::rng::{derive_seed, rng_for};
-use fews_common::SpaceUsage;
 use fews_comm::baranyai::baranyai;
 use fews_comm::info::{lemma_42_gap, max_rule_violation, random_joint};
+use fews_common::math::{insertion_deletion_space_curve, insertion_only_space_curve};
+use fews_common::rng::{derive_seed, rng_for};
+use fews_common::SpaceUsage;
 use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
 use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
 use fews_sketch::bloom::MultistageBloom;
@@ -29,7 +27,13 @@ pub fn sep(ctx: &ExpCtx) -> Vec<Table> {
     let (n, d, alpha) = (128u32, 16u32, 4u32);
     let mut table = Table::new(
         "§1.1 — insertion-only vs insertion-deletion at the same (n, d, α)",
-        &["model", "measured_space", "curve", "paper_sampler_count", "success(5 trials)"],
+        &[
+            "model",
+            "measured_space",
+            "curve",
+            "paper_sampler_count",
+            "success(5 trials)",
+        ],
     );
     // Insertion-only.
     let io_results = parallel_trials(5, |t| {
@@ -48,7 +52,10 @@ pub fn sep(ctx: &ExpCtx) -> Vec<Table> {
     table.push_row(vec![
         "insertion-only (Alg 2)".into(),
         bytes(io_space),
-        format!("{:.0}", insertion_only_space_curve(n as u64, d as u64, alpha)),
+        format!(
+            "{:.0}",
+            insertion_only_space_curve(n as u64, d as u64, alpha)
+        ),
         "α runs × s reservoir".into(),
         format!("{io_ok}/5"),
     ]);
@@ -71,7 +78,10 @@ pub fn sep(ctx: &ExpCtx) -> Vec<Table> {
     table.push_row(vec![
         format!("insertion-deletion (Alg 3, scale {scale})"),
         bytes(id_space),
-        format!("{:.0}", insertion_deletion_space_curve(n as u64, d as u64, alpha)),
+        format!(
+            "{:.0}",
+            insertion_deletion_space_curve(n as u64, d as u64, alpha)
+        ),
         format!(
             "{} vertex·{} + {} edge",
             paper_cfg.vertex_sample_size(),
@@ -84,7 +94,12 @@ pub fn sep(ctx: &ExpCtx) -> Vec<Table> {
     // Star Detection analytic gap at α = log n, d = Θ(n).
     let mut star = Table::new(
         "§1.1 — Star Detection gap at α = log n (analytic curves)",
-        &["n", "insertion-only Õ(n)", "insertion-deletion Ω̃(n²)", "ratio"],
+        &[
+            "n",
+            "insertion-only Õ(n)",
+            "insertion-deletion Ω̃(n²)",
+            "ratio",
+        ],
     );
     for &nn in &[1u64 << 10, 1 << 14, 1 << 18] {
         let alpha_log = fews_common::math::ilog2_ceil(nn).max(1);
@@ -109,8 +124,15 @@ pub fn base(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "§1.3 — witness-free baselines vs FEwW as the threshold d grows",
         &[
-            "d", "MG_space", "SS_space", "CMS_space", "FEwW_space", "FEwW_witness_part",
-            "exact_store", "MG_witnesses", "FEwW_witnesses",
+            "d",
+            "MG_space",
+            "SS_space",
+            "CMS_space",
+            "FEwW_space",
+            "FEwW_witness_part",
+            "exact_store",
+            "MG_witnesses",
+            "FEwW_witnesses",
         ],
     );
     let n_items = 4096u32;
@@ -123,7 +145,8 @@ pub fn base(ctx: &ExpCtx) -> Vec<Table> {
         let k = (stream_len / d as u64).max(1) as usize;
         let mut mg = MisraGries::new(k);
         let mut ss = SpaceSaving::new(k);
-        let mut cms = CountMin::with_error(d as f64 / stream_len as f64, 0.01, &mut rng_for(seed, 1));
+        let mut cms =
+            CountMin::with_error(d as f64 / stream_len as f64, 0.01, &mut rng_for(seed, 1));
         let mut exact = ExactWitnessStore::new();
         for e in &s.edges {
             mg.update(e.a as u64);
@@ -257,12 +280,29 @@ pub fn base(ctx: &ExpCtx) -> Vec<Table> {
 pub fn baranyai_exp(ctx: &ExpCtx) -> Vec<Table> {
     let mut table = Table::new(
         "Theorem 4.4 — constructive Baranyai 1-factorisation",
-        &["n", "k", "classes C(n-1,k-1)", "factors_per_class n/k", "k-subsets covered", "valid"],
+        &[
+            "n",
+            "k",
+            "classes C(n-1,k-1)",
+            "factors_per_class n/k",
+            "k-subsets covered",
+            "valid",
+        ],
     );
     let cases: &[(u32, u32)] = if ctx.quick {
         &[(6, 2), (6, 3), (8, 4)]
     } else {
-        &[(4, 2), (6, 2), (8, 2), (10, 2), (6, 3), (9, 3), (12, 3), (8, 4), (12, 4)]
+        &[
+            (4, 2),
+            (6, 2),
+            (8, 2),
+            (10, 2),
+            (6, 3),
+            (9, 3),
+            (12, 3),
+            (8, 4),
+            (12, 4),
+        ]
     };
     for &(n, k) in cases {
         let p = baranyai(n, k);
@@ -293,7 +333,10 @@ pub fn info_exp(ctx: &ExpCtx) -> Vec<Table> {
     );
     let draws = ctx.trials(200, 20);
     let worst_rules = parallel_trials(draws, |t| {
-        let d = random_joint(vec![3, 4, 2], &mut rng_for(derive_seed(ctx.seed, 0x1F0 + t), 0));
+        let d = random_joint(
+            vec![3, 4, 2],
+            &mut rng_for(derive_seed(ctx.seed, 0x1F0 + t), 0),
+        );
         max_rule_violation(&d)
     })
     .into_iter()
@@ -305,7 +348,10 @@ pub fn info_exp(ctx: &ExpCtx) -> Vec<Table> {
         (worst_rules < 1e-8).to_string(),
     ]);
     let worst_l42 = parallel_trials(draws, |t| {
-        let base = random_joint(vec![2, 3, 2], &mut rng_for(derive_seed(ctx.seed, 0x2F0 + t), 0));
+        let base = random_joint(
+            vec![2, 3, 2],
+            &mut rng_for(derive_seed(ctx.seed, 0x2F0 + t), 0),
+        );
         let gap = lemma_42_gap(&base, 3, |c, d| {
             // D | C=c: a c-dependent distribution over {0,1,2}.
             let w = [1.0 + c as f64, 2.0, 0.5];

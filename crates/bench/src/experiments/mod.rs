@@ -159,7 +159,10 @@ mod tests {
             seed: 1,
         };
         assert_eq!(ctx.trials(1000, 10), 10);
-        let full = ExpCtx { quick: false, ..ctx };
+        let full = ExpCtx {
+            quick: false,
+            ..ctx
+        };
         assert_eq!(full.trials(1000, 10), 1000);
     }
 }

@@ -28,7 +28,10 @@ where
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("all trials ran")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("all trials ran"))
+        .collect()
 }
 
 /// Convenience: fraction of `true` outcomes over `trials` parallel runs.
@@ -36,7 +39,10 @@ pub fn success_rate<F>(trials: u64, f: F) -> f64
 where
     F: Fn(u64) -> bool + Sync,
 {
-    let ok = parallel_trials(trials, f).into_iter().filter(|&b| b).count();
+    let ok = parallel_trials(trials, f)
+        .into_iter()
+        .filter(|&b| b)
+        .count();
     ok as f64 / trials as f64
 }
 

@@ -54,10 +54,15 @@ fn read_stream(path: &str) -> Vec<Update> {
 }
 
 fn generate(rest: &[String]) {
-    let workload = rest.first().cloned().unwrap_or_else(|| usage("generate needs a workload"));
+    let workload = rest
+        .first()
+        .cloned()
+        .unwrap_or_else(|| usage("generate needs a workload"));
     let o = Opts::parse(&rest[1..]);
     let seed: u64 = o.get("seed", 1);
-    let out: String = o.get_str("out").unwrap_or_else(|| usage("--out is required"));
+    let out: String = o
+        .get_str("out")
+        .unwrap_or_else(|| usage("--out is required"));
     let mut rng = fews_common::rng::rng_for(seed, 0xC11);
     match workload.as_str() {
         "planted" => {
@@ -68,7 +73,10 @@ fn generate(rest: &[String]) {
             let g = fews_stream::gen::planted::planted_star(n, m, d, bg, &mut rng);
             let mut edges = g.edges;
             fews_stream::order::shuffle(&mut edges, &mut rng);
-            println!("# planted heavy vertex {} with degree {}", g.heavy, g.degree);
+            println!(
+                "# planted heavy vertex {} with degree {}",
+                g.heavy, g.degree
+            );
             write_stream(&out, &as_insertions(&edges));
         }
         "zipf" => {
@@ -102,7 +110,10 @@ fn generate(rest: &[String]) {
 }
 
 fn stats(rest: &[String]) {
-    let path = rest.first().cloned().unwrap_or_else(|| usage("stats needs a FILE"));
+    let path = rest
+        .first()
+        .cloned()
+        .unwrap_or_else(|| usage("stats needs a FILE"));
     let o = Opts::parse(&rest[1..]);
     let updates = read_stream(&path);
     let inserts = updates.iter().filter(|u| u.delta > 0).count();
@@ -118,7 +129,10 @@ fn stats(rest: &[String]) {
         .enumerate()
         .max_by_key(|(_, &d)| d)
         .expect("n >= 1");
-    println!("updates        : {} ({inserts} inserts, {deletes} deletes)", updates.len());
+    println!(
+        "updates        : {} ({inserts} inserts, {deletes} deletes)",
+        updates.len()
+    );
     println!("surviving edges: {}", net.len());
     println!("A-vertices     : {n}");
     println!("max degree     : Δ = {max} at vertex {argmax}");
@@ -138,14 +152,20 @@ fn stats(rest: &[String]) {
 }
 
 fn run(rest: &[String]) {
-    let path = rest.first().cloned().unwrap_or_else(|| usage("run needs a FILE"));
+    let path = rest
+        .first()
+        .cloned()
+        .unwrap_or_else(|| usage("run needs a FILE"));
     let o = Opts::parse(&rest[1..]);
     let updates = read_stream(&path);
     let n: u32 = o.get(
         "n",
         updates.iter().map(|u| u.edge.a).max().map_or(1, |a| a + 1),
     );
-    let d: u32 = o.get_str("d").map(|s| s.parse().expect("--d")).unwrap_or_else(|| usage("--d is required"));
+    let d: u32 = o
+        .get_str("d")
+        .map(|s| s.parse().expect("--d"))
+        .unwrap_or_else(|| usage("--d is required"));
     let alpha: u32 = o.get("alpha", 2);
     let seed: u64 = o.get("seed", 2021);
     let model: String = o.get_str("model").unwrap_or_else(|| {
@@ -188,7 +208,11 @@ fn run(rest: &[String]) {
             println!("vertex   : {}", nb.vertex);
             println!("witnesses: {}", nb.size());
             let shown: Vec<String> = nb.witnesses.iter().take(10).map(u64::to_string).collect();
-            println!("           [{}{}]", shown.join(", "), if nb.size() > 10 { ", …" } else { "" });
+            println!(
+                "           [{}{}]",
+                shown.join(", "),
+                if nb.size() > 10 { ", …" } else { "" }
+            );
         }
         None => println!("fail (no ⌊d/α⌋-neighbourhood certified)"),
     }

@@ -149,7 +149,7 @@ impl AmriProtocolConfig {
 /// `d = inst.m / 2` (the shape Lemma 6.3 produces).
 pub fn run_protocol(inst: &AmriInstance, cfg: AmriProtocolConfig, seed: u64) -> AmriOutcome {
     let d = inst.m / 2;
-    assert!(inst.m % 2 == 0, "Lemma 6.3 instances have m = 2d");
+    assert!(inst.m.is_multiple_of(2), "Lemma 6.3 instances have m = 2d");
     let d2 = d / cfg.alpha;
     assert!(d2 >= 1, "need d/α ≥ 1");
     assert_eq!(inst.k, d2 - 1, "Lemma 6.3 requires k = d/α − 1");
@@ -175,13 +175,8 @@ pub fn run_protocol(inst: &AmriInstance, cfg: AmriProtocolConfig, seed: u64) -> 
                 .collect();
             let bit_at = |i: u32, c: u32| inst.matrix[i as usize][c as usize] != invert;
 
-            let id_cfg = IdConfig::with_scale(
-                inst.n,
-                inst.m as u64,
-                d,
-                cfg.alpha,
-                cfg.sampler_scale,
-            );
+            let id_cfg =
+                IdConfig::with_scale(inst.n, inst.m as u64, d, cfg.alpha, cfg.sampler_scale);
             let alg_seed =
                 fews_common::rng::derive_seed(seed, 0xA3B1 + ((round as u64) << 1 | invert as u64));
             let mut alice = FewwInsertDelete::new(id_cfg, alg_seed);
@@ -189,8 +184,10 @@ pub fn run_protocol(inst: &AmriInstance, cfg: AmriProtocolConfig, seed: u64) -> 
             for i in 0..inst.n {
                 for c in 0..inst.m {
                     if bit_at(i, c) {
-                        alice
-                            .push(Update::insert(Edge::new(i, perms[i as usize][c as usize] as u64)));
+                        alice.push(Update::insert(Edge::new(
+                            i,
+                            perms[i as usize][c as usize] as u64,
+                        )));
                     }
                 }
             }

@@ -44,8 +44,11 @@ pub struct BaranyaiPartition {
 /// (the class count `C(n−1, k−1)` and per-step flow stay laptop-sized for
 /// the (n, k) the experiments use).
 pub fn baranyai(n: u32, k: u32) -> BaranyaiPartition {
-    assert!(k >= 1 && k <= n && n <= 24, "supported range: 1 ≤ k ≤ n ≤ 24");
-    assert!(n % k == 0, "Baranyai's theorem needs k | n");
+    assert!(
+        k >= 1 && k <= n && n <= 24,
+        "supported range: 1 ≤ k ≤ n ≤ 24"
+    );
+    assert!(n.is_multiple_of(k), "Baranyai's theorem needs k | n");
     let m_classes = binomial(n as u64 - 1, k as u64 - 1) as usize;
     let per_class = (n / k) as usize;
     // Each class: multiset of partial edges (bitmasks over placed elements).
@@ -200,7 +203,9 @@ mod tests {
     #[test]
     fn pairs_up_to_n10() {
         for n in [2u32, 4, 8, 10] {
-            baranyai(n, 2).validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            baranyai(n, 2)
+                .validate()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 

@@ -273,13 +273,29 @@ mod tests {
     fn figure1_matches_paper() {
         let inst = BvlInstance::figure1();
         // Z₁ = 1001011011 (paper's item 1 = our 0).
-        let z0: String = inst.z(0).iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let z0: String = inst
+            .z(0)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
         assert_eq!(z0, "1001011011");
-        let z1: String = inst.z(1).iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let z1: String = inst
+            .z(1)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
         assert_eq!(z1, "01000");
-        let z2: String = inst.z(2).iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let z2: String = inst
+            .z(2)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
         assert_eq!(z2, "01011");
-        let z3: String = inst.z(3).iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let z3: String = inst
+            .z(3)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
         assert_eq!(z3, "011110101000011");
         assert_eq!(inst.depth(3), 3);
         assert_eq!(inst.depth(1), 1);
@@ -331,7 +347,7 @@ mod tests {
     fn max_degree_is_kp_at_the_deep_element() {
         let mut r = rng_for(2, 0);
         let inst = BvlInstance::generate(3, 16, 5, &mut r);
-        let mut deg = vec![0u32; 16];
+        let mut deg = [0u32; 16];
         for party in 0..3 {
             for e in inst.party_edges(party) {
                 deg[e.a as usize] += 1;

@@ -49,11 +49,13 @@ pub fn gen_disjoint(p: u32, n: u32, set_size: u32, rng: &mut impl Rng) -> DisjIn
 /// Generate a uniquely-intersecting instance: as [`gen_disjoint`] plus one
 /// common element added to every set.
 pub fn gen_intersecting(p: u32, n: u32, set_size: u32, rng: &mut impl Rng) -> DisjInstance {
-    assert!((p as u64) * (set_size as u64) < (n as u64), "universe too small");
+    assert!(
+        (p as u64) * (set_size as u64) < (n as u64),
+        "universe too small"
+    );
     let mut inst = gen_disjoint(p, n, set_size, rng);
     // Pick the common element outside all private sets.
-    let used: std::collections::HashSet<u32> =
-        inst.sets.iter().flatten().copied().collect();
+    let used: std::collections::HashSet<u32> = inst.sets.iter().flatten().copied().collect();
     let common = loop {
         let c = rng.random_range(0..n);
         if !used.contains(&c) {
@@ -89,7 +91,10 @@ pub struct DisjOutcome {
 pub fn run_protocol(inst: &DisjInstance, k: u32, seed: u64) -> DisjOutcome {
     let p = inst.sets.len() as u32;
     assert!(p >= 2);
-    assert!(k >= p - 1, "need k ≥ p − 1 so the α = p − 1 run certifies k+1");
+    assert!(
+        k >= p - 1,
+        "need k ≥ p − 1 so the α = p − 1 run certifies k+1"
+    );
     let d = k * p;
     let alpha = p - 1;
     let config = FewwConfig::new(inst.n, d, alpha);

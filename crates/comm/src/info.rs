@@ -66,8 +66,7 @@ impl JointDist {
         vars.dedup();
         assert!(vars.iter().all(|&v| v < self.shape.len()));
         // Marginalize onto `vars`.
-        let mut marg: std::collections::HashMap<Vec<usize>, f64> =
-            std::collections::HashMap::new();
+        let mut marg: std::collections::HashMap<Vec<usize>, f64> = std::collections::HashMap::new();
         for (idx, &p) in self.probs.iter().enumerate() {
             if p == 0.0 {
                 continue;

@@ -79,14 +79,7 @@ impl FlowNetwork {
         }
     }
 
-    fn dfs(
-        &mut self,
-        u: usize,
-        sink: usize,
-        limit: i64,
-        level: &[usize],
-        it: &mut [usize],
-    ) -> i64 {
+    fn dfs(&mut self, u: usize, sink: usize, limit: i64, level: &[usize], it: &mut [usize]) -> i64 {
         if u == sink {
             return limit;
         }

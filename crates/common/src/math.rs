@@ -225,8 +225,14 @@ mod tests {
     #[test]
     fn reservoir_size_matches_formula() {
         // n = e^2 ≈ 7.39 ⇒ ln n ≈ 2; α = 1 ⇒ s = ⌈2 · n⌉.
-        assert_eq!(reservoir_size(1024, 1), ((1024f64).ln() * 1024.0).ceil() as u64);
-        assert_eq!(reservoir_size(1024, 10), ((1024f64).ln() * 1024f64.powf(0.1)).ceil() as u64);
+        assert_eq!(
+            reservoir_size(1024, 1),
+            ((1024f64).ln() * 1024.0).ceil() as u64
+        );
+        assert_eq!(
+            reservoir_size(1024, 10),
+            ((1024f64).ln() * 1024f64.powf(0.1)).ceil() as u64
+        );
         assert!(reservoir_size(1, 1) >= 1);
     }
 
@@ -235,7 +241,10 @@ mod tests {
         let n = 10_000;
         let d = 100;
         // α = 10 ≤ √n = 100: dense branch d·n/α².
-        assert_eq!(insertion_deletion_space_curve(n, d, 10), 100.0 * 10_000.0 / 100.0);
+        assert_eq!(
+            insertion_deletion_space_curve(n, d, 10),
+            100.0 * 10_000.0 / 100.0
+        );
         // α = 1000 > √n: √n·d/α branch.
         assert!((insertion_deletion_space_curve(n, d, 1000) - 100.0 * 100.0 / 1000.0).abs() < 1e-9);
     }

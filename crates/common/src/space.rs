@@ -32,7 +32,9 @@ macro_rules! impl_space_primitive {
     };
 }
 
-impl_space_primitive!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+impl_space_primitive!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char
+);
 
 impl<T: SpaceUsage> SpaceUsage for Option<T> {
     fn space_bytes(&self) -> usize {

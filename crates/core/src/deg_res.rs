@@ -236,7 +236,7 @@ mod tests {
     fn reservoir_is_uniform_over_crossing_vertices() {
         // 30 vertices cross d1; reservoir of 6 ⇒ each kept w.p. 1/5.
         let trials = 4000;
-        let mut counts = vec![0u32; 30];
+        let mut counts = [0u32; 30];
         for t in 0..trials {
             let mut run = DegResSampling::new(2, 99, 6);
             let mut r = rng(10_000 + t as u64);

@@ -130,9 +130,7 @@ impl FewwInsertDelete {
             vertex_samplers.insert(a as u32, samplers);
         }
         let edge_samplers = (0..config.edge_sampler_count())
-            .map(|_| {
-                L0Sampler::with_config(config.n as u64 * config.m, config.l0, &mut rng)
-            })
+            .map(|_| L0Sampler::with_config(config.n as u64 * config.m, config.l0, &mut rng))
             .collect();
         FewwInsertDelete {
             config,
@@ -386,8 +384,8 @@ mod tests {
     fn sampler_counts_match_config() {
         let cfg = small_cfg();
         let alg = FewwInsertDelete::new(cfg, 3);
-        let expected = cfg.vertex_sample_size() * cfg.samplers_per_vertex()
-            + cfg.edge_sampler_count();
+        let expected =
+            cfg.vertex_sample_size() * cfg.samplers_per_vertex() + cfg.edge_sampler_count();
         assert_eq!(alg.sampler_count(), expected);
     }
 

@@ -89,7 +89,11 @@ impl FewwInsertOnly {
     /// Process the next edge insertion.
     pub fn push(&mut self, edge: Edge) {
         let a = edge.a as usize;
-        assert!(a < self.degrees.len(), "vertex {a} out of range n={}", self.config.n);
+        assert!(
+            a < self.degrees.len(),
+            "vertex {a} out of range n={}",
+            self.config.n
+        );
         self.degrees[a] += 1;
         let deg = self.degrees[a];
         self.pushed += 1;
@@ -107,7 +111,10 @@ impl FewwInsertOnly {
 
     /// Results of *all* successful runs (for diagnostics/experiments).
     pub fn all_results(&self) -> Vec<Neighbourhood> {
-        self.runs.iter().filter_map(DegResSampling::result).collect()
+        self.runs
+            .iter()
+            .filter_map(DegResSampling::result)
+            .collect()
     }
 
     /// Indices of the runs that succeeded.

@@ -41,8 +41,7 @@ impl Neighbourhood {
 
 impl SpaceUsage for Neighbourhood {
     fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() - std::mem::size_of::<Vec<u64>>()
-            + self.witnesses.space_bytes()
+        std::mem::size_of::<Self>() - std::mem::size_of::<Vec<u64>>() + self.witnesses.space_bytes()
     }
 }
 

@@ -206,12 +206,7 @@ mod tests {
         // Witnesses must be genuine neighbours.
         let nbrs: std::collections::HashSet<u64> = edges
             .iter()
-            .flat_map(|&(u, v)| {
-                [
-                    (u, v as u64),
-                    (v, u as u64),
-                ]
-            })
+            .flat_map(|&(u, v)| [(u, v as u64), (v, u as u64)])
             .filter(|&(a, _)| a == out.vertex)
             .map(|(_, b)| b)
             .collect();

@@ -123,8 +123,7 @@ impl TwoPassSecond {
 
 impl SpaceUsage for TwoPassFirst {
     fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() - std::mem::size_of::<MisraGries>()
-            + self.mg.space_bytes()
+        std::mem::size_of::<Self>() - std::mem::size_of::<MisraGries>() + self.mg.space_bytes()
     }
 }
 
@@ -176,12 +175,11 @@ mod tests {
         let (_, peak) = two_pass(&g.edges, 256, 2);
         // One-pass needs the Θ(n log n) degree table; two-pass only the
         // MG summary + candidate witnesses.
-        let one_pass =
-            crate::insertion_only::FewwInsertOnly::new(
-                crate::insertion_only::FewwConfig::new(4096, 256, 2),
-                1,
-            )
-            .space_bytes();
+        let one_pass = crate::insertion_only::FewwInsertOnly::new(
+            crate::insertion_only::FewwConfig::new(4096, 256, 2),
+            1,
+        )
+        .space_bytes();
         assert!(peak < one_pass, "two-pass {peak} ≥ one-pass {one_pass}");
     }
 

@@ -166,7 +166,9 @@ mod tests {
 
         // Bob: same config + seed ⇒ same hash functions.
         let mut bob = tiny();
-        IdMemoryState::decode(&msg).expect("decodes").restore(&mut bob);
+        IdMemoryState::decode(&msg)
+            .expect("decodes")
+            .restore(&mut bob);
         for b in 0..4u64 {
             bob.push(Update::delete(Edge::new(3, b)));
         }

@@ -57,7 +57,9 @@ impl CountSketch {
 
 impl SpaceUsage for CountSketch {
     fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.rows.space_bytes() + self.bucket_hashes.space_bytes()
+        std::mem::size_of::<Self>()
+            + self.rows.space_bytes()
+            + self.bucket_hashes.space_bytes()
             + self.sign_hashes.space_bytes()
             - 3 * std::mem::size_of::<Vec<u8>>()
     }
@@ -84,10 +86,7 @@ mod tests {
             cs.update(i, 1);
         }
         let est = cs.estimate(0);
-        assert!(
-            (est - 1000).abs() <= 100,
-            "estimate {est} far from 1000"
-        );
+        assert!((est - 1000).abs() <= 100, "estimate {est} far from 1000");
     }
 
     #[test]

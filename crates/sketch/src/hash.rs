@@ -180,7 +180,7 @@ mod tests {
     fn levels_geometric() {
         let h = PolyHash::pairwise(&mut rng());
         let n = 1u64 << 16;
-        let mut at_least = vec![0u64; 12];
+        let mut at_least = [0u64; 12];
         for x in 0..n {
             let l = h.level(x, 40);
             for (ell, slot) in at_least.iter_mut().enumerate() {

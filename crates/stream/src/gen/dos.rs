@@ -43,14 +43,19 @@ pub fn dos_trace(
     attack_sources: u32,
     rng: &mut impl Rng,
 ) -> DosTrace {
-    assert!(attack_sources as u64 <= n_src);
+    assert!(
+        (attack_sources as u64) < n_src,
+        "need n_src > attack_sources so a regular-client pool exists"
+    );
     let victim = rng.random_range(0..n_dst);
     let zipf = Zipf::new(n_dst, theta);
     // Regular clients: a small pool of sources generates all background
-    // traffic, so no background destination can accumulate anywhere near
-    // `attack_sources` distinct sources (pool ≤ attack_sources / 2).
+    // traffic, so no background destination can accumulate anywhere near the
+    // ⌊attack_sources/2⌋ certification threshold of a FEwW run with α = 2
+    // (a popular destination saturates the whole pool, so the pool must sit
+    // strictly below the threshold: pool ≤ attack_sources / 4).
     let pool = ((n_src as f64).sqrt().ceil() as u64)
-        .min((attack_sources as u64 / 2).max(1))
+        .min((attack_sources as u64 / 4).max(1))
         .clamp(1, n_src - attack_sources as u64);
     let mut seen: HashSet<Edge> = HashSet::new();
     let mut edges: Vec<Edge> = Vec::new();
@@ -111,7 +116,7 @@ mod tests {
         let t = dos_trace(50, 10_000, 1000, 0.8, 200, &mut r);
         let set: HashSet<u64> = t.attackers.iter().copied().collect();
         assert_eq!(set.len(), 200);
-        let pool = (10_000f64).sqrt().ceil() as u64;
+        let pool = ((10_000f64).sqrt().ceil() as u64).min(200 / 4);
         assert!(t.attackers.iter().all(|&s| s >= pool));
     }
 

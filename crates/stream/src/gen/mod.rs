@@ -32,7 +32,10 @@ use std::collections::HashSet;
 /// Uses rejection sampling when `k ≪ m` and a partial Fisher–Yates shuffle
 /// otherwise; panics if `k > m`.
 pub fn sample_distinct(m: u64, k: usize, rng: &mut impl Rng) -> Vec<u64> {
-    assert!(k as u64 <= m, "cannot sample {k} distinct values from 0..{m}");
+    assert!(
+        k as u64 <= m,
+        "cannot sample {k} distinct values from 0..{m}"
+    );
     if (k as u64) * 3 < m {
         let mut seen = HashSet::with_capacity(k);
         let mut out = Vec::with_capacity(k);

@@ -3,8 +3,8 @@
 //! These are the controlled inputs for the correctness experiments: the
 //! ground-truth maximum degree and its witnesses are known by construction.
 
-use crate::update::Edge;
 use crate::gen::sample_distinct;
+use crate::update::Edge;
 use rand::{Rng, RngExt};
 
 /// A generated graph with a known planted heavy vertex.
@@ -22,15 +22,12 @@ pub struct PlantedStar {
 /// degree `background` (< d). Witness sets are disjoint across vertices when
 /// `m ≥ n·max(d, background)`, otherwise sampled per-vertex without
 /// within-vertex repetition (the graph is always simple).
-pub fn planted_star(
-    n: u32,
-    m: u64,
-    d: u32,
-    background: u32,
-    rng: &mut impl Rng,
-) -> PlantedStar {
+pub fn planted_star(n: u32, m: u64, d: u32, background: u32, rng: &mut impl Rng) -> PlantedStar {
     assert!(n >= 1 && d >= 1);
-    assert!(background < d, "background degree must be below the planted degree");
+    assert!(
+        background < d,
+        "background degree must be below the planted degree"
+    );
     assert!(m >= d as u64, "need at least d distinct witnesses");
     let heavy = rng.random_range(0..n);
     let mut edges = Vec::with_capacity(d as usize + (n as usize - 1) * background as usize);
@@ -40,7 +37,11 @@ pub fn planted_star(
             edges.push(Edge::new(a, b));
         }
     }
-    PlantedStar { edges, heavy, degree: d }
+    PlantedStar {
+        edges,
+        heavy,
+        degree: d,
+    }
 }
 
 /// One tier of a degree ladder: `count` A-vertices, each of degree `degree`.
@@ -173,15 +174,28 @@ mod tests {
     fn ladder_tier_degrees() {
         let mut r = rng();
         let tiers = vec![
-            Tier { count: 10, degree: 2 },
-            Tier { count: 3, degree: 8 },
-            Tier { count: 1, degree: 20 },
+            Tier {
+                count: 10,
+                degree: 2,
+            },
+            Tier {
+                count: 3,
+                degree: 8,
+            },
+            Tier {
+                count: 1,
+                degree: 20,
+            },
         ];
         let g = degree_ladder(30, 1000, &tiers, &mut r);
         let deg = degrees(&g.edges, 30);
         for a in 0..30u32 {
             let t = g.vertex_tiers[a as usize];
-            let want = if t == u32::MAX { 0 } else { tiers[t as usize].degree };
+            let want = if t == u32::MAX {
+                0
+            } else {
+                tiers[t as usize].degree
+            };
             assert_eq!(deg[a as usize], want, "vertex {a} tier {t}");
         }
         assert_eq!(max_degree(&g.edges, 30), 20);
@@ -193,7 +207,12 @@ mod tests {
         let (n, d, alpha) = (256, 32, 4);
         let g = geometric_ladder(n, 1 << 20, d, alpha, &mut r);
         let top = g.tiers.last().expect("tiers nonempty");
-        assert!(top.degree >= d - alpha, "top degree {} vs d {}", top.degree, d);
+        assert!(
+            top.degree >= d - alpha,
+            "top degree {} vs d {}",
+            top.degree,
+            d
+        );
         assert_eq!(max_degree(&g.edges, n), top.degree);
         // Tier sizes decay geometrically.
         assert!(g.tiers[0].count >= g.tiers.last().unwrap().count);

@@ -9,13 +9,7 @@ use rand::{Rng, RngExt};
 ///
 /// The realised degrees are `Binomial`-like around the expectation; the graph
 /// is simple by construction.
-pub fn chung_lu_bipartite(
-    n: u32,
-    m: u64,
-    d_max: u32,
-    beta: f64,
-    rng: &mut impl Rng,
-) -> Vec<Edge> {
+pub fn chung_lu_bipartite(n: u32, m: u64, d_max: u32, beta: f64, rng: &mut impl Rng) -> Vec<Edge> {
     assert!(beta >= 0.0);
     assert!(m >= d_max as u64);
     let mut edges = Vec::new();

@@ -78,10 +78,7 @@ mod tests {
     fn graph_is_simple_per_new_vertex() {
         let mut r = rand::rngs::StdRng::seed_from_u64(4);
         let edges = preferential_attachment(100, 2, &mut r);
-        let mut s: Vec<(u32, u32)> = edges
-            .iter()
-            .map(|&(u, v)| (u.min(v), u.max(v)))
-            .collect();
+        let mut s: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
         s.sort_unstable();
         s.dedup();
         assert_eq!(s.len(), edges.len());
@@ -95,9 +92,6 @@ mod tests {
         let deg = general_degrees(&edges, n);
         let max = *deg.iter().max().unwrap();
         let mean = deg.iter().map(|&d| d as u64).sum::<u64>() / n as u64;
-        assert!(
-            max as u64 > 8 * mean,
-            "no hub: max {max}, mean {mean}"
-        );
+        assert!(max as u64 > 8 * mean, "no hub: max {max}, mean {mean}");
     }
 }

@@ -133,11 +133,7 @@ mod tests {
     fn net_graph_cancels_deletions() {
         let e1 = Edge::new(0, 1);
         let e2 = Edge::new(0, 2);
-        let ups = vec![
-            Update::insert(e1),
-            Update::insert(e2),
-            Update::delete(e1),
-        ];
+        let ups = vec![Update::insert(e1), Update::insert(e2), Update::delete(e1)];
         assert_eq!(net_graph(&ups), vec![e2]);
     }
 

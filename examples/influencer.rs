@@ -24,7 +24,11 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let edges = preferential_attachment(n, attach, &mut rng);
     let delta = general_max_degree(&edges, n);
-    println!("social graph: {} users, {} friendships, Δ = {delta}", n, edges.len());
+    println!(
+        "social graph: {} users, {} friendships, Δ = {delta}",
+        n,
+        edges.len()
+    );
 
     let mut star = StarInsertOnly::semi_streaming(n, seed);
     for &(u, v) in &edges {

@@ -10,11 +10,7 @@ pub fn true_neighbours(edges: &[Edge], a: u32) -> HashSet<u64> {
 
 /// Assert a reported neighbourhood is sound (vertex real, witnesses genuine,
 /// enough of them) against ground truth.
-pub fn assert_sound(
-    nb: &fews_core::Neighbourhood,
-    edges: &[Edge],
-    min_witnesses: usize,
-) {
+pub fn assert_sound(nb: &fews_core::Neighbourhood, edges: &[Edge], min_witnesses: usize) {
     let nbrs = true_neighbours(edges, nb.vertex);
     assert!(
         nb.size() >= min_witnesses,

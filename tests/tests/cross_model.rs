@@ -48,10 +48,8 @@ fn db_log_retractions_respected() {
     for t in 0..5u64 {
         let log = db_log(48, 1 << 14, 20, 4, 0.7, &mut rng_for(800 + t, 0));
         let survivors = net_graph(&log.updates);
-        let mut alg = FewwInsertDelete::new(
-            IdConfig::with_scale(48, 1 << 14, 20, 2, 0.12),
-            900 + t,
-        );
+        let mut alg =
+            FewwInsertDelete::new(IdConfig::with_scale(48, 1 << 14, 20, 2, 0.12), 900 + t);
         for u in &log.updates {
             alg.push(*u);
         }
@@ -92,6 +90,52 @@ fn space_separation_is_visible_at_matched_parameters() {
         id.space_bytes(),
         io.space_bytes()
     );
+}
+
+#[test]
+fn smoke_models_agree_and_are_deterministic_under_fixed_seed() {
+    // Small planted instance, fixed seeds throughout: both models must
+    // certify the planted heavy vertex, and re-running either algorithm with
+    // the same seed must reproduce the identical witness set bit-for-bit.
+    let (n, m, d, alpha) = (32u32, 512u64, 12u32, 2u32);
+    let g = planted_star(n, m, d, 2, &mut rng_for(0xF00D, 0));
+    let updates = fews_stream::update::as_insertions(&g.edges);
+
+    let run_io = || {
+        let mut alg = FewwInsertOnly::new(FewwConfig::new(n, d, alpha), 0xBEEF);
+        for e in &g.edges {
+            alg.push(*e);
+        }
+        alg.result()
+    };
+    let run_id = || {
+        let mut alg = FewwInsertDelete::new(IdConfig::with_scale(n, m, d, alpha, 0.3), 0xBEEF);
+        for u in &updates {
+            alg.push(*u);
+        }
+        alg.result()
+    };
+
+    let io = run_io().expect("insertion-only certifies the planted star");
+    let id = run_id().expect("insertion-deletion certifies the planted star");
+    assert_sound(&io, &g.edges, (d / alpha) as usize);
+    assert_sound(&id, &g.edges, (d / alpha) as usize);
+    assert_eq!(
+        io.vertex, g.heavy,
+        "insertion-only picked a non-heavy vertex"
+    );
+    assert_eq!(
+        id.vertex, g.heavy,
+        "insertion-deletion picked a non-heavy vertex"
+    );
+
+    // Determinism: same seed ⇒ identical output, witnesses included.
+    let io2 = run_io().expect("deterministic rerun");
+    let id2 = run_id().expect("deterministic rerun");
+    assert_eq!(io.vertex, io2.vertex);
+    assert_eq!(io.witnesses, io2.witnesses);
+    assert_eq!(id.vertex, id2.vertex);
+    assert_eq!(id.witnesses, id2.witnesses);
 }
 
 #[test]

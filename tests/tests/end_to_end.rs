@@ -50,7 +50,11 @@ fn dos_trace_names_victim_and_attackers() {
             // A sizeable share of witnesses are genuine attackers.
             let attackers: std::collections::HashSet<u64> =
                 trace.attackers.iter().copied().collect();
-            let caught = nb.witnesses.iter().filter(|w| attackers.contains(w)).count();
+            let caught = nb
+                .witnesses
+                .iter()
+                .filter(|w| attackers.contains(w))
+                .count();
             assert!(caught >= 100, "only {caught} attackers among witnesses");
             named += 1;
         }
@@ -62,7 +66,9 @@ fn dos_trace_names_victim_and_attackers() {
 fn timestamp_encoding_roundtrip_through_algorithm() {
     // An explicit item stream; the witness set must be timestamps at which
     // the item really appeared.
-    let items: Vec<u32> = (0..200u32).map(|t| if t % 4 == 0 { 9 } else { t % 32 }).collect();
+    let items: Vec<u32> = (0..200u32)
+        .map(|t| if t % 4 == 0 { 9 } else { t % 32 })
+        .collect();
     let edges = encode_with_timestamps(&items);
     let mut alg = FewwInsertOnly::new(FewwConfig::new(32, 50, 2), 17);
     for e in &edges {
@@ -71,7 +77,10 @@ fn timestamp_encoding_roundtrip_through_algorithm() {
     let nb = alg.result().expect("item 9 has frequency 50");
     assert_eq!(nb.vertex, 9);
     for &w in &nb.witnesses {
-        assert_eq!(items[w as usize], 9, "timestamp {w} is not an occurrence of 9");
+        assert_eq!(
+            items[w as usize], 9,
+            "timestamp {w} is not an occurrence of 9"
+        );
     }
 }
 
@@ -87,7 +96,10 @@ fn all_arrival_orders_agree_on_the_heavy_vertex() {
         }
         if let Some(nb) = alg.result() {
             assert_sound(&nb, &g.edges, 24);
-            assert_eq!(nb.vertex, g.heavy, "order {order:?} certified a non-heavy vertex");
+            assert_eq!(
+                nb.vertex, g.heavy,
+                "order {order:?} certified a non-heavy vertex"
+            );
         }
     }
 }

@@ -1,11 +1,11 @@
 //! Integration tests for the communication reductions: real messages, real
 //! decoding, determinism, and agreement with the analytic curves.
 
-use fews_common::rng::rng_for;
 use fews_comm::amri::{run_protocol as run_amri, AmriInstance, AmriProtocolConfig};
 use fews_comm::baranyai::baranyai;
 use fews_comm::bvl::{run_protocol as run_bvl, BvlInstance};
 use fews_comm::disjointness::{gen_disjoint, gen_intersecting, run_protocol as run_disj};
+use fews_common::rng::rng_for;
 use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
 use fews_core::wire::MemoryState;
 use fews_stream::Edge;

@@ -1,0 +1,272 @@
+//! Hermetic stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the workspace's benches use:
+//! benchmark groups with throughput annotations, `bench_function` /
+//! `bench_with_input`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — per sample, time a batch of
+//! iterations and report the best (least-noisy) sample's mean time per
+//! iteration plus derived throughput. No statistical analysis, plotting, or
+//! baseline storage. Honoured knobs: `sample_size`, `measurement_time`;
+//! `warm_up_time` runs a single untimed warm-up batch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    /// Mean seconds per iteration of the best sample, filled in by `iter`.
+    best: Option<f64>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the best observed mean time/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Untimed warm-up.
+        std::hint::black_box(f());
+        // Size batches so all samples fit in ~measurement_time.
+        let probe_start = Instant::now();
+        std::hint::black_box(f());
+        let probe = probe_start.elapsed().as_secs_f64().max(1e-9);
+        let budget = self.measurement_time.as_secs_f64() / self.samples.max(1) as f64;
+        let iters = ((budget / probe).floor() as u64).clamp(1, 1_000_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        self.best = Some(best);
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} K", x / 1e3)
+    } else {
+        format!("{x:.0} ")
+    }
+}
+
+fn report(group: &str, id: &str, throughput: Option<Throughput>, best: Option<f64>) {
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let Some(secs) = best else {
+        println!("{name:<48} (no measurement)");
+        return;
+    };
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {}elem/s", human_count(n as f64 / secs))
+        }
+        Some(Throughput::Bytes(n)) => format!("  {}B/s", human_count(n as f64 / secs)),
+        None => String::new(),
+    };
+    println!("{name:<48} {:>12}/iter{thr}", human_time(secs));
+}
+
+/// Shared measurement settings for a group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single untimed batch.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Total time budget across a benchmark's samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a routine with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            best: None,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, self.throughput, b.best);
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            best: None,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, self.throughput, b.best);
+        self
+    }
+
+    /// End the group (marker only; output is printed as benches run).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks sharing measurement settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone routine.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            best: None,
+        };
+        f(&mut b);
+        report("", id, None, b.best);
+        self
+    }
+}
+
+/// Re-export so `black_box` is available under the criterion path too.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,356 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API used by this workspace: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, range / tuple /
+//! collection strategies, [`any`], and the `prop_assert*` family.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its inputs via the panic
+//!   message (every generated binding is a plain value, so `assert!`
+//!   formatting shows what you pass it) but is not minimised.
+//! - **Deterministic generation.** Each test derives its RNG seed from the
+//!   test's name, so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runner configuration: how many cases each property runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a over the test path; used to give each property its own RNG stream.
+#[doc(hidden)]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a canonical "anything goes" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value over the type's full range.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing arbitrary values of `T` over its full range.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `hash_map`, `hash_set`).
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::collections::{HashMap, HashSet};
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = draw_len(rng, &self.size);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with up to `size` elements.
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `HashSet` with size drawn from `size` (possibly smaller after
+    /// deduplication) and elements from `elem`.
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = draw_len(rng, &self.size);
+            let mut out = HashSet::with_capacity(len);
+            // A few extra draws compensate for duplicates, without risking
+            // an unbounded loop when the element domain is small.
+            for _ in 0..len.saturating_mul(2) {
+                if out.len() >= len {
+                    break;
+                }
+                out.insert(self.elem.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `HashMap<K::Value, V::Value>` with up to `size` entries.
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// A `HashMap` with size drawn from `size` (possibly smaller after key
+    /// deduplication), keys from `key`, and values from `value`.
+    pub fn hash_map<K, V>(key: K, value: V, size: Range<usize>) -> HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Eq + Hash,
+        V: Strategy,
+    {
+        HashMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Eq + Hash,
+        V: Strategy,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = draw_len(rng, &self.size);
+            let mut out = HashMap::with_capacity(len);
+            for _ in 0..len.saturating_mul(2) {
+                if out.len() >= len {
+                    break;
+                }
+                out.insert(self.key.sample(rng), self.value.sample(rng));
+            }
+            out
+        }
+    }
+
+    fn draw_len(rng: &mut StdRng, size: &Range<usize>) -> usize {
+        if size.start >= size.end {
+            size.start
+        } else {
+            rng.random_range(size.clone())
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert a condition inside a property; failure reports the case inputs
+/// through the standard panic message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+///
+/// Expands to an early `return` from the per-case closure generated by
+/// [`proptest!`], so it must only be used directly inside a property body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Define property-based tests.
+///
+/// Supports the standard form: an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn name(binding in
+/// strategy, ...) { body }` items. Each property runs `cases` times with
+/// deterministically seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let __run = move || { $body };
+                    __run();
+                }
+            }
+        )*
+    };
+}
