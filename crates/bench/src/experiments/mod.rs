@@ -1,5 +1,6 @@
 //! Experiment registry — one entry per theorem/lemma/figure (DESIGN.md).
 
+pub mod engine;
 pub mod insertion_deletion;
 pub mod insertion_only;
 pub mod lower_bounds;
@@ -133,6 +134,11 @@ pub fn registry() -> Vec<Experiment> {
             claim: "§4.2 rules (1)–(5) and Lemma 4.2 hold exactly on enumerated distributions",
             run: misc::info_exp,
         },
+        Experiment {
+            id: "engine",
+            claim: "fews-engine: sharded ingest throughput scaling with shard-invariant certified output (writes BENCH_engine.json)",
+            run: engine::engine_exp,
+        },
     ]
 }
 
@@ -148,7 +154,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 18);
+        assert_eq!(n, 19);
     }
 
     #[test]

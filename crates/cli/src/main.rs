@@ -4,20 +4,46 @@
 //! fews generate <planted|zipf|dos|dblog> [--key value …] --out FILE
 //! fews stats FILE [--n N]
 //! fews run FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X]
+//! fews serve FILE --n N --d D [--shards K] [--batch B] [--model io|id] …
 //! ```
 //!
 //! Stream files use the `fews-stream::io` text format: one `a b [-]` update
 //! per line.
+//!
+//! All stdout writes go through [`outln!`], which exits cleanly when the
+//! consumer goes away (`fews run … | head` must not panic on `EPIPE`).
 
 mod opts;
 
 use fews_common::SpaceUsage;
 use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
 use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_core::neighbourhood::Neighbourhood;
+use fews_engine::{Engine, EngineConfig, GlobalView};
 use fews_stream::update::{as_insertions, degrees, net_graph};
 use fews_stream::{io as sio, Update};
 use opts::Opts;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
+
+/// Write one line to stdout, exiting cleanly on a broken pipe.
+fn emit(args: std::fmt::Arguments) {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    let res = out.write_fmt(args).and_then(|()| out.write_all(b"\n"));
+    if let Err(e) = res {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            // Downstream closed (e.g. `| head`): not an error.
+            std::process::exit(0);
+        }
+        eprintln!("error: writing to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `println!` that survives `SIGPIPE`/`EPIPE` (see [`emit`]).
+macro_rules! outln {
+    ($($arg:tt)*) => { emit(format_args!($($arg)*)) };
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -27,6 +53,7 @@ fn main() {
         "generate" => generate(&rest),
         "stats" => stats(&rest),
         "run" => run(&rest),
+        "serve" => serve(&rest),
         "--help" | "-h" | "help" => usage("…"),
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -37,7 +64,10 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage:\n  fews generate <planted|zipf|dos|dblog> [--key value …] --out FILE\n  \
          fews stats FILE [--n N]\n  \
-         fews run FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X] [--m M]"
+         fews run FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X] [--m M]\n  \
+         fews serve FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X] [--m M]\n  \
+         {:13}[--shards K] [--partitions P] [--batch B] [--restore CKPT]",
+        ""
     );
     std::process::exit(2);
 }
@@ -45,12 +75,19 @@ fn usage(msg: &str) -> ! {
 fn write_stream(path: &str, updates: &[Update]) {
     let f = std::fs::File::create(path).unwrap_or_else(|e| usage(&format!("create {path}: {e}")));
     sio::write_updates(std::io::BufWriter::new(f), updates).expect("write stream");
-    println!("wrote {} updates to {path}", updates.len());
+    outln!("wrote {} updates to {path}", updates.len());
 }
 
 fn read_stream(path: &str) -> Vec<Update> {
     let f = std::fs::File::open(path).unwrap_or_else(|e| usage(&format!("open {path}: {e}")));
     sio::read_updates(BufReader::new(f)).unwrap_or_else(|e| usage(&format!("parse {path}: {e}")))
+}
+
+/// Open `path` as a one-pass update iterator (constant memory).
+fn stream_updates(path: &str) -> impl Iterator<Item = Update> + '_ {
+    let f = std::fs::File::open(path).unwrap_or_else(|e| usage(&format!("open {path}: {e}")));
+    sio::UpdateReader::new(BufReader::new(f))
+        .map(move |item| item.unwrap_or_else(|e| usage(&format!("parse {path}: {e}"))))
 }
 
 fn generate(rest: &[String]) {
@@ -73,9 +110,10 @@ fn generate(rest: &[String]) {
             let g = fews_stream::gen::planted::planted_star(n, m, d, bg, &mut rng);
             let mut edges = g.edges;
             fews_stream::order::shuffle(&mut edges, &mut rng);
-            println!(
+            outln!(
                 "# planted heavy vertex {} with degree {}",
-                g.heavy, g.degree
+                g.heavy,
+                g.degree
             );
             write_stream(&out, &as_insertions(&edges));
         }
@@ -92,7 +130,7 @@ fn generate(rest: &[String]) {
             let packets = o.get("packets", 20_000u64);
             let attack = o.get("attack", 400u32);
             let t = fews_stream::gen::dos::dos_trace(dsts, srcs, packets, 1.0, attack, &mut rng);
-            println!("# victim destination {}", t.victim);
+            outln!("# victim destination {}", t.victim);
             write_stream(&out, &as_insertions(&t.edges));
         }
         "dblog" => {
@@ -102,7 +140,7 @@ fn generate(rest: &[String]) {
             let bg = o.get("background", 4u32);
             let retract = o.get("retract", 0.5f64);
             let log = fews_stream::gen::dblog::db_log(records, users, hot, bg, retract, &mut rng);
-            println!("# hot record {}", log.hot_record);
+            outln!("# hot record {}", log.hot_record);
             write_stream(&out, &log.updates);
         }
         other => usage(&format!("unknown workload {other}")),
@@ -129,26 +167,55 @@ fn stats(rest: &[String]) {
         .enumerate()
         .max_by_key(|(_, &d)| d)
         .expect("n >= 1");
-    println!(
+    outln!(
         "updates        : {} ({inserts} inserts, {deletes} deletes)",
         updates.len()
     );
-    println!("surviving edges: {}", net.len());
-    println!("A-vertices     : {n}");
-    println!("max degree     : Δ = {max} at vertex {argmax}");
+    outln!("surviving edges: {}", net.len());
+    outln!("A-vertices     : {n}");
+    outln!("max degree     : Δ = {max} at vertex {argmax}");
     let hist = [1u32, 2, 4, 8, 16, 32, 64, u32::MAX];
     let mut prev = 0u32;
     for &hi in &hist {
         let c = deg.iter().filter(|&&d| d > prev && d <= hi).count();
         if c > 0 {
             if hi == u32::MAX {
-                println!("degree > {prev:4}    : {c} vertices");
+                outln!("degree > {prev:4}    : {c} vertices");
             } else {
-                println!("degree {:4}-{:4}: {c} vertices", prev + 1, hi);
+                outln!("degree {:4}-{:4}: {c} vertices", prev + 1, hi);
             }
         }
         prev = hi;
     }
+}
+
+fn report(
+    result: Option<Neighbourhood>,
+    model: &str,
+    count: usize,
+    elapsed: std::time::Duration,
+    space: usize,
+) {
+    match result {
+        Some(nb) => {
+            outln!("vertex   : {}", nb.vertex);
+            outln!("witnesses: {}", nb.size());
+            let shown: Vec<String> = nb.witnesses.iter().take(10).map(u64::to_string).collect();
+            outln!(
+                "           [{}{}]",
+                shown.join(", "),
+                if nb.size() > 10 { ", …" } else { "" }
+            );
+        }
+        None => outln!("fail (no ⌊d/α⌋-neighbourhood certified)"),
+    }
+    outln!(
+        "model {} | {} updates in {:.2?} | state {} KiB",
+        model,
+        count,
+        elapsed,
+        space / 1024
+    );
 }
 
 fn run(rest: &[String]) {
@@ -157,18 +224,97 @@ fn run(rest: &[String]) {
         .cloned()
         .unwrap_or_else(|| usage("run needs a FILE"));
     let o = Opts::parse(&rest[1..]);
-    let updates = read_stream(&path);
+    let d: u32 = o
+        .get_str("d")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| usage("--d got an unparsable value"))
+        })
+        .unwrap_or_else(|| usage("--d is required"));
+    let alpha: u32 = o.get("alpha", 2);
+    let seed: u64 = o.get("seed", 2021);
+    if d == 0 || alpha == 0 {
+        usage("--d and --alpha must be ≥ 1");
+    }
+    let explicit_model = o.get_str("model");
+    let explicit_n = o.get_str("n").map(|s| {
+        s.parse::<u32>()
+            .unwrap_or_else(|_| usage("--n got an unparsable value"))
+    });
+    let explicit_m = o.get_str("m").map(|s| {
+        s.parse::<u64>()
+            .unwrap_or_else(|_| usage("--m got an unparsable value"))
+    });
+
+    // One-pass streaming replay (constant memory) whenever nothing needs to
+    // be inferred by scanning the file first; otherwise fall back to
+    // materializing the stream.
+    match (explicit_model.as_deref(), explicit_n, explicit_m) {
+        (Some("io"), Some(n), _) => {
+            let started = std::time::Instant::now();
+            let mut alg = FewwInsertOnly::new(FewwConfig::new(n, d, alpha), seed);
+            let mut count = 0usize;
+            for u in stream_updates(&path) {
+                if u.delta < 0 {
+                    usage("stream contains deletions; use --model id");
+                }
+                if u.edge.a >= n {
+                    usage(&format!("vertex {} out of range --n {n}", u.edge.a));
+                }
+                alg.push(u.edge);
+                count += 1;
+            }
+            report(
+                alg.result(),
+                "io",
+                count,
+                started.elapsed(),
+                alg.space_bytes(),
+            );
+        }
+        (Some("id"), Some(n), Some(m)) => {
+            let scale = o.get("scale", 0.1f64);
+            let started = std::time::Instant::now();
+            let mut alg = FewwInsertDelete::new(IdConfig::with_scale(n, m, d, alpha, scale), seed);
+            let mut count = 0usize;
+            for u in stream_updates(&path) {
+                if u.edge.a >= n || u.edge.b >= m {
+                    usage(&format!(
+                        "edge ({}, {}) out of range --n {n} / --m {m}",
+                        u.edge.a, u.edge.b
+                    ));
+                }
+                alg.push(u);
+                count += 1;
+            }
+            report(
+                alg.result(),
+                "id",
+                count,
+                started.elapsed(),
+                alg.space_bytes(),
+            );
+        }
+        _ => run_buffered(&path, &o, d, alpha, seed, explicit_model),
+    }
+}
+
+/// The original two-pass path: materialize the stream, infer whatever wasn't
+/// given, then run.
+fn run_buffered(
+    path: &str,
+    o: &Opts,
+    d: u32,
+    alpha: u32,
+    seed: u64,
+    explicit_model: Option<String>,
+) {
+    let updates = read_stream(path);
     let n: u32 = o.get(
         "n",
         updates.iter().map(|u| u.edge.a).max().map_or(1, |a| a + 1),
     );
-    let d: u32 = o
-        .get_str("d")
-        .map(|s| s.parse().expect("--d"))
-        .unwrap_or_else(|| usage("--d is required"));
-    let alpha: u32 = o.get("alpha", 2);
-    let seed: u64 = o.get("seed", 2021);
-    let model: String = o.get_str("model").unwrap_or_else(|| {
+    let model: String = explicit_model.unwrap_or_else(|| {
         if updates.iter().any(|u| u.delta < 0) {
             "id".into()
         } else {
@@ -202,25 +348,192 @@ fn run(rest: &[String]) {
         }
         other => usage(&format!("unknown model {other} (io|id)")),
     };
-    let elapsed = started.elapsed();
-    match result {
-        Some(nb) => {
-            println!("vertex   : {}", nb.vertex);
-            println!("witnesses: {}", nb.size());
-            let shown: Vec<String> = nb.witnesses.iter().take(10).map(u64::to_string).collect();
-            println!(
-                "           [{}{}]",
-                shown.join(", "),
-                if nb.size() > 10 { ", …" } else { "" }
-            );
-        }
-        None => println!("fail (no ⌊d/α⌋-neighbourhood certified)"),
+    report(result, &model, updates.len(), started.elapsed(), space);
+}
+
+/// `fews serve`: replay FILE through the sharded engine, then answer queries
+/// from stdin until EOF.
+fn serve(rest: &[String]) {
+    let path = rest
+        .first()
+        .cloned()
+        .unwrap_or_else(|| usage("serve needs a FILE"));
+    let o = Opts::parse(&rest[1..]);
+    let n: u32 = o
+        .get_str("n")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| usage("--n got an unparsable value"))
+        })
+        .unwrap_or_else(|| usage("--n is required for serve (the engine is pre-sharded)"));
+    let d: u32 = o
+        .get_str("d")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| usage("--d got an unparsable value"))
+        })
+        .unwrap_or_else(|| usage("--d is required"));
+    let alpha: u32 = o.get("alpha", 2);
+    let seed: u64 = o.get("seed", 2021);
+    let shards: usize = o.get("shards", 4);
+    let partitions: usize = o.get("partitions", fews_engine::DEFAULT_PARTITIONS);
+    let batch: usize = o.get("batch", 1024);
+    if n == 0 || d == 0 || alpha == 0 {
+        usage("--n, --d, and --alpha must be ≥ 1");
     }
-    println!(
-        "model {} | {} updates in {:.2?} | state {} KiB",
-        model,
-        updates.len(),
+    if shards == 0 || partitions == 0 || batch == 0 {
+        usage("--shards, --partitions, and --batch must be ≥ 1");
+    }
+    let model: String = o.get_str("model").unwrap_or_else(|| "io".into());
+    let m: u64 = o.get("m", 0);
+    let cfg = match model.as_str() {
+        "io" => EngineConfig::insert_only(FewwConfig::new(n, d, alpha), seed),
+        "id" => {
+            if m == 0 {
+                usage("--m is required for --model id");
+            }
+            let scale = o.get("scale", 0.1f64);
+            EngineConfig::insert_delete(IdConfig::with_scale(n, m, d, alpha, scale), seed)
+        }
+        other => usage(&format!("unknown model {other} (io|id)")),
+    }
+    .with_shards(shards)
+    .with_partitions(partitions)
+    .with_batch(batch);
+
+    let mut engine = Engine::start(cfg);
+    if let Some(ckpt) = o.get_str("restore") {
+        let bytes = std::fs::read(&ckpt).unwrap_or_else(|e| usage(&format!("read {ckpt}: {e}")));
+        engine
+            .restore_checkpoint(&bytes)
+            .unwrap_or_else(|e| usage(&format!("restore {ckpt}: {e}")));
+        outln!("restored checkpoint {ckpt} ({} bytes)", bytes.len());
+    }
+
+    let is_io = model == "io";
+    let started = std::time::Instant::now();
+    let mut count = 0u64;
+    for u in stream_updates(&path) {
+        if is_io && u.delta < 0 {
+            usage("stream contains deletions; use --model id");
+        }
+        if u.edge.a >= n || (!is_io && u.edge.b >= m) {
+            usage(&format!(
+                "edge ({}, {}) out of range --n {n}{}",
+                u.edge.a,
+                u.edge.b,
+                if is_io {
+                    String::new()
+                } else {
+                    format!(" / --m {m}")
+                }
+            ));
+        }
+        engine.push(u);
+        count += 1;
+    }
+    let stats = engine.stats(); // barrier: all batches applied
+    let elapsed = started.elapsed();
+    outln!(
+        "replayed {count} updates in {:.2?} across {shards} shard(s) / {partitions} partition(s) \
+         — {:.0} updates/s",
         elapsed,
-        space / 1024
+        count as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    for s in &stats.shards {
+        outln!(
+            "  shard {}: {} partitions | {} updates in {} batches | {} KiB",
+            s.shard,
+            s.partitions,
+            s.processed,
+            s.batches,
+            s.space_bytes / 1024
+        );
+    }
+    outln!("ready — queries: top [K] | certify V | stats | checkpoint PATH | quit");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_else(|e| usage(&format!("stdin: {e}")));
+        let mut words = line.split_whitespace();
+        match words.next() {
+            None => continue,
+            Some("quit") | Some("exit") => break,
+            Some("top") => {
+                let k: usize = words.next().and_then(|w| w.parse().ok()).unwrap_or(5);
+                let view = engine.view();
+                let top = view.top(k);
+                if top.is_empty() {
+                    outln!("(no witnesses collected yet)");
+                }
+                for nb in top {
+                    print_neighbourhood(&nb, &view);
+                }
+            }
+            Some("certify") => match words.next().and_then(|w| w.parse::<u32>().ok()) {
+                Some(v) => {
+                    let view = engine.view();
+                    match view.certify(v) {
+                        Some(nb) => print_neighbourhood(&nb, &view),
+                        None => outln!("vertex {v}: no witnesses held"),
+                    }
+                }
+                None => outln!("certify needs a vertex id"),
+            },
+            Some("stats") => {
+                let s = engine.stats();
+                outln!(
+                    "{} updates ingested | uptime {:.2?} | {:.0} updates/s | state {} KiB",
+                    s.ingested,
+                    s.uptime,
+                    s.updates_per_sec(),
+                    s.space_bytes() / 1024
+                );
+                for sh in &s.shards {
+                    outln!(
+                        "  shard {}: {} partitions | {} updates in {} batches | {} KiB",
+                        sh.shard,
+                        sh.partitions,
+                        sh.processed,
+                        sh.batches,
+                        sh.space_bytes / 1024
+                    );
+                }
+            }
+            Some("checkpoint") => match words.next() {
+                Some(out) => {
+                    let bytes = engine.checkpoint();
+                    match std::fs::write(out, &bytes) {
+                        Ok(()) => outln!("checkpointed {} bytes to {out}", bytes.len()),
+                        Err(e) => outln!("checkpoint {out}: {e}"),
+                    }
+                }
+                None => outln!("checkpoint needs an output PATH"),
+            },
+            Some(other) => {
+                outln!("unknown query {other:?} — try: top [K] | certify V | stats | checkpoint PATH | quit");
+            }
+        }
+    }
+}
+
+fn print_neighbourhood(nb: &Neighbourhood, view: &GlobalView) {
+    let shown: Vec<String> = nb.witnesses.iter().take(8).map(u64::to_string).collect();
+    let degree = view
+        .degree(nb.vertex)
+        .map(|deg| format!(" degree {deg} |"))
+        .unwrap_or_default();
+    outln!(
+        "vertex {:6} |{} {} witness(es){} [{}{}]",
+        nb.vertex,
+        degree,
+        nb.size(),
+        if nb.size() as u64 >= view.witness_target() as u64 {
+            " ✓ certified"
+        } else {
+            ""
+        },
+        shown.join(", "),
+        if nb.size() > 8 { ", …" } else { "" }
     );
 }

@@ -157,17 +157,19 @@ impl FewwInsertDelete {
         }
     }
 
-    /// Step 4 of Algorithm 3: pool every recovered edge and output any
-    /// vertex owning ≥ d/α distinct witnesses (we return the best such
-    /// vertex). `None` = *fail*.
-    pub fn result(&self) -> Option<Neighbourhood> {
+    /// Pool every edge recovered by both strategies, grouped by A-vertex:
+    /// the "collect all returned edges" step of Algorithm 3, exposed so a
+    /// sharded deployment can union banks across vertex-disjoint instances
+    /// (ℓ₀-sampler outputs merge by set union). Sorted by vertex; witness
+    /// lists sorted and deduplicated; vertices with no recovered edge are
+    /// omitted.
+    pub fn pooled_witnesses(&self) -> Vec<(u32, Vec<u64>)> {
         let mut witnesses: HashMap<u32, std::collections::HashSet<u64>> = HashMap::new();
         for (&a, samplers) in &self.vertex_samplers {
-            let entry = witnesses.entry(a).or_default();
             for s in samplers {
                 if let Some((b, c)) = s.sample() {
                     if c > 0 {
-                        entry.insert(b);
+                        witnesses.entry(a).or_default().insert(b);
                     }
                 }
             }
@@ -180,12 +182,40 @@ impl FewwInsertDelete {
                 }
             }
         }
+        let mut pooled: Vec<(u32, Vec<u64>)> = witnesses
+            .into_iter()
+            .map(|(a, ws)| {
+                let mut ws: Vec<u64> = ws.into_iter().collect();
+                ws.sort_unstable();
+                (a, ws)
+            })
+            .collect();
+        pooled.sort_unstable_by_key(|&(a, _)| a);
+        pooled
+    }
+
+    /// Step 4 of Algorithm 3: pool every recovered edge and output any
+    /// vertex owning ≥ d/α distinct witnesses (we return the best such
+    /// vertex). `None` = *fail*.
+    pub fn result(&self) -> Option<Neighbourhood> {
         let d2 = self.config.witness_target() as usize;
-        witnesses
+        self.pooled_witnesses()
             .into_iter()
             .filter(|(_, ws)| ws.len() >= d2)
             .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
-            .map(|(a, ws)| Neighbourhood::new(a, ws.into_iter().collect()))
+            .map(|(a, ws)| Neighbourhood::new(a, ws))
+    }
+
+    /// Capture the ℓ₀-sampler register file for checkpointing (see
+    /// [`crate::wire_id::IdMemoryState`]).
+    pub fn snapshot(&self) -> crate::wire_id::IdMemoryState {
+        crate::wire_id::IdMemoryState::capture(self)
+    }
+
+    /// Install a register file captured from an instance with the same
+    /// configuration and seed (hash functions are shared randomness).
+    pub fn restore_from(&mut self, state: &crate::wire_id::IdMemoryState) {
+        state.restore(self);
     }
 
     /// Witnesses recovered by the *vertex* strategy alone (Lemma 5.2
@@ -387,6 +417,47 @@ mod tests {
         let expected =
             cfg.vertex_sample_size() * cfg.samplers_per_vertex() + cfg.edge_sampler_count();
         assert_eq!(alg.sampler_count(), expected);
+    }
+
+    #[test]
+    fn pooled_witnesses_sorted_and_consistent_with_result() {
+        let seed = 77;
+        let g = planted_star(64, 4096, 16, 2, &mut rng_for(seed, 1));
+        let mut alg = FewwInsertDelete::new(small_cfg(), seed);
+        for u in as_insertions(&g.edges) {
+            alg.push(u);
+        }
+        let pooled = alg.pooled_witnesses();
+        assert!(pooled.windows(2).all(|w| w[0].0 < w[1].0), "unsorted");
+        for (_, ws) in &pooled {
+            assert!(!ws.is_empty());
+            assert!(ws.windows(2).all(|w| w[0] < w[1]), "dup/unsorted list");
+        }
+        let d2 = alg.config().witness_target() as usize;
+        let best = pooled
+            .iter()
+            .filter(|(_, ws)| ws.len() >= d2)
+            .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
+            .cloned();
+        assert_eq!(
+            alg.result(),
+            best.map(|(a, ws)| Neighbourhood::new(a, ws)),
+            "result() must be the pooled argmax"
+        );
+    }
+
+    #[test]
+    fn snapshot_hooks_roundtrip() {
+        let seed = 31;
+        let mut alg = FewwInsertDelete::new(small_cfg(), seed);
+        for b in 0..8u64 {
+            alg.push(Update::insert(Edge::new(7, b)));
+        }
+        let snap = alg.snapshot();
+        let mut fresh = FewwInsertDelete::new(small_cfg(), seed);
+        fresh.restore_from(&snap);
+        assert_eq!(fresh.snapshot(), snap);
+        assert_eq!(fresh.pooled_witnesses(), alg.pooled_witnesses());
     }
 
     #[test]

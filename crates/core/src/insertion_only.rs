@@ -142,6 +142,17 @@ impl FewwInsertOnly {
         self.pushed
     }
 
+    /// Capture the current memory state for checkpointing / merging (see
+    /// [`crate::wire::MemoryState`]).
+    pub fn snapshot(&self) -> crate::wire::MemoryState {
+        crate::wire::MemoryState::capture(self)
+    }
+
+    /// Install a state captured from an identically configured instance.
+    pub fn restore_from(&mut self, state: &crate::wire::MemoryState) {
+        state.restore(self);
+    }
+
     pub(crate) fn degrees_slice(&self) -> &[u32] {
         &self.degrees
     }

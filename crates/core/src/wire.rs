@@ -13,6 +13,7 @@
 
 use crate::deg_res::DegResSampling;
 use crate::insertion_only::FewwInsertOnly;
+use crate::neighbourhood::Neighbourhood;
 
 /// Append `v` as an unsigned LEB128 varint.
 pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
@@ -103,6 +104,102 @@ impl MemoryState {
             })
             .collect();
         alg.replace_state(self.degrees.clone(), runs);
+    }
+
+    /// Merge another state into this one (mergeable-summary style, the way
+    /// `fews-engine` combines vertex-disjoint shard states into one global
+    /// view).
+    ///
+    /// Both states must share the run geometry (same number of runs with the
+    /// same `(d₁, d₂, s)`). Degree tables are summed elementwise — exact when
+    /// the two states saw vertex-disjoint sub-streams, which is the only
+    /// partitioning the engine uses. Reservoir entries are concatenated in
+    /// `(self, other)` order and crossing counters summed; the merged value
+    /// is a **query view** (its occupancy may exceed `s`), not a resumable
+    /// algorithm state — don't [`MemoryState::restore`] it.
+    pub fn merge(&mut self, other: &MemoryState) {
+        assert_eq!(
+            self.degrees.len(),
+            other.degrees.len(),
+            "merge: degree tables disagree on n"
+        );
+        assert_eq!(
+            self.runs.len(),
+            other.runs.len(),
+            "merge: different run counts"
+        );
+        for (d, &o) in self.degrees.iter_mut().zip(&other.degrees) {
+            *d += o;
+        }
+        for (run, o) in self.runs.iter_mut().zip(&other.runs) {
+            assert!(
+                run.d1 == o.d1 && run.d2 == o.d2 && run.s == o.s,
+                "merge: run geometry mismatch"
+            );
+            run.crossings += o.crossings;
+            run.entries.extend(o.entries.iter().cloned());
+        }
+    }
+
+    /// The canonical certified output of this state: scan runs in index
+    /// order and reservoir entries in slot order, and return the first
+    /// neighbourhood that reached its run's witness target `d₂`.
+    ///
+    /// Unlike [`FewwInsertOnly::result`] (which may pick any successful
+    /// entry), this choice is a pure function of the state, so a K-shard
+    /// merged view certifies *byte-identical* output for every K.
+    pub fn certified(&self) -> Option<Neighbourhood> {
+        for run in &self.runs {
+            for (a, ws) in &run.entries {
+                if ws.len() >= run.d2 as usize {
+                    return Some(Neighbourhood::new(*a, ws.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Witnesses collected for a specific vertex, if it is held by any run's
+    /// reservoir: the first-longest list in (run, slot) order, together with
+    /// the vertex's exact degree. `None` when no run stores the vertex.
+    pub fn certify(&self, v: u32) -> Option<Neighbourhood> {
+        let mut best: Option<&Vec<u64>> = None;
+        for run in &self.runs {
+            for (a, ws) in &run.entries {
+                if *a == v && best.is_none_or(|b| ws.len() > b.len()) {
+                    best = Some(ws);
+                }
+            }
+        }
+        best.map(|ws| Neighbourhood::new(v, ws.clone()))
+    }
+
+    /// The `k` sampled vertices with the most collected witnesses, sorted by
+    /// (witness count descending, vertex ascending). Deterministic on merged
+    /// views — the engine's `top` query.
+    pub fn top(&self, k: usize) -> Vec<Neighbourhood> {
+        let mut best: std::collections::BTreeMap<u32, &Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for run in &self.runs {
+            for (a, ws) in &run.entries {
+                let entry = best.entry(*a).or_insert(ws);
+                if ws.len() > entry.len() {
+                    *entry = ws;
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, &Vec<u64>)> = best.into_iter().collect();
+        ranked.sort_by(|(a1, w1), (a2, w2)| w2.len().cmp(&w1.len()).then(a1.cmp(a2)));
+        ranked
+            .into_iter()
+            .take(k)
+            .map(|(a, ws)| Neighbourhood::new(a, ws.clone()))
+            .collect()
+    }
+
+    /// Exact degree of a vertex in this state (the shared degree table).
+    pub fn degree(&self, v: u32) -> Option<u32> {
+        self.degrees.get(v as usize).copied()
     }
 
     /// Encode to bytes. Degree tables are delta-friendly small numbers, so
@@ -254,6 +351,102 @@ mod tests {
         let out = party2.result().expect("degree-8 vertex with α = 2");
         assert_eq!(out.vertex, 3);
         assert!(out.size() >= 4);
+    }
+
+    /// Hand-built state: runs with explicit entries, no RNG involved.
+    fn state(n: usize, runs: Vec<RunState>) -> MemoryState {
+        MemoryState {
+            degrees: vec![0; n],
+            runs,
+        }
+    }
+
+    fn run_state(d1: u32, d2: u32, entries: Vec<(u32, Vec<u64>)>) -> RunState {
+        RunState {
+            d1,
+            d2,
+            s: 8,
+            crossings: entries.len() as u64,
+            entries,
+        }
+    }
+
+    #[test]
+    fn merge_sums_degrees_and_concatenates_entries() {
+        let mut left = state(4, vec![run_state(1, 2, vec![(0, vec![5, 6])])]);
+        left.degrees = vec![2, 0, 0, 0];
+        let mut right = state(4, vec![run_state(1, 2, vec![(2, vec![7])])]);
+        right.degrees = vec![0, 0, 1, 0];
+        left.merge(&right);
+        assert_eq!(left.degrees, vec![2, 0, 1, 0]);
+        assert_eq!(left.runs[0].crossings, 2);
+        assert_eq!(left.runs[0].entries, vec![(0, vec![5, 6]), (2, vec![7])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatched_runs() {
+        let mut left = state(4, vec![run_state(1, 2, vec![])]);
+        let right = state(4, vec![run_state(1, 3, vec![])]);
+        left.merge(&right);
+    }
+
+    #[test]
+    fn certified_is_first_in_run_then_slot_order() {
+        // Run 0 has an undersized entry; run 1's *second* slot is full — but
+        // run 0's second entry fills first in scan order.
+        let s = state(
+            8,
+            vec![
+                run_state(1, 2, vec![(3, vec![9]), (5, vec![1, 2])]),
+                run_state(2, 2, vec![(7, vec![4, 5])]),
+            ],
+        );
+        let nb = s.certified().expect("slot (run 0, entry 1) is full");
+        assert_eq!(nb.vertex, 5);
+        assert_eq!(nb.witnesses, vec![1, 2]);
+    }
+
+    #[test]
+    fn certify_picks_longest_list_for_vertex() {
+        let s = state(
+            8,
+            vec![
+                run_state(1, 4, vec![(3, vec![9])]),
+                run_state(2, 4, vec![(3, vec![1, 2, 8])]),
+            ],
+        );
+        assert_eq!(s.certify(3).unwrap().witnesses, vec![1, 2, 8]);
+        assert!(s.certify(4).is_none());
+    }
+
+    #[test]
+    fn top_ranks_by_count_then_vertex() {
+        let s = state(
+            8,
+            vec![run_state(
+                1,
+                9,
+                vec![(4, vec![1]), (2, vec![5, 6]), (6, vec![7, 8])],
+            )],
+        );
+        let top = s.top(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!((top[0].vertex, top[0].size()), (2, 2));
+        assert_eq!((top[1].vertex, top[1].size()), (6, 2));
+        assert_eq!(s.top(10).len(), 3);
+    }
+
+    #[test]
+    fn snapshot_hooks_roundtrip() {
+        let edges: Vec<Edge> = (0..8u64).map(|b| Edge::new(3, b)).collect();
+        let alg = run_alg(&edges);
+        let snap = alg.snapshot();
+        assert_eq!(snap, MemoryState::capture(&alg));
+        let mut fresh = FewwInsertOnly::new(*alg.config(), 5);
+        fresh.restore_from(&snap);
+        assert_eq!(MemoryState::capture(&fresh), snap);
+        assert_eq!(fresh.degree(3), 8);
     }
 
     #[test]

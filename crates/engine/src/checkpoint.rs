@@ -1,0 +1,201 @@
+//! The engine checkpoint container format.
+//!
+//! A checkpoint is a tagged concatenation of per-partition `fews_core::wire`
+//! snapshots:
+//!
+//! ```text
+//! magic   b"FEWWCKP1"                     (8 bytes)
+//! header  model tag (0 = insertion-only, 1 = insertion-deletion)
+//!         seed, partitions, n, m, d, alpha      (LEB128 varints; m = 0 io)
+//! body    P × { payload length varint, payload bytes }   partition order
+//! ```
+//!
+//! Payload `p` is [`fews_core::wire::MemoryState::encode`] (insertion-only)
+//! or [`fews_core::wire_id::IdMemoryState::encode`] (insertion-deletion) of
+//! partition `p`. Because the body is keyed by *partition* — the unit of
+//! both randomness and routing — a checkpoint written at one shard count
+//! restores at any other, and two engines that saw the same stream under the
+//! same master seed write byte-identical checkpoints regardless of K.
+
+use crate::{EngineConfig, ModelSpec};
+use fews_core::wire::{get_uvarint, put_uvarint};
+
+/// Magic bytes opening every engine checkpoint.
+pub const MAGIC: &[u8; 8] = b"FEWWCKP1";
+
+/// Per-partition payloads: `(partition id, encoded wire-format state)`.
+pub type PartitionPayloads = Vec<(u32, Vec<u8>)>;
+
+/// Why a checkpoint failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte string does not start with [`MAGIC`].
+    BadMagic,
+    /// The byte string ends inside the header or body.
+    Truncated,
+    /// The header disagrees with the restoring engine's configuration.
+    ConfigMismatch(String),
+    /// A partition payload failed to decode or validate.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an engine checkpoint (bad magic)"),
+            CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
+            CheckpointError::ConfigMismatch(m) => write!(f, "config mismatch: {m}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// The decoded checkpoint header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// 0 = insertion-only, 1 = insertion-deletion.
+    pub model: u64,
+    /// Master seed of the writing engine.
+    pub seed: u64,
+    /// Logical partition count `P`.
+    pub partitions: u64,
+    /// `n` (A-vertices).
+    pub n: u64,
+    /// `m` (B-vertices; 0 for the insertion-only model).
+    pub m: u64,
+    /// Degree threshold `d`.
+    pub d: u64,
+    /// Approximation factor α.
+    pub alpha: u64,
+}
+
+impl Header {
+    /// The header an engine with configuration `cfg` writes.
+    pub fn for_config(cfg: &EngineConfig) -> Header {
+        let (model, n, m, d, alpha) = match cfg.model {
+            ModelSpec::InsertOnly(c) => (0, c.n as u64, 0, c.d as u64, c.alpha as u64),
+            ModelSpec::InsertDelete(c) => (1, c.n as u64, c.m, c.d as u64, c.alpha as u64),
+        };
+        Header {
+            model,
+            seed: cfg.seed,
+            partitions: cfg.partitions as u64,
+            n,
+            m,
+            d,
+            alpha,
+        }
+    }
+
+    /// Check compatibility with a restoring engine's configuration.
+    pub fn check_against(&self, cfg: &EngineConfig) -> Result<(), CheckpointError> {
+        let expect = Header::for_config(cfg);
+        if *self != expect {
+            return Err(CheckpointError::ConfigMismatch(format!(
+                "checkpoint {self:?} vs engine {expect:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Assemble a checkpoint from per-partition payloads (must be sorted by
+/// partition id and cover `0..P` exactly).
+pub fn encode(cfg: &EngineConfig, payloads: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    assert_eq!(payloads.len(), cfg.partitions, "payload per partition");
+    let h = Header::for_config(cfg);
+    let mut buf = Vec::with_capacity(64 + payloads.iter().map(|(_, b)| b.len() + 4).sum::<usize>());
+    buf.extend_from_slice(MAGIC);
+    for v in [h.model, h.seed, h.partitions, h.n, h.m, h.d, h.alpha] {
+        put_uvarint(&mut buf, v);
+    }
+    for (i, (p, bytes)) in payloads.iter().enumerate() {
+        assert_eq!(*p as usize, i, "payloads must be dense and sorted");
+        put_uvarint(&mut buf, bytes.len() as u64);
+        buf.extend_from_slice(bytes);
+    }
+    buf
+}
+
+/// Split a checkpoint into its header and per-partition payloads.
+pub fn decode(bytes: &[u8]) -> Result<(Header, PartitionPayloads), CheckpointError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+    let mut next = || get_uvarint(bytes, &mut pos).ok_or(CheckpointError::Truncated);
+    let header = Header {
+        model: next()?,
+        seed: next()?,
+        partitions: next()?,
+        n: next()?,
+        m: next()?,
+        d: next()?,
+        alpha: next()?,
+    };
+    let mut payloads = Vec::with_capacity(header.partitions as usize);
+    for p in 0..header.partitions {
+        let len = get_uvarint(bytes, &mut pos).ok_or(CheckpointError::Truncated)? as usize;
+        let end = pos.checked_add(len).ok_or(CheckpointError::Truncated)?;
+        if end > bytes.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        payloads.push((p as u32, bytes[pos..end].to_vec()));
+        pos = end;
+    }
+    if pos != bytes.len() {
+        return Err(CheckpointError::Corrupt("trailing bytes".into()));
+    }
+    Ok((header, payloads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fews_core::insertion_only::FewwConfig;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::insert_only(FewwConfig::new(32, 8, 2), 7).with_partitions(3)
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let payloads = vec![(0u32, vec![1, 2, 3]), (1, vec![]), (2, vec![9; 300])];
+        let bytes = encode(&cfg(), &payloads);
+        let (header, back) = decode(&bytes).unwrap();
+        assert_eq!(header, Header::for_config(&cfg()));
+        assert_eq!(back, payloads);
+        header.check_against(&cfg()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic_truncation_and_trailing() {
+        let payloads = vec![(0u32, vec![1]), (1, vec![2]), (2, vec![3])];
+        let bytes = encode(&cfg(), &payloads);
+        assert_eq!(decode(b"NOTACKPT"), Err(CheckpointError::BadMagic));
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 1]),
+            Err(CheckpointError::Truncated)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode(&trailing),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn header_mismatch_is_reported() {
+        let payloads = vec![(0u32, vec![]), (1, vec![]), (2, vec![])];
+        let bytes = encode(&cfg(), &payloads);
+        let (header, _) = decode(&bytes).unwrap();
+        let other = EngineConfig::insert_only(FewwConfig::new(64, 8, 2), 7).with_partitions(3);
+        assert!(matches!(
+            header.check_against(&other),
+            Err(CheckpointError::ConfigMismatch(_))
+        ));
+    }
+}

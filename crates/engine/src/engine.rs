@@ -1,0 +1,475 @@
+//! The engine front end: routing, backpressure, queries, checkpointing.
+
+use crate::checkpoint::{self, CheckpointError};
+use crate::shard::{run_shard, PartView, ShardMsg};
+use crate::view::GlobalView;
+use crate::{partition_of, EngineConfig, ModelSpec};
+use fews_stream::Update;
+use std::sync::mpsc::{channel, sync_channel, SyncSender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Ingest counters and space usage of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index (`0..K`).
+    pub shard: usize,
+    /// Partitions owned by this shard.
+    pub partitions: usize,
+    /// Updates applied so far.
+    pub processed: u64,
+    /// Batches applied so far.
+    pub batches: u64,
+    /// Measured state size of the shard's partitions (`SpaceUsage`).
+    pub space_bytes: usize,
+}
+
+/// A consistent engine-wide statistics snapshot.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Updates accepted by [`Engine::push`] (equals the sum of per-shard
+    /// `processed` — the stats round-trip is a barrier).
+    pub ingested: u64,
+    /// Wall-clock time since the engine started.
+    pub uptime: Duration,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl EngineStats {
+    /// Total measured state size across shards.
+    pub fn space_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.space_bytes).sum()
+    }
+
+    /// Average ingest rate over the engine's uptime.
+    pub fn updates_per_sec(&self) -> f64 {
+        self.ingested as f64 / self.uptime.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A running sharded engine. See the crate docs for the architecture.
+///
+/// Dropping the engine disconnects and joins every worker. Workers panic
+/// only on programming errors (misrouted updates, deletions fed to an
+/// insertion-only engine); operational failures (bad checkpoints) surface
+/// as `Result`s.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    senders: Vec<SyncSender<ShardMsg>>,
+    pending: Vec<Vec<Update>>,
+    handles: Vec<JoinHandle<()>>,
+    ingested: u64,
+    started: Instant,
+}
+
+impl Engine {
+    /// Spawn `cfg.shards` workers and return the running engine.
+    pub fn start(cfg: EngineConfig) -> Engine {
+        cfg.validate();
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx) = sync_channel(cfg.queue_depth);
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("fews-shard-{shard}"))
+                    .spawn(move || run_shard(shard, cfg, rx))
+                    .expect("spawn shard worker"),
+            );
+        }
+        Engine {
+            senders,
+            pending: vec![Vec::with_capacity(cfg.batch); cfg.shards],
+            handles,
+            cfg,
+            ingested: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Route one update into its shard's batch; sends the batch (blocking on
+    /// backpressure when the shard's queue is full) once it reaches
+    /// `cfg.batch` updates.
+    pub fn push(&mut self, u: Update) {
+        let shard = partition_of(u.edge.a, self.cfg.partitions) % self.cfg.shards;
+        self.pending[shard].push(u);
+        self.ingested += 1;
+        if self.pending[shard].len() >= self.cfg.batch {
+            self.dispatch(shard);
+        }
+    }
+
+    /// Ingest a whole batch of updates.
+    pub fn ingest<I: IntoIterator<Item = Update>>(&mut self, updates: I) {
+        for u in updates {
+            self.push(u);
+        }
+    }
+
+    /// Send every partially filled batch to its shard.
+    pub fn flush(&mut self) {
+        for shard in 0..self.cfg.shards {
+            if !self.pending[shard].is_empty() {
+                self.dispatch(shard);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, shard: usize) {
+        let batch = std::mem::replace(&mut self.pending[shard], Vec::with_capacity(self.cfg.batch));
+        self.senders[shard]
+            .send(ShardMsg::Batch(batch))
+            .expect("shard worker died");
+    }
+
+    /// Flush and fold every partition's state into a [`GlobalView`]. The
+    /// reply round-trip doubles as a barrier: the view reflects every update
+    /// pushed before the call.
+    pub fn view(&mut self) -> GlobalView {
+        self.flush();
+        let mut parts: Vec<(u32, PartView)> =
+            self.gather(ShardMsg::View).into_iter().flatten().collect();
+        parts.sort_by_key(|&(p, _)| p);
+        let d2 = self.cfg.witness_target();
+        match self.cfg.model {
+            ModelSpec::InsertOnly(_) => {
+                let mut states = parts.into_iter().map(|(_, v)| match v {
+                    PartView::Io(state) => state,
+                    PartView::Id(_) => unreachable!("model mismatch"),
+                });
+                let mut merged = states.next().expect("at least one partition");
+                for state in states {
+                    merged.merge(&state);
+                }
+                GlobalView::InsertOnly { state: merged, d2 }
+            }
+            ModelSpec::InsertDelete(_) => {
+                // Vertices are partition-disjoint: concatenating the sorted
+                // partition banks in partition order and re-sorting by vertex
+                // is a disjoint union.
+                let mut pooled: Vec<(u32, Vec<u64>)> = parts
+                    .into_iter()
+                    .flat_map(|(_, v)| match v {
+                        PartView::Id(pooled) => pooled,
+                        PartView::Io(_) => unreachable!("model mismatch"),
+                    })
+                    .collect();
+                pooled.sort_unstable_by_key(|&(a, _)| a);
+                GlobalView::InsertDelete { pooled, d2 }
+            }
+        }
+    }
+
+    /// Flush and serialize every partition into one checkpoint byte string
+    /// (see [`crate::checkpoint`] for the format). Identical for every shard
+    /// count K under the same master seed and stream.
+    pub fn checkpoint(&mut self) -> Vec<u8> {
+        self.flush();
+        let mut payloads: Vec<(u32, Vec<u8>)> = self
+            .gather(ShardMsg::Snapshot)
+            .into_iter()
+            .flatten()
+            .collect();
+        payloads.sort_by_key(|&(p, _)| p);
+        checkpoint::encode(&self.cfg, &payloads)
+    }
+
+    /// Load a checkpoint written by an engine with the same model
+    /// parameters, master seed, and partition count (the shard count may
+    /// differ). Replaces all partition state; the stream replay can then
+    /// continue from where the checkpoint was taken.
+    ///
+    /// Restore is two-phase: every shard first decodes and validates its
+    /// payloads without installing anything, and only when all of them
+    /// succeed does the (infallible) install run — so on `Err` the engine's
+    /// state is untouched.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.flush();
+        let (header, payloads) = checkpoint::decode(bytes)?;
+        header.check_against(&self.cfg)?;
+        // Group payloads by owning shard, preserving partition order.
+        let mut per_shard: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); self.cfg.shards];
+        for (p, bytes) in payloads {
+            per_shard[p as usize % self.cfg.shards].push((p, bytes));
+        }
+        // Phase 1: validate everywhere.
+        let mut replies = Vec::with_capacity(self.cfg.shards);
+        for (shard, payloads) in per_shard.into_iter().enumerate() {
+            let (tx, rx) = channel();
+            self.senders[shard]
+                .send(ShardMsg::PrepareRestore(payloads, tx))
+                .expect("shard worker died");
+            replies.push(rx);
+        }
+        let mut failure = None;
+        for rx in replies {
+            if let Err(e) = rx.recv().expect("shard worker died") {
+                failure.get_or_insert(e);
+            }
+        }
+        if let Some(e) = failure {
+            for sender in &self.senders {
+                sender
+                    .send(ShardMsg::AbortRestore)
+                    .expect("shard worker died");
+            }
+            return Err(CheckpointError::Corrupt(e));
+        }
+        // Phase 2: commit everywhere (cannot fail).
+        for () in self.gather(ShardMsg::CommitRestore) {}
+        Ok(())
+    }
+
+    /// Flush and collect a consistent statistics snapshot from every shard.
+    pub fn stats(&mut self) -> EngineStats {
+        self.flush();
+        let shards = self
+            .gather(ShardMsg::Stats)
+            .into_iter()
+            .enumerate()
+            .map(|(shard, msg)| ShardStats {
+                shard,
+                partitions: msg.partitions,
+                processed: msg.processed,
+                batches: msg.batches,
+                space_bytes: msg.space_bytes,
+            })
+            .collect();
+        EngineStats {
+            ingested: self.ingested,
+            uptime: self.started.elapsed(),
+            shards,
+        }
+    }
+
+    /// Flush, gather final statistics, and shut every worker down.
+    pub fn close(mut self) -> EngineStats {
+        let stats = self.stats();
+        drop(self); // disconnects channels, joins workers
+        stats
+    }
+
+    /// Broadcast a reply-carrying message to every shard and collect the
+    /// replies in shard order.
+    fn gather<T>(&self, make: impl Fn(std::sync::mpsc::Sender<T>) -> ShardMsg) -> Vec<T> {
+        let mut replies = Vec::with_capacity(self.cfg.shards);
+        for sender in &self.senders {
+            let (tx, rx) = channel();
+            sender.send(make(tx)).expect("shard worker died");
+            replies.push(rx);
+        }
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker died"))
+            .collect()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Disconnect every channel so workers drain and exit, then join.
+        // Worker panics are not re-raised here (they already surfaced as a
+        // send/recv failure on the caller's side).
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fews_common::rng::rng_for;
+    use fews_core::insertion_deletion::IdConfig;
+    use fews_core::insertion_only::FewwConfig;
+    use fews_stream::gen::dblog::db_log;
+    use fews_stream::gen::planted::planted_star;
+    use fews_stream::update::{as_insertions, net_graph};
+    use fews_stream::{Edge, Update};
+
+    fn io_cfg(shards: usize) -> EngineConfig {
+        EngineConfig::insert_only(FewwConfig::new(64, 16, 2), 11)
+            .with_shards(shards)
+            .with_partitions(8)
+            .with_batch(32)
+    }
+
+    fn planted_updates(seed: u64) -> (Vec<Update>, Vec<Edge>) {
+        let g = planted_star(64, 1 << 12, 16, 3, &mut rng_for(seed, 1));
+        (as_insertions(&g.edges), g.edges)
+    }
+
+    #[test]
+    fn finds_planted_star_and_matches_across_shard_counts() {
+        let (updates, edges) = planted_updates(5);
+        let mut outputs = Vec::new();
+        let mut checkpoints = Vec::new();
+        for k in [1usize, 3] {
+            let mut engine = Engine::start(io_cfg(k));
+            engine.ingest(updates.iter().copied());
+            let view = engine.view();
+            let nb = view.certified().expect("planted star");
+            assert!(nb.verify_against(&edges), "fabricated witnesses");
+            assert!(nb.size() >= 8);
+            outputs.push(nb);
+            checkpoints.push(engine.checkpoint());
+        }
+        assert_eq!(outputs[0], outputs[1], "shard count changed the output");
+        assert_eq!(checkpoints[0], checkpoints[1], "checkpoints differ");
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let (updates, _) = planted_updates(6);
+        let half = updates.len() / 2;
+
+        // Uninterrupted run.
+        let mut full = Engine::start(io_cfg(2));
+        full.ingest(updates.iter().copied());
+        let want = full.checkpoint();
+
+        // Checkpoint at the midpoint, restore into a fresh engine with a
+        // different shard count, replay the rest.
+        let mut first = Engine::start(io_cfg(2));
+        first.ingest(updates[..half].iter().copied());
+        let mid = first.checkpoint();
+        drop(first);
+        let mut second = Engine::start(io_cfg(3));
+        second.restore_checkpoint(&mid).expect("restore");
+        second.ingest(updates[half..].iter().copied());
+        assert_eq!(second.checkpoint(), want, "resumed run diverged");
+    }
+
+    #[test]
+    fn restore_rejects_garbage_and_mismatched_config() {
+        let mut engine = Engine::start(io_cfg(2));
+        assert!(matches!(
+            engine.restore_checkpoint(b"junk"),
+            Err(CheckpointError::BadMagic)
+        ));
+        let other =
+            Engine::start(EngineConfig::insert_only(FewwConfig::new(128, 16, 2), 11)).checkpoint();
+        assert!(matches!(
+            engine.restore_checkpoint(&other),
+            Err(CheckpointError::ConfigMismatch(_))
+        ));
+        // The engine still works after rejected restores.
+        let (updates, _) = planted_updates(7);
+        engine.ingest(updates);
+        assert!(engine.view().certified().is_some());
+    }
+
+    #[test]
+    fn failed_restore_leaves_state_untouched() {
+        // Valid container, corrupt payload for one partition: restore must
+        // fail AND leave every partition exactly as it was (two-phase).
+        let (updates, _) = planted_updates(12);
+        let mut donor = Engine::start(io_cfg(2));
+        donor.ingest(updates.iter().copied());
+        let good = donor.checkpoint();
+        let (_, mut payloads) = checkpoint::decode(&good).unwrap();
+        payloads[3].1 = vec![0xff, 0xff, 0xff]; // undecodable MemoryState
+        let bad = checkpoint::encode(donor.config(), &payloads);
+
+        let mut engine = Engine::start(io_cfg(3));
+        let (before_updates, _) = planted_updates(13);
+        engine.ingest(before_updates.iter().copied());
+        let before = engine.checkpoint();
+        assert!(matches!(
+            engine.restore_checkpoint(&bad),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        assert_eq!(
+            engine.checkpoint(),
+            before,
+            "failed restore mutated partition state"
+        );
+        // A subsequent good restore still works.
+        engine.restore_checkpoint(&good).expect("good restore");
+        assert_eq!(engine.checkpoint(), good);
+    }
+
+    #[test]
+    fn backpressure_with_tiny_queue_completes() {
+        let cfg = io_cfg(2).with_batch(4).with_queue_depth(1);
+        let mut engine = Engine::start(cfg);
+        let (updates, _) = planted_updates(8);
+        engine.ingest(updates.iter().copied());
+        let stats = engine.stats();
+        assert_eq!(stats.ingested, updates.len() as u64);
+        assert_eq!(
+            stats.shards.iter().map(|s| s.processed).sum::<u64>(),
+            updates.len() as u64
+        );
+    }
+
+    #[test]
+    fn stats_report_all_partitions_and_space() {
+        let mut engine = Engine::start(io_cfg(3));
+        let (updates, _) = planted_updates(9);
+        engine.ingest(updates);
+        let stats = engine.close();
+        assert_eq!(stats.shards.len(), 3);
+        assert_eq!(stats.shards.iter().map(|s| s.partitions).sum::<usize>(), 8);
+        assert!(stats.space_bytes() > 0);
+        assert!(stats.updates_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn insert_delete_engine_respects_deletions() {
+        let seed = 21;
+        let log = db_log(32, 1 << 10, 12, 2, 0.4, &mut rng_for(seed, 1));
+        let cfg = IdConfig::with_scale(32, 1 << 10, 12, 2, 0.05);
+        let mut engine = Engine::start(
+            EngineConfig::insert_delete(cfg, seed)
+                .with_shards(2)
+                .with_partitions(4)
+                .with_batch(64),
+        );
+        engine.ingest(log.updates.iter().copied());
+        let surviving = net_graph(&log.updates);
+        let view = engine.view();
+        if let Some(nb) = view.certified() {
+            assert!(
+                nb.verify_against(&surviving),
+                "reported a deleted edge: {nb:?}"
+            );
+        }
+        // top/certify agree with the pooled banks.
+        for nb in view.top(3) {
+            assert_eq!(view.certify(nb.vertex).unwrap(), nb);
+        }
+    }
+
+    #[test]
+    fn insert_delete_checkpoints_are_shard_invariant() {
+        let seed = 22;
+        let log = db_log(32, 1 << 10, 12, 2, 0.4, &mut rng_for(seed, 1));
+        let cfg = IdConfig::with_scale(32, 1 << 10, 12, 2, 0.05);
+        let make = |k: usize| {
+            EngineConfig::insert_delete(cfg, seed)
+                .with_shards(k)
+                .with_partitions(4)
+                .with_batch(64)
+        };
+        let mut a = Engine::start(make(1));
+        a.ingest(log.updates.iter().copied());
+        let mut b = Engine::start(make(4));
+        b.ingest(log.updates.iter().copied());
+        let ckpt = a.checkpoint();
+        assert_eq!(ckpt, b.checkpoint());
+        // And restore round-trips.
+        let mut c = Engine::start(make(2));
+        c.restore_checkpoint(&ckpt).expect("restore id checkpoint");
+        assert_eq!(c.checkpoint(), ckpt);
+    }
+}

@@ -1,0 +1,247 @@
+//! Shard worker threads.
+//!
+//! A shard owns the partitions `p` with `p ≡ shard (mod K)` and processes
+//! commands from its bounded channel strictly in order. Because queries and
+//! snapshots travel through the same channel as update batches, a reply is
+//! only produced after every previously sent batch has been applied — the
+//! channel itself is the consistency barrier.
+
+use crate::{partition_seed, EngineConfig, ModelSpec};
+use fews_common::SpaceUsage;
+use fews_core::insertion_deletion::FewwInsertDelete;
+use fews_core::insertion_only::FewwInsertOnly;
+use fews_core::wire::MemoryState;
+use fews_core::wire_id::IdMemoryState;
+use fews_stream::Update;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// Commands a shard understands. Replies go over one-shot channels.
+pub(crate) enum ShardMsg {
+    /// Apply a routed batch of updates (every update's vertex belongs to
+    /// one of this shard's partitions).
+    Batch(Vec<Update>),
+    /// Report every owned partition's query view.
+    View(Sender<Vec<(u32, PartView)>>),
+    /// Report every owned partition's wire-format snapshot.
+    Snapshot(Sender<Vec<(u32, Vec<u8>)>>),
+    /// Phase 1 of restore: decode and validate snapshots for the named
+    /// partitions, holding them pending. Installs nothing.
+    PrepareRestore(Vec<(u32, Vec<u8>)>, Sender<Result<(), String>>),
+    /// Phase 2 of restore: install the pending snapshots (infallible — they
+    /// were validated in phase 1).
+    CommitRestore(Sender<()>),
+    /// Drop any pending snapshots (another shard failed phase 1).
+    AbortRestore,
+    /// Report ingest counters and space usage.
+    Stats(Sender<ShardStatsMsg>),
+}
+
+/// One partition's contribution to the global query view.
+pub(crate) enum PartView {
+    /// Insertion-only: the full memory state (degree table + reservoirs).
+    Io(MemoryState),
+    /// Insertion-deletion: recovered witnesses pooled per vertex.
+    Id(Vec<(u32, Vec<u64>)>),
+}
+
+/// Raw per-shard counters (wrapped into [`crate::ShardStats`] engine-side).
+pub(crate) struct ShardStatsMsg {
+    pub partitions: usize,
+    pub processed: u64,
+    pub batches: u64,
+    pub space_bytes: usize,
+}
+
+/// One partition's algorithm instance.
+enum PartitionAlg {
+    Io(FewwInsertOnly),
+    Id(FewwInsertDelete),
+}
+
+/// A decoded, validated snapshot awaiting [`ShardMsg::CommitRestore`].
+enum DecodedState {
+    Io(MemoryState),
+    Id(IdMemoryState),
+}
+
+impl PartitionAlg {
+    fn new(cfg: &EngineConfig, partition: u32) -> Self {
+        let seed = partition_seed(cfg.seed, partition);
+        match cfg.model {
+            ModelSpec::InsertOnly(c) => PartitionAlg::Io(FewwInsertOnly::new(c, seed)),
+            ModelSpec::InsertDelete(c) => PartitionAlg::Id(FewwInsertDelete::new(c, seed)),
+        }
+    }
+
+    fn push(&mut self, u: Update) {
+        match self {
+            PartitionAlg::Io(alg) => {
+                assert!(
+                    u.delta > 0,
+                    "insertion-only engine received a deletion for edge {:?}",
+                    u.edge
+                );
+                alg.push(u.edge);
+            }
+            PartitionAlg::Id(alg) => alg.push(u),
+        }
+    }
+
+    fn view(&self) -> PartView {
+        match self {
+            PartitionAlg::Io(alg) => PartView::Io(alg.snapshot()),
+            PartitionAlg::Id(alg) => PartView::Id(alg.pooled_witnesses()),
+        }
+    }
+
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        match self {
+            PartitionAlg::Io(alg) => alg.snapshot().encode(),
+            PartitionAlg::Id(alg) => alg.snapshot().encode(),
+        }
+    }
+
+    /// Decode and validate `bytes` against this partition's geometry,
+    /// without touching any state, so a bad checkpoint surfaces as an `Err`
+    /// before anything is installed.
+    fn validate_bytes(&self, bytes: &[u8]) -> Result<DecodedState, String> {
+        match self {
+            PartitionAlg::Io(alg) => {
+                let state = MemoryState::decode(bytes)
+                    .ok_or_else(|| "malformed insertion-only partition payload".to_string())?;
+                let cfg = *alg.config();
+                if state.degrees.len() != cfg.n as usize {
+                    return Err(format!(
+                        "snapshot has {} vertices, engine expects {}",
+                        state.degrees.len(),
+                        cfg.n
+                    ));
+                }
+                if state.runs.len() != cfg.alpha as usize {
+                    return Err(format!(
+                        "snapshot has {} runs, engine expects α = {}",
+                        state.runs.len(),
+                        cfg.alpha
+                    ));
+                }
+                for run in &state.runs {
+                    if run.d2 != cfg.witness_target() || run.s != cfg.reservoir() as u64 {
+                        return Err("snapshot run geometry disagrees with engine config".into());
+                    }
+                    if run.entries.len() > run.s as usize {
+                        return Err("snapshot reservoir overflows its slot count".into());
+                    }
+                }
+                Ok(DecodedState::Io(state))
+            }
+            PartitionAlg::Id(alg) => {
+                let state = IdMemoryState::decode(bytes)
+                    .ok_or_else(|| "malformed insertion-deletion partition payload".to_string())?;
+                let (mut samplers, mut cells) = (0u64, 0usize);
+                alg.visit_samplers(|s| {
+                    samplers += 1;
+                    s.visit_cells(|_, _, _| cells += 1);
+                });
+                if state.samplers != samplers || state.registers.len() != cells {
+                    return Err(format!(
+                        "snapshot geometry ({} samplers / {} cells) disagrees with engine \
+                         config ({samplers} / {cells})",
+                        state.samplers,
+                        state.registers.len()
+                    ));
+                }
+                Ok(DecodedState::Id(state))
+            }
+        }
+    }
+
+    /// Install a state produced by [`PartitionAlg::validate_bytes`] on this
+    /// same partition. Cannot fail.
+    fn install(&mut self, state: DecodedState) {
+        match (self, state) {
+            (PartitionAlg::Io(alg), DecodedState::Io(s)) => alg.restore_from(&s),
+            (PartitionAlg::Id(alg), DecodedState::Id(s)) => alg.restore_from(&s),
+            _ => unreachable!("validate_bytes matched the model"),
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        match self {
+            PartitionAlg::Io(alg) => alg.space_bytes(),
+            PartitionAlg::Id(alg) => alg.space_bytes(),
+        }
+    }
+}
+
+/// Worker entry point: build the owned partitions, then drain the channel
+/// until every sender is gone.
+pub(crate) fn run_shard(shard: usize, cfg: EngineConfig, rx: Receiver<ShardMsg>) {
+    // Owned partitions in ascending order; partition p lives at index p / K.
+    let mut parts: Vec<(u32, PartitionAlg)> = (0..cfg.partitions)
+        .filter(|p| p % cfg.shards == shard)
+        .map(|p| (p as u32, PartitionAlg::new(&cfg, p as u32)))
+        .collect();
+    let local = |p: usize| p / cfg.shards;
+    let mut processed = 0u64;
+    let mut batches = 0u64;
+    // Decoded snapshots held between PrepareRestore and CommitRestore.
+    let mut pending_restore: Option<Vec<(u32, DecodedState)>> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(updates) => {
+                processed += updates.len() as u64;
+                batches += 1;
+                for u in updates {
+                    let p = crate::partition_of(u.edge.a, cfg.partitions);
+                    debug_assert_eq!(p % cfg.shards, shard, "misrouted update");
+                    parts[local(p)].1.push(u);
+                }
+            }
+            ShardMsg::View(reply) => {
+                let views = parts.iter().map(|(p, alg)| (*p, alg.view())).collect();
+                let _ = reply.send(views);
+            }
+            ShardMsg::Snapshot(reply) => {
+                let snaps = parts
+                    .iter()
+                    .map(|(p, alg)| (*p, alg.snapshot_bytes()))
+                    .collect();
+                let _ = reply.send(snaps);
+            }
+            ShardMsg::PrepareRestore(payloads, reply) => {
+                pending_restore = None;
+                let mut decoded = Vec::with_capacity(payloads.len());
+                let mut outcome = Ok(());
+                for (p, bytes) in &payloads {
+                    debug_assert_eq!(*p as usize % cfg.shards, shard, "misrouted payload");
+                    match parts[local(*p as usize)].1.validate_bytes(bytes) {
+                        Ok(state) => decoded.push((*p, state)),
+                        Err(e) => {
+                            outcome = Err(format!("partition {p}: {e}"));
+                            break;
+                        }
+                    }
+                }
+                if outcome.is_ok() {
+                    pending_restore = Some(decoded);
+                }
+                let _ = reply.send(outcome);
+            }
+            ShardMsg::CommitRestore(reply) => {
+                for (p, state) in pending_restore.take().expect("commit without prepare") {
+                    parts[local(p as usize)].1.install(state);
+                }
+                let _ = reply.send(());
+            }
+            ShardMsg::AbortRestore => pending_restore = None,
+            ShardMsg::Stats(reply) => {
+                let _ = reply.send(ShardStatsMsg {
+                    partitions: parts.len(),
+                    processed,
+                    batches,
+                    space_bytes: parts.iter().map(|(_, alg)| alg.space_bytes()).sum(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The merged, engine-wide query view.
+
+use fews_core::neighbourhood::Neighbourhood;
+use fews_core::wire::MemoryState;
+use std::cmp::Reverse;
+
+/// A point-in-time global view of the engine: every partition's state folded
+/// into one mergeable summary, in ascending partition order.
+///
+/// The view is a *value* — queries on it are pure, deterministic, and
+/// independent of the shard count that produced it. For the insertion-only
+/// model it holds a merged [`MemoryState`]; for insertion-deletion it holds
+/// the union of the partitions' recovered-witness banks.
+#[derive(Debug)]
+pub enum GlobalView {
+    /// Merged insertion-only state plus the witness target `d₂`.
+    InsertOnly {
+        /// Degree table sum + concatenated reservoirs of every partition.
+        state: MemoryState,
+        /// The certification threshold `⌊d/α⌋`.
+        d2: u32,
+    },
+    /// Pooled insertion-deletion witnesses plus the witness target `d₂`.
+    InsertDelete {
+        /// Per-vertex recovered witnesses, sorted by vertex (vertices are
+        /// partition-disjoint, so concatenation is a disjoint union).
+        pooled: Vec<(u32, Vec<u64>)>,
+        /// The certification threshold `⌊d/α⌋`.
+        d2: u32,
+    },
+}
+
+impl GlobalView {
+    /// The witness target `d₂` a neighbourhood must reach to be certified.
+    pub fn witness_target(&self) -> u32 {
+        match self {
+            GlobalView::InsertOnly { d2, .. } | GlobalView::InsertDelete { d2, .. } => *d2,
+        }
+    }
+
+    /// The engine's certified output, exactly the single-threaded reference
+    /// semantics:
+    ///
+    /// * insertion-only — first reservoir entry reaching `d₂` in (run,
+    ///   partition, slot) scan order ([`MemoryState::certified`]);
+    /// * insertion-deletion — the pooled vertex with the most recovered
+    ///   witnesses among those reaching `d₂` (ties to the smaller vertex).
+    pub fn certified(&self) -> Option<Neighbourhood> {
+        match self {
+            GlobalView::InsertOnly { state, .. } => state.certified(),
+            GlobalView::InsertDelete { pooled, d2 } => pooled
+                .iter()
+                .filter(|(_, ws)| ws.len() >= *d2 as usize)
+                .max_by_key(|(a, ws)| (ws.len(), Reverse(*a)))
+                .map(|(a, ws)| Neighbourhood::new(*a, ws.clone())),
+        }
+    }
+
+    /// Everything the engine can prove about vertex `v`: the witnesses
+    /// collected for it, or `None` when no partition holds any.
+    pub fn certify(&self, v: u32) -> Option<Neighbourhood> {
+        match self {
+            GlobalView::InsertOnly { state, .. } => state.certify(v),
+            GlobalView::InsertDelete { pooled, .. } => pooled
+                .binary_search_by_key(&v, |&(a, _)| a)
+                .ok()
+                .map(|i| Neighbourhood::new(v, pooled[i].1.clone())),
+        }
+    }
+
+    /// The `k` vertices with the most collected witnesses, best first (ties
+    /// to the smaller vertex).
+    pub fn top(&self, k: usize) -> Vec<Neighbourhood> {
+        match self {
+            GlobalView::InsertOnly { state, .. } => state.top(k),
+            GlobalView::InsertDelete { pooled, .. } => {
+                let mut ranked: Vec<&(u32, Vec<u64>)> = pooled.iter().collect();
+                ranked.sort_by(|(a1, w1), (a2, w2)| w2.len().cmp(&w1.len()).then(a1.cmp(a2)));
+                ranked
+                    .into_iter()
+                    .take(k)
+                    .map(|(a, ws)| Neighbourhood::new(*a, ws.clone()))
+                    .collect()
+            }
+        }
+    }
+
+    /// Exact degree of `v` (insertion-only tracks all degrees; the
+    /// insertion-deletion model has no exact degree table — `None`).
+    pub fn degree(&self, v: u32) -> Option<u32> {
+        match self {
+            GlobalView::InsertOnly { state, .. } => state.degree(v),
+            GlobalView::InsertDelete { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id_view() -> GlobalView {
+        GlobalView::InsertDelete {
+            pooled: vec![(1, vec![10, 11]), (4, vec![20]), (9, vec![30, 31])],
+            d2: 2,
+        }
+    }
+
+    #[test]
+    fn id_certified_prefers_count_then_smaller_vertex() {
+        let nb = id_view().certified().expect("two vertices reach d2 = 2");
+        assert_eq!(nb.vertex, 1); // ties broken toward the smaller vertex
+        assert_eq!(nb.witnesses, vec![10, 11]);
+    }
+
+    #[test]
+    fn id_certify_and_top() {
+        let v = id_view();
+        assert_eq!(v.certify(4).unwrap().witnesses, vec![20]);
+        assert!(v.certify(2).is_none());
+        let top = v.top(2);
+        assert_eq!(top[0].vertex, 1);
+        assert_eq!(top[1].vertex, 9);
+        assert_eq!(v.witness_target(), 2);
+        assert_eq!(v.degree(1), None);
+    }
+}

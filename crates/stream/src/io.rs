@@ -52,42 +52,88 @@ pub fn write_updates(mut w: impl Write, updates: &[Update]) -> std::io::Result<(
     Ok(())
 }
 
-/// Read a turnstile stream from the text format.
-pub fn read_updates(r: impl BufRead) -> Result<Vec<Update>, ParseError> {
-    let mut out = Vec::new();
-    for (idx, line) in r.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut parts = trimmed.split_whitespace();
-        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
-            return Err(ParseError::Malformed {
-                line: idx + 1,
-                content: line.clone(),
-            });
-        };
-        let tail = parts.next();
-        if parts.next().is_some() || !matches!(tail, None | Some("-")) {
-            return Err(ParseError::Malformed {
-                line: idx + 1,
-                content: line.clone(),
-            });
-        }
-        let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u64>()) else {
-            return Err(ParseError::Malformed {
-                line: idx + 1,
-                content: line.clone(),
-            });
-        };
-        let edge = Edge::new(a, b);
-        out.push(match tail {
-            Some("-") => Update::delete(edge),
-            _ => Update::insert(edge),
-        });
+/// Parse one line of the text format.
+///
+/// `Ok(None)` for blank and `#`-comment lines, `Err(())` when malformed.
+fn parse_line(line: &str) -> Result<Option<Update>, ()> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
     }
-    Ok(out)
+    let mut parts = trimmed.split_whitespace();
+    let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+        return Err(());
+    };
+    let tail = parts.next();
+    if parts.next().is_some() || !matches!(tail, None | Some("-")) {
+        return Err(());
+    }
+    let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u64>()) else {
+        return Err(());
+    };
+    let edge = Edge::new(a, b);
+    Ok(Some(match tail {
+        Some("-") => Update::delete(edge),
+        _ => Update::insert(edge),
+    }))
+}
+
+/// Streaming iterator over a text-format stream: yields one [`Update`] at a
+/// time without materializing the whole file, so arbitrarily long traces can
+/// be replayed in constant memory. Blank and comment lines are skipped;
+/// malformed lines and I/O failures surface as `Err` items (iteration may be
+/// stopped at the first error — later items are unspecified).
+#[derive(Debug)]
+pub struct UpdateReader<R> {
+    lines: std::io::Lines<R>,
+    line_no: usize,
+}
+
+impl<R: BufRead> UpdateReader<R> {
+    /// Stream updates from `r`.
+    pub fn new(r: R) -> Self {
+        UpdateReader {
+            lines: r.lines(),
+            line_no: 0,
+        }
+    }
+
+    /// 1-based number of the last line read (for error reporting).
+    pub fn line_number(&self) -> usize {
+        self.line_no
+    }
+}
+
+impl<R: BufRead> Iterator for UpdateReader<R> {
+    type Item = Result<Update, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(e.into())),
+            };
+            self.line_no += 1;
+            match parse_line(&line) {
+                Ok(None) => continue,
+                Ok(Some(u)) => return Some(Ok(u)),
+                Err(()) => {
+                    return Some(Err(ParseError::Malformed {
+                        line: self.line_no,
+                        content: line,
+                    }))
+                }
+            }
+        }
+    }
+}
+
+/// Read a turnstile stream from the text format into memory.
+///
+/// Convenience wrapper over [`UpdateReader`]; prefer the iterator for large
+/// files.
+pub fn read_updates(r: impl BufRead) -> Result<Vec<Update>, ParseError> {
+    UpdateReader::new(r).collect()
 }
 
 #[cfg(test)]
@@ -128,5 +174,32 @@ mod tests {
     fn trailing_garbage_rejected() {
         assert!(read_updates("1 2 3 4\n".as_bytes()).is_err());
         assert!(read_updates("1 2 +\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn update_reader_streams_lazily() {
+        // The iterator yields updates as they parse and reports a malformed
+        // line only when reached — earlier items are already delivered.
+        let text = "# comment\n1 2\n3 4 -\nbroken\n5 6\n";
+        let mut it = UpdateReader::new(text.as_bytes());
+        assert_eq!(it.next().unwrap().unwrap(), Update::insert(Edge::new(1, 2)));
+        assert_eq!(it.next().unwrap().unwrap(), Update::delete(Edge::new(3, 4)));
+        match it.next().unwrap() {
+            Err(ParseError::Malformed { line, content }) => {
+                assert_eq!(line, 4);
+                assert_eq!(content, "broken");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert_eq!(it.line_number(), 4);
+    }
+
+    #[test]
+    fn update_reader_agrees_with_read_updates() {
+        let text = "1 2\n\n# c\n3 4 -\n9 9\n";
+        let streamed: Vec<Update> = UpdateReader::new(text.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, read_updates(text.as_bytes()).unwrap());
     }
 }

@@ -1,0 +1,223 @@
+//! Shard-equivalence: the `fews-engine` runtime at K ∈ {1, 2, 4} shards must
+//! produce **byte-identical** certified witness sets and wire-format
+//! snapshots to a single-threaded reference built directly from `fews-core`
+//! primitives — on all four workload generators, across two master seeds.
+//!
+//! The reference is the engine's documented semantics with no engine code in
+//! the data path: P partition instances (seeded via
+//! [`fews_engine::partition_seed`]) fed in stream order through
+//! [`fews_engine::partition_of`] routing, merged with the `fews-core`
+//! merge/snapshot hooks. The engine adds threads, batching, bounded
+//! channels, and the checkpoint container — none of which may change a byte.
+
+use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_core::neighbourhood::Neighbourhood;
+use fews_core::wire::MemoryState;
+use fews_engine::{checkpoint, partition_of, partition_seed, Engine, EngineConfig};
+use fews_stream::update::as_insertions;
+use fews_stream::Update;
+
+const PARTITIONS: usize = 8;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const SEEDS: [u64; 2] = [2021, 77];
+
+/// Single-threaded insertion-only reference: per-partition payloads plus the
+/// merged view's certified output.
+fn reference_io(
+    cfg: FewwConfig,
+    seed: u64,
+    updates: &[Update],
+) -> (Vec<(u32, Vec<u8>)>, Option<Neighbourhood>) {
+    let mut parts: Vec<FewwInsertOnly> = (0..PARTITIONS)
+        .map(|p| FewwInsertOnly::new(cfg, partition_seed(seed, p as u32)))
+        .collect();
+    for u in updates {
+        assert!(u.delta > 0, "insertion-only reference got a deletion");
+        parts[partition_of(u.edge.a, PARTITIONS)].push(u.edge);
+    }
+    let payloads = parts
+        .iter()
+        .enumerate()
+        .map(|(p, alg)| (p as u32, alg.snapshot().encode()))
+        .collect();
+    let mut merged = parts[0].snapshot();
+    for alg in &parts[1..] {
+        merged.merge(&alg.snapshot());
+    }
+    (payloads, merged.certified())
+}
+
+/// Single-threaded insertion-deletion reference: per-partition payloads plus
+/// the pooled-bank certified output (most witnesses, ties to the smaller
+/// vertex — the documented engine rule).
+fn reference_id(
+    cfg: IdConfig,
+    seed: u64,
+    updates: &[Update],
+) -> (Vec<(u32, Vec<u8>)>, Option<Neighbourhood>) {
+    let mut parts: Vec<FewwInsertDelete> = (0..PARTITIONS)
+        .map(|p| FewwInsertDelete::new(cfg, partition_seed(seed, p as u32)))
+        .collect();
+    for u in updates {
+        parts[partition_of(u.edge.a, PARTITIONS)].push(*u);
+    }
+    let payloads = parts
+        .iter()
+        .enumerate()
+        .map(|(p, alg)| (p as u32, alg.snapshot().encode()))
+        .collect();
+    let d2 = cfg.witness_target() as usize;
+    let certified = parts
+        .iter()
+        .flat_map(FewwInsertDelete::pooled_witnesses)
+        .filter(|(_, ws)| ws.len() >= d2)
+        .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
+        .map(|(a, ws)| Neighbourhood::new(a, ws));
+    (payloads, certified)
+}
+
+/// Run the engine at every shard count and check bytes against the
+/// reference.
+fn assert_engine_matches(
+    make_cfg: impl Fn() -> EngineConfig,
+    updates: &[Update],
+    want_payloads: &[(u32, Vec<u8>)],
+    want_certified: &Option<Neighbourhood>,
+    label: &str,
+) {
+    let mut checkpoints: Vec<Vec<u8>> = Vec::new();
+    for k in SHARD_COUNTS {
+        let mut engine = Engine::start(make_cfg().with_shards(k).with_batch(64));
+        engine.ingest(updates.iter().copied());
+
+        let got_certified = engine.view().certified();
+        assert_eq!(
+            &got_certified, want_certified,
+            "{label}, K = {k}: certified witness set diverged from the reference"
+        );
+
+        let ckpt = engine.checkpoint();
+        let (_, got_payloads) = checkpoint::decode(&ckpt).expect("engine checkpoint decodes");
+        assert_eq!(
+            got_payloads, want_payloads,
+            "{label}, K = {k}: wire-format snapshots diverged from the reference"
+        );
+        checkpoints.push(ckpt);
+    }
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] == w[1]),
+        "{label}: checkpoint bytes differ between shard counts"
+    );
+}
+
+/// Decoded snapshots must also round-trip (`decode ∘ encode = id`), so the
+/// byte comparison above really compares states, not encoding accidents.
+fn assert_io_payloads_decode(payloads: &[(u32, Vec<u8>)]) {
+    for (p, bytes) in payloads {
+        let state = MemoryState::decode(bytes)
+            .unwrap_or_else(|| panic!("partition {p} snapshot undecodable"));
+        assert_eq!(state.encode(), *bytes);
+    }
+}
+
+#[test]
+fn zipf_engine_equals_reference() {
+    for seed in SEEDS {
+        let s = fews_stream::gen::zipf::zipf_stream(
+            256,
+            1.2,
+            20_000,
+            &mut fews_common::rng::rng_for(seed, 1),
+        );
+        let d = *s.frequencies.iter().max().unwrap();
+        let cfg = FewwConfig::new(256, d.max(1), 2);
+        let updates = as_insertions(&s.edges);
+        let (payloads, certified) = reference_io(cfg, seed, &updates);
+        assert_io_payloads_decode(&payloads);
+        assert!(certified.is_some(), "zipf stream must certify its head");
+        assert_engine_matches(
+            || EngineConfig::insert_only(cfg, seed).with_partitions(PARTITIONS),
+            &updates,
+            &payloads,
+            &certified,
+            "zipf",
+        );
+    }
+}
+
+#[test]
+fn planted_engine_equals_reference() {
+    for seed in SEEDS {
+        let g = fews_stream::gen::planted::planted_star(
+            128,
+            1 << 16,
+            32,
+            4,
+            &mut fews_common::rng::rng_for(seed, 2),
+        );
+        let cfg = FewwConfig::new(128, 32, 2);
+        let updates = as_insertions(&g.edges);
+        let (payloads, certified) = reference_io(cfg, seed, &updates);
+        if let Some(nb) = &certified {
+            assert!(
+                nb.verify_against(&g.edges),
+                "reference fabricated witnesses"
+            );
+        }
+        assert_engine_matches(
+            || EngineConfig::insert_only(cfg, seed).with_partitions(PARTITIONS),
+            &updates,
+            &payloads,
+            &certified,
+            "planted",
+        );
+    }
+}
+
+#[test]
+fn dos_engine_equals_reference() {
+    for seed in SEEDS {
+        let t = fews_stream::gen::dos::dos_trace(
+            128,
+            1 << 20,
+            6_000,
+            1.0,
+            300,
+            &mut fews_common::rng::rng_for(seed, 3),
+        );
+        let cfg = FewwConfig::new(128, 300, 2);
+        let updates = as_insertions(&t.edges);
+        let (payloads, certified) = reference_io(cfg, seed, &updates);
+        assert_engine_matches(
+            || EngineConfig::insert_only(cfg, seed).with_partitions(PARTITIONS),
+            &updates,
+            &payloads,
+            &certified,
+            "dos",
+        );
+    }
+}
+
+#[test]
+fn dblog_engine_equals_reference() {
+    for seed in SEEDS {
+        let log = fews_stream::gen::dblog::db_log(
+            32,
+            1 << 10,
+            12,
+            2,
+            0.4,
+            &mut fews_common::rng::rng_for(seed, 4),
+        );
+        let cfg = IdConfig::with_scale(32, 1 << 10, 12, 2, 0.03);
+        let (payloads, certified) = reference_id(cfg, seed, &log.updates);
+        assert_engine_matches(
+            || EngineConfig::insert_delete(cfg, seed).with_partitions(PARTITIONS),
+            &log.updates,
+            &payloads,
+            &certified,
+            "dblog",
+        );
+    }
+}
