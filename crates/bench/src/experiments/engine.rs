@@ -97,6 +97,7 @@ fn workloads(ctx: &ExpCtx) -> Vec<Workload> {
 /// Replay `updates` once and return (seconds, certified-output fingerprint).
 fn replay(cfg: EngineConfig, updates: &[Update]) -> (f64, Option<(u32, usize)>) {
     let mut engine = Engine::start(cfg);
+    engine.stats(); // barrier: every partition constructed before the clock
     let started = std::time::Instant::now();
     engine.ingest(updates.iter().copied());
     let stats = engine.stats(); // barrier: every batch applied

@@ -5,6 +5,7 @@ pub mod insertion_deletion;
 pub mod insertion_only;
 pub mod lower_bounds;
 pub mod misc;
+pub mod sketch;
 
 use crate::table::Table;
 use std::path::PathBuf;
@@ -139,6 +140,11 @@ pub fn registry() -> Vec<Experiment> {
             claim: "fews-engine: sharded ingest throughput scaling with shard-invariant certified output (writes BENCH_engine.json)",
             run: engine::engine_exp,
         },
+        Experiment {
+            id: "sketch",
+            claim: "fews-sketch: flat ℓ₀-sampler banks vs loose samplers — ≥50× id-model ingest (writes BENCH_sketch.json)",
+            run: sketch::sketch_exp,
+        },
     ]
 }
 
@@ -154,7 +160,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 19);
+        assert_eq!(n, 20);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! `sketch` — before/after throughput of the flat ℓ₀-sampler banks.
+//!
+//! Two measurements, written to CSV tables and to `BENCH_sketch.json`:
+//!
+//! 1. **Bank-size sweep** — a turnstile stream pushed through N independent
+//!    [`L0Sampler`]s (the pre-bank layout) versus one [`SamplerBank`] of the
+//!    same N, at several N. This isolates the data-structure effect: shared
+//!    `z^index`, flat cells, exact-level updates.
+//! 2. **`id` model end to end** — the engine experiment's dblog workload
+//!    ingested by [`FewwInsertDelete`] on the reference backend versus the
+//!    default banked backend, same config and seed as the `engine`
+//!    experiment's dblog cell. The PR 2 baseline for this cell
+//!    (`BENCH_engine.json`) was ~430 updates/s; the acceptance target is
+//!    ≥ 50× that.
+//!
+//! Space is reported alongside (`SpaceUsage` bytes): banks also shrink the
+//! resident footprint by collapsing thousands of nested `Vec`s into three
+//! flat buffers per bank.
+
+use super::ExpCtx;
+use crate::table::{f3, Table};
+use fews_common::rng::rng_for;
+use fews_common::SpaceUsage;
+use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
+use fews_sketch::bank::SamplerBank;
+use fews_sketch::l0::L0Sampler;
+use fews_stream::Update;
+use std::time::Instant;
+
+/// Run `pass` repeatedly until at least `min_secs` of wall clock or
+/// `max_passes` passes have elapsed; return measured updates/sec given
+/// `updates_per_pass`.
+fn rate(updates_per_pass: usize, min_secs: f64, max_passes: usize, mut pass: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    let mut passes = 0usize;
+    while passes < max_passes {
+        pass();
+        passes += 1;
+        if started.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    (passes * updates_per_pass) as f64 / started.elapsed().as_secs_f64()
+}
+
+/// A deterministic turnstile stream over `0..dim`: inserts with a steady
+/// trickle of deletions of earlier coordinates.
+fn turnstile_updates(dim: u64, len: usize, seed: u64) -> Vec<(u64, i64)> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = seed | 1;
+    for j in 0..len {
+        // xorshift64* — cheap, deterministic, platform-stable.
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let idx = x.wrapping_mul(0x2545_F491_4F6C_DD1D) % dim;
+        if j % 4 == 3 {
+            // Delete the coordinate inserted three steps ago (net 0 churn).
+            let (prev, _) = out[j - 3];
+            out.push((prev, -1i64));
+        } else {
+            out.push((idx, 1i64));
+        }
+    }
+    out
+}
+
+struct Cell {
+    label: String,
+    updates: usize,
+    before: f64,
+    after: f64,
+    before_bytes: usize,
+    after_bytes: usize,
+}
+
+impl Cell {
+    fn json(&self, baseline: Option<f64>) -> String {
+        let vs_baseline = baseline.map_or(String::new(), |b| {
+            format!(" \"speedup_vs_pr2_engine\": {:.1},", self.after / b)
+        });
+        format!(
+            "\"{}\": {{\"updates\": {}, \"reference_updates_per_sec\": {:.0}, \
+             \"banked_updates_per_sec\": {:.0}, \"speedup\": {:.1},{} \
+             \"reference_space_bytes\": {}, \"banked_space_bytes\": {}}}",
+            self.label,
+            self.updates,
+            self.before,
+            self.after,
+            self.after / self.before,
+            vs_baseline,
+            self.before_bytes,
+            self.after_bytes
+        )
+    }
+}
+
+/// Before/after ingest throughput of the sampler-bank rearchitecture.
+pub fn sketch_exp(ctx: &ExpCtx) -> Vec<Table> {
+    let seed = ctx.seed;
+    let dim = 1u64 << 20;
+    let sizes: &[usize] = if ctx.quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024]
+    };
+    let stream_len = if ctx.quick { 2_000 } else { 4_000 };
+    let updates = turnstile_updates(dim, stream_len, seed.wrapping_mul(0x5E1F) | 1);
+
+    let mut sweep = Table::new(
+        "sketch — N ℓ₀-samplers, loose vs banked (turnstile stream)",
+        &[
+            "samplers",
+            "updates",
+            "loose_updates_per_sec",
+            "bank_updates_per_sec",
+            "speedup",
+            "loose_KiB",
+            "bank_KiB",
+        ],
+    );
+    let mut size_cells = Vec::new();
+    for &n in sizes {
+        let mut rng = rng_for(seed, 0x5E_0001 + n as u64);
+        let mut loose: Vec<L0Sampler> = (0..n).map(|_| L0Sampler::new(dim, &mut rng)).collect();
+        let mut bank = SamplerBank::new(dim, n, &mut rng_for(seed, 0x5E_0002 + n as u64));
+        // The loose layout is slow; cap its work so full mode stays minutes,
+        // not hours. Rates are per-update, so shorter passes stay unbiased.
+        let loose_budget = (200_000 / n).clamp(50, updates.len());
+        let before = rate(loose_budget, 0.5, 64, || {
+            for &(idx, delta) in &updates[..loose_budget] {
+                for s in &mut loose {
+                    s.update(idx, delta);
+                }
+            }
+        });
+        let after = rate(updates.len(), 0.5, 10_000, || {
+            for &(idx, delta) in &updates {
+                bank.update(idx, delta);
+            }
+        });
+        let before_bytes = loose.space_bytes();
+        let after_bytes = bank.space_bytes();
+        sweep.push_row(vec![
+            n.to_string(),
+            updates.len().to_string(),
+            format!("{before:.0}"),
+            format!("{after:.0}"),
+            f3(after / before),
+            (before_bytes / 1024).to_string(),
+            (after_bytes / 1024).to_string(),
+        ]);
+        size_cells.push(Cell {
+            label: n.to_string(),
+            updates: updates.len(),
+            before,
+            after,
+            before_bytes,
+            after_bytes,
+        });
+    }
+    sweep
+        .write_csv(&ctx.out_dir, "sketch_bank_sizes")
+        .expect("csv");
+
+    // The engine experiment's dblog cell, ingested directly by the two
+    // FewwInsertDelete backends (same config + seed as `engine`).
+    let eng_seed = fews_common::rng::derive_seed(seed, 0xE26_0001);
+    let (records, hot) = if ctx.quick { (32u32, 12u32) } else { (48, 16) };
+    let log =
+        fews_stream::gen::dblog::db_log(records, 1 << 10, hot, 4, 0.5, &mut rng_for(eng_seed, 4));
+    let id_cfg = IdConfig::with_scale(records, 1 << 10, hot, 2, 0.02);
+    let mut id_table = Table::new(
+        "sketch — id model (dblog), reference vs banked backend",
+        &[
+            "backend",
+            "samplers",
+            "updates",
+            "updates_per_sec",
+            "speedup",
+            "state_KiB",
+        ],
+    );
+    let ingest = |alg: &mut FewwInsertDelete, stream: &[Update]| {
+        for u in stream {
+            alg.push(*u);
+        }
+    };
+    let mut reference = FewwInsertDelete::new_reference(id_cfg, eng_seed);
+    let before = rate(log.updates.len(), 0.5, 8, || {
+        ingest(&mut reference, &log.updates)
+    });
+    let mut banked = FewwInsertDelete::new(id_cfg, eng_seed);
+    let after = rate(log.updates.len(), 0.5, 10_000, || {
+        ingest(&mut banked, &log.updates)
+    });
+    let id_cell = Cell {
+        label: "id_dblog".into(),
+        updates: log.updates.len(),
+        before,
+        after,
+        before_bytes: reference.space_bytes(),
+        after_bytes: banked.space_bytes(),
+    };
+    for (name, alg, r) in [
+        ("reference", &reference, before),
+        ("banked", &banked, after),
+    ] {
+        id_table.push_row(vec![
+            name.into(),
+            alg.sampler_count().to_string(),
+            log.updates.len().to_string(),
+            format!("{r:.0}"),
+            f3(r / before),
+            (alg.space_bytes() / 1024).to_string(),
+        ]);
+    }
+    id_table
+        .write_csv(&ctx.out_dir, "sketch_id_model")
+        .expect("csv");
+
+    let size_json: Vec<String> = size_cells
+        .iter()
+        .map(|c| format!("  {}", c.json(None)))
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"sketch\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \
+         \"baseline_pr2_engine_dblog_updates_per_sec\": 426,\n  {},\n  \
+         \"bank_sizes\": {{\n{}\n  }}\n}}\n",
+        if ctx.quick { "quick" } else { "full" },
+        seed,
+        id_cell.json(Some(426.0)),
+        size_json.join(",\n")
+    );
+    std::fs::write(ctx.out_dir.join("BENCH_sketch.json"), json).expect("write BENCH_sketch.json");
+
+    vec![sweep, id_table]
+}

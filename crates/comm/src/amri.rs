@@ -23,7 +23,7 @@
 use crate::protocol::Transcript;
 use fews_common::rng::rng_for;
 use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
-use fews_core::wire_id::IdMemoryState;
+use fews_core::wire_id::IdWireState;
 use fews_stream::{Edge, Update};
 use rand::{Rng, RngExt};
 
@@ -193,10 +193,10 @@ pub fn run_protocol(inst: &AmriInstance, cfg: AmriProtocolConfig, seed: u64) -> 
             }
             // Send the real serialized register file; Bob re-derives the
             // sampler hash functions from the shared seed (public coins).
-            let msg = IdMemoryState::capture(&alice).encode();
+            let msg = alice.snapshot().encode();
             transcript.record(msg.len());
             let mut alg = FewwInsertDelete::new(id_cfg, alg_seed);
-            IdMemoryState::decode(&msg)
+            IdWireState::decode(&msg)
                 .expect("self-produced message decodes")
                 .restore(&mut alg);
             // Bob: delete the revealed 1s of every row except J.

@@ -20,9 +20,10 @@
 //! (`1.0` = paper-faithful; experiments report the scale they used).
 
 use crate::neighbourhood::Neighbourhood;
-use fews_common::math::insertion_deletion_x;
+use fews_common::math::{ilog2_ceil, insertion_deletion_x};
 use fews_common::rng::rng_for;
 use fews_common::SpaceUsage;
+use fews_sketch::bank::SamplerBank;
 use fews_sketch::l0::{L0Config, L0Sampler};
 use fews_stream::{Edge, Update};
 use std::collections::HashMap;
@@ -99,32 +100,122 @@ impl IdConfig {
         let want = self.sampler_scale * 10.0 * nd_over_alpha * mix * ln_nm;
         (want.ceil() as usize).max(1)
     }
+
+    /// Register cells per vertex-strategy sampler (wire-geometry helper):
+    /// `levels × rows × 2·sparsity` over the per-vertex universe `0..m`.
+    pub fn cells_per_vertex_sampler(&self) -> usize {
+        (ilog2_ceil(self.m) as usize + 2) * self.l0.rows * 2 * self.l0.sparsity
+    }
+
+    /// Register cells per edge-strategy sampler, over the `n·m` edge
+    /// universe.
+    pub fn cells_per_edge_sampler(&self) -> usize {
+        (ilog2_ceil(self.n as u64 * self.m) as usize + 2) * self.l0.rows * 2 * self.l0.sparsity
+    }
+
+    /// Total ℓ₀-samplers an instance runs (wire v1 geometry).
+    pub fn total_samplers(&self) -> u64 {
+        (self.vertex_sample_size() * self.samplers_per_vertex() + self.edge_sampler_count()) as u64
+    }
+
+    /// Total sampler banks an instance runs: one per sampled vertex plus the
+    /// edge bank (wire v2 geometry).
+    pub fn bank_count(&self) -> u64 {
+        self.vertex_sample_size() as u64 + 1
+    }
+
+    /// Total register cells — identical for both backends (banks keep the
+    /// same `(level, row, col)` geometry, just exact-level contents).
+    pub fn total_cells(&self) -> usize {
+        self.vertex_sample_size() * self.samplers_per_vertex() * self.cells_per_vertex_sampler()
+            + self.edge_sampler_count() * self.cells_per_edge_sampler()
+    }
 }
 
-/// The α-approximation insertion-deletion streaming algorithm for FEwW.
+/// Which sampler backend a [`FewwInsertDelete`] instance runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdBackendKind {
+    /// Flat [`SamplerBank`]s — the default: ~7× faster ingest than the
+    /// reference layout in-process (~90× vs the pre-bank engine dblog
+    /// cell; `BENCH_sketch.json`).
+    Banked,
+    /// The per-sampler layout of the original implementation, byte- and
+    /// randomness-compatible with wire-format v1 checkpoints; retained as
+    /// the differential-testing and benchmarking reference.
+    Reference,
+}
+
+/// Sampler storage. Both backends implement the same Algorithm 3; they
+/// differ in memory layout, hash-randomness draw order, and speed.
 #[derive(Debug)]
-pub struct FewwInsertDelete {
-    config: IdConfig,
-    /// Sampled vertex → its per-vertex ℓ₀-samplers over `0..m` (vertex
-    /// sampling strategy).
-    vertex_samplers: HashMap<u32, Vec<L0Sampler>>,
-    /// Global ℓ₀-samplers over the `n·m` edge-indicator vector (edge
-    /// sampling strategy).
-    edge_samplers: Vec<L0Sampler>,
-    pushed: u64,
+pub(crate) enum IdBackend {
+    /// One bank per sampled vertex (sorted by vertex) plus the edge bank.
+    Banked {
+        /// `(vertex, bank over 0..m)`, ascending by vertex.
+        vertex_banks: Vec<(u32, SamplerBank)>,
+        /// vertex → index into `vertex_banks` (push-time routing).
+        vertex_index: HashMap<u32, usize>,
+        /// Bank over the `n·m` edge-indicator vector.
+        edge_bank: SamplerBank,
+    },
+    /// Independent per-sampler structures (wire v1 layout).
+    Reference {
+        /// Sampled vertex → its per-vertex ℓ₀-samplers over `0..m`.
+        vertex_samplers: HashMap<u32, Vec<L0Sampler>>,
+        /// Sampled vertices in ascending order, cached at construction (the
+        /// key set never changes, so serialization never re-sorts).
+        sorted_keys: Vec<u32>,
+        /// Global ℓ₀-samplers over the `n·m` edge-indicator vector.
+        edge_samplers: Vec<L0Sampler>,
+    },
 }
 
-impl FewwInsertDelete {
-    /// Initialise: draws the vertex sample `A′` and all sampler hash
-    /// functions up front (Algorithm 3 samples *before* the stream starts).
-    pub fn new(config: IdConfig, seed: u64) -> Self {
+impl IdBackend {
+    /// Banked backend. Shares the vertex-sample draw with the reference
+    /// backend (same `A′` for a given seed), then draws bank randomness.
+    fn banked(config: IdConfig, seed: u64) -> Self {
+        let mut rng = rng_for(seed, 0x1D_0001);
+        let sample_size = config.vertex_sample_size();
+        let per_vertex = config.samplers_per_vertex();
+        let mut sampled = fews_stream::gen::sample_distinct(config.n as u64, sample_size, &mut rng);
+        sampled.sort_unstable();
+        let vertex_banks: Vec<(u32, SamplerBank)> = sampled
+            .into_iter()
+            .map(|a| {
+                (
+                    a as u32,
+                    SamplerBank::with_config(config.m, per_vertex, config.l0, &mut rng),
+                )
+            })
+            .collect();
+        let vertex_index = vertex_banks
+            .iter()
+            .enumerate()
+            .map(|(i, (a, _))| (*a, i))
+            .collect();
+        let edge_bank = SamplerBank::with_config(
+            config.n as u64 * config.m,
+            config.edge_sampler_count(),
+            config.l0,
+            &mut rng,
+        );
+        IdBackend::Banked {
+            vertex_banks,
+            vertex_index,
+            edge_bank,
+        }
+    }
+
+    /// Reference backend — the exact randomness draw order of the original
+    /// implementation, so same-seed instances reproduce v1 register files.
+    fn reference(config: IdConfig, seed: u64) -> Self {
         let mut rng = rng_for(seed, 0x1D_0001);
         let sample_size = config.vertex_sample_size();
         let per_vertex = config.samplers_per_vertex();
         let sampled = fews_stream::gen::sample_distinct(config.n as u64, sample_size, &mut rng);
         let mut vertex_samplers = HashMap::with_capacity(sample_size);
         for a in sampled {
-            let samplers = (0..per_vertex)
+            let samplers: Vec<L0Sampler> = (0..per_vertex)
                 .map(|_| L0Sampler::with_config(config.m, config.l0, &mut rng))
                 .collect();
             vertex_samplers.insert(a as u32, samplers);
@@ -132,12 +223,102 @@ impl FewwInsertDelete {
         let edge_samplers = (0..config.edge_sampler_count())
             .map(|_| L0Sampler::with_config(config.n as u64 * config.m, config.l0, &mut rng))
             .collect();
+        let mut sorted_keys: Vec<u32> = vertex_samplers.keys().copied().collect();
+        sorted_keys.sort_unstable();
+        IdBackend::Reference {
+            vertex_samplers,
+            sorted_keys,
+            edge_samplers,
+        }
+    }
+}
+
+/// Merge recovered `(vertex, witness)` pairs into the pooled form: sorted by
+/// vertex, witness lists sorted and deduplicated — all in place, no
+/// intermediate hash maps.
+fn group_pairs(mut pairs: Vec<(u32, u64)>) -> Vec<(u32, Vec<u64>)> {
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut pooled: Vec<(u32, Vec<u64>)> = Vec::new();
+    for (a, b) in pairs {
+        match pooled.last_mut() {
+            Some((last, ws)) if *last == a => ws.push(b),
+            _ => pooled.push((a, vec![b])),
+        }
+    }
+    debug_assert!(
+        pooled.windows(2).all(|w| w[0].0 < w[1].0)
+            && pooled
+                .iter()
+                .all(|(_, ws)| ws.windows(2).all(|w| w[0] < w[1])),
+        "pooled output must stay sorted and deduplicated"
+    );
+    pooled
+}
+
+/// The pooled argmax rule of Algorithm 3 step 4: most witnesses among those
+/// reaching `d₂`, ties to the smaller vertex.
+fn best_vertex(pooled: Vec<(u32, Vec<u64>)>, d2: usize) -> Option<Neighbourhood> {
+    pooled
+        .into_iter()
+        .filter(|(_, ws)| ws.len() >= d2)
+        .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
+        .map(|(a, ws)| Neighbourhood::new(a, ws))
+}
+
+/// The α-approximation insertion-deletion streaming algorithm for FEwW.
+#[derive(Debug)]
+pub struct FewwInsertDelete {
+    config: IdConfig,
+    seed: u64,
+    pub(crate) backend: IdBackend,
+    pushed: u64,
+}
+
+impl FewwInsertDelete {
+    /// Initialise on the fast banked backend: draws the vertex sample `A′`
+    /// and all sampler hash functions up front (Algorithm 3 samples *before*
+    /// the stream starts).
+    pub fn new(config: IdConfig, seed: u64) -> Self {
         FewwInsertDelete {
             config,
-            vertex_samplers,
-            edge_samplers,
+            seed,
+            backend: IdBackend::banked(config, seed),
             pushed: 0,
         }
+    }
+
+    /// Initialise on the legacy per-sampler reference backend (wire v1
+    /// layout; several times slower ingest — benchmarking and v1 restore
+    /// only).
+    pub fn new_reference(config: IdConfig, seed: u64) -> Self {
+        FewwInsertDelete {
+            config,
+            seed,
+            backend: IdBackend::reference(config, seed),
+            pushed: 0,
+        }
+    }
+
+    /// Which backend this instance currently runs on.
+    pub fn backend_kind(&self) -> IdBackendKind {
+        match self.backend {
+            IdBackend::Banked { .. } => IdBackendKind::Banked,
+            IdBackend::Reference { .. } => IdBackendKind::Reference,
+        }
+    }
+
+    /// Rebuild the sampler storage on `kind` from the instance's own seed,
+    /// dropping all accumulated registers (used by wire restore, which
+    /// installs a full register file right after).
+    pub(crate) fn reset_backend(&mut self, kind: IdBackendKind) {
+        if self.backend_kind() == kind {
+            return;
+        }
+        self.backend = match kind {
+            IdBackendKind::Banked => IdBackend::banked(self.config, self.seed),
+            IdBackendKind::Reference => IdBackend::reference(self.config, self.seed),
+        };
     }
 
     /// Process one turnstile update.
@@ -146,15 +327,92 @@ impl FewwInsertDelete {
         debug_assert!(e.a < self.config.n && e.b < self.config.m);
         self.pushed += 1;
         let delta = update.delta as i64;
-        if let Some(samplers) = self.vertex_samplers.get_mut(&e.a) {
-            for s in samplers {
-                s.update(e.b, delta);
+        let idx = e.linear_index(self.config.m);
+        match &mut self.backend {
+            IdBackend::Banked {
+                vertex_banks,
+                vertex_index,
+                edge_bank,
+            } => {
+                if let Some(&i) = vertex_index.get(&e.a) {
+                    vertex_banks[i].1.update(e.b, delta);
+                }
+                edge_bank.update(idx, delta);
+            }
+            IdBackend::Reference {
+                vertex_samplers,
+                edge_samplers,
+                ..
+            } => {
+                if let Some(samplers) = vertex_samplers.get_mut(&e.a) {
+                    for s in samplers {
+                        s.update(e.b, delta);
+                    }
+                }
+                for s in edge_samplers {
+                    s.update(idx, delta);
+                }
             }
         }
-        let idx = e.linear_index(self.config.m);
-        for s in &mut self.edge_samplers {
-            s.update(idx, delta);
+    }
+
+    /// Every `(vertex, witness)` pair the vertex strategy currently
+    /// recovers.
+    fn vertex_strategy_pairs(&self) -> Vec<(u32, u64)> {
+        let mut pairs = Vec::new();
+        match &self.backend {
+            IdBackend::Banked { vertex_banks, .. } => {
+                for (a, bank) in vertex_banks {
+                    for i in 0..bank.len() {
+                        if let Some((b, c)) = bank.sample(i) {
+                            if c > 0 {
+                                pairs.push((*a, b));
+                            }
+                        }
+                    }
+                }
+            }
+            IdBackend::Reference {
+                vertex_samplers, ..
+            } => {
+                for (&a, samplers) in vertex_samplers {
+                    for s in samplers {
+                        if let Some((b, c)) = s.sample() {
+                            if c > 0 {
+                                pairs.push((a, b));
+                            }
+                        }
+                    }
+                }
+            }
         }
+        pairs
+    }
+
+    /// Every `(vertex, witness)` pair the edge strategy currently recovers.
+    fn edge_strategy_pairs(&self) -> Vec<(u32, u64)> {
+        let mut pairs = Vec::new();
+        let mut harvest = |sample: Option<(u64, i64)>| {
+            if let Some((idx, c)) = sample {
+                if c > 0 {
+                    let e = Edge::from_linear_index(idx, self.config.m);
+                    pairs.push((e.a, e.b));
+                }
+            }
+        };
+        match &self.backend {
+            IdBackend::Banked { edge_bank, .. } => {
+                for i in 0..edge_bank.len() {
+                    harvest(edge_bank.sample(i));
+                }
+            }
+            IdBackend::Reference { edge_samplers, .. } => {
+                for s in edge_samplers {
+                    harvest(s.sample());
+                }
+            }
+        }
+        pairs
     }
 
     /// Pool every edge recovered by both strategies, grouped by A-vertex:
@@ -164,103 +422,62 @@ impl FewwInsertDelete {
     /// lists sorted and deduplicated; vertices with no recovered edge are
     /// omitted.
     pub fn pooled_witnesses(&self) -> Vec<(u32, Vec<u64>)> {
-        let mut witnesses: HashMap<u32, std::collections::HashSet<u64>> = HashMap::new();
-        for (&a, samplers) in &self.vertex_samplers {
-            for s in samplers {
-                if let Some((b, c)) = s.sample() {
-                    if c > 0 {
-                        witnesses.entry(a).or_default().insert(b);
-                    }
-                }
-            }
-        }
-        for s in &self.edge_samplers {
-            if let Some((idx, c)) = s.sample() {
-                if c > 0 {
-                    let e = Edge::from_linear_index(idx, self.config.m);
-                    witnesses.entry(e.a).or_default().insert(e.b);
-                }
-            }
-        }
-        let mut pooled: Vec<(u32, Vec<u64>)> = witnesses
-            .into_iter()
-            .map(|(a, ws)| {
-                let mut ws: Vec<u64> = ws.into_iter().collect();
-                ws.sort_unstable();
-                (a, ws)
-            })
-            .collect();
-        pooled.sort_unstable_by_key(|&(a, _)| a);
-        pooled
+        let mut pairs = self.vertex_strategy_pairs();
+        pairs.extend(self.edge_strategy_pairs());
+        group_pairs(pairs)
     }
 
     /// Step 4 of Algorithm 3: pool every recovered edge and output any
     /// vertex owning ≥ d/α distinct witnesses (we return the best such
     /// vertex). `None` = *fail*.
     pub fn result(&self) -> Option<Neighbourhood> {
-        let d2 = self.config.witness_target() as usize;
-        self.pooled_witnesses()
-            .into_iter()
-            .filter(|(_, ws)| ws.len() >= d2)
-            .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
-            .map(|(a, ws)| Neighbourhood::new(a, ws))
+        best_vertex(
+            self.pooled_witnesses(),
+            self.config.witness_target() as usize,
+        )
     }
 
-    /// Capture the ℓ₀-sampler register file for checkpointing (see
-    /// [`crate::wire_id::IdMemoryState`]).
-    pub fn snapshot(&self) -> crate::wire_id::IdMemoryState {
-        crate::wire_id::IdMemoryState::capture(self)
+    /// Capture the ℓ₀-sampler register file for checkpointing, in the wire
+    /// version native to the running backend (see [`crate::wire_id`]).
+    pub fn snapshot(&self) -> crate::wire_id::IdWireState {
+        crate::wire_id::IdWireState::capture(self)
     }
 
     /// Install a register file captured from an instance with the same
-    /// configuration and seed (hash functions are shared randomness).
-    pub fn restore_from(&mut self, state: &crate::wire_id::IdMemoryState) {
+    /// configuration and seed (hash functions are shared randomness). A v1
+    /// state switches this instance to the reference backend, a v2 state to
+    /// the banked backend — registers are meaningful only on the layout that
+    /// produced them.
+    pub fn restore_from(&mut self, state: &crate::wire_id::IdWireState) {
         state.restore(self);
     }
 
     /// Witnesses recovered by the *vertex* strategy alone (Lemma 5.2
     /// experiments).
     pub fn vertex_strategy_result(&self) -> Option<Neighbourhood> {
-        let d2 = self.config.witness_target() as usize;
-        self.vertex_samplers
-            .iter()
-            .map(|(&a, samplers)| {
-                let ws: std::collections::HashSet<u64> = samplers
-                    .iter()
-                    .filter_map(|s| s.sample())
-                    .filter(|&(_, c)| c > 0)
-                    .map(|(b, _)| b)
-                    .collect();
-                (a, ws)
-            })
-            .filter(|(_, ws)| ws.len() >= d2)
-            .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
-            .map(|(a, ws)| Neighbourhood::new(a, ws.into_iter().collect()))
+        best_vertex(
+            group_pairs(self.vertex_strategy_pairs()),
+            self.config.witness_target() as usize,
+        )
     }
 
     /// Witnesses recovered by the *edge* strategy alone (Lemma 5.3
     /// experiments).
     pub fn edge_strategy_result(&self) -> Option<Neighbourhood> {
-        let mut by_vertex: HashMap<u32, std::collections::HashSet<u64>> = HashMap::new();
-        for s in &self.edge_samplers {
-            if let Some((idx, c)) = s.sample() {
-                if c > 0 {
-                    let e = Edge::from_linear_index(idx, self.config.m);
-                    by_vertex.entry(e.a).or_default().insert(e.b);
-                }
-            }
-        }
-        let d2 = self.config.witness_target() as usize;
-        by_vertex
-            .into_iter()
-            .filter(|(_, ws)| ws.len() >= d2)
-            .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
-            .map(|(a, ws)| Neighbourhood::new(a, ws.into_iter().collect()))
+        best_vertex(
+            group_pairs(self.edge_strategy_pairs()),
+            self.config.witness_target() as usize,
+        )
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &IdConfig {
         &self.config
+    }
+
+    /// The master seed the sampler randomness derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of updates processed.
@@ -270,52 +487,64 @@ impl FewwInsertDelete {
 
     /// Whether a given vertex is in the pre-drawn sample `A′`.
     pub fn vertex_sampled(&self, a: u32) -> bool {
-        self.vertex_samplers.contains_key(&a)
+        match &self.backend {
+            IdBackend::Banked { vertex_index, .. } => vertex_index.contains_key(&a),
+            IdBackend::Reference {
+                vertex_samplers, ..
+            } => vertex_samplers.contains_key(&a),
+        }
     }
 
     /// Total ℓ₀-sampler count (diagnostics).
     pub fn sampler_count(&self) -> usize {
-        self.vertex_samplers.values().map(Vec::len).sum::<usize>() + self.edge_samplers.len()
-    }
-
-    /// Visit every ℓ₀-sampler in deterministic order (sampled vertices
-    /// ascending, then the edge samplers) — the serialization order of
-    /// [`crate::wire_id`].
-    pub fn visit_samplers(&self, mut f: impl FnMut(&L0Sampler)) {
-        let mut keys: Vec<u32> = self.vertex_samplers.keys().copied().collect();
-        keys.sort_unstable();
-        for a in keys {
-            for s in &self.vertex_samplers[&a] {
-                f(s);
-            }
-        }
-        for s in &self.edge_samplers {
-            f(s);
-        }
-    }
-
-    /// Mutably visit every ℓ₀-sampler in the same order.
-    pub fn visit_samplers_mut(&mut self, mut f: impl FnMut(&mut L0Sampler)) {
-        let mut keys: Vec<u32> = self.vertex_samplers.keys().copied().collect();
-        keys.sort_unstable();
-        for a in keys {
-            for s in self.vertex_samplers.get_mut(&a).expect("key exists") {
-                f(s);
-            }
-        }
-        for s in &mut self.edge_samplers {
-            f(s);
+        match &self.backend {
+            IdBackend::Banked {
+                vertex_banks,
+                edge_bank,
+                ..
+            } => vertex_banks.iter().map(|(_, b)| b.len()).sum::<usize>() + edge_bank.len(),
+            IdBackend::Reference {
+                vertex_samplers,
+                edge_samplers,
+                ..
+            } => vertex_samplers.values().map(Vec::len).sum::<usize>() + edge_samplers.len(),
         }
     }
 }
 
 impl SpaceUsage for FewwInsertDelete {
     fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            - std::mem::size_of::<HashMap<u32, Vec<L0Sampler>>>()
-            - std::mem::size_of::<Vec<L0Sampler>>()
-            + self.vertex_samplers.space_bytes()
-            + self.edge_samplers.space_bytes()
+        let backend = match &self.backend {
+            IdBackend::Banked {
+                vertex_banks,
+                vertex_index,
+                edge_bank,
+            } => {
+                // `space_bytes` on a bank already counts its struct; add
+                // only the per-element slot overhead beyond it.
+                let slot =
+                    std::mem::size_of::<(u32, SamplerBank)>() - std::mem::size_of::<SamplerBank>();
+                vertex_banks
+                    .iter()
+                    .map(|(_, b)| b.space_bytes() + slot)
+                    .sum::<usize>()
+                    + vertex_index.len() * std::mem::size_of::<(u32, usize)>()
+                    + edge_bank.space_bytes()
+                    - std::mem::size_of::<SamplerBank>()
+            }
+            IdBackend::Reference {
+                vertex_samplers,
+                sorted_keys,
+                edge_samplers,
+            } => {
+                vertex_samplers.space_bytes()
+                    + sorted_keys.capacity() * 4
+                    + edge_samplers.space_bytes()
+                    - std::mem::size_of::<HashMap<u32, Vec<L0Sampler>>>()
+                    - std::mem::size_of::<Vec<L0Sampler>>()
+            }
+        };
+        std::mem::size_of::<Self>() + backend
     }
 }
 

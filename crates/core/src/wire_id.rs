@@ -1,19 +1,37 @@
-//! Wire format for the insertion-deletion algorithm's memory state.
+//! Wire formats for the insertion-deletion algorithm's memory state.
 //!
 //! The Lemma 6.3 reduction sends the state of
 //! [`FewwInsertDelete`](crate::insertion_deletion::FewwInsertDelete) from
-//! Alice to Bob. That state is the register file of every ℓ₀-sampler: per
-//! level and hash row, the `(count, index-sum, fingerprint)` triple of each
-//! 1-sparse cell. This module serializes exactly those registers (sampler
-//! hash functions are shared public randomness, re-derived from the seed on
-//! Bob's side), giving the reduction *real* message bytes instead of a
-//! space-accounting proxy.
+//! Alice to Bob, and the engine checkpoints it. That state is the register
+//! file of every ℓ₀-sampler cell: the `(count, index-sum, fingerprint)`
+//! triples, in a deterministic order. Hash functions are shared public
+//! randomness, re-derived from the seed on the receiving side, so only
+//! registers travel.
 //!
-//! Encoding: zig-zag + LEB128 varints, cells in deterministic (sampler,
-//! level, row, column) order, preceded by a small header that pins the
-//! geometry so decode can validate against the receiver's configuration.
+//! Two versions coexist:
+//!
+//! * **v1** ([`IdMemoryState`]) — the per-sampler layout of the reference
+//!   backend: cumulative-level registers in (sampler, level, row, column)
+//!   order, samplers ordered sampled-vertices-ascending then edge samplers.
+//!   Byte-compatible with every checkpoint written before banks existed.
+//! * **v2** ([`BankedIdState`]) — the [`fews_sketch::bank::SamplerBank`]
+//!   layout of the default backend: *exact-level* registers in (bank,
+//!   sampler, level, row, column) order, vertex banks ascending then the
+//!   edge bank.
+//!
+//! The two layouts carry registers relative to *different hash randomness*
+//! (banks share row hashes across levels and one fingerprint base), so they
+//! cannot be transcoded; [`IdWireState::restore`] instead switches the
+//! receiving instance onto the backend that produced the state. Restoring a
+//! v1 checkpoint therefore still works forever — it just runs on the slower
+//! reference backend from that point on.
+//!
+//! Encoding: zig-zag + LEB128 varints. A v1 stream opens with its sampler
+//! count, which is always ≥ 1; v2 opens with a `0` sentinel followed by a
+//! version tag, so the two are self-describing and [`IdWireState::decode`]
+//! accepts either.
 
-use crate::insertion_deletion::FewwInsertDelete;
+use crate::insertion_deletion::{FewwInsertDelete, IdBackend, IdBackendKind};
 use crate::wire::{get_uvarint, put_uvarint};
 
 /// Zig-zag encode a signed value for varint storage.
@@ -43,59 +61,178 @@ fn get_i128(buf: &[u8], pos: &mut usize) -> Option<i128> {
     Some(((z >> 1) as i128) ^ -((z & 1) as i128))
 }
 
-/// Serialized register file of an insertion-deletion algorithm instance.
+/// The version tag a v2 stream carries after its `0` sentinel.
+const V2_TAG: u64 = 2;
+
+/// v1 register file: the reference backend's per-sampler layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdMemoryState {
-    /// Geometry header: (sampler count, cells per sampler) for validation.
+    /// Geometry header: sampler count, for validation.
     pub samplers: u64,
     /// Flat register stream: for every cell, `(count, index_sum,
-    /// fingerprint)` in deterministic order.
+    /// fingerprint)` in (sampler, level, row, column) order.
     pub registers: Vec<(i64, i128, u64)>,
 }
 
-impl IdMemoryState {
-    /// Extract the register file from a running instance.
+/// v2 register file: the banked backend's exact-level layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankedIdState {
+    /// Geometry header: bank count (sampled vertices + the edge bank).
+    pub banks: u64,
+    /// Flat register stream in (bank, sampler, level, row, column) order.
+    pub registers: Vec<(i64, i128, u64)>,
+}
+
+/// A decoded insertion-deletion wire state of either version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdWireState {
+    /// Reference-backend registers (legacy checkpoints).
+    V1(IdMemoryState),
+    /// Banked-backend registers (current default).
+    V2(BankedIdState),
+}
+
+impl IdWireState {
+    /// Extract the register file from a running instance, in the version
+    /// native to its backend.
     pub fn capture(alg: &FewwInsertDelete) -> Self {
-        let mut registers = Vec::new();
-        let mut samplers = 0u64;
-        alg.visit_samplers(|sampler| {
-            samplers += 1;
-            sampler.visit_cells(|count, index_sum, fingerprint| {
-                registers.push((count, index_sum, fingerprint));
-            });
-        });
-        IdMemoryState {
-            samplers,
-            registers,
+        match &alg.backend {
+            IdBackend::Banked {
+                vertex_banks,
+                edge_bank,
+                ..
+            } => {
+                let mut registers = Vec::new();
+                let mut push = |c: i64, s: i128, f: u64| registers.push((c, s, f));
+                for (_, bank) in vertex_banks {
+                    bank.visit_cells(&mut push);
+                }
+                edge_bank.visit_cells(&mut push);
+                IdWireState::V2(BankedIdState {
+                    banks: vertex_banks.len() as u64 + 1,
+                    registers,
+                })
+            }
+            IdBackend::Reference {
+                vertex_samplers,
+                sorted_keys,
+                edge_samplers,
+            } => {
+                let mut samplers = 0u64;
+                let mut registers = Vec::new();
+                let mut visit = |s: &fews_sketch::l0::L0Sampler| {
+                    samplers += 1;
+                    s.visit_cells(|c, ix, f| registers.push((c, ix, f)));
+                };
+                for a in sorted_keys {
+                    for s in &vertex_samplers[a] {
+                        visit(s);
+                    }
+                }
+                for s in edge_samplers {
+                    visit(s);
+                }
+                IdWireState::V1(IdMemoryState {
+                    samplers,
+                    registers,
+                })
+            }
         }
     }
 
     /// Install the register file into an instance constructed with the same
-    /// configuration and seed (hash functions are public randomness).
+    /// configuration and seed, switching it onto the backend whose layout
+    /// the state carries.
     pub fn restore(&self, alg: &mut FewwInsertDelete) {
+        let registers = match self {
+            IdWireState::V1(s) => {
+                alg.reset_backend(IdBackendKind::Reference);
+                &s.registers
+            }
+            IdWireState::V2(s) => {
+                alg.reset_backend(IdBackendKind::Banked);
+                &s.registers
+            }
+        };
         let mut idx = 0usize;
-        let mut samplers = 0u64;
-        alg.visit_samplers_mut(|sampler| {
-            samplers += 1;
-            sampler.visit_cells_mut(|count, index_sum, fingerprint| {
-                let (c, s, f) = self.registers[idx];
-                idx += 1;
-                *count = c;
-                *index_sum = s;
-                *fingerprint = f;
-            });
-        });
-        assert_eq!(samplers, self.samplers, "geometry mismatch on restore");
-        assert_eq!(idx, self.registers.len(), "register count mismatch");
+        let mut write = |count: &mut i64, index_sum: &mut i128, fingerprint: &mut u64| {
+            let (c, s, f) = registers[idx];
+            idx += 1;
+            *count = c;
+            *index_sum = s;
+            *fingerprint = f;
+        };
+        match (&mut alg.backend, self) {
+            (
+                IdBackend::Banked {
+                    vertex_banks,
+                    edge_bank,
+                    ..
+                },
+                IdWireState::V2(s),
+            ) => {
+                assert_eq!(
+                    s.banks,
+                    vertex_banks.len() as u64 + 1,
+                    "bank count mismatch on restore"
+                );
+                for (_, bank) in vertex_banks.iter_mut() {
+                    bank.visit_cells_mut(&mut write);
+                }
+                edge_bank.visit_cells_mut(&mut write);
+            }
+            (
+                IdBackend::Reference {
+                    vertex_samplers,
+                    sorted_keys,
+                    edge_samplers,
+                },
+                IdWireState::V1(s),
+            ) => {
+                let mut samplers = 0u64;
+                for a in sorted_keys.iter() {
+                    for smp in vertex_samplers.get_mut(a).expect("key exists") {
+                        samplers += 1;
+                        smp.visit_cells_mut(&mut write);
+                    }
+                }
+                for smp in edge_samplers.iter_mut() {
+                    samplers += 1;
+                    smp.visit_cells_mut(&mut write);
+                }
+                assert_eq!(samplers, s.samplers, "sampler count mismatch on restore");
+            }
+            _ => unreachable!("reset_backend matched the state version"),
+        }
+        assert_eq!(idx, registers.len(), "register count mismatch on restore");
+    }
+
+    /// The raw register triples, whichever version carries them.
+    pub fn registers(&self) -> &[(i64, i128, u64)] {
+        match self {
+            IdWireState::V1(s) => &s.registers,
+            IdWireState::V2(s) => &s.registers,
+        }
     }
 
     /// Encode to bytes. Empty cells (the overwhelming majority on sparse
     /// inputs) cost 3 bytes; varints keep live cells near their entropy.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(self.registers.len() * 4 + 16);
-        put_uvarint(&mut buf, self.samplers);
-        put_uvarint(&mut buf, self.registers.len() as u64);
-        for &(count, index_sum, fingerprint) in &self.registers {
+        let registers = self.registers();
+        let mut buf = Vec::with_capacity(registers.len() * 4 + 16);
+        match self {
+            IdWireState::V1(s) => {
+                debug_assert!(s.samplers >= 1, "v1 sampler count is the format tag");
+                put_uvarint(&mut buf, s.samplers);
+            }
+            IdWireState::V2(s) => {
+                put_uvarint(&mut buf, 0); // sentinel: not a v1 sampler count
+                put_uvarint(&mut buf, V2_TAG);
+                put_uvarint(&mut buf, s.banks);
+            }
+        }
+        put_uvarint(&mut buf, registers.len() as u64);
+        for &(count, index_sum, fingerprint) in registers {
             put_uvarint(&mut buf, zigzag(count));
             put_i128(&mut buf, index_sum);
             put_uvarint(&mut buf, fingerprint);
@@ -103,11 +240,31 @@ impl IdMemoryState {
         buf
     }
 
-    /// Decode from bytes; `None` on malformed input.
+    /// Decode either version from bytes; `None` on malformed input.
     pub fn decode(buf: &[u8]) -> Option<Self> {
         let mut pos = 0usize;
-        let samplers = get_uvarint(buf, &mut pos)?;
+        let opening = get_uvarint(buf, &mut pos)?;
+        let header = if opening == 0 {
+            if get_uvarint(buf, &mut pos)? != V2_TAG {
+                return None;
+            }
+            IdWireState::V2(BankedIdState {
+                banks: get_uvarint(buf, &mut pos)?,
+                registers: Vec::new(),
+            })
+        } else {
+            IdWireState::V1(IdMemoryState {
+                samplers: opening,
+                registers: Vec::new(),
+            })
+        };
         let n = get_uvarint(buf, &mut pos)? as usize;
+        // Every register costs ≥ 3 bytes, so a count the remaining buffer
+        // cannot hold is malformed — reject it before trusting it as a
+        // pre-allocation size.
+        if n > (buf.len() - pos) / 3 {
+            return None;
+        }
         let mut registers = Vec::with_capacity(n);
         for _ in 0..n {
             let count = unzigzag(get_uvarint(buf, &mut pos)?);
@@ -118,9 +275,9 @@ impl IdMemoryState {
         if pos != buf.len() {
             return None;
         }
-        Some(IdMemoryState {
-            samplers,
-            registers,
+        Some(match header {
+            IdWireState::V1(s) => IdWireState::V1(IdMemoryState { registers, ..s }),
+            IdWireState::V2(s) => IdWireState::V2(BankedIdState { registers, ..s }),
         })
     }
 }
@@ -131,8 +288,16 @@ mod tests {
     use crate::insertion_deletion::IdConfig;
     use fews_stream::{Edge, Update};
 
+    fn tiny_cfg() -> IdConfig {
+        IdConfig::with_scale(8, 32, 4, 2, 0.2)
+    }
+
     fn tiny() -> FewwInsertDelete {
-        FewwInsertDelete::new(IdConfig::with_scale(8, 32, 4, 2, 0.2), 9)
+        FewwInsertDelete::new(tiny_cfg(), 9)
+    }
+
+    fn tiny_reference() -> FewwInsertDelete {
+        FewwInsertDelete::new_reference(tiny_cfg(), 9)
     }
 
     #[test]
@@ -162,11 +327,11 @@ mod tests {
         for b in 0..4u64 {
             alice.push(Update::insert(Edge::new(3, b)));
         }
-        let msg = IdMemoryState::capture(&alice).encode();
+        let msg = alice.snapshot().encode();
 
         // Bob: same config + seed ⇒ same hash functions.
         let mut bob = tiny();
-        IdMemoryState::decode(&msg)
+        IdWireState::decode(&msg)
             .expect("decodes")
             .restore(&mut bob);
         for b in 0..4u64 {
@@ -176,7 +341,7 @@ mod tests {
 
         // And continuing with fresh edges works.
         let mut bob2 = tiny();
-        IdMemoryState::decode(&msg).unwrap().restore(&mut bob2);
+        IdWireState::decode(&msg).unwrap().restore(&mut bob2);
         for b in 4..8u64 {
             bob2.push(Update::insert(Edge::new(3, b)));
         }
@@ -187,28 +352,120 @@ mod tests {
     }
 
     #[test]
-    fn empty_state_is_compact() {
-        let alg = tiny();
-        let state = IdMemoryState::capture(&alg);
-        let bytes = state.encode();
-        // 3 varint bytes per empty cell + header.
-        assert!(
-            bytes.len() <= state.registers.len() * 4 + 16,
-            "{} bytes for {} cells",
-            bytes.len(),
-            state.registers.len()
+    fn v1_checkpoint_restores_into_default_instance() {
+        // A legacy instance writes v1 bytes; a *banked* receiver restores
+        // them, switching itself onto the reference backend, and reproduces
+        // the sender's view exactly.
+        let mut legacy = tiny_reference();
+        for b in 0..6u64 {
+            legacy.push(Update::insert(Edge::new(3, b)));
+        }
+        legacy.push(Update::delete(Edge::new(3, 5)));
+        let msg = legacy.snapshot().encode();
+        assert!(matches!(
+            IdWireState::decode(&msg),
+            Some(IdWireState::V1(_))
+        ));
+
+        let mut receiver = tiny(); // banked by default
+        assert_eq!(
+            receiver.backend_kind(),
+            crate::insertion_deletion::IdBackendKind::Banked
         );
-        assert_eq!(IdMemoryState::decode(&bytes), Some(state));
+        IdWireState::decode(&msg).unwrap().restore(&mut receiver);
+        assert_eq!(
+            receiver.backend_kind(),
+            crate::insertion_deletion::IdBackendKind::Reference
+        );
+        assert_eq!(receiver.pooled_witnesses(), legacy.pooled_witnesses());
+        // The restored instance re-encodes to the same v1 bytes.
+        assert_eq!(receiver.snapshot().encode(), msg);
+    }
+
+    #[test]
+    fn v1_bytes_match_pre_bank_encoding() {
+        // The v1 encoder is byte-compatible with the original format:
+        // uvarint(samplers), uvarint(cells), then register triples — no
+        // sentinel, no version tag.
+        let alg = tiny_reference();
+        let state = IdWireState::capture(&alg);
+        let IdWireState::V1(v1) = &state else {
+            panic!("reference backend must capture v1");
+        };
+        let mut expect = Vec::new();
+        put_uvarint(&mut expect, v1.samplers);
+        put_uvarint(&mut expect, v1.registers.len() as u64);
+        for &(c, s, f) in &v1.registers {
+            put_uvarint(&mut expect, zigzag(c));
+            put_i128(&mut expect, s);
+            put_uvarint(&mut expect, f);
+        }
+        assert_eq!(state.encode(), expect);
+        assert_eq!(v1.samplers, tiny_cfg().total_samplers());
+        assert_eq!(v1.registers.len(), tiny_cfg().total_cells());
+    }
+
+    #[test]
+    fn v2_geometry_matches_config() {
+        let alg = tiny();
+        let IdWireState::V2(v2) = alg.snapshot() else {
+            panic!("banked backend must capture v2");
+        };
+        assert_eq!(v2.banks, tiny_cfg().bank_count());
+        assert_eq!(v2.registers.len(), tiny_cfg().total_cells());
+    }
+
+    #[test]
+    fn empty_state_is_compact() {
+        for alg in [tiny(), tiny_reference()] {
+            let state = alg.snapshot();
+            let bytes = state.encode();
+            // 3 varint bytes per empty cell + header.
+            assert!(
+                bytes.len() <= state.registers().len() * 4 + 16,
+                "{} bytes for {} cells",
+                bytes.len(),
+                state.registers().len()
+            );
+            assert_eq!(IdWireState::decode(&bytes), Some(state));
+        }
     }
 
     #[test]
     fn decode_rejects_truncation_and_trailing() {
-        let alg = tiny();
-        let mut bytes = IdMemoryState::capture(&alg).encode();
-        bytes.push(7);
-        assert!(IdMemoryState::decode(&bytes).is_none());
-        bytes.pop();
-        bytes.pop();
-        assert!(IdMemoryState::decode(&bytes).is_none());
+        for alg in [tiny(), tiny_reference()] {
+            let mut bytes = alg.snapshot().encode();
+            bytes.push(7);
+            assert!(IdWireState::decode(&bytes).is_none());
+            bytes.pop();
+            bytes.pop();
+            assert!(IdWireState::decode(&bytes).is_none());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_absurd_register_count_without_allocating() {
+        // A corrupted count varint must yield None, not a capacity-overflow
+        // panic from pre-allocating the claimed length.
+        for opening in [1u64, 0] {
+            let mut bytes = Vec::new();
+            put_uvarint(&mut bytes, opening);
+            if opening == 0 {
+                put_uvarint(&mut bytes, 2); // v2 tag
+                put_uvarint(&mut bytes, 1); // banks
+            }
+            put_uvarint(&mut bytes, 1 << 60); // registers "count"
+            assert!(IdWireState::decode(&bytes).is_none());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_version() {
+        let mut bytes = Vec::new();
+        put_uvarint(&mut bytes, 0); // v2 sentinel
+        put_uvarint(&mut bytes, 7); // bogus version
+        put_uvarint(&mut bytes, 1);
+        put_uvarint(&mut bytes, 0);
+        assert!(IdWireState::decode(&bytes).is_none());
     }
 }

@@ -11,7 +11,8 @@
 //! ```
 //!
 //! Payload `p` is [`fews_core::wire::MemoryState::encode`] (insertion-only)
-//! or [`fews_core::wire_id::IdMemoryState::encode`] (insertion-deletion) of
+//! or [`fews_core::wire_id::IdWireState::encode`] (insertion-deletion, v1 or
+//! v2 self-describing) of
 //! partition `p`. Because the body is keyed by *partition* — the unit of
 //! both randomness and routing — a checkpoint written at one shard count
 //! restores at any other, and two engines that saw the same stream under the

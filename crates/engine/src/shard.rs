@@ -11,7 +11,7 @@ use fews_common::SpaceUsage;
 use fews_core::insertion_deletion::FewwInsertDelete;
 use fews_core::insertion_only::FewwInsertOnly;
 use fews_core::wire::MemoryState;
-use fews_core::wire_id::IdMemoryState;
+use fews_core::wire_id::IdWireState;
 use fews_stream::Update;
 use std::sync::mpsc::{Receiver, Sender};
 
@@ -61,7 +61,7 @@ enum PartitionAlg {
 /// A decoded, validated snapshot awaiting [`ShardMsg::CommitRestore`].
 enum DecodedState {
     Io(MemoryState),
-    Id(IdMemoryState),
+    Id(IdWireState),
 }
 
 impl PartitionAlg {
@@ -135,19 +135,19 @@ impl PartitionAlg {
                 Ok(DecodedState::Io(state))
             }
             PartitionAlg::Id(alg) => {
-                let state = IdMemoryState::decode(bytes)
+                let state = IdWireState::decode(bytes)
                     .ok_or_else(|| "malformed insertion-deletion partition payload".to_string())?;
-                let (mut samplers, mut cells) = (0u64, 0usize);
-                alg.visit_samplers(|s| {
-                    samplers += 1;
-                    s.visit_cells(|_, _, _| cells += 1);
-                });
-                if state.samplers != samplers || state.registers.len() != cells {
+                let cfg = alg.config();
+                let cells = cfg.total_cells();
+                let (units, expect_units, kind) = match &state {
+                    IdWireState::V1(s) => (s.samplers, cfg.total_samplers(), "samplers"),
+                    IdWireState::V2(s) => (s.banks, cfg.bank_count(), "banks"),
+                };
+                if units != expect_units || state.registers().len() != cells {
                     return Err(format!(
-                        "snapshot geometry ({} samplers / {} cells) disagrees with engine \
-                         config ({samplers} / {cells})",
-                        state.samplers,
-                        state.registers.len()
+                        "snapshot geometry ({units} {kind} / {} cells) disagrees with engine \
+                         config ({expect_units} / {cells})",
+                        state.registers().len()
                     ));
                 }
                 Ok(DecodedState::Id(state))

@@ -11,9 +11,9 @@ use rand::{Rng, RngExt};
 /// The Mersenne prime `2⁶¹ − 1`.
 pub const MERSENNE61: u64 = (1u64 << 61) - 1;
 
-/// Reduce `x` modulo `2⁶¹ − 1` (input < 2¹²²; output < p).
+/// Reduce `x` modulo `2⁶¹ − 1` (any `u128` input; output < p).
 #[inline]
-fn mod_mersenne(x: u128) -> u64 {
+pub fn mod_mersenne(x: u128) -> u64 {
     let p = MERSENNE61 as u128;
     let r = (x & p) + (x >> 61);
     let r = (r & p) + (r >> 61);
@@ -55,6 +55,57 @@ pub fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
     acc
 }
 
+/// Precomputed square table for a fixed base: `squares[k] = base^(2^k)`.
+///
+/// [`pow_mod`] pays a squaring per exponent bit on every call; when many
+/// exponentiations share one base (a sampler bank's fingerprint base, or a
+/// decode loop peeling the same structure), the squarings can be paid once
+/// here and each call collapses to one multiply per *set* bit of the
+/// exponent — about 3× fewer multiplies per call, and the table itself costs
+/// a single [`pow_mod`]-worth of work.
+#[derive(Debug, Clone)]
+pub struct PowTable {
+    base: u64,
+    squares: [u64; 64],
+}
+
+impl PowTable {
+    /// Build the table for `base` (reduced mod `2⁶¹ − 1` first).
+    pub fn new(base: u64) -> Self {
+        let mut squares = [base % MERSENNE61; 64];
+        for k in 1..64 {
+            squares[k] = mul_mod(squares[k - 1], squares[k - 1]);
+        }
+        PowTable { base, squares }
+    }
+
+    /// The (unreduced) base the table was built for.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// `base^exp mod (2⁶¹ − 1)`; agrees with [`pow_mod`] for every exponent.
+    #[inline]
+    pub fn pow(&self, mut exp: u64) -> u64 {
+        let mut acc = 1u64;
+        let mut k = 0u32;
+        while exp != 0 {
+            let tz = exp.trailing_zeros();
+            k += tz;
+            acc = mul_mod(acc, self.squares[k as usize]);
+            exp = (exp >> tz) >> 1; // two steps: tz + 1 may be 64
+            k += 1;
+        }
+        acc
+    }
+}
+
+impl SpaceUsage for PowTable {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
 /// A k-wise independent hash function `h : u64 → [0, 2⁶¹−1)`.
 #[derive(Debug, Clone)]
 pub struct PolyHash {
@@ -73,6 +124,20 @@ impl PolyHash {
     /// Pairwise-independent member (degree-1 polynomial).
     pub fn pairwise(rng: &mut impl Rng) -> Self {
         Self::new(2, rng)
+    }
+
+    /// Rebuild a member from explicit coefficients (shared-randomness
+    /// constructions: a sampler bank and its reference sampler must evaluate
+    /// the *same* polynomial).
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        assert!(!coeffs.is_empty());
+        assert!(coeffs.iter().all(|&c| c < MERSENNE61));
+        PolyHash { coeffs }
+    }
+
+    /// The coefficients `c₀ … c_{k−1}`.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
     }
 
     /// Evaluate the hash; output is uniform in `[0, 2⁶¹−1)`.
@@ -145,6 +210,36 @@ mod tests {
         for _ in 0..1000 {
             let x: u128 = (r.random::<u64>() as u128) * (r.random::<u64>() as u128 >> 3);
             assert_eq!(mod_mersenne(x) as u128, x % MERSENNE61 as u128);
+        }
+    }
+
+    #[test]
+    fn pow_table_matches_naive_pow_mod() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let base: u64 = r.random();
+            let t = PowTable::new(base);
+            for &exp in &[0u64, 1, 2, 61, MERSENNE61 - 1, MERSENNE61, u64::MAX] {
+                assert_eq!(t.pow(exp), pow_mod(base, exp), "base {base} exp {exp}");
+            }
+            let exp: u64 = r.random();
+            assert_eq!(t.pow(exp), pow_mod(base, exp), "base {base} exp {exp}");
+        }
+        // Degenerate bases.
+        for base in [0u64, 1, MERSENNE61, MERSENNE61 - 1] {
+            let t = PowTable::new(base);
+            for exp in [0u64, 1, 7, 1 << 40] {
+                assert_eq!(t.pow(exp), pow_mod(base, exp));
+            }
+        }
+    }
+
+    #[test]
+    fn poly_hash_from_coeffs_matches_drawn() {
+        let h = PolyHash::new(5, &mut rng());
+        let rebuilt = PolyHash::from_coeffs(h.coeffs().to_vec());
+        for x in [0u64, 1, 12345, u64::MAX] {
+            assert_eq!(h.hash(x), rebuilt.hash(x));
         }
     }
 

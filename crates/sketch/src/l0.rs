@@ -84,6 +84,34 @@ impl L0Sampler {
         }
     }
 
+    /// Rebuild a sampler from explicit hash randomness: `level_coeffs` for
+    /// the 8-wise level hash, `row_coeffs` (one pairwise pair per row) shared
+    /// across *every* level, and a single fingerprint base `z` shared by all
+    /// cells. This is the layout a [`crate::bank::SamplerBank`] slot uses, so
+    /// a sampler built from [`crate::bank::SamplerBank::sampler_params`] is
+    /// the bank slot's exact reference implementation — same levels, same
+    /// buckets, same fingerprints, sample-for-sample.
+    pub fn from_parts(
+        dim: u64,
+        cfg: L0Config,
+        level_coeffs: Vec<u64>,
+        row_coeffs: Vec<Vec<u64>>,
+        z: u64,
+    ) -> Self {
+        assert!(dim >= 1);
+        assert_eq!(row_coeffs.len(), cfg.rows);
+        let max_level = ilog2_ceil(dim) + 1;
+        let hashes: Vec<PolyHash> = row_coeffs.into_iter().map(PolyHash::from_coeffs).collect();
+        L0Sampler {
+            level_hash: PolyHash::from_coeffs(level_coeffs),
+            levels: (0..=max_level)
+                .map(|_| KSparse::from_parts(cfg.sparsity, hashes.clone(), z))
+                .collect(),
+            max_level,
+            dim,
+        }
+    }
+
     /// Apply `(index, delta)`; `index < dim`.
     pub fn update(&mut self, index: u64, delta: i64) {
         debug_assert!(index < self.dim, "index {index} out of dim {}", self.dim);

@@ -10,6 +10,11 @@
 //! * [`l0`] — an ℓ₀-sampler in the style of Jowhari–Sağlam–Tardos
 //!   (geometric level subsampling over sparse recovery), the engine of the
 //!   insertion-deletion algorithm;
+//! * [`bank`] — flat struct-of-arrays *banks* of ℓ₀-samplers sharing one
+//!   fingerprint base and one contiguous cell buffer; roughly an order of
+//!   magnitude faster than loose samplers on the
+//!   every-sampler-sees-every-update workloads of Algorithm 3 (see
+//!   `BENCH_sketch.json`);
 //! * classic *witness-free* frequent-elements baselines the paper's §1.3
 //!   compares against: [`misra_gries`], [`space_saving`], [`count_min`],
 //!   [`count_sketch`], the multi-stage Bloom filter [`bloom`] of [11], the
@@ -23,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod bloom;
 pub mod count_min;
 pub mod count_sketch;
@@ -35,5 +41,6 @@ pub mod reservoir;
 pub mod space_saving;
 pub mod sparse;
 
+pub use bank::SamplerBank;
 pub use l0::L0Sampler;
 pub use reservoir::Reservoir;

@@ -11,7 +11,7 @@
 //! These are the decoders inside the ℓ₀-sampler ([`crate::l0`]), which in
 //! turn powers the paper's insertion-deletion algorithm.
 
-use crate::hash::{add_mod, mul_mod, pow_mod, PolyHash, MERSENNE61};
+use crate::hash::{add_mod, mul_mod, pow_mod, PolyHash, PowTable, MERSENNE61};
 use fews_common::SpaceUsage;
 use rand::{Rng, RngExt};
 
@@ -52,6 +52,17 @@ impl OneSparse {
 
     /// Decode against fingerprint base `z`.
     pub fn decode(&self, z: u64) -> OneSparseState {
+        self.decode_by(|idx| pow_mod(z, idx))
+    }
+
+    /// Decode using a precomputed [`PowTable`] for the fingerprint base —
+    /// same result as [`OneSparse::decode`] with `pow.base()`, one multiply
+    /// per set exponent bit instead of a full square-and-multiply ladder.
+    pub fn decode_with(&self, pow: &PowTable) -> OneSparseState {
+        self.decode_by(|idx| pow.pow(idx))
+    }
+
+    fn decode_by(&self, z_pow: impl Fn(u64) -> u64) -> OneSparseState {
         if self.count == 0 && self.index_sum == 0 && self.fingerprint == 0 {
             return OneSparseState::Zero;
         }
@@ -60,9 +71,9 @@ impl OneSparse {
             if idx >= 0 && idx <= u64::MAX as i128 {
                 let idx = idx as u64;
                 let expect = if self.count >= 0 {
-                    mul_mod(self.count as u64 % MERSENNE61, pow_mod(z, idx))
+                    mul_mod(self.count as u64 % MERSENNE61, z_pow(idx))
                 } else {
-                    MERSENNE61 - mul_mod((-self.count) as u64 % MERSENNE61, pow_mod(z, idx))
+                    MERSENNE61 - mul_mod((-self.count) as u64 % MERSENNE61, z_pow(idx))
                 };
                 if expect % MERSENNE61 == self.fingerprint {
                     return OneSparseState::One(idx, self.count);
@@ -70,6 +81,15 @@ impl OneSparse {
             }
         }
         OneSparseState::Many
+    }
+
+    /// Cell-wise register sum: `self + other` (sketch linearity — the cell of
+    /// a union stream is the sum of the streams' cells).
+    #[inline]
+    pub fn accumulate(&mut self, other: &OneSparse) {
+        self.count += other.count;
+        self.index_sum += other.index_sum;
+        self.fingerprint = add_mod(self.fingerprint, other.fingerprint);
     }
 
     /// Whether all three registers are zero (cheap all-zero test).
@@ -117,6 +137,21 @@ impl KSparse {
         }
     }
 
+    /// Rebuild from explicit row hashes and fingerprint base (shared
+    /// randomness with a [`crate::bank::SamplerBank`] slot; the hashes are
+    /// then shared across every level of the owning sampler).
+    pub fn from_parts(sparsity: usize, hashes: Vec<PolyHash>, z: u64) -> Self {
+        assert!(sparsity >= 1 && !hashes.is_empty());
+        assert!((1..MERSENNE61).contains(&z));
+        let width = 2 * sparsity;
+        KSparse {
+            cells: vec![vec![OneSparse::default(); width]; hashes.len()],
+            hashes,
+            width,
+            z,
+        }
+    }
+
     /// Apply `(index, delta)`.
     pub fn update(&mut self, index: u64, delta: i64) {
         let z_pow = pow_mod(self.z, index);
@@ -129,6 +164,7 @@ impl KSparse {
     /// `(index, count)` pairs if the structure drains completely, `None`
     /// otherwise (too dense or an unlucky hash round).
     pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
+        let pow = PowTable::new(self.z);
         let mut work = self.cells.clone();
         let mut out: Vec<(u64, i64)> = Vec::new();
         loop {
@@ -136,7 +172,7 @@ impl KSparse {
             let mut found: Option<(u64, i64)> = None;
             'scan: for row in &work {
                 for cell in row {
-                    if let OneSparseState::One(idx, cnt) = cell.decode(self.z) {
+                    if let OneSparseState::One(idx, cnt) = cell.decode_with(&pow) {
                         found = Some((idx, cnt));
                         break 'scan;
                     }
@@ -145,7 +181,7 @@ impl KSparse {
             match found {
                 Some((idx, cnt)) => {
                     out.push((idx, cnt));
-                    let z_pow = pow_mod(self.z, idx);
+                    let z_pow = pow.pow(idx);
                     for (row, h) in work.iter_mut().zip(&self.hashes) {
                         row[h.bucket(idx, self.width)].update(idx, -cnt, z_pow);
                     }

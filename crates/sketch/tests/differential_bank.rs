@@ -1,0 +1,142 @@
+//! Differential suite: a [`SamplerBank`] slot and the per-sampler reference
+//! [`L0Sampler`] built from the same hash randomness must agree
+//! **sample-for-sample** — same successes, same failures, same recovered
+//! coordinates, and identical logical (cumulative-level) register files —
+//! on insert, delete, and full-cancellation turnstile streams.
+//!
+//! This is the equivalence argument of the bank design made executable: the
+//! bank stores each coordinate only at its own level and decodes level ℓ as
+//! the additive suffix-sum of levels ℓ..max; with row hashes shared across
+//! levels and one fingerprint base, that sum is register-identical to the
+//! textbook cumulative layout, so every downstream decision (zero tests,
+//! peeling order, min-hash argmin) coincides.
+
+use fews_common::rng::rng_for;
+use fews_sketch::bank::SamplerBank;
+use fews_sketch::l0::{L0Config, L0Sampler};
+use proptest::prelude::*;
+
+/// Build a bank and its per-slot reference samplers from one seed.
+fn bank_and_refs(dim: u64, count: usize, seed: u64) -> (SamplerBank, Vec<L0Sampler>) {
+    let bank = SamplerBank::new(dim, count, &mut rng_for(seed, 0xBA_0001));
+    let refs = (0..count).map(|i| bank.reference_sampler(i)).collect();
+    (bank, refs)
+}
+
+/// Apply a stream to both and assert full agreement.
+fn assert_agree(bank: &SamplerBank, refs: &[L0Sampler], label: &str) {
+    for (i, s) in refs.iter().enumerate() {
+        assert_eq!(bank.sample(i), s.sample(), "{label}: sample, slot {i}");
+        assert_eq!(
+            bank.sample_all(i),
+            s.sample_all(),
+            "{label}: sample_all, slot {i}"
+        );
+        let mut reference_regs = Vec::new();
+        s.visit_cells(|c, ix, f| reference_regs.push((c, ix, f)));
+        assert_eq!(
+            bank.logical_registers(i),
+            reference_regs,
+            "{label}: registers, slot {i}"
+        );
+    }
+}
+
+fn apply(bank: &mut SamplerBank, refs: &mut [L0Sampler], updates: &[(u64, i64)]) {
+    for &(idx, delta) in updates {
+        bank.update(idx, delta);
+        for s in refs.iter_mut() {
+            s.update(idx, delta);
+        }
+    }
+}
+
+#[test]
+fn seeds_by_stream_shapes_grid() {
+    const DIM: u64 = 1 << 14;
+    for seed in [11u64, 22, 33, 44, 55] {
+        // Insert-only stream.
+        let (mut bank, mut refs) = bank_and_refs(DIM, 3, seed);
+        let inserts: Vec<(u64, i64)> = (0..300u64).map(|j| ((j * 389 + seed) % DIM, 1)).collect();
+        apply(&mut bank, &mut refs, &inserts);
+        assert_agree(&bank, &refs, &format!("seed {seed} insert"));
+
+        // Insert-delete churn: delete every third inserted coordinate.
+        let (mut bank, mut refs) = bank_and_refs(DIM, 3, seed.wrapping_mul(3));
+        apply(&mut bank, &mut refs, &inserts);
+        let deletes: Vec<(u64, i64)> = inserts
+            .iter()
+            .step_by(3)
+            .map(|&(idx, _)| (idx, -1))
+            .collect();
+        apply(&mut bank, &mut refs, &deletes);
+        assert_agree(&bank, &refs, &format!("seed {seed} churn"));
+
+        // Full cancellation: the support returns to empty.
+        let (mut bank, mut refs) = bank_and_refs(DIM, 3, seed.wrapping_mul(7));
+        apply(&mut bank, &mut refs, &inserts);
+        let cancel: Vec<(u64, i64)> = inserts.iter().map(|&(idx, d)| (idx, -d)).collect();
+        apply(&mut bank, &mut refs, &cancel);
+        assert_agree(&bank, &refs, &format!("seed {seed} cancel"));
+        for i in 0..bank.len() {
+            assert_eq!(bank.sample(i), None, "cancelled support must be empty");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_turnstile_streams_agree(
+        seed in 0u64..1000,
+        updates in proptest::collection::vec((0u64..(1 << 12), -3i64..=3), 1..120),
+        cancel_tail in any::<bool>(),
+    ) {
+        let mut stream: Vec<(u64, i64)> =
+            updates.iter().copied().filter(|&(_, d)| d != 0).collect();
+        if cancel_tail {
+            // Append the exact inverse of the stream so far: net vector 0.
+            let inverse: Vec<(u64, i64)> =
+                stream.iter().rev().map(|&(i, d)| (i, -d)).collect();
+            stream.extend(inverse);
+        }
+        let (mut bank, mut refs) = bank_and_refs(1 << 12, 2, seed);
+        apply(&mut bank, &mut refs, &stream);
+        for (i, s) in refs.iter().enumerate() {
+            prop_assert_eq!(bank.sample(i), s.sample(), "slot {}", i);
+            prop_assert_eq!(bank.sample_all(i), s.sample_all(), "slot {}", i);
+            let mut reference_regs = Vec::new();
+            s.visit_cells(|c, ix, f| reference_regs.push((c, ix, f)));
+            prop_assert_eq!(bank.logical_registers(i), reference_regs, "slot {}", i);
+        }
+        if cancel_tail {
+            for i in 0..bank.len() {
+                prop_assert_eq!(bank.sample(i), None);
+            }
+        }
+    }
+
+    #[test]
+    fn non_default_tuning_agrees(
+        seed in 0u64..200,
+        sparsity in 1usize..6,
+        rows in 1usize..4,
+        raw in proptest::collection::vec((0u64..4096, any::<bool>()), 1..60),
+    ) {
+        let cfg = L0Config { sparsity, rows };
+        let updates: Vec<(u64, i64)> = raw
+            .iter()
+            .map(|&(idx, neg)| (idx, if neg { -1 } else { 1 }))
+            .collect();
+        let mut bank =
+            SamplerBank::with_config(4096, 2, cfg, &mut rng_for(seed, 0xBA_0002));
+        let mut refs: Vec<L0Sampler> =
+            (0..bank.len()).map(|i| bank.reference_sampler(i)).collect();
+        apply(&mut bank, &mut refs, &updates);
+        for (i, s) in refs.iter().enumerate() {
+            prop_assert_eq!(bank.sample(i), s.sample());
+            prop_assert_eq!(bank.sample_all(i), s.sample_all());
+        }
+    }
+}

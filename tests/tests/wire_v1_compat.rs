@@ -1,0 +1,129 @@
+//! Back-compat: insertion-deletion checkpoints written in the pre-bank wire
+//! v1 format must still restore — both directly into a `fews-core` instance
+//! and through the engine's checkpoint container — and must reproduce the
+//! writer's recovered-witness view exactly. The restoring instance switches
+//! onto the retained reference backend (v1 registers are only meaningful on
+//! the per-sampler layout) and keeps serving queries and updates from there.
+
+use fews_core::insertion_deletion::{FewwInsertDelete, IdBackendKind, IdConfig};
+use fews_core::wire_id::IdWireState;
+use fews_engine::{checkpoint, partition_of, partition_seed, Engine, EngineConfig};
+use fews_stream::Update;
+
+const PARTITIONS: usize = 8;
+
+fn cfg() -> IdConfig {
+    IdConfig::with_scale(32, 1 << 10, 12, 2, 0.03)
+}
+
+fn dblog_updates(seed: u64) -> Vec<Update> {
+    fews_stream::gen::dblog::db_log(
+        32,
+        1 << 10,
+        12,
+        2,
+        0.4,
+        &mut fews_common::rng::rng_for(seed, 4),
+    )
+    .updates
+}
+
+/// A "legacy" writer: per-partition reference-backend instances, v1 wire
+/// bytes — exactly what a pre-bank engine checkpointed.
+fn legacy_partitions(seed: u64, updates: &[Update]) -> Vec<FewwInsertDelete> {
+    let mut parts: Vec<FewwInsertDelete> = (0..PARTITIONS)
+        .map(|p| FewwInsertDelete::new_reference(cfg(), partition_seed(seed, p as u32)))
+        .collect();
+    for u in updates {
+        parts[partition_of(u.edge.a, PARTITIONS)].push(*u);
+    }
+    parts
+}
+
+#[test]
+fn v1_payloads_restore_through_engine_container() {
+    let seed = 2021;
+    let updates = dblog_updates(seed);
+    let legacy = legacy_partitions(seed, &updates);
+    let payloads: Vec<(u32, Vec<u8>)> = legacy
+        .iter()
+        .enumerate()
+        .map(|(p, alg)| {
+            let bytes = alg.snapshot().encode();
+            assert!(
+                matches!(IdWireState::decode(&bytes), Some(IdWireState::V1(_))),
+                "legacy writer must emit wire v1"
+            );
+            (p as u32, bytes)
+        })
+        .collect();
+
+    let engine_cfg = EngineConfig::insert_delete(cfg(), seed).with_partitions(PARTITIONS);
+    let container = checkpoint::encode(&engine_cfg, &payloads);
+
+    // Restore at two different shard counts; certified output must match the
+    // legacy writer's merged view both times.
+    let d2 = cfg().witness_target() as usize;
+    let want = legacy
+        .iter()
+        .flat_map(FewwInsertDelete::pooled_witnesses)
+        .filter(|(_, ws)| ws.len() >= d2)
+        .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
+        .map(|(a, ws)| fews_core::neighbourhood::Neighbourhood::new(a, ws));
+    for shards in [1usize, 3] {
+        let mut engine = Engine::start(engine_cfg.with_shards(shards));
+        engine
+            .restore_checkpoint(&container)
+            .expect("v1 container restores");
+        assert_eq!(engine.view().certified(), want, "shards = {shards}");
+        // A re-checkpoint round-trips the v1 payloads byte-identically.
+        let again = engine.checkpoint();
+        let (_, got) = checkpoint::decode(&again).expect("decodes");
+        assert_eq!(got, payloads, "shards = {shards}: v1 bytes not preserved");
+    }
+}
+
+#[test]
+fn v1_restored_instance_keeps_ingesting() {
+    let seed = 77;
+    let updates = dblog_updates(seed);
+    let (head, tail) = updates.split_at(updates.len() / 2);
+
+    let mut legacy = FewwInsertDelete::new_reference(cfg(), seed);
+    for u in head {
+        legacy.push(*u);
+    }
+    let bytes = legacy.snapshot().encode();
+
+    let mut restored = FewwInsertDelete::new(cfg(), seed); // banked by default
+    IdWireState::decode(&bytes)
+        .expect("decodes")
+        .restore(&mut restored);
+    assert_eq!(restored.backend_kind(), IdBackendKind::Reference);
+
+    // Continue the stream on both; they must agree forever after.
+    for u in tail {
+        legacy.push(*u);
+        restored.push(*u);
+    }
+    assert_eq!(restored.pooled_witnesses(), legacy.pooled_witnesses());
+    assert_eq!(restored.snapshot(), legacy.snapshot());
+}
+
+#[test]
+fn v2_and_v1_checkpoints_coexist_in_one_container_stream() {
+    // Sanity: the self-describing decode picks the right version per
+    // payload, so a mixed fleet (old writers, new writers) can be read by
+    // one restorer.
+    let seed = 5;
+    let mut banked = FewwInsertDelete::new(cfg(), seed);
+    let mut reference = FewwInsertDelete::new_reference(cfg(), seed);
+    for u in dblog_updates(seed).iter().take(40) {
+        banked.push(*u);
+        reference.push(*u);
+    }
+    let v2 = banked.snapshot().encode();
+    let v1 = reference.snapshot().encode();
+    assert!(matches!(IdWireState::decode(&v2), Some(IdWireState::V2(_))));
+    assert!(matches!(IdWireState::decode(&v1), Some(IdWireState::V1(_))));
+}
