@@ -5,6 +5,7 @@ pub mod insertion_deletion;
 pub mod insertion_only;
 pub mod lower_bounds;
 pub mod misc;
+pub mod net;
 pub mod sketch;
 
 use crate::table::Table;
@@ -145,6 +146,11 @@ pub fn registry() -> Vec<Experiment> {
             claim: "fews-sketch: flat ℓ₀-sampler banks vs loose samplers — ≥50× id-model ingest (writes BENCH_sketch.json)",
             run: sketch::sketch_exp,
         },
+        Experiment {
+            id: "net",
+            claim: "fews-net: loopback TCP serving — mixed ingest+query ops/s, p50/p99 latency, bytes/request (writes BENCH_net.json)",
+            run: net::net_exp,
+        },
     ]
 }
 
@@ -160,7 +166,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 20);
+        assert_eq!(n, 21);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! `net` — loopback load generation against the `fews-net` TCP server.
+//!
+//! Starts a real [`fews_net::Server`] on an ephemeral loopback port and
+//! drives it with C concurrent client threads running a mixed workload:
+//! batched ingest frames interleaved with live queries (`certify`, `top`).
+//! Reports sustained throughput (mixed ops/s, where an op is one applied
+//! update or one answered query), request rate, p50/p99 per-request latency
+//! split by request kind, and wire bytes per request. Alongside the CSVs it
+//! writes `BENCH_net.json` for the performance trajectory.
+//!
+//! The serving engine runs at K = 1 for the headline cells (the acceptance
+//! target is single-shard: the 1-core dev box caps parallel speedup by
+//! physics); a shard sweep on the zipf workload records how the numbers
+//! move with K anyway.
+
+use super::ExpCtx;
+use crate::table::Table;
+use fews_common::rng::{derive_seed, rng_for};
+use fews_core::insertion_deletion::IdConfig;
+use fews_core::insertion_only::FewwConfig;
+use fews_engine::EngineConfig;
+use fews_net::{Client, Server};
+use fews_stream::update::as_insertions;
+use fews_stream::Update;
+use std::time::Instant;
+
+const CLIENT_COUNTS: [usize; 3] = [1, 2, 4];
+const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+/// Updates per ingest frame.
+const BATCH: usize = 1024;
+/// One query per this many ingest frames, per client.
+const QUERY_EVERY: usize = 16;
+
+struct Workload {
+    name: &'static str,
+    updates: Vec<Update>,
+    cfg: EngineConfig, // shard count overridden per cell
+}
+
+fn workloads(ctx: &ExpCtx) -> Vec<Workload> {
+    let seed = derive_seed(ctx.seed, 0xE26_0002);
+    let mut out = Vec::new();
+
+    // Zipf item stream — the throughput headline.
+    let zipf_len = if ctx.quick { 60_000 } else { 1_200_000 };
+    let n = 4096u32;
+    let s = fews_stream::gen::zipf::zipf_stream(n, 1.1, zipf_len, &mut rng_for(seed, 1));
+    let d = *s.frequencies.iter().max().expect("n >= 1");
+    out.push(Workload {
+        name: "zipf",
+        updates: as_insertions(&s.edges),
+        cfg: EngineConfig::insert_only(FewwConfig::new(n, d.max(1), 2), seed),
+    });
+
+    // Planted star in a light background.
+    let (n, bg, d) = if ctx.quick {
+        (2_000u32, 10u32, 200u32)
+    } else {
+        (20_000, 15, 500)
+    };
+    let g = fews_stream::gen::planted::planted_star(n, 1 << 20, d, bg, &mut rng_for(seed, 2));
+    out.push(Workload {
+        name: "planted",
+        updates: as_insertions(&g.edges),
+        cfg: EngineConfig::insert_only(FewwConfig::new(n, d, 2), seed),
+    });
+
+    // DoS trace.
+    let (dsts, packets, attack) = if ctx.quick {
+        (256u32, 30_000u64, 400u32)
+    } else {
+        (1024, 280_000, 2000)
+    };
+    let t = fews_stream::gen::dos::dos_trace(
+        dsts,
+        1 << 24,
+        packets,
+        1.0,
+        attack,
+        &mut rng_for(seed, 3),
+    );
+    out.push(Workload {
+        name: "dos",
+        updates: as_insertions(&t.edges),
+        cfg: EngineConfig::insert_only(FewwConfig::new(dsts, attack, 2), seed),
+    });
+
+    // Database audit log — the insertion-deletion model over the wire. Small
+    // on purpose: the id hot path is ~1000× costlier per update (see the
+    // `sketch` experiment); this cell is model coverage, not peak QPS.
+    let (records, hot) = if ctx.quick { (32u32, 12u32) } else { (48, 16) };
+    let log = fews_stream::gen::dblog::db_log(records, 1 << 10, hot, 4, 0.5, &mut rng_for(seed, 4));
+    out.push(Workload {
+        name: "dblog",
+        updates: log.updates,
+        cfg: EngineConfig::insert_delete(
+            IdConfig::with_scale(records, 1 << 10, hot, 2, 0.02),
+            seed,
+        ),
+    });
+
+    out
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LoadMetrics {
+    secs: f64,
+    ops_per_sec: f64,
+    requests_per_sec: f64,
+    queries: u64,
+    p50_ingest_us: u64,
+    p99_ingest_us: u64,
+    p50_query_us: u64,
+    p99_query_us: u64,
+    bytes_per_request: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drive `clients` threads of mixed ingest+query load against one server.
+fn run_load(cfg: EngineConfig, updates: &[Update], clients: usize, n: u32) -> LoadMetrics {
+    let server = Server::start(cfg, "127.0.0.1:0").expect("bind bench server");
+    let addr = server.local_addr();
+    // Contiguous slices per client: every update is ingested exactly once
+    // (client interleaving makes the final state run-dependent, which is
+    // fine here — byte-equivalence is the stress *test*'s job).
+    let per_client = updates.len().div_ceil(clients);
+    let started = Instant::now();
+    let results: Vec<(Vec<u64>, Vec<u64>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = updates
+            .chunks(per_client)
+            .enumerate()
+            .map(|(c, slice)| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("bench client connect");
+                    let mut ingest_lat = Vec::with_capacity(slice.len() / BATCH + 2);
+                    let mut query_lat = Vec::new();
+                    let mut queries = 0u64;
+                    for (i, chunk) in slice.chunks(BATCH).enumerate() {
+                        let t0 = Instant::now();
+                        client.ingest_batch(chunk).expect("bench ingest");
+                        ingest_lat.push(t0.elapsed().as_micros() as u64);
+                        if i % QUERY_EVERY == QUERY_EVERY - 1 {
+                            let t0 = Instant::now();
+                            match queries % 2 {
+                                0 => {
+                                    let v = (queries * 37 + c as u64) % n as u64;
+                                    let _ = client.certify(v as u32).expect("bench certify");
+                                }
+                                _ => {
+                                    let _ = client.top(3).expect("bench top");
+                                }
+                            }
+                            query_lat.push(t0.elapsed().as_micros() as u64);
+                            queries += 1;
+                        }
+                    }
+                    // One closing query per client so every cell reports
+                    // query latency even when the stream is short.
+                    let t0 = Instant::now();
+                    let _ = client.top(3).expect("bench top");
+                    query_lat.push(t0.elapsed().as_micros() as u64);
+                    queries += 1;
+                    (
+                        ingest_lat,
+                        query_lat,
+                        queries,
+                        client.bytes_sent() + client.bytes_received(),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench client panicked"))
+            .collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let mut owner = Client::connect(addr).expect("owner connect");
+    let stats = owner.stats().expect("owner stats");
+    assert_eq!(stats.ingested, updates.len() as u64, "updates lost");
+    owner.shutdown().expect("owner shutdown");
+    server.join();
+
+    let mut ingest_lat: Vec<u64> = results.iter().flat_map(|r| r.0.iter().copied()).collect();
+    let mut query_lat: Vec<u64> = results.iter().flat_map(|r| r.1.iter().copied()).collect();
+    ingest_lat.sort_unstable();
+    query_lat.sort_unstable();
+    let queries: u64 = results.iter().map(|r| r.2).sum();
+    let wire_bytes: u64 = results.iter().map(|r| r.3).sum();
+    let requests = ingest_lat.len() as u64 + queries;
+    LoadMetrics {
+        secs,
+        ops_per_sec: (updates.len() as u64 + queries) as f64 / secs,
+        requests_per_sec: requests as f64 / secs,
+        queries,
+        p50_ingest_us: percentile(&ingest_lat, 0.50),
+        p99_ingest_us: percentile(&ingest_lat, 0.99),
+        p50_query_us: percentile(&query_lat, 0.50),
+        p99_query_us: percentile(&query_lat, 0.99),
+        bytes_per_request: wire_bytes as f64 / requests.max(1) as f64,
+    }
+}
+
+fn model_of(cfg: &EngineConfig) -> (&'static str, u32) {
+    match cfg.model {
+        fews_engine::ModelSpec::InsertOnly(c) => ("io", c.n),
+        fews_engine::ModelSpec::InsertDelete(c) => ("id", c.n),
+    }
+}
+
+fn push_metric_row(table: &mut Table, head: Vec<String>, m: &LoadMetrics) {
+    let mut row = head;
+    row.extend([
+        format!("{:.3}", m.secs),
+        format!("{:.0}", m.ops_per_sec),
+        format!("{:.0}", m.requests_per_sec),
+        m.p50_ingest_us.to_string(),
+        m.p99_ingest_us.to_string(),
+        m.p50_query_us.to_string(),
+        m.p99_query_us.to_string(),
+        format!("{:.0}", m.bytes_per_request),
+    ]);
+    table.push_row(row);
+}
+
+const METRIC_COLS: [&str; 8] = [
+    "secs",
+    "ops_per_sec",
+    "requests_per_sec",
+    "p50_ingest_us",
+    "p99_ingest_us",
+    "p50_query_us",
+    "p99_query_us",
+    "bytes_per_request",
+];
+
+/// Loopback serving throughput/latency across client counts, plus a shard
+/// sweep, plus `BENCH_net.json`.
+pub fn net_exp(ctx: &ExpCtx) -> Vec<Table> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let ws = workloads(ctx);
+
+    let mut cols = vec!["generator", "model", "updates", "clients"];
+    cols.extend(METRIC_COLS);
+    let mut load = Table::new(
+        "net — loopback mixed ingest+query load vs client count (K = 1)",
+        &cols,
+    );
+    let mut json_rows = Vec::new();
+    for w in &ws {
+        let (model, n) = model_of(&w.cfg);
+        let mut client_cells = Vec::new();
+        for &clients in &CLIENT_COUNTS {
+            let m = run_load(w.cfg.with_shards(1), &w.updates, clients, n);
+            push_metric_row(
+                &mut load,
+                vec![
+                    w.name.into(),
+                    model.into(),
+                    w.updates.len().to_string(),
+                    clients.to_string(),
+                ],
+                &m,
+            );
+            client_cells.push(format!(
+                "\"{}\": {{\"ops_per_sec\": {:.0}, \"requests_per_sec\": {:.0}, \
+                 \"queries\": {}, \"p50_ingest_us\": {}, \"p99_ingest_us\": {}, \
+                 \"p50_query_us\": {}, \"p99_query_us\": {}, \"bytes_per_request\": {:.0}}}",
+                clients,
+                m.ops_per_sec,
+                m.requests_per_sec,
+                m.queries,
+                m.p50_ingest_us,
+                m.p99_ingest_us,
+                m.p50_query_us,
+                m.p99_query_us,
+                m.bytes_per_request
+            ));
+        }
+        json_rows.push(format!(
+            "  \"{}\": {{\"model\": \"{}\", \"updates\": {}, \"clients\": {{{}}}}}",
+            w.name,
+            model,
+            w.updates.len(),
+            client_cells.join(", ")
+        ));
+    }
+    load.write_csv(&ctx.out_dir, "net_load").expect("csv");
+
+    // Shard sweep on the zipf workload at C = 2.
+    let mut cols = vec!["shards"];
+    cols.extend(METRIC_COLS);
+    let mut sweep = Table::new("net — zipf load vs shard count (2 clients)", &cols);
+    let zipf = &ws[0];
+    let (_, n) = model_of(&zipf.cfg);
+    let mut sweep_cells = Vec::new();
+    for &k in &SHARD_SWEEP {
+        let m = run_load(zipf.cfg.with_shards(k), &zipf.updates, 2, n);
+        push_metric_row(&mut sweep, vec![k.to_string()], &m);
+        sweep_cells.push(format!("\"{k}\": {:.0}", m.ops_per_sec));
+    }
+    sweep.write_csv(&ctx.out_dir, "net_shards").expect("csv");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"net\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"cores\": {cores},\n  \"batch\": {BATCH},\n  \"query_every\": {QUERY_EVERY},\n  \"client_counts\": [1, 2, 4],\n{},\n  \"zipf_ops_per_sec_by_shards_c2\": {{{}}}\n}}\n",
+        if ctx.quick { "quick" } else { "full" },
+        ctx.seed,
+        json_rows.join(",\n"),
+        sweep_cells.join(", ")
+    );
+    std::fs::write(ctx.out_dir.join("BENCH_net.json"), json).expect("write BENCH_net.json");
+
+    vec![load, sweep]
+}

@@ -5,6 +5,8 @@
 //! fews stats FILE [--n N]
 //! fews run FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X]
 //! fews serve FILE --n N --d D [--shards K] [--batch B] [--model io|id] …
+//! fews listen --addr A --n N --d D [--shards K] [--model io|id] [--replay FILE] …
+//! fews client ADDR <certified|certify V|top K|stats|ingest FILE|checkpoint OUT|restore FILE|shutdown>
 //! ```
 //!
 //! Stream files use the `fews-stream::io` text format: one `a b [-]` update
@@ -20,6 +22,7 @@ use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
 use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
 use fews_core::neighbourhood::Neighbourhood;
 use fews_engine::{Engine, EngineConfig, GlobalView};
+use fews_net::{Client, Server};
 use fews_stream::update::{as_insertions, degrees, net_graph};
 use fews_stream::{io as sio, Update};
 use opts::Opts;
@@ -54,6 +57,8 @@ fn main() {
         "stats" => stats(&rest),
         "run" => run(&rest),
         "serve" => serve(&rest),
+        "listen" => listen(&rest),
+        "client" => client_cmd(&rest),
         "--help" | "-h" | "help" => usage("…"),
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -66,8 +71,13 @@ fn usage(msg: &str) -> ! {
          fews stats FILE [--n N]\n  \
          fews run FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X] [--m M]\n  \
          fews serve FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X] [--m M]\n  \
-         {:13}[--shards K] [--partitions P] [--batch B] [--restore CKPT]",
-        ""
+         {:13}[--shards K] [--partitions P] [--batch B] [--restore CKPT]\n  \
+         fews listen --addr HOST:PORT --n N --d D [--alpha A] [--model io|id] [--seed S] \
+         [--scale X] [--m M]\n  \
+         {:13}[--shards K] [--partitions P] [--batch B] [--replay FILE] [--restore CKPT]\n  \
+         fews client ADDR <certified | certify V | top K | stats | ingest FILE [--batch B] | \
+         checkpoint OUT | restore CKPT | shutdown>",
+        "", ""
     );
     std::process::exit(2);
 }
@@ -351,21 +361,18 @@ fn run_buffered(
     report(result, &model, updates.len(), started.elapsed(), space);
 }
 
-/// `fews serve`: replay FILE through the sharded engine, then answer queries
-/// from stdin until EOF.
-fn serve(rest: &[String]) {
-    let path = rest
-        .first()
-        .cloned()
-        .unwrap_or_else(|| usage("serve needs a FILE"));
-    let o = Opts::parse(&rest[1..]);
+/// Build an [`EngineConfig`] from the shared `--n --d [--alpha] [--model]
+/// [--m] [--scale] [--seed] [--shards] [--partitions] [--batch]` flags
+/// (`serve` and `listen` speak the same dialect). Returns the config plus
+/// `(is_io, n, m)` for input validation at the edge.
+fn engine_cfg_from(o: &Opts) -> (EngineConfig, bool, u32, u64) {
     let n: u32 = o
         .get_str("n")
         .map(|s| {
             s.parse()
                 .unwrap_or_else(|_| usage("--n got an unparsable value"))
         })
-        .unwrap_or_else(|| usage("--n is required for serve (the engine is pre-sharded)"));
+        .unwrap_or_else(|| usage("--n is required (the engine is pre-sharded)"));
     let d: u32 = o
         .get_str("d")
         .map(|s| {
@@ -400,6 +407,19 @@ fn serve(rest: &[String]) {
     .with_shards(shards)
     .with_partitions(partitions)
     .with_batch(batch);
+    (cfg, model == "io", n, m)
+}
+
+/// `fews serve`: replay FILE through the sharded engine, then answer queries
+/// from stdin until EOF.
+fn serve(rest: &[String]) {
+    let path = rest
+        .first()
+        .cloned()
+        .unwrap_or_else(|| usage("serve needs a FILE"));
+    let o = Opts::parse(&rest[1..]);
+    let (cfg, is_io, n, m) = engine_cfg_from(&o);
+    let (shards, partitions) = (cfg.shards, cfg.partitions);
 
     let mut engine = Engine::start(cfg);
     if let Some(ckpt) = o.get_str("restore") {
@@ -410,7 +430,6 @@ fn serve(rest: &[String]) {
         outln!("restored checkpoint {ckpt} ({} bytes)", bytes.len());
     }
 
-    let is_io = model == "io";
     let started = std::time::Instant::now();
     let mut count = 0u64;
     for u in stream_updates(&path) {
@@ -515,6 +534,201 @@ fn serve(rest: &[String]) {
             }
         }
     }
+}
+
+/// `fews listen`: start the TCP server and block until a client sends
+/// `shutdown`. `--replay FILE` and `--restore CKPT` pre-load the engine
+/// through a loopback client, so the data path is the wire path.
+fn listen(rest: &[String]) {
+    let o = Opts::parse(rest);
+    let addr = o.get_str("addr").unwrap_or_else(|| "127.0.0.1:7411".into());
+    let (cfg, _, n, m) = engine_cfg_from(&o);
+    let (shards, partitions) = (cfg.shards, cfg.partitions);
+    let server = Server::start(cfg, &addr).unwrap_or_else(|e| usage(&format!("bind {addr}: {e}")));
+    let bound = server.local_addr();
+    outln!(
+        "listening on {bound} — {shards} shard(s) / {partitions} partition(s); \
+         stop with `fews client {bound} shutdown`"
+    );
+    if o.get_str("restore").is_some() || o.get_str("replay").is_some() {
+        let mut local =
+            Client::connect(bound).unwrap_or_else(|e| usage(&format!("self-connect: {e}")));
+        if let Some(ckpt) = o.get_str("restore") {
+            let bytes =
+                std::fs::read(&ckpt).unwrap_or_else(|e| usage(&format!("read {ckpt}: {e}")));
+            local
+                .restore(&bytes)
+                .unwrap_or_else(|e| usage(&format!("restore {ckpt}: {e}")));
+            outln!("restored checkpoint {ckpt} ({} bytes)", bytes.len());
+        }
+        if let Some(path) = o.get_str("replay") {
+            let batch = o.get("batch", 1024usize).max(1);
+            let count = ingest_file(&mut local, &path, batch, n, m);
+            outln!("replayed {count} updates from {path}");
+        }
+    }
+    let ingested = server.join();
+    outln!("server shut down after ingesting {ingested} updates");
+}
+
+/// Stream FILE through a connected client in `batch`-sized ingest frames,
+/// pre-checking ranges so the server never sees an invalid update.
+fn ingest_file(client: &mut Client, path: &str, batch: usize, n: u32, m: u64) -> u64 {
+    let mut pending: Vec<Update> = Vec::with_capacity(batch);
+    let mut count = 0u64;
+    let mut flush = |pending: &mut Vec<Update>| {
+        if !pending.is_empty() {
+            client
+                .ingest_batch(pending)
+                .unwrap_or_else(|e| usage(&format!("ingest: {e}")));
+            pending.clear();
+        }
+    };
+    for u in stream_updates(path) {
+        if u.edge.a >= n || (m > 0 && u.edge.b >= m) {
+            usage(&format!(
+                "edge ({}, {}) out of range --n {n}{}",
+                u.edge.a,
+                u.edge.b,
+                if m > 0 {
+                    format!(" / --m {m}")
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        pending.push(u);
+        count += 1;
+        if pending.len() >= batch {
+            flush(&mut pending);
+        }
+    }
+    flush(&mut pending);
+    count
+}
+
+/// `fews client ADDR CMD…`: one request against a running `fews listen`.
+fn client_cmd(rest: &[String]) {
+    let addr = rest
+        .first()
+        .cloned()
+        .unwrap_or_else(|| usage("client needs an ADDR"));
+    let cmd = rest
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| usage("client needs a command"));
+    let mut client =
+        Client::connect(&addr).unwrap_or_else(|e| usage(&format!("connect {addr}: {e}")));
+    let fail = |e: fews_net::ClientError| -> ! { usage(&format!("{cmd}: {e}")) };
+    match cmd.as_str() {
+        "certified" => {
+            let d2 = client.stats().unwrap_or_else(|e| fail(e)).witness_target;
+            match client.certified().unwrap_or_else(|e| fail(e)) {
+                Some(nb) => print_wire_neighbourhood(&nb, d2),
+                None => outln!("fail (no ⌊d/α⌋-neighbourhood certified)"),
+            }
+        }
+        "certify" => {
+            let v: u32 = rest
+                .get(2)
+                .and_then(|w| w.parse().ok())
+                .unwrap_or_else(|| usage("certify needs a vertex id"));
+            let d2 = client.stats().unwrap_or_else(|e| fail(e)).witness_target;
+            match client.certify(v).unwrap_or_else(|e| fail(e)) {
+                Some(nb) => print_wire_neighbourhood(&nb, d2),
+                None => outln!("vertex {v}: no witnesses held"),
+            }
+        }
+        "top" => {
+            let k: u64 = rest.get(2).and_then(|w| w.parse().ok()).unwrap_or(5);
+            let d2 = client.stats().unwrap_or_else(|e| fail(e)).witness_target;
+            let top = client.top(k).unwrap_or_else(|e| fail(e));
+            if top.is_empty() {
+                outln!("(no witnesses collected yet)");
+            }
+            for nb in top {
+                print_wire_neighbourhood(&nb, d2);
+            }
+        }
+        "stats" => {
+            let s = client.stats().unwrap_or_else(|e| fail(e));
+            let space: u64 = s.shards.iter().map(|sh| sh.space_bytes).sum();
+            outln!(
+                "{} updates ingested | uptime {:.2}s | d₂ = {} | state {} KiB",
+                s.ingested,
+                s.uptime_micros as f64 / 1e6,
+                s.witness_target,
+                space / 1024
+            );
+            for (i, sh) in s.shards.iter().enumerate() {
+                outln!(
+                    "  shard {i}: {} partitions | {} updates in {} batches | {} KiB",
+                    sh.partitions,
+                    sh.processed,
+                    sh.batches,
+                    sh.space_bytes / 1024
+                );
+            }
+        }
+        "ingest" => {
+            let path = rest
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| usage("ingest needs a FILE"));
+            let o = Opts::parse(&rest[3..]);
+            let batch = o.get("batch", 1024usize).max(1);
+            // Ranges are enforced server-side; pass the widest bounds here.
+            let count = ingest_file(&mut client, &path, batch, u32::MAX, 0);
+            outln!(
+                "ingested {count} updates ({} bytes sent, {} received)",
+                client.bytes_sent(),
+                client.bytes_received()
+            );
+        }
+        "checkpoint" => {
+            let out = rest
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| usage("checkpoint needs an output PATH"));
+            let bytes = client.checkpoint().unwrap_or_else(|e| fail(e));
+            std::fs::write(&out, &bytes).unwrap_or_else(|e| usage(&format!("write {out}: {e}")));
+            outln!("checkpointed {} bytes to {out}", bytes.len());
+        }
+        "restore" => {
+            let ckpt = rest
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| usage("restore needs a CKPT file"));
+            let bytes =
+                std::fs::read(&ckpt).unwrap_or_else(|e| usage(&format!("read {ckpt}: {e}")));
+            client.restore(&bytes).unwrap_or_else(|e| fail(e));
+            outln!("restored {} bytes into {addr}", bytes.len());
+        }
+        "shutdown" => {
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            outln!("server {addr} shutting down");
+        }
+        other => usage(&format!(
+            "unknown client command {other} — try: certified | certify V | top K | stats | \
+             ingest FILE | checkpoint OUT | restore CKPT | shutdown"
+        )),
+    }
+}
+
+fn print_wire_neighbourhood(nb: &Neighbourhood, d2: u64) {
+    let shown: Vec<String> = nb.witnesses.iter().take(8).map(u64::to_string).collect();
+    outln!(
+        "vertex {:6} | {} witness(es){} [{}{}]",
+        nb.vertex,
+        nb.size(),
+        if nb.size() as u64 >= d2 {
+            " ✓ certified"
+        } else {
+            ""
+        },
+        shown.join(", "),
+        if nb.size() > 8 { ", …" } else { "" }
+    );
 }
 
 fn print_neighbourhood(nb: &Neighbourhood, view: &GlobalView) {

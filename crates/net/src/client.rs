@@ -1,0 +1,196 @@
+//! A blocking client for the `fews-net` protocol.
+
+use crate::proto::{check_frame_len, ErrorCode, Request, Response, WireStats};
+use fews_core::neighbourhood::Neighbourhood;
+use fews_stream::Update;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's bytes did not parse, or a response had the wrong kind.
+    Protocol(String),
+    /// The server answered with an error frame.
+    Server {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server rejected request ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected `fews-net` client. One request/response at a time; reuse the
+/// connection for as many requests as you like.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            bytes_sent: 0,
+            bytes_received: 0,
+        })
+    }
+
+    /// Bytes written to the socket so far (frames included).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Bytes read from the socket so far (frames included).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Send one pre-encoded request frame and read one response frame.
+    fn transact(&mut self, frame_bytes: &[u8]) -> Result<Response, ClientError> {
+        self.stream.write_all(frame_bytes)?;
+        self.bytes_sent += frame_bytes.len() as u64;
+        let mut header = [0u8; 4];
+        self.stream.read_exact(&mut header)?;
+        let len = check_frame_len(u32::from_le_bytes(header) as u64)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        self.bytes_received += 4 + len as u64;
+        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Send one request and read one response frame.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.transact(&request.encode())
+    }
+
+    fn expect_frame(&mut self, frame_bytes: &[u8]) -> Result<Response, ClientError> {
+        match self.transact(frame_bytes)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.expect_frame(&request.encode())
+    }
+
+    /// Apply a batch of updates; returns the server's applied count.
+    pub fn ingest_batch(&mut self, updates: &[Update]) -> Result<u64, ClientError> {
+        // Worst-case wire size per update: two max-length varints + sign.
+        if !crate::proto::body_fits(updates.len().saturating_mul(16) + 10) {
+            return Err(ClientError::Protocol(format!(
+                "batch of {} updates may not fit one frame — split it",
+                updates.len()
+            )));
+        }
+        match self.expect_frame(&crate::proto::encode_ingest_batch(updates))? {
+            Response::Ingested(count) => Ok(count),
+            other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    /// The engine's certified output.
+    pub fn certified(&mut self) -> Result<Option<Neighbourhood>, ClientError> {
+        match self.expect(&Request::Certified)? {
+            Response::Answer(nb) => Ok(nb),
+            other => Err(unexpected("Answer", &other)),
+        }
+    }
+
+    /// Everything provable about vertex `v`.
+    pub fn certify(&mut self, v: u32) -> Result<Option<Neighbourhood>, ClientError> {
+        match self.expect(&Request::Certify(v))? {
+            Response::Answer(nb) => Ok(nb),
+            other => Err(unexpected("Answer", &other)),
+        }
+    }
+
+    /// The `k` vertices with the most collected witnesses.
+    pub fn top(&mut self, k: u64) -> Result<Vec<Neighbourhood>, ClientError> {
+        match self.expect(&Request::Top(k))? {
+            Response::Top(list) => Ok(list),
+            other => Err(unexpected("Top", &other)),
+        }
+    }
+
+    /// Engine statistics.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.expect(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Fetch a checkpoint of the serving engine.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, ClientError> {
+        match self.expect(&Request::Checkpoint)? {
+            Response::Checkpoint(bytes) => Ok(bytes),
+            other => Err(unexpected("Checkpoint", &other)),
+        }
+    }
+
+    /// Install a checkpoint into the serving engine.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        if !crate::proto::body_fits(bytes.len()) {
+            return Err(ClientError::Protocol(format!(
+                "checkpoint is {} bytes, larger than one frame can carry",
+                bytes.len()
+            )));
+        }
+        match self.expect_frame(&crate::proto::encode_restore(bytes))? {
+            Response::Restored => Ok(()),
+            other => Err(unexpected("Restored", &other)),
+        }
+    }
+
+    /// Ask the server to shut down. The connection is spent afterwards.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected("Bye", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    let kind = match got {
+        Response::Ingested(_) => "Ingested",
+        Response::Answer(_) => "Answer",
+        Response::Top(_) => "Top",
+        Response::Stats(_) => "Stats",
+        Response::Checkpoint(_) => "Checkpoint",
+        Response::Restored => "Restored",
+        Response::Bye => "Bye",
+        Response::Error { .. } => "Error",
+    };
+    ClientError::Protocol(format!("expected {wanted} response, got {kind}"))
+}

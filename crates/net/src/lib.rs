@@ -1,0 +1,46 @@
+//! # `fews-net` — a concurrent TCP serving layer over `fews-engine`
+//!
+//! PR 2 gave the FEwW reproduction a sharded in-process runtime; this crate
+//! puts it behind a real wire. It is deliberately std-only (no async
+//! runtime): one acceptor thread, one worker thread per connection, and the
+//! [`fews_engine::Engine`] shared behind a mutex — queries and ingest
+//! serialize at the engine boundary while the engine's own shard workers
+//! keep processing batches in parallel.
+//!
+//! * [`proto`] — the versioned, length-prefixed binary frame format and the
+//!   [`proto::Request`]/[`proto::Response`] codecs (varints via
+//!   `fews_core::wire`, checkpoints byte-identical to
+//!   [`fews_engine::Engine::checkpoint`]).
+//! * [`server`] — [`Server`]: bind, accept, validate, answer. Malformed
+//!   input yields error frames, never panics; ingest is validated against
+//!   the serving model before any update reaches a shard.
+//! * [`client`] — [`Client`]: a blocking request/response client with
+//!   byte counters for measuring wire overhead.
+//!
+//! ```
+//! use fews_core::insertion_only::FewwConfig;
+//! use fews_engine::EngineConfig;
+//! use fews_net::{Client, Server};
+//! use fews_stream::{Edge, Update};
+//!
+//! let cfg = EngineConfig::insert_only(FewwConfig::new(16, 8, 2), 42).with_shards(2);
+//! let server = Server::start(cfg, "127.0.0.1:0").expect("bind");
+//! let mut client = Client::connect(server.local_addr()).expect("connect");
+//! let updates: Vec<Update> = (0..8).map(|b| Update::insert(Edge::new(7, b))).collect();
+//! client.ingest_batch(&updates).expect("ingest");
+//! let out = client.certified().expect("query").expect("vertex 7 has degree 8");
+//! assert_eq!(out.vertex, 7);
+//! client.shutdown().expect("shutdown");
+//! server.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorCode, Request, Response, WireShardStats, WireStats};
+pub use server::Server;

@@ -1,0 +1,662 @@
+//! The `fews-net` wire protocol: framing and message codecs.
+//!
+//! Every message travels in one *frame*:
+//!
+//! ```text
+//! length   u32 little-endian — byte count of everything after this field
+//! version  u8, currently [`VERSION`]
+//! tag      u8 — message kind ([`Request`] 0x01…, [`Response`] 0x81…)
+//! body     tag-specific, LEB128 varints via `fews_core::wire`
+//! ```
+//!
+//! The length field covers `version + tag + body`, so it is always ≥ 2 and
+//! at most [`MAX_FRAME`] ([`FrameError::Oversized`] otherwise — a declared
+//! length beyond the cap is rejected *before* any allocation, which is what
+//! keeps a hostile 4-byte header from reserving gigabytes). Because every
+//! body is length-delimited by the header, a malformed body never desyncs
+//! the stream: the receiver consumed exactly one frame and can answer with
+//! an [`Response::Error`] frame and keep going. Only header-level damage
+//! (truncated length/body, oversized declaration) forces the connection
+//! closed.
+//!
+//! Bodies reuse the engine's varint encoders ([`put_uvarint`] /
+//! [`get_uvarint`]), so a checkpoint travels over the wire in exactly the
+//! bytes [`fews_engine::Engine::checkpoint`] produced.
+
+use fews_core::neighbourhood::Neighbourhood;
+use fews_core::wire::{get_uvarint, put_uvarint};
+use fews_stream::{Edge, Update};
+
+/// Protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on `version + tag + body` length. Large enough for any
+/// realistic checkpoint or ingest batch, small enough that a hostile header
+/// cannot make the server allocate without bound.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A request frame, client → server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Apply a batch of turnstile updates.
+    IngestBatch(Vec<Update>),
+    /// The engine's certified output (global view).
+    Certified,
+    /// Everything provable about one vertex.
+    Certify(u32),
+    /// The `k` vertices with the most collected witnesses.
+    Top(u64),
+    /// Ingest counters and per-shard space usage.
+    Stats,
+    /// Serialize the engine into a checkpoint byte string.
+    Checkpoint,
+    /// Load a checkpoint into the serving engine.
+    Restore(Vec<u8>),
+    /// Stop accepting connections and shut the server down.
+    Shutdown,
+}
+
+impl Request {
+    const TAG_INGEST: u8 = 0x01;
+    const TAG_CERTIFIED: u8 = 0x02;
+    const TAG_CERTIFY: u8 = 0x03;
+    const TAG_TOP: u8 = 0x04;
+    const TAG_STATS: u8 = 0x05;
+    const TAG_CHECKPOINT: u8 = 0x06;
+    const TAG_RESTORE: u8 = 0x07;
+    const TAG_SHUTDOWN: u8 = 0x08;
+}
+
+/// One shard's counters in a [`Response::Stats`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireShardStats {
+    /// Partitions owned by the shard.
+    pub partitions: u64,
+    /// Updates applied so far.
+    pub processed: u64,
+    /// Batches applied so far.
+    pub batches: u64,
+    /// Measured state size in bytes.
+    pub space_bytes: u64,
+}
+
+/// Engine-wide statistics as they travel over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireStats {
+    /// Updates accepted by the server since start.
+    pub ingested: u64,
+    /// Server uptime in microseconds.
+    pub uptime_micros: u64,
+    /// The witness target `d₂` of the serving model.
+    pub witness_target: u64,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<WireShardStats>,
+}
+
+/// Why the server rejected a request (the `code` of an error frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Frame header declared a length of 0, 1, or more than [`MAX_FRAME`].
+    Oversized = 1,
+    /// Frame version byte is not [`VERSION`].
+    UnsupportedVersion = 2,
+    /// Unknown request tag.
+    UnknownTag = 3,
+    /// Body bytes did not decode as the tagged request.
+    Malformed = 4,
+    /// An ingest update failed model validation (range / deletion rules).
+    BadUpdate = 5,
+    /// A checkpoint failed to restore.
+    Checkpoint = 6,
+    /// The connection ended (or errored) partway through a declared frame.
+    Truncated = 7,
+}
+
+impl ErrorCode {
+    /// Decode from the wire byte.
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Oversized,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownTag,
+            4 => ErrorCode::Malformed,
+            5 => ErrorCode::BadUpdate,
+            6 => ErrorCode::Checkpoint,
+            7 => ErrorCode::Truncated,
+            _ => return None,
+        })
+    }
+}
+
+/// A response frame, server → client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Batch applied; echoes the update count.
+    Ingested(u64),
+    /// Answer to [`Request::Certified`] / [`Request::Certify`].
+    Answer(Option<Neighbourhood>),
+    /// Answer to [`Request::Top`].
+    Top(Vec<Neighbourhood>),
+    /// Answer to [`Request::Stats`].
+    Stats(WireStats),
+    /// Answer to [`Request::Checkpoint`]: the container bytes.
+    Checkpoint(Vec<u8>),
+    /// Checkpoint installed.
+    Restored,
+    /// Server acknowledges [`Request::Shutdown`] and is going away.
+    Bye,
+    /// The request was rejected; the connection may still be usable (see
+    /// module docs for which errors keep the stream in sync).
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    const TAG_INGESTED: u8 = 0x81;
+    const TAG_ANSWER: u8 = 0x82;
+    const TAG_TOP: u8 = 0x83;
+    const TAG_STATS: u8 = 0x84;
+    const TAG_CHECKPOINT: u8 = 0x85;
+    const TAG_RESTORED: u8 = 0x86;
+    const TAG_BYE: u8 = 0x87;
+    const TAG_ERROR: u8 = 0xFF;
+}
+
+/// Decode failures for a single frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared length outside `2..=MAX_FRAME`.
+    Oversized(u64),
+    /// Version byte ≠ [`VERSION`].
+    UnsupportedVersion(u8),
+    /// Tag byte names no known message.
+    UnknownTag(u8),
+    /// Body failed to decode (truncated varint, trailing bytes, bad enum…).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(n) => write!(f, "frame length {n} outside 2..={MAX_FRAME}"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            FrameError::Malformed(what) => write!(f, "malformed body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn put_neighbourhood(buf: &mut Vec<u8>, nb: &Neighbourhood) {
+    put_uvarint(buf, nb.vertex as u64);
+    put_uvarint(buf, nb.witnesses.len() as u64);
+    for &w in &nb.witnesses {
+        put_uvarint(buf, w);
+    }
+}
+
+/// Initial `Vec` capacity for a wire-declared element count: enough to
+/// avoid reallocation on every realistic message, bounded so a hostile
+/// count in a large frame cannot pre-reserve gigabytes — decoding still
+/// fails fast on the first missing element, having grown at most this far.
+fn bounded_capacity(count: usize) -> usize {
+    count.min(4096)
+}
+
+fn get_neighbourhood(buf: &[u8], pos: &mut usize) -> Option<Neighbourhood> {
+    let vertex = u32::try_from(get_uvarint(buf, pos)?).ok()?;
+    let count = get_uvarint(buf, pos)? as usize;
+    if count > buf.len() - (*pos).min(buf.len()) {
+        return None; // each witness needs ≥ 1 byte — reject bogus counts early
+    }
+    let mut witnesses = Vec::with_capacity(bounded_capacity(count));
+    for _ in 0..count {
+        witnesses.push(get_uvarint(buf, pos)?);
+    }
+    Some(Neighbourhood { vertex, witnesses })
+}
+
+fn put_option_neighbourhood(buf: &mut Vec<u8>, nb: &Option<Neighbourhood>) {
+    match nb {
+        None => buf.push(0),
+        Some(nb) => {
+            buf.push(1);
+            put_neighbourhood(buf, nb);
+        }
+    }
+}
+
+fn get_option_neighbourhood(buf: &[u8], pos: &mut usize) -> Option<Option<Neighbourhood>> {
+    let present = *buf.get(*pos)?;
+    *pos += 1;
+    match present {
+        0 => Some(None),
+        1 => Some(Some(get_neighbourhood(buf, pos)?)),
+        _ => None,
+    }
+}
+
+/// Encode an ingest-batch request frame straight from a borrowed slice
+/// (what [`Request::IngestBatch`] would encode, without owning the batch —
+/// the client's hot path).
+pub fn encode_ingest_batch(updates: &[Update]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(4 + updates.len() * 4);
+    put_uvarint(&mut body, updates.len() as u64);
+    for u in updates {
+        put_uvarint(&mut body, u.edge.a as u64);
+        put_uvarint(&mut body, u.edge.b);
+        body.push(if u.delta >= 0 { 0 } else { 1 });
+    }
+    frame(Request::TAG_INGEST, &body)
+}
+
+/// Encode a restore request frame straight from borrowed checkpoint bytes.
+pub fn encode_restore(bytes: &[u8]) -> Vec<u8> {
+    frame(Request::TAG_RESTORE, bytes)
+}
+
+impl Request {
+    /// Encode into a complete frame (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        // Large payloads go through the borrowed-slice paths — no clone.
+        match self {
+            Request::IngestBatch(updates) => return encode_ingest_batch(updates),
+            Request::Restore(bytes) => return encode_restore(bytes),
+            _ => {}
+        }
+        let (tag, body) = match self {
+            Request::IngestBatch(_) | Request::Restore(_) => unreachable!("handled above"),
+            Request::Certified => (Self::TAG_CERTIFIED, Vec::new()),
+            Request::Certify(v) => {
+                let mut body = Vec::new();
+                put_uvarint(&mut body, *v as u64);
+                (Self::TAG_CERTIFY, body)
+            }
+            Request::Top(k) => {
+                let mut body = Vec::new();
+                put_uvarint(&mut body, *k);
+                (Self::TAG_TOP, body)
+            }
+            Request::Stats => (Self::TAG_STATS, Vec::new()),
+            Request::Checkpoint => (Self::TAG_CHECKPOINT, Vec::new()),
+            Request::Shutdown => (Self::TAG_SHUTDOWN, Vec::new()),
+        };
+        frame(tag, &body)
+    }
+
+    /// Decode from a frame payload (`version + tag + body`, header length
+    /// already stripped and validated).
+    pub fn decode(payload: &[u8]) -> Result<Request, FrameError> {
+        let (tag, body) = split_payload(payload)?;
+        let mut pos = 0usize;
+        let req = match tag {
+            Self::TAG_INGEST => {
+                let count = get_uvarint(body, &mut pos)
+                    .ok_or(FrameError::Malformed("ingest count"))?
+                    as usize;
+                // Each update occupies ≥ 3 bytes; reject bogus counts before
+                // reserving.
+                if count > body.len() / 3 + 1 {
+                    return Err(FrameError::Malformed("ingest count exceeds body"));
+                }
+                let mut updates = Vec::with_capacity(bounded_capacity(count));
+                for _ in 0..count {
+                    let a = get_uvarint(body, &mut pos)
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or(FrameError::Malformed("update vertex a"))?;
+                    let b = get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("update b"))?;
+                    let sign = *body
+                        .get(pos)
+                        .ok_or(FrameError::Malformed("update sign byte"))?;
+                    pos += 1;
+                    let edge = Edge::new(a, b);
+                    updates.push(match sign {
+                        0 => Update::insert(edge),
+                        1 => Update::delete(edge),
+                        _ => return Err(FrameError::Malformed("update sign byte")),
+                    });
+                }
+                Request::IngestBatch(updates)
+            }
+            Self::TAG_CERTIFIED => Request::Certified,
+            Self::TAG_CERTIFY => Request::Certify(
+                get_uvarint(body, &mut pos)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or(FrameError::Malformed("certify vertex"))?,
+            ),
+            Self::TAG_TOP => {
+                Request::Top(get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("top k"))?)
+            }
+            Self::TAG_STATS => Request::Stats,
+            Self::TAG_CHECKPOINT => Request::Checkpoint,
+            Self::TAG_RESTORE => {
+                pos = body.len();
+                Request::Restore(body.to_vec())
+            }
+            Self::TAG_SHUTDOWN => Request::Shutdown,
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        if pos != body.len() {
+            return Err(FrameError::Malformed("trailing bytes"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode into a complete frame (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        // The checkpoint payload can be tens of MB — frame it straight from
+        // the borrowed bytes instead of cloning.
+        if let Response::Checkpoint(bytes) = self {
+            return frame(Self::TAG_CHECKPOINT, bytes);
+        }
+        let (tag, body) = match self {
+            Response::Checkpoint(_) => unreachable!("handled above"),
+            Response::Ingested(count) => {
+                let mut body = Vec::new();
+                put_uvarint(&mut body, *count);
+                (Self::TAG_INGESTED, body)
+            }
+            Response::Answer(nb) => {
+                let mut body = Vec::new();
+                put_option_neighbourhood(&mut body, nb);
+                (Self::TAG_ANSWER, body)
+            }
+            Response::Top(list) => {
+                let mut body = Vec::new();
+                put_uvarint(&mut body, list.len() as u64);
+                for nb in list {
+                    put_neighbourhood(&mut body, nb);
+                }
+                (Self::TAG_TOP, body)
+            }
+            Response::Stats(stats) => {
+                let mut body = Vec::new();
+                put_uvarint(&mut body, stats.ingested);
+                put_uvarint(&mut body, stats.uptime_micros);
+                put_uvarint(&mut body, stats.witness_target);
+                put_uvarint(&mut body, stats.shards.len() as u64);
+                for s in &stats.shards {
+                    put_uvarint(&mut body, s.partitions);
+                    put_uvarint(&mut body, s.processed);
+                    put_uvarint(&mut body, s.batches);
+                    put_uvarint(&mut body, s.space_bytes);
+                }
+                (Self::TAG_STATS, body)
+            }
+            Response::Restored => (Self::TAG_RESTORED, Vec::new()),
+            Response::Bye => (Self::TAG_BYE, Vec::new()),
+            Response::Error { code, message } => {
+                let mut body = Vec::with_capacity(2 + message.len());
+                body.push(*code as u8);
+                put_uvarint(&mut body, message.len() as u64);
+                body.extend_from_slice(message.as_bytes());
+                (Self::TAG_ERROR, body)
+            }
+        };
+        frame(tag, &body)
+    }
+
+    /// Decode from a frame payload (header length already stripped).
+    pub fn decode(payload: &[u8]) -> Result<Response, FrameError> {
+        let (tag, body) = split_payload(payload)?;
+        let mut pos = 0usize;
+        let resp = match tag {
+            Self::TAG_INGESTED => Response::Ingested(
+                get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("ingested count"))?,
+            ),
+            Self::TAG_ANSWER => Response::Answer(
+                get_option_neighbourhood(body, &mut pos)
+                    .ok_or(FrameError::Malformed("answer neighbourhood"))?,
+            ),
+            Self::TAG_TOP => {
+                let count =
+                    get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("top count"))? as usize;
+                if count > body.len() {
+                    return Err(FrameError::Malformed("top count exceeds body"));
+                }
+                let mut list = Vec::with_capacity(bounded_capacity(count));
+                for _ in 0..count {
+                    list.push(
+                        get_neighbourhood(body, &mut pos)
+                            .ok_or(FrameError::Malformed("top neighbourhood"))?,
+                    );
+                }
+                Response::Top(list)
+            }
+            Self::TAG_STATS => {
+                let ingested =
+                    get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("stats ingested"))?;
+                let uptime_micros =
+                    get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("stats uptime"))?;
+                let witness_target =
+                    get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("stats d2"))?;
+                let count = get_uvarint(body, &mut pos)
+                    .ok_or(FrameError::Malformed("stats shard count"))?
+                    as usize;
+                if count > body.len() {
+                    return Err(FrameError::Malformed("shard count exceeds body"));
+                }
+                let mut shards = Vec::with_capacity(bounded_capacity(count));
+                for _ in 0..count {
+                    let mut next =
+                        || get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("shard stats"));
+                    shards.push(WireShardStats {
+                        partitions: next()?,
+                        processed: next()?,
+                        batches: next()?,
+                        space_bytes: next()?,
+                    });
+                }
+                Response::Stats(WireStats {
+                    ingested,
+                    uptime_micros,
+                    witness_target,
+                    shards,
+                })
+            }
+            Self::TAG_CHECKPOINT => {
+                pos = body.len();
+                Response::Checkpoint(body.to_vec())
+            }
+            Self::TAG_RESTORED => Response::Restored,
+            Self::TAG_BYE => Response::Bye,
+            Self::TAG_ERROR => {
+                let code = *body.get(pos).ok_or(FrameError::Malformed("error code"))?;
+                pos += 1;
+                let code = ErrorCode::from_u8(code).ok_or(FrameError::Malformed("error code"))?;
+                let len =
+                    get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("error length"))?;
+                let end = pos
+                    .checked_add(len as usize)
+                    .filter(|&e| e <= body.len())
+                    .ok_or(FrameError::Malformed("error message"))?;
+                let message = std::str::from_utf8(&body[pos..end])
+                    .map_err(|_| FrameError::Malformed("error message utf8"))?
+                    .to_string();
+                pos = end;
+                Response::Error { code, message }
+            }
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        if pos != body.len() {
+            return Err(FrameError::Malformed("trailing bytes"));
+        }
+        Ok(resp)
+    }
+}
+
+/// Whether a body of `body_len` bytes fits in one frame. Senders of
+/// unbounded payloads (checkpoints, large ingest batches) must check this
+/// before encoding — [`Request::encode`]/[`Response::encode`] treat an
+/// oversized body as a programming error.
+pub fn body_fits(body_len: usize) -> bool {
+    body_len + 2 <= MAX_FRAME
+}
+
+/// Assemble a complete frame: `[len u32 LE][version][tag][body]`.
+fn frame(tag: u8, body: &[u8]) -> Vec<u8> {
+    let len = 2 + body.len();
+    assert!(len <= MAX_FRAME, "frame body exceeds MAX_FRAME");
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.push(VERSION);
+    buf.push(tag);
+    buf.extend_from_slice(body);
+    buf
+}
+
+/// Validate the version byte and split `payload` into `(tag, body)`.
+fn split_payload(payload: &[u8]) -> Result<(u8, &[u8]), FrameError> {
+    if payload.len() < 2 {
+        return Err(FrameError::Oversized(payload.len() as u64));
+    }
+    if payload[0] != VERSION {
+        return Err(FrameError::UnsupportedVersion(payload[0]));
+    }
+    Ok((payload[1], &payload[2..]))
+}
+
+/// Check a declared frame length against the protocol bounds.
+pub fn check_frame_len(len: u64) -> Result<usize, FrameError> {
+    if !(2..=MAX_FRAME as u64).contains(&len) {
+        return Err(FrameError::Oversized(len));
+    }
+    Ok(len as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = req.encode();
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4);
+        assert_eq!(Request::decode(&bytes[4..]).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = resp.encode();
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4);
+        assert_eq!(Response::decode(&bytes[4..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::IngestBatch(vec![
+            Update::insert(Edge::new(3, 900)),
+            Update::delete(Edge::new(0, u64::MAX / 3)),
+        ]));
+        roundtrip_request(Request::IngestBatch(Vec::new()));
+        roundtrip_request(Request::Certified);
+        roundtrip_request(Request::Certify(u32::MAX));
+        roundtrip_request(Request::Top(17));
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Checkpoint);
+        roundtrip_request(Request::Restore(vec![1, 2, 3, 255]));
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Ingested(12));
+        roundtrip_response(Response::Answer(None));
+        roundtrip_response(Response::Answer(Some(Neighbourhood::new(7, vec![9, 2, 2]))));
+        roundtrip_response(Response::Top(vec![
+            Neighbourhood::new(1, vec![5]),
+            Neighbourhood::new(2, Vec::new()),
+        ]));
+        roundtrip_response(Response::Stats(WireStats {
+            ingested: 1000,
+            uptime_micros: 5_000_000,
+            witness_target: 8,
+            shards: vec![
+                WireShardStats {
+                    partitions: 4,
+                    processed: 600,
+                    batches: 3,
+                    space_bytes: 1 << 20,
+                },
+                WireShardStats {
+                    partitions: 4,
+                    processed: 400,
+                    batches: 2,
+                    space_bytes: 1 << 19,
+                },
+            ],
+        }));
+        roundtrip_response(Response::Checkpoint(b"FEWWCKP1junk".to_vec()));
+        roundtrip_response(Response::Restored);
+        roundtrip_response(Response::Bye);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::BadUpdate,
+            message: "vertex 9 out of range".into(),
+        });
+    }
+
+    #[test]
+    fn version_and_tag_are_policed() {
+        let mut bytes = Request::Certified.encode();
+        bytes[4] = 9; // version byte
+        assert_eq!(
+            Request::decode(&bytes[4..]),
+            Err(FrameError::UnsupportedVersion(9))
+        );
+        let mut bytes = Request::Certified.encode();
+        bytes[5] = 0x60; // tag byte
+        assert_eq!(
+            Request::decode(&bytes[4..]),
+            Err(FrameError::UnknownTag(0x60))
+        );
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_not_panicked() {
+        // Truncated varint in certify.
+        assert!(matches!(
+            Request::decode(&[VERSION, 0x03, 0x80]),
+            Err(FrameError::Malformed(_))
+        ));
+        // Trailing bytes after a complete request.
+        assert!(matches!(
+            Request::decode(&[VERSION, 0x02, 0x00]),
+            Err(FrameError::Malformed("trailing bytes"))
+        ));
+        // Ingest count far beyond the body size must not allocate/overrun.
+        let mut payload = vec![VERSION, 0x01];
+        put_uvarint(&mut payload, u64::MAX);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(FrameError::Malformed(_))
+        ));
+        // Bad sign byte.
+        let mut payload = vec![VERSION, 0x01];
+        put_uvarint(&mut payload, 1);
+        put_uvarint(&mut payload, 0);
+        put_uvarint(&mut payload, 0);
+        payload.push(7);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(FrameError::Malformed("update sign byte"))
+        ));
+    }
+
+    #[test]
+    fn frame_length_bounds() {
+        assert!(check_frame_len(0).is_err());
+        assert!(check_frame_len(1).is_err());
+        assert_eq!(check_frame_len(2), Ok(2));
+        assert_eq!(check_frame_len(MAX_FRAME as u64), Ok(MAX_FRAME));
+        assert!(check_frame_len(MAX_FRAME as u64 + 1).is_err());
+        assert!(check_frame_len(u64::MAX).is_err());
+    }
+}

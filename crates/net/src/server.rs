@@ -1,0 +1,361 @@
+//! The threaded TCP server: one acceptor, one worker thread per connection,
+//! one [`Engine`] shared behind a mutex.
+//!
+//! Ingest requests are validated *before* any update reaches the engine
+//! (vertex ranges, no deletions into an insertion-only model), so a hostile
+//! or buggy client can never panic a shard worker — every rejection is an
+//! error frame and the connection keeps serving. Header-level damage
+//! (truncated frame, oversized declared length, non-frame garbage) closes
+//! the offending connection after a best-effort error frame; the acceptor
+//! and every other connection are unaffected.
+
+use crate::proto::{
+    check_frame_len, ErrorCode, FrameError, Request, Response, WireShardStats, WireStats,
+};
+use fews_engine::{Engine, EngineConfig, ModelSpec};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection worker blocks in `read` before re-checking the
+/// shutdown flag. Bounds how late a worker can notice server shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Upper bound on one response write. A peer that requests a large reply
+/// and then never drains its socket would otherwise pin its worker in
+/// `write_all` forever — and with it the acceptor's shutdown join.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct Shared {
+    engine: Mutex<Engine>,
+    cfg: EngineConfig,
+    shutdown: AtomicBool,
+}
+
+/// A running `fews-net` server. Dropping it (or calling [`Server::join`]
+/// after a client sent [`Request::Shutdown`]) tears everything down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), start the
+    /// engine and the acceptor thread, and return the running server.
+    pub fn start(cfg: EngineConfig, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(Engine::start(cfg)),
+            cfg,
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fews-net-acceptor".into())
+                .spawn(move || run_acceptor(listener, shared))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown request has been received.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown from the owning side (equivalent to a client's
+    /// [`Request::Shutdown`], minus the response frame).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until the server has shut down (acceptor and every connection
+    /// worker joined). Returns the number of updates ingested over the
+    /// server's lifetime.
+    pub fn join(mut self) -> u64 {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> u64 {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let mut engine = self.shared.engine.lock().expect("engine mutex");
+        engine.stats().ingested
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.shutdown();
+            self.join_inner();
+        }
+    }
+}
+
+fn run_acceptor(listener: TcpListener, shared: Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // Accept failures (e.g. fd exhaustion from too many concurrent
+            // connections) tend to persist; back off instead of spinning.
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        let shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("fews-net-conn".into())
+            .spawn(move || serve_connection(stream, shared))
+            .expect("spawn connection worker");
+        workers.push(worker);
+        // Reap finished workers so the handle list stays bounded.
+        workers.retain(|w| !w.is_finished());
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// What `read_full` observed at a frame boundary.
+enum ReadOutcome {
+    /// Buffer filled completely.
+    Full,
+    /// Clean EOF before the first byte — the peer is done.
+    CleanEof,
+    /// EOF or error partway through — the frame is truncated.
+    Truncated,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+/// Fill `buf` from `stream`, tolerating read timeouts (used as a shutdown
+/// poll) without ever losing bytes: the fill position survives timeouts.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOutcome {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Truncated
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return ReadOutcome::ShuttingDown;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Truncated,
+        }
+    }
+    ReadOutcome::Full
+}
+
+/// Best-effort error reply; the peer may already be gone.
+fn send_error(stream: &mut TcpStream, code: ErrorCode, message: String) {
+    let _ = stream.write_all(&Response::Error { code, message }.encode());
+}
+
+fn error_code_for(err: &FrameError) -> ErrorCode {
+    match err {
+        FrameError::Oversized(_) => ErrorCode::Oversized,
+        FrameError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+        FrameError::UnknownTag(_) => ErrorCode::UnknownTag,
+        FrameError::Malformed(_) => ErrorCode::Malformed,
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut header = [0u8; 4];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_full(&mut stream, &mut header, &shared) {
+            ReadOutcome::Full => {}
+            ReadOutcome::CleanEof | ReadOutcome::ShuttingDown => return,
+            ReadOutcome::Truncated => return, // not even a header to answer
+        }
+        let declared = u32::from_le_bytes(header) as u64;
+        let len = match check_frame_len(declared) {
+            Ok(len) => len,
+            Err(e) => {
+                // Cannot resync a stream with a bogus length: answer, close.
+                send_error(&mut stream, ErrorCode::Oversized, e.to_string());
+                return;
+            }
+        };
+        let mut payload = vec![0u8; len];
+        match read_full(&mut stream, &mut payload, &shared) {
+            ReadOutcome::Full => {}
+            ReadOutcome::ShuttingDown => return,
+            ReadOutcome::CleanEof | ReadOutcome::Truncated => {
+                send_error(
+                    &mut stream,
+                    ErrorCode::Truncated,
+                    "frame truncated before declared length".into(),
+                );
+                return;
+            }
+        }
+        // The frame is complete, so any decode failure leaves the stream in
+        // sync: report it and keep serving this connection.
+        let request = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                send_error(&mut stream, error_code_for(&e), e.to_string());
+                continue;
+            }
+        };
+        let response = handle_request(request, &shared);
+        let bye = matches!(response, Response::Bye);
+        if bye {
+            // Commit the shutdown before answering: a peer that dies without
+            // reading its Bye must not un-shutdown the server.
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        let write_ok = stream.write_all(&response.encode()).is_ok();
+        if bye {
+            // Wake the acceptor; its own listener address is the only
+            // guaranteed-listening endpoint.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+        if !write_ok {
+            return;
+        }
+    }
+}
+
+/// Validate an ingest batch against the serving model. Returns the first
+/// violation; on `Ok` every update is safe to push.
+fn validate_batch(cfg: &EngineConfig, updates: &[fews_stream::Update]) -> Result<(), String> {
+    match cfg.model {
+        ModelSpec::InsertOnly(c) => {
+            for u in updates {
+                if u.delta < 0 {
+                    return Err(format!(
+                        "deletion of ({}, {}) into an insertion-only model",
+                        u.edge.a, u.edge.b
+                    ));
+                }
+                if u.edge.a >= c.n {
+                    return Err(format!("vertex {} out of range n={}", u.edge.a, c.n));
+                }
+            }
+        }
+        ModelSpec::InsertDelete(c) => {
+            for u in updates {
+                if u.edge.a >= c.n {
+                    return Err(format!("vertex {} out of range n={}", u.edge.a, c.n));
+                }
+                if u.edge.b >= c.m {
+                    return Err(format!("witness {} out of range m={}", u.edge.b, c.m));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn handle_request(request: Request, shared: &Shared) -> Response {
+    match request {
+        Request::IngestBatch(updates) => {
+            if let Err(message) = validate_batch(&shared.cfg, &updates) {
+                return Response::Error {
+                    code: ErrorCode::BadUpdate,
+                    message,
+                };
+            }
+            let count = updates.len() as u64;
+            let mut engine = shared.engine.lock().expect("engine mutex");
+            engine.ingest(updates);
+            Response::Ingested(count)
+        }
+        Request::Certified => {
+            let mut engine = shared.engine.lock().expect("engine mutex");
+            Response::Answer(engine.view().certified())
+        }
+        Request::Certify(v) => {
+            let mut engine = shared.engine.lock().expect("engine mutex");
+            Response::Answer(engine.view().certify(v))
+        }
+        Request::Top(k) => {
+            let mut engine = shared.engine.lock().expect("engine mutex");
+            Response::Top(engine.view().top(k.min(u32::MAX as u64) as usize))
+        }
+        Request::Stats => {
+            let mut engine = shared.engine.lock().expect("engine mutex");
+            let stats = engine.stats();
+            Response::Stats(WireStats {
+                ingested: stats.ingested,
+                uptime_micros: stats.uptime.as_micros() as u64,
+                witness_target: shared.cfg.witness_target() as u64,
+                shards: stats
+                    .shards
+                    .iter()
+                    .map(|s| WireShardStats {
+                        partitions: s.partitions as u64,
+                        processed: s.processed,
+                        batches: s.batches,
+                        space_bytes: s.space_bytes as u64,
+                    })
+                    .collect(),
+            })
+        }
+        Request::Checkpoint => {
+            let mut engine = shared.engine.lock().expect("engine mutex");
+            let bytes = engine.checkpoint();
+            if !crate::proto::body_fits(bytes.len()) {
+                return Response::Error {
+                    code: ErrorCode::Oversized,
+                    message: format!(
+                        "checkpoint is {} bytes, larger than one frame can carry",
+                        bytes.len()
+                    ),
+                };
+            }
+            Response::Checkpoint(bytes)
+        }
+        Request::Restore(bytes) => {
+            let mut engine = shared.engine.lock().expect("engine mutex");
+            match engine.restore_checkpoint(&bytes) {
+                Ok(()) => Response::Restored,
+                Err(e) => Response::Error {
+                    code: ErrorCode::Checkpoint,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Shutdown => Response::Bye,
+    }
+}

@@ -1,0 +1,159 @@
+//! Checkpoint-over-the-wire round trips: `checkpoint` request bytes from one
+//! server restore into a fresh engine behind another server — at a different
+//! shard count — with identical certified sets. Covers both models (the
+//! insertion-only `MemoryState` payloads and the insertion-deletion wire-v2
+//! tagged-container paths from PR 3).
+
+use fews_core::insertion_deletion::IdConfig;
+use fews_core::insertion_only::FewwConfig;
+use fews_engine::EngineConfig;
+use fews_net::{Client, ClientError, ErrorCode, Server};
+use fews_stream::update::as_insertions;
+use fews_stream::Update;
+
+const SEED: u64 = 2021;
+
+fn serve(cfg: EngineConfig) -> (Server, Client) {
+    let server = Server::start(cfg, "127.0.0.1:0").expect("bind");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    (server, client)
+}
+
+fn shut(server: Server, mut client: Client) {
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn insert_only_checkpoint_restores_across_shard_counts() {
+    let g = fews_stream::gen::planted::planted_star(
+        96,
+        1 << 14,
+        24,
+        3,
+        &mut fews_common::rng::rng_for(SEED, 11),
+    );
+    let updates = as_insertions(&g.edges);
+    let make = |k: usize| {
+        EngineConfig::insert_only(FewwConfig::new(96, 24, 2), SEED)
+            .with_partitions(8)
+            .with_shards(k)
+            .with_batch(64)
+    };
+
+    // Server A at K = 2: ingest over the wire, fetch the checkpoint.
+    let (server_a, mut a) = serve(make(2));
+    let half = updates.len() / 2;
+    for chunk in updates[..half].chunks(128) {
+        a.ingest_batch(chunk).expect("ingest");
+    }
+    let mid_ckpt = a.checkpoint().expect("checkpoint");
+    let mid_certified = a.certified().expect("certified");
+
+    // Server B at K = 3: restore the wire bytes into a fresh engine, then
+    // continue the stream. Answers and checkpoints must match a server that
+    // saw the whole stream uninterrupted.
+    let (server_b, mut b) = serve(make(3));
+    b.restore(&mid_ckpt).expect("restore over the wire");
+    assert_eq!(
+        b.certified().expect("certified"),
+        mid_certified,
+        "restored engine answers differently at the restore point"
+    );
+    for chunk in updates[half..].chunks(128) {
+        b.ingest_batch(chunk).expect("ingest rest");
+    }
+
+    let (server_c, mut c) = serve(make(4));
+    for chunk in updates.chunks(128) {
+        c.ingest_batch(chunk).expect("ingest full");
+    }
+    assert_eq!(
+        b.certified().expect("certified"),
+        c.certified().expect("certified"),
+        "resumed run certified differently"
+    );
+    assert_eq!(
+        b.checkpoint().expect("checkpoint"),
+        c.checkpoint().expect("checkpoint"),
+        "resumed run checkpoint diverged"
+    );
+    shut(server_a, a);
+    shut(server_b, b);
+    shut(server_c, c);
+}
+
+#[test]
+fn insert_delete_wire_v2_checkpoint_round_trips() {
+    let log = fews_stream::gen::dblog::db_log(
+        32,
+        1 << 10,
+        12,
+        2,
+        0.4,
+        &mut fews_common::rng::rng_for(SEED, 12),
+    );
+    let cfg = IdConfig::with_scale(32, 1 << 10, 12, 2, 0.03);
+    let make = |k: usize| {
+        EngineConfig::insert_delete(cfg, SEED)
+            .with_partitions(4)
+            .with_shards(k)
+            .with_batch(64)
+    };
+
+    let (server_a, mut a) = serve(make(1));
+    for chunk in log.updates.chunks(256) {
+        a.ingest_batch(chunk).expect("ingest id");
+    }
+    let ckpt = a.checkpoint().expect("id checkpoint");
+    let certified = a.certified().expect("certified");
+    let top = a.top(4).expect("top");
+
+    // Restore at a different shard count: certified sets, rankings, and the
+    // re-serialized checkpoint must all be byte-identical.
+    let (server_b, mut b) = serve(make(4));
+    b.restore(&ckpt).expect("restore id checkpoint");
+    assert_eq!(b.certified().expect("certified"), certified);
+    assert_eq!(b.top(4).expect("top"), top);
+    assert_eq!(b.checkpoint().expect("checkpoint"), ckpt);
+    shut(server_a, a);
+    shut(server_b, b);
+}
+
+#[test]
+fn restore_rejects_garbage_and_mismatches_over_the_wire() {
+    let make = |n: u32| {
+        EngineConfig::insert_only(FewwConfig::new(n, 8, 2), SEED)
+            .with_partitions(4)
+            .with_shards(2)
+            .with_batch(16)
+    };
+    let (server, mut client) = serve(make(64));
+    // Garbage bytes.
+    match client.restore(b"definitely not a checkpoint") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Checkpoint),
+        other => panic!("expected checkpoint error, got {other:?}"),
+    }
+    // A checkpoint from a mismatched configuration.
+    let (other_server, mut other) = serve(make(128));
+    let foreign = other.checkpoint().expect("foreign checkpoint");
+    match client.restore(&foreign) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Checkpoint);
+            assert!(message.contains("mismatch"), "message: {message}");
+        }
+        other => panic!("expected config mismatch, got {other:?}"),
+    }
+    // The server still ingests and answers after rejected restores.
+    let updates: Vec<Update> = (0..8)
+        .map(|b| Update::insert(fews_stream::Edge::new(7, b)))
+        .collect();
+    client.ingest_batch(&updates).expect("ingest after reject");
+    let nb = client
+        .certified()
+        .expect("query")
+        .expect("vertex 7 certifies");
+    assert_eq!(nb.vertex, 7);
+    shut(other_server, other);
+    shut(server, client);
+}

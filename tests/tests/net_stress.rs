@@ -1,0 +1,170 @@
+//! Concurrency stress over the socket: C client threads hammer queries
+//! while a separate connection streams ingest. After quiesce, every answer
+//! the server gives — certified set, top-k, checkpoint bytes — must be
+//! **byte-identical** to a single-threaded `fews-core` reference, at every
+//! (client count, shard count) combination.
+//!
+//! This extends `engine_equivalence.rs` across the wire: on top of threads,
+//! batching, and bounded channels, the network layer adds frame codecs,
+//! per-connection workers, and query-triggered mid-stream flushes — none of
+//! which may change a byte of the final state.
+
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_core::neighbourhood::Neighbourhood;
+use fews_core::wire::MemoryState;
+use fews_engine::{partition_of, partition_seed, EngineConfig};
+use fews_net::{Client, Server};
+use fews_stream::update::as_insertions;
+use fews_stream::Update;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PARTITIONS: usize = 8;
+const SEED: u64 = 2021;
+
+fn workload() -> (FewwConfig, Vec<Update>) {
+    // A 20k-update zipf stream keeps ingest in flight long enough for the
+    // query clients to genuinely race it.
+    let s = fews_stream::gen::zipf::zipf_stream(
+        256,
+        1.2,
+        20_000,
+        &mut fews_common::rng::rng_for(SEED, 2),
+    );
+    let d = (*s.frequencies.iter().max().expect("n >= 1")).max(1);
+    (FewwConfig::new(256, d, 2), as_insertions(&s.edges))
+}
+
+/// Single-threaded reference: P partition instances fed in stream order,
+/// merged through the `fews-core` hooks (no engine, no network).
+fn reference(cfg: FewwConfig, updates: &[Update]) -> (MemoryState, Option<Neighbourhood>) {
+    let mut parts: Vec<FewwInsertOnly> = (0..PARTITIONS)
+        .map(|p| FewwInsertOnly::new(cfg, partition_seed(SEED, p as u32)))
+        .collect();
+    for u in updates {
+        parts[partition_of(u.edge.a, PARTITIONS)].push(u.edge);
+    }
+    let mut merged = parts[0].snapshot();
+    for alg in &parts[1..] {
+        merged.merge(&alg.snapshot());
+    }
+    let certified = merged.certified();
+    (merged, certified)
+}
+
+#[test]
+fn queries_racing_ingest_cannot_change_final_bytes() {
+    let (cfg, updates) = workload();
+    let (reference_state, reference_certified) = reference(cfg, &updates);
+    let reference_top: Vec<Neighbourhood> = reference_state.top(5);
+
+    let mut checkpoints: Vec<Vec<u8>> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        for clients in [1usize, 2, 4] {
+            let server = Server::start(
+                EngineConfig::insert_only(cfg, SEED)
+                    .with_partitions(PARTITIONS)
+                    .with_shards(shards)
+                    .with_batch(64),
+                "127.0.0.1:0",
+            )
+            .expect("bind");
+            let addr = server.local_addr();
+            let done = Arc::new(AtomicBool::new(false));
+            let queries_run = Arc::new(AtomicU64::new(0));
+
+            // C query clients race the ingest connection. Mid-flight answers
+            // are point-in-time views over a prefix of the stream: assert
+            // well-formedness (the strong byte assertions come after
+            // quiesce). Every query also forces partial-batch flushes inside
+            // the engine — the perturbation this test exists to exercise.
+            let query_threads: Vec<_> = (0..clients)
+                .map(|c| {
+                    let done = Arc::clone(&done);
+                    let queries_run = Arc::clone(&queries_run);
+                    std::thread::spawn(move || {
+                        let mut client = Client::connect(addr).expect("query client connect");
+                        let mut rounds = 0u64;
+                        while !done.load(Ordering::Relaxed) {
+                            match rounds % 4 {
+                                0 => {
+                                    if let Some(nb) = client.certified().expect("certified") {
+                                        assert!(nb.size() >= cfg.witness_target() as usize);
+                                    }
+                                }
+                                1 => {
+                                    let top = client.top(3).expect("top");
+                                    assert!(top.len() <= 3);
+                                    assert!(top.windows(2).all(|w| w[0].size() >= w[1].size()));
+                                }
+                                2 => {
+                                    if let Some(nb) = client.certify(c as u32).expect("certify") {
+                                        assert_eq!(nb.vertex, c as u32);
+                                    }
+                                }
+                                _ => {
+                                    let stats = client.stats().expect("stats");
+                                    assert_eq!(stats.shards.len(), shards);
+                                }
+                            }
+                            rounds += 1;
+                        }
+                        queries_run.fetch_add(rounds, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+
+            // Ingest the full stream in small batches on its own connection.
+            let mut ingest = Client::connect(addr).expect("ingest client connect");
+            for chunk in updates.chunks(97) {
+                assert_eq!(
+                    ingest.ingest_batch(chunk).expect("ingest"),
+                    chunk.len() as u64
+                );
+            }
+            // Quiesce: the stats round-trip is a barrier over every shard.
+            let stats = ingest.stats().expect("stats barrier");
+            assert_eq!(stats.ingested, updates.len() as u64);
+            done.store(true, Ordering::Relaxed);
+            for t in query_threads {
+                t.join().expect("query thread panicked");
+            }
+            assert!(
+                queries_run.load(Ordering::Relaxed) > 0,
+                "query clients never got a request in"
+            );
+
+            // Post-quiesce answers must be byte-identical to the reference.
+            let label = format!("K={shards}, C={clients}");
+            assert_eq!(
+                ingest.certified().expect("certified"),
+                reference_certified,
+                "{label}: certified diverged"
+            );
+            assert_eq!(
+                ingest.top(5).expect("top"),
+                reference_top,
+                "{label}: top-5 diverged"
+            );
+            let ckpt = ingest.checkpoint().expect("checkpoint");
+            ingest.shutdown().expect("shutdown");
+            server.join();
+            checkpoints.push(ckpt);
+        }
+    }
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] == w[1]),
+        "checkpoint bytes differ across (K, C) combinations"
+    );
+    // And the over-the-wire checkpoint, merged partition-for-partition,
+    // reproduces the reference state exactly.
+    let (_, payloads) = fews_engine::checkpoint::decode(&checkpoints[0]).expect("decode");
+    let mut states = payloads.iter().map(|(p, bytes)| {
+        MemoryState::decode(bytes).unwrap_or_else(|| panic!("partition {p} snapshot undecodable"))
+    });
+    let mut rebuilt = states.next().expect("at least one partition");
+    for s in states {
+        rebuilt.merge(&s);
+    }
+    assert_eq!(rebuilt, reference_state, "checkpoint state diverged");
+}
