@@ -3,6 +3,7 @@
 pub mod engine;
 pub mod insertion_deletion;
 pub mod insertion_only;
+pub mod latency;
 pub mod lower_bounds;
 pub mod misc;
 pub mod net;
@@ -10,6 +11,17 @@ pub mod sketch;
 
 use crate::table::Table;
 use std::path::PathBuf;
+
+/// Nearest-rank percentile over an already-sorted sample (shared by the
+/// serving experiments so `BENCH_net.json` and `BENCH_latency.json`
+/// percentiles stay comparable).
+pub(crate) fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
 
 /// Shared experiment context.
 #[derive(Debug, Clone)]
@@ -20,6 +32,10 @@ pub struct ExpCtx {
     pub quick: bool,
     /// Master seed; every trial derives from it.
     pub seed: u64,
+    /// Override for the serving experiments' query cadence: one timed query
+    /// per this many ingest frames (`--query-every N`). `None` = each
+    /// workload's tuned default.
+    pub query_every: Option<usize>,
 }
 
 impl ExpCtx {
@@ -151,6 +167,11 @@ pub fn registry() -> Vec<Experiment> {
             claim: "fews-net: loopback TCP serving — mixed ingest+query ops/s, p50/p99 latency, bytes/request (writes BENCH_net.json)",
             run: net::net_exp,
         },
+        Experiment {
+            id: "latency",
+            claim: "fews-net snapshot serving: query p50/p99 under sustained ingest + O(1) quiesced repeats (writes BENCH_latency.json)",
+            run: latency::latency_exp,
+        },
     ]
 }
 
@@ -166,7 +187,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 21);
+        assert_eq!(n, 22);
     }
 
     #[test]
@@ -175,6 +196,7 @@ mod tests {
             out_dir: std::env::temp_dir(),
             quick: true,
             seed: 1,
+            query_every: None,
         };
         assert_eq!(ctx.trials(1000, 10), 10);
         let full = ExpCtx {

@@ -233,6 +233,33 @@ impl IdBackend {
     }
 }
 
+/// Generation sentinel that can never equal a live [`SamplerBank`]
+/// generation reachable from 0 by increments — marks a cache slot stale.
+const STALE: u64 = u64::MAX;
+
+/// Memoized per-bank decode results for the banked backend, validated by
+/// [`SamplerBank::generation`]: a slot is reused verbatim while its bank's
+/// generation is unchanged, so a query after `k` updates re-decodes only the
+/// banks those updates touched (plus the edge bank, which every update
+/// touches) instead of the whole sampler file.
+#[derive(Debug)]
+struct DecodeCache {
+    /// Aligned with `vertex_banks`: generation at decode + the witnesses
+    /// (positive net count) that bank currently recovers.
+    vertex: Vec<(u64, Vec<u64>)>,
+    /// Edge bank: generation at decode + recovered `(a, b)` pairs.
+    edge: (u64, Vec<(u32, u64)>),
+}
+
+impl DecodeCache {
+    fn stale(vertex_banks: usize) -> Self {
+        DecodeCache {
+            vertex: (0..vertex_banks).map(|_| (STALE, Vec::new())).collect(),
+            edge: (STALE, Vec::new()),
+        }
+    }
+}
+
 /// Merge recovered `(vertex, witness)` pairs into the pooled form: sorted by
 /// vertex, witness lists sorted and deduplicated — all in place, no
 /// intermediate hash maps.
@@ -273,6 +300,9 @@ pub struct FewwInsertDelete {
     seed: u64,
     pub(crate) backend: IdBackend,
     pushed: u64,
+    /// Lazily built; dropped whenever the backend is rebuilt. Generation
+    /// tags keep it correct across in-place restores.
+    decode_cache: Option<DecodeCache>,
 }
 
 impl FewwInsertDelete {
@@ -285,6 +315,7 @@ impl FewwInsertDelete {
             seed,
             backend: IdBackend::banked(config, seed),
             pushed: 0,
+            decode_cache: None,
         }
     }
 
@@ -297,6 +328,7 @@ impl FewwInsertDelete {
             seed,
             backend: IdBackend::reference(config, seed),
             pushed: 0,
+            decode_cache: None,
         }
     }
 
@@ -315,6 +347,9 @@ impl FewwInsertDelete {
         if self.backend_kind() == kind {
             return;
         }
+        // Rebuilt banks restart at generation 0, which a stale cache entry
+        // could otherwise mistake for "unchanged".
+        self.decode_cache = None;
         self.backend = match kind {
             IdBackendKind::Banked => IdBackend::banked(self.config, self.seed),
             IdBackendKind::Reference => IdBackend::reference(self.config, self.seed),
@@ -424,6 +459,59 @@ impl FewwInsertDelete {
     pub fn pooled_witnesses(&self) -> Vec<(u32, Vec<u64>)> {
         let mut pairs = self.vertex_strategy_pairs();
         pairs.extend(self.edge_strategy_pairs());
+        group_pairs(pairs)
+    }
+
+    /// Incremental [`Self::pooled_witnesses`]: per-bank decode results are
+    /// memoized under the bank's [`SamplerBank::generation`], so only banks
+    /// whose registers changed since the previous call are re-decoded — the
+    /// cost is O(banks touched since the last query), not O(total state).
+    /// Output is identical to `pooled_witnesses` (the incremental-view
+    /// differential suites pin this). The reference backend has no flat
+    /// banks to tag and falls back to the from-scratch path.
+    pub fn pooled_witnesses_cached(&mut self) -> Vec<(u32, Vec<u64>)> {
+        let IdBackend::Banked {
+            vertex_banks,
+            edge_bank,
+            ..
+        } = &self.backend
+        else {
+            return self.pooled_witnesses();
+        };
+        let cache = match &mut self.decode_cache {
+            Some(c) if c.vertex.len() == vertex_banks.len() => c,
+            slot => slot.insert(DecodeCache::stale(vertex_banks.len())),
+        };
+        for ((gen, witnesses), (_, bank)) in cache.vertex.iter_mut().zip(vertex_banks) {
+            if *gen != bank.generation() {
+                witnesses.clear();
+                for i in 0..bank.len() {
+                    if let Some((b, c)) = bank.sample(i) {
+                        if c > 0 {
+                            witnesses.push(b);
+                        }
+                    }
+                }
+                *gen = bank.generation();
+            }
+        }
+        if cache.edge.0 != edge_bank.generation() {
+            cache.edge.1.clear();
+            for i in 0..edge_bank.len() {
+                if let Some((idx, c)) = edge_bank.sample(i) {
+                    if c > 0 {
+                        let e = Edge::from_linear_index(idx, self.config.m);
+                        cache.edge.1.push((e.a, e.b));
+                    }
+                }
+            }
+            cache.edge.0 = edge_bank.generation();
+        }
+        let mut pairs: Vec<(u32, u64)> = Vec::new();
+        for ((_, witnesses), (a, _)) in cache.vertex.iter().zip(vertex_banks) {
+            pairs.extend(witnesses.iter().map(|&b| (*a, b)));
+        }
+        pairs.extend_from_slice(&cache.edge.1);
         group_pairs(pairs)
     }
 

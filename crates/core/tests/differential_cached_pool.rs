@@ -1,0 +1,93 @@
+//! Differential suite: `FewwInsertDelete::pooled_witnesses_cached` (the
+//! generation-validated per-bank decode memo behind the engine's
+//! incremental view) must equal the from-scratch `pooled_witnesses` after
+//! every prefix of arbitrary turnstile streams — including queries
+//! interleaved mid-stream (which is exactly what makes the memo dangerous:
+//! a stale entry would surface as a wrong later answer, not a crash) and
+//! across snapshot/restore (which rebuilds registers in place and must
+//! invalidate affected entries via the bank generation).
+
+use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
+use fews_stream::{Edge, Update};
+use proptest::prelude::*;
+
+fn small_cfg() -> IdConfig {
+    IdConfig::with_scale(48, 2048, 12, 3, 0.05)
+}
+
+fn assert_cached_matches(alg: &mut FewwInsertDelete, label: &str) {
+    let fresh = alg.pooled_witnesses();
+    let cached = alg.pooled_witnesses_cached();
+    assert_eq!(cached, fresh, "{label}: cached pool diverged");
+    // Immediately repeated: every bank is clean, everything served from the
+    // memo — still identical.
+    assert_eq!(
+        alg.pooled_witnesses_cached(),
+        fresh,
+        "{label}: clean re-query diverged"
+    );
+}
+
+#[test]
+fn interleaved_queries_and_restore_stay_exact() {
+    for seed in [3u64, 17, 91] {
+        let mut alg = FewwInsertDelete::new(small_cfg(), seed);
+        // Warm the cache on the empty state.
+        assert_cached_matches(&mut alg, "empty");
+        // Stream with queries every 40 updates and a deletion tail.
+        let updates: Vec<Update> = (0..240u64)
+            .map(|j| {
+                let e = Edge::new((j * 7 % 48) as u32, j * 131 % 2048);
+                if j % 5 == 4 {
+                    Update::delete(Edge::new(
+                        (j.wrapping_sub(4) * 7 % 48) as u32,
+                        (j - 4) * 131 % 2048,
+                    ))
+                } else {
+                    Update::insert(e)
+                }
+            })
+            .collect();
+        for (i, u) in updates.iter().enumerate() {
+            alg.push(*u);
+            if i % 40 == 39 {
+                assert_cached_matches(&mut alg, &format!("seed {seed} prefix {i}"));
+            }
+        }
+        // Snapshot → restore into an instance with a warm cache of a
+        // different state: the generation bump must invalidate it.
+        let snap = alg.snapshot();
+        let mut other = FewwInsertDelete::new(small_cfg(), seed);
+        other.push(Update::insert(Edge::new(1, 1)));
+        let _ = other.pooled_witnesses_cached(); // warm on divergent state
+        other.restore_from(&snap);
+        assert_eq!(
+            other.pooled_witnesses_cached(),
+            alg.pooled_witnesses(),
+            "seed {seed}: restore served stale cached decode"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_streams_with_random_query_points(
+        seed in 0u64..500,
+        raw in proptest::collection::vec((0u32..48, 0u64..2048, any::<bool>()), 5..150),
+        query_every in 10usize..40,
+    ) {
+        let mut alg = FewwInsertDelete::new(small_cfg(), seed);
+        for (i, &(a, b, del)) in raw.iter().enumerate() {
+            let e = Edge::new(a, b);
+            alg.push(if del { Update::delete(e) } else { Update::insert(e) });
+            if i % query_every == query_every - 1 {
+                let fresh = alg.pooled_witnesses();
+                prop_assert_eq!(alg.pooled_witnesses_cached(), fresh, "prefix {}", i);
+            }
+        }
+        let fresh = alg.pooled_witnesses();
+        prop_assert_eq!(alg.pooled_witnesses_cached(), fresh, "final");
+    }
+}

@@ -1,11 +1,12 @@
 //! The engine front end: routing, backpressure, queries, checkpointing.
 
 use crate::checkpoint::{self, CheckpointError};
-use crate::shard::{run_shard, PartView, ShardMsg};
+use crate::shard::{run_shard, PartView, ShardMsg, ShardStatsMsg};
 use crate::view::GlobalView;
 use crate::{partition_of, EngineConfig, ModelSpec};
 use fews_stream::Update;
 use std::sync::mpsc::{channel, sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -62,6 +63,18 @@ pub struct Engine {
     handles: Vec<JoinHandle<()>>,
     ingested: u64,
     started: Instant,
+    /// Per-partition update epoch: how many updates [`Engine::push`] has
+    /// routed to each partition. The shard applies them asynchronously, but
+    /// the channel is FIFO, so after a reply round-trip the partition's
+    /// state reflects exactly this epoch.
+    epochs: Vec<u64>,
+    /// Per-partition memo of the partition's view contribution, tagged with
+    /// the epoch it was built at. `None` = never gathered / invalidated.
+    /// (Not part of the `Debug` surface — `PartView` is an internal value.)
+    memos: Vec<Option<(u64, PartView)>>,
+    /// The combined global view assembled from the memos; shared out by
+    /// [`Engine::view`] so an unchanged engine answers queries in O(1).
+    cached_view: Option<Arc<GlobalView>>,
 }
 
 impl Engine {
@@ -84,9 +97,12 @@ impl Engine {
             senders,
             pending: vec![Vec::with_capacity(cfg.batch); cfg.shards],
             handles,
-            cfg,
             ingested: 0,
             started: Instant::now(),
+            epochs: vec![0; cfg.partitions],
+            memos: (0..cfg.partitions).map(|_| None).collect(),
+            cached_view: None,
+            cfg,
         }
     }
 
@@ -99,7 +115,9 @@ impl Engine {
     /// backpressure when the shard's queue is full) once it reaches
     /// `cfg.batch` updates.
     pub fn push(&mut self, u: Update) {
-        let shard = partition_of(u.edge.a, self.cfg.partitions) % self.cfg.shards;
+        let partition = partition_of(u.edge.a, self.cfg.partitions);
+        let shard = partition % self.cfg.shards;
+        self.epochs[partition] += 1;
         self.pending[shard].push(u);
         self.ingested += 1;
         if self.pending[shard].len() >= self.cfg.batch {
@@ -130,42 +148,119 @@ impl Engine {
             .expect("shard worker died");
     }
 
-    /// Flush and fold every partition's state into a [`GlobalView`]. The
-    /// reply round-trip doubles as a barrier: the view reflects every update
-    /// pushed before the call.
-    pub fn view(&mut self) -> GlobalView {
+    /// Whether every partition memo is up to date with the routed epochs
+    /// (and a combined view has been assembled from them).
+    fn view_is_current(&self) -> bool {
+        self.cached_view.is_some()
+            && self
+                .memos
+                .iter()
+                .zip(&self.epochs)
+                .all(|(memo, &epoch)| matches!(memo, Some((e, _)) if *e == epoch))
+    }
+
+    /// Flush, bring stale partition memos up to date, and collect shard
+    /// counters — all in **one** reply round-trip per shard (a full
+    /// barrier). Only partitions whose epoch advanced since their memo was
+    /// built are re-gathered; for the insertion-deletion model the shard
+    /// additionally re-decodes only the sampler banks those updates touched.
+    fn sync(&mut self) -> Vec<ShardStatsMsg> {
         self.flush();
-        let mut parts: Vec<(u32, PartView)> =
-            self.gather(ShardMsg::View).into_iter().flatten().collect();
-        parts.sort_by_key(|&(p, _)| p);
+        let mut dirty_by_shard: Vec<Vec<u32>> = vec![Vec::new(); self.cfg.shards];
+        let mut any_dirty = false;
+        for p in 0..self.cfg.partitions {
+            let clean = matches!(&self.memos[p], Some((e, _)) if *e == self.epochs[p]);
+            if !clean {
+                dirty_by_shard[p % self.cfg.shards].push(p as u32);
+                any_dirty = true;
+            }
+        }
+        let mut replies = Vec::with_capacity(self.cfg.shards);
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = channel();
+            sender
+                .send(ShardMsg::Refresh(
+                    std::mem::take(&mut dirty_by_shard[shard]),
+                    tx,
+                ))
+                .expect("shard worker died");
+            replies.push(rx);
+        }
+        let mut stats = Vec::with_capacity(self.cfg.shards);
+        for rx in replies {
+            let (views, shard_stats) = rx.recv().expect("shard worker died");
+            for (p, v) in views {
+                self.memos[p as usize] = Some((self.epochs[p as usize], v));
+            }
+            stats.push(shard_stats);
+        }
+        if any_dirty || self.cached_view.is_none() {
+            self.cached_view = Some(Arc::new(self.assemble_view()));
+        }
+        stats
+    }
+
+    /// Fold the (complete, current) partition memos into one [`GlobalView`]
+    /// — ascending partition order. Insertion-only contributions are
+    /// `Arc`-shared into a segmented view (no merge is materialized, and
+    /// unchanged partitions are not re-copied); queries on the segmented
+    /// view scan `(run, partition, slot)` — exactly the entry order the
+    /// pre-memo engine's materialized merge produced.
+    fn assemble_view(&self) -> GlobalView {
         let d2 = self.cfg.witness_target();
         match self.cfg.model {
             ModelSpec::InsertOnly(_) => {
-                let mut states = parts.into_iter().map(|(_, v)| match v {
-                    PartView::Io(state) => state,
-                    PartView::Id(_) => unreachable!("model mismatch"),
-                });
-                let mut merged = states.next().expect("at least one partition");
-                for state in states {
-                    merged.merge(&state);
-                }
-                GlobalView::InsertOnly { state: merged, d2 }
+                let parts = self
+                    .memos
+                    .iter()
+                    .map(|m| match m {
+                        Some((_, PartView::Io(state))) => Arc::clone(state),
+                        _ => unreachable!("memo missing or model mismatch"),
+                    })
+                    .collect();
+                GlobalView::InsertOnly { parts, d2 }
             }
             ModelSpec::InsertDelete(_) => {
                 // Vertices are partition-disjoint: concatenating the sorted
-                // partition banks in partition order and re-sorting by vertex
-                // is a disjoint union.
-                let mut pooled: Vec<(u32, Vec<u64>)> = parts
-                    .into_iter()
-                    .flat_map(|(_, v)| match v {
-                        PartView::Id(pooled) => pooled,
-                        PartView::Io(_) => unreachable!("model mismatch"),
+                // partition pools in partition order and re-sorting by
+                // vertex is a disjoint union.
+                let mut pooled: Vec<(u32, Vec<u64>)> = self
+                    .memos
+                    .iter()
+                    .flat_map(|m| match m {
+                        Some((_, PartView::Id(pooled))) => pooled.iter().cloned(),
+                        _ => unreachable!("memo missing or model mismatch"),
                     })
                     .collect();
                 pooled.sort_unstable_by_key(|&(a, _)| a);
                 GlobalView::InsertDelete { pooled, d2 }
             }
         }
+    }
+
+    /// The engine-wide query view, rebuilt incrementally: only partitions
+    /// that received updates since the last `view`/`refresh` call are
+    /// re-gathered (a reply round-trip that doubles as a barrier, so the
+    /// view reflects every update pushed before the call); when nothing
+    /// changed the cached [`Arc`] is returned without touching the shards —
+    /// a quiesced engine answers in O(1).
+    pub fn view(&mut self) -> Arc<GlobalView> {
+        if !self.view_is_current() {
+            self.sync();
+        }
+        Arc::clone(self.cached_view.as_ref().expect("view assembled"))
+    }
+
+    /// [`Engine::view`] and [`Engine::stats`] in a single shard round-trip —
+    /// what a serving layer calls after applying a batch to publish one
+    /// consistent (view, counters) snapshot.
+    pub fn refresh(&mut self) -> (Arc<GlobalView>, EngineStats) {
+        let per_shard = self.sync();
+        let stats = self.wrap_stats(per_shard);
+        (
+            Arc::clone(self.cached_view.as_ref().expect("view assembled")),
+            stats,
+        )
     }
 
     /// Flush and serialize every partition into one checkpoint byte string
@@ -225,14 +320,24 @@ impl Engine {
         }
         // Phase 2: commit everywhere (cannot fail).
         for () in self.gather(ShardMsg::CommitRestore) {}
+        // Every partition's state was just replaced wholesale: the memos
+        // and the combined view describe the pre-restore world.
+        self.memos = (0..self.cfg.partitions).map(|_| None).collect();
+        self.cached_view = None;
         Ok(())
     }
 
     /// Flush and collect a consistent statistics snapshot from every shard.
+    /// Does *not* build any views (an empty refresh is a pure barrier), so
+    /// replay paths can use it as a cheap warm-up fence.
     pub fn stats(&mut self) -> EngineStats {
         self.flush();
-        let shards = self
-            .gather(ShardMsg::Stats)
+        let stats = self.gather(|tx| ShardMsg::Refresh(Vec::new(), tx));
+        self.wrap_stats(stats.into_iter().map(|(_, s)| s).collect())
+    }
+
+    fn wrap_stats(&self, per_shard: Vec<ShardStatsMsg>) -> EngineStats {
+        let shards = per_shard
             .into_iter()
             .enumerate()
             .map(|(shard, msg)| ShardStats {

@@ -17,12 +17,18 @@
 //! * **Batched ingest with backpressure.** [`Engine::push`] routes updates
 //!   into per-shard batches delivered over bounded channels; when a worker
 //!   falls behind, `push` blocks instead of buffering unboundedly.
-//! * **Live queries.** [`Engine::view`] flushes in-flight batches and folds
-//!   every partition's state into a [`GlobalView`] — the shard-and-merge
-//!   discipline of mergeable summaries: insertion-only states merge by
-//!   degree-table sum + reservoir union ([`fews_core::wire::MemoryState::merge`]),
-//!   insertion-deletion ℓ₀-banks merge by witness-set union. The view
-//!   answers `certified` / `certify(v)` / `top(k)`.
+//! * **Live queries, incrementally rebuilt.** [`Engine::view`] flushes
+//!   in-flight batches and folds every partition's state into an
+//!   `Arc<`[`GlobalView`]`>` — the shard-and-merge discipline of mergeable
+//!   summaries: insertion-only states merge by degree-table sum + reservoir
+//!   union ([`fews_core::wire::MemoryState::merge`]), insertion-deletion
+//!   ℓ₀-banks merge by witness-set union. The view answers `certified` /
+//!   `certify(v)` / `top(k)`. The engine tracks a per-partition update
+//!   *epoch* and memoizes each partition's contribution: a view call
+//!   re-gathers only partitions whose epoch advanced (and, for
+//!   insertion-deletion, re-decodes only the sampler banks those updates
+//!   touched), so query cost is O(changes since the last view) — and O(1)
+//!   on a quiesced engine.
 //! * **Checkpoint/restore.** [`Engine::checkpoint`] serializes every
 //!   partition through the existing `fews_core::wire` formats into a single
 //!   tagged byte string; [`Engine::restore_checkpoint`] loads it into a

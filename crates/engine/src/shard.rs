@@ -20,8 +20,11 @@ pub(crate) enum ShardMsg {
     /// Apply a routed batch of updates (every update's vertex belongs to
     /// one of this shard's partitions).
     Batch(Vec<Update>),
-    /// Report every owned partition's query view.
-    View(Sender<Vec<(u32, PartView)>>),
+    /// Report the query views of the named (dirty) partitions plus the
+    /// shard's counters, in one reply — the engine's combined
+    /// view-sync/statistics barrier. An empty partition list is a pure
+    /// stats round-trip.
+    Refresh(Vec<u32>, Sender<(Vec<(u32, PartView)>, ShardStatsMsg)>),
     /// Report every owned partition's wire-format snapshot.
     Snapshot(Sender<Vec<(u32, Vec<u8>)>>),
     /// Phase 1 of restore: decode and validate snapshots for the named
@@ -32,14 +35,15 @@ pub(crate) enum ShardMsg {
     CommitRestore(Sender<()>),
     /// Drop any pending snapshots (another shard failed phase 1).
     AbortRestore,
-    /// Report ingest counters and space usage.
-    Stats(Sender<ShardStatsMsg>),
 }
 
-/// One partition's contribution to the global query view.
+/// One partition's contribution to the global query view. `Arc`-shared so
+/// the engine's memo and every published [`crate::GlobalView`] reuse one
+/// copy — an unchanged partition is never re-cloned.
+#[derive(Debug)]
 pub(crate) enum PartView {
     /// Insertion-only: the full memory state (degree table + reservoirs).
-    Io(MemoryState),
+    Io(std::sync::Arc<MemoryState>),
     /// Insertion-deletion: recovered witnesses pooled per vertex.
     Id(Vec<(u32, Vec<u64>)>),
 }
@@ -87,10 +91,13 @@ impl PartitionAlg {
         }
     }
 
-    fn view(&self) -> PartView {
+    /// `&mut` because the insertion-deletion path memoizes per-bank decodes
+    /// inside the algorithm (only banks touched since the last view are
+    /// re-decoded); the reported view itself is a pure value.
+    fn view(&mut self) -> PartView {
         match self {
-            PartitionAlg::Io(alg) => PartView::Io(alg.snapshot()),
-            PartitionAlg::Id(alg) => PartView::Id(alg.pooled_witnesses()),
+            PartitionAlg::Io(alg) => PartView::Io(std::sync::Arc::new(alg.snapshot())),
+            PartitionAlg::Id(alg) => PartView::Id(alg.pooled_witnesses_cached()),
         }
     }
 
@@ -197,9 +204,21 @@ pub(crate) fn run_shard(shard: usize, cfg: EngineConfig, rx: Receiver<ShardMsg>)
                     parts[local(p)].1.push(u);
                 }
             }
-            ShardMsg::View(reply) => {
-                let views = parts.iter().map(|(p, alg)| (*p, alg.view())).collect();
-                let _ = reply.send(views);
+            ShardMsg::Refresh(dirty, reply) => {
+                let views = dirty
+                    .iter()
+                    .map(|&p| {
+                        debug_assert_eq!(p as usize % cfg.shards, shard, "misrouted partition");
+                        (p, parts[local(p as usize)].1.view())
+                    })
+                    .collect();
+                let stats = ShardStatsMsg {
+                    partitions: parts.len(),
+                    processed,
+                    batches,
+                    space_bytes: parts.iter().map(|(_, alg)| alg.space_bytes()).sum(),
+                };
+                let _ = reply.send((views, stats));
             }
             ShardMsg::Snapshot(reply) => {
                 let snaps = parts
@@ -234,14 +253,6 @@ pub(crate) fn run_shard(shard: usize, cfg: EngineConfig, rx: Receiver<ShardMsg>)
                 let _ = reply.send(());
             }
             ShardMsg::AbortRestore => pending_restore = None,
-            ShardMsg::Stats(reply) => {
-                let _ = reply.send(ShardStatsMsg {
-                    partitions: parts.len(),
-                    processed,
-                    batches,
-                    space_bytes: parts.iter().map(|(_, alg)| alg.space_bytes()).sum(),
-                });
-            }
         }
     }
 }

@@ -3,20 +3,35 @@
 use fews_core::neighbourhood::Neighbourhood;
 use fews_core::wire::MemoryState;
 use std::cmp::Reverse;
+use std::sync::Arc;
 
-/// A point-in-time global view of the engine: every partition's state folded
-/// into one mergeable summary, in ascending partition order.
+/// A point-in-time global view of the engine, assembled from every
+/// partition's contribution in ascending partition order.
 ///
 /// The view is a *value* — queries on it are pure, deterministic, and
 /// independent of the shard count that produced it. For the insertion-only
-/// model it holds a merged [`MemoryState`]; for insertion-deletion it holds
-/// the union of the partitions' recovered-witness banks.
-#[derive(Debug)]
+/// model it holds the partitions' [`MemoryState`]s *segmented* (shared
+/// `Arc`s, in partition order) and answers queries by scanning the
+/// segments exactly as [`MemoryState::merge`]-then-query would — the
+/// merged run `r` is the partition-order concatenation of the per-partition
+/// runs `r`, so iterating `(run, partition, slot)` visits the same entries
+/// in the same order without ever materializing the merge. That keeps the
+/// engine's incremental view cheap: an unchanged partition's `Arc` is
+/// reused as-is, so rebuild cost is cloning only the *changed* partitions'
+/// states, not re-concatenating every reservoir. For insertion-deletion it
+/// holds the union of the partitions' recovered-witness pools.
+///
+/// [`crate::Engine::view`] hands the view out as an `Arc<GlobalView>`: the
+/// engine memoizes per-partition contributions by update epoch and rebuilds
+/// only what changed, and a serving layer can publish the `Arc` so query
+/// connections read it without synchronizing with ingest at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GlobalView {
-    /// Merged insertion-only state plus the witness target `d₂`.
+    /// Segmented insertion-only state plus the witness target `d₂`.
     InsertOnly {
-        /// Degree table sum + concatenated reservoirs of every partition.
-        state: MemoryState,
+        /// Every partition's state, ascending partition order. All share
+        /// one run geometry (same run count and `(d₁, d₂, s)` per run).
+        parts: Vec<Arc<MemoryState>>,
         /// The certification threshold `⌊d/α⌋`.
         d2: u32,
     },
@@ -38,6 +53,30 @@ impl GlobalView {
         }
     }
 
+    /// Visit every insertion-only reservoir entry (with its enclosing run,
+    /// for the run-level witness target) in the canonical merged scan order
+    /// — run index major, then partition, then slot — exactly the entry
+    /// order of the materialized [`MemoryState::merge`] of `parts`. Stops
+    /// early when `visit` returns `Some`. Every segmented query goes
+    /// through this one scan, so the order invariant lives in one place.
+    fn scan_io_entries<'a, T>(
+        parts: &'a [Arc<MemoryState>],
+        mut visit: impl FnMut(&'a fews_core::wire::RunState, &'a (u32, Vec<u64>)) -> Option<T>,
+    ) -> Option<T> {
+        let runs = parts.first().map_or(0, |p| p.runs.len());
+        for r in 0..runs {
+            for part in parts {
+                let run = &part.runs[r];
+                for entry in &run.entries {
+                    if let Some(out) = visit(run, entry) {
+                        return Some(out);
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// The engine's certified output, exactly the single-threaded reference
     /// semantics:
     ///
@@ -47,7 +86,9 @@ impl GlobalView {
     ///   witnesses among those reaching `d₂` (ties to the smaller vertex).
     pub fn certified(&self) -> Option<Neighbourhood> {
         match self {
-            GlobalView::InsertOnly { state, .. } => state.certified(),
+            GlobalView::InsertOnly { parts, .. } => Self::scan_io_entries(parts, |run, (a, ws)| {
+                (ws.len() >= run.d2 as usize).then(|| Neighbourhood::new(*a, ws.clone()))
+            }),
             GlobalView::InsertDelete { pooled, d2 } => pooled
                 .iter()
                 .filter(|(_, ws)| ws.len() >= *d2 as usize)
@@ -60,7 +101,18 @@ impl GlobalView {
     /// collected for it, or `None` when no partition holds any.
     pub fn certify(&self, v: u32) -> Option<Neighbourhood> {
         match self {
-            GlobalView::InsertOnly { state, .. } => state.certify(v),
+            GlobalView::InsertOnly { parts, .. } => {
+                // First-longest in merged (run, partition, slot) order —
+                // [`MemoryState::certify`] on the materialized merge.
+                let mut best: Option<&Vec<u64>> = None;
+                Self::scan_io_entries::<()>(parts, |_, (a, ws)| {
+                    if *a == v && best.is_none_or(|b| ws.len() > b.len()) {
+                        best = Some(ws);
+                    }
+                    None
+                });
+                best.map(|ws| Neighbourhood::new(v, ws.clone()))
+            }
             GlobalView::InsertDelete { pooled, .. } => pooled
                 .binary_search_by_key(&v, |&(a, _)| a)
                 .ok()
@@ -72,7 +124,27 @@ impl GlobalView {
     /// to the smaller vertex).
     pub fn top(&self, k: usize) -> Vec<Neighbourhood> {
         match self {
-            GlobalView::InsertOnly { state, .. } => state.top(k),
+            GlobalView::InsertOnly { parts, .. } => {
+                // Longest list per vertex, first-longest kept on ties, in
+                // merged scan order — [`MemoryState::top`] on the
+                // materialized merge.
+                let mut best: std::collections::BTreeMap<u32, &Vec<u64>> =
+                    std::collections::BTreeMap::new();
+                Self::scan_io_entries::<()>(parts, |_, (a, ws)| {
+                    let entry = best.entry(*a).or_insert(ws);
+                    if ws.len() > entry.len() {
+                        *entry = ws;
+                    }
+                    None
+                });
+                let mut ranked: Vec<(u32, &Vec<u64>)> = best.into_iter().collect();
+                ranked.sort_by(|(a1, w1), (a2, w2)| w2.len().cmp(&w1.len()).then(a1.cmp(a2)));
+                ranked
+                    .into_iter()
+                    .take(k)
+                    .map(|(a, ws)| Neighbourhood::new(a, ws.clone()))
+                    .collect()
+            }
             GlobalView::InsertDelete { pooled, .. } => {
                 let mut ranked: Vec<&(u32, Vec<u64>)> = pooled.iter().collect();
                 ranked.sort_by(|(a1, w1), (a2, w2)| w2.len().cmp(&w1.len()).then(a1.cmp(a2)));
@@ -89,7 +161,12 @@ impl GlobalView {
     /// insertion-deletion model has no exact degree table — `None`).
     pub fn degree(&self, v: u32) -> Option<u32> {
         match self {
-            GlobalView::InsertOnly { state, .. } => state.degree(v),
+            // Partition sub-streams are vertex-disjoint, so the merged
+            // degree table is the elementwise sum of the partitions'.
+            GlobalView::InsertOnly { parts, .. } => parts
+                .iter()
+                .map(|p| p.degrees.get(v as usize).copied())
+                .sum::<Option<u32>>(),
             GlobalView::InsertDelete { .. } => None,
         }
     }
@@ -98,6 +175,61 @@ impl GlobalView {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fews_core::wire::RunState;
+
+    /// Hand-built partition states with duplicate vertices across runs,
+    /// ties, and empty runs — the cases where the segmented scan could
+    /// diverge from the materialized merge.
+    fn io_parts() -> Vec<Arc<MemoryState>> {
+        let run = |d2: u32, entries: Vec<(u32, Vec<u64>)>| RunState {
+            d1: 4,
+            d2,
+            s: 4,
+            crossings: 1,
+            entries,
+        };
+        let p0 = MemoryState {
+            degrees: vec![3, 0, 5, 0],
+            runs: vec![
+                run(2, vec![(0, vec![9]), (2, vec![1, 2])]),
+                run(3, vec![(2, vec![1, 2, 3]), (0, vec![7, 8, 9])]),
+            ],
+        };
+        let p1 = MemoryState {
+            degrees: vec![0, 4, 0, 2],
+            runs: vec![
+                run(2, vec![(1, vec![5, 6]), (3, vec![4])]),
+                run(3, Vec::new()),
+            ],
+        };
+        vec![Arc::new(p0), Arc::new(p1)]
+    }
+
+    fn merged(parts: &[Arc<MemoryState>]) -> MemoryState {
+        let mut m = (*parts[0]).clone();
+        for p in &parts[1..] {
+            m.merge(p);
+        }
+        m
+    }
+
+    #[test]
+    fn segmented_io_queries_equal_materialized_merge() {
+        let parts = io_parts();
+        let reference = merged(&parts);
+        let view = GlobalView::InsertOnly {
+            parts: parts.clone(),
+            d2: 2,
+        };
+        assert_eq!(view.certified(), reference.certified());
+        for v in 0..6u32 {
+            assert_eq!(view.certify(v), reference.certify(v), "certify({v})");
+            assert_eq!(view.degree(v), reference.degree(v), "degree({v})");
+        }
+        for k in 0..6 {
+            assert_eq!(view.top(k), reference.top(k), "top({k})");
+        }
+    }
 
     fn id_view() -> GlobalView {
         GlobalView::InsertDelete {

@@ -42,13 +42,25 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Capacity a reused frame buffer may keep between requests. Covers every
+/// steady-state frame (ingest batches, query answers); buffers grown by a
+/// rare outsized frame (checkpoint/restore) shrink back to this.
+const BUF_RETAIN: usize = 1 << 20;
+
 /// A connected `fews-net` client. One request/response at a time; reuse the
 /// connection for as many requests as you like.
+///
+/// The client owns one send and one receive buffer for its whole life:
+/// request frames are encoded in place and response payloads read in place,
+/// so the steady-state request loop performs no per-frame allocations
+/// beyond what the decoded response itself owns.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     bytes_sent: u64,
     bytes_received: u64,
+    send_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
 }
 
 impl Client {
@@ -60,6 +72,8 @@ impl Client {
             stream,
             bytes_sent: 0,
             bytes_received: 0,
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
         })
     }
 
@@ -73,34 +87,51 @@ impl Client {
         self.bytes_received
     }
 
-    /// Send one pre-encoded request frame and read one response frame.
-    fn transact(&mut self, frame_bytes: &[u8]) -> Result<Response, ClientError> {
-        self.stream.write_all(frame_bytes)?;
-        self.bytes_sent += frame_bytes.len() as u64;
+    /// Send the frame currently staged in `send_buf` and read one response
+    /// frame into `recv_buf`. Both buffers keep their capacity across calls.
+    fn transact_staged(&mut self) -> Result<Response, ClientError> {
+        self.stream.write_all(&self.send_buf)?;
+        self.bytes_sent += self.send_buf.len() as u64;
+        if self.send_buf.capacity() > BUF_RETAIN {
+            self.send_buf.shrink_to(BUF_RETAIN); // see recv_buf below
+        }
         let mut header = [0u8; 4];
         self.stream.read_exact(&mut header)?;
         let len = check_frame_len(u32::from_le_bytes(header) as u64)
             .map_err(|e| ClientError::Protocol(e.to_string()))?;
-        let mut payload = vec![0u8; len];
-        self.stream.read_exact(&mut payload)?;
+        self.recv_buf.clear();
+        self.recv_buf.resize(len, 0);
+        self.stream.read_exact(&mut self.recv_buf)?;
         self.bytes_received += 4 + len as u64;
-        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+        let response =
+            Response::decode(&self.recv_buf).map_err(|e| ClientError::Protocol(e.to_string()));
+        // One outsized response (a multi-MB checkpoint; frames go up to
+        // MAX_FRAME = 64 MiB) must not pin that capacity for the client's
+        // whole life.
+        if self.recv_buf.capacity() > BUF_RETAIN {
+            self.recv_buf.shrink_to(BUF_RETAIN);
+        }
+        response
     }
 
     /// Send one request and read one response frame.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.transact(&request.encode())
+        self.send_buf.clear();
+        request.encode_into(&mut self.send_buf);
+        self.transact_staged()
     }
 
-    fn expect_frame(&mut self, frame_bytes: &[u8]) -> Result<Response, ClientError> {
-        match self.transact(frame_bytes)? {
+    fn expect_staged(&mut self) -> Result<Response, ClientError> {
+        match self.transact_staged()? {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Ok(other),
         }
     }
 
     fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.expect_frame(&request.encode())
+        self.send_buf.clear();
+        request.encode_into(&mut self.send_buf);
+        self.expect_staged()
     }
 
     /// Apply a batch of updates; returns the server's applied count.
@@ -112,7 +143,9 @@ impl Client {
                 updates.len()
             )));
         }
-        match self.expect_frame(&crate::proto::encode_ingest_batch(updates))? {
+        self.send_buf.clear();
+        crate::proto::encode_ingest_batch_into(&mut self.send_buf, updates);
+        match self.expect_staged()? {
             Response::Ingested(count) => Ok(count),
             other => Err(unexpected("Ingested", &other)),
         }
@@ -166,7 +199,9 @@ impl Client {
                 bytes.len()
             )));
         }
-        match self.expect_frame(&crate::proto::encode_restore(bytes))? {
+        self.send_buf.clear();
+        crate::proto::encode_restore_into(&mut self.send_buf, bytes);
+        match self.expect_staged()? {
             Response::Restored => Ok(()),
             other => Err(unexpected("Restored", &other)),
         }

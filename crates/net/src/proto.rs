@@ -242,52 +242,68 @@ fn get_option_neighbourhood(buf: &[u8], pos: &mut usize) -> Option<Option<Neighb
     }
 }
 
-/// Encode an ingest-batch request frame straight from a borrowed slice
-/// (what [`Request::IngestBatch`] would encode, without owning the batch —
-/// the client's hot path).
-pub fn encode_ingest_batch(updates: &[Update]) -> Vec<u8> {
-    let mut body = Vec::with_capacity(4 + updates.len() * 4);
-    put_uvarint(&mut body, updates.len() as u64);
-    for u in updates {
-        put_uvarint(&mut body, u.edge.a as u64);
-        put_uvarint(&mut body, u.edge.b);
-        body.push(if u.delta >= 0 { 0 } else { 1 });
-    }
-    frame(Request::TAG_INGEST, &body)
+/// Append an ingest-batch request frame straight from a borrowed slice
+/// (what [`Request::IngestBatch`] would encode, without owning the batch).
+/// Appending to a caller-owned buffer is the hot path: a connection reuses
+/// one send buffer for its whole life, so steady-state encoding allocates
+/// nothing (`tests/alloc_reuse.rs` pins this down).
+pub fn encode_ingest_batch_into(buf: &mut Vec<u8>, updates: &[Update]) {
+    frame_into(buf, Request::TAG_INGEST, |body| {
+        put_uvarint(body, updates.len() as u64);
+        for u in updates {
+            put_uvarint(body, u.edge.a as u64);
+            put_uvarint(body, u.edge.b);
+            body.push(if u.delta >= 0 { 0 } else { 1 });
+        }
+    });
 }
 
-/// Encode a restore request frame straight from borrowed checkpoint bytes.
+/// Encode an ingest-batch request frame into a fresh buffer.
+pub fn encode_ingest_batch(updates: &[Update]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(10 + updates.len() * 4);
+    encode_ingest_batch_into(&mut buf, updates);
+    buf
+}
+
+/// Append a restore request frame straight from borrowed checkpoint bytes.
+pub fn encode_restore_into(buf: &mut Vec<u8>, bytes: &[u8]) {
+    frame_into(buf, Request::TAG_RESTORE, |body| {
+        body.extend_from_slice(bytes);
+    });
+}
+
+/// Encode a restore request frame into a fresh buffer.
 pub fn encode_restore(bytes: &[u8]) -> Vec<u8> {
-    frame(Request::TAG_RESTORE, bytes)
+    let mut buf = Vec::with_capacity(10 + bytes.len());
+    encode_restore_into(&mut buf, bytes);
+    buf
 }
 
 impl Request {
     /// Encode into a complete frame (header + body).
     pub fn encode(&self) -> Vec<u8> {
-        // Large payloads go through the borrowed-slice paths — no clone.
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the complete frame to `buf` without intermediate allocations
+    /// (bodies are built in place behind a patched length slot).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
-            Request::IngestBatch(updates) => return encode_ingest_batch(updates),
-            Request::Restore(bytes) => return encode_restore(bytes),
-            _ => {}
+            Request::IngestBatch(updates) => encode_ingest_batch_into(buf, updates),
+            Request::Restore(bytes) => encode_restore_into(buf, bytes),
+            Request::Certified => frame_into(buf, Self::TAG_CERTIFIED, |_| {}),
+            Request::Certify(v) => frame_into(buf, Self::TAG_CERTIFY, |body| {
+                put_uvarint(body, *v as u64);
+            }),
+            Request::Top(k) => frame_into(buf, Self::TAG_TOP, |body| {
+                put_uvarint(body, *k);
+            }),
+            Request::Stats => frame_into(buf, Self::TAG_STATS, |_| {}),
+            Request::Checkpoint => frame_into(buf, Self::TAG_CHECKPOINT, |_| {}),
+            Request::Shutdown => frame_into(buf, Self::TAG_SHUTDOWN, |_| {}),
         }
-        let (tag, body) = match self {
-            Request::IngestBatch(_) | Request::Restore(_) => unreachable!("handled above"),
-            Request::Certified => (Self::TAG_CERTIFIED, Vec::new()),
-            Request::Certify(v) => {
-                let mut body = Vec::new();
-                put_uvarint(&mut body, *v as u64);
-                (Self::TAG_CERTIFY, body)
-            }
-            Request::Top(k) => {
-                let mut body = Vec::new();
-                put_uvarint(&mut body, *k);
-                (Self::TAG_TOP, body)
-            }
-            Request::Stats => (Self::TAG_STATS, Vec::new()),
-            Request::Checkpoint => (Self::TAG_CHECKPOINT, Vec::new()),
-            Request::Shutdown => (Self::TAG_SHUTDOWN, Vec::new()),
-        };
-        frame(tag, &body)
     }
 
     /// Decode from a frame payload (`version + tag + body`, header length
@@ -352,56 +368,51 @@ impl Request {
 impl Response {
     /// Encode into a complete frame (header + body).
     pub fn encode(&self) -> Vec<u8> {
-        // The checkpoint payload can be tens of MB — frame it straight from
-        // the borrowed bytes instead of cloning.
-        if let Response::Checkpoint(bytes) = self {
-            return frame(Self::TAG_CHECKPOINT, bytes);
-        }
-        let (tag, body) = match self {
-            Response::Checkpoint(_) => unreachable!("handled above"),
-            Response::Ingested(count) => {
-                let mut body = Vec::new();
-                put_uvarint(&mut body, *count);
-                (Self::TAG_INGESTED, body)
-            }
-            Response::Answer(nb) => {
-                let mut body = Vec::new();
-                put_option_neighbourhood(&mut body, nb);
-                (Self::TAG_ANSWER, body)
-            }
-            Response::Top(list) => {
-                let mut body = Vec::new();
-                put_uvarint(&mut body, list.len() as u64);
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the complete frame to `buf` without intermediate allocations —
+    /// even a multi-MB checkpoint body is written straight into the caller's
+    /// buffer behind the patched length slot.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Checkpoint(bytes) => frame_into(buf, Self::TAG_CHECKPOINT, |body| {
+                body.extend_from_slice(bytes);
+            }),
+            Response::Ingested(count) => frame_into(buf, Self::TAG_INGESTED, |body| {
+                put_uvarint(body, *count);
+            }),
+            Response::Answer(nb) => frame_into(buf, Self::TAG_ANSWER, |body| {
+                put_option_neighbourhood(body, nb);
+            }),
+            Response::Top(list) => frame_into(buf, Self::TAG_TOP, |body| {
+                put_uvarint(body, list.len() as u64);
                 for nb in list {
-                    put_neighbourhood(&mut body, nb);
+                    put_neighbourhood(body, nb);
                 }
-                (Self::TAG_TOP, body)
-            }
-            Response::Stats(stats) => {
-                let mut body = Vec::new();
-                put_uvarint(&mut body, stats.ingested);
-                put_uvarint(&mut body, stats.uptime_micros);
-                put_uvarint(&mut body, stats.witness_target);
-                put_uvarint(&mut body, stats.shards.len() as u64);
+            }),
+            Response::Stats(stats) => frame_into(buf, Self::TAG_STATS, |body| {
+                put_uvarint(body, stats.ingested);
+                put_uvarint(body, stats.uptime_micros);
+                put_uvarint(body, stats.witness_target);
+                put_uvarint(body, stats.shards.len() as u64);
                 for s in &stats.shards {
-                    put_uvarint(&mut body, s.partitions);
-                    put_uvarint(&mut body, s.processed);
-                    put_uvarint(&mut body, s.batches);
-                    put_uvarint(&mut body, s.space_bytes);
+                    put_uvarint(body, s.partitions);
+                    put_uvarint(body, s.processed);
+                    put_uvarint(body, s.batches);
+                    put_uvarint(body, s.space_bytes);
                 }
-                (Self::TAG_STATS, body)
-            }
-            Response::Restored => (Self::TAG_RESTORED, Vec::new()),
-            Response::Bye => (Self::TAG_BYE, Vec::new()),
-            Response::Error { code, message } => {
-                let mut body = Vec::with_capacity(2 + message.len());
+            }),
+            Response::Restored => frame_into(buf, Self::TAG_RESTORED, |_| {}),
+            Response::Bye => frame_into(buf, Self::TAG_BYE, |_| {}),
+            Response::Error { code, message } => frame_into(buf, Self::TAG_ERROR, |body| {
                 body.push(*code as u8);
-                put_uvarint(&mut body, message.len() as u64);
+                put_uvarint(body, message.len() as u64);
                 body.extend_from_slice(message.as_bytes());
-                (Self::TAG_ERROR, body)
-            }
-        };
-        frame(tag, &body)
+            }),
+        }
     }
 
     /// Decode from a frame payload (header length already stripped).
@@ -501,16 +512,17 @@ pub fn body_fits(body_len: usize) -> bool {
     body_len + 2 <= MAX_FRAME
 }
 
-/// Assemble a complete frame: `[len u32 LE][version][tag][body]`.
-fn frame(tag: u8, body: &[u8]) -> Vec<u8> {
-    let len = 2 + body.len();
+/// Append a complete frame — `[len u32 LE][version][tag][body]` — to `buf`:
+/// a 4-byte length slot is reserved, the body is built in place by `build`,
+/// and the slot is patched afterwards. No temporary body buffer exists, so
+/// encoding into a warm (pre-grown) buffer performs zero allocations.
+fn frame_into(buf: &mut Vec<u8>, tag: u8, build: impl FnOnce(&mut Vec<u8>)) {
+    let start = buf.len();
+    buf.extend_from_slice(&[0, 0, 0, 0, VERSION, tag]);
+    build(buf);
+    let len = buf.len() - start - 4;
     assert!(len <= MAX_FRAME, "frame body exceeds MAX_FRAME");
-    let mut buf = Vec::with_capacity(4 + len);
-    buf.extend_from_slice(&(len as u32).to_le_bytes());
-    buf.push(VERSION);
-    buf.push(tag);
-    buf.extend_from_slice(body);
-    buf
+    buf[start..start + 4].copy_from_slice(&(len as u32).to_le_bytes());
 }
 
 /// Validate the version byte and split `payload` into `(tag, body)`.

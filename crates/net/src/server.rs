@@ -1,5 +1,25 @@
 //! The threaded TCP server: one acceptor, one worker thread per connection,
-//! one [`Engine`] shared behind a mutex.
+//! one [`Engine`] shared behind a mutex — and a published, lock-free query
+//! snapshot.
+//!
+//! **Query serving never touches the engine.** State-changing requests
+//! (ingest, restore) hold the engine mutex, apply, then *publish* a fresh
+//! `Arc<GlobalView>` + statistics snapshot **before the response frame is
+//! sent** — the engine's epoch-cached incremental `refresh` makes that
+//! publish cost O(changes in the batch), not O(total state). Query requests
+//! (`certified` / `certify` / `top` / `stats`) clone the published `Arc`
+//! (a pointer copy behind a micro-mutex, the std-only stand-in for an
+//! atomic `Arc` swap) and answer from it: they never take the engine lock,
+//! never block ingest, and never block each other.
+//!
+//! **Freshness contract.** Every state change acknowledged to *any* client
+//! is visible to every query answered afterwards, because the snapshot is
+//! published before the acknowledgement. In particular, once ingest has
+//! quiesced, every query answer is byte-identical to the single-threaded
+//! reference (`tests/tests/net_stress.rs`). Mid-flight queries see the
+//! latest published prefix of the stream — a consistent point-in-time view,
+//! never a torn one. (`stats` reports counters as of the latest publish;
+//! its uptime field is the publish-time engine uptime.)
 //!
 //! Ingest requests are validated *before* any update reaches the engine
 //! (vertex ranges, no deletions into an insertion-only model), so a hostile
@@ -12,7 +32,7 @@
 use crate::proto::{
     check_frame_len, ErrorCode, FrameError, Request, Response, WireShardStats, WireStats,
 };
-use fews_engine::{Engine, EngineConfig, ModelSpec};
+use fews_engine::{Engine, EngineConfig, EngineStats, GlobalView, ModelSpec};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,10 +49,35 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 /// `write_all` forever — and with it the acceptor's shutdown join.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// One consistent point-in-time snapshot: the global query view plus the
+/// engine counters gathered in the same barrier.
+struct Published {
+    view: Arc<GlobalView>,
+    stats: EngineStats,
+}
+
 struct Shared {
     engine: Mutex<Engine>,
     cfg: EngineConfig,
     shutdown: AtomicBool,
+    /// The latest [`Published`] snapshot. The mutex guards a pointer
+    /// clone/swap only — it is never held across engine or network work, so
+    /// query connections scale with cores instead of serializing.
+    published: Mutex<Arc<Published>>,
+}
+
+impl Shared {
+    /// Swap in a fresh snapshot from the engine (caller holds the engine
+    /// lock, so publishes are ordered consistently with state changes).
+    fn publish(&self, engine: &mut Engine) {
+        let (view, stats) = engine.refresh();
+        *self.published.lock().expect("published slot") = Arc::new(Published { view, stats });
+    }
+
+    /// The latest snapshot — the whole query-path synchronization cost.
+    fn snapshot(&self) -> Arc<Published> {
+        Arc::clone(&self.published.lock().expect("published slot"))
+    }
 }
 
 /// A running `fews-net` server. Dropping it (or calling [`Server::join`]
@@ -49,10 +94,13 @@ impl Server {
     pub fn start(cfg: EngineConfig, addr: &str) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let mut engine = Engine::start(cfg);
+        let (view, stats) = engine.refresh();
         let shared = Arc::new(Shared {
-            engine: Mutex::new(Engine::start(cfg)),
+            engine: Mutex::new(engine),
             cfg,
             shutdown: AtomicBool::new(false),
+            published: Mutex::new(Arc::new(Published { view, stats })),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -194,7 +242,21 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut header = [0u8; 4];
+    // Request payloads and response frames are read/encoded into buffers
+    // that live for the whole connection — no per-frame allocations on the
+    // steady-state path. One outsized frame (checkpoint/restore, up to
+    // MAX_FRAME = 64 MiB) must not pin that capacity for the connection's
+    // life, so capacities above this are released after the frame.
+    const BUF_RETAIN: usize = 1 << 20;
+    let mut payload: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
     loop {
+        if payload.capacity() > BUF_RETAIN {
+            payload.shrink_to(BUF_RETAIN);
+        }
+        if out.capacity() > BUF_RETAIN {
+            out.shrink_to(BUF_RETAIN);
+        }
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -212,7 +274,8 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 return;
             }
         };
-        let mut payload = vec![0u8; len];
+        payload.clear();
+        payload.resize(len, 0);
         match read_full(&mut stream, &mut payload, &shared) {
             ReadOutcome::Full => {}
             ReadOutcome::ShuttingDown => return,
@@ -241,7 +304,9 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             // reading its Bye must not un-shutdown the server.
             shared.shutdown.store(true, Ordering::SeqCst);
         }
-        let write_ok = stream.write_all(&response.encode()).is_ok();
+        out.clear();
+        response.encode_into(&mut out);
+        let write_ok = stream.write_all(&out).is_ok();
         if bye {
             // Wake the acceptor; its own listener address is the only
             // guaranteed-listening endpoint.
@@ -289,6 +354,7 @@ fn validate_batch(cfg: &EngineConfig, updates: &[fews_stream::Update]) -> Result
 
 fn handle_request(request: Request, shared: &Shared) -> Response {
     match request {
+        // State-changing requests: engine mutex, then publish-before-ack.
         Request::IngestBatch(updates) => {
             if let Err(message) = validate_batch(&shared.cfg, &updates) {
                 return Response::Error {
@@ -299,28 +365,37 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
             let count = updates.len() as u64;
             let mut engine = shared.engine.lock().expect("engine mutex");
             engine.ingest(updates);
+            shared.publish(&mut engine);
             Response::Ingested(count)
         }
-        Request::Certified => {
+        Request::Restore(bytes) => {
             let mut engine = shared.engine.lock().expect("engine mutex");
-            Response::Answer(engine.view().certified())
+            match engine.restore_checkpoint(&bytes) {
+                Ok(()) => {
+                    shared.publish(&mut engine);
+                    Response::Restored
+                }
+                Err(e) => Response::Error {
+                    code: ErrorCode::Checkpoint,
+                    message: e.to_string(),
+                },
+            }
         }
-        Request::Certify(v) => {
-            let mut engine = shared.engine.lock().expect("engine mutex");
-            Response::Answer(engine.view().certify(v))
-        }
+        // Query requests: answered from the published snapshot — no engine
+        // lock, no shard barrier, no blocking against ingest or each other.
+        Request::Certified => Response::Answer(shared.snapshot().view.certified()),
+        Request::Certify(v) => Response::Answer(shared.snapshot().view.certify(v)),
         Request::Top(k) => {
-            let mut engine = shared.engine.lock().expect("engine mutex");
-            Response::Top(engine.view().top(k.min(u32::MAX as u64) as usize))
+            Response::Top(shared.snapshot().view.top(k.min(u32::MAX as u64) as usize))
         }
         Request::Stats => {
-            let mut engine = shared.engine.lock().expect("engine mutex");
-            let stats = engine.stats();
+            let snap = shared.snapshot();
             Response::Stats(WireStats {
-                ingested: stats.ingested,
-                uptime_micros: stats.uptime.as_micros() as u64,
+                ingested: snap.stats.ingested,
+                uptime_micros: snap.stats.uptime.as_micros() as u64,
                 witness_target: shared.cfg.witness_target() as u64,
-                shards: stats
+                shards: snap
+                    .stats
                     .shards
                     .iter()
                     .map(|s| WireShardStats {
@@ -332,6 +407,8 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
                     .collect(),
             })
         }
+        // Checkpoint reads engine state without changing it: mutex, no
+        // publish.
         Request::Checkpoint => {
             let mut engine = shared.engine.lock().expect("engine mutex");
             let bytes = engine.checkpoint();
@@ -345,16 +422,6 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
                 };
             }
             Response::Checkpoint(bytes)
-        }
-        Request::Restore(bytes) => {
-            let mut engine = shared.engine.lock().expect("engine mutex");
-            match engine.restore_checkpoint(&bytes) {
-                Ok(()) => Response::Restored,
-                Err(e) => Response::Error {
-                    code: ErrorCode::Checkpoint,
-                    message: e.to_string(),
-                },
-            }
         }
         Request::Shutdown => Response::Bye,
     }

@@ -1,0 +1,102 @@
+//! Pins the satellite claim that the frame codecs reuse caller buffers:
+//! once a send buffer has grown to its steady-state capacity, encoding
+//! request/response frames into it performs **zero** heap allocations.
+//!
+//! A counting global allocator wraps the system one; the counter is only
+//! read around single-threaded regions, so other test threads cannot race
+//! the assertion (this integration test binary runs these tests serially
+//! via explicit call order in one `#[test]`).
+
+// The one place in the tree that needs `unsafe`: implementing
+// `GlobalAlloc` to count allocations. The production crates all stay
+// `forbid(unsafe_code)`.
+#![allow(unsafe_code)]
+
+use fews_net::proto::{encode_ingest_batch_into, Request, Response};
+use fews_stream::{Edge, Update};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_buffers_encode_frames_without_allocating() {
+    let updates: Vec<Update> = (0..512)
+        .map(|i| {
+            let edge = Edge::new(i % 97, (i as u64) * 131 % 4096);
+            if i % 7 == 6 {
+                Update::delete(edge)
+            } else {
+                Update::insert(edge)
+            }
+        })
+        .collect();
+    let responses = [
+        Response::Ingested(512),
+        Response::Answer(None),
+        Response::Top(Vec::new()),
+        Response::Restored,
+    ];
+
+    let mut buf: Vec<u8> = Vec::new();
+    // Warm-up: the buffer grows to its steady-state capacity once.
+    encode_ingest_batch_into(&mut buf, &updates);
+    for r in &responses {
+        buf.clear();
+        r.encode_into(&mut buf);
+    }
+    buf.clear();
+    encode_ingest_batch_into(&mut buf, &updates);
+    let capacity = buf.capacity();
+
+    // Steady state: 100 ingest frames + a mix of queries and responses into
+    // the same buffer — the hot path of a long-lived connection.
+    let allocs = allocations_during(|| {
+        for _ in 0..100 {
+            buf.clear();
+            encode_ingest_batch_into(&mut buf, &updates);
+            buf.clear();
+            Request::Certified.encode_into(&mut buf);
+            buf.clear();
+            Request::Certify(17).encode_into(&mut buf);
+            buf.clear();
+            Request::Top(5).encode_into(&mut buf);
+            for r in &responses {
+                buf.clear();
+                r.encode_into(&mut buf);
+            }
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state frame encoding must not allocate (capacity {capacity})"
+    );
+    assert_eq!(buf.capacity(), capacity, "buffer was reallocated");
+}

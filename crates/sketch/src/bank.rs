@@ -77,6 +77,11 @@ pub struct SamplerBank {
     rows: usize,
     width: usize,
     z: u64,
+    /// Monotone register-mutation counter: bumped by every [`Self::update`]
+    /// and every [`Self::visit_cells_mut`] (restore). Lets callers memoize
+    /// per-bank decode results and re-decode only banks that changed —
+    /// the insertion-deletion incremental-query hot path.
+    generation: u64,
     /// Boxed: the 64-entry square table would otherwise dominate the
     /// by-value size of every enum holding a bank.
     pow: Box<PowTable>,
@@ -114,6 +119,7 @@ impl SamplerBank {
             rows: cfg.rows,
             width,
             z,
+            generation: 0,
             pow: Box::new(PowTable::new(z)),
             coeffs,
             cells: vec![OneSparse::default(); count * levels * rows_width(cfg.rows, width)],
@@ -138,6 +144,13 @@ impl SamplerBank {
     /// The shared fingerprint base.
     pub fn z(&self) -> u64 {
         self.z
+    }
+
+    /// Register-mutation generation: changes iff some cell may have changed
+    /// since the last observed value. A fresh bank is at generation 0;
+    /// equal generations guarantee identical decode results.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The tuning the bank was built with.
@@ -189,6 +202,7 @@ impl SamplerBank {
     /// sweep and exactly `rows` cell writes at the coordinate's own level.
     pub fn update(&mut self, index: u64, delta: i64) {
         debug_assert!(index < self.dim, "index {index} out of dim {}", self.dim);
+        self.generation += 1;
         let z_pow = self.pow.pow(index);
         let x = index % MERSENNE61;
         // Powers x⁰..x⁷, once per update for the whole bank: each sampler's
@@ -355,8 +369,9 @@ impl SamplerBank {
     }
 
     /// Mutably visit every cell's registers in the same order
-    /// (deserialization).
+    /// (deserialization). Bumps the generation: the registers may change.
     pub fn visit_cells_mut(&mut self, mut f: impl FnMut(&mut i64, &mut i128, &mut u64)) {
+        self.generation += 1;
         for cell in &mut self.cells {
             let (c, s, fp) = cell.registers_mut();
             f(c, s, fp);
@@ -439,6 +454,23 @@ mod tests {
                 assert_eq!(bank.logical_registers(i), reference_regs);
             }
         }
+    }
+
+    #[test]
+    fn generation_tracks_every_register_mutation() {
+        let mut bank = SamplerBank::new(1 << 12, 2, &mut rng(11));
+        assert_eq!(bank.generation(), 0);
+        bank.update(5, 1);
+        assert_eq!(bank.generation(), 1);
+        bank.update(5, -1);
+        assert_eq!(bank.generation(), 2);
+        // Read-only paths leave the generation alone…
+        let _ = bank.sample(0);
+        bank.visit_cells(|_, _, _| {});
+        assert_eq!(bank.generation(), 2);
+        // …while a register install (restore) does not.
+        bank.visit_cells_mut(|_, _, _| {});
+        assert_eq!(bank.generation(), 3);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Differential suite for the epoch-cached incremental query view.
+//!
+//! `Engine::view` memoizes per-partition contributions by update epoch and
+//! rebuilds only what changed; a fresh engine replaying the same prefix
+//! builds its first view from scratch (every memo empty). The two must be
+//! **equal as values** — same merged insertion-only state, same pooled
+//! insertion-deletion witness lists — after *arbitrary* ingest/query
+//! interleavings, at different shard counts, and across checkpoint/restore
+//! (which must invalidate the cache, not serve the pre-restore world).
+//!
+//! Four generators × multiple seeds deterministically, plus proptest-driven
+//! random streams and cut points for both models.
+
+use fews_common::rng::rng_for;
+use fews_core::insertion_deletion::IdConfig;
+use fews_core::insertion_only::FewwConfig;
+use fews_engine::{Engine, EngineConfig, GlobalView};
+use fews_stream::update::as_insertions;
+use fews_stream::{Edge, Update};
+use proptest::prelude::*;
+
+const SEED: u64 = 2021;
+
+/// From-scratch reference: a fresh engine (different shard count on
+/// purpose) replays the whole prefix and builds its first view with every
+/// memo empty.
+fn scratch_view(cfg: EngineConfig, prefix: &[Update]) -> GlobalView {
+    let mut fresh = Engine::start(cfg.with_shards(1));
+    fresh.ingest(prefix.iter().copied());
+    (*fresh.view()).clone()
+}
+
+/// Drive `updates` through a live engine in `cuts` segments, calling the
+/// incremental `view()` at every cut and checking it against the
+/// from-scratch reference view of the same prefix.
+fn assert_incremental_matches(cfg: EngineConfig, updates: &[Update], cuts: &[usize], label: &str) {
+    let mut live = Engine::start(cfg.with_shards(2));
+    let mut fed = 0usize;
+    for (i, &cut) in cuts
+        .iter()
+        .chain(std::iter::once(&updates.len()))
+        .enumerate()
+    {
+        let cut = cut.min(updates.len());
+        if cut > fed {
+            live.ingest(updates[fed..cut].iter().copied());
+            fed = cut;
+        }
+        // Query twice: the second call must hit the O(1) cached path and
+        // return the identical view.
+        let view = live.view();
+        let again = live.view();
+        assert_eq!(*view, *again, "{label}: cached re-view diverged at cut {i}");
+        let reference = scratch_view(cfg, &updates[..fed]);
+        assert_eq!(
+            *view, reference,
+            "{label}: incremental view != from-scratch at cut {i} ({fed} updates)"
+        );
+    }
+}
+
+fn io_cfg(n: u32, d: u32) -> EngineConfig {
+    EngineConfig::insert_only(FewwConfig::new(n, d.max(1), 2), SEED)
+        .with_partitions(8)
+        .with_batch(64)
+}
+
+fn id_cfg(n: u32, m: u64, d: u32) -> EngineConfig {
+    EngineConfig::insert_delete(IdConfig::with_scale(n, m, d, 2, 0.05), SEED)
+        .with_partitions(4)
+        .with_batch(64)
+}
+
+#[test]
+fn four_generators_multiple_seeds_match_scratch_rebuild() {
+    for seed in [5u64, 6] {
+        // zipf (insertion-only).
+        let s = fews_stream::gen::zipf::zipf_stream(256, 1.2, 6_000, &mut rng_for(seed, 1));
+        let d = *s.frequencies.iter().max().unwrap();
+        assert_incremental_matches(
+            io_cfg(256, d),
+            &as_insertions(&s.edges),
+            &[1, 700, 701, 2500, 5999],
+            &format!("zipf seed {seed}"),
+        );
+
+        // planted star (insertion-only).
+        let g = fews_stream::gen::planted::planted_star(128, 1 << 14, 24, 4, &mut rng_for(seed, 2));
+        assert_incremental_matches(
+            io_cfg(128, 24),
+            &as_insertions(&g.edges),
+            &[64, 65, 1000],
+            &format!("planted seed {seed}"),
+        );
+
+        // DoS trace (insertion-only).
+        let t =
+            fews_stream::gen::dos::dos_trace(128, 1 << 16, 4_000, 1.0, 150, &mut rng_for(seed, 3));
+        assert_incremental_matches(
+            io_cfg(128, 150),
+            &as_insertions(&t.edges),
+            &[10, 2000, 3999],
+            &format!("dos seed {seed}"),
+        );
+
+        // Database log (insertion-deletion, with retractions).
+        let log = fews_stream::gen::dblog::db_log(32, 1 << 10, 12, 3, 0.5, &mut rng_for(seed, 4));
+        let cuts = [1, log.updates.len() / 3, log.updates.len() / 2 + 1];
+        assert_incremental_matches(
+            id_cfg(32, 1 << 10, 12),
+            &log.updates,
+            &cuts,
+            &format!("dblog seed {seed}"),
+        );
+    }
+}
+
+/// Restoring a checkpoint must invalidate the warm cache: the next view
+/// reflects the restored state, not the memoized pre-restore world — and
+/// ingest continued after the restore stays incremental-correct.
+#[test]
+fn restore_invalidates_cached_view_both_models() {
+    let zipf = fews_stream::gen::zipf::zipf_stream(256, 1.2, 4_000, &mut rng_for(9, 1));
+    let d = *zipf.frequencies.iter().max().unwrap();
+    let log = fews_stream::gen::dblog::db_log(32, 1 << 10, 12, 3, 0.4, &mut rng_for(9, 2));
+    let cases: Vec<(EngineConfig, Vec<Update>, &str)> = vec![
+        (io_cfg(256, d), as_insertions(&zipf.edges), "io"),
+        (id_cfg(32, 1 << 10, 12), log.updates.clone(), "id"),
+    ];
+    for (cfg, updates, label) in cases {
+        let half = updates.len() / 2;
+
+        // Donor runs the full stream and checkpoints.
+        let mut donor = Engine::start(cfg.with_shards(3));
+        donor.ingest(updates.iter().copied());
+        let full_ckpt = donor.checkpoint();
+        let full_view = donor.view();
+
+        // Victim ingests only the prefix and warms its cache.
+        let mut victim = Engine::start(cfg.with_shards(2));
+        victim.ingest(updates[..half].iter().copied());
+        let warm = victim.view();
+        assert_ne!(
+            *warm, *full_view,
+            "{label}: prefix view should differ from full view for this test to bite"
+        );
+
+        // Restore the full checkpoint: the warm cache must not survive.
+        victim.restore_checkpoint(&full_ckpt).expect("restore");
+        assert_eq!(
+            *victim.view(),
+            *full_view,
+            "{label}: view after restore served stale memoized state"
+        );
+
+        // Incremental correctness continues after the restore.
+        victim.ingest(updates[..100.min(half)].iter().copied());
+        let mut reference = Engine::start(cfg.with_shards(1));
+        reference.restore_checkpoint(&full_ckpt).expect("restore");
+        reference.ingest(updates[..100.min(half)].iter().copied());
+        assert_eq!(
+            *victim.view(),
+            *reference.view(),
+            "{label}: post-restore ingest diverged from reference"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Insertion-only: random edges, random cut points.
+    #[test]
+    fn random_io_interleavings_match(
+        seed in 0u64..100,
+        raw in proptest::collection::vec((0u32..64, 0u64..512), 20..300),
+        cut_a in 0usize..300,
+        cut_b in 0usize..300,
+    ) {
+        let updates: Vec<Update> = raw
+            .iter()
+            .map(|&(a, b)| Update::insert(Edge::new(a, b)))
+            .collect();
+        let cfg = EngineConfig::insert_only(FewwConfig::new(64, 16, 2), seed)
+            .with_partitions(8)
+            .with_batch(16);
+        let mut cuts = [cut_a % (updates.len() + 1), cut_b % (updates.len() + 1)];
+        cuts.sort_unstable();
+        assert_incremental_matches(cfg, &updates, &cuts, "proptest io");
+    }
+
+    /// Insertion-deletion: random turnstile streams (inserts with a
+    /// deletion tail drawn from the inserted prefix), random cut points.
+    #[test]
+    fn random_id_interleavings_match(
+        seed in 0u64..100,
+        raw in proptest::collection::vec((0u32..24, 0u64..256), 10..80),
+        delete_every in 2usize..5,
+        cut_a in 0usize..200,
+    ) {
+        let mut updates: Vec<Update> = raw
+            .iter()
+            .map(|&(a, b)| Update::insert(Edge::new(a, b)))
+            .collect();
+        let deletions: Vec<Update> = raw
+            .iter()
+            .step_by(delete_every)
+            .map(|&(a, b)| Update::delete(Edge::new(a, b)))
+            .collect();
+        updates.extend(deletions);
+        let cfg = EngineConfig::insert_delete(
+            IdConfig::with_scale(24, 256, 8, 2, 0.05),
+            seed,
+        )
+        .with_partitions(4)
+        .with_batch(16);
+        let cuts = [cut_a % (updates.len() + 1)];
+        assert_incremental_matches(cfg, &updates, &cuts, "proptest id");
+    }
+}

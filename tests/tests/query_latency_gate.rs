@@ -1,0 +1,52 @@
+//! Regression gate for the epoch-cached query path: on a quiesced
+//! insertion-deletion engine, repeated `certified` queries must be O(1) —
+//! served from the cached view without re-gathering or re-decoding
+//! anything. The wall-clock bound is deliberately generous (CI boxes are
+//! slow and shared); what it catches is the O(total state) regression,
+//! which at this scale costs tens of milliseconds *per query* and would
+//! blow the bound by orders of magnitude.
+
+use fews_core::insertion_deletion::IdConfig;
+use fews_engine::{Engine, EngineConfig};
+use fews_stream::{Edge, Update};
+use std::time::{Duration, Instant};
+
+#[test]
+fn quiesced_id_certified_queries_are_o1() {
+    let cfg = EngineConfig::insert_delete(IdConfig::with_scale(48, 1 << 10, 16, 2, 0.05), 2021)
+        .with_partitions(16)
+        .with_batch(64);
+    let mut engine = Engine::start(cfg);
+    for j in 0..2_000u64 {
+        let e = Edge::new((j * 11 % 48) as u32, j * 257 % (1 << 10));
+        engine.push(if j % 6 == 5 {
+            Update::delete(e)
+        } else {
+            Update::insert(e)
+        });
+    }
+    // First view pays the full decode once (cold).
+    let t0 = Instant::now();
+    let first = engine.view();
+    let cold = t0.elapsed();
+    let _ = first.certified();
+
+    // 200 repeated views + queries on the quiesced engine: all cached.
+    let t0 = Instant::now();
+    for _ in 0..200 {
+        let view = engine.view();
+        let _ = view.certified();
+        let _ = view.top(3);
+    }
+    let repeats = t0.elapsed();
+
+    // Generous CI bound: 200 cached queries in under 2 s total (measured
+    // reality is microseconds each; a from-scratch rebuild per query at
+    // this scale takes > 10 ms per query and fails by an order of
+    // magnitude).
+    assert!(
+        repeats < Duration::from_secs(2),
+        "200 quiesced certified/top queries took {repeats:?} — the cached view path regressed \
+         (cold first view for comparison: {cold:?})"
+    );
+}
