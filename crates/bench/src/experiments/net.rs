@@ -16,16 +16,18 @@
 use super::ExpCtx;
 use crate::table::Table;
 use fews_common::rng::{derive_seed, rng_for};
+use fews_common::{SpaceConfig, SpaceId};
 use fews_core::insertion_deletion::IdConfig;
 use fews_core::insertion_only::FewwConfig;
 use fews_engine::EngineConfig;
-use fews_net::{Client, Server};
+use fews_net::{Client, Server, ServerOptions};
 use fews_stream::update::as_insertions;
 use fews_stream::Update;
 use std::time::Instant;
 
 const CLIENT_COUNTS: [usize; 3] = [1, 2, 4];
 const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+const SPACE_COUNTS: [usize; 3] = [1, 8, 64];
 
 /// Minimum timed queries per cell for the latency columns to be reported
 /// as sound. Cells below the floor are flagged (`sound = no`, JSON
@@ -251,6 +253,102 @@ fn run_load(w: &Workload, shards: usize, clients: usize, query_every: usize) -> 
     }
 }
 
+/// One multi-tenant cell: `s` spaces served by one server, ingest-only
+/// traffic spread round-robin across the roster by 8 client threads.
+/// With `data_dir` set every batch is write-ahead-logged and fsynced before
+/// the ack — the WAL-on/WAL-off pair prices durability on the same traffic.
+fn run_spaces_cell(
+    seed: u64,
+    per_space: &[Update],
+    s: usize,
+    data_dir: Option<std::path::PathBuf>,
+) -> LoadMetrics {
+    let batch = 2048usize;
+    let base = EngineConfig::insert_only(FewwConfig::new(4096, 2048, 2), seed)
+        .with_partitions(4)
+        .with_shards(1)
+        .with_batch(batch);
+    let opts = ServerOptions {
+        data_dir,
+        // No mid-run compaction: the cell prices the append+fsync hot path,
+        // not checkpoint writes.
+        compact_bytes: 64 << 20,
+    };
+    let server = Server::start_with(base, "127.0.0.1:0", opts).expect("bind spaces server");
+    let addr = server.local_addr();
+
+    // The roster: the default space plus s-1 created tenants, all the same
+    // shape (the sweep varies tenancy, nothing else).
+    let mut roster = vec![SpaceId::default_space()];
+    {
+        let mut owner = Client::connect(addr).expect("owner connect");
+        let spec = SpaceConfig::insert_only(4096, 2048, 2).with_partitions(4);
+        for i in 1..s {
+            let id = SpaceId::new(&format!("tenant-{i:03}")).expect("tenant name");
+            owner.create_space(&id, spec).expect("create space");
+            roster.push(id);
+        }
+    }
+
+    // 8 client threads, each carrying its own eighth of *every* space's
+    // stream and walking the roster in the same order. Concurrent writers
+    // are exactly the traffic the WAL's group commit exists for: clients
+    // near the same roster position ride shared fsyncs, and on the WAL-off
+    // side the same concurrency prices the registry and lock contention.
+    let clients = 8usize;
+    let per_client = per_space.len().div_ceil(clients);
+    let started = Instant::now();
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+        let roster = &roster;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("spaces client connect");
+                    let lo = (c * per_client).min(per_space.len());
+                    let hi = (lo + per_client).min(per_space.len());
+                    let slice = &per_space[lo..hi];
+                    let mut lat = Vec::new();
+                    for space in roster {
+                        client.set_space(space.clone());
+                        for chunk in slice.chunks(batch) {
+                            let t0 = Instant::now();
+                            client.ingest_batch(chunk).expect("spaces ingest");
+                            lat.push(t0.elapsed().as_micros() as u64);
+                        }
+                    }
+                    (lat, client.bytes_sent() + client.bytes_received())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("spaces client panicked"))
+            .collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let mut owner = Client::connect(addr).expect("owner connect");
+    owner.shutdown().expect("owner shutdown");
+    let ingested = server.join();
+    let total_updates = (per_space.len() * s) as u64;
+    assert_eq!(ingested, total_updates, "updates lost across spaces");
+
+    let mut ingest_lat: Vec<u64> = results.iter().flat_map(|r| r.0.iter().copied()).collect();
+    ingest_lat.sort_unstable();
+    let wire_bytes: u64 = results.iter().map(|r| r.1).sum();
+    let requests = ingest_lat.len() as u64;
+    LoadMetrics {
+        secs,
+        ops_per_sec: total_updates as f64 / secs,
+        requests_per_sec: requests as f64 / secs,
+        queries: 0,
+        p50_ingest_us: percentile(&ingest_lat, 0.50),
+        p99_ingest_us: percentile(&ingest_lat, 0.99),
+        p50_query_us: 0,
+        p99_query_us: 0,
+        bytes_per_request: wire_bytes as f64 / requests.max(1) as f64,
+    }
+}
+
 fn model_of(cfg: &EngineConfig) -> (&'static str, u32) {
     match cfg.model {
         fews_engine::ModelSpec::InsertOnly(c) => ("io", c.n),
@@ -382,14 +480,77 @@ pub fn net_exp(ctx: &ExpCtx) -> Vec<Table> {
     }
     sweep.write_csv(&ctx.out_dir, "net_shards").expect("csv");
 
+    // Tenancy sweep: S spaces × WAL on/off at constant total traffic —
+    // the committed evidence for "durability costs ≤ 25% on batched ingest"
+    // and "64 tenants do not collapse the serving layer".
+    let spaces_seed = derive_seed(ctx.seed, 0xE26_0003);
+    let total: usize = if ctx.quick { 49_152 } else { 1_572_864 }; // 24 / 768 batches
+    let zs =
+        fews_stream::gen::zipf::zipf_stream(4096, 1.1, total as u64, &mut rng_for(spaces_seed, 1));
+    let stream = as_insertions(&zs.edges);
+    // Untimed warm-up so the first timed cell does not pay thread spawn,
+    // allocator growth, and page-fault costs the later cells skip.
+    run_spaces_cell(spaces_seed, &stream[..8192.min(stream.len())], 1, None);
+    let mut cols = vec!["spaces", "wal"];
+    cols.extend(METRIC_COLS);
+    let mut tenancy = Table::new(
+        "net — S tenant spaces × WAL on/off (K = 1, batch 2048, constant total updates)",
+        &cols,
+    );
+    let mut tenancy_cells = Vec::new();
+    // fsync latency on this class of box swings a lot with background I/O;
+    // one ~0.5s sample per cell is not a stable price. Interleave WAL-off
+    // and WAL-on repetitions (so a slow stretch of the disk hits both
+    // sides) and report the median of each.
+    let reps = if ctx.quick { 1 } else { 5 };
+    for &s in &SPACE_COUNTS {
+        let per_space = &stream[..total / s];
+        let mut runs: [Vec<LoadMetrics>; 2] = [Vec::new(), Vec::new()];
+        for _ in 0..reps {
+            for wal in [false, true] {
+                let data_dir = wal.then(|| {
+                    let dir = ctx.out_dir.join("net_spaces_wal");
+                    let _ = std::fs::remove_dir_all(&dir);
+                    dir
+                });
+                let m = run_spaces_cell(spaces_seed, per_space, s, data_dir.clone());
+                if let Some(dir) = data_dir {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                runs[wal as usize].push(m);
+            }
+        }
+        let mut pair = Vec::new();
+        for wal in [false, true] {
+            let side = &mut runs[wal as usize];
+            side.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+            let m = side.swap_remove(side.len() / 2);
+            push_metric_row(
+                &mut tenancy,
+                vec![s.to_string(), if wal { "on" } else { "off" }.into()],
+                &m,
+            );
+            pair.push(m.ops_per_sec);
+        }
+        tenancy_cells.push(format!(
+            "\"{s}\": {{\"wal_off_ops_per_sec\": {:.0}, \"wal_on_ops_per_sec\": {:.0}, \
+             \"wal_overhead_pct\": {:.1}}}",
+            pair[0],
+            pair[1],
+            (pair[0] / pair[1] - 1.0) * 100.0
+        ));
+    }
+    tenancy.write_csv(&ctx.out_dir, "net_spaces").expect("csv");
+
     let json = format!(
-        "{{\n  \"experiment\": \"net\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"cores\": {cores},\n  \"query_floor\": {floor},\n  \"client_counts\": [1, 2, 4],\n{},\n  \"zipf_ops_per_sec_by_shards_c2\": {{{}}}\n}}\n",
+        "{{\n  \"experiment\": \"net\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"cores\": {cores},\n  \"query_floor\": {floor},\n  \"client_counts\": [1, 2, 4],\n{},\n  \"zipf_ops_per_sec_by_shards_c2\": {{{}}},\n  \"spaces_by_count\": {{{}}}\n}}\n",
         if ctx.quick { "quick" } else { "full" },
         ctx.seed,
         json_rows.join(",\n"),
-        sweep_cells.join(", ")
+        sweep_cells.join(", "),
+        tenancy_cells.join(", ")
     );
     std::fs::write(ctx.out_dir.join("BENCH_net.json"), json).expect("write BENCH_net.json");
 
-    vec![load, sweep]
+    vec![load, sweep, tenancy]
 }

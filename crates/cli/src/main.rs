@@ -5,9 +5,16 @@
 //! fews stats FILE [--n N]
 //! fews run FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X]
 //! fews serve FILE --n N --d D [--shards K] [--batch B] [--model io|id] …
-//! fews listen --addr A --n N --d D [--shards K] [--model io|id] [--replay FILE] …
-//! fews client ADDR <certified|certify V|top K|stats|ingest FILE|checkpoint OUT|restore FILE|shutdown>
+//! fews listen --addr A --n N --d D [--shards K] [--model io|id] [--replay FILE]
+//!             [--data-dir DIR] [--compact-bytes N] …
+//! fews client ADDR [--space S] <certified|certify V|top K|stats|ingest FILE|checkpoint OUT|
+//!                               restore FILE|create-space NAME …|drop-space NAME|list-spaces|shutdown>
 //! ```
+//!
+//! `--data-dir DIR` makes `listen` durable: every space write-ahead-logs
+//! acknowledged ingest batches (fsync before ack) and is recovered on
+//! restart by checkpoint restore + WAL replay. `--space S` addresses any
+//! data command at tenant space `S` (default: the default space).
 //!
 //! Stream files use the `fews-stream::io` text format: one `a b [-]` update
 //! per line.
@@ -17,12 +24,12 @@
 
 mod opts;
 
-use fews_common::SpaceUsage;
+use fews_common::{SpaceConfig, SpaceId, SpaceModel, SpaceUsage};
 use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
 use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
 use fews_core::neighbourhood::Neighbourhood;
 use fews_engine::{Engine, EngineConfig, GlobalView};
-use fews_net::{Client, Server};
+use fews_net::{Client, Server, ServerOptions};
 use fews_stream::update::{as_insertions, degrees, net_graph};
 use fews_stream::{io as sio, Update};
 use opts::Opts;
@@ -75,9 +82,14 @@ fn usage(msg: &str) -> ! {
          fews listen --addr HOST:PORT --n N --d D [--alpha A] [--model io|id] [--seed S] \
          [--scale X] [--m M]\n  \
          {:13}[--shards K] [--partitions P] [--batch B] [--replay FILE] [--restore CKPT]\n  \
-         fews client ADDR <certified | certify V | top K | stats | ingest FILE [--batch B] | \
-         checkpoint OUT | restore CKPT | shutdown>",
-        "", ""
+         {:13}[--data-dir DIR] [--compact-bytes N]\n  \
+         fews client ADDR [--space S] <certified | certify V | top K | stats | \
+         ingest FILE [--batch B] |\n  \
+         {:13}checkpoint OUT | restore CKPT | shutdown |\n  \
+         {:13}create-space NAME --n N --d D [--alpha A] [--model io|id] [--m M] [--scale X] \
+         [--partitions P] [--quota Q] |\n  \
+         {:13}drop-space NAME | list-spaces>",
+        "", "", "", "", "", ""
     );
     std::process::exit(2);
 }
@@ -539,16 +551,30 @@ fn serve(rest: &[String]) {
 /// `fews listen`: start the TCP server and block until a client sends
 /// `shutdown`. `--replay FILE` and `--restore CKPT` pre-load the engine
 /// through a loopback client, so the data path is the wire path.
+/// `--data-dir DIR` turns on durability: spaces found under DIR are
+/// recovered before the first connection is accepted.
 fn listen(rest: &[String]) {
     let o = Opts::parse(rest);
     let addr = o.get_str("addr").unwrap_or_else(|| "127.0.0.1:7411".into());
     let (cfg, _, n, m) = engine_cfg_from(&o);
     let (shards, partitions) = (cfg.shards, cfg.partitions);
-    let server = Server::start(cfg, &addr).unwrap_or_else(|e| usage(&format!("bind {addr}: {e}")));
+    let opts = ServerOptions {
+        data_dir: o.get_str("data-dir").map(std::path::PathBuf::from),
+        compact_bytes: o.get("compact-bytes", 8u64 << 20).max(1),
+    };
+    let durable = opts.data_dir.clone();
+    let server = Server::start_with(cfg, &addr, opts)
+        .unwrap_or_else(|e| usage(&format!("bind {addr}: {e}")));
+    for line in server.recovery_log() {
+        outln!("recovered {line}");
+    }
     let bound = server.local_addr();
     outln!(
-        "listening on {bound} — {shards} shard(s) / {partitions} partition(s); \
-         stop with `fews client {bound} shutdown`"
+        "listening on {bound} — {shards} shard(s) / {partitions} partition(s){}; \
+         stop with `fews client {bound} shutdown`",
+        durable
+            .map(|d| format!(" | durable at {}", d.display()))
+            .unwrap_or_default()
     );
     if o.get_str("restore").is_some() || o.get_str("replay").is_some() {
         let mut local =
@@ -607,8 +633,31 @@ fn ingest_file(client: &mut Client, path: &str, batch: usize, n: u32, m: u64) ->
     count
 }
 
-/// `fews client ADDR CMD…`: one request against a running `fews listen`.
+/// Pull `--space S` out of a client argument list (it may appear anywhere),
+/// returning the addressed space and the remaining positional args.
+fn extract_space(rest: &[String]) -> (SpaceId, Vec<String>) {
+    let mut space = SpaceId::default_space();
+    let mut out = Vec::with_capacity(rest.len());
+    let mut i = 0usize;
+    while i < rest.len() {
+        if rest[i] == "--space" {
+            let name = rest
+                .get(i + 1)
+                .unwrap_or_else(|| usage("--space needs a NAME"));
+            space = SpaceId::new(name).unwrap_or_else(|e| usage(&format!("--space: {e}")));
+            i += 2;
+        } else {
+            out.push(rest[i].clone());
+            i += 1;
+        }
+    }
+    (space, out)
+}
+
+/// `fews client ADDR [--space S] CMD…`: one request against a running
+/// `fews listen`.
 fn client_cmd(rest: &[String]) {
+    let (space, rest) = extract_space(rest);
     let addr = rest
         .first()
         .cloned()
@@ -617,8 +666,9 @@ fn client_cmd(rest: &[String]) {
         .get(1)
         .cloned()
         .unwrap_or_else(|| usage("client needs a command"));
-    let mut client =
-        Client::connect(&addr).unwrap_or_else(|e| usage(&format!("connect {addr}: {e}")));
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| usage(&format!("connect {addr}: {e}")))
+        .with_space(space);
     let fail = |e: fews_net::ClientError| -> ! { usage(&format!("{cmd}: {e}")) };
     match cmd.as_str() {
         "certified" => {
@@ -652,13 +702,22 @@ fn client_cmd(rest: &[String]) {
         }
         "stats" => {
             let s = client.stats().unwrap_or_else(|e| fail(e));
-            let space: u64 = s.shards.iter().map(|sh| sh.space_bytes).sum();
             outln!(
-                "{} updates ingested | uptime {:.2}s | d₂ = {} | state {} KiB",
+                "space '{}': {} updates ingested | uptime {:.2}s | d₂ = {} | state {} KiB",
+                client.space(),
                 s.ingested,
                 s.uptime_micros as f64 / 1e6,
                 s.witness_target,
-                space / 1024
+                s.space_bytes / 1024
+            );
+            outln!(
+                "  wal {} KiB | quota {}",
+                s.wal_bytes / 1024,
+                if s.quota_bytes == 0 {
+                    "unlimited".to_string()
+                } else {
+                    format!("{} KiB", s.quota_bytes / 1024)
+                }
             );
             for (i, sh) in s.shards.iter().enumerate() {
                 outln!(
@@ -704,15 +763,98 @@ fn client_cmd(rest: &[String]) {
             client.restore(&bytes).unwrap_or_else(|e| fail(e));
             outln!("restored {} bytes into {addr}", bytes.len());
         }
+        "create-space" => {
+            let name = rest
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| usage("create-space needs a NAME"));
+            let name = SpaceId::new(&name).unwrap_or_else(|e| usage(&format!("create-space: {e}")));
+            let spec = space_spec_from(&Opts::parse(&rest[3..]));
+            client.create_space(&name, spec).unwrap_or_else(|e| fail(e));
+            outln!("created space '{name}'");
+        }
+        "drop-space" => {
+            let name = rest
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| usage("drop-space needs a NAME"));
+            let name = SpaceId::new(&name).unwrap_or_else(|e| usage(&format!("drop-space: {e}")));
+            client.drop_space(&name).unwrap_or_else(|e| fail(e));
+            outln!("dropped space '{name}'");
+        }
+        "list-spaces" => {
+            for info in client.list_spaces().unwrap_or_else(|e| fail(e)) {
+                let model = match info.spec.model {
+                    SpaceModel::InsertOnly => format!("io n={} ", info.spec.n),
+                    SpaceModel::InsertDelete => {
+                        format!("id n={} m={} ", info.spec.n, info.spec.m)
+                    }
+                };
+                outln!(
+                    "{:16} {model}d={} α={} partitions={} | state {} KiB | wal {} KiB | quota {}",
+                    info.name,
+                    info.spec.d,
+                    info.spec.alpha,
+                    info.spec.partitions,
+                    info.space_bytes / 1024,
+                    info.wal_bytes / 1024,
+                    if info.spec.quota_bytes == 0 {
+                        "unlimited".to_string()
+                    } else {
+                        format!("{} KiB", info.spec.quota_bytes / 1024)
+                    }
+                );
+            }
+        }
         "shutdown" => {
             client.shutdown().unwrap_or_else(|e| fail(e));
             outln!("server {addr} shutting down");
         }
         other => usage(&format!(
             "unknown client command {other} — try: certified | certify V | top K | stats | \
-             ingest FILE | checkpoint OUT | restore CKPT | shutdown"
+             ingest FILE | checkpoint OUT | restore CKPT | create-space NAME … | \
+             drop-space NAME | list-spaces | shutdown"
         )),
     }
+}
+
+/// Build a [`SpaceConfig`] from `create-space` flags (`--n --d [--alpha]
+/// [--model io|id] [--m] [--scale] [--partitions] [--quota]` — the same
+/// dialect as `run`/`serve`/`listen`, minus runtime shape).
+fn space_spec_from(o: &Opts) -> SpaceConfig {
+    let n: u32 = o
+        .get_str("n")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| usage("--n got an unparsable value"))
+        })
+        .unwrap_or_else(|| usage("--n is required"));
+    let d: u32 = o
+        .get_str("d")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| usage("--d got an unparsable value"))
+        })
+        .unwrap_or_else(|| usage("--d is required"));
+    let alpha: u32 = o.get("alpha", 2);
+    let partitions: u32 = o.get("partitions", fews_engine::DEFAULT_PARTITIONS as u32);
+    let quota: u64 = o.get("quota", 0u64);
+    let model: String = o.get_str("model").unwrap_or_else(|| "io".into());
+    let spec = match model.as_str() {
+        "io" => SpaceConfig::insert_only(n, d, alpha),
+        "id" => {
+            let m: u64 = o.get("m", 0);
+            if m == 0 {
+                usage("--m is required for --model id");
+            }
+            SpaceConfig::insert_delete(n, m, d, alpha, o.get("scale", 0.1f64))
+        }
+        other => usage(&format!("unknown model {other} (io|id)")),
+    }
+    .with_partitions(partitions)
+    .with_quota(quota);
+    spec.validate().unwrap_or_else(|e| usage(&e));
+    spec
 }
 
 fn print_wire_neighbourhood(nb: &Neighbourhood, d2: u64) {

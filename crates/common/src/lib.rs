@@ -12,6 +12,10 @@
 //!   exact binomial confidence bounds) used by the experiment harness.
 //! * [`rng`] — deterministic seed derivation so that every run of every
 //!   experiment and every parallel trial is reproducible from a single seed.
+//! * [`spaceid`] — multi-tenant *space* identifiers and per-space
+//!   configuration ([`SpaceId`], [`SpaceConfig`]): the key every layer above
+//!   (protocol, server registry, WAL, checkpoint envelope) uses to keep
+//!   tenants apart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +23,8 @@
 pub mod math;
 pub mod rng;
 pub mod space;
+pub mod spaceid;
 pub mod stats;
 
 pub use space::SpaceUsage;
+pub use spaceid::{SpaceConfig, SpaceId, SpaceModel, DEFAULT_SPACE};

@@ -1,0 +1,257 @@
+//! Multi-tenant *spaces*: validated identifiers and per-space configuration.
+//!
+//! A **space** is one independent tenant of a `fews` deployment: its own
+//! model (insertion-only or insertion-deletion), its own parameters, its own
+//! RNG seed stream, its own quota. Every layer above `fews-common` — the
+//! wire protocol, the server registry, the WAL, the checkpoint envelope —
+//! keys state by [`SpaceId`].
+//!
+//! This module is pure data: the wire/disk codec for [`SpaceConfig`] lives
+//! in `fews_core::wire` (next to the varint helpers it reuses), and seed
+//! derivation goes through [`crate::rng::derive_seed`] so that two spaces
+//! with different names draw independent randomness from one master seed.
+
+use crate::rng::{derive_seed, splitmix64};
+
+/// Name of the space every deployment starts with, and the space that
+/// pre-space clients and pre-space checkpoints resolve to.
+pub const DEFAULT_SPACE: &str = "default";
+
+/// Longest allowed space name, in bytes.
+pub const MAX_SPACE_NAME: usize = 64;
+
+/// Seed-stream label reserved for space-name hashing (disjoint from the
+/// engine's partition label `0xE26_1000`).
+const SPACE_STREAM: u64 = 0xE26_2000;
+
+/// A validated space identifier.
+///
+/// Names are 1–[`MAX_SPACE_NAME`] bytes of `[a-z0-9._-]`, starting with a
+/// letter or digit — safe as a wire token, a directory name under
+/// `--data-dir`, and a checkpoint envelope tag, with no escaping anywhere.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpaceId(String);
+
+impl SpaceId {
+    /// Validate `name` into a `SpaceId`.
+    pub fn new(name: &str) -> Result<SpaceId, String> {
+        if name.is_empty() || name.len() > MAX_SPACE_NAME {
+            return Err(format!(
+                "space name must be 1..={MAX_SPACE_NAME} bytes, got {}",
+                name.len()
+            ));
+        }
+        let mut chars = name.bytes();
+        let first = chars.next().expect("non-empty");
+        if !first.is_ascii_lowercase() && !first.is_ascii_digit() {
+            return Err(format!("space name must start with [a-z0-9], got {name:?}"));
+        }
+        for b in name.bytes() {
+            if !(b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'.' | b'_' | b'-')) {
+                return Err(format!(
+                    "space name may only contain [a-z0-9._-], got {name:?}"
+                ));
+            }
+        }
+        Ok(SpaceId(name.to_string()))
+    }
+
+    /// The always-present default space.
+    pub fn default_space() -> SpaceId {
+        SpaceId(DEFAULT_SPACE.to_string())
+    }
+
+    /// Whether this is the default space.
+    pub fn is_default(&self) -> bool {
+        self.0 == DEFAULT_SPACE
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Derive this space's master seed from the deployment master seed.
+    ///
+    /// The name bytes are folded through SplitMix64 into a stream label, so
+    /// distinct space names give independent seed streams, deterministically:
+    /// the same `(master, name)` pair always yields the same seed, on every
+    /// host and in every run.
+    pub fn seed_for(&self, master: u64) -> u64 {
+        let mut h = SPACE_STREAM;
+        for b in self.0.bytes() {
+            h = splitmix64(h ^ b as u64);
+        }
+        derive_seed(master, h)
+    }
+}
+
+impl std::fmt::Display for SpaceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for SpaceId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SpaceId::new(s)
+    }
+}
+
+/// Which algorithm family a space runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceModel {
+    /// Algorithm 2 (`FewwInsertOnly`); rejects deletions.
+    InsertOnly,
+    /// Algorithm 3 (`FewwInsertDelete`) over an `n × m` turnstile graph.
+    InsertDelete,
+}
+
+/// Per-space configuration: everything a server needs (besides the seed and
+/// the runtime shape it supplies itself) to start the space's engine.
+///
+/// `scale` is the insertion-deletion sampler budget factor
+/// (`IdConfig::sampler_scale`); it is carried as an `f64` and serialized
+/// bit-exactly, so a config round-trips through the wire and the disk
+/// without drift. `quota_bytes = 0` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceConfig {
+    /// Algorithm family.
+    pub model: SpaceModel,
+    /// A-vertex universe size `n`.
+    pub n: u32,
+    /// B-vertex universe size `m` (0 for insertion-only).
+    pub m: u64,
+    /// Degree threshold `d`.
+    pub d: u32,
+    /// Approximation factor α.
+    pub alpha: u32,
+    /// Sampler budget factor for the insertion-deletion model (ignored for
+    /// insertion-only, where it is fixed at 1.0).
+    pub scale: f64,
+    /// Logical partition count `P` of the space's engine.
+    pub partitions: u32,
+    /// Soft cap on the space's measured state size; 0 = unlimited.
+    pub quota_bytes: u64,
+}
+
+impl SpaceConfig {
+    /// Insertion-only space config with default partitions and no quota.
+    pub fn insert_only(n: u32, d: u32, alpha: u32) -> SpaceConfig {
+        SpaceConfig {
+            model: SpaceModel::InsertOnly,
+            n,
+            m: 0,
+            d,
+            alpha,
+            scale: 1.0,
+            partitions: 16,
+            quota_bytes: 0,
+        }
+    }
+
+    /// Insertion-deletion space config with default partitions and no quota.
+    pub fn insert_delete(n: u32, m: u64, d: u32, alpha: u32, scale: f64) -> SpaceConfig {
+        SpaceConfig {
+            model: SpaceModel::InsertDelete,
+            n,
+            m,
+            d,
+            alpha,
+            scale,
+            partitions: 16,
+            quota_bytes: 0,
+        }
+    }
+
+    /// Set the logical partition count.
+    pub fn with_partitions(mut self, partitions: u32) -> SpaceConfig {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Set the space's byte quota (0 = unlimited).
+    pub fn with_quota(mut self, quota_bytes: u64) -> SpaceConfig {
+        self.quota_bytes = quota_bytes;
+        self
+    }
+
+    /// Validate parameter ranges. Every config that crosses a trust boundary
+    /// (wire, disk) is validated before an engine is started from it.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 || self.d == 0 || self.alpha == 0 {
+            return Err("n, d, and alpha must be ≥ 1".into());
+        }
+        if self.partitions == 0 || self.partitions > 4096 {
+            return Err(format!(
+                "partitions must be in 1..=4096, got {}",
+                self.partitions
+            ));
+        }
+        match self.model {
+            SpaceModel::InsertOnly => {
+                if self.m != 0 {
+                    return Err("insertion-only spaces must have m = 0".into());
+                }
+            }
+            SpaceModel::InsertDelete => {
+                if self.m == 0 {
+                    return Err("insertion-deletion spaces need m ≥ 1".into());
+                }
+                if !(self.scale.is_finite() && self.scale > 0.0) {
+                    return Err(format!("scale must be finite and > 0, got {}", self.scale));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_validated() {
+        for ok in ["default", "a", "tenant-7", "x.y_z", "0abc"] {
+            assert!(SpaceId::new(ok).is_ok(), "{ok} should validate");
+        }
+        let too_long = "a".repeat(MAX_SPACE_NAME + 1);
+        for bad in ["", "Caps", "sp ace", "-lead", ".dot", "a/b", "é", &too_long] {
+            assert!(SpaceId::new(bad).is_err(), "{bad:?} should be rejected");
+        }
+        assert!(SpaceId::new(&"a".repeat(MAX_SPACE_NAME)).is_ok());
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_name_dependent() {
+        let a = SpaceId::new("alpha").unwrap();
+        let b = SpaceId::new("beta").unwrap();
+        assert_eq!(a.seed_for(2021), a.seed_for(2021));
+        assert_ne!(a.seed_for(2021), b.seed_for(2021));
+        assert_ne!(a.seed_for(2021), a.seed_for(2022));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SpaceConfig::insert_only(64, 8, 2).validate().is_ok());
+        assert!(SpaceConfig::insert_delete(64, 1 << 10, 8, 2, 0.1)
+            .validate()
+            .is_ok());
+        assert!(SpaceConfig::insert_only(0, 8, 2).validate().is_err());
+        assert!(SpaceConfig::insert_delete(64, 0, 8, 2, 0.1)
+            .validate()
+            .is_err());
+        assert!(SpaceConfig::insert_delete(64, 10, 8, 2, 0.0)
+            .validate()
+            .is_err());
+        assert!(SpaceConfig::insert_only(64, 8, 2)
+            .with_partitions(0)
+            .validate()
+            .is_err());
+        let mut io_with_m = SpaceConfig::insert_only(64, 8, 2);
+        io_with_m.m = 5;
+        assert!(io_with_m.validate().is_err());
+    }
+}

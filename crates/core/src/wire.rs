@@ -269,6 +269,56 @@ impl MemoryState {
     }
 }
 
+/// Append a [`SpaceConfig`] in the shared varint layout used by both the
+/// `fews-net` protocol (create-space / list-spaces bodies) and the
+/// `fews-engine` space directory files. The `scale` factor is serialized as
+/// its IEEE-754 bit pattern, so configs round-trip bit-exactly.
+pub fn put_space_config(buf: &mut Vec<u8>, cfg: &fews_common::SpaceConfig) {
+    buf.push(match cfg.model {
+        fews_common::SpaceModel::InsertOnly => 0,
+        fews_common::SpaceModel::InsertDelete => 1,
+    });
+    put_uvarint(buf, cfg.n as u64);
+    put_uvarint(buf, cfg.m);
+    put_uvarint(buf, cfg.d as u64);
+    put_uvarint(buf, cfg.alpha as u64);
+    put_uvarint(buf, cfg.scale.to_bits());
+    put_uvarint(buf, cfg.partitions as u64);
+    put_uvarint(buf, cfg.quota_bytes);
+}
+
+/// Read a [`SpaceConfig`] written by [`put_space_config`]; advances `pos`.
+/// Returns `None` on truncation, an unknown model tag, out-of-range fields,
+/// or a non-finite scale — a decoded config always passes
+/// `SpaceConfig::validate` range checks for its integer fields.
+pub fn get_space_config(buf: &[u8], pos: &mut usize) -> Option<fews_common::SpaceConfig> {
+    let model = match *buf.get(*pos)? {
+        0 => fews_common::SpaceModel::InsertOnly,
+        1 => fews_common::SpaceModel::InsertDelete,
+        _ => return None,
+    };
+    *pos += 1;
+    let n = u32::try_from(get_uvarint(buf, pos)?).ok()?;
+    let m = get_uvarint(buf, pos)?;
+    let d = u32::try_from(get_uvarint(buf, pos)?).ok()?;
+    let alpha = u32::try_from(get_uvarint(buf, pos)?).ok()?;
+    let scale = f64::from_bits(get_uvarint(buf, pos)?);
+    let partitions = u32::try_from(get_uvarint(buf, pos)?).ok()?;
+    let quota_bytes = get_uvarint(buf, pos)?;
+    let cfg = fews_common::SpaceConfig {
+        model,
+        n,
+        m,
+        d,
+        alpha,
+        scale,
+        partitions,
+        quota_bytes,
+    };
+    cfg.validate().ok()?;
+    Some(cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,5 +506,40 @@ mod tests {
         let mut bytes = MemoryState::capture(&run_alg(&edges)).encode();
         bytes.push(0); // trailing byte
         assert!(MemoryState::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn space_config_roundtrips_bit_exactly() {
+        use fews_common::SpaceConfig;
+        let configs = [
+            SpaceConfig::insert_only(64, 8, 2),
+            SpaceConfig::insert_delete(4096, 1 << 40, 100, 3, 0.037)
+                .with_partitions(7)
+                .with_quota(1 << 30),
+        ];
+        for cfg in configs {
+            let mut buf = Vec::new();
+            put_space_config(&mut buf, &cfg);
+            let mut pos = 0;
+            assert_eq!(get_space_config(&buf, &mut pos), Some(cfg));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn space_config_decode_rejects_damage() {
+        let cfg = fews_common::SpaceConfig::insert_delete(64, 1 << 10, 8, 2, 0.1);
+        let mut buf = Vec::new();
+        put_space_config(&mut buf, &cfg);
+        // Truncation at every length must fail cleanly, never panic.
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(get_space_config(&buf[..cut], &mut pos).is_none());
+        }
+        // Unknown model tag.
+        let mut bad = buf.clone();
+        bad[0] = 9;
+        let mut pos = 0;
+        assert!(get_space_config(&bad, &mut pos).is_none());
     }
 }

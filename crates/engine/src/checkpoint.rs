@@ -19,10 +19,14 @@
 //! same master seed write byte-identical checkpoints regardless of K.
 
 use crate::{EngineConfig, ModelSpec};
+use fews_common::spaceid::MAX_SPACE_NAME;
 use fews_core::wire::{get_uvarint, put_uvarint};
 
 /// Magic bytes opening every engine checkpoint.
 pub const MAGIC: &[u8; 8] = b"FEWWCKP1";
+
+/// Magic bytes opening a space-tagged v2 checkpoint envelope.
+pub const ENVELOPE_MAGIC: &[u8; 8] = b"FEWWCKP2";
 
 /// Per-partition payloads: `(partition id, encoded wire-format state)`.
 pub type PartitionPayloads = Vec<(u32, Vec<u8>)>;
@@ -100,6 +104,83 @@ impl Header {
         }
         Ok(())
     }
+}
+
+/// A parsed space-tagged checkpoint envelope (v2), or the default-space view
+/// of a bare v1 container.
+///
+/// The envelope wraps the v1 partition container without reinterpreting it:
+///
+/// ```text
+/// magic    b"FEWWCKP2"                    (8 bytes)
+/// space    name length varint, name bytes (UTF-8, SpaceId charset)
+/// wal_seq  varint — highest WAL record sequence number already folded into
+///          the inner container; recovery replays only records beyond it
+/// inner    the bare v1 container (b"FEWWCKP1"…), to the end of the bytes
+/// ```
+///
+/// Old bare containers stay restorable forever: [`unwrap_envelope`] maps a
+/// `FEWWCKP1` byte string to `(space = "default", wal_seq = 0, inner = all)`,
+/// mirroring how the pre-space wire-v1 insertion-deletion payloads from PR 3
+/// remain decodable behind the self-describing v2 tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<'a> {
+    /// Name of the space the checkpoint belongs to.
+    pub space: &'a str,
+    /// WAL sequence watermark: records with `seq <= wal_seq` are already in
+    /// the container and must not be replayed again.
+    pub wal_seq: u64,
+    /// The bare v1 partition container.
+    pub inner: &'a [u8],
+}
+
+/// Wrap a bare v1 container in a space-tagged v2 envelope.
+pub fn wrap_envelope(space: &str, wal_seq: u64, inner: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24 + space.len() + inner.len());
+    buf.extend_from_slice(ENVELOPE_MAGIC);
+    put_uvarint(&mut buf, space.len() as u64);
+    buf.extend_from_slice(space.as_bytes());
+    put_uvarint(&mut buf, wal_seq);
+    buf.extend_from_slice(inner);
+    buf
+}
+
+/// Parse a checkpoint byte string into its envelope view. Accepts both the
+/// v2 envelope and a bare v1 container (treated as the default space at
+/// watermark 0); anything else is [`CheckpointError::BadMagic`].
+pub fn unwrap_envelope(bytes: &[u8]) -> Result<Envelope<'_>, CheckpointError> {
+    if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC {
+        return Ok(Envelope {
+            space: fews_common::DEFAULT_SPACE,
+            wal_seq: 0,
+            inner: bytes,
+        });
+    }
+    if bytes.len() < ENVELOPE_MAGIC.len() || &bytes[..ENVELOPE_MAGIC.len()] != ENVELOPE_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut pos = ENVELOPE_MAGIC.len();
+    let name_len = get_uvarint(bytes, &mut pos).ok_or(CheckpointError::Truncated)? as usize;
+    if name_len > MAX_SPACE_NAME {
+        return Err(CheckpointError::Corrupt(format!(
+            "envelope space name is {name_len} bytes"
+        )));
+    }
+    let name_end = pos
+        .checked_add(name_len)
+        .ok_or(CheckpointError::Truncated)?;
+    if name_end > bytes.len() {
+        return Err(CheckpointError::Truncated);
+    }
+    let space = std::str::from_utf8(&bytes[pos..name_end])
+        .map_err(|_| CheckpointError::Corrupt("envelope space name is not UTF-8".into()))?;
+    pos = name_end;
+    let wal_seq = get_uvarint(bytes, &mut pos).ok_or(CheckpointError::Truncated)?;
+    Ok(Envelope {
+        space,
+        wal_seq,
+        inner: &bytes[pos..],
+    })
 }
 
 /// Assemble a checkpoint from per-partition payloads (must be sorted by
@@ -197,6 +278,44 @@ mod tests {
         assert!(matches!(
             header.check_against(&other),
             Err(CheckpointError::ConfigMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn envelope_roundtrips_and_v1_maps_to_default_space() {
+        let payloads = vec![(0u32, vec![1, 2]), (1, vec![]), (2, vec![7; 40])];
+        let inner = encode(&cfg(), &payloads);
+        let wrapped = wrap_envelope("tenant-3", 917, &inner);
+        let env = unwrap_envelope(&wrapped).unwrap();
+        assert_eq!(env.space, "tenant-3");
+        assert_eq!(env.wal_seq, 917);
+        assert_eq!(env.inner, &inner[..]);
+        decode(env.inner).unwrap();
+        // A bare v1 container is the default space at watermark 0.
+        let env = unwrap_envelope(&inner).unwrap();
+        assert_eq!(env.space, "default");
+        assert_eq!(env.wal_seq, 0);
+        assert_eq!(env.inner, &inner[..]);
+    }
+
+    #[test]
+    fn envelope_rejects_damage() {
+        assert!(matches!(
+            unwrap_envelope(b"NOTANENV"),
+            Err(CheckpointError::BadMagic)
+        ));
+        let wrapped = wrap_envelope("t", 3, b"FEWWCKP1x");
+        // Truncation inside the envelope header.
+        for cut in 8..11 {
+            assert!(unwrap_envelope(&wrapped[..cut]).is_err(), "cut at {cut}");
+        }
+        // Absurd name length.
+        let mut bad = b"FEWWCKP2".to_vec();
+        bad.push(0xFF);
+        bad.push(0x10); // varint 2063 > MAX_SPACE_NAME
+        assert!(matches!(
+            unwrap_envelope(&bad),
+            Err(CheckpointError::Corrupt(_))
         ));
     }
 }

@@ -282,13 +282,19 @@ impl Engine {
     /// differ). Replaces all partition state; the stream replay can then
     /// continue from where the checkpoint was taken.
     ///
+    /// Accepts both a bare v1 container and a space-tagged v2 envelope
+    /// ([`checkpoint::wrap_envelope`]) — the engine itself is space-agnostic
+    /// and restores the inner container either way; callers that care which
+    /// space the bytes belong to check the envelope before calling.
+    ///
     /// Restore is two-phase: every shard first decodes and validates its
     /// payloads without installing anything, and only when all of them
     /// succeed does the (infallible) install run — so on `Err` the engine's
     /// state is untouched.
     pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
         self.flush();
-        let (header, payloads) = checkpoint::decode(bytes)?;
+        let inner = checkpoint::unwrap_envelope(bytes)?.inner;
+        let (header, payloads) = checkpoint::decode(inner)?;
         header.check_against(&self.cfg)?;
         // Group payloads by owning shard, preserving partition order.
         let mut per_shard: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); self.cfg.shards];

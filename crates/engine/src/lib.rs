@@ -61,11 +61,13 @@ pub mod checkpoint;
 mod engine;
 mod shard;
 mod view;
+pub mod wal;
 
 pub use engine::{Engine, EngineStats, ShardStats};
 pub use view::GlobalView;
 
 use fews_common::rng::{derive_seed, splitmix64};
+use fews_common::{SpaceConfig, SpaceModel};
 use fews_core::insertion_deletion::IdConfig;
 use fews_core::insertion_only::FewwConfig;
 
@@ -176,6 +178,36 @@ impl EngineConfig {
             ModelSpec::InsertOnly(cfg) => cfg.witness_target(),
             ModelSpec::InsertDelete(cfg) => cfg.witness_target(),
         }
+    }
+
+    /// Build an engine config for a tenant space: model and partition count
+    /// from the [`SpaceConfig`], runtime shape (shards, batch, queue depth)
+    /// left at the defaults for the caller to override. `spec` must have
+    /// passed [`SpaceConfig::validate`].
+    pub fn from_space(spec: &SpaceConfig, seed: u64) -> Self {
+        let base = match spec.model {
+            SpaceModel::InsertOnly => {
+                Self::insert_only(FewwConfig::new(spec.n, spec.d, spec.alpha), seed)
+            }
+            SpaceModel::InsertDelete => Self::insert_delete(
+                IdConfig::with_scale(spec.n, spec.m, spec.d, spec.alpha, spec.scale),
+                seed,
+            ),
+        };
+        base.with_partitions(spec.partitions as usize)
+    }
+
+    /// The [`SpaceConfig`] describing this engine's model and partitions
+    /// (quota is a serving-layer concern and comes in from the caller).
+    pub fn to_space(&self, quota_bytes: u64) -> SpaceConfig {
+        match self.model {
+            ModelSpec::InsertOnly(c) => SpaceConfig::insert_only(c.n, c.d, c.alpha),
+            ModelSpec::InsertDelete(c) => {
+                SpaceConfig::insert_delete(c.n, c.m, c.d, c.alpha, c.sampler_scale)
+            }
+        }
+        .with_partitions(self.partitions as u32)
+        .with_quota(quota_bytes)
     }
 
     pub(crate) fn validate(&self) {

@@ -1,0 +1,761 @@
+//! Write-ahead logging and the per-space durability directory.
+//!
+//! Durability contract: **fsync before ack**. A batch of updates is appended
+//! to the log and `fdatasync`'d *before* the serving layer acknowledges the
+//! client — so every acknowledged update is on disk, and a `kill -9` at any
+//! instant loses at most un-acknowledged work. Append, file write, and
+//! fsync are separate steps ([`Wal::append`] buffers in memory,
+//! [`WalHandle::flush`] writes, [`WalHandle::sync`] makes durable) so the
+//! serving layer can group-commit: one write+fsync covers every record
+//! appended before it. Recovery restores each space's newest checkpoint
+//! envelope and replays the log tail beyond its watermark, reproducing the
+//! exact acknowledged state (`tests/tests/wal_recovery.rs` byte-diffs this
+//! against a no-crash reference).
+//!
+//! The log is **shared by every space of a server** — one file at the root
+//! of the data dir, each record tagged with the space it belongs to. One
+//! log instead of one per space is what makes multi-tenant group commit
+//! work: every concurrent batch rides the same flush+fsync no matter which
+//! space it addresses, where per-space files would pay one fsync per space
+//! per wave (`fdatasync` cannot cover two files). Recovery demultiplexes
+//! records by tag; each space skips records at or below its own checkpoint
+//! watermark.
+//!
+//! ## Log format
+//!
+//! An append-only sequence of self-checking records:
+//!
+//! ```text
+//! length   u32 LE — byte count of the payload that follows the two fields
+//! crc32    u32 LE — IEEE CRC-32 of the payload
+//! payload  seq varint      — strictly increasing record sequence number
+//!          space_len varint, space bytes — the space the batch addressed
+//!          count varint    — updates in the batch
+//!          count × { a varint, b varint, sign byte (0 insert / 1 delete) }
+//! ```
+//!
+//! A record is *valid* only if its length is sane, its CRC matches, its
+//! payload decodes exactly, and its sequence number strictly increases.
+//! Recovery stops at the first violation and truncates the file back to the
+//! last valid boundary: a torn final write (the expected crash artifact
+//! under fsync-before-ack) silently disappears, and mid-log corruption is
+//! reported while the valid prefix is recovered.
+//!
+//! ## Compaction
+//!
+//! The log is not allowed to grow without bound: once it passes the serving
+//! layer's threshold, every space's engine is checkpointed into a
+//! space-tagged envelope ([`crate::checkpoint::wrap_envelope`]) carrying
+//! that space's highest applied sequence number, each envelope is written
+//! atomically (tmp + `fsync` + `rename` + directory `fsync`), and the log
+//! is reset. A crash between those steps is safe: replay skips every record
+//! at or below its space's envelope watermark, so nothing is applied twice.
+use fews_common::{SpaceConfig, SpaceId};
+use fews_core::wire::{get_space_config, get_uvarint, put_space_config, put_uvarint};
+use fews_stream::{Edge, Update};
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Magic bytes opening a space configuration file (`space.cfg`).
+pub const SPACE_CONFIG_MAGIC: &[u8; 8] = b"FEWWSPC1";
+
+/// Upper bound on one record's payload — matches the wire frame cap, since
+/// every logged batch arrived in one frame.
+const MAX_RECORD: usize = 64 << 20;
+
+/// File name of the server-wide shared log at the data-dir root.
+const WAL_FILE: &str = "wal.log";
+/// Sparse-allocation step for the log file. The file is extended with
+/// `set_len` in whole chunks and records are written *inside* that
+/// allocation with positioned writes, so a steady-state `fdatasync` never
+/// has to journal a file-size change — on ext4 that roughly halves the
+/// fsync latency on the group-commit critical path. The untouched tail of
+/// a chunk reads back as zeros, which the scanner treats as the clean end
+/// of the log.
+const GROW_CHUNK: u64 = 4 << 20;
+/// File names inside a space directory.
+const CHECKPOINT_FILE: &str = "checkpoint.fck";
+const CONFIG_FILE: &str = "space.cfg";
+const TMP_SUFFIX: &str = ".tmp";
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, computed at compile time.
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// IEEE CRC-32 of `bytes` (the checksum guarding every WAL record).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Record codec.
+
+/// Append one complete record (header + payload) for `updates` at `seq`,
+/// tagged with the space the batch addressed.
+fn encode_record(buf: &mut Vec<u8>, seq: u64, space: &str, updates: &[Update]) {
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; 8]); // length + crc slots, patched below
+    put_uvarint(buf, seq);
+    put_uvarint(buf, space.len() as u64);
+    buf.extend_from_slice(space.as_bytes());
+    put_uvarint(buf, updates.len() as u64);
+    for u in updates {
+        put_uvarint(buf, u.edge.a as u64);
+        put_uvarint(buf, u.edge.b);
+        buf.push(if u.delta >= 0 { 0 } else { 1 });
+    }
+    let payload_len = buf.len() - start - 8;
+    assert!(payload_len <= MAX_RECORD, "WAL record exceeds MAX_RECORD");
+    let crc = crc32(&buf[start + 8..]);
+    buf[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decode one record payload into `(seq, space, updates)`; `None` on any
+/// damage.
+fn decode_payload(payload: &[u8]) -> Option<(u64, String, Vec<Update>)> {
+    let mut pos = 0usize;
+    let seq = get_uvarint(payload, &mut pos)?;
+    let space_len = get_uvarint(payload, &mut pos)? as usize;
+    let space_end = pos.checked_add(space_len).filter(|&e| e <= payload.len())?;
+    let space = std::str::from_utf8(&payload[pos..space_end])
+        .ok()?
+        .to_string();
+    pos = space_end;
+    let count = get_uvarint(payload, &mut pos)? as usize;
+    if count > payload.len() / 3 + 1 {
+        return None; // every update needs ≥ 3 bytes
+    }
+    let mut updates = Vec::with_capacity(count);
+    for _ in 0..count {
+        let a = u32::try_from(get_uvarint(payload, &mut pos)?).ok()?;
+        let b = get_uvarint(payload, &mut pos)?;
+        let sign = *payload.get(pos)?;
+        pos += 1;
+        let edge = Edge::new(a, b);
+        updates.push(match sign {
+            0 => Update::insert(edge),
+            1 => Update::delete(edge),
+            _ => return None,
+        });
+    }
+    if pos != payload.len() {
+        return None; // trailing bytes
+    }
+    Some((seq, space, updates))
+}
+
+/// One recovered batch: the record's sequence number, the space it
+/// addressed, and its updates.
+pub type WalRecord = (u64, String, Vec<Update>);
+
+/// What [`Wal::open`] found in an existing log.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// Every valid record in order. The caller demultiplexes by space tag
+    /// and filters against each space's own checkpoint watermark.
+    pub replay: Vec<WalRecord>,
+    /// Highest sequence number among all valid records (0 if none).
+    pub last_seq: u64,
+    /// Why the log's tail was discarded, if it was: a torn final record, a
+    /// CRC mismatch, or a sequence regression. The file has already been
+    /// truncated back to the last valid boundary.
+    pub damage: Option<String>,
+}
+
+/// Scan raw log bytes into valid records plus the valid prefix length.
+/// Pure function — the unit of testing for torn/corrupt logs.
+pub fn scan_log(bytes: &[u8]) -> (Vec<WalRecord>, usize, Option<String>) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut prev_seq = 0u64;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            return (records, pos, Some("torn record header at log tail".into()));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_RECORD {
+            return (records, pos, Some(format!("absurd record length {len}")));
+        }
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len == 0 && crc == 0 {
+            // A zeroed header is the end of the live log inside a
+            // preallocated file, not damage: records are never empty, and
+            // fsync-before-ack means nothing beyond it was ever promised.
+            return (records, pos, None);
+        }
+        let Some(end) = pos.checked_add(8 + len).filter(|&e| e <= bytes.len()) else {
+            return (records, pos, Some("torn record payload at log tail".into()));
+        };
+        let payload = &bytes[pos + 8..end];
+        if crc32(payload) != crc {
+            return (records, pos, Some("record CRC mismatch".into()));
+        }
+        let Some((seq, space, updates)) = decode_payload(payload) else {
+            return (records, pos, Some("record payload undecodable".into()));
+        };
+        if seq <= prev_seq {
+            return (
+                records,
+                pos,
+                Some(format!("sequence regression {prev_seq} -> {seq}")),
+            );
+        }
+        prev_seq = seq;
+        records.push((seq, space, updates));
+        pos = end;
+    }
+    (records, pos, None)
+}
+
+/// The record's byte position and sequence assignment returned by
+/// [`Wal::append`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalAppend {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// Logical log length once the record is in — the durability target a
+    /// subsequent flush + fsync must cover before the batch may be
+    /// acknowledged.
+    pub end: u64,
+    /// Encoded size of this record alone.
+    pub len: u64,
+}
+
+/// An open write-ahead log — one per server, shared by all of its spaces.
+///
+/// Appends land in an in-memory *log buffer* — no syscall at all. Getting
+/// them to disk is a separate, explicit flush (buffer → file) and fsync,
+/// reachable without the `Wal` itself through a cloneable [`WalHandle`].
+/// That split is what lets a server group-commit: many appended records
+/// ride one write+fsync, appends never touch the file's inode (so they
+/// cannot stall behind an in-flight fsync), and the flush/fsync run outside
+/// whatever lock serializes appends. The contract stands regardless: **no
+/// record may be acknowledged before a flush *and* an fsync have covered
+/// it.**
+#[derive(Debug)]
+pub struct Wal {
+    io: WalHandle,
+}
+
+/// The log buffer: appended records not yet written to the file, plus the
+/// counters that make appends self-contained under one lock.
+#[derive(Debug, Default)]
+struct WalBuf {
+    data: Vec<u8>,
+    /// Logical log length: live file bytes plus the pending buffer.
+    bytes: u64,
+    /// Physical file size (`set_len` high-water mark); grown in
+    /// [`GROW_CHUNK`] steps ahead of the logical length.
+    allocated: u64,
+    next_seq: u64,
+}
+
+/// Shared access to a log's buffer and file: enough to flush and fsync, not
+/// enough to append or reset. The buffer lock serializes flush-writes with
+/// resets; the fsync itself holds no lock at all.
+#[derive(Debug, Clone)]
+pub struct WalHandle {
+    file: Arc<File>,
+    pending: Arc<Mutex<WalBuf>>,
+}
+
+impl WalHandle {
+    /// Write the pending log buffer to the file (page cache, no fsync).
+    /// After `Ok`, every record appended so far is in the file and
+    /// [`WalHandle::sync`] makes it durable.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut pending = self.pending.lock().expect("wal buffer");
+        if !pending.data.is_empty() {
+            if pending.bytes > pending.allocated {
+                // Sparse extension, whole chunks at a time: the size change
+                // is journalled here, once, instead of on every fsync.
+                let grown = pending.bytes.div_ceil(GROW_CHUNK) * GROW_CHUNK;
+                self.file.set_len(grown)?;
+                pending.allocated = grown;
+            }
+            let offset = pending.bytes - pending.data.len() as u64;
+            self.file.write_all_at(&pending.data, offset)?;
+            pending.data.clear();
+        }
+        Ok(())
+    }
+
+    /// Flush the log buffer and fsync: everything appended before this call
+    /// is on stable storage when it returns.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.flush()?;
+        self.file.sync_data()
+    }
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, recover its valid records, and
+    /// truncate away any damaged tail. `floor_seq` is the highest checkpoint
+    /// watermark across the server's spaces: the log may have been reset
+    /// since those sequence numbers were issued, and new records must stay
+    /// above every watermark or replay would skip them.
+    pub fn open(path: &Path, floor_seq: u64) -> std::io::Result<(Wal, WalRecovery)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (replay, valid_len, damage) = scan_log(&bytes);
+        let mut allocated = bytes.len() as u64;
+        if damage.is_some() {
+            // Drop the damaged tail. The shrink deallocates it, and the
+            // bytes read back as zeros once the file regrows — a clean end
+            // of log, so the damage is reported exactly once.
+            file.set_len(valid_len as u64)?;
+            file.sync_all()?;
+            allocated = valid_len as u64;
+        }
+        let last_seq = replay.last().map_or(0, |(seq, _, _)| *seq);
+        let wal = Wal {
+            io: WalHandle {
+                file: Arc::new(file),
+                pending: Arc::new(Mutex::new(WalBuf {
+                    data: Vec::new(),
+                    bytes: valid_len as u64,
+                    allocated,
+                    next_seq: last_seq.max(floor_seq) + 1,
+                })),
+            },
+        };
+        Ok((
+            wal,
+            WalRecovery {
+                replay,
+                last_seq,
+                damage,
+            },
+        ))
+    }
+
+    /// Append one batch for `space` to the log buffer (**no file I/O**).
+    /// Safe to call from many spaces concurrently — the buffer lock
+    /// serializes encoding and assigns globally increasing sequence numbers.
+    pub fn append(&self, space: &str, updates: &[Update]) -> WalAppend {
+        let mut pending = self.io.pending.lock().expect("wal buffer");
+        let seq = pending.next_seq;
+        let before = pending.data.len();
+        encode_record(&mut pending.data, seq, space, updates);
+        let len = (pending.data.len() - before) as u64;
+        pending.bytes += len;
+        pending.next_seq += 1;
+        WalAppend {
+            seq,
+            end: pending.bytes,
+            len,
+        }
+    }
+
+    /// Flush the log buffer and fsync: everything appended so far is on
+    /// stable storage when this returns.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.io.sync()
+    }
+
+    /// A cloneable flush/fsync handle to the log's buffer and file, for
+    /// making records durable outside whatever lock owns the `Wal` itself.
+    pub fn handle(&self) -> WalHandle {
+        self.io.clone()
+    }
+
+    /// Reset the log after a compaction has durably checkpointed every
+    /// space. The pending buffer is discarded with the file contents —
+    /// every appended record is covered by the checkpoints just taken.
+    /// Sequence numbers keep increasing across resets — the checkpoint
+    /// envelopes' watermarks are what make replay exactly-once.
+    pub fn reset(&self) -> std::io::Result<()> {
+        // Holding the buffer lock across the truncate keeps a concurrent
+        // [`WalHandle::flush`] from interleaving a write with it.
+        let mut pending = self.io.pending.lock().expect("wal buffer");
+        pending.data.clear();
+        // Shrink to zero (dropping every old record), then regrow sparse:
+        // the untouched allocation reads back as zeros — a clean end of
+        // log — and steady-state appends overwrite inside it without ever
+        // moving the file size again.
+        self.io.file.set_len(0)?;
+        self.io.file.set_len(GROW_CHUNK)?;
+        self.io.file.sync_all()?;
+        pending.bytes = 0;
+        pending.allocated = GROW_CHUNK;
+        Ok(())
+    }
+
+    /// Current logical log size in bytes (the compaction trigger input).
+    pub fn bytes(&self) -> u64 {
+        self.io.pending.lock().expect("wal buffer").bytes
+    }
+
+    /// Sequence number of the most recently appended record (0 = none yet).
+    pub fn last_seq(&self) -> u64 {
+        self.io.pending.lock().expect("wal buffer").next_seq - 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-space durability directory.
+
+/// Atomically replace `path` with `bytes`: write a sibling tmp file, fsync
+/// it, rename over the target, fsync the parent directory. A crash at any
+/// point leaves either the old complete file or the new complete file.
+fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path.file_name().expect("file path").to_os_string();
+    tmp_name.push(TMP_SUFFIX);
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// Path of the server-wide shared write-ahead log under `data_dir`.
+pub fn wal_path(data_dir: &Path) -> PathBuf {
+    data_dir.join(WAL_FILE)
+}
+
+/// The on-disk home of one space under `--data-dir`:
+///
+/// ```text
+/// DATA_DIR/wal.log                 the shared write-ahead log (all spaces)
+/// DATA_DIR/<space>/space.cfg       magic, seed, SpaceConfig (atomic writes)
+/// DATA_DIR/<space>/checkpoint.fck  space-tagged checkpoint envelope
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceDir {
+    dir: PathBuf,
+}
+
+impl SpaceDir {
+    /// The directory for `space` under `data_dir` (not created yet).
+    pub fn new(data_dir: &Path, space: &SpaceId) -> SpaceDir {
+        SpaceDir {
+            dir: data_dir.join(space.as_str()),
+        }
+    }
+
+    /// The space's directory path.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether this space has been initialised on disk.
+    pub fn exists(&self) -> bool {
+        self.dir.join(CONFIG_FILE).is_file()
+    }
+
+    /// Create the directory and durably record the space's config and seed.
+    pub fn init(&self, spec: &SpaceConfig, seed: u64) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(SPACE_CONFIG_MAGIC);
+        put_uvarint(&mut buf, seed);
+        put_space_config(&mut buf, spec);
+        atomic_write(&self.dir.join(CONFIG_FILE), &buf)?;
+        // Make the new directory entry itself durable.
+        if let Some(parent) = self.dir.parent() {
+            File::open(parent)?.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Load the space's `(config, seed)` written by [`SpaceDir::init`].
+    pub fn load_config(&self) -> std::io::Result<(SpaceConfig, u64)> {
+        let path = self.dir.join(CONFIG_FILE);
+        let bytes = std::fs::read(&path)?;
+        if bytes.len() < SPACE_CONFIG_MAGIC.len()
+            || &bytes[..SPACE_CONFIG_MAGIC.len()] != SPACE_CONFIG_MAGIC
+        {
+            return Err(invalid(format!("{}: not a space config", path.display())));
+        }
+        let mut pos = SPACE_CONFIG_MAGIC.len();
+        let seed = get_uvarint(&bytes, &mut pos)
+            .ok_or_else(|| invalid(format!("{}: truncated", path.display())))?;
+        let spec = get_space_config(&bytes, &mut pos)
+            .ok_or_else(|| invalid(format!("{}: undecodable config", path.display())))?;
+        if pos != bytes.len() {
+            return Err(invalid(format!("{}: trailing bytes", path.display())));
+        }
+        Ok((spec, seed))
+    }
+
+    /// Atomically replace the space's checkpoint envelope.
+    pub fn write_checkpoint(&self, envelope: &[u8]) -> std::io::Result<()> {
+        atomic_write(&self.dir.join(CHECKPOINT_FILE), envelope)
+    }
+
+    /// Read the space's checkpoint envelope, if one has been written.
+    pub fn read_checkpoint(&self) -> std::io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.dir.join(CHECKPOINT_FILE)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Delete the space's directory and everything in it.
+    pub fn remove(&self) -> std::io::Result<()> {
+        std::fs::remove_dir_all(&self.dir)?;
+        if let Some(parent) = self.dir.parent() {
+            File::open(parent)?.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Every initialised space under `data_dir`, sorted by name. Entries
+    /// that are not valid space names (or not initialised) are skipped.
+    pub fn list_spaces(data_dir: &Path) -> std::io::Result<Vec<SpaceId>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(data_dir)? {
+            let entry = entry?;
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            let Ok(space) = SpaceId::new(&name) else {
+                continue;
+            };
+            if SpaceDir::new(data_dir, &space).exists() {
+                out.push(space);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fews-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    fn batch(lo: u32, n: u32) -> Vec<Update> {
+        (lo..lo + n)
+            .map(|i| {
+                let e = Edge::new(i % 17, i as u64 * 31);
+                if i % 5 == 4 {
+                    Update::delete(e)
+                } else {
+                    Update::insert(e)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_reopen_replays_everything_with_space_tags() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join(WAL_FILE);
+        let (wal, rec) = Wal::open(&path, 0).expect("open fresh");
+        assert!(rec.replay.is_empty() && rec.damage.is_none());
+        let batches = [batch(0, 7), batch(100, 1), batch(200, 64)];
+        let spaces = ["default", "tenant-a", "default"];
+        for (i, (b, sp)) in batches.iter().zip(spaces).enumerate() {
+            let a = wal.append(sp, b);
+            assert_eq!(a.seq, i as u64 + 1);
+            assert_eq!(a.end, wal.bytes(), "append reports the covered length");
+        }
+        assert_eq!(wal.last_seq(), 3);
+        wal.sync().expect("sync");
+        drop(wal);
+
+        let (_, rec) = Wal::open(&path, 0).expect("reopen");
+        assert!(rec.damage.is_none());
+        assert_eq!(rec.last_seq, 3);
+        assert_eq!(rec.replay.len(), 3);
+        for ((seq, space, got), (want, want_space)) in
+            rec.replay.iter().zip(batches.iter().zip(spaces))
+        {
+            assert_eq!(got, want, "record {seq} diverged");
+            assert_eq!(space, want_space, "record {seq} space tag diverged");
+        }
+        // A space whose checkpoint watermark is 2 replays only the third
+        // record; the caller does that filtering per space.
+        let beyond: Vec<_> = rec.replay.iter().filter(|(seq, _, _)| *seq > 2).collect();
+        assert_eq!(beyond.len(), 1);
+        assert_eq!(beyond[0].0, 3);
+        // Reopening with a floor above the log's own max keeps new sequence
+        // numbers above every outstanding checkpoint watermark.
+        let (wal, _) = Wal::open(&path, 7).expect("reopen with floor");
+        assert_eq!(wal.append("default", &batches[0]).seq, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_rest_recovered() {
+        let dir = tmp_dir("torn");
+        let path = dir.join(WAL_FILE);
+        let (wal, _) = Wal::open(&path, 0).expect("open");
+        wal.append("default", &batch(0, 10));
+        wal.append("default", &batch(50, 10));
+        let full = wal.bytes();
+        wal.sync().expect("sync");
+        drop(wal);
+        // Tear the final record at every byte boundary inside it.
+        let bytes = std::fs::read(&path).expect("read log");
+        let first_len = {
+            let (records, _, _) = scan_log(&bytes);
+            assert_eq!(records.len(), 2);
+            let mut pos = 0;
+            let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            pos += 8 + len;
+            pos
+        };
+        for cut in [first_len + 1, first_len + 8, full as usize - 1] {
+            std::fs::write(&path, &bytes[..cut]).expect("tear");
+            let (wal, rec) = Wal::open(&path, 0).expect("reopen torn");
+            assert!(rec.damage.is_some(), "cut {cut} should report damage");
+            assert_eq!(rec.replay.len(), 1, "cut {cut}: first record survives");
+            assert_eq!(rec.last_seq, 1);
+            assert_eq!(wal.bytes(), first_len as u64, "cut {cut}: truncated");
+            drop(wal);
+            // After truncation the log is clean again.
+            let (_, rec) = Wal::open(&path, 0).expect("reopen clean");
+            assert!(rec.damage.is_none());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_stops_replay_at_the_damage() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join(WAL_FILE);
+        let (wal, _) = Wal::open(&path, 0).expect("open");
+        for i in 0..3 {
+            wal.append("default", &batch(i * 100, 20));
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+        let mut bytes = std::fs::read(&path).expect("read");
+        // Flip a payload byte in the middle record.
+        let len0 = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let mid_payload = len0 + 8 + 8 + 2;
+        bytes[mid_payload] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let (_, rec) = Wal::open(&path, 0).expect("reopen");
+        assert_eq!(rec.replay.len(), 1, "only the prefix before the damage");
+        assert!(rec.damage.expect("damage reported").contains("CRC"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_preserves_sequence_monotonicity() {
+        let dir = tmp_dir("reset");
+        let path = dir.join(WAL_FILE);
+        let (wal, _) = Wal::open(&path, 0).expect("open");
+        wal.append("default", &batch(0, 4));
+        wal.append("default", &batch(10, 4));
+        wal.reset().expect("reset");
+        assert_eq!(wal.bytes(), 0);
+        let a = wal.append("default", &batch(20, 4));
+        assert_eq!(a.seq, 3, "sequence numbers must survive compaction");
+        wal.sync().expect("sync");
+        drop(wal);
+        // Only the post-reset record is in the file; a space checkpointed at
+        // watermark 2 replays exactly it.
+        let (_, rec) = Wal::open(&path, 0).expect("reopen");
+        assert_eq!(rec.replay.len(), 1);
+        assert_eq!(rec.replay[0].0, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn space_dir_config_and_checkpoint_roundtrip() {
+        let root = tmp_dir("spacedir");
+        let space = SpaceId::new("tenant-1").expect("name");
+        let sd = SpaceDir::new(&root, &space);
+        assert!(!sd.exists());
+        let spec = SpaceConfig::insert_delete(64, 1 << 12, 10, 2, 0.05)
+            .with_partitions(4)
+            .with_quota(1 << 20);
+        sd.init(&spec, 9177).expect("init");
+        assert!(sd.exists());
+        assert_eq!(sd.load_config().expect("load"), (spec, 9177));
+        assert_eq!(sd.read_checkpoint().expect("read"), None);
+        sd.write_checkpoint(b"FEWWCKP2-pretend").expect("write");
+        assert_eq!(
+            sd.read_checkpoint().expect("read").as_deref(),
+            Some(&b"FEWWCKP2-pretend"[..])
+        );
+        // Listing sees it; junk directories are skipped.
+        std::fs::create_dir_all(root.join("Not A Space")).expect("junk dir");
+        std::fs::create_dir_all(root.join("uninitialised")).expect("empty dir");
+        let listed = SpaceDir::list_spaces(&root).expect("list");
+        assert_eq!(listed, vec![space.clone()]);
+        sd.remove().expect("remove");
+        assert!(SpaceDir::list_spaces(&root).expect("list").is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_config_is_invalid_data_not_panic() {
+        let root = tmp_dir("badcfg");
+        let space = SpaceId::new("s").expect("name");
+        let sd = SpaceDir::new(&root, &space);
+        sd.init(&SpaceConfig::insert_only(8, 4, 2), 1)
+            .expect("init");
+        let path = sd.path().join(CONFIG_FILE);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.truncate(bytes.len() - 1);
+        std::fs::write(&path, &bytes).expect("truncate");
+        let err = sd.load_config().expect_err("must fail");
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

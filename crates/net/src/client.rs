@@ -1,6 +1,7 @@
 //! A blocking client for the `fews-net` protocol.
 
-use crate::proto::{check_frame_len, ErrorCode, Request, Response, WireStats};
+use crate::proto::{check_frame_len, ErrorCode, Request, Response, WireSpaceInfo, WireStats};
+use fews_common::{SpaceConfig, SpaceId};
 use fews_core::neighbourhood::Neighbourhood;
 use fews_stream::Update;
 use std::io::{Read, Write};
@@ -50,6 +51,13 @@ const BUF_RETAIN: usize = 1 << 20;
 /// A connected `fews-net` client. One request/response at a time; reuse the
 /// connection for as many requests as you like.
 ///
+/// Every data request is addressed to the client's *current space* (the
+/// default space after [`Client::connect`]; change it with
+/// [`Client::set_space`] / [`Client::with_space`]). Space lifecycle calls
+/// ([`Client::create_space`] / [`Client::drop_space`] /
+/// [`Client::list_spaces`]) name their target explicitly and leave the
+/// current space untouched.
+///
 /// The client owns one send and one receive buffer for its whole life:
 /// request frames are encoded in place and response payloads read in place,
 /// so the steady-state request loop performs no per-frame allocations
@@ -57,6 +65,7 @@ const BUF_RETAIN: usize = 1 << 20;
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    space: SpaceId,
     bytes_sent: u64,
     bytes_received: u64,
     send_buf: Vec<u8>,
@@ -64,17 +73,34 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server, addressing the default space.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             stream,
+            space: SpaceId::default_space(),
             bytes_sent: 0,
             bytes_received: 0,
             send_buf: Vec::new(),
             recv_buf: Vec::new(),
         })
+    }
+
+    /// The space this client currently addresses.
+    pub fn space(&self) -> &SpaceId {
+        &self.space
+    }
+
+    /// Address `space` from now on.
+    pub fn set_space(&mut self, space: SpaceId) {
+        self.space = space;
+    }
+
+    /// Builder form of [`Client::set_space`].
+    pub fn with_space(mut self, space: SpaceId) -> Client {
+        self.space = space;
+        self
     }
 
     /// Bytes written to the socket so far (frames included).
@@ -114,10 +140,11 @@ impl Client {
         response
     }
 
-    /// Send one request and read one response frame.
+    /// Send one request (addressed to the current space) and read one
+    /// response frame.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.send_buf.clear();
-        request.encode_into(&mut self.send_buf);
+        request.encode_into(&self.space, &mut self.send_buf);
         self.transact_staged()
     }
 
@@ -129,29 +156,33 @@ impl Client {
     }
 
     fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.expect_in(&self.space.clone(), request)
+    }
+
+    fn expect_in(&mut self, space: &SpaceId, request: &Request) -> Result<Response, ClientError> {
         self.send_buf.clear();
-        request.encode_into(&mut self.send_buf);
+        request.encode_into(space, &mut self.send_buf);
         self.expect_staged()
     }
 
     /// Apply a batch of updates; returns the server's applied count.
     pub fn ingest_batch(&mut self, updates: &[Update]) -> Result<u64, ClientError> {
         // Worst-case wire size per update: two max-length varints + sign.
-        if !crate::proto::body_fits(updates.len().saturating_mul(16) + 10) {
+        if !crate::proto::body_fits(updates.len().saturating_mul(16) + 80) {
             return Err(ClientError::Protocol(format!(
                 "batch of {} updates may not fit one frame — split it",
                 updates.len()
             )));
         }
         self.send_buf.clear();
-        crate::proto::encode_ingest_batch_into(&mut self.send_buf, updates);
+        crate::proto::encode_ingest_batch_into(&mut self.send_buf, &self.space, updates);
         match self.expect_staged()? {
             Response::Ingested(count) => Ok(count),
             other => Err(unexpected("Ingested", &other)),
         }
     }
 
-    /// The engine's certified output.
+    /// The space's certified output.
     pub fn certified(&mut self) -> Result<Option<Neighbourhood>, ClientError> {
         match self.expect(&Request::Certified)? {
             Response::Answer(nb) => Ok(nb),
@@ -175,7 +206,7 @@ impl Client {
         }
     }
 
-    /// Engine statistics.
+    /// Statistics for the current space.
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
         match self.expect(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
@@ -183,7 +214,7 @@ impl Client {
         }
     }
 
-    /// Fetch a checkpoint of the serving engine.
+    /// Fetch a checkpoint of the current space (a space-tagged envelope).
     pub fn checkpoint(&mut self) -> Result<Vec<u8>, ClientError> {
         match self.expect(&Request::Checkpoint)? {
             Response::Checkpoint(bytes) => Ok(bytes),
@@ -191,19 +222,43 @@ impl Client {
         }
     }
 
-    /// Install a checkpoint into the serving engine.
+    /// Install a checkpoint into the current space.
     pub fn restore(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
-        if !crate::proto::body_fits(bytes.len()) {
+        if !crate::proto::body_fits(bytes.len() + 80) {
             return Err(ClientError::Protocol(format!(
                 "checkpoint is {} bytes, larger than one frame can carry",
                 bytes.len()
             )));
         }
         self.send_buf.clear();
-        crate::proto::encode_restore_into(&mut self.send_buf, bytes);
+        crate::proto::encode_restore_into(&mut self.send_buf, &self.space, bytes);
         match self.expect_staged()? {
             Response::Restored => Ok(()),
             other => Err(unexpected("Restored", &other)),
+        }
+    }
+
+    /// Create space `name` with the given model config.
+    pub fn create_space(&mut self, name: &SpaceId, spec: SpaceConfig) -> Result<(), ClientError> {
+        match self.expect_in(name, &Request::CreateSpace(spec))? {
+            Response::SpaceOk => Ok(()),
+            other => Err(unexpected("SpaceOk", &other)),
+        }
+    }
+
+    /// Drop space `name` and everything it holds.
+    pub fn drop_space(&mut self, name: &SpaceId) -> Result<(), ClientError> {
+        match self.expect_in(name, &Request::DropSpace)? {
+            Response::SpaceOk => Ok(()),
+            other => Err(unexpected("SpaceOk", &other)),
+        }
+    }
+
+    /// Enumerate every live space on the server, sorted by name.
+    pub fn list_spaces(&mut self) -> Result<Vec<WireSpaceInfo>, ClientError> {
+        match self.expect_in(&SpaceId::default_space(), &Request::ListSpaces)? {
+            Response::Spaces(list) => Ok(list),
+            other => Err(unexpected("Spaces", &other)),
         }
     }
 
@@ -224,6 +279,8 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
         Response::Stats(_) => "Stats",
         Response::Checkpoint(_) => "Checkpoint",
         Response::Restored => "Restored",
+        Response::SpaceOk => "SpaceOk",
+        Response::Spaces(_) => "Spaces",
         Response::Bye => "Bye",
         Response::Error { .. } => "Error",
     };

@@ -1,21 +1,28 @@
-//! # `fews-net` — a concurrent TCP serving layer over `fews-engine`
+//! # `fews-net` — a concurrent, multi-tenant TCP serving layer over `fews-engine`
 //!
 //! PR 2 gave the FEwW reproduction a sharded in-process runtime; this crate
 //! puts it behind a real wire. It is deliberately std-only (no async
-//! runtime): one acceptor thread, one worker thread per connection, and the
-//! [`fews_engine::Engine`] shared behind a mutex — queries and ingest
-//! serialize at the engine boundary while the engine's own shard workers
-//! keep processing batches in parallel.
+//! runtime): one acceptor thread, one worker thread per connection, and a
+//! registry of tenant *spaces*, each owning its own [`fews_engine::Engine`]
+//! behind its own mutex — traffic in one space never contends with
+//! another's, while each engine's own shard workers keep processing batches
+//! in parallel.
 //!
-//! * [`proto`] — the versioned, length-prefixed binary frame format and the
+//! * [`proto`] — the versioned, length-prefixed binary frame format (v3:
+//!   every request opens with a space header) and the
 //!   [`proto::Request`]/[`proto::Response`] codecs (varints via
 //!   `fews_core::wire`, checkpoints byte-identical to
-//!   [`fews_engine::Engine::checkpoint`]).
+//!   [`fews_engine::Engine::checkpoint`], wrapped in a space-tagged
+//!   envelope).
 //! * [`server`] — [`Server`]: bind, accept, validate, answer. Malformed
 //!   input yields error frames, never panics; ingest is validated against
-//!   the serving model before any update reaches a shard.
-//! * [`client`] — [`Client`]: a blocking request/response client with
-//!   byte counters for measuring wire overhead.
+//!   the addressed space's model before any update reaches a shard. With
+//!   [`ServerOptions::data_dir`] set, every space write-ahead-logs
+//!   acknowledged batches (fsync before ack) and is recovered on restart by
+//!   checkpoint restore + WAL tail replay.
+//! * [`client`] — [`Client`]: a blocking request/response client with a
+//!   current-space cursor, space lifecycle calls, and byte counters for
+//!   measuring wire overhead.
 //!
 //! ```
 //! use fews_core::insertion_only::FewwConfig;
@@ -42,5 +49,5 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use proto::{ErrorCode, Request, Response, WireShardStats, WireStats};
-pub use server::Server;
+pub use proto::{ErrorCode, Request, Response, WireShardStats, WireSpaceInfo, WireStats};
+pub use server::{Server, ServerOptions};

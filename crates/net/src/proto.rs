@@ -9,6 +9,16 @@
 //! body     tag-specific, LEB128 varints via `fews_core::wire`
 //! ```
 //!
+//! **Protocol v3 is multi-tenant.** Every *request* body opens with a space
+//! header — `name length` varint followed by that many name bytes — routing
+//! the request to one tenant space. A zero-length name means the default
+//! space, so the cheapest possible header is a single `0x00` byte and
+//! single-tenant clients pay one byte per request. Names are validated
+//! against the [`SpaceId`] charset at decode time. Responses carry no space
+//! header: the protocol is strict request/response per connection, so the
+//! space is implied by the request. Pre-space (v1) clients are answered
+//! with a clean [`ErrorCode::UnsupportedVersion`] error frame.
+//!
 //! The length field covers `version + tag + body`, so it is always ≥ 2 and
 //! at most [`MAX_FRAME`] ([`FrameError::Oversized`] otherwise — a declared
 //! length beyond the cap is rejected *before* any allocation, which is what
@@ -23,35 +33,48 @@
 //! [`get_uvarint`]), so a checkpoint travels over the wire in exactly the
 //! bytes [`fews_engine::Engine::checkpoint`] produced.
 
+use fews_common::spaceid::MAX_SPACE_NAME;
+use fews_common::{SpaceConfig, SpaceId};
 use fews_core::neighbourhood::Neighbourhood;
-use fews_core::wire::{get_uvarint, put_uvarint};
+use fews_core::wire::{get_space_config, get_uvarint, put_space_config, put_uvarint};
 use fews_stream::{Edge, Update};
 
-/// Protocol version carried in every frame header.
-pub const VERSION: u8 = 1;
+/// Protocol version carried in every frame header. v1 was the single-tenant
+/// protocol; v3 adds the per-request space header and the space lifecycle
+/// messages. (v2 is deliberately skipped: "v2" already names the
+/// insertion-deletion checkpoint format in `fews_core::wire`.)
+pub const VERSION: u8 = 3;
 
 /// Upper bound on `version + tag + body` length. Large enough for any
 /// realistic checkpoint or ingest batch, small enough that a hostile header
 /// cannot make the server allocate without bound.
 pub const MAX_FRAME: usize = 64 << 20;
 
-/// A request frame, client → server.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A request frame, client → server. The space it addresses travels in the
+/// frame's space header, alongside — not inside — these payloads; decoding
+/// yields `(SpaceId, Request)`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Apply a batch of turnstile updates.
+    /// Apply a batch of turnstile updates to the addressed space.
     IngestBatch(Vec<Update>),
-    /// The engine's certified output (global view).
+    /// The space's certified output (global view).
     Certified,
     /// Everything provable about one vertex.
     Certify(u32),
     /// The `k` vertices with the most collected witnesses.
     Top(u64),
-    /// Ingest counters and per-shard space usage.
+    /// Ingest counters and per-shard space usage for the addressed space.
     Stats,
-    /// Serialize the engine into a checkpoint byte string.
+    /// Serialize the space's engine into a checkpoint byte string.
     Checkpoint,
-    /// Load a checkpoint into the serving engine.
+    /// Load a checkpoint into the addressed space's engine.
     Restore(Vec<u8>),
+    /// Create the space named by the frame's space header with this config.
+    CreateSpace(SpaceConfig),
+    /// Drop the space named by the frame's space header.
+    DropSpace,
+    /// Enumerate every live space (the space header is ignored).
+    ListSpaces,
     /// Stop accepting connections and shut the server down.
     Shutdown,
 }
@@ -65,6 +88,16 @@ impl Request {
     const TAG_CHECKPOINT: u8 = 0x06;
     const TAG_RESTORE: u8 = 0x07;
     const TAG_SHUTDOWN: u8 = 0x08;
+    const TAG_CREATE_SPACE: u8 = 0x09;
+    const TAG_DROP_SPACE: u8 = 0x0A;
+    const TAG_LIST_SPACES: u8 = 0x0B;
+
+    /// Whether `tag` names a request this protocol version understands.
+    /// Checked *before* the space header is parsed so that an unknown tag
+    /// reports [`FrameError::UnknownTag`], not a malformed-header error.
+    fn known_tag(tag: u8) -> bool {
+        (Self::TAG_INGEST..=Self::TAG_LIST_SPACES).contains(&tag)
+    }
 }
 
 /// One shard's counters in a [`Response::Stats`] frame.
@@ -80,17 +113,37 @@ pub struct WireShardStats {
     pub space_bytes: u64,
 }
 
-/// Engine-wide statistics as they travel over the wire.
+/// Per-space statistics as they travel over the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireStats {
-    /// Updates accepted by the server since start.
+    /// Updates accepted into this space since it started serving.
     pub ingested: u64,
     /// Server uptime in microseconds.
     pub uptime_micros: u64,
-    /// The witness target `d₂` of the serving model.
+    /// The witness target `d₂` of the space's model.
     pub witness_target: u64,
+    /// Total measured engine state of the space, in bytes.
+    pub space_bytes: u64,
+    /// Bytes currently sitting in the space's write-ahead log (0 when the
+    /// server runs without durability).
+    pub wal_bytes: u64,
+    /// The space's soft quota in bytes (0 = unlimited).
+    pub quota_bytes: u64,
     /// Per-shard counters, in shard order.
     pub shards: Vec<WireShardStats>,
+}
+
+/// One space's row in a [`Response::Spaces`] listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSpaceInfo {
+    /// The space's name.
+    pub name: String,
+    /// Its model and parameters.
+    pub spec: SpaceConfig,
+    /// Measured engine state in bytes.
+    pub space_bytes: u64,
+    /// Bytes in its write-ahead log (0 without durability).
+    pub wal_bytes: u64,
 }
 
 /// Why the server rejected a request (the `code` of an error frame).
@@ -105,12 +158,24 @@ pub enum ErrorCode {
     UnknownTag = 3,
     /// Body bytes did not decode as the tagged request.
     Malformed = 4,
-    /// An ingest update failed model validation (range / deletion rules).
+    /// An ingest update failed range validation.
     BadUpdate = 5,
     /// A checkpoint failed to restore.
     Checkpoint = 6,
     /// The connection ended (or errored) partway through a declared frame.
     Truncated = 7,
+    /// The addressed space does not exist.
+    UnknownSpace = 8,
+    /// `create-space` named a space that already exists.
+    SpaceExists = 9,
+    /// The space's byte quota is exhausted; ingest rejected.
+    QuotaExceeded = 10,
+    /// The update is legal on the wire but not under the space's model
+    /// (e.g. a deletion sent to an insertion-only space).
+    ModelMismatch = 11,
+    /// The write-ahead log could not durably record the batch; it was NOT
+    /// applied.
+    Durability = 12,
 }
 
 impl ErrorCode {
@@ -124,13 +189,18 @@ impl ErrorCode {
             5 => ErrorCode::BadUpdate,
             6 => ErrorCode::Checkpoint,
             7 => ErrorCode::Truncated,
+            8 => ErrorCode::UnknownSpace,
+            9 => ErrorCode::SpaceExists,
+            10 => ErrorCode::QuotaExceeded,
+            11 => ErrorCode::ModelMismatch,
+            12 => ErrorCode::Durability,
             _ => return None,
         })
     }
 }
 
 /// A response frame, server → client.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Batch applied; echoes the update count.
     Ingested(u64),
@@ -144,6 +214,11 @@ pub enum Response {
     Checkpoint(Vec<u8>),
     /// Checkpoint installed.
     Restored,
+    /// Space lifecycle request ([`Request::CreateSpace`] /
+    /// [`Request::DropSpace`]) succeeded.
+    SpaceOk,
+    /// Answer to [`Request::ListSpaces`].
+    Spaces(Vec<WireSpaceInfo>),
     /// Server acknowledges [`Request::Shutdown`] and is going away.
     Bye,
     /// The request was rejected; the connection may still be usable (see
@@ -164,6 +239,8 @@ impl Response {
     const TAG_CHECKPOINT: u8 = 0x85;
     const TAG_RESTORED: u8 = 0x86;
     const TAG_BYE: u8 = 0x87;
+    const TAG_SPACE_OK: u8 = 0x88;
+    const TAG_SPACES: u8 = 0x89;
     const TAG_ERROR: u8 = 0xFF;
 }
 
@@ -242,13 +319,49 @@ fn get_option_neighbourhood(buf: &[u8], pos: &mut usize) -> Option<Option<Neighb
     }
 }
 
+/// Append the request space header: name length varint + name bytes. The
+/// default space is encoded as the zero-length name, so the steady-state
+/// single-tenant cost is one byte. Allocation-free — the name bytes are
+/// copied straight into `buf`.
+fn put_space(buf: &mut Vec<u8>, space: &SpaceId) {
+    if space.is_default() {
+        buf.push(0);
+    } else {
+        let name = space.as_str().as_bytes();
+        put_uvarint(buf, name.len() as u64);
+        buf.extend_from_slice(name);
+    }
+}
+
+/// Parse the request space header at `pos`. Zero-length = default space;
+/// anything else must be a valid [`SpaceId`] name.
+fn get_space(body: &[u8], pos: &mut usize) -> Result<SpaceId, FrameError> {
+    let len = get_uvarint(body, pos).ok_or(FrameError::Malformed("space name length"))? as usize;
+    if len == 0 {
+        return Ok(SpaceId::default_space());
+    }
+    if len > MAX_SPACE_NAME {
+        return Err(FrameError::Malformed("space name too long"));
+    }
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= body.len())
+        .ok_or(FrameError::Malformed("space name bytes"))?;
+    let name = std::str::from_utf8(&body[*pos..end])
+        .map_err(|_| FrameError::Malformed("space name utf8"))?;
+    let space = SpaceId::new(name).map_err(|_| FrameError::Malformed("space name charset"))?;
+    *pos = end;
+    Ok(space)
+}
+
 /// Append an ingest-batch request frame straight from a borrowed slice
 /// (what [`Request::IngestBatch`] would encode, without owning the batch).
 /// Appending to a caller-owned buffer is the hot path: a connection reuses
 /// one send buffer for its whole life, so steady-state encoding allocates
 /// nothing (`tests/alloc_reuse.rs` pins this down).
-pub fn encode_ingest_batch_into(buf: &mut Vec<u8>, updates: &[Update]) {
+pub fn encode_ingest_batch_into(buf: &mut Vec<u8>, space: &SpaceId, updates: &[Update]) {
     frame_into(buf, Request::TAG_INGEST, |body| {
+        put_space(body, space);
         put_uvarint(body, updates.len() as u64);
         for u in updates {
             put_uvarint(body, u.edge.a as u64);
@@ -259,58 +372,72 @@ pub fn encode_ingest_batch_into(buf: &mut Vec<u8>, updates: &[Update]) {
 }
 
 /// Encode an ingest-batch request frame into a fresh buffer.
-pub fn encode_ingest_batch(updates: &[Update]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(10 + updates.len() * 4);
-    encode_ingest_batch_into(&mut buf, updates);
+pub fn encode_ingest_batch(space: &SpaceId, updates: &[Update]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + updates.len() * 4);
+    encode_ingest_batch_into(&mut buf, space, updates);
     buf
 }
 
 /// Append a restore request frame straight from borrowed checkpoint bytes.
-pub fn encode_restore_into(buf: &mut Vec<u8>, bytes: &[u8]) {
+pub fn encode_restore_into(buf: &mut Vec<u8>, space: &SpaceId, bytes: &[u8]) {
     frame_into(buf, Request::TAG_RESTORE, |body| {
+        put_space(body, space);
         body.extend_from_slice(bytes);
     });
 }
 
 /// Encode a restore request frame into a fresh buffer.
-pub fn encode_restore(bytes: &[u8]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(10 + bytes.len());
-    encode_restore_into(&mut buf, bytes);
+pub fn encode_restore(space: &SpaceId, bytes: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + bytes.len());
+    encode_restore_into(&mut buf, space, bytes);
     buf
 }
 
 impl Request {
-    /// Encode into a complete frame (header + body).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode into a complete frame (header + body) addressed to `space`.
+    pub fn encode(&self, space: &SpaceId) -> Vec<u8> {
         let mut buf = Vec::new();
-        self.encode_into(&mut buf);
+        self.encode_into(space, &mut buf);
         buf
     }
 
     /// Append the complete frame to `buf` without intermediate allocations
     /// (bodies are built in place behind a patched length slot).
-    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+    pub fn encode_into(&self, space: &SpaceId, buf: &mut Vec<u8>) {
         match self {
-            Request::IngestBatch(updates) => encode_ingest_batch_into(buf, updates),
-            Request::Restore(bytes) => encode_restore_into(buf, bytes),
-            Request::Certified => frame_into(buf, Self::TAG_CERTIFIED, |_| {}),
+            Request::IngestBatch(updates) => encode_ingest_batch_into(buf, space, updates),
+            Request::Restore(bytes) => encode_restore_into(buf, space, bytes),
+            Request::Certified => frame_into(buf, Self::TAG_CERTIFIED, |b| put_space(b, space)),
             Request::Certify(v) => frame_into(buf, Self::TAG_CERTIFY, |body| {
+                put_space(body, space);
                 put_uvarint(body, *v as u64);
             }),
             Request::Top(k) => frame_into(buf, Self::TAG_TOP, |body| {
+                put_space(body, space);
                 put_uvarint(body, *k);
             }),
-            Request::Stats => frame_into(buf, Self::TAG_STATS, |_| {}),
-            Request::Checkpoint => frame_into(buf, Self::TAG_CHECKPOINT, |_| {}),
-            Request::Shutdown => frame_into(buf, Self::TAG_SHUTDOWN, |_| {}),
+            Request::Stats => frame_into(buf, Self::TAG_STATS, |b| put_space(b, space)),
+            Request::Checkpoint => frame_into(buf, Self::TAG_CHECKPOINT, |b| put_space(b, space)),
+            Request::CreateSpace(spec) => frame_into(buf, Self::TAG_CREATE_SPACE, |body| {
+                put_space(body, space);
+                put_space_config(body, spec);
+            }),
+            Request::DropSpace => frame_into(buf, Self::TAG_DROP_SPACE, |b| put_space(b, space)),
+            Request::ListSpaces => frame_into(buf, Self::TAG_LIST_SPACES, |b| put_space(b, space)),
+            Request::Shutdown => frame_into(buf, Self::TAG_SHUTDOWN, |b| put_space(b, space)),
         }
     }
 
     /// Decode from a frame payload (`version + tag + body`, header length
-    /// already stripped and validated).
-    pub fn decode(payload: &[u8]) -> Result<Request, FrameError> {
+    /// already stripped and validated) into the addressed space and the
+    /// request proper.
+    pub fn decode(payload: &[u8]) -> Result<(SpaceId, Request), FrameError> {
         let (tag, body) = split_payload(payload)?;
+        if !Self::known_tag(tag) {
+            return Err(FrameError::UnknownTag(tag));
+        }
         let mut pos = 0usize;
+        let space = get_space(body, &mut pos)?;
         let req = match tag {
             Self::TAG_INGEST => {
                 let count = get_uvarint(body, &mut pos)
@@ -352,17 +479,51 @@ impl Request {
             Self::TAG_STATS => Request::Stats,
             Self::TAG_CHECKPOINT => Request::Checkpoint,
             Self::TAG_RESTORE => {
+                // Everything after the space header is the container.
+                let container = body[pos..].to_vec();
                 pos = body.len();
-                Request::Restore(body.to_vec())
+                Request::Restore(container)
             }
+            Self::TAG_CREATE_SPACE => Request::CreateSpace(
+                get_space_config(body, &mut pos).ok_or(FrameError::Malformed("space config"))?,
+            ),
+            Self::TAG_DROP_SPACE => Request::DropSpace,
+            Self::TAG_LIST_SPACES => Request::ListSpaces,
             Self::TAG_SHUTDOWN => Request::Shutdown,
-            other => return Err(FrameError::UnknownTag(other)),
+            _ => unreachable!("known_tag checked above"),
         };
         if pos != body.len() {
             return Err(FrameError::Malformed("trailing bytes"));
         }
-        Ok(req)
+        Ok((space, req))
     }
+}
+
+fn put_space_info(buf: &mut Vec<u8>, info: &WireSpaceInfo) {
+    put_uvarint(buf, info.name.len() as u64);
+    buf.extend_from_slice(info.name.as_bytes());
+    put_space_config(buf, &info.spec);
+    put_uvarint(buf, info.space_bytes);
+    put_uvarint(buf, info.wal_bytes);
+}
+
+fn get_space_info(body: &[u8], pos: &mut usize) -> Option<WireSpaceInfo> {
+    let len = get_uvarint(body, pos)? as usize;
+    if len > MAX_SPACE_NAME {
+        return None;
+    }
+    let end = pos.checked_add(len).filter(|&e| e <= body.len())?;
+    let name = std::str::from_utf8(&body[*pos..end]).ok()?.to_string();
+    *pos = end;
+    let spec = get_space_config(body, pos)?;
+    let space_bytes = get_uvarint(body, pos)?;
+    let wal_bytes = get_uvarint(body, pos)?;
+    Some(WireSpaceInfo {
+        name,
+        spec,
+        space_bytes,
+        wal_bytes,
+    })
 }
 
 impl Response {
@@ -397,6 +558,9 @@ impl Response {
                 put_uvarint(body, stats.ingested);
                 put_uvarint(body, stats.uptime_micros);
                 put_uvarint(body, stats.witness_target);
+                put_uvarint(body, stats.space_bytes);
+                put_uvarint(body, stats.wal_bytes);
+                put_uvarint(body, stats.quota_bytes);
                 put_uvarint(body, stats.shards.len() as u64);
                 for s in &stats.shards {
                     put_uvarint(body, s.partitions);
@@ -406,6 +570,13 @@ impl Response {
                 }
             }),
             Response::Restored => frame_into(buf, Self::TAG_RESTORED, |_| {}),
+            Response::SpaceOk => frame_into(buf, Self::TAG_SPACE_OK, |_| {}),
+            Response::Spaces(list) => frame_into(buf, Self::TAG_SPACES, |body| {
+                put_uvarint(body, list.len() as u64);
+                for info in list {
+                    put_space_info(body, info);
+                }
+            }),
             Response::Bye => frame_into(buf, Self::TAG_BYE, |_| {}),
             Response::Error { code, message } => frame_into(buf, Self::TAG_ERROR, |body| {
                 body.push(*code as u8);
@@ -443,15 +614,15 @@ impl Response {
                 Response::Top(list)
             }
             Self::TAG_STATS => {
-                let ingested =
-                    get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("stats ingested"))?;
-                let uptime_micros =
-                    get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("stats uptime"))?;
-                let witness_target =
-                    get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("stats d2"))?;
-                let count = get_uvarint(body, &mut pos)
-                    .ok_or(FrameError::Malformed("stats shard count"))?
-                    as usize;
+                let mut next =
+                    |what| get_uvarint(body, &mut pos).ok_or(FrameError::Malformed(what));
+                let ingested = next("stats ingested")?;
+                let uptime_micros = next("stats uptime")?;
+                let witness_target = next("stats d2")?;
+                let space_bytes = next("stats space bytes")?;
+                let wal_bytes = next("stats wal bytes")?;
+                let quota_bytes = next("stats quota bytes")?;
+                let count = next("stats shard count")? as usize;
                 if count > body.len() {
                     return Err(FrameError::Malformed("shard count exceeds body"));
                 }
@@ -470,6 +641,9 @@ impl Response {
                     ingested,
                     uptime_micros,
                     witness_target,
+                    space_bytes,
+                    wal_bytes,
+                    quota_bytes,
                     shards,
                 })
             }
@@ -478,6 +652,23 @@ impl Response {
                 Response::Checkpoint(body.to_vec())
             }
             Self::TAG_RESTORED => Response::Restored,
+            Self::TAG_SPACE_OK => Response::SpaceOk,
+            Self::TAG_SPACES => {
+                let count = get_uvarint(body, &mut pos)
+                    .ok_or(FrameError::Malformed("space count"))?
+                    as usize;
+                if count > body.len() {
+                    return Err(FrameError::Malformed("space count exceeds body"));
+                }
+                let mut list = Vec::with_capacity(bounded_capacity(count));
+                for _ in 0..count {
+                    list.push(
+                        get_space_info(body, &mut pos)
+                            .ok_or(FrameError::Malformed("space info"))?,
+                    );
+                }
+                Response::Spaces(list)
+            }
             Self::TAG_BYE => Response::Bye,
             Self::TAG_ERROR => {
                 let code = *body.get(pos).ok_or(FrameError::Malformed("error code"))?;
@@ -548,11 +739,18 @@ pub fn check_frame_len(len: u64) -> Result<usize, FrameError> {
 mod tests {
     use super::*;
 
-    fn roundtrip_request(req: Request) {
-        let bytes = req.encode();
+    fn roundtrip_request_in(space: &SpaceId, req: Request) {
+        let bytes = req.encode(space);
         let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
         assert_eq!(len, bytes.len() - 4);
-        assert_eq!(Request::decode(&bytes[4..]).unwrap(), req);
+        let (got_space, got_req) = Request::decode(&bytes[4..]).unwrap();
+        assert_eq!(&got_space, space);
+        assert_eq!(got_req, req);
+    }
+
+    fn roundtrip_request(req: Request) {
+        roundtrip_request_in(&SpaceId::default_space(), req.clone());
+        roundtrip_request_in(&SpaceId::new("tenant-7.a").unwrap(), req);
     }
 
     fn roundtrip_response(resp: Response) {
@@ -575,7 +773,27 @@ mod tests {
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Checkpoint);
         roundtrip_request(Request::Restore(vec![1, 2, 3, 255]));
+        roundtrip_request(Request::CreateSpace(
+            SpaceConfig::insert_delete(64, 1 << 14, 10, 2, 0.1).with_quota(1 << 30),
+        ));
+        roundtrip_request(Request::DropSpace);
+        roundtrip_request(Request::ListSpaces);
         roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn default_space_header_is_one_byte() {
+        // Steady-state single-tenant overhead vs protocol v1 is exactly one
+        // 0x00 byte after the tag.
+        let bytes = Request::Certified.encode(&SpaceId::default_space());
+        assert_eq!(&bytes[4..], &[VERSION, 0x02, 0x00]);
+        // And the explicit name decodes to the same space.
+        let mut named = vec![VERSION, 0x02];
+        put_uvarint(&mut named, 7);
+        named.extend_from_slice(b"default");
+        let (space, req) = Request::decode(&named).unwrap();
+        assert!(space.is_default());
+        assert_eq!(req, Request::Certified);
     }
 
     #[test]
@@ -591,6 +809,9 @@ mod tests {
             ingested: 1000,
             uptime_micros: 5_000_000,
             witness_target: 8,
+            space_bytes: (1 << 20) + (1 << 19),
+            wal_bytes: 4096,
+            quota_bytes: 1 << 30,
             shards: vec![
                 WireShardStats {
                     partitions: 4,
@@ -608,22 +829,46 @@ mod tests {
         }));
         roundtrip_response(Response::Checkpoint(b"FEWWCKP1junk".to_vec()));
         roundtrip_response(Response::Restored);
+        roundtrip_response(Response::SpaceOk);
+        roundtrip_response(Response::Spaces(vec![
+            WireSpaceInfo {
+                name: "default".into(),
+                spec: SpaceConfig::insert_only(64, 10, 2),
+                space_bytes: 512,
+                wal_bytes: 0,
+            },
+            WireSpaceInfo {
+                name: "tenant-1".into(),
+                spec: SpaceConfig::insert_delete(64, 1 << 12, 10, 2, 0.05),
+                space_bytes: 4096,
+                wal_bytes: 96,
+            },
+        ]));
         roundtrip_response(Response::Bye);
         roundtrip_response(Response::Error {
-            code: ErrorCode::BadUpdate,
-            message: "vertex 9 out of range".into(),
+            code: ErrorCode::QuotaExceeded,
+            message: "space tenant-1 over quota".into(),
         });
     }
 
     #[test]
     fn version_and_tag_are_policed() {
-        let mut bytes = Request::Certified.encode();
+        let mut bytes = Request::Certified.encode(&SpaceId::default_space());
         bytes[4] = 9; // version byte
         assert_eq!(
             Request::decode(&bytes[4..]),
             Err(FrameError::UnsupportedVersion(9))
         );
-        let mut bytes = Request::Certified.encode();
+        // The shipped v1 version byte gets the same clean rejection.
+        let mut bytes = Request::Certified.encode(&SpaceId::default_space());
+        bytes[4] = 1;
+        assert_eq!(
+            Request::decode(&bytes[4..]),
+            Err(FrameError::UnsupportedVersion(1))
+        );
+        // An unknown tag reports UnknownTag even though the space header
+        // never got parsed.
+        let mut bytes = Request::Certified.encode(&SpaceId::default_space());
         bytes[5] = 0x60; // tag byte
         assert_eq!(
             Request::decode(&bytes[4..]),
@@ -632,26 +877,54 @@ mod tests {
     }
 
     #[test]
+    fn space_headers_are_policed() {
+        // Space name longer than the cap.
+        let mut payload = vec![VERSION, 0x02];
+        put_uvarint(&mut payload, (MAX_SPACE_NAME + 1) as u64);
+        payload.extend(std::iter::repeat_n(b'a', MAX_SPACE_NAME + 1));
+        assert_eq!(
+            Request::decode(&payload),
+            Err(FrameError::Malformed("space name too long"))
+        );
+        // Length that runs past the body.
+        let mut payload = vec![VERSION, 0x02];
+        put_uvarint(&mut payload, 5);
+        payload.extend_from_slice(b"ab");
+        assert_eq!(
+            Request::decode(&payload),
+            Err(FrameError::Malformed("space name bytes"))
+        );
+        // Charset violation.
+        let mut payload = vec![VERSION, 0x02];
+        put_uvarint(&mut payload, 3);
+        payload.extend_from_slice(b"A B");
+        assert_eq!(
+            Request::decode(&payload),
+            Err(FrameError::Malformed("space name charset"))
+        );
+    }
+
+    #[test]
     fn malformed_bodies_are_rejected_not_panicked() {
-        // Truncated varint in certify.
+        // Truncated varint where the space header should be.
         assert!(matches!(
             Request::decode(&[VERSION, 0x03, 0x80]),
             Err(FrameError::Malformed(_))
         ));
         // Trailing bytes after a complete request.
         assert!(matches!(
-            Request::decode(&[VERSION, 0x02, 0x00]),
+            Request::decode(&[VERSION, 0x02, 0x00, 0x00]),
             Err(FrameError::Malformed("trailing bytes"))
         ));
         // Ingest count far beyond the body size must not allocate/overrun.
-        let mut payload = vec![VERSION, 0x01];
+        let mut payload = vec![VERSION, 0x01, 0x00];
         put_uvarint(&mut payload, u64::MAX);
         assert!(matches!(
             Request::decode(&payload),
             Err(FrameError::Malformed(_))
         ));
         // Bad sign byte.
-        let mut payload = vec![VERSION, 0x01];
+        let mut payload = vec![VERSION, 0x01, 0x00];
         put_uvarint(&mut payload, 1);
         put_uvarint(&mut payload, 0);
         put_uvarint(&mut payload, 0);
@@ -659,6 +932,19 @@ mod tests {
         assert!(matches!(
             Request::decode(&payload),
             Err(FrameError::Malformed("update sign byte"))
+        ));
+        // CreateSpace with an invalid config (n = 0) is malformed.
+        let mut payload = vec![VERSION, 0x09];
+        put_uvarint(&mut payload, 1);
+        payload.push(b's');
+        let bad = SpaceConfig {
+            n: 0,
+            ..SpaceConfig::insert_only(8, 4, 2)
+        };
+        put_space_config(&mut payload, &bad);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(FrameError::Malformed("space config"))
         ));
     }
 

@@ -1,16 +1,43 @@
 //! The threaded TCP server: one acceptor, one worker thread per connection,
-//! one [`Engine`] shared behind a mutex — and a published, lock-free query
-//! snapshot.
+//! and a *space registry* — every tenant space owns its own [`Engine`]
+//! behind its own mutex, plus a published, lock-free query snapshot.
 //!
-//! **Query serving never touches the engine.** State-changing requests
-//! (ingest, restore) hold the engine mutex, apply, then *publish* a fresh
-//! `Arc<GlobalView>` + statistics snapshot **before the response frame is
-//! sent** — the engine's epoch-cached incremental `refresh` makes that
-//! publish cost O(changes in the batch), not O(total state). Query requests
-//! (`certified` / `certify` / `top` / `stats`) clone the published `Arc`
-//! (a pointer copy behind a micro-mutex, the std-only stand-in for an
-//! atomic `Arc` swap) and answer from it: they never take the engine lock,
-//! never block ingest, and never block each other.
+//! **Spaces are isolation domains.** The registry is a
+//! `RwLock<HashMap<SpaceId, Arc<SpaceHandle>>>`: request dispatch takes the
+//! read lock just long enough to clone one space's `Arc`, so traffic in one
+//! space never contends with another space's engine lock, and
+//! `create-space` / `drop-space` (write lock) are the only registry writers.
+//! Each space's engine is seeded independently
+//! ([`SpaceId::seed_for`]), so two spaces never share randomness.
+//!
+//! **Query serving never touches an engine.** State-changing requests
+//! (ingest, restore) hold the space's engine mutex, apply, then *publish* a
+//! fresh `Arc<GlobalView>` + statistics snapshot **before the response
+//! frame is sent** — the engine's epoch-cached incremental `refresh` makes
+//! that publish cost O(changes in the batch), not O(total state). Query
+//! requests (`certified` / `certify` / `top` / `stats`) clone the space's
+//! published `Arc` (a pointer copy behind a micro-mutex, the std-only
+//! stand-in for an atomic `Arc` swap) and answer from it: they never take
+//! the engine lock, never block ingest, and never block each other.
+//!
+//! **Durability (`--data-dir`).** With [`ServerOptions::data_dir`] set,
+//! every space keeps a write-ahead log ([`fews_engine::wal`]): an ingest
+//! batch is appended to the log and applied under the space lock, and the
+//! acknowledgement then waits — outside the lock — for an fsync that covers
+//! the record (**fsync before ack**), so every acknowledged update survives
+//! `kill -9`. The wait is a *group commit* ([`WalSync`]): the first waiter
+//! fsyncs once for every record appended before it started, so concurrent
+//! batches share a flush instead of paying one each, and a query may
+//! observe an applied-but-not-yet-durable batch (its writer simply has not
+//! been acknowledged yet). Once a space's log
+//! passes [`ServerOptions::compact_bytes`], the server checkpoints the
+//! engine into a space-tagged envelope, atomically replaces
+//! `checkpoint.fck`, and resets the log. Startup recovers every space found
+//! under the data dir: restore the checkpoint, replay the log tail beyond
+//! its envelope watermark ([`Server::recovery_log`] reports what happened).
+//! Graceful shutdown (client `shutdown` request or [`Server::shutdown`])
+//! writes a final compacted checkpoint per space; [`Server::crash`] skips
+//! that finalization to simulate a hard kill in tests.
 //!
 //! **Freshness contract.** Every state change acknowledged to *any* client
 //! is visible to every query answered afterwards, because the snapshot is
@@ -22,21 +49,29 @@
 //! its uptime field is the publish-time engine uptime.)
 //!
 //! Ingest requests are validated *before* any update reaches the engine
-//! (vertex ranges, no deletions into an insertion-only model), so a hostile
-//! or buggy client can never panic a shard worker — every rejection is an
-//! error frame and the connection keeps serving. Header-level damage
-//! (truncated frame, oversized declared length, non-frame garbage) closes
-//! the offending connection after a best-effort error frame; the acceptor
-//! and every other connection are unaffected.
+//! (vertex ranges as [`ErrorCode::BadUpdate`], deletions into an
+//! insertion-only space as [`ErrorCode::ModelMismatch`], quota exhaustion
+//! as [`ErrorCode::QuotaExceeded`]), so a hostile or buggy client can never
+//! panic a shard worker — every rejection is an error frame and the
+//! connection keeps serving. Header-level damage (truncated frame,
+//! oversized declared length, non-frame garbage) closes the offending
+//! connection after a best-effort error frame; the acceptor and every other
+//! connection are unaffected.
 
 use crate::proto::{
-    check_frame_len, ErrorCode, FrameError, Request, Response, WireShardStats, WireStats,
+    check_frame_len, ErrorCode, FrameError, Request, Response, WireShardStats, WireSpaceInfo,
+    WireStats,
 };
+use fews_common::{SpaceConfig, SpaceId};
+use fews_engine::checkpoint::{unwrap_envelope, wrap_envelope};
+use fews_engine::wal::{wal_path, SpaceDir, Wal, WalHandle};
 use fews_engine::{Engine, EngineConfig, EngineStats, GlobalView, ModelSpec};
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -49,6 +84,25 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 /// `write_all` forever — and with it the acceptor's shutdown join.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Serving options beyond the engine config and bind address.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Root of the durability tree (one subdirectory per space). `None`
+    /// serves from memory only — no WAL, no recovery, v1-era behaviour.
+    pub data_dir: Option<PathBuf>,
+    /// Compact a space's write-ahead log once it reaches this many bytes.
+    pub compact_bytes: u64,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            data_dir: None,
+            compact_bytes: 8 << 20,
+        }
+    }
+}
+
 /// One consistent point-in-time snapshot: the global query view plus the
 /// engine counters gathered in the same barrier.
 struct Published {
@@ -56,18 +110,255 @@ struct Published {
     stats: EngineStats,
 }
 
-struct Shared {
-    engine: Mutex<Engine>,
+impl Published {
+    fn space_bytes(&self) -> u64 {
+        self.stats.shards.iter().map(|s| s.space_bytes as u64).sum()
+    }
+}
+
+/// The mutable half of a space: its engine, plus the sequence number of the
+/// last WAL record applied to it — the watermark a compaction checkpoint
+/// records so replay is exactly-once. Log-append and engine-apply happen
+/// under this one lock, so the log order and the engine order of a space can
+/// never disagree.
+struct SpaceState {
+    engine: Engine,
+    /// Sequence number of this space's most recent WAL record (0 = none).
+    last_seq: u64,
+}
+
+/// A batch's durability target: it may be acknowledged once the log of
+/// `epoch` is fsynced through byte `target` (or the epoch has been closed by
+/// a compaction, whose checkpoint is fsynced by construction).
+#[derive(Clone, Copy)]
+struct SyncTicket {
+    epoch: u64,
+    target: u64,
+}
+
+/// Group-commit coordination for the server's shared WAL.
+///
+/// Appends happen under the space state lock (which fixes the log order and
+/// the matching engine-apply order), but the fsync that makes them
+/// acknowledgeable happens *here*, outside that lock: the first waiter
+/// becomes the sync leader, fsyncs once, and that single fsync covers every
+/// record appended before it started — concurrent batches share the flush
+/// instead of paying one fsync each, and the space keeps ingesting while the
+/// disk works.
+#[derive(Default)]
+struct WalSync {
+    point: Mutex<SyncPoint>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct SyncPoint {
+    /// Bumped by every log reset (compaction). Tickets from closed epochs
+    /// are durable via the fsynced checkpoint that closed them.
+    epoch: u64,
+    /// Bytes of the current epoch's log known appended.
+    appended: u64,
+    /// Bytes of the current epoch's log covered by a completed fsync.
+    synced: u64,
+    /// A leader's fsync is in flight.
+    syncing: bool,
+    /// Ingest workers that have announced an append ([`WalSync::begin_append`])
+    /// but not yet registered it: their records are an apply away, so a
+    /// scooping leader holds its fsync for them.
+    appenders: u32,
+    /// How many registers the most recent completed fsync covered — the
+    /// leader's evidence of concurrency when deciding whether a grace hold
+    /// is worth it.
+    prev_group: u64,
+    /// Appends registered since the log was opened (monotonic).
+    registers: u64,
+    /// Value of `registers` when the last fsync's coverage was snapshotted.
+    r_mark: u64,
+    /// An fsync failed: the log can no longer vouch for anything, so every
+    /// present and future durability wait on this space fails.
+    poisoned: bool,
+}
+
+impl WalSync {
+    fn poisoned(&self) -> bool {
+        self.point.lock().expect("wal sync point").poisoned
+    }
+
+    /// An ingest worker is about to take the space lock and append. The
+    /// announcement is what lets a group-commit leader *scoop*: it holds
+    /// its fsync until every announced appender has registered, so the
+    /// whole concurrent wave shares one flush instead of paying one each.
+    fn begin_append(&self) {
+        let mut p = self.point.lock().expect("wal sync point");
+        p.appenders += 1;
+        if p.syncing {
+            // Wake a leader in its grace hold: the wave it held for is here.
+            self.cv.notify_all();
+        }
+    }
+
+    /// The announced append is not going to happen (validation under the
+    /// lock failed): release any leader waiting on it.
+    fn abort_append(&self) {
+        let mut p = self.point.lock().expect("wal sync point");
+        p.appenders = p.appenders.saturating_sub(1);
+        if p.syncing {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Record an append at log length `target` and hand back its ticket.
+    fn register(&self, target: u64) -> SyncTicket {
+        let mut p = self.point.lock().expect("wal sync point");
+        p.appenders = p.appenders.saturating_sub(1);
+        p.registers += 1;
+        p.appended = p.appended.max(target);
+        if p.syncing {
+            self.cv.notify_all();
+        }
+        SyncTicket {
+            epoch: p.epoch,
+            target,
+        }
+    }
+
+    /// A compaction durably checkpointed everything logged so far and reset
+    /// the log: close the epoch and release every waiter on it.
+    fn close_epoch(&self) {
+        let mut p = self.point.lock().expect("wal sync point");
+        p.epoch += 1;
+        p.appended = 0;
+        p.synced = 0;
+        self.cv.notify_all();
+    }
+
+    /// Block until `ticket` is durable, flushing and fsyncing the log (as
+    /// group leader) if nobody else is. A flush or fsync failure poisons the
+    /// space.
+    fn wait_durable(&self, wal: &WalHandle, ticket: SyncTicket) -> std::io::Result<()> {
+        let mut p = self.point.lock().expect("wal sync point");
+        loop {
+            if p.poisoned {
+                return Err(std::io::Error::other(
+                    "write-ahead log fsync failed earlier",
+                ));
+            }
+            if p.epoch != ticket.epoch || p.synced >= ticket.target {
+                return Ok(());
+            }
+            if p.syncing {
+                p = self.cv.wait(p).expect("wal sync point");
+                continue;
+            }
+            // Leader: one flush + fsync covers everything appended up to
+            // here. The flush is a page-cache write under the log's own
+            // buffer lock — the space state lock is never touched, so the
+            // engine keeps applying batches while the disk works — and the
+            // fsync, the expensive part, runs with no lock held at all.
+            p.syncing = true;
+            let epoch = p.epoch;
+            // Scoop the wave: every appender that announced itself is
+            // mid-apply under the space lock, one register-notify away.
+            // Waiting for the count to drain means a single fsync covers
+            // the whole wave — and runs on an otherwise idle ack path. The
+            // wait is event-driven (no polling); the round cap and timeout
+            // keep a slow or stuck appender from stalling acknowledged
+            // batches behind it.
+            const SCOOP_WAIT: Duration = Duration::from_millis(2);
+            const SCOOP_ROUNDS: u32 = 8;
+            let mut rounds = 0;
+            while p.appenders > 1 && p.epoch == epoch && rounds < SCOOP_ROUNDS {
+                let (q, timeout) = self.cv.wait_timeout(p, SCOOP_WAIT).expect("wal sync point");
+                p = q;
+                if timeout.timed_out() {
+                    break;
+                }
+                rounds += 1;
+            }
+            // Grace hold: nobody is announced, but the previous fsync
+            // covered a wave — its acks are in flight and the next wave is
+            // about an RTT away. Holding one beat merges this record into
+            // that wave instead of buying it a private fsync; with a single
+            // steady client the previous group is 1 and the hold never
+            // happens, so an unconcurrent stream pays nothing.
+            const GRACE_WAIT: Duration = Duration::from_micros(750);
+            if p.appenders == 0 && p.prev_group >= 2 && p.epoch == epoch {
+                let (q, _) = self.cv.wait_timeout(p, GRACE_WAIT).expect("wal sync point");
+                p = q;
+                rounds = 0;
+                while p.appenders > 1 && p.epoch == epoch && rounds < SCOOP_ROUNDS {
+                    let (q, timeout) = self.cv.wait_timeout(p, SCOOP_WAIT).expect("wal sync point");
+                    p = q;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                    rounds += 1;
+                }
+            }
+            let covered = p.appended;
+            p.prev_group = p.registers - p.r_mark;
+            p.r_mark = p.registers;
+            drop(p);
+            let result = wal.sync();
+            p = self.point.lock().expect("wal sync point");
+            p.syncing = false;
+            match result {
+                Ok(()) => {
+                    if p.epoch == epoch {
+                        p.synced = p.synced.max(covered);
+                    }
+                    self.cv.notify_all();
+                }
+                Err(e) => {
+                    p.poisoned = true;
+                    self.cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Everything the server knows about one live space.
+struct SpaceHandle {
+    space: SpaceId,
+    /// Authoritative model parameters, including the quota.
+    spec: SpaceConfig,
+    /// The engine config actually serving (spec + runtime shape).
     cfg: EngineConfig,
-    shutdown: AtomicBool,
+    /// The space's durability directory, when the server has one.
+    dir: Option<SpaceDir>,
+    state: Mutex<SpaceState>,
     /// The latest [`Published`] snapshot. The mutex guards a pointer
     /// clone/swap only — it is never held across engine or network work, so
     /// query connections scale with cores instead of serializing.
     published: Mutex<Arc<Published>>,
+    /// Bytes this space has appended to the shared WAL since its last
+    /// checkpoint — the lock-free stats mirror of its share of the log.
+    wal_bytes: AtomicU64,
 }
 
-impl Shared {
-    /// Swap in a fresh snapshot from the engine (caller holds the engine
+impl SpaceHandle {
+    fn new(
+        space: SpaceId,
+        spec: SpaceConfig,
+        cfg: EngineConfig,
+        dir: Option<SpaceDir>,
+        mut state: SpaceState,
+    ) -> Arc<SpaceHandle> {
+        let (view, stats) = state.engine.refresh();
+        Arc::new(SpaceHandle {
+            space,
+            spec,
+            cfg,
+            dir,
+            state: Mutex::new(state),
+            published: Mutex::new(Arc::new(Published { view, stats })),
+            wal_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Swap in a fresh snapshot from the engine (caller holds the state
     /// lock, so publishes are ordered consistently with state changes).
     fn publish(&self, engine: &mut Engine) {
         let (view, stats) = engine.refresh();
@@ -78,6 +369,75 @@ impl Shared {
     fn snapshot(&self) -> Arc<Published> {
         Arc::clone(&self.published.lock().expect("published slot"))
     }
+
+    /// Durably checkpoint this space at its current applied watermark. Part
+    /// of compaction and of restore-persistence; the caller holds the state
+    /// lock.
+    fn write_checkpoint(&self, state: &mut SpaceState) -> std::io::Result<()> {
+        let Some(dir) = self.dir.as_ref() else {
+            return Ok(());
+        };
+        let inner = state.engine.checkpoint();
+        let envelope = wrap_envelope(self.space.as_str(), state.last_seq, &inner);
+        dir.write_checkpoint(&envelope)
+    }
+}
+
+/// Stop-the-world compaction of the shared log: checkpoint every space at
+/// its applied watermark, then reset the log and release every group-commit
+/// waiter (the checkpoints just written cover their records). The caller
+/// holds the registry lock (read or write) and the compaction gate; every
+/// space lock is taken, in name order, for the duration — no append may land
+/// between a space's checkpoint and the reset, or it would vanish with it.
+/// On failure the log simply keeps growing — correctness does not depend on
+/// compaction succeeding, only on append's fsync.
+fn compact_spaces(wal: &Wal, sync: &WalSync, spaces: &SpaceRegistry) -> std::io::Result<()> {
+    let mut handles: Vec<&Arc<SpaceHandle>> = spaces.values().collect();
+    handles.sort_by(|a, b| a.space.cmp(&b.space));
+    let mut states = Vec::with_capacity(handles.len());
+    for h in &handles {
+        states.push(h.state.lock().expect("space state"));
+    }
+    for (h, st) in handles.iter().zip(states.iter_mut()) {
+        h.write_checkpoint(st)?;
+    }
+    wal.reset()?;
+    sync.close_epoch();
+    for h in &handles {
+        h.wal_bytes.store(0, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// The server's space roster, keyed by name.
+type SpaceRegistry = HashMap<SpaceId, Arc<SpaceHandle>>;
+
+struct Shared {
+    spaces: RwLock<SpaceRegistry>,
+    /// The default space's engine config — also the template (seed, runtime
+    /// shape) for created spaces.
+    base: EngineConfig,
+    data_dir: Option<PathBuf>,
+    /// The server-wide write-ahead log, shared by every space (`None`
+    /// without a data dir). Sharing one log is what makes group commit
+    /// multi-tenant: concurrent batches ride one fsync whatever space they
+    /// address.
+    wal: Option<Wal>,
+    /// Group-commit barrier for the shared log.
+    sync: WalSync,
+    /// Held by whichever thread is running a compaction; `try_lock` keeps
+    /// ingest workers from piling up behind one.
+    compact_gate: Mutex<()>,
+    compact_bytes: u64,
+    shutdown: AtomicBool,
+    /// Set by [`Server::crash`]: skip graceful finalization on join.
+    crash: AtomicBool,
+}
+
+impl Shared {
+    fn space(&self, id: &SpaceId) -> Option<Arc<SpaceHandle>> {
+        self.spaces.read().expect("space registry").get(id).cloned()
+    }
 }
 
 /// A running `fews-net` server. Dropping it (or calling [`Server::join`]
@@ -86,21 +446,45 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    recovery_log: Vec<String>,
+    finalized: bool,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), start the
-    /// engine and the acceptor thread, and return the running server.
+    /// default space's engine and the acceptor thread, and return the
+    /// running server. Serves from memory only — see [`Server::start_with`]
+    /// for durability.
     pub fn start(cfg: EngineConfig, addr: &str) -> std::io::Result<Server> {
+        Self::start_with(cfg, addr, ServerOptions::default())
+    }
+
+    /// [`Server::start`] with explicit [`ServerOptions`]. With a data dir,
+    /// every space found on disk is recovered (checkpoint restore + WAL
+    /// tail replay) before the listener accepts its first connection, and
+    /// the default space is created on disk if absent. Refuses to start
+    /// (`InvalidInput`) if the on-disk default space was created with a
+    /// different config or seed than `cfg` — silently serving a different
+    /// model than the flags asked for would corrupt both.
+    pub fn start_with(
+        cfg: EngineConfig,
+        addr: &str,
+        opts: ServerOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let mut engine = Engine::start(cfg);
-        let (view, stats) = engine.refresh();
+        let mut recovery_log = Vec::new();
+        let (spaces, wal) = build_spaces(cfg, &opts, &mut recovery_log)?;
         let shared = Arc::new(Shared {
-            engine: Mutex::new(engine),
-            cfg,
+            spaces: RwLock::new(spaces),
+            base: cfg,
+            data_dir: opts.data_dir,
+            wal,
+            sync: WalSync::default(),
+            compact_gate: Mutex::new(()),
+            compact_bytes: opts.compact_bytes.max(1),
             shutdown: AtomicBool::new(false),
-            published: Mutex::new(Arc::new(Published { view, stats })),
+            crash: AtomicBool::new(false),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -113,12 +497,20 @@ impl Server {
             addr,
             shared,
             acceptor: Some(acceptor),
+            recovery_log,
+            finalized: false,
         })
     }
 
     /// The address the server actually bound (resolves `:0` ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// What startup recovery did, one line per recovered space (empty when
+    /// the server started without a data dir or with a fresh one).
+    pub fn recovery_log(&self) -> &[String] {
+        &self.recovery_log
     }
 
     /// Whether a shutdown request has been received.
@@ -134,9 +526,18 @@ impl Server {
         let _ = TcpStream::connect(self.addr);
     }
 
+    /// Shut down *without* graceful finalization — no final checkpoint, the
+    /// WAL left exactly as the last acknowledged batch wrote it. This is the
+    /// in-process stand-in for `kill -9`, letting recovery tests exercise
+    /// real crash states deterministically.
+    pub fn crash(&self) {
+        self.shared.crash.store(true, Ordering::SeqCst);
+        self.shutdown();
+    }
+
     /// Block until the server has shut down (acceptor and every connection
     /// worker joined). Returns the number of updates ingested over the
-    /// server's lifetime.
+    /// server's lifetime, across all spaces.
     pub fn join(mut self) -> u64 {
         self.join_inner()
     }
@@ -145,8 +546,26 @@ impl Server {
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
-        let mut engine = self.shared.engine.lock().expect("engine mutex");
-        engine.stats().ingested
+        let spaces: Vec<Arc<SpaceHandle>> = {
+            let registry = self.shared.spaces.read().expect("space registry");
+            registry.values().cloned().collect()
+        };
+        // Graceful shutdown flushes every space to a compacted checkpoint
+        // and resets the log — unless this was a simulated crash, whose
+        // entire point is to leave the disk mid-flight. Runs once even if
+        // join is re-entered via Drop.
+        if !self.finalized && !self.shared.crash.load(Ordering::SeqCst) {
+            self.finalized = true;
+            if let Some(wal) = &self.shared.wal {
+                let registry = self.shared.spaces.read().expect("space registry");
+                let _gate = self.shared.compact_gate.lock().expect("compaction gate");
+                let _ = compact_spaces(wal, &self.shared.sync, &registry);
+            }
+        }
+        spaces
+            .iter()
+            .map(|h| h.state.lock().expect("space state").engine.stats().ingested)
+            .sum()
     }
 }
 
@@ -157,6 +576,185 @@ impl Drop for Server {
             self.join_inner();
         }
     }
+}
+
+/// The engine config for a (non-default) space: its model and partitions
+/// from the spec, runtime shape (shards, batch, queue depth) inherited from
+/// the server's base config.
+fn space_engine_cfg(base: &EngineConfig, spec: &SpaceConfig, seed: u64) -> EngineConfig {
+    EngineConfig::from_space(spec, seed)
+        .with_shards(base.shards)
+        .with_batch(base.batch)
+        .with_queue_depth(base.queue_depth)
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// Restore one space from its durability directory: the checkpoint envelope
+/// if present, otherwise a fresh engine. Returns the state with its replay
+/// watermark in `last_seq`; the shared WAL tail is replayed by the caller.
+fn restore_space(
+    space: &SpaceId,
+    cfg: EngineConfig,
+    dir: &SpaceDir,
+) -> std::io::Result<(SpaceState, bool)> {
+    let mut engine = Engine::start(cfg);
+    let mut applied_seq = 0u64;
+    let mut restored = false;
+    if let Some(envelope) = dir.read_checkpoint()? {
+        let env = unwrap_envelope(&envelope)
+            .map_err(|e| invalid(format!("space {space}: checkpoint envelope: {e}")))?;
+        if env.space != space.as_str() {
+            return Err(invalid(format!(
+                "space {space}: checkpoint envelope is tagged for space '{}'",
+                env.space
+            )));
+        }
+        engine
+            .restore_checkpoint(&envelope)
+            .map_err(|e| invalid(format!("space {space}: checkpoint restore: {e}")))?;
+        applied_seq = env.wal_seq;
+        restored = true;
+    }
+    Ok((
+        SpaceState {
+            engine,
+            last_seq: applied_seq,
+        },
+        restored,
+    ))
+}
+
+/// Build the startup space registry: just the default space in memory-only
+/// mode; otherwise the default space plus every space recovered from disk
+/// (checkpoint restore, then one demultiplexed replay of the shared WAL
+/// tail, then a startup compaction so the next boot replays nothing).
+fn build_spaces(
+    base: EngineConfig,
+    opts: &ServerOptions,
+    log: &mut Vec<String>,
+) -> std::io::Result<(SpaceRegistry, Option<Wal>)> {
+    let mut spaces = HashMap::new();
+    let default = SpaceId::default_space();
+    let Some(data_dir) = &opts.data_dir else {
+        let state = SpaceState {
+            engine: Engine::start(base),
+            last_seq: 0,
+        };
+        spaces.insert(
+            default.clone(),
+            SpaceHandle::new(default, base.to_space(0), base, None, state),
+        );
+        return Ok((spaces, None));
+    };
+    std::fs::create_dir_all(data_dir)?;
+    // The default space's model comes from the serve flags; the data dir
+    // must agree with them or the stream would be fed into the wrong model.
+    let default_dir = SpaceDir::new(data_dir, &default);
+    let default_spec = if default_dir.exists() {
+        let (stored, seed) = default_dir.load_config()?;
+        if seed != base.seed || stored != base.to_space(stored.quota_bytes) {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                format!(
+                    "data dir {} was initialised with a different default-space \
+                     config or seed than the current flags",
+                    data_dir.display()
+                ),
+            ));
+        }
+        stored
+    } else {
+        let spec = base.to_space(0);
+        default_dir.init(&spec, base.seed)?;
+        spec
+    };
+    // Pass 1: restore every space's checkpoint (or start it fresh). The
+    // `Option<u64>` is the checkpoint's own watermark, for the log line.
+    let mut restored: Vec<(
+        SpaceId,
+        SpaceConfig,
+        EngineConfig,
+        SpaceDir,
+        SpaceState,
+        Option<u64>,
+    )> = Vec::new();
+    for space in SpaceDir::list_spaces(data_dir)? {
+        let dir = SpaceDir::new(data_dir, &space);
+        let (spec, cfg) = if space.is_default() {
+            (default_spec, base)
+        } else {
+            let (spec, seed) = dir.load_config()?;
+            spec.validate()
+                .map_err(|e| invalid(format!("space {space}: stored config: {e}")))?;
+            (spec, space_engine_cfg(&base, &spec, seed))
+        };
+        let (state, from_checkpoint) = restore_space(&space, cfg, &dir)?;
+        let watermark = from_checkpoint.then_some(state.last_seq);
+        restored.push((space, spec, cfg, dir, state, watermark));
+    }
+    // Pass 2: one scan of the shared log, demultiplexed by space tag. The
+    // floor keeps new sequence numbers above every checkpoint watermark.
+    let floor = restored.iter().map(|r| r.4.last_seq).max().unwrap_or(0);
+    let (wal, recovery) = Wal::open(&wal_path(data_dir), floor)?;
+    let mut replayed = vec![(0usize, 0usize); restored.len()];
+    let mut skipped = 0usize;
+    for (seq, name, updates) in &recovery.replay {
+        let Some(idx) = restored
+            .iter()
+            .position(|(space, ..)| space.as_str() == *name)
+        else {
+            skipped += 1; // debris from a dropped space
+            continue;
+        };
+        let state = &mut restored[idx].4;
+        if *seq <= state.last_seq {
+            continue; // already inside this space's checkpoint
+        }
+        replayed[idx].0 += 1;
+        replayed[idx].1 += updates.len();
+        state.engine.ingest(updates.clone());
+        state.last_seq = *seq;
+    }
+    for (idx, (space, _, _, _, _, watermark)) in restored.iter().enumerate() {
+        let (batches, updates) = replayed[idx];
+        log.push(format!(
+            "space {space}: {} replayed {batches} wal batches ({updates} updates)",
+            match watermark {
+                Some(seq) => format!("restored checkpoint (seq {seq}),"),
+                None => "no checkpoint,".to_string(),
+            }
+        ));
+    }
+    if let Some(damage) = recovery.damage {
+        log.push(format!("wal: discarded damaged tail: {damage}"));
+    }
+    if skipped > 0 {
+        log.push(format!("wal: skipped {skipped} records of dropped spaces"));
+    }
+    // Pass 3: startup compaction. Replayed state becomes the checkpoints,
+    // the log restarts empty — the next recovery replays nothing, and any
+    // dropped-space debris is gone before its name can be reused.
+    let had_tail = wal.bytes() > 0;
+    for (space, _, _, dir, state, _) in &mut restored {
+        if had_tail {
+            let inner = state.engine.checkpoint();
+            let envelope = wrap_envelope(space.as_str(), state.last_seq, &inner);
+            dir.write_checkpoint(&envelope)?;
+        }
+    }
+    if had_tail {
+        wal.reset()?;
+    }
+    for (space, spec, cfg, dir, state, _) in restored {
+        spaces.insert(
+            space.clone(),
+            SpaceHandle::new(space, spec, cfg, Some(dir), state),
+        );
+    }
+    Ok((spaces, Some(wal)))
 }
 
 fn run_acceptor(listener: TcpListener, shared: Arc<Shared>) {
@@ -290,14 +888,14 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         }
         // The frame is complete, so any decode failure leaves the stream in
         // sync: report it and keep serving this connection.
-        let request = match Request::decode(&payload) {
-            Ok(req) => req,
+        let (space, request) = match Request::decode(&payload) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 send_error(&mut stream, error_code_for(&e), e.to_string());
                 continue;
             }
         };
-        let response = handle_request(request, &shared);
+        let response = handle_request(space, request, &shared);
         let bye = matches!(response, Response::Bye);
         if bye {
             // Commit the shutdown before answering: a peer that dies without
@@ -322,29 +920,44 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
 }
 
 /// Validate an ingest batch against the serving model. Returns the first
-/// violation; on `Ok` every update is safe to push.
-fn validate_batch(cfg: &EngineConfig, updates: &[fews_stream::Update]) -> Result<(), String> {
+/// violation with its wire code; on `Ok` every update is safe to push.
+fn validate_batch(
+    cfg: &EngineConfig,
+    updates: &[fews_stream::Update],
+) -> Result<(), (ErrorCode, String)> {
     match cfg.model {
         ModelSpec::InsertOnly(c) => {
             for u in updates {
                 if u.delta < 0 {
-                    return Err(format!(
-                        "deletion of ({}, {}) into an insertion-only model",
-                        u.edge.a, u.edge.b
+                    return Err((
+                        ErrorCode::ModelMismatch,
+                        format!(
+                            "deletion of ({}, {}) into an insertion-only model",
+                            u.edge.a, u.edge.b
+                        ),
                     ));
                 }
                 if u.edge.a >= c.n {
-                    return Err(format!("vertex {} out of range n={}", u.edge.a, c.n));
+                    return Err((
+                        ErrorCode::BadUpdate,
+                        format!("vertex {} out of range n={}", u.edge.a, c.n),
+                    ));
                 }
             }
         }
         ModelSpec::InsertDelete(c) => {
             for u in updates {
                 if u.edge.a >= c.n {
-                    return Err(format!("vertex {} out of range n={}", u.edge.a, c.n));
+                    return Err((
+                        ErrorCode::BadUpdate,
+                        format!("vertex {} out of range n={}", u.edge.a, c.n),
+                    ));
                 }
                 if u.edge.b >= c.m {
-                    return Err(format!("witness {} out of range m={}", u.edge.b, c.m));
+                    return Err((
+                        ErrorCode::BadUpdate,
+                        format!("witness {} out of range m={}", u.edge.b, c.m),
+                    ));
                 }
             }
         }
@@ -352,27 +965,226 @@ fn validate_batch(cfg: &EngineConfig, updates: &[fews_stream::Update]) -> Result
     Ok(())
 }
 
-fn handle_request(request: Request, shared: &Shared) -> Response {
+fn handle_request(space: SpaceId, request: Request, shared: &Shared) -> Response {
     match request {
-        // State-changing requests: engine mutex, then publish-before-ack.
-        Request::IngestBatch(updates) => {
-            if let Err(message) = validate_batch(&shared.cfg, &updates) {
+        Request::CreateSpace(spec) => create_space(shared, space, spec),
+        Request::DropSpace => drop_space(shared, &space),
+        Request::ListSpaces => list_spaces(shared),
+        Request::Shutdown => Response::Bye,
+        request => {
+            let Some(handle) = shared.space(&space) else {
                 return Response::Error {
-                    code: ErrorCode::BadUpdate,
-                    message,
+                    code: ErrorCode::UnknownSpace,
+                    message: format!("unknown space '{space}'"),
                 };
+            };
+            handle_space_request(&handle, request, shared)
+        }
+    }
+}
+
+fn create_space(shared: &Shared, space: SpaceId, spec: SpaceConfig) -> Response {
+    let mut registry = shared.spaces.write().expect("space registry");
+    if registry.contains_key(&space) {
+        return Response::Error {
+            code: ErrorCode::SpaceExists,
+            message: format!("space '{space}' already exists"),
+        };
+    }
+    let seed = space.seed_for(shared.base.seed);
+    let cfg = space_engine_cfg(&shared.base, &spec, seed);
+    let mut dir = None;
+    if let Some(data_dir) = &shared.data_dir {
+        let sd = SpaceDir::new(data_dir, &space);
+        if let Err(e) = sd.init(&spec, seed) {
+            // Don't leave a half-initialised directory behind.
+            let _ = sd.remove();
+            return Response::Error {
+                code: ErrorCode::Durability,
+                message: format!("space '{space}' could not be initialised on disk: {e}"),
+            };
+        }
+        dir = Some(sd);
+    }
+    let state = SpaceState {
+        engine: Engine::start(cfg),
+        last_seq: 0,
+    };
+    registry.insert(
+        space.clone(),
+        SpaceHandle::new(space, spec, cfg, dir, state),
+    );
+    Response::SpaceOk
+}
+
+fn drop_space(shared: &Shared, space: &SpaceId) -> Response {
+    if space.is_default() {
+        return Response::Error {
+            code: ErrorCode::Malformed,
+            message: "the default space cannot be dropped".into(),
+        };
+    }
+    let mut registry = shared.spaces.write().expect("space registry");
+    let Some(handle) = registry.remove(space) else {
+        return Response::Error {
+            code: ErrorCode::UnknownSpace,
+            message: format!("unknown space '{space}'"),
+        };
+    };
+    if let Some(dir) = &handle.dir {
+        if let Err(e) = dir.remove() {
+            return Response::Error {
+                code: ErrorCode::Durability,
+                message: format!("space '{space}' dropped but its directory remains: {e}"),
+            };
+        }
+    }
+    // The shared log may still hold the dropped space's records. Compact
+    // before the registry write lock is released: the survivors are
+    // checkpointed, the log resets, and the name can be reused without a
+    // crash replaying the old tenant's records into the new one.
+    if let Some(wal) = &shared.wal {
+        let _gate = shared.compact_gate.lock().expect("compaction gate");
+        let _ = compact_spaces(wal, &shared.sync, &registry);
+    }
+    Response::SpaceOk
+}
+
+fn list_spaces(shared: &Shared) -> Response {
+    let mut rows: Vec<WireSpaceInfo> = shared
+        .spaces
+        .read()
+        .expect("space registry")
+        .values()
+        .map(|handle| WireSpaceInfo {
+            name: handle.space.as_str().to_string(),
+            spec: handle.spec,
+            space_bytes: handle.snapshot().space_bytes(),
+            wal_bytes: handle.wal_bytes.load(Ordering::Relaxed),
+        })
+        .collect();
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    Response::Spaces(rows)
+}
+
+fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared) -> Response {
+    match request {
+        // State-changing requests: space state lock, WAL-then-apply, then
+        // publish-before-ack.
+        Request::IngestBatch(updates) => {
+            if let Err((code, message)) = validate_batch(&handle.cfg, &updates) {
+                return Response::Error { code, message };
+            }
+            // Quota is a soft limit on measured state: admit while under it.
+            if handle.spec.quota_bytes > 0 {
+                let used = handle.snapshot().space_bytes();
+                if used >= handle.spec.quota_bytes {
+                    return Response::Error {
+                        code: ErrorCode::QuotaExceeded,
+                        message: format!(
+                            "space '{}' holds {used} bytes, quota is {}",
+                            handle.space, handle.spec.quota_bytes
+                        ),
+                    };
+                }
             }
             let count = updates.len() as u64;
-            let mut engine = shared.engine.lock().expect("engine mutex");
-            engine.ingest(updates);
-            shared.publish(&mut engine);
+            // Under the state lock: log-append (an in-memory buffer push),
+            // engine-apply, maybe compact, publish. The flush + fsync that
+            // make the batch acknowledgeable happen *after* the lock is
+            // released, through the group-commit barrier — concurrent
+            // batches share one write and one fsync.
+            // Announce the append *before* queueing on the space lock, so a
+            // group-commit leader elected while this batch is applying knows
+            // to hold its fsync for it.
+            let announced = shared.wal.is_some();
+            if announced {
+                shared.sync.begin_append();
+            }
+            let durability = {
+                let mut state = handle.state.lock().expect("space state");
+                let mut ticket = None;
+                if let Some(wal) = shared.wal.as_ref() {
+                    if shared.sync.poisoned() {
+                        shared.sync.abort_append();
+                        return Response::Error {
+                            code: ErrorCode::Durability,
+                            message: "durability disabled: a write-ahead log fsync failed".into(),
+                        };
+                    }
+                    // Log before applying, so the log order and the engine
+                    // order of this space can never disagree.
+                    let a = wal.append(handle.space.as_str(), &updates);
+                    state.last_seq = a.seq;
+                    handle.wal_bytes.fetch_add(a.len, Ordering::Relaxed);
+                    ticket = Some((wal.handle(), shared.sync.register(a.end)));
+                }
+                state.engine.ingest(updates);
+                handle.publish(&mut state.engine);
+                ticket
+            };
+            // Compaction runs outside the space lock: the shared log spans
+            // every space, so folding it away needs every space's state.
+            if let Some(wal) = shared.wal.as_ref() {
+                if wal.bytes() >= shared.compact_bytes {
+                    let registry = shared.spaces.read().expect("space registry");
+                    if let Ok(_gate) = shared.compact_gate.try_lock() {
+                        if wal.bytes() >= shared.compact_bytes {
+                            let _ = compact_spaces(wal, &shared.sync, &registry);
+                        }
+                    }
+                }
+            }
+            if let Some((wal, ticket)) = durability {
+                // Fsync-before-ack: the batch is applied and published, but
+                // the acknowledgement waits for a covering flush + fsync.
+                if let Err(e) = shared.sync.wait_durable(&wal, ticket) {
+                    return Response::Error {
+                        code: ErrorCode::Durability,
+                        message: format!("write-ahead log fsync failed: {e}"),
+                    };
+                }
+            }
             Response::Ingested(count)
         }
         Request::Restore(bytes) => {
-            let mut engine = shared.engine.lock().expect("engine mutex");
-            match engine.restore_checkpoint(&bytes) {
+            // The envelope must be addressed to this space: a v2 envelope by
+            // name, a bare v1 container implicitly to the default space.
+            match unwrap_envelope(&bytes) {
+                Ok(env) if env.space != handle.space.as_str() => {
+                    return Response::Error {
+                        code: ErrorCode::Checkpoint,
+                        message: format!(
+                            "checkpoint space mismatch: container is for '{}', request \
+                             addressed '{}'",
+                            env.space, handle.space
+                        ),
+                    };
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::Checkpoint,
+                        message: e.to_string(),
+                    };
+                }
+            }
+            let mut state = handle.state.lock().expect("space state");
+            match state.engine.restore_checkpoint(&bytes) {
                 Ok(()) => {
-                    shared.publish(&mut engine);
+                    // Under durability a restore is a checkpoint point: the
+                    // restored state goes straight to disk at this space's
+                    // current watermark, so surviving log records older than
+                    // the restore can never replay over it.
+                    if shared.wal.is_some() {
+                        if let Err(e) = handle.write_checkpoint(&mut state) {
+                            return Response::Error {
+                                code: ErrorCode::Durability,
+                                message: format!("restore applied but could not be persisted: {e}"),
+                            };
+                        }
+                    }
+                    handle.publish(&mut state.engine);
                     Response::Restored
                 }
                 Err(e) => Response::Error {
@@ -383,17 +1195,20 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
         }
         // Query requests: answered from the published snapshot — no engine
         // lock, no shard barrier, no blocking against ingest or each other.
-        Request::Certified => Response::Answer(shared.snapshot().view.certified()),
-        Request::Certify(v) => Response::Answer(shared.snapshot().view.certify(v)),
+        Request::Certified => Response::Answer(handle.snapshot().view.certified()),
+        Request::Certify(v) => Response::Answer(handle.snapshot().view.certify(v)),
         Request::Top(k) => {
-            Response::Top(shared.snapshot().view.top(k.min(u32::MAX as u64) as usize))
+            Response::Top(handle.snapshot().view.top(k.min(u32::MAX as u64) as usize))
         }
         Request::Stats => {
-            let snap = shared.snapshot();
+            let snap = handle.snapshot();
             Response::Stats(WireStats {
                 ingested: snap.stats.ingested,
                 uptime_micros: snap.stats.uptime.as_micros() as u64,
-                witness_target: shared.cfg.witness_target() as u64,
+                witness_target: handle.cfg.witness_target() as u64,
+                space_bytes: snap.space_bytes(),
+                wal_bytes: handle.wal_bytes.load(Ordering::Relaxed),
+                quota_bytes: handle.spec.quota_bytes,
                 shards: snap
                     .stats
                     .shards
@@ -407,22 +1222,32 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
                     .collect(),
             })
         }
-        // Checkpoint reads engine state without changing it: mutex, no
-        // publish.
+        // Checkpoint reads engine state without changing it: state lock, no
+        // publish. The container leaves tagged with the space name and the
+        // WAL watermark (0 without durability), so what a client downloads
+        // is exactly what compaction would have written to disk.
         Request::Checkpoint => {
-            let mut engine = shared.engine.lock().expect("engine mutex");
-            let bytes = engine.checkpoint();
-            if !crate::proto::body_fits(bytes.len()) {
+            let mut state = handle.state.lock().expect("space state");
+            let seq = state.last_seq;
+            let inner = state.engine.checkpoint();
+            let envelope = wrap_envelope(handle.space.as_str(), seq, &inner);
+            if !crate::proto::body_fits(envelope.len()) {
                 return Response::Error {
                     code: ErrorCode::Oversized,
                     message: format!(
                         "checkpoint is {} bytes, larger than one frame can carry",
-                        bytes.len()
+                        envelope.len()
                     ),
                 };
             }
-            Response::Checkpoint(bytes)
+            Response::Checkpoint(envelope)
         }
-        Request::Shutdown => Response::Bye,
+        // Handled in `handle_request`; unreachable here.
+        Request::CreateSpace(_) | Request::DropSpace | Request::ListSpaces | Request::Shutdown => {
+            Response::Error {
+                code: ErrorCode::Malformed,
+                message: "lifecycle request routed to a space handler".into(),
+            }
+        }
     }
 }

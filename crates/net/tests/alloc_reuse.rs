@@ -12,6 +12,7 @@
 // `forbid(unsafe_code)`.
 #![allow(unsafe_code)]
 
+use fews_common::SpaceId;
 use fews_net::proto::{encode_ingest_batch_into, Request, Response};
 use fews_stream::{Edge, Update};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -65,29 +66,38 @@ fn warm_buffers_encode_frames_without_allocating() {
         Response::Restored,
     ];
 
+    // Both the default space's one-byte header and a named tenant's header
+    // must stay allocation-free — the name bytes are copied, never boxed.
+    let spaces = [
+        SpaceId::default_space(),
+        SpaceId::new("tenant-42").expect("valid space name"),
+    ];
+
     let mut buf: Vec<u8> = Vec::new();
     // Warm-up: the buffer grows to its steady-state capacity once.
-    encode_ingest_batch_into(&mut buf, &updates);
+    encode_ingest_batch_into(&mut buf, &spaces[1], &updates);
     for r in &responses {
         buf.clear();
         r.encode_into(&mut buf);
     }
     buf.clear();
-    encode_ingest_batch_into(&mut buf, &updates);
+    encode_ingest_batch_into(&mut buf, &spaces[1], &updates);
     let capacity = buf.capacity();
 
     // Steady state: 100 ingest frames + a mix of queries and responses into
     // the same buffer — the hot path of a long-lived connection.
     let allocs = allocations_during(|| {
         for _ in 0..100 {
-            buf.clear();
-            encode_ingest_batch_into(&mut buf, &updates);
-            buf.clear();
-            Request::Certified.encode_into(&mut buf);
-            buf.clear();
-            Request::Certify(17).encode_into(&mut buf);
-            buf.clear();
-            Request::Top(5).encode_into(&mut buf);
+            for space in &spaces {
+                buf.clear();
+                encode_ingest_batch_into(&mut buf, space, &updates);
+                buf.clear();
+                Request::Certified.encode_into(space, &mut buf);
+                buf.clear();
+                Request::Certify(17).encode_into(space, &mut buf);
+                buf.clear();
+                Request::Top(5).encode_into(space, &mut buf);
+            }
             for r in &responses {
                 buf.clear();
                 r.encode_into(&mut buf);

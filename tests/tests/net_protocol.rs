@@ -7,6 +7,7 @@
 //! the server is expected to have dropped the peer).
 
 use fews_common::rng::rng_for;
+use fews_common::SpaceId;
 use fews_core::insertion_only::FewwConfig;
 use fews_engine::EngineConfig;
 use fews_net::proto::{Request, Response, MAX_FRAME, VERSION};
@@ -95,7 +96,9 @@ fn unknown_tag_errors_and_connection_stays_usable() {
     stream.write_all(&[VERSION, 0x66]).unwrap();
     expect_error(read_response(&mut stream), ErrorCode::UnknownTag);
     // Same connection, valid request: frame boundaries were never lost.
-    stream.write_all(&Request::Stats.encode()).unwrap();
+    stream
+        .write_all(&Request::Stats.encode(&SpaceId::default_space()))
+        .unwrap();
     assert!(matches!(read_response(&mut stream), Response::Stats(_)));
     assert_alive(&server);
 }
@@ -103,11 +106,15 @@ fn unknown_tag_errors_and_connection_stays_usable() {
 #[test]
 fn unsupported_version_is_reported() {
     let server = test_server();
-    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-    stream.write_all(&2u32.to_le_bytes()).unwrap();
-    stream.write_all(&[VERSION + 6, 0x02]).unwrap();
-    expect_error(read_response(&mut stream), ErrorCode::UnsupportedVersion);
-    assert_alive(&server);
+    // Both a from-the-future version and the pre-space v1 byte must get the
+    // same clean rejection — an old client is told why, not fed garbage.
+    for version in [VERSION + 6, 1] {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(&2u32.to_le_bytes()).unwrap();
+        stream.write_all(&[version, 0x02]).unwrap();
+        expect_error(read_response(&mut stream), ErrorCode::UnsupportedVersion);
+        assert_alive(&server);
+    }
 }
 
 #[test]
@@ -120,7 +127,9 @@ fn malformed_body_errors_and_connection_stays_usable() {
         .write_all(&[VERSION, 0x03, 0x80, 0x80, 0x80])
         .unwrap();
     expect_error(read_response(&mut stream), ErrorCode::Malformed);
-    stream.write_all(&Request::Certified.encode()).unwrap();
+    stream
+        .write_all(&Request::Certified.encode(&SpaceId::default_space()))
+        .unwrap();
     assert!(matches!(read_response(&mut stream), Response::Answer(_)));
     assert_alive(&server);
 }
@@ -141,10 +150,12 @@ fn ingest_validation_rejects_bad_updates_without_state_change() {
         }
         other => panic!("expected BadUpdate, got {other:?}"),
     }
-    // Deletion into an insertion-only model.
+    // Deletion into an insertion-only model: a typed model mismatch, not a
+    // generic bad update — multi-model servers need clients to tell the two
+    // apart.
     match client.ingest_batch(&[Update::delete(Edge::new(1, 1))]) {
-        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadUpdate),
-        other => panic!("expected BadUpdate, got {other:?}"),
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ModelMismatch),
+        other => panic!("expected ModelMismatch, got {other:?}"),
     }
     // Rejection is all-or-nothing: the valid prefix of the batch was not
     // applied either.
@@ -213,4 +224,85 @@ fn fuzz_valid_headers_random_payloads() {
     let mut owner = Client::connect(server.local_addr()).unwrap();
     owner.shutdown().expect("clean shutdown");
     server.join();
+}
+
+#[test]
+fn requests_for_unknown_spaces_get_the_typed_error() {
+    let server = test_server();
+    let mut client = Client::connect(server.local_addr())
+        .unwrap()
+        .with_space(SpaceId::new("no-such-tenant").unwrap());
+    for result in [
+        client.ingest_batch(&[Update::insert(Edge::new(1, 2))]),
+        client.stats().map(|_| 0),
+        client.certified().map(|_| 0),
+    ] {
+        match result {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::UnknownSpace);
+                assert!(message.contains("no-such-tenant"), "message: {message}");
+            }
+            other => panic!("expected UnknownSpace, got {other:?}"),
+        }
+    }
+    // The connection survives typed rejections, and switching back to the
+    // default space works on the same socket.
+    client.set_space(SpaceId::default_space());
+    assert_eq!(client.stats().expect("stats").shards.len(), 2);
+    assert_alive(&server);
+}
+
+#[test]
+fn fuzz_space_headers_with_valid_tags() {
+    // Version and tag are in-protocol; the space header is adversarial:
+    // random declared name lengths (often pointing past the body), random
+    // name bytes (usually an invalid charset), sometimes a valid name for a
+    // space that does not exist. Every frame must come back as a frame —
+    // Malformed, UnknownSpace, or a real answer when the dice roll the
+    // default space — and the connection must survive all of them.
+    let server = test_server();
+    let mut rng = rng_for(0xF024, 3);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    for round in 0..96 {
+        // Cheap query tags only — never ingest/restore/lifecycle tags, so
+        // the fuzz cannot mutate server state.
+        let tag = [0x02u8, 0x03, 0x04, 0x05][rng.random_range(0..4u64) as usize];
+        let mut payload = vec![VERSION, tag];
+        match round % 3 {
+            0 => {
+                // Declared length far beyond the body.
+                payload.push(rng.random_range(3..128u64) as u8);
+                payload.push(b'x');
+            }
+            1 => {
+                // In-bounds length, random bytes (charset roulette).
+                let len = rng.random_range(1..9u64) as usize;
+                payload.push(len as u8);
+                for _ in 0..len {
+                    payload.push(rng.random_range(0..256u64) as u8);
+                }
+            }
+            _ => {
+                // A perfectly valid name that names nothing.
+                let name = format!("ghost-{}", rng.random_range(0..1000u64));
+                payload.push(name.len() as u8);
+                payload.extend_from_slice(name.as_bytes());
+            }
+        }
+        // Body for the tags that need one (certify/top take a varint).
+        payload.push(rng.random_range(0..128u64) as u8);
+        stream
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        stream.write_all(&payload).unwrap();
+        match read_response(&mut stream) {
+            Response::Error { code, .. } => assert!(
+                matches!(code, ErrorCode::Malformed | ErrorCode::UnknownSpace),
+                "unexpected code {code:?}"
+            ),
+            Response::Answer(_) | Response::Top(_) | Response::Stats(_) => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_alive(&server);
 }

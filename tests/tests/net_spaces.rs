@@ -1,0 +1,365 @@
+//! Multi-tenant isolation: N spaces on one server must behave exactly like
+//! N independent single-tenant servers — same answers, same checkpoint
+//! bytes, per space — no matter how traffic interleaves across tenants.
+//! Plus the lifecycle contract: typed rejection codes (SpaceExists,
+//! UnknownSpace, QuotaExceeded, ModelMismatch), drop/recreate semantics,
+//! and cross-space checkpoint portability.
+
+use fews_common::rng::rng_for;
+use fews_common::{SpaceConfig, SpaceId};
+use fews_core::insertion_only::FewwConfig;
+use fews_engine::checkpoint::unwrap_envelope;
+use fews_engine::EngineConfig;
+use fews_net::{Client, ClientError, ErrorCode, Server};
+use fews_stream::update::as_insertions;
+use fews_stream::{Edge, Update};
+
+const SEED: u64 = 2021;
+
+fn base_cfg() -> EngineConfig {
+    EngineConfig::insert_only(FewwConfig::new(96, 24, 2), SEED)
+        .with_partitions(8)
+        .with_shards(2)
+        .with_batch(64)
+}
+
+/// The tenant roster: three spaces with deliberately different shapes —
+/// insert-only at two sizes and one insert-deletion tenant.
+fn tenant_specs() -> Vec<(SpaceId, SpaceConfig)> {
+    vec![
+        (
+            SpaceId::new("tenant-a").expect("name"),
+            SpaceConfig::insert_only(48, 12, 2).with_partitions(4),
+        ),
+        (
+            SpaceId::new("tenant-b").expect("name"),
+            SpaceConfig::insert_only(96, 24, 3).with_partitions(8),
+        ),
+        (
+            SpaceId::new("tenant-c").expect("name"),
+            SpaceConfig::insert_delete(32, 1 << 10, 12, 2, 0.03).with_partitions(4),
+        ),
+    ]
+}
+
+fn tenant_stream(spec: &SpaceConfig, salt: u64) -> Vec<Update> {
+    match spec.model {
+        fews_common::SpaceModel::InsertOnly => {
+            let g = fews_stream::gen::planted::planted_star(
+                spec.n,
+                1 << 11,
+                spec.d,
+                3,
+                &mut rng_for(SEED, salt),
+            );
+            as_insertions(&g.edges)
+        }
+        fews_common::SpaceModel::InsertDelete => {
+            fews_stream::gen::dblog::db_log(
+                spec.n,
+                spec.m,
+                spec.d,
+                spec.alpha,
+                0.4,
+                &mut rng_for(SEED, salt),
+            )
+            .updates
+        }
+    }
+}
+
+fn expect_code(result: Result<impl std::fmt::Debug, ClientError>, want: ErrorCode) -> String {
+    match result {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, want, "message: {message}");
+            message
+        }
+        other => panic!("expected {want:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn n_spaces_behave_like_n_independent_servers() {
+    let specs = tenant_specs();
+    let streams: Vec<Vec<Update>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (_, spec))| tenant_stream(spec, 31 + i as u64))
+        .collect();
+
+    // The multi-tenant server: create every space, then interleave ingest
+    // round-robin across tenants so batches from different spaces are in
+    // flight together.
+    let server = Server::start(base_cfg(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for (space, spec) in &specs {
+        client.create_space(space, *spec).expect("create");
+    }
+    let mut cursors = vec![0usize; specs.len()];
+    loop {
+        let mut any = false;
+        for (i, (space, _)) in specs.iter().enumerate() {
+            let stream = &streams[i];
+            if cursors[i] >= stream.len() {
+                continue;
+            }
+            let end = (cursors[i] + 71).min(stream.len());
+            client.set_space(space.clone());
+            client
+                .ingest_batch(&stream[cursors[i]..end])
+                .expect("tenant ingest");
+            cursors[i] = end;
+            any = true;
+        }
+        if !any {
+            break;
+        }
+    }
+
+    // The control group: one dedicated server per tenant, configured exactly
+    // as the registry configures a created space — the spec's model and
+    // partitions, the server's runtime shape, and the per-space seed derived
+    // from the master seed.
+    for (i, (space, spec)) in specs.iter().enumerate() {
+        let solo_cfg = EngineConfig::from_space(spec, space.seed_for(SEED))
+            .with_shards(2)
+            .with_batch(64);
+        let solo = Server::start(solo_cfg, "127.0.0.1:0").expect("bind solo");
+        let mut solo_client = Client::connect(solo.local_addr()).expect("connect solo");
+        for chunk in streams[i].chunks(71) {
+            solo_client.ingest_batch(chunk).expect("solo ingest");
+        }
+
+        client.set_space(space.clone());
+        let label = space.as_str();
+        assert_eq!(
+            client.stats().expect("stats").ingested,
+            streams[i].len() as u64,
+            "{label}: ingested count"
+        );
+        assert_eq!(
+            client.certified().expect("certified"),
+            solo_client.certified().expect("solo certified"),
+            "{label}: certified diverged"
+        );
+        assert_eq!(
+            client.top(5).expect("top"),
+            solo_client.top(5).expect("solo top"),
+            "{label}: top-5 diverged"
+        );
+        // Checkpoint containers must match byte-for-byte; only the envelope
+        // differs (the tenant's name vs the solo server's default space).
+        let tenant_ckpt = client.checkpoint().expect("checkpoint");
+        let tenant_env = unwrap_envelope(&tenant_ckpt).expect("envelope");
+        let solo_ckpt = solo_client.checkpoint().expect("solo checkpoint");
+        let solo_env = unwrap_envelope(&solo_ckpt).expect("solo envelope");
+        assert_eq!(tenant_env.space, label);
+        assert_eq!(solo_env.space, "default");
+        assert_eq!(
+            tenant_env.inner, solo_env.inner,
+            "{label}: checkpoint diverged"
+        );
+
+        solo_client.shutdown().expect("solo shutdown");
+        solo.join();
+    }
+
+    // And the roster reflects everything, sorted.
+    let listed = client.list_spaces().expect("list");
+    let names: Vec<&str> = listed.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["default", "tenant-a", "tenant-b", "tenant-c"]);
+    for row in &listed {
+        assert_eq!(row.wal_bytes, 0, "memory-only server reports no WAL");
+        if row.name != "default" {
+            assert!(row.space_bytes > 0, "{}: zero measured state", row.name);
+        }
+    }
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn lifecycle_rejections_carry_typed_codes() {
+    let server = Server::start(base_cfg(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let space = SpaceId::new("tenant-x").expect("name");
+    let spec = SpaceConfig::insert_only(48, 12, 2).with_partitions(4);
+    client.create_space(&space, spec).expect("create");
+
+    // Creating a name twice — including the default space's — is SpaceExists.
+    expect_code(client.create_space(&space, spec), ErrorCode::SpaceExists);
+    expect_code(
+        client.create_space(&SpaceId::default_space(), spec),
+        ErrorCode::SpaceExists,
+    );
+    // Dropping what does not exist is UnknownSpace.
+    expect_code(
+        client.drop_space(&SpaceId::new("never-made").expect("name")),
+        ErrorCode::UnknownSpace,
+    );
+    // The default space is not droppable.
+    let message = expect_code(
+        client.drop_space(&SpaceId::default_space()),
+        ErrorCode::Malformed,
+    );
+    assert!(message.contains("default"), "message: {message}");
+    // A config that fails validation never creates anything.
+    let mut broken = spec;
+    broken.n = 0;
+    expect_code(
+        client.create_space(&SpaceId::new("tenant-broken").expect("name"), broken),
+        ErrorCode::Malformed,
+    );
+
+    // Deletions into an insert-only tenant are a model mismatch.
+    client.set_space(space.clone());
+    expect_code(
+        client.ingest_batch(&[Update::delete(Edge::new(1, 2))]),
+        ErrorCode::ModelMismatch,
+    );
+
+    // After all those rejections the space still works.
+    client
+        .ingest_batch(&[Update::insert(Edge::new(3, 5))])
+        .expect("ingest after rejections");
+    assert_eq!(client.stats().expect("stats").ingested, 1);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn quota_is_enforced_per_space_and_reported_in_stats() {
+    let server = Server::start(base_cfg(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // A quota below the model's fixed state floor: every ingest is rejected
+    // (the quota bounds *measured state*, and even an empty engine owns its
+    // tables), but queries and stats still serve.
+    let cramped = SpaceId::new("tenant-cramped").expect("name");
+    let spec = SpaceConfig::insert_only(48, 12, 2)
+        .with_partitions(4)
+        .with_quota(1);
+    client.create_space(&cramped, spec).expect("create");
+    client.set_space(cramped.clone());
+    let message = expect_code(
+        client.ingest_batch(&[Update::insert(Edge::new(1, 2))]),
+        ErrorCode::QuotaExceeded,
+    );
+    assert!(message.contains("quota"), "message: {message}");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.ingested, 0, "rejected batch must not apply");
+    assert_eq!(stats.quota_bytes, 1);
+    assert!(stats.space_bytes >= 1, "floor counts against the quota");
+
+    // A roomy quota on an identical space accepts the same batch; the
+    // cramped tenant's quota never leaked onto its neighbour.
+    let roomy = SpaceId::new("tenant-roomy").expect("name");
+    client
+        .create_space(&roomy, spec.with_quota(1 << 30))
+        .expect("create roomy");
+    client.set_space(roomy);
+    client
+        .ingest_batch(&[Update::insert(Edge::new(1, 2))])
+        .expect("roomy ingest");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.ingested, 1);
+    assert_eq!(stats.quota_bytes, 1 << 30);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn drop_space_destroys_state_and_frees_the_name() {
+    let server = Server::start(base_cfg(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let space = SpaceId::new("tenant-y").expect("name");
+    let spec = SpaceConfig::insert_only(48, 12, 2).with_partitions(4);
+
+    client.create_space(&space, spec).expect("create");
+    client.set_space(space.clone());
+    client
+        .ingest_batch(&[Update::insert(Edge::new(3, 5))])
+        .expect("ingest");
+    client.drop_space(&space).expect("drop");
+
+    // The name is gone for data requests...
+    expect_code(client.stats(), ErrorCode::UnknownSpace);
+    // ...and recreating it yields a fresh, empty space.
+    client.create_space(&space, spec).expect("recreate");
+    assert_eq!(
+        client.stats().expect("stats").ingested,
+        0,
+        "state survived drop"
+    );
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn checkpoints_move_between_spaces_only_when_addressed_correctly() {
+    let server = Server::start(base_cfg(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let spec = SpaceConfig::insert_only(48, 12, 2).with_partitions(4);
+    let a = SpaceId::new("tenant-a").expect("name");
+    let b = SpaceId::new("tenant-b").expect("name");
+    client.create_space(&a, spec).expect("create a");
+    client.create_space(&b, spec).expect("create b");
+
+    client.set_space(a.clone());
+    let stream = tenant_stream(&spec, 37);
+    for chunk in stream.chunks(71) {
+        client.ingest_batch(chunk).expect("ingest");
+    }
+    let ckpt = client.checkpoint().expect("checkpoint");
+    let certified = client.certified().expect("certified");
+
+    // The envelope names tenant-a; restoring it into tenant-b is a typed
+    // checkpoint error naming both sides.
+    client.set_space(b.clone());
+    let message = expect_code(client.restore(&ckpt), ErrorCode::Checkpoint);
+    assert!(
+        message.contains("tenant-a") && message.contains("tenant-b"),
+        "message: {message}"
+    );
+
+    // Even re-wrapped with tenant-b's name, the container is still refused:
+    // the inner header carries the writing engine's seed, and every space
+    // derives its own from its name — tenant state cannot be smuggled across
+    // names by doctoring the envelope.
+    let envelope = unwrap_envelope(&ckpt).expect("envelope");
+    let rewrapped =
+        fews_engine::checkpoint::wrap_envelope("tenant-b", envelope.wal_seq, envelope.inner);
+    let message = expect_code(client.restore(&rewrapped), ErrorCode::Checkpoint);
+    assert!(message.contains("mismatch"), "message: {message}");
+
+    // Back in its own space the same bytes restore and leave the state
+    // exactly where it was.
+    client.set_space(a.clone());
+    client.restore(&ckpt).expect("self restore");
+    assert_eq!(client.certified().expect("certified"), certified);
+
+    // A bare pre-space (v1) container has no envelope: it restores into the
+    // default space — old tooling keeps working untouched.
+    client.set_space(SpaceId::default_space());
+    let default_stream = as_insertions(
+        &fews_stream::gen::planted::planted_star(96, 1 << 11, 24, 3, &mut rng_for(SEED, 38)).edges,
+    );
+    for chunk in default_stream.chunks(71) {
+        client.ingest_batch(chunk).expect("default ingest");
+    }
+    let default_ckpt = client.checkpoint().expect("default checkpoint");
+    let bare = unwrap_envelope(&default_ckpt)
+        .expect("envelope")
+        .inner
+        .to_vec();
+    client
+        .restore(&bare)
+        .expect("bare v1 container restores into default");
+    assert_eq!(
+        client.checkpoint().expect("checkpoint"),
+        default_ckpt,
+        "v1 restore changed state"
+    );
+    client.shutdown().expect("shutdown");
+    server.join();
+}

@@ -156,9 +156,17 @@ fn queries_racing_ingest_cannot_change_final_bytes() {
         checkpoints.windows(2).all(|w| w[0] == w[1]),
         "checkpoint bytes differ across (K, C) combinations"
     );
-    // And the over-the-wire checkpoint, merged partition-for-partition,
-    // reproduces the reference state exactly.
-    let (_, payloads) = fews_engine::checkpoint::decode(&checkpoints[0]).expect("decode");
+    // And the over-the-wire checkpoint — a space-tagged envelope since
+    // protocol v3 — merged partition-for-partition, reproduces the
+    // reference state exactly.
+    let envelope =
+        fews_engine::checkpoint::unwrap_envelope(&checkpoints[0]).expect("envelope decodes");
+    assert_eq!(envelope.space, "default");
+    assert_eq!(
+        envelope.wal_seq, 0,
+        "memory-only server has no WAL watermark"
+    );
+    let (_, payloads) = fews_engine::checkpoint::decode(envelope.inner).expect("decode");
     let mut states = payloads.iter().map(|(p, bytes)| {
         MemoryState::decode(bytes).unwrap_or_else(|| panic!("partition {p} snapshot undecodable"))
     });

@@ -1,0 +1,404 @@
+//! Crash-replay recovery: a durable server (`ServerOptions::data_dir`) must
+//! come back from `kill -9` — simulated in-process by [`Server::crash`],
+//! which skips all graceful finalization — holding **exactly** the
+//! acknowledged prefix of the stream, byte-for-byte.
+//!
+//! The reference for every differential here is a memory-only server fed the
+//! same acknowledged batches; `net_stress.rs` separately proves that such a
+//! server is byte-identical to the single-threaded `fews-core` merge, so the
+//! chain closes: recovered state == fews-core reference.
+//!
+//! Beyond clean crashes, the suite injects real disk damage — mid-record
+//! truncation (a torn write) and bit corruption — and requires the WAL to
+//! recover the longest valid prefix, report the damage, and keep serving.
+
+use fews_common::rng::rng_for;
+use fews_common::{SpaceConfig, SpaceId};
+use fews_core::insertion_only::FewwConfig;
+use fews_engine::checkpoint::unwrap_envelope;
+use fews_engine::EngineConfig;
+use fews_net::{Client, Server, ServerOptions};
+use fews_stream::update::as_insertions;
+use fews_stream::Update;
+use rand::RngExt;
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 2021;
+const BATCH: usize = 97;
+
+fn base_cfg() -> EngineConfig {
+    EngineConfig::insert_only(FewwConfig::new(96, 24, 2), SEED)
+        .with_partitions(8)
+        .with_shards(2)
+        .with_batch(64)
+}
+
+fn workload() -> Vec<Update> {
+    let g = fews_stream::gen::planted::planted_star(96, 1 << 12, 24, 3, &mut rng_for(SEED, 21));
+    as_insertions(&g.edges)
+}
+
+/// A scratch data dir, cleared on entry so reruns start fresh.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fews-recovery-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable(dir: &Path) -> ServerOptions {
+    ServerOptions {
+        data_dir: Some(dir.to_path_buf()),
+        // Large enough that no test here compacts mid-stream; compaction on
+        // the threshold path gets its own coverage via graceful shutdown.
+        compact_bytes: 64 << 20,
+    }
+}
+
+/// Feed `updates` to a fresh memory-only server and return
+/// (certified, top-5, bare checkpoint container bytes).
+fn reference_state(
+    updates: &[Update],
+) -> (
+    Option<fews_core::neighbourhood::Neighbourhood>,
+    Vec<fews_core::neighbourhood::Neighbourhood>,
+    Vec<u8>,
+) {
+    let server = Server::start(base_cfg(), "127.0.0.1:0").expect("bind reference");
+    let mut client = Client::connect(server.local_addr()).expect("connect reference");
+    for chunk in updates.chunks(BATCH) {
+        client.ingest_batch(chunk).expect("reference ingest");
+    }
+    let certified = client.certified().expect("certified");
+    let top = client.top(5).expect("top");
+    let ckpt = client.checkpoint().expect("checkpoint");
+    let inner = unwrap_envelope(&ckpt).expect("envelope").inner.to_vec();
+    client.shutdown().expect("shutdown");
+    server.join();
+    (certified, top, inner)
+}
+
+/// `(offset, total_len)` of every complete WAL record in `bytes`.
+fn record_boundaries(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if len == 0 || pos + 8 + len > bytes.len() {
+            break; // zeroed header: end of the live log in a recycled file
+        }
+        out.push((pos, 8 + len));
+        pos += 8 + len;
+    }
+    out
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+#[test]
+fn crash_at_random_cut_points_replays_exactly_the_acknowledged_prefix() {
+    let updates = workload();
+    let batches: Vec<&[Update]> = updates.chunks(BATCH).collect();
+    let mut rng = rng_for(SEED, 22);
+    // Random cut points plus the edges: crash before any batch, after all.
+    let mut cuts = vec![0usize, batches.len()];
+    for _ in 0..3 {
+        cuts.push(rng.random_range(1..batches.len() as u64) as usize);
+    }
+
+    for cut in cuts {
+        let dir = scratch(&format!("cut{cut}"));
+        let server = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for chunk in &batches[..cut] {
+            client.ingest_batch(chunk).expect("ingest");
+        }
+        server.crash();
+        drop(client);
+        server.join();
+
+        // Restart on the same data dir; the acknowledged prefix must be
+        // back, byte-for-byte against a server that never crashed.
+        let revived = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir))
+            .expect("restart after crash");
+        assert_eq!(revived.recovery_log().len(), 1, "one space to recover");
+        assert!(
+            revived.recovery_log()[0].contains(&format!("replayed {cut} wal batches")),
+            "cut {cut}: recovery log said {:?}",
+            revived.recovery_log()
+        );
+        let acknowledged: Vec<Update> = batches[..cut].concat();
+        let (want_certified, want_top, want_inner) = reference_state(&acknowledged);
+        let mut client = Client::connect(revived.local_addr()).expect("reconnect");
+        assert_eq!(client.certified().expect("certified"), want_certified);
+        assert_eq!(client.top(5).expect("top"), want_top);
+        let envelope_bytes = client.checkpoint().expect("checkpoint");
+        let envelope = unwrap_envelope(&envelope_bytes).expect("envelope");
+        assert_eq!(envelope.space, "default");
+        assert_eq!(envelope.wal_seq, cut as u64, "one WAL record per batch");
+        assert_eq!(envelope.inner, &want_inner[..], "cut {cut}: state diverged");
+
+        // The recovered server is not a museum: the rest of the stream
+        // ingests on top and lands on the full-stream state.
+        for chunk in &batches[cut..] {
+            client.ingest_batch(chunk).expect("ingest rest");
+        }
+        let (full_certified, _, full_inner) = reference_state(&updates);
+        assert_eq!(client.certified().expect("certified"), full_certified);
+        let resumed = client.checkpoint().expect("checkpoint");
+        assert_eq!(
+            unwrap_envelope(&resumed).expect("envelope").inner,
+            &full_inner[..],
+            "cut {cut}: resumed stream diverged"
+        );
+        client.shutdown().expect("shutdown");
+        revived.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_to_the_longest_valid_prefix() {
+    let updates = workload();
+    let batches: Vec<&[Update]> = updates.chunks(BATCH).collect();
+    let dir = scratch("torn");
+    let server = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for chunk in &batches {
+        client.ingest_batch(chunk).expect("ingest");
+    }
+    server.crash();
+    drop(client);
+    server.join();
+
+    let wal = std::fs::read(wal_path(&dir)).expect("read wal");
+    let bounds = record_boundaries(&wal);
+    assert_eq!(bounds.len(), batches.len(), "one record per batch");
+
+    let mut rng = rng_for(SEED, 23);
+    for _ in 0..3 {
+        // Tear the log mid-record: keep `keep` whole records plus a strict
+        // prefix of the next one — a crash between write and fsync.
+        let keep = rng.random_range(1..(bounds.len() - 1) as u64) as usize;
+        let (offset, len) = bounds[keep];
+        let partial = rng.random_range(1..len as u64) as usize;
+        let torn = wal[..offset + partial].to_vec();
+        std::fs::write(wal_path(&dir), &torn).expect("write torn wal");
+
+        let revived = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir))
+            .expect("restart on torn wal");
+        let log = revived.recovery_log();
+        assert!(
+            log.iter()
+                .any(|l| l.contains(&format!("replayed {keep} wal batches")))
+                && log.iter().any(|l| l.contains("discarded")),
+            "keep {keep}, partial {partial}: recovery log said {log:?}"
+        );
+        let acknowledged: Vec<Update> = batches[..keep].concat();
+        let (want_certified, _, want_inner) = reference_state(&acknowledged);
+        let mut client = Client::connect(revived.local_addr()).expect("reconnect");
+        assert_eq!(client.certified().expect("certified"), want_certified);
+        let ckpt = client.checkpoint().expect("checkpoint");
+        assert_eq!(
+            unwrap_envelope(&ckpt).expect("envelope").inner,
+            &want_inner[..],
+            "keep {keep}: torn-tail recovery diverged"
+        );
+        client.shutdown().expect("shutdown");
+        revived.crash(); // keep the on-disk files as recovery left them
+        revived.join();
+
+        // Recovery truncated the damaged tail, then compacted: the valid
+        // prefix lives in the checkpoint now and the log starts over empty.
+        assert!(
+            record_boundaries(&std::fs::read(wal_path(&dir)).expect("reread wal")).is_empty(),
+            "damaged log not reset after recovery"
+        );
+        let ckpt = std::fs::read(dir.join("default").join("checkpoint.fck"))
+            .expect("compacted checkpoint exists");
+        assert_eq!(
+            unwrap_envelope(&ckpt).expect("envelope").wal_seq,
+            keep as u64,
+            "checkpoint watermark after torn-tail recovery"
+        );
+        // Rewind for the next tear: full log back, checkpoint gone.
+        std::fs::write(wal_path(&dir), &wal).expect("restore wal");
+        std::fs::remove_file(dir.join("default").join("checkpoint.fck"))
+            .expect("remove checkpoint");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_record_stops_replay_at_the_damage_and_the_server_stays_live() {
+    let updates = workload();
+    let batches: Vec<&[Update]> = updates.chunks(BATCH).collect();
+    let dir = scratch("corrupt");
+    let server = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for chunk in &batches {
+        client.ingest_batch(chunk).expect("ingest");
+    }
+    server.crash();
+    drop(client);
+    server.join();
+
+    // Flip one payload bit in the middle record: its CRC fails, and — by
+    // design — replay stops there even though later records are intact; a
+    // log with a hole in it cannot vouch for anything after the hole.
+    let mut wal = std::fs::read(wal_path(&dir)).expect("read wal");
+    let bounds = record_boundaries(&wal);
+    let keep = bounds.len() / 2;
+    let (offset, _) = bounds[keep];
+    wal[offset + 10] ^= 0x40;
+    std::fs::write(wal_path(&dir), &wal).expect("write corrupt wal");
+
+    let revived =
+        Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("restart on corrupt");
+    let log = revived.recovery_log();
+    assert!(
+        log.iter()
+            .any(|l| l.contains(&format!("replayed {keep} wal batches")))
+            && log.iter().any(|l| l.contains("discarded")),
+        "recovery log said {log:?}"
+    );
+    let acknowledged: Vec<Update> = batches[..keep].concat();
+    let (want_certified, _, _) = reference_state(&acknowledged);
+    let mut client = Client::connect(revived.local_addr()).expect("reconnect");
+    assert_eq!(client.certified().expect("certified"), want_certified);
+
+    // Still live for new writes: fresh batches append after the truncation
+    // point and survive another crash.
+    client
+        .ingest_batch(batches[keep])
+        .expect("ingest after corruption");
+    server_roundtrip_crash(&dir, revived, client, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash `server`, restart, and assert the recovery line replays
+/// `want_batches` batches — the records appended since the last compaction
+/// (recovery itself compacts, so earlier batches sit in the checkpoint).
+fn server_roundtrip_crash(dir: &Path, server: Server, client: Client, want_batches: usize) {
+    server.crash();
+    drop(client);
+    server.join();
+    let revived = Server::start_with(base_cfg(), "127.0.0.1:0", durable(dir)).expect("restart");
+    let line = &revived.recovery_log()[0];
+    assert!(
+        line.contains(&format!("replayed {want_batches} wal batches")),
+        "recovery log said {line:?}"
+    );
+    let mut owner = Client::connect(revived.local_addr()).expect("connect");
+    owner.shutdown().expect("shutdown");
+    revived.join();
+}
+
+#[test]
+fn graceful_shutdown_compacts_every_space_and_restart_replays_nothing() {
+    let updates = workload();
+    let dir = scratch("graceful");
+    let server = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for chunk in updates.chunks(BATCH) {
+        client.ingest_batch(chunk).expect("ingest");
+    }
+    let (want_certified, _, want_inner) = reference_state(&updates);
+    client.shutdown().expect("clean shutdown");
+    server.join();
+
+    // Graceful shutdown wrote a compacted checkpoint and emptied the WAL.
+    let space_dir = dir.join("default");
+    let ckpt = std::fs::read(space_dir.join("checkpoint.fck")).expect("final checkpoint exists");
+    let envelope = unwrap_envelope(&ckpt).expect("envelope");
+    assert_eq!(envelope.inner, &want_inner[..], "final checkpoint state");
+    assert!(
+        record_boundaries(&std::fs::read(wal_path(&dir)).expect("read wal")).is_empty(),
+        "WAL not emptied by the final compaction"
+    );
+
+    // Restart restores from the checkpoint alone.
+    let revived = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("restart");
+    assert!(
+        revived.recovery_log()[0].contains("replayed 0 wal batches"),
+        "recovery log said {:?}",
+        revived.recovery_log()
+    );
+    let mut client = Client::connect(revived.local_addr()).expect("reconnect");
+    assert_eq!(client.certified().expect("certified"), want_certified);
+    client.shutdown().expect("shutdown");
+    revived.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_space_recovers_after_crash_with_its_own_config_and_data() {
+    // Two tenants beside the default space — one insert-only with its own
+    // shape, one insert-deletion — all crash together, all come back with
+    // their own model, seed, and acknowledged data.
+    let dir = scratch("multispace");
+    let server = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("bind");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let io_space = SpaceId::new("tenant-io").expect("name");
+    let io_spec = SpaceConfig::insert_only(48, 12, 2).with_partitions(4);
+    client.create_space(&io_space, io_spec).expect("create io");
+    let id_space = SpaceId::new("tenant-id").expect("name");
+    let id_spec = SpaceConfig::insert_delete(32, 1 << 10, 12, 2, 0.03).with_partitions(4);
+    client.create_space(&id_space, id_spec).expect("create id");
+
+    let default_updates = workload();
+    for chunk in default_updates.chunks(BATCH) {
+        client.ingest_batch(chunk).expect("default ingest");
+    }
+    let io_updates: Vec<Update> = (0..12u64)
+        .map(|b| Update::insert(fews_stream::Edge::new(7, b)))
+        .collect();
+    client.set_space(io_space.clone());
+    client.ingest_batch(&io_updates).expect("io ingest");
+    let id_updates =
+        fews_stream::gen::dblog::db_log(32, 1 << 10, 12, 2, 0.4, &mut rng_for(SEED, 24)).updates;
+    client.set_space(id_space.clone());
+    for chunk in id_updates.chunks(BATCH) {
+        client.ingest_batch(chunk).expect("id ingest");
+    }
+
+    // Snapshot every space's answers, then pull the plug.
+    client.set_space(SpaceId::default_space());
+    let default_certified = client.certified().expect("certified");
+    client.set_space(io_space.clone());
+    let io_certified = client.certified().expect("certified");
+    client.set_space(id_space.clone());
+    let id_certified = client.certified().expect("certified");
+    let id_top = client.top(4).expect("top");
+    server.crash();
+    drop(client);
+    server.join();
+
+    let revived = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("restart");
+    assert_eq!(revived.recovery_log().len(), 3, "three spaces recovered");
+    let mut client = Client::connect(revived.local_addr()).expect("reconnect");
+    let listed = client.list_spaces().expect("list");
+    let names: Vec<&str> = listed.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["default", "tenant-id", "tenant-io"],
+        "sorted roster"
+    );
+
+    assert_eq!(client.certified().expect("certified"), default_certified);
+    client.set_space(io_space);
+    assert_eq!(client.certified().expect("certified"), io_certified);
+    assert_eq!(
+        client.stats().expect("stats").ingested,
+        io_updates.len() as u64
+    );
+    client.set_space(id_space);
+    assert_eq!(client.certified().expect("certified"), id_certified);
+    assert_eq!(client.top(4).expect("top"), id_top);
+    client.shutdown().expect("shutdown");
+    revived.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
