@@ -1,5 +1,6 @@
 //! Experiment registry — one entry per theorem/lemma/figure (DESIGN.md).
 
+pub mod cluster;
 pub mod engine;
 pub mod insertion_deletion;
 pub mod insertion_only;
@@ -168,6 +169,11 @@ pub fn registry() -> Vec<Experiment> {
             run: net::net_exp,
         },
         Experiment {
+            id: "cluster",
+            claim: "fews-cluster: router + N workers — mixed ingest+query through the coordinator at N ∈ {1,2,4} (writes BENCH_cluster.json)",
+            run: cluster::cluster_exp,
+        },
+        Experiment {
             id: "latency",
             claim: "fews-net snapshot serving: query p50/p99 under sustained ingest + O(1) quiesced repeats (writes BENCH_latency.json)",
             run: latency::latency_exp,
@@ -187,7 +193,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 22);
+        assert_eq!(n, 23);
     }
 
     #[test]

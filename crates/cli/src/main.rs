@@ -7,14 +7,24 @@
 //! fews serve FILE --n N --d D [--shards K] [--batch B] [--model io|id] …
 //! fews listen --addr A --n N --d D [--shards K] [--model io|id] [--replay FILE]
 //!             [--data-dir DIR] [--compact-bytes N] …
-//! fews client ADDR [--space S] <certified|certify V|top K|stats|ingest FILE|checkpoint OUT|
-//!                               restore FILE|create-space NAME …|drop-space NAME|list-spaces|shutdown>
+//! fews router --addr A --workers H1:P1,H2:P2,… --n N --d D [--model io|id]
+//!             [--timeout-ms T] [--retries R] [--heartbeat-ms H] [--refresh-updates U] …
+//! fews client ADDR [--space S] [--timeout-ms T] [--retries R]
+//!                  <certified|certify V|top K|stats|ping|ingest FILE|checkpoint OUT|
+//!                   restore FILE|create-space NAME …|drop-space NAME|list-spaces|
+//!                   join-worker ADDR|shutdown>
 //! ```
 //!
 //! `--data-dir DIR` makes `listen` durable: every space write-ahead-logs
 //! acknowledged ingest batches (fsync before ack) and is recovered on
 //! restart by checkpoint restore + WAL replay. `--space S` addresses any
 //! data command at tenant space `S` (default: the default space).
+//!
+//! `fews router` starts a cluster coordinator over running `fews listen`
+//! workers: ingest fans out by partition slice, queries answer from a
+//! merged cross-node view, and a worker that dies is revived by checkpoint
+//! handoff — the cluster's answers stay byte-identical to a single node's.
+//! Any `fews client` command works against a router address unchanged.
 //!
 //! Stream files use the `fews-stream::io` text format: one `a b [-]` update
 //! per line.
@@ -65,6 +75,7 @@ fn main() {
         "run" => run(&rest),
         "serve" => serve(&rest),
         "listen" => listen(&rest),
+        "router" => router(&rest),
         "client" => client_cmd(&rest),
         "--help" | "-h" | "help" => usage("…"),
         other => usage(&format!("unknown subcommand {other}")),
@@ -83,13 +94,17 @@ fn usage(msg: &str) -> ! {
          [--scale X] [--m M]\n  \
          {:13}[--shards K] [--partitions P] [--batch B] [--replay FILE] [--restore CKPT]\n  \
          {:13}[--data-dir DIR] [--compact-bytes N]\n  \
-         fews client ADDR [--space S] <certified | certify V | top K | stats | \
-         ingest FILE [--batch B] |\n  \
-         {:13}checkpoint OUT | restore CKPT | shutdown |\n  \
+         fews router --addr HOST:PORT --workers H1:P1,H2:P2,… --n N --d D [--alpha A] \
+         [--model io|id] [--seed S]\n  \
+         {:13}[--scale X] [--m M] [--partitions P] [--timeout-ms T] [--retries R]\n  \
+         {:13}[--heartbeat-ms H] [--refresh-updates U] [--forward-shutdown true|false]\n  \
+         fews client ADDR [--space S] [--timeout-ms T] [--retries R] <certified | certify V | \
+         top K | stats | ping |\n  \
+         {:13}ingest FILE [--batch B] | checkpoint OUT | restore CKPT | shutdown |\n  \
          {:13}create-space NAME --n N --d D [--alpha A] [--model io|id] [--m M] [--scale X] \
          [--partitions P] [--quota Q] |\n  \
-         {:13}drop-space NAME | list-spaces>",
-        "", "", "", "", "", ""
+         {:13}drop-space NAME | list-spaces | join-worker ADDR>",
+        "", "", "", "", "", "", "", ""
     );
     std::process::exit(2);
 }
@@ -597,6 +612,49 @@ fn listen(rest: &[String]) {
     outln!("server shut down after ingesting {ingested} updates");
 }
 
+/// `fews router`: start a cluster coordinator over running `fews listen`
+/// workers and block until a client sends `shutdown`. The workers must be
+/// empty and serve the exact model flags given here — the router verifies
+/// each one's identity (`node-hello`) before routing a single update.
+fn router(rest: &[String]) {
+    let o = Opts::parse(rest);
+    let addr = o.get_str("addr").unwrap_or_else(|| "127.0.0.1:7421".into());
+    let workers: Vec<String> = o
+        .get_str("workers")
+        .unwrap_or_else(|| usage("--workers is required (comma-separated HOST:PORT list)"))
+        .split(',')
+        .map(|w| w.trim().to_string())
+        .filter(|w| !w.is_empty())
+        .collect();
+    if workers.is_empty() {
+        usage("--workers named no addresses");
+    }
+    let (cfg, ..) = engine_cfg_from(&o);
+    let timeout = std::time::Duration::from_millis(o.get("timeout-ms", 2_000u64).max(1));
+    let opts = fews_cluster::RouterOptions {
+        client: fews_net::ClientOptions::bounded(timeout, o.get("retries", 2u32)),
+        heartbeat: Some(std::time::Duration::from_millis(
+            o.get("heartbeat-ms", 1_000u64).max(1),
+        )),
+        refresh_updates: o.get("refresh-updates", 1u64 << 16),
+        forward_shutdown: o.get("forward-shutdown", true),
+    };
+    let router = fews_cluster::Router::start(cfg, &addr, &workers, opts)
+        .unwrap_or_else(|e| usage(&format!("start router at {addr}: {e}")));
+    let bound = router.local_addr();
+    outln!(
+        "routing on {bound} — {} worker(s) × {} partition(s); stop with `fews client {bound} \
+         shutdown`",
+        workers.len(),
+        cfg.partitions
+    );
+    for (i, w) in workers.iter().enumerate() {
+        outln!("  node {i}: {w}");
+    }
+    let ingested = router.join();
+    outln!("router shut down after ingesting {ingested} updates");
+}
+
 /// Stream FILE through a connected client in `batch`-sized ingest frames,
 /// pre-checking ranges so the server never sees an invalid update.
 fn ingest_file(client: &mut Client, path: &str, batch: usize, n: u32, m: u64) -> u64 {
@@ -633,31 +691,63 @@ fn ingest_file(client: &mut Client, path: &str, batch: usize, n: u32, m: u64) ->
     count
 }
 
-/// Pull `--space S` out of a client argument list (it may appear anywhere),
-/// returning the addressed space and the remaining positional args.
-fn extract_space(rest: &[String]) -> (SpaceId, Vec<String>) {
+/// Pull `--space S`, `--timeout-ms T`, and `--retries R` out of a client
+/// argument list (they may appear anywhere), returning the addressed space,
+/// the connection options, and the remaining positional args.
+fn extract_space(rest: &[String]) -> (SpaceId, fews_net::ClientOptions, Vec<String>) {
     let mut space = SpaceId::default_space();
+    let mut timeout_ms: Option<u64> = None;
+    let mut retries: u32 = 0;
     let mut out = Vec::with_capacity(rest.len());
     let mut i = 0usize;
+    let value = |key: &str, val: Option<&String>| -> String {
+        val.cloned()
+            .unwrap_or_else(|| usage(&format!("{key} needs a value")))
+    };
     while i < rest.len() {
-        if rest[i] == "--space" {
-            let name = rest
-                .get(i + 1)
-                .unwrap_or_else(|| usage("--space needs a NAME"));
-            space = SpaceId::new(name).unwrap_or_else(|e| usage(&format!("--space: {e}")));
-            i += 2;
-        } else {
-            out.push(rest[i].clone());
-            i += 1;
+        match rest[i].as_str() {
+            "--space" => {
+                let name = value("--space", rest.get(i + 1));
+                space = SpaceId::new(&name).unwrap_or_else(|e| usage(&format!("--space: {e}")));
+                i += 2;
+            }
+            "--timeout-ms" => {
+                let ms = value("--timeout-ms", rest.get(i + 1));
+                timeout_ms = Some(
+                    ms.parse()
+                        .unwrap_or_else(|_| usage("--timeout-ms got an unparsable value")),
+                );
+                i += 2;
+            }
+            "--retries" => {
+                let r = value("--retries", rest.get(i + 1));
+                retries = r
+                    .parse()
+                    .unwrap_or_else(|_| usage("--retries got an unparsable value"));
+                i += 2;
+            }
+            _ => {
+                out.push(rest[i].clone());
+                i += 1;
+            }
         }
     }
-    (space, out)
+    let opts = match timeout_ms {
+        Some(ms) => {
+            fews_net::ClientOptions::bounded(std::time::Duration::from_millis(ms.max(1)), retries)
+        }
+        None => fews_net::ClientOptions {
+            retries,
+            ..fews_net::ClientOptions::default()
+        },
+    };
+    (space, opts, out)
 }
 
-/// `fews client ADDR [--space S] CMD…`: one request against a running
-/// `fews listen`.
+/// `fews client ADDR [--space S] [--timeout-ms T] [--retries R] CMD…`: one
+/// request against a running `fews listen` or `fews router`.
 fn client_cmd(rest: &[String]) {
-    let (space, rest) = extract_space(rest);
+    let (space, copts, rest) = extract_space(rest);
     let addr = rest
         .first()
         .cloned()
@@ -666,7 +756,7 @@ fn client_cmd(rest: &[String]) {
         .get(1)
         .cloned()
         .unwrap_or_else(|| usage("client needs a command"));
-    let mut client = Client::connect(&addr)
+    let mut client = Client::connect_with(&addr, &copts)
         .unwrap_or_else(|e| usage(&format!("connect {addr}: {e}")))
         .with_space(space);
     let fail = |e: fews_net::ClientError| -> ! { usage(&format!("{cmd}: {e}")) };
@@ -806,14 +896,27 @@ fn client_cmd(rest: &[String]) {
                 );
             }
         }
+        "ping" => {
+            let started = std::time::Instant::now();
+            client.ping().unwrap_or_else(|e| fail(e));
+            outln!("pong from {addr} in {:.2?}", started.elapsed());
+        }
+        "join-worker" => {
+            let worker = rest
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| usage("join-worker needs a worker ADDR"));
+            client.join_worker(&worker).unwrap_or_else(|e| fail(e));
+            outln!("worker {worker} joined the cluster at {addr}");
+        }
         "shutdown" => {
             client.shutdown().unwrap_or_else(|e| fail(e));
             outln!("server {addr} shutting down");
         }
         other => usage(&format!(
             "unknown client command {other} — try: certified | certify V | top K | stats | \
-             ingest FILE | checkpoint OUT | restore CKPT | create-space NAME … | \
-             drop-space NAME | list-spaces | shutdown"
+             ping | ingest FILE | checkpoint OUT | restore CKPT | create-space NAME … | \
+             drop-space NAME | list-spaces | join-worker ADDR | shutdown"
         )),
     }
 }

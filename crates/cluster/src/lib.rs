@@ -1,0 +1,53 @@
+//! # `fews-cluster` — multi-process scale-out for the FEwW engine
+//!
+//! The paper's summaries are mergeable by construction, and the repo has
+//! proven it locally: certified output and checkpoint bytes are
+//! byte-identical at every shard count K, over the wire, and across
+//! crash-replay. This crate exploits that mergeability for real
+//! distribution: N independent `fews-net` worker processes, one
+//! coordinator, one byte-identical global answer.
+//!
+//! ## Architecture
+//!
+//! [`Router`] is itself a `fews-net` protocol v3 server, so any existing
+//! client (`fews client`, the bench harness) talks to a cluster exactly as
+//! it talks to one node. Behind the front end:
+//!
+//! * **Partition routing.** The unit of distribution is the *partition* —
+//!   the same `partition_of(a, P)` vertex-hash slice the engine already
+//!   uses as its unit of randomness. Partition `p` lives on node
+//!   `p % N`, and because per-partition RNG streams derive from
+//!   `(master seed, p)` alone, a partition computes bit-identical state no
+//!   matter which node hosts it. Ingest batches fan out by owner, with
+//!   order preserved per partition.
+//! * **Cross-node view merge.** Queries are answered from a *merged*
+//!   [`fews_engine::GlobalView`] assembled from per-node view pulls. Each
+//!   pull carries an epoch watermark (the worker's publish counter): a
+//!   quiesced worker answers "unchanged" in O(1) and the router reuses its
+//!   cached, already-decoded contribution — the PR 5 epoch trick, across
+//!   the wire. A fully quiesced cluster answers `certified`/`certify`/
+//!   `top` without touching any worker at all.
+//! * **Checkpoint-handoff membership.** The router retains, per partition,
+//!   the last slice-checkpoint payload plus the updates routed since
+//!   (*log-before-send*: an update is logged before it is offered to a
+//!   worker). A dead worker — heartbeat miss or send failure — is marked
+//!   down; rejoin streams its slice back as exact engine container bytes
+//!   (`FEWWSLC1`) and replays the retained log, so the revived node is
+//!   bit-exact with a node that never died. `join-worker` rebalances a
+//!   healthy cluster the same way. While a node is down, ingest keeps
+//!   being accepted (it is retained in the router's log); queries that
+//!   need the missing slice fail with a typed `node-unavailable` error
+//!   until recovery, and recovery is attempted with bounded retry on
+//!   every touch.
+//!
+//! The differential gate (`tests/tests/cluster_equivalence.rs`) holds a
+//! 2/3/4-node cluster — including one that lost and revived a worker —
+//! byte-identical to a single-threaded `fews-core` reference: certified
+//! sets, `top(k)`, and full checkpoint bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod router;
+
+pub use router::{Router, RouterOptions};

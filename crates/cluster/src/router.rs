@@ -1,0 +1,1437 @@
+//! The partition-routing coordinator.
+//!
+//! One [`Router`] fronts N `fews-net` worker processes. It is a protocol v3
+//! server on its public side and a `fews-net` client on its worker side;
+//! everything it knows lives in one [`Inner`] behind a mutex (request
+//! handling serializes at the router, the workers' own shard pools provide
+//! the parallelism).
+//!
+//! ## Consistency argument
+//!
+//! The router's source of truth for every partition `p` is the pair
+//! `(payloads[p], logs[p])`: the last slice-checkpoint payload pulled from
+//! `p`'s owner, plus every update routed since, in arrival order. An update
+//! is appended to the log *before* it is offered to a worker
+//! (**log-before-send**), so whatever a send failure leaves behind on the
+//! worker — applied, dropped, or unknown — the router can always rebuild the
+//! exact state by restoring `payloads[p]` and replaying `logs[p]`. That
+//! rebuild *is* the rejoin path, which is why a node marked down for any
+//! reason (heartbeat miss, send failure, refused connection) recovers
+//! through one code path and comes back bit-exact with a node that never
+//! died.
+//!
+//! Acknowledged ingest therefore means *retained at the router*: a batch is
+//! acked once it is logged and offered to every live owner, even if some
+//! owner is down. Queries are stricter — they need every owned slice, so a
+//! missing node surfaces as [`ErrorCode::NodeUnavailable`] (after a bounded
+//! rejoin attempt) rather than a silently partial answer.
+//!
+//! Logs are bounded by periodic *refresh*: every `refresh_updates` routed
+//! updates the router pulls fresh slice checkpoints from live owners,
+//! replacing `payloads` and truncating the covered `logs`.
+
+use fews_common::SpaceId;
+use fews_core::wire::MemoryState;
+use fews_engine::checkpoint::{self, unwrap_envelope, Header};
+use fews_engine::{partition_of, EngineConfig, GlobalView, ModelSpec};
+use fews_net::proto::{body_fits, check_frame_len, FrameError};
+use fews_net::{
+    Client, ClientError, ClientOptions, ErrorCode, Request, Response, WireNodeInfo, WireShardStats,
+    WireStats, WireView,
+};
+use fews_stream::Update;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a front-end connection blocks in `read` before re-checking the
+/// shutdown flag (same role as the server's idle poll).
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Upper bound on one front-end response write.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Replay chunk size for checkpoint-handoff rejoin: small enough that a
+/// chunk always fits one frame, large enough to amortize round-trips.
+const REPLAY_CHUNK: usize = 8192;
+
+/// Behaviour knobs for [`Router::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct RouterOptions {
+    /// Connection behaviour towards workers. The default is bounded
+    /// (2 s timeouts, 2 connect retries): a hung worker must cost the
+    /// cluster a timeout, never a wedge.
+    pub client: ClientOptions,
+    /// Heartbeat period: every tick, live nodes are pinged (a miss marks
+    /// them down) and down nodes get a rejoin attempt. `None` disables the
+    /// background thread — recovery then happens only on demand, when a
+    /// request touches the down node. Tests use `None` for determinism.
+    pub heartbeat: Option<Duration>,
+    /// Pull fresh slice checkpoints (and truncate the retained logs) every
+    /// this many routed updates. 0 disables periodic refresh — logs then
+    /// grow until a checkpoint or join forces a refresh.
+    pub refresh_updates: u64,
+    /// Forward a client `shutdown` request to every worker before answering
+    /// `Bye`. Routers owning their fleet (the CLI) want this; tests that
+    /// manage worker lifetimes themselves do not.
+    pub forward_shutdown: bool,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            client: ClientOptions::bounded(Duration::from_secs(2), 2),
+            heartbeat: Some(Duration::from_secs(1)),
+            refresh_updates: 1 << 16,
+            forward_shutdown: true,
+        }
+    }
+}
+
+/// `(code, message)` of an error frame the router is about to send.
+type Fail = (ErrorCode, String);
+
+/// A node's cached, already-decoded share of the merged view, exact as of
+/// the node's epoch watermark.
+enum Contribution {
+    /// Nothing pulled yet (fresh node, or ownership changed under it).
+    None,
+    /// Insertion-only: the node's owned partitions' decoded states.
+    InsertOnly(Vec<(u32, Arc<MemoryState>)>),
+    /// Insertion-deletion: the node's pooled witnesses (owned vertices only).
+    InsertDelete(Vec<(u32, Vec<u64>)>),
+}
+
+/// One cluster member as the router sees it.
+struct Node {
+    addr: String,
+    /// `None` = down. Every recovery goes through [`Inner::rejoin`].
+    client: Option<Client>,
+    /// The node's publish epoch at the last view pull; passed back as
+    /// `since` so a quiesced node answers `unchanged` without shipping
+    /// state.
+    watermark: u64,
+    contribution: Contribution,
+    /// Updates routed to this node (the router-side `processed` counter).
+    routed: u64,
+    /// Batches routed to this node.
+    batches: u64,
+}
+
+/// All router state, behind the one mutex.
+struct Inner {
+    cfg: EngineConfig,
+    opts: RouterOptions,
+    nodes: Vec<Node>,
+    /// `owners[p]` = index of the node hosting partition `p`.
+    owners: Vec<usize>,
+    /// Per-partition slice-checkpoint payload as of the last refresh.
+    /// Always populated: seeded at startup from an empty worker (empty
+    /// partition state is a pure function of `(seed, p)`).
+    payloads: Vec<Vec<u8>>,
+    /// Per-partition updates routed since `payloads[p]` was pulled, in
+    /// arrival order. `payloads[p] + logs[p]` rebuilds the partition
+    /// exactly.
+    logs: Vec<Vec<Update>>,
+    /// Updates routed since the last refresh (compares against
+    /// `opts.refresh_updates`).
+    since_refresh: u64,
+    /// Updates accepted over the router's lifetime.
+    ingested: u64,
+    /// The merged global view; exact iff `!dirty`.
+    merged: Option<Arc<GlobalView>>,
+    /// Set by ingest/restore/join; cleared when `merged` is rebuilt.
+    dirty: bool,
+    started: Instant,
+}
+
+/// The identity card every worker must match: the checkpoint header of the
+/// router's own config. Equal cards ⇒ interchangeable partition state.
+fn expected_info(cfg: &EngineConfig) -> WireNodeInfo {
+    let h = Header::for_config(cfg);
+    WireNodeInfo {
+        model: h.model,
+        seed: h.seed,
+        partitions: h.partitions,
+        n: h.n,
+        m: h.m,
+        d: h.d,
+        alpha: h.alpha,
+        ingested: 0,
+    }
+}
+
+/// Connect to a worker and verify it serves the exact model, seed, and
+/// partitioning this cluster routes for.
+fn admit(
+    addr: &str,
+    cfg: &EngineConfig,
+    opts: &ClientOptions,
+) -> Result<(Client, WireNodeInfo), String> {
+    let mut client =
+        Client::connect_with(addr, opts).map_err(|e| format!("worker {addr}: connect: {e}"))?;
+    let info = client
+        .node_hello()
+        .map_err(|e| format!("worker {addr}: hello: {e}"))?;
+    let want = expected_info(cfg);
+    let got = WireNodeInfo {
+        ingested: 0,
+        ..info
+    };
+    if got != want {
+        return Err(format!(
+            "worker {addr} serves a different model/seed/partitioning than this cluster \
+             (wanted model={} seed={} partitions={}, got model={} seed={} partitions={})",
+            want.model, want.seed, want.partitions, got.model, got.seed, got.partitions
+        ));
+    }
+    Ok((client, info))
+}
+
+/// Map a worker-side client failure to the error frame the router's own
+/// client gets: transport trouble is `node-unavailable`, a worker's error
+/// frame passes through with the worker named.
+fn node_fail(addr: &str, e: &ClientError) -> Fail {
+    match e {
+        ClientError::Io(e) => (
+            ErrorCode::NodeUnavailable,
+            format!("worker {addr} unavailable: {e}"),
+        ),
+        ClientError::Protocol(m) => (
+            ErrorCode::Malformed,
+            format!("worker {addr} protocol error: {m}"),
+        ),
+        ClientError::Server { code, message } => (*code, format!("worker {addr}: {message}")),
+    }
+}
+
+/// Same validation the single-node server applies before any update reaches
+/// an engine, so a cluster rejects exactly what one node rejects.
+fn validate_batch(cfg: &EngineConfig, updates: &[Update]) -> Result<(), Fail> {
+    match cfg.model {
+        ModelSpec::InsertOnly(c) => {
+            for u in updates {
+                if u.delta < 0 {
+                    return Err((
+                        ErrorCode::ModelMismatch,
+                        format!(
+                            "deletion of ({}, {}) into an insertion-only model",
+                            u.edge.a, u.edge.b
+                        ),
+                    ));
+                }
+                if u.edge.a >= c.n {
+                    return Err((
+                        ErrorCode::BadUpdate,
+                        format!("vertex {} out of range n={}", u.edge.a, c.n),
+                    ));
+                }
+            }
+        }
+        ModelSpec::InsertDelete(c) => {
+            for u in updates {
+                if u.edge.a >= c.n {
+                    return Err((
+                        ErrorCode::BadUpdate,
+                        format!("vertex {} out of range n={}", u.edge.a, c.n),
+                    ));
+                }
+                if u.edge.b >= c.m {
+                    return Err((
+                        ErrorCode::BadUpdate,
+                        format!("witness {} out of range m={}", u.edge.b, c.m),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Inner {
+    /// The sorted partition ids node `i` currently owns.
+    fn owned(&self, i: usize) -> Vec<u32> {
+        (0..self.cfg.partitions as u32)
+            .filter(|&p| self.owners[p as usize] == i)
+            .collect()
+    }
+
+    /// Make node `i` live, rejoining it via checkpoint handoff if it is
+    /// down. The one gate every worker-touching path goes through.
+    fn ensure_up(&mut self, i: usize) -> Result<(), Fail> {
+        if self.nodes[i].client.is_some() {
+            return Ok(());
+        }
+        self.rejoin(i)
+    }
+
+    /// Checkpoint-handoff recovery: reconnect, verify identity, stream the
+    /// node's slice back as exact engine container bytes, replay the
+    /// retained log, re-assign the slice. The revived node is bit-exact
+    /// with one that never died (restore is wholesale per partition, so it
+    /// also erases any half-applied batch a send failure left behind).
+    fn rejoin(&mut self, i: usize) -> Result<(), Fail> {
+        let addr = self.nodes[i].addr.clone();
+        let (mut client, _) = admit(&addr, &self.cfg, &self.opts.client)
+            .map_err(|m| (ErrorCode::NodeUnavailable, m))?;
+        let owned = self.owned(i);
+        let slice: Vec<(u32, Vec<u8>)> = owned
+            .iter()
+            .map(|&p| (p, self.payloads[p as usize].clone()))
+            .collect();
+        let container = checkpoint::encode_slice(&self.cfg, &slice);
+        client
+            .slice_restore(&container)
+            .map_err(|e| node_fail(&addr, &e))?;
+        // Replay partition by partition: the engine orders per partition
+        // only, and logs[p] holds exactly p's updates in arrival order.
+        let mut replay: Vec<Update> = Vec::new();
+        for &p in &owned {
+            replay.extend_from_slice(&self.logs[p as usize]);
+        }
+        for chunk in replay.chunks(REPLAY_CHUNK) {
+            client
+                .ingest_batch(chunk)
+                .map_err(|e| node_fail(&addr, &e))?;
+        }
+        client
+            .slice_assign(&owned)
+            .map_err(|e| node_fail(&addr, &e))?;
+        let node = &mut self.nodes[i];
+        node.client = Some(client);
+        node.watermark = 0;
+        node.contribution = Contribution::None;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Route one validated ingest batch: log every update under its
+    /// partition, fan the batch out by owner, ack. A send failure marks the
+    /// owner down and the ack stands — the updates are retained and replay
+    /// at rejoin.
+    fn ingest(&mut self, updates: Vec<Update>) -> Response {
+        if let Err((code, message)) = validate_batch(&self.cfg, &updates) {
+            return Response::Error { code, message };
+        }
+        let count = updates.len() as u64;
+        let mut per_node: Vec<Vec<Update>> = vec![Vec::new(); self.nodes.len()];
+        for u in &updates {
+            let p = partition_of(u.edge.a, self.cfg.partitions);
+            self.logs[p].push(*u);
+            per_node[self.owners[p]].push(*u);
+        }
+        self.dirty = true;
+        for i in 0..self.nodes.len() {
+            let batch = std::mem::take(&mut per_node[i]);
+            if batch.is_empty() {
+                continue;
+            }
+            if self.nodes[i].client.is_none() {
+                // Down owner: the batch is already in the log, so a
+                // successful rejoin replays it — don't send it again.
+                let _ = self.rejoin(i);
+                if self.nodes[i].client.is_some() {
+                    self.nodes[i].routed += batch.len() as u64;
+                    self.nodes[i].batches += 1;
+                }
+                continue;
+            }
+            let sent = self.nodes[i]
+                .client
+                .as_mut()
+                .expect("live node")
+                .ingest_batch(&batch);
+            match sent {
+                Ok(_) => {
+                    self.nodes[i].routed += batch.len() as u64;
+                    self.nodes[i].batches += 1;
+                }
+                Err(_) => {
+                    // Whatever the worker did with the batch, the wholesale
+                    // restore at rejoin makes it exact again.
+                    self.nodes[i].client = None;
+                }
+            }
+        }
+        self.ingested += count;
+        self.since_refresh += count;
+        if self.opts.refresh_updates > 0 && self.since_refresh >= self.opts.refresh_updates {
+            self.refresh_retained();
+        }
+        Response::Ingested(count)
+    }
+
+    /// Best-effort log compaction: pull fresh slice checkpoints from every
+    /// *live* owner, replace its partitions' payloads, truncate the covered
+    /// logs. Down nodes keep their logs (those updates are not yet anywhere
+    /// else); a node that fails mid-refresh is marked down with its logs
+    /// intact.
+    fn refresh_retained(&mut self) {
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].client.is_none() {
+                continue;
+            }
+            let owned = self.owned(i);
+            let pulled = self.nodes[i]
+                .client
+                .as_mut()
+                .expect("live node")
+                .slice_checkpoint(&owned)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| checkpoint::decode_slice(&bytes).map_err(|e| e.to_string()));
+            match pulled {
+                Ok((_, payloads)) => {
+                    for (p, bytes) in payloads {
+                        self.payloads[p as usize] = bytes;
+                        self.logs[p as usize].clear();
+                    }
+                }
+                Err(_) => self.nodes[i].client = None,
+            }
+        }
+        self.since_refresh = 0;
+    }
+
+    /// Like [`Inner::refresh_retained`], but every node must participate:
+    /// used where the payload store must cover *all* logged updates
+    /// (checkpoint, join). After success, every log is empty.
+    fn refresh_all_strict(&mut self) -> Result<(), Fail> {
+        for i in 0..self.nodes.len() {
+            self.ensure_up(i)?;
+            let owned = self.owned(i);
+            let addr = self.nodes[i].addr.clone();
+            let bytes = match self.nodes[i]
+                .client
+                .as_mut()
+                .expect("live node")
+                .slice_checkpoint(&owned)
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    self.nodes[i].client = None;
+                    return Err(node_fail(&addr, &e));
+                }
+            };
+            let (_, payloads) = checkpoint::decode_slice(&bytes).map_err(|e| {
+                (
+                    ErrorCode::Malformed,
+                    format!("worker {addr}: slice checkpoint: {e}"),
+                )
+            })?;
+            for (p, b) in payloads {
+                self.payloads[p as usize] = b;
+                self.logs[p as usize].clear();
+            }
+        }
+        self.since_refresh = 0;
+        Ok(())
+    }
+
+    /// The merged global view. Quiesced fast path first; otherwise one
+    /// epoch-gated pull per node (unchanged nodes cost one tiny frame and
+    /// zero decoding), then reassemble.
+    fn view(&mut self) -> Result<Arc<GlobalView>, Fail> {
+        if !self.dirty {
+            if let Some(v) = &self.merged {
+                return Ok(Arc::clone(v));
+            }
+        }
+        let io_model = matches!(self.cfg.model, ModelSpec::InsertOnly(_));
+        for i in 0..self.nodes.len() {
+            self.ensure_up(i)?;
+            let addr = self.nodes[i].addr.clone();
+            let watermark = self.nodes[i].watermark;
+            let pulled = self.nodes[i]
+                .client
+                .as_mut()
+                .expect("live node")
+                .view_pull(watermark);
+            let view = match pulled {
+                Ok(v) => v,
+                Err(e) => {
+                    self.nodes[i].client = None;
+                    return Err(node_fail(&addr, &e));
+                }
+            };
+            match view {
+                WireView::Unchanged { .. } => {} // cached contribution is exact
+                WireView::InsertOnly { epoch, parts } => {
+                    if !io_model {
+                        return Err((
+                            ErrorCode::Malformed,
+                            format!(
+                                "worker {addr} shipped an insertion-only view for an \
+                                     insertion-deletion cluster"
+                            ),
+                        ));
+                    }
+                    let mut decoded = Vec::with_capacity(parts.len());
+                    for (p, bytes) in parts {
+                        let state = MemoryState::decode(&bytes).ok_or_else(|| {
+                            (
+                                ErrorCode::Malformed,
+                                format!("worker {addr}: partition {p} state failed to decode"),
+                            )
+                        })?;
+                        decoded.push((p, Arc::new(state)));
+                    }
+                    self.nodes[i].contribution = Contribution::InsertOnly(decoded);
+                    self.nodes[i].watermark = epoch;
+                }
+                WireView::InsertDelete { epoch, pooled } => {
+                    if io_model {
+                        return Err((
+                            ErrorCode::Malformed,
+                            format!(
+                                "worker {addr} shipped an insertion-deletion view for an \
+                                     insertion-only cluster"
+                            ),
+                        ));
+                    }
+                    self.nodes[i].contribution = Contribution::InsertDelete(pooled);
+                    self.nodes[i].watermark = epoch;
+                }
+            }
+        }
+        let d2 = self.cfg.witness_target();
+        let merged = if io_model {
+            // Dense reassembly: every partition exactly once, ascending —
+            // the same shape `Engine::refresh` builds, so certified output
+            // is bit-exact against a single node.
+            let mut parts: Vec<Option<Arc<MemoryState>>> = vec![None; self.cfg.partitions];
+            for node in &self.nodes {
+                if let Contribution::InsertOnly(list) = &node.contribution {
+                    for (p, state) in list {
+                        parts[*p as usize] = Some(Arc::clone(state));
+                    }
+                }
+            }
+            let mut dense = Vec::with_capacity(parts.len());
+            for (p, slot) in parts.into_iter().enumerate() {
+                let Some(state) = slot else {
+                    return Err((
+                        ErrorCode::Malformed,
+                        format!("no node contributed partition {p}"),
+                    ));
+                };
+                dense.push(state);
+            }
+            GlobalView::InsertOnly { parts: dense, d2 }
+        } else {
+            // Vertices are partition-disjoint across nodes, so node pools
+            // concatenate into a disjoint union; one sort restores the
+            // canonical vertex order.
+            let mut pooled: Vec<(u32, Vec<u64>)> = Vec::new();
+            for node in &self.nodes {
+                if let Contribution::InsertDelete(list) = &node.contribution {
+                    pooled.extend(list.iter().cloned());
+                }
+            }
+            pooled.sort_unstable_by_key(|(v, _)| *v);
+            GlobalView::InsertDelete { pooled, d2 }
+        };
+        let merged = Arc::new(merged);
+        self.merged = Some(Arc::clone(&merged));
+        self.dirty = false;
+        Ok(merged)
+    }
+
+    /// A full cluster checkpoint: drain every log into fresh payloads, then
+    /// assemble the dense container — byte-identical to what one node
+    /// holding the whole stream would produce, wrapped for the default
+    /// space like a single server's answer.
+    fn checkpoint(&mut self) -> Result<Vec<u8>, Fail> {
+        self.refresh_all_strict()?;
+        let payloads: Vec<(u32, Vec<u8>)> = self
+            .payloads
+            .iter()
+            .enumerate()
+            .map(|(p, b)| (p as u32, b.clone()))
+            .collect();
+        let inner = checkpoint::encode(&self.cfg, &payloads);
+        Ok(checkpoint::wrap_envelope(
+            SpaceId::default_space().as_str(),
+            0,
+            &inner,
+        ))
+    }
+
+    /// Install a full checkpoint cluster-wide. The payload store commits
+    /// first, then slices push to the owners; a node that misses the push
+    /// is marked down and recovers the restored state through the ordinary
+    /// rejoin path — so the restore is never torn.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), Fail> {
+        let env = match unwrap_envelope(bytes) {
+            Ok(env) if env.space != SpaceId::default_space().as_str() => {
+                return Err((
+                    ErrorCode::Checkpoint,
+                    format!(
+                        "checkpoint space mismatch: container is for '{}', a cluster router \
+                         serves the default space",
+                        env.space
+                    ),
+                ));
+            }
+            Ok(env) => env,
+            Err(e) => return Err((ErrorCode::Checkpoint, e.to_string())),
+        };
+        let (header, payloads) =
+            checkpoint::decode(env.inner).map_err(|e| (ErrorCode::Checkpoint, e.to_string()))?;
+        header
+            .check_against(&self.cfg)
+            .map_err(|e| (ErrorCode::Checkpoint, e.to_string()))?;
+        let mut dense: Vec<Vec<u8>> = vec![Vec::new(); self.cfg.partitions];
+        for (p, b) in payloads {
+            dense[p as usize] = b;
+        }
+        // Commit router-side truth before any push.
+        self.payloads = dense;
+        for log in &mut self.logs {
+            log.clear();
+        }
+        self.dirty = true;
+        self.merged = None;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].client.is_none() {
+                let _ = self.rejoin(i); // hands the restored slice
+                continue;
+            }
+            let owned = self.owned(i);
+            let slice: Vec<(u32, Vec<u8>)> = owned
+                .iter()
+                .map(|&p| (p, self.payloads[p as usize].clone()))
+                .collect();
+            let container = checkpoint::encode_slice(&self.cfg, &slice);
+            let pushed = self.nodes[i]
+                .client
+                .as_mut()
+                .expect("live node")
+                .slice_restore(&container);
+            if pushed.is_err() {
+                self.nodes[i].client = None;
+                let _ = self.rejoin(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Admit a new worker and rebalance: partitions re-map to `p % (N+1)`,
+    /// every node receives its (possibly shrunk) slice as container bytes
+    /// plus a fresh assignment. Requires a fully live cluster — rebalancing
+    /// around a hole would have to guess the hole's state.
+    fn join(&mut self, addr: &str) -> Result<(), Fail> {
+        if self.nodes.iter().any(|n| n.addr == addr) {
+            return Err((
+                ErrorCode::Malformed,
+                format!("worker {addr} is already a cluster member"),
+            ));
+        }
+        // Drain logs so the new ownership map can be seeded from the
+        // payload store alone.
+        self.refresh_all_strict()?;
+        let (client, _) = admit(addr, &self.cfg, &self.opts.client)
+            .map_err(|m| (ErrorCode::NodeUnavailable, m))?;
+        self.nodes.push(Node {
+            addr: addr.to_string(),
+            client: Some(client),
+            watermark: 0,
+            contribution: Contribution::None,
+            routed: 0,
+            batches: 0,
+        });
+        let n = self.nodes.len();
+        self.owners = (0..self.cfg.partitions).map(|p| p % n).collect();
+        // Ownership changed under every node: no cached contribution may
+        // outlive the map that scoped it.
+        for node in &mut self.nodes {
+            node.watermark = 0;
+            node.contribution = Contribution::None;
+        }
+        self.dirty = true;
+        self.merged = None;
+        for i in 0..n {
+            let owned = self.owned(i);
+            let slice: Vec<(u32, Vec<u8>)> = owned
+                .iter()
+                .map(|&p| (p, self.payloads[p as usize].clone()))
+                .collect();
+            let container = checkpoint::encode_slice(&self.cfg, &slice);
+            let Some(client) = self.nodes[i].client.as_mut() else {
+                let _ = self.rejoin(i);
+                continue;
+            };
+            let res = client
+                .slice_restore(&container)
+                .and_then(|()| client.slice_assign(&owned));
+            if res.is_err() {
+                self.nodes[i].client = None;
+                let _ = self.rejoin(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Cluster statistics: the router's own ingest counter, one shard row
+    /// per node (owned partitions, updates routed, measured worker state).
+    fn stats(&mut self) -> Result<WireStats, Fail> {
+        let mut shards = Vec::with_capacity(self.nodes.len());
+        let mut space_bytes = 0u64;
+        for i in 0..self.nodes.len() {
+            self.ensure_up(i)?;
+            let addr = self.nodes[i].addr.clone();
+            let ws = match self.nodes[i].client.as_mut().expect("live node").stats() {
+                Ok(s) => s,
+                Err(e) => {
+                    self.nodes[i].client = None;
+                    return Err(node_fail(&addr, &e));
+                }
+            };
+            shards.push(WireShardStats {
+                partitions: self.owned(i).len() as u64,
+                processed: self.nodes[i].routed,
+                batches: self.nodes[i].batches,
+                space_bytes: ws.space_bytes,
+            });
+            space_bytes += ws.space_bytes;
+        }
+        Ok(WireStats {
+            ingested: self.ingested,
+            uptime_micros: self.started.elapsed().as_micros() as u64,
+            witness_target: self.cfg.witness_target() as u64,
+            space_bytes,
+            wal_bytes: 0,
+            quota_bytes: 0,
+            shards,
+        })
+    }
+
+    /// One heartbeat tick: ping live nodes (a miss marks them down), try to
+    /// rejoin down nodes. A node going down does not invalidate the merged
+    /// view — losing a replica changes availability, not data.
+    fn heartbeat(&mut self) {
+        for i in 0..self.nodes.len() {
+            if let Some(client) = self.nodes[i].client.as_mut() {
+                if client.ping().is_err() {
+                    self.nodes[i].client = None;
+                }
+            } else {
+                let _ = self.rejoin(i);
+            }
+        }
+    }
+}
+
+struct RouterShared {
+    inner: Mutex<Inner>,
+    shutdown: AtomicBool,
+}
+
+/// A running cluster coordinator. Dropping it (or [`Router::join`] after a
+/// client `shutdown`) tears down the front end and, with
+/// [`RouterOptions::forward_shutdown`] on a client-initiated shutdown, the
+/// workers too.
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    acceptor: Option<JoinHandle<()>>,
+    heartbeat: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Bind the front end at `addr`, admit every worker (connect, verify
+    /// identity, require an empty engine), seed the per-partition payload
+    /// store from worker 0 (all workers are empty, and empty partition
+    /// state is a pure function of `(seed, p)`), assign each worker its
+    /// `p % N` slice, and start serving.
+    pub fn start(
+        cfg: EngineConfig,
+        addr: &str,
+        workers: &[String],
+        opts: RouterOptions,
+    ) -> std::io::Result<Router> {
+        if workers.is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "a cluster needs at least one worker",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let invalid = |m: String| std::io::Error::new(ErrorKind::InvalidInput, m);
+        let mut nodes = Vec::with_capacity(workers.len());
+        for w in workers {
+            let (client, info) = admit(w, &cfg, &opts.client).map_err(invalid)?;
+            if info.ingested != 0 {
+                return Err(invalid(format!(
+                    "worker {w} already holds {} updates; start cluster workers empty",
+                    info.ingested
+                )));
+            }
+            nodes.push(Node {
+                addr: w.clone(),
+                client: Some(client),
+                watermark: 0,
+                contribution: Contribution::None,
+                routed: 0,
+                batches: 0,
+            });
+        }
+        let partitions = cfg.partitions;
+        let owners: Vec<usize> = (0..partitions).map(|p| p % nodes.len()).collect();
+        let all: Vec<u32> = (0..partitions as u32).collect();
+        let seeded = nodes[0]
+            .client
+            .as_mut()
+            .expect("admitted node")
+            .slice_checkpoint(&all)
+            .map_err(|e| {
+                invalid(format!(
+                    "worker {}: baseline checkpoint: {e}",
+                    nodes[0].addr
+                ))
+            })
+            .and_then(|bytes| {
+                checkpoint::decode_slice(&bytes).map_err(|e| {
+                    invalid(format!(
+                        "worker {}: baseline checkpoint: {e}",
+                        nodes[0].addr
+                    ))
+                })
+            })?;
+        let mut payloads = vec![Vec::new(); partitions];
+        for (p, b) in seeded.1 {
+            payloads[p as usize] = b;
+        }
+        for i in 0..nodes.len() {
+            let owned: Vec<u32> = (0..partitions as u32)
+                .filter(|&p| owners[p as usize] == i)
+                .collect();
+            nodes[i]
+                .client
+                .as_mut()
+                .expect("admitted node")
+                .slice_assign(&owned)
+                .map_err(|e| invalid(format!("worker {}: slice assign: {e}", nodes[i].addr)))?;
+        }
+        let heartbeat_period = opts.heartbeat;
+        let inner = Inner {
+            cfg,
+            opts,
+            nodes,
+            owners,
+            payloads,
+            logs: vec![Vec::new(); partitions],
+            since_refresh: 0,
+            ingested: 0,
+            merged: None,
+            dirty: true,
+            started: Instant::now(),
+        };
+        let shared = Arc::new(RouterShared {
+            inner: Mutex::new(inner),
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fews-cluster-acceptor".into())
+                .spawn(move || run_acceptor(listener, shared))
+                .expect("spawn acceptor")
+        };
+        let heartbeat = heartbeat_period.map(|period| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fews-cluster-heartbeat".into())
+                .spawn(move || run_heartbeat(shared, period))
+                .expect("spawn heartbeat")
+        });
+        Ok(Router {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            heartbeat,
+        })
+    }
+
+    /// The address the front end actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown from the owning side. Does *not* forward to the
+    /// workers — only a client-initiated `shutdown` does that (and only
+    /// with [`RouterOptions::forward_shutdown`]).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until the front end has wound down. Returns the number of
+    /// updates the cluster accepted over the router's lifetime.
+    pub fn join(mut self) -> u64 {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> u64 {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.heartbeat.take() {
+            let _ = handle.join();
+        }
+        self.shared.inner.lock().expect("router state").ingested
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.shutdown();
+            self.join_inner();
+        }
+    }
+}
+
+fn run_heartbeat(shared: Arc<RouterShared>, period: Duration) {
+    let tick = Duration::from_millis(50);
+    let mut elapsed = Duration::ZERO;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(tick);
+        elapsed += tick;
+        if elapsed < period {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.inner.lock().expect("router state").heartbeat();
+    }
+}
+
+fn run_acceptor(listener: TcpListener, shared: Arc<RouterShared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        let shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("fews-cluster-conn".into())
+            .spawn(move || serve_connection(stream, shared))
+            .expect("spawn connection worker");
+        workers.push(worker);
+        workers.retain(|w| !w.is_finished());
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// What a blocking read observed at a frame boundary.
+enum ReadOutcome {
+    Full,
+    CleanEof,
+    Truncated,
+    ShuttingDown,
+}
+
+/// Fill `buf`, tolerating read timeouts (the shutdown poll) without losing
+/// bytes across them.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &RouterShared) -> ReadOutcome {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Truncated
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return ReadOutcome::ShuttingDown;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Truncated,
+        }
+    }
+    ReadOutcome::Full
+}
+
+fn send_error(stream: &mut TcpStream, code: ErrorCode, message: String) {
+    let _ = stream.write_all(&Response::Error { code, message }.encode());
+}
+
+fn error_code_for(err: &FrameError) -> ErrorCode {
+    match err {
+        FrameError::Oversized(_) => ErrorCode::Oversized,
+        FrameError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+        FrameError::UnknownTag(_) => ErrorCode::UnknownTag,
+        FrameError::Malformed(_) => ErrorCode::Malformed,
+    }
+}
+
+/// The front-end connection loop — the same framing discipline as the
+/// single-node server: length-delimited frames keep a malformed body from
+/// desyncing the stream, header-level damage closes the connection after a
+/// best-effort error frame.
+fn serve_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut header = [0u8; 4];
+    const BUF_RETAIN: usize = 1 << 20;
+    let mut payload: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        if payload.capacity() > BUF_RETAIN {
+            payload.shrink_to(BUF_RETAIN);
+        }
+        if out.capacity() > BUF_RETAIN {
+            out.shrink_to(BUF_RETAIN);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_full(&mut stream, &mut header, &shared) {
+            ReadOutcome::Full => {}
+            ReadOutcome::CleanEof | ReadOutcome::ShuttingDown | ReadOutcome::Truncated => return,
+        }
+        let declared = u32::from_le_bytes(header) as u64;
+        let len = match check_frame_len(declared) {
+            Ok(len) => len,
+            Err(e) => {
+                send_error(&mut stream, ErrorCode::Oversized, e.to_string());
+                return;
+            }
+        };
+        payload.clear();
+        payload.resize(len, 0);
+        match read_full(&mut stream, &mut payload, &shared) {
+            ReadOutcome::Full => {}
+            ReadOutcome::ShuttingDown => return,
+            ReadOutcome::CleanEof | ReadOutcome::Truncated => {
+                send_error(
+                    &mut stream,
+                    ErrorCode::Truncated,
+                    "frame truncated before declared length".into(),
+                );
+                return;
+            }
+        }
+        let (space, request) = match Request::decode(&payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                send_error(&mut stream, error_code_for(&e), e.to_string());
+                continue;
+            }
+        };
+        let response = handle_request(space, request, &shared);
+        let bye = matches!(response, Response::Bye);
+        if bye {
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        out.clear();
+        response.encode_into(&mut out);
+        let write_ok = stream.write_all(&out).is_ok();
+        if bye {
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+        if !write_ok {
+            return;
+        }
+    }
+}
+
+fn fail_response((code, message): Fail) -> Response {
+    Response::Error { code, message }
+}
+
+fn handle_request(space: SpaceId, request: Request, shared: &RouterShared) -> Response {
+    // Requests that need no space routing, or that a router categorically
+    // does not serve, are answered before the space check.
+    match &request {
+        Request::Ping => return Response::Pong,
+        Request::Shutdown => {
+            let mut inner = shared.inner.lock().expect("router state");
+            if inner.opts.forward_shutdown {
+                for node in &mut inner.nodes {
+                    if let Some(client) = node.client.as_mut() {
+                        let _ = client.shutdown();
+                    }
+                    node.client = None;
+                }
+            }
+            return Response::Bye;
+        }
+        Request::CreateSpace(_) | Request::DropSpace | Request::ListSpaces => {
+            return Response::Error {
+                code: ErrorCode::Malformed,
+                message: "a cluster router does not manage spaces; address its workers directly"
+                    .into(),
+            };
+        }
+        Request::SliceAssign(_)
+        | Request::ViewPull(_)
+        | Request::SliceCheckpoint(_)
+        | Request::SliceRestore(_) => {
+            return Response::Error {
+                code: ErrorCode::Malformed,
+                message: "worker-facing request sent to a cluster router".into(),
+            };
+        }
+        _ => {}
+    }
+    if !space.is_default() {
+        return Response::Error {
+            code: ErrorCode::UnknownSpace,
+            message: format!("a cluster router serves the default space only (got '{space}')"),
+        };
+    }
+    let mut inner = shared.inner.lock().expect("router state");
+    match request {
+        Request::IngestBatch(updates) => inner.ingest(updates),
+        Request::Certified => match inner.view() {
+            Ok(view) => Response::Answer(view.certified()),
+            Err(fail) => fail_response(fail),
+        },
+        Request::Certify(v) => match inner.view() {
+            Ok(view) => Response::Answer(view.certify(v)),
+            Err(fail) => fail_response(fail),
+        },
+        Request::Top(k) => match inner.view() {
+            Ok(view) => Response::Top(view.top(k.min(u32::MAX as u64) as usize)),
+            Err(fail) => fail_response(fail),
+        },
+        Request::Stats => match inner.stats() {
+            Ok(stats) => Response::Stats(stats),
+            Err(fail) => fail_response(fail),
+        },
+        Request::Checkpoint => match inner.checkpoint() {
+            Ok(bytes) => {
+                if !body_fits(bytes.len()) {
+                    return Response::Error {
+                        code: ErrorCode::Oversized,
+                        message: format!(
+                            "checkpoint is {} bytes, larger than one frame can carry",
+                            bytes.len()
+                        ),
+                    };
+                }
+                Response::Checkpoint(bytes)
+            }
+            Err(fail) => fail_response(fail),
+        },
+        Request::Restore(bytes) => match inner.restore(&bytes) {
+            Ok(()) => Response::Restored,
+            Err(fail) => fail_response(fail),
+        },
+        Request::JoinWorker(addr) => match inner.join(&addr) {
+            Ok(()) => Response::SpaceOk,
+            Err(fail) => fail_response(fail),
+        },
+        Request::NodeHello => {
+            let info = WireNodeInfo {
+                ingested: inner.ingested,
+                ..expected_info(&inner.cfg)
+            };
+            Response::NodeInfo(info)
+        }
+        // Answered before the space check; unreachable here.
+        Request::CreateSpace(_)
+        | Request::DropSpace
+        | Request::ListSpaces
+        | Request::Shutdown
+        | Request::Ping
+        | Request::SliceAssign(_)
+        | Request::ViewPull(_)
+        | Request::SliceCheckpoint(_)
+        | Request::SliceRestore(_) => Response::Error {
+            code: ErrorCode::Malformed,
+            message: "request handled before space routing".into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fews_core::insertion_only::FewwConfig;
+    use fews_engine::Engine;
+    use fews_net::Server;
+    use fews_stream::Edge;
+
+    fn test_cfg() -> EngineConfig {
+        EngineConfig::insert_only(FewwConfig::new(64, 8, 2), 2021)
+            .with_shards(2)
+            .with_partitions(8)
+    }
+
+    /// A deterministic insertion stream touching every partition.
+    fn stream(len: u32) -> Vec<Update> {
+        (0..len)
+            .map(|i| {
+                let a = (i * 7 + i / 5) % 64;
+                let b = u64::from(i * 13 % 29);
+                Update::insert(Edge::new(a, b))
+            })
+            .collect()
+    }
+
+    fn quick_opts() -> RouterOptions {
+        RouterOptions {
+            // Generous timeout: the full test suite shares one core, and
+            // dead-worker detection goes through connection-refused (which
+            // is immediate), so nothing here waits it out.
+            client: ClientOptions::bounded(Duration::from_secs(5), 0),
+            heartbeat: None,
+            refresh_updates: 200,
+            forward_shutdown: false,
+        }
+    }
+
+    fn start_worker_at(cfg: EngineConfig, addr: SocketAddr) -> Server {
+        // The previous tenant's sockets may linger briefly; retry the bind.
+        for _ in 0..100 {
+            match Server::start(cfg, &addr.to_string()) {
+                Ok(server) => return server,
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        panic!("could not rebind {addr}");
+    }
+
+    #[test]
+    fn two_node_cluster_matches_single_engine() {
+        let cfg = test_cfg();
+        let w1 = Server::start(cfg, "127.0.0.1:0").expect("worker 1");
+        let w2 = Server::start(cfg, "127.0.0.1:0").expect("worker 2");
+        let workers = vec![w1.local_addr().to_string(), w2.local_addr().to_string()];
+        let router = Router::start(cfg, "127.0.0.1:0", &workers, quick_opts()).expect("router");
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+
+        let updates = stream(3_000);
+        for chunk in updates.chunks(97) {
+            client.ingest_batch(chunk).expect("ingest");
+        }
+
+        let mut reference = Engine::start(cfg);
+        reference.ingest(updates.clone());
+        let (view, _) = reference.refresh();
+
+        assert_eq!(client.certified().expect("certified"), view.certified());
+        for v in [0u32, 7, 13, 63] {
+            assert_eq!(client.certify(v).expect("certify"), view.certify(v));
+        }
+        assert_eq!(client.top(5).expect("top"), view.top(5));
+
+        // The cluster checkpoint is byte-identical to the single engine's.
+        let envelope = client.checkpoint().expect("checkpoint");
+        let env = unwrap_envelope(&envelope).expect("envelope");
+        assert_eq!(env.inner, reference.checkpoint());
+
+        // Quiesced cluster: repeated queries answer from the cached merge.
+        assert_eq!(client.certified().expect("cached"), view.certified());
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.ingested, updates.len() as u64);
+        assert_eq!(stats.shards.len(), 2);
+        assert_eq!(stats.shards.iter().map(|s| s.partitions).sum::<u64>(), 8);
+
+        router.shutdown();
+        router.join();
+        w1.shutdown();
+        w1.join();
+        w2.shutdown();
+        w2.join();
+    }
+
+    #[test]
+    fn router_serves_default_space_only() {
+        let cfg = test_cfg();
+        let w1 = Server::start(cfg, "127.0.0.1:0").expect("worker");
+        let workers = vec![w1.local_addr().to_string()];
+        let router = Router::start(cfg, "127.0.0.1:0", &workers, quick_opts()).expect("router");
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+
+        client.ping().expect("ping");
+        let info = client.node_hello().expect("hello");
+        assert_eq!(info.partitions, 8);
+
+        let spec = fews_common::SpaceConfig::insert_only(16, 4, 2);
+        let name = SpaceId::new("tenant").expect("space id");
+        match client.create_space(&name, spec) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+            other => panic!("create-space on a router should fail, got {other:?}"),
+        }
+        client.set_space(name);
+        match client.certified() {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownSpace),
+            other => panic!("non-default space should be rejected, got {other:?}"),
+        }
+
+        router.shutdown();
+        router.join();
+        w1.shutdown();
+        w1.join();
+    }
+
+    #[test]
+    fn dead_worker_is_typed_then_rejoins_via_handoff() {
+        let cfg = test_cfg();
+        let w1 = Server::start(cfg, "127.0.0.1:0").expect("worker 1");
+        let w2 = Server::start(cfg, "127.0.0.1:0").expect("worker 2");
+        let w2_addr = w2.local_addr();
+        let workers = vec![w1.local_addr().to_string(), w2_addr.to_string()];
+        let router = Router::start(cfg, "127.0.0.1:0", &workers, quick_opts()).expect("router");
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+
+        let updates = stream(2_000);
+        let (first, rest) = updates.split_at(1_200);
+        for chunk in first.chunks(97) {
+            client.ingest_batch(chunk).expect("ingest");
+        }
+        client.certified().expect("healthy query");
+
+        // Kill worker 2 hard, then keep ingesting: the batch still acks
+        // (retained at the router), but queries need the missing slice.
+        w2.crash();
+        w2.join();
+        for chunk in rest.chunks(97) {
+            client
+                .ingest_batch(chunk)
+                .expect("degraded ingest still acks");
+        }
+        match client.certified() {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::NodeUnavailable)
+            }
+            other => panic!("query with a dead owner should be typed, got {other:?}"),
+        }
+
+        // Revive the worker empty on the same address: the next query
+        // rejoins it via checkpoint handoff + log replay, and the cluster
+        // answers exactly like a single engine that saw everything.
+        let w2 = start_worker_at(cfg, w2_addr);
+        let mut reference = Engine::start(cfg);
+        reference.ingest(updates.clone());
+        let (view, _) = reference.refresh();
+        assert_eq!(client.certified().expect("recovered"), view.certified());
+        let envelope = client.checkpoint().expect("checkpoint");
+        let env = unwrap_envelope(&envelope).expect("envelope");
+        assert_eq!(env.inner, reference.checkpoint());
+
+        router.shutdown();
+        router.join();
+        w1.shutdown();
+        w1.join();
+        w2.shutdown();
+        w2.join();
+    }
+
+    #[test]
+    fn join_worker_rebalances_without_changing_answers() {
+        let cfg = test_cfg();
+        let w1 = Server::start(cfg, "127.0.0.1:0").expect("worker 1");
+        let workers = vec![w1.local_addr().to_string()];
+        let router = Router::start(cfg, "127.0.0.1:0", &workers, quick_opts()).expect("router");
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+
+        let updates = stream(2_500);
+        let (first, rest) = updates.split_at(1_000);
+        for chunk in first.chunks(97) {
+            client.ingest_batch(chunk).expect("ingest");
+        }
+
+        // Scale out mid-stream: the new worker takes over half the
+        // partition space via checkpoint handoff.
+        let w2 = Server::start(cfg, "127.0.0.1:0").expect("worker 2");
+        client
+            .join_worker(&w2.local_addr().to_string())
+            .expect("join");
+        for chunk in rest.chunks(97) {
+            client.ingest_batch(chunk).expect("ingest after join");
+        }
+
+        let mut reference = Engine::start(cfg);
+        reference.ingest(updates.clone());
+        let (view, _) = reference.refresh();
+        assert_eq!(client.certified().expect("certified"), view.certified());
+        let envelope = client.checkpoint().expect("checkpoint");
+        let env = unwrap_envelope(&envelope).expect("envelope");
+        assert_eq!(env.inner, reference.checkpoint());
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.shards.len(), 2);
+        assert_eq!(stats.shards[1].partitions, 4);
+
+        router.shutdown();
+        router.join();
+        w1.shutdown();
+        w1.join();
+        w2.shutdown();
+        w2.join();
+    }
+
+    #[test]
+    fn restore_propagates_to_every_worker() {
+        let cfg = test_cfg();
+        let w1 = Server::start(cfg, "127.0.0.1:0").expect("worker 1");
+        let w2 = Server::start(cfg, "127.0.0.1:0").expect("worker 2");
+        let workers = vec![w1.local_addr().to_string(), w2.local_addr().to_string()];
+        let router = Router::start(cfg, "127.0.0.1:0", &workers, quick_opts()).expect("router");
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+
+        // A donor engine's checkpoint, installed cluster-wide.
+        let updates = stream(1_800);
+        let mut donor = Engine::start(cfg);
+        donor.ingest(updates.clone());
+        let inner = donor.checkpoint();
+        let envelope = checkpoint::wrap_envelope("default", 0, &inner);
+        client.restore(&envelope).expect("restore");
+
+        let (view, _) = donor.refresh();
+        assert_eq!(client.certified().expect("certified"), view.certified());
+        let roundtrip = client.checkpoint().expect("checkpoint");
+        let env = unwrap_envelope(&roundtrip).expect("envelope");
+        assert_eq!(env.inner, inner);
+
+        // And the stream continues cleanly on top of the restored state.
+        let more = stream(2_400);
+        let tail = &more[1_800..];
+        for chunk in tail.chunks(97) {
+            client.ingest_batch(chunk).expect("ingest");
+        }
+        donor.ingest(tail.to_vec());
+        let (view, _) = donor.refresh();
+        assert_eq!(client.certified().expect("certified"), view.certified());
+
+        router.shutdown();
+        router.join();
+        w1.shutdown();
+        w1.join();
+        w2.shutdown();
+        w2.join();
+    }
+}

@@ -233,6 +233,98 @@ pub fn decode(bytes: &[u8]) -> Result<(Header, PartitionPayloads), CheckpointErr
     Ok((header, payloads))
 }
 
+/// Magic bytes opening a *sparse* slice checkpoint: the same header as a
+/// full container, but carrying an explicit subset of partitions.
+pub const SLICE_MAGIC: &[u8; 8] = b"FEWWSLC1";
+
+/// Assemble a slice checkpoint from a subset of per-partition payloads
+/// (must be sorted by partition id, unique, and each `< P`).
+///
+/// ```text
+/// magic   b"FEWWSLC1"                                (8 bytes)
+/// header  model, seed, partitions, n, m, d, alpha    (as the full container)
+/// count   number of partitions carried               (varint)
+/// body    count × { partition id varint, payload length varint, payload }
+/// ```
+///
+/// Because each payload is the same per-partition wire encoding the full
+/// container uses, a slice written by one node restores bit-exactly on any
+/// other node with the same configuration — the handoff primitive for
+/// cluster membership changes.
+pub fn encode_slice(cfg: &EngineConfig, payloads: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let h = Header::for_config(cfg);
+    let mut buf = Vec::with_capacity(64 + payloads.iter().map(|(_, b)| b.len() + 8).sum::<usize>());
+    buf.extend_from_slice(SLICE_MAGIC);
+    for v in [h.model, h.seed, h.partitions, h.n, h.m, h.d, h.alpha] {
+        put_uvarint(&mut buf, v);
+    }
+    put_uvarint(&mut buf, payloads.len() as u64);
+    let mut last: Option<u32> = None;
+    for (p, bytes) in payloads {
+        assert!((*p as usize) < cfg.partitions, "partition id out of range");
+        assert!(last.is_none_or(|q| q < *p), "payloads sorted and unique");
+        last = Some(*p);
+        put_uvarint(&mut buf, *p as u64);
+        put_uvarint(&mut buf, bytes.len() as u64);
+        buf.extend_from_slice(bytes);
+    }
+    buf
+}
+
+/// Split a slice checkpoint into its header and the carried payloads
+/// (sorted by partition id, each `< header.partitions`).
+pub fn decode_slice(bytes: &[u8]) -> Result<(Header, PartitionPayloads), CheckpointError> {
+    if bytes.len() < SLICE_MAGIC.len() || &bytes[..SLICE_MAGIC.len()] != SLICE_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut pos = SLICE_MAGIC.len();
+    let mut next = || get_uvarint(bytes, &mut pos).ok_or(CheckpointError::Truncated);
+    let header = Header {
+        model: next()?,
+        seed: next()?,
+        partitions: next()?,
+        n: next()?,
+        m: next()?,
+        d: next()?,
+        alpha: next()?,
+    };
+    let count = get_uvarint(bytes, &mut pos).ok_or(CheckpointError::Truncated)?;
+    if count > header.partitions {
+        return Err(CheckpointError::Corrupt(format!(
+            "slice carries {count} payloads but the space has {} partitions",
+            header.partitions
+        )));
+    }
+    let mut payloads = Vec::with_capacity(count as usize);
+    let mut last: Option<u64> = None;
+    for _ in 0..count {
+        let p = get_uvarint(bytes, &mut pos).ok_or(CheckpointError::Truncated)?;
+        if p >= header.partitions {
+            return Err(CheckpointError::Corrupt(format!(
+                "slice names partition {p} of {}",
+                header.partitions
+            )));
+        }
+        if last.is_some_and(|q| q >= p) {
+            return Err(CheckpointError::Corrupt(
+                "slice partitions are not sorted and unique".into(),
+            ));
+        }
+        last = Some(p);
+        let len = get_uvarint(bytes, &mut pos).ok_or(CheckpointError::Truncated)? as usize;
+        let end = pos.checked_add(len).ok_or(CheckpointError::Truncated)?;
+        if end > bytes.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        payloads.push((p as u32, bytes[pos..end].to_vec()));
+        pos = end;
+    }
+    if pos != bytes.len() {
+        return Err(CheckpointError::Corrupt("trailing bytes".into()));
+    }
+    Ok((header, payloads))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +388,60 @@ mod tests {
         assert_eq!(env.space, "default");
         assert_eq!(env.wal_seq, 0);
         assert_eq!(env.inner, &inner[..]);
+    }
+
+    #[test]
+    fn slice_container_roundtrip() {
+        let payloads = vec![(0u32, vec![4, 5]), (2, vec![9; 120])];
+        let bytes = encode_slice(&cfg(), &payloads);
+        let (header, back) = decode_slice(&bytes).unwrap();
+        assert_eq!(header, Header::for_config(&cfg()));
+        assert_eq!(back, payloads);
+        // An empty slice is legal (a node that owns nothing yet).
+        let empty = encode_slice(&cfg(), &[]);
+        let (_, back) = decode_slice(&empty).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn slice_rejects_damage() {
+        let payloads = vec![(1u32, vec![7]), (2, vec![8])];
+        let bytes = encode_slice(&cfg(), &payloads);
+        // A full container is not a slice and vice versa.
+        assert_eq!(decode_slice(b"FEWWCKP1"), Err(CheckpointError::BadMagic));
+        assert_eq!(
+            decode_slice(&bytes[..bytes.len() - 1]),
+            Err(CheckpointError::Truncated)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_slice(&trailing),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // Partition id beyond P: patch the first id varint (3 fits one byte).
+        let mut bad = encode_slice(&cfg(), &[(1u32, vec![])]);
+        let id_at = bad.len() - 2;
+        bad[id_at] = 3;
+        assert!(matches!(
+            decode_slice(&bad),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // Duplicate / unsorted partition ids.
+        let dup = {
+            let mut buf = encode_slice(&cfg(), &[]);
+            buf.pop(); // drop count 0
+            put_uvarint(&mut buf, 2);
+            for _ in 0..2 {
+                put_uvarint(&mut buf, 1); // partition 1 twice
+                put_uvarint(&mut buf, 0);
+            }
+            buf
+        };
+        assert!(matches!(
+            decode_slice(&dup),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 
     #[test]

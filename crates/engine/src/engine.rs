@@ -277,6 +277,78 @@ impl Engine {
         checkpoint::encode(&self.cfg, &payloads)
     }
 
+    /// Flush and serialize a *subset* of partitions into a sparse slice
+    /// checkpoint (see [`checkpoint::encode_slice`]). `parts` may arrive in
+    /// any order and with duplicates; out-of-range ids panic (a routing bug,
+    /// not an operational failure). The per-partition bytes are identical to
+    /// the ones a full [`Engine::checkpoint`] writes — a slice is the
+    /// handoff unit for moving partitions between cluster nodes.
+    pub fn checkpoint_slice(&mut self, parts: &[u32]) -> Vec<u8> {
+        let mut want: Vec<u32> = parts.to_vec();
+        want.sort_unstable();
+        want.dedup();
+        if let Some(&p) = want.last() {
+            assert!((p as usize) < self.cfg.partitions, "partition out of range");
+        }
+        self.flush();
+        let mut payloads: Vec<(u32, Vec<u8>)> = self
+            .gather(ShardMsg::Snapshot)
+            .into_iter()
+            .flatten()
+            .filter(|(p, _)| want.binary_search(p).is_ok())
+            .collect();
+        payloads.sort_by_key(|&(p, _)| p);
+        checkpoint::encode_slice(&self.cfg, &payloads)
+    }
+
+    /// Install a slice checkpoint written by [`Engine::checkpoint_slice`] on
+    /// an engine with the same model parameters, master seed, and partition
+    /// count. Only the partitions the slice carries are replaced; everything
+    /// else is untouched. Two-phase like [`Engine::restore_checkpoint`]: on
+    /// `Err` no partition has changed.
+    pub fn restore_slice(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.flush();
+        let (header, payloads) = checkpoint::decode_slice(bytes)?;
+        header.check_against(&self.cfg)?;
+        let touched: Vec<u32> = payloads.iter().map(|&(p, _)| p).collect();
+        let mut per_shard: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); self.cfg.shards];
+        for (p, bytes) in payloads {
+            per_shard[p as usize % self.cfg.shards].push((p, bytes));
+        }
+        // Phase 1: validate everywhere (shards with no payloads are still
+        // part of the barrier so a following Abort/Commit is unambiguous).
+        let mut replies = Vec::with_capacity(self.cfg.shards);
+        for (shard, payloads) in per_shard.into_iter().enumerate() {
+            let (tx, rx) = channel();
+            self.senders[shard]
+                .send(ShardMsg::PrepareRestore(payloads, tx))
+                .expect("shard worker died");
+            replies.push(rx);
+        }
+        let mut failure = None;
+        for rx in replies {
+            if let Err(e) = rx.recv().expect("shard worker died") {
+                failure.get_or_insert(e);
+            }
+        }
+        if let Some(e) = failure {
+            for sender in &self.senders {
+                sender
+                    .send(ShardMsg::AbortRestore)
+                    .expect("shard worker died");
+            }
+            return Err(CheckpointError::Corrupt(e));
+        }
+        // Phase 2: commit everywhere (cannot fail).
+        for () in self.gather(ShardMsg::CommitRestore) {}
+        // Only the carried partitions changed; drop exactly their memos.
+        for p in touched {
+            self.memos[p as usize] = None;
+        }
+        self.cached_view = None;
+        Ok(())
+    }
+
     /// Load a checkpoint written by an engine with the same model
     /// parameters, master seed, and partition count (the shard count may
     /// differ). Replaces all partition state; the stream replay can then
@@ -507,6 +579,66 @@ mod tests {
         // A subsequent good restore still works.
         engine.restore_checkpoint(&good).expect("good restore");
         assert_eq!(engine.checkpoint(), good);
+    }
+
+    #[test]
+    fn slice_checkpoint_moves_partitions_between_engines() {
+        let (updates, _) = planted_updates(14);
+        // Reference: one engine that saw the whole stream.
+        let mut full = Engine::start(io_cfg(2));
+        full.ingest(updates.iter().copied());
+        let want = full.checkpoint();
+
+        // Donor saw the whole stream too; carve out partitions {1, 4, 6}
+        // and graft them onto a receiver that saw only the complement.
+        let slice: Vec<u32> = vec![1, 4, 6];
+        let mut donor = Engine::start(io_cfg(3));
+        donor.ingest(updates.iter().copied());
+        let moved = donor.checkpoint_slice(&slice);
+
+        let mut receiver = Engine::start(io_cfg(2));
+        receiver.ingest(
+            updates
+                .iter()
+                .copied()
+                .filter(|u| !slice.contains(&(partition_of(u.edge.a, 8) as u32))),
+        );
+        receiver.restore_slice(&moved).expect("slice restore");
+        assert_eq!(receiver.checkpoint(), want, "grafted engine diverged");
+        // Queries on the grafted engine see the union.
+        assert_eq!(
+            receiver.view().certified(),
+            full.view().certified(),
+            "certified answer diverged after slice graft"
+        );
+    }
+
+    #[test]
+    fn slice_restore_rejects_damage_and_leaves_state() {
+        let (updates, _) = planted_updates(15);
+        let mut donor = Engine::start(io_cfg(2));
+        donor.ingest(updates.iter().copied());
+        let good = donor.checkpoint_slice(&[2, 5]);
+
+        let mut engine = Engine::start(io_cfg(2));
+        engine.ingest(updates.iter().copied());
+        let before = engine.checkpoint();
+        // A full container is not a slice.
+        assert!(matches!(
+            engine.restore_slice(&before),
+            Err(CheckpointError::BadMagic)
+        ));
+        // Corrupt payload: two-phase restore must leave everything alone.
+        let (_, mut payloads) = checkpoint::decode_slice(&good).unwrap();
+        payloads[1].1 = vec![0xff, 0xff];
+        let bad = checkpoint::encode_slice(engine.config(), &payloads);
+        assert!(matches!(
+            engine.restore_slice(&bad),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        assert_eq!(engine.checkpoint(), before, "failed slice restore mutated");
+        engine.restore_slice(&good).expect("good slice restore");
+        assert_eq!(engine.checkpoint(), before, "idempotent self-graft changed");
     }
 
     #[test]

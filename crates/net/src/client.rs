@@ -1,11 +1,14 @@
 //! A blocking client for the `fews-net` protocol.
 
-use crate::proto::{check_frame_len, ErrorCode, Request, Response, WireSpaceInfo, WireStats};
+use crate::proto::{
+    check_frame_len, ErrorCode, Request, Response, WireNodeInfo, WireSpaceInfo, WireStats, WireView,
+};
 use fews_common::{SpaceConfig, SpaceId};
 use fews_core::neighbourhood::Neighbourhood;
 use fews_stream::Update;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -48,6 +51,55 @@ impl From<std::io::Error> for ClientError {
 /// rare outsized frame (checkpoint/restore) shrink back to this.
 const BUF_RETAIN: usize = 1 << 20;
 
+/// Connection behaviour knobs for [`Client::connect_with`].
+///
+/// The default ([`ClientOptions::default`]) matches the historic
+/// [`Client::connect`] behaviour: block forever on connect and i/o, no
+/// retries — interactive tools opt into bounds, the cluster router always
+/// runs with them (a hung worker must not wedge the whole cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Give up establishing the TCP connection after this long
+    /// (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Fail a read that stalls longer than this (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Fail a write that stalls longer than this (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+    /// Extra connect attempts after the first fails (0 = single attempt).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles each subsequent attempt
+    /// (exponential), capped at one second.
+    pub backoff: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ClientOptions {
+    /// One timeout for connect, read, and write; `retries` extra connect
+    /// attempts — the shape every CLI flag pair (`--timeout-ms`,
+    /// `--retries`) maps onto.
+    pub fn bounded(timeout: Duration, retries: u32) -> ClientOptions {
+        ClientOptions {
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+            retries,
+            ..ClientOptions::default()
+        }
+    }
+}
+
 /// A connected `fews-net` client. One request/response at a time; reuse the
 /// connection for as many requests as you like.
 ///
@@ -73,18 +125,57 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a server, addressing the default space.
+    /// Connect to a server, addressing the default space. Blocks without
+    /// bound — use [`Client::connect_with`] for timeouts and retry.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            stream,
-            space: SpaceId::default_space(),
-            bytes_sent: 0,
-            bytes_received: 0,
-            send_buf: Vec::new(),
-            recv_buf: Vec::new(),
-        })
+        Client::connect_with(addr, &ClientOptions::default())
+    }
+
+    /// Connect with explicit timeouts and bounded retry: up to
+    /// `1 + opts.retries` connect attempts, sleeping `opts.backoff` before
+    /// the first retry and doubling it each subsequent one (capped at one
+    /// second). The read/write timeouts stay armed on the stream for the
+    /// connection's whole life, so a server that hangs mid-response fails
+    /// the request instead of wedging the caller.
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: &ClientOptions) -> std::io::Result<Client> {
+        let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let mut backoff = opts.backoff.min(Duration::from_secs(1));
+        let mut last_err = None;
+        for attempt in 0..=opts.retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+            for sock in &addrs {
+                let connected = match opts.connect_timeout {
+                    Some(t) => TcpStream::connect_timeout(sock, t),
+                    None => TcpStream::connect(sock),
+                };
+                match connected {
+                    Ok(stream) => {
+                        stream.set_nodelay(true)?;
+                        stream.set_read_timeout(opts.read_timeout)?;
+                        stream.set_write_timeout(opts.write_timeout)?;
+                        return Ok(Client {
+                            stream,
+                            space: SpaceId::default_space(),
+                            bytes_sent: 0,
+                            bytes_received: 0,
+                            send_buf: Vec::new(),
+                            recv_buf: Vec::new(),
+                        });
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
     }
 
     /// The space this client currently addresses.
@@ -269,6 +360,72 @@ impl Client {
             other => Err(unexpected("Bye", &other)),
         }
     }
+
+    /// Liveness probe: a full request/response round-trip that touches no
+    /// space state.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// The current space's identity card (model, seed, partitions, ingest
+    /// count) — what a router checks before admitting a worker.
+    pub fn node_hello(&mut self) -> Result<WireNodeInfo, ClientError> {
+        match self.expect(&Request::NodeHello)? {
+            Response::NodeInfo(info) => Ok(info),
+            other => Err(unexpected("NodeInfo", &other)),
+        }
+    }
+
+    /// Assign the current space's owned partition slice (sorted, unique).
+    pub fn slice_assign(&mut self, parts: &[u32]) -> Result<(), ClientError> {
+        match self.expect(&Request::SliceAssign(parts.to_vec()))? {
+            Response::SpaceOk => Ok(()),
+            other => Err(unexpected("SpaceOk", &other)),
+        }
+    }
+
+    /// Pull the space's query view if it changed past epoch `since`.
+    pub fn view_pull(&mut self, since: u64) -> Result<WireView, ClientError> {
+        match self.expect(&Request::ViewPull(since))? {
+            Response::View(view) => Ok(view),
+            other => Err(unexpected("View", &other)),
+        }
+    }
+
+    /// Fetch a sparse slice checkpoint of the named partitions.
+    pub fn slice_checkpoint(&mut self, parts: &[u32]) -> Result<Vec<u8>, ClientError> {
+        match self.expect(&Request::SliceCheckpoint(parts.to_vec()))? {
+            Response::Checkpoint(bytes) => Ok(bytes),
+            other => Err(unexpected("Checkpoint", &other)),
+        }
+    }
+
+    /// Install a sparse slice checkpoint into the current space.
+    pub fn slice_restore(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        if !crate::proto::body_fits(bytes.len() + 80) {
+            return Err(ClientError::Protocol(format!(
+                "slice checkpoint is {} bytes, larger than one frame can carry",
+                bytes.len()
+            )));
+        }
+        self.send_buf.clear();
+        crate::proto::encode_slice_restore_into(&mut self.send_buf, &self.space, bytes);
+        match self.expect_staged()? {
+            Response::Restored => Ok(()),
+            other => Err(unexpected("Restored", &other)),
+        }
+    }
+
+    /// Ask a router to admit the worker at `addr` into the cluster.
+    pub fn join_worker(&mut self, addr: &str) -> Result<(), ClientError> {
+        match self.expect(&Request::JoinWorker(addr.to_string()))? {
+            Response::SpaceOk => Ok(()),
+            other => Err(unexpected("SpaceOk", &other)),
+        }
+    }
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
@@ -282,6 +439,9 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
         Response::SpaceOk => "SpaceOk",
         Response::Spaces(_) => "Spaces",
         Response::Bye => "Bye",
+        Response::Pong => "Pong",
+        Response::NodeInfo(_) => "NodeInfo",
+        Response::View(_) => "View",
         Response::Error { .. } => "Error",
     };
     ClientError::Protocol(format!("expected {wanted} response, got {kind}"))

@@ -22,7 +22,15 @@
 //!   checkpoint restore + WAL tail replay.
 //! * [`client`] — [`Client`]: a blocking request/response client with a
 //!   current-space cursor, space lifecycle calls, and byte counters for
-//!   measuring wire overhead.
+//!   measuring wire overhead. [`Client::connect_with`] adds
+//!   connect/read/write timeouts and bounded connect retry with
+//!   exponential backoff ([`ClientOptions`]) — what keeps a hung server
+//!   from wedging a caller, and what the `fews-cluster` router runs with.
+//!
+//! The protocol also carries the cluster-facing requests `fews-cluster`
+//! speaks to its workers: `ping` liveness, `node-hello` admission checks,
+//! `slice-assign` / `view-pull` (epoch-watermarked view shipping), and
+//! `slice-checkpoint` / `slice-restore` (partition handoff).
 //!
 //! ```
 //! use fews_core::insertion_only::FewwConfig;
@@ -48,6 +56,8 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError};
-pub use proto::{ErrorCode, Request, Response, WireShardStats, WireSpaceInfo, WireStats};
+pub use client::{Client, ClientError, ClientOptions};
+pub use proto::{
+    ErrorCode, Request, Response, WireNodeInfo, WireShardStats, WireSpaceInfo, WireStats, WireView,
+};
 pub use server::{Server, ServerOptions};

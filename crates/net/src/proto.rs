@@ -77,6 +77,33 @@ pub enum Request {
     ListSpaces,
     /// Stop accepting connections and shut the server down.
     Shutdown,
+    /// Liveness probe: answered with [`Response::Pong`] without touching any
+    /// space. Used by the cluster router's heartbeats and CI health checks.
+    Ping,
+    /// Identify the addressed space's model for cluster admission: answered
+    /// with [`Response::NodeInfo`] so a router can verify a worker runs the
+    /// exact configuration (model, seed, partition count) before routing to
+    /// it.
+    NodeHello,
+    /// Assign the addressed space's *owned partition slice* (sorted, unique
+    /// partition ids). A worker answers [`Request::ViewPull`] with only the
+    /// owned partitions; an unassigned worker serves all of them.
+    SliceAssign(Vec<u32>),
+    /// Fetch the space's query view if it changed since epoch watermark
+    /// `since`; answered with [`Response::View`]. A quiesced worker answers
+    /// `unchanged` in O(1).
+    ViewPull(u64),
+    /// Serialize the named partitions into a sparse slice-checkpoint
+    /// container (answered with [`Response::Checkpoint`] carrying
+    /// `FEWWSLC1` bytes).
+    SliceCheckpoint(Vec<u32>),
+    /// Install a sparse slice checkpoint (`FEWWSLC1` bytes) into the
+    /// addressed space, replacing only the partitions it carries.
+    SliceRestore(Vec<u8>),
+    /// Ask a *router* to admit the worker at this address into the cluster.
+    /// Plain servers reject it — the tag exists so `fews client` can speak
+    /// to routers and workers with one codec.
+    JoinWorker(String),
 }
 
 impl Request {
@@ -91,12 +118,19 @@ impl Request {
     const TAG_CREATE_SPACE: u8 = 0x09;
     const TAG_DROP_SPACE: u8 = 0x0A;
     const TAG_LIST_SPACES: u8 = 0x0B;
+    const TAG_PING: u8 = 0x0C;
+    const TAG_NODE_HELLO: u8 = 0x0D;
+    const TAG_SLICE_ASSIGN: u8 = 0x0E;
+    const TAG_VIEW_PULL: u8 = 0x0F;
+    const TAG_SLICE_CHECKPOINT: u8 = 0x10;
+    const TAG_SLICE_RESTORE: u8 = 0x11;
+    const TAG_JOIN_WORKER: u8 = 0x12;
 
     /// Whether `tag` names a request this protocol version understands.
     /// Checked *before* the space header is parsed so that an unknown tag
     /// reports [`FrameError::UnknownTag`], not a malformed-header error.
     fn known_tag(tag: u8) -> bool {
-        (Self::TAG_INGEST..=Self::TAG_LIST_SPACES).contains(&tag)
+        (Self::TAG_INGEST..=Self::TAG_JOIN_WORKER).contains(&tag)
     }
 }
 
@@ -131,6 +165,76 @@ pub struct WireStats {
     pub quota_bytes: u64,
     /// Per-shard counters, in shard order.
     pub shards: Vec<WireShardStats>,
+}
+
+/// A worker's identity card in a [`Response::NodeInfo`] frame: the exact
+/// fields of the checkpoint [`fews_engine::checkpoint::Header`], plus the
+/// ingest counter. Two nodes with equal identity cards host interchangeable
+/// partition state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireNodeInfo {
+    /// 0 = insertion-only, 1 = insertion-deletion.
+    pub model: u64,
+    /// Master seed (partition RNG streams derive from it).
+    pub seed: u64,
+    /// Logical partition count `P`.
+    pub partitions: u64,
+    /// `n` (A-vertices).
+    pub n: u64,
+    /// `m` (B-vertices; 0 for insertion-only).
+    pub m: u64,
+    /// Degree threshold `d`.
+    pub d: u64,
+    /// Approximation factor α.
+    pub alpha: u64,
+    /// Updates the space has accepted so far.
+    pub ingested: u64,
+}
+
+/// A space's query view as it travels in a [`Response::View`] frame.
+///
+/// `epoch` is the worker's publish counter at snapshot time; a router stores
+/// it as the node's watermark and passes it back as `since` in the next
+/// [`Request::ViewPull`], so a quiesced worker answers
+/// [`WireView::Unchanged`] without shipping (or even encoding) any state —
+/// the PR 5 epoch trick, across the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireView {
+    /// Nothing changed since the `since` watermark the puller sent.
+    Unchanged {
+        /// The worker's current publish epoch (equals the request's `since`).
+        epoch: u64,
+    },
+    /// Insertion-only: each owned partition's
+    /// [`fews_core::wire::MemoryState::encode`] bytes, ascending partition
+    /// order — the same per-partition encoding checkpoints use, so the
+    /// router's merged view is bit-exact against a single-node engine.
+    InsertOnly {
+        /// Publish epoch this snapshot was taken at.
+        epoch: u64,
+        /// `(partition id, MemoryState bytes)`, sorted by partition.
+        parts: Vec<(u32, Vec<u8>)>,
+    },
+    /// Insertion-deletion: the node's pooled `(vertex, witnesses)` list,
+    /// sorted by vertex. Vertices are partition-disjoint across nodes, so
+    /// concatenating node pools and re-sorting is a disjoint union.
+    InsertDelete {
+        /// Publish epoch this snapshot was taken at.
+        epoch: u64,
+        /// `(vertex, pooled witnesses)`, sorted by vertex.
+        pooled: Vec<(u32, Vec<u64>)>,
+    },
+}
+
+impl WireView {
+    /// The publish epoch carried by any variant.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            WireView::Unchanged { epoch }
+            | WireView::InsertOnly { epoch, .. }
+            | WireView::InsertDelete { epoch, .. } => *epoch,
+        }
+    }
 }
 
 /// One space's row in a [`Response::Spaces`] listing.
@@ -176,6 +280,9 @@ pub enum ErrorCode {
     /// The write-ahead log could not durably record the batch; it was NOT
     /// applied.
     Durability = 12,
+    /// A cluster node needed to answer this request is down and could not be
+    /// recovered within the router's bounded retry budget.
+    NodeUnavailable = 13,
 }
 
 impl ErrorCode {
@@ -194,6 +301,7 @@ impl ErrorCode {
             10 => ErrorCode::QuotaExceeded,
             11 => ErrorCode::ModelMismatch,
             12 => ErrorCode::Durability,
+            13 => ErrorCode::NodeUnavailable,
             _ => return None,
         })
     }
@@ -221,6 +329,12 @@ pub enum Response {
     Spaces(Vec<WireSpaceInfo>),
     /// Server acknowledges [`Request::Shutdown`] and is going away.
     Bye,
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::NodeHello`].
+    NodeInfo(WireNodeInfo),
+    /// Answer to [`Request::ViewPull`].
+    View(WireView),
     /// The request was rejected; the connection may still be usable (see
     /// module docs for which errors keep the stream in sync).
     Error {
@@ -241,6 +355,9 @@ impl Response {
     const TAG_BYE: u8 = 0x87;
     const TAG_SPACE_OK: u8 = 0x88;
     const TAG_SPACES: u8 = 0x89;
+    const TAG_PONG: u8 = 0x8A;
+    const TAG_NODE_INFO: u8 = 0x8B;
+    const TAG_VIEW: u8 = 0x8C;
     const TAG_ERROR: u8 = 0xFF;
 }
 
@@ -393,6 +510,46 @@ pub fn encode_restore(space: &SpaceId, bytes: &[u8]) -> Vec<u8> {
     buf
 }
 
+/// Append a slice-restore request frame straight from borrowed slice
+/// container bytes (the cluster handoff hot path — slices can be large).
+pub fn encode_slice_restore_into(buf: &mut Vec<u8>, space: &SpaceId, bytes: &[u8]) {
+    frame_into(buf, Request::TAG_SLICE_RESTORE, |body| {
+        put_space(body, space);
+        body.extend_from_slice(bytes);
+    });
+}
+
+/// Append a sorted partition-id list: count varint + one varint per id.
+fn put_partitions(buf: &mut Vec<u8>, parts: &[u32]) {
+    put_uvarint(buf, parts.len() as u64);
+    for &p in parts {
+        put_uvarint(buf, p as u64);
+    }
+}
+
+/// Parse a partition-id list (must be sorted and unique — the decode
+/// enforces what every encoder in the repo produces, so a hostile peer
+/// cannot smuggle duplicate ids past slice bookkeeping).
+fn get_partitions(body: &[u8], pos: &mut usize) -> Result<Vec<u32>, FrameError> {
+    let count = get_uvarint(body, pos).ok_or(FrameError::Malformed("partition count"))? as usize;
+    if count > body.len() {
+        return Err(FrameError::Malformed("partition count exceeds body"));
+    }
+    let mut parts = Vec::with_capacity(bounded_capacity(count));
+    let mut last: Option<u32> = None;
+    for _ in 0..count {
+        let p = get_uvarint(body, pos)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or(FrameError::Malformed("partition id"))?;
+        if last.is_some_and(|q| q >= p) {
+            return Err(FrameError::Malformed("partition ids not sorted unique"));
+        }
+        last = Some(p);
+        parts.push(p);
+    }
+    Ok(parts)
+}
+
 impl Request {
     /// Encode into a complete frame (header + body) addressed to `space`.
     pub fn encode(&self, space: &SpaceId) -> Vec<u8> {
@@ -425,6 +582,28 @@ impl Request {
             Request::DropSpace => frame_into(buf, Self::TAG_DROP_SPACE, |b| put_space(b, space)),
             Request::ListSpaces => frame_into(buf, Self::TAG_LIST_SPACES, |b| put_space(b, space)),
             Request::Shutdown => frame_into(buf, Self::TAG_SHUTDOWN, |b| put_space(b, space)),
+            Request::Ping => frame_into(buf, Self::TAG_PING, |b| put_space(b, space)),
+            Request::NodeHello => frame_into(buf, Self::TAG_NODE_HELLO, |b| put_space(b, space)),
+            Request::SliceAssign(parts) => frame_into(buf, Self::TAG_SLICE_ASSIGN, |body| {
+                put_space(body, space);
+                put_partitions(body, parts);
+            }),
+            Request::ViewPull(since) => frame_into(buf, Self::TAG_VIEW_PULL, |body| {
+                put_space(body, space);
+                put_uvarint(body, *since);
+            }),
+            Request::SliceCheckpoint(parts) => {
+                frame_into(buf, Self::TAG_SLICE_CHECKPOINT, |body| {
+                    put_space(body, space);
+                    put_partitions(body, parts);
+                })
+            }
+            Request::SliceRestore(bytes) => encode_slice_restore_into(buf, space, bytes),
+            Request::JoinWorker(addr) => frame_into(buf, Self::TAG_JOIN_WORKER, |body| {
+                put_space(body, space);
+                put_uvarint(body, addr.len() as u64);
+                body.extend_from_slice(addr.as_bytes());
+            }),
         }
     }
 
@@ -490,12 +669,154 @@ impl Request {
             Self::TAG_DROP_SPACE => Request::DropSpace,
             Self::TAG_LIST_SPACES => Request::ListSpaces,
             Self::TAG_SHUTDOWN => Request::Shutdown,
+            Self::TAG_PING => Request::Ping,
+            Self::TAG_NODE_HELLO => Request::NodeHello,
+            Self::TAG_SLICE_ASSIGN => Request::SliceAssign(get_partitions(body, &mut pos)?),
+            Self::TAG_VIEW_PULL => Request::ViewPull(
+                get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("view-pull since"))?,
+            ),
+            Self::TAG_SLICE_CHECKPOINT => Request::SliceCheckpoint(get_partitions(body, &mut pos)?),
+            Self::TAG_SLICE_RESTORE => {
+                // Everything after the space header is the slice container.
+                let container = body[pos..].to_vec();
+                pos = body.len();
+                Request::SliceRestore(container)
+            }
+            Self::TAG_JOIN_WORKER => {
+                let len = get_uvarint(body, &mut pos)
+                    .ok_or(FrameError::Malformed("worker address length"))?
+                    as usize;
+                let end = pos
+                    .checked_add(len)
+                    .filter(|&e| e <= body.len())
+                    .ok_or(FrameError::Malformed("worker address bytes"))?;
+                let addr = std::str::from_utf8(&body[pos..end])
+                    .map_err(|_| FrameError::Malformed("worker address utf8"))?
+                    .to_string();
+                pos = end;
+                Request::JoinWorker(addr)
+            }
             _ => unreachable!("known_tag checked above"),
         };
         if pos != body.len() {
             return Err(FrameError::Malformed("trailing bytes"));
         }
         Ok((space, req))
+    }
+}
+
+fn put_node_info(buf: &mut Vec<u8>, info: &WireNodeInfo) {
+    for v in [
+        info.model,
+        info.seed,
+        info.partitions,
+        info.n,
+        info.m,
+        info.d,
+        info.alpha,
+        info.ingested,
+    ] {
+        put_uvarint(buf, v);
+    }
+}
+
+fn get_node_info(body: &[u8], pos: &mut usize) -> Option<WireNodeInfo> {
+    let mut next = || get_uvarint(body, pos);
+    Some(WireNodeInfo {
+        model: next()?,
+        seed: next()?,
+        partitions: next()?,
+        n: next()?,
+        m: next()?,
+        d: next()?,
+        alpha: next()?,
+        ingested: next()?,
+    })
+}
+
+const VIEW_KIND_UNCHANGED: u8 = 0;
+const VIEW_KIND_IO: u8 = 1;
+const VIEW_KIND_ID: u8 = 2;
+
+fn put_view(buf: &mut Vec<u8>, view: &WireView) {
+    put_uvarint(buf, view.epoch());
+    match view {
+        WireView::Unchanged { .. } => buf.push(VIEW_KIND_UNCHANGED),
+        WireView::InsertOnly { parts, .. } => {
+            buf.push(VIEW_KIND_IO);
+            put_uvarint(buf, parts.len() as u64);
+            for (p, bytes) in parts {
+                put_uvarint(buf, *p as u64);
+                put_uvarint(buf, bytes.len() as u64);
+                buf.extend_from_slice(bytes);
+            }
+        }
+        WireView::InsertDelete { pooled, .. } => {
+            buf.push(VIEW_KIND_ID);
+            put_uvarint(buf, pooled.len() as u64);
+            for (a, ws) in pooled {
+                put_uvarint(buf, *a as u64);
+                put_uvarint(buf, ws.len() as u64);
+                for &w in ws {
+                    put_uvarint(buf, w);
+                }
+            }
+        }
+    }
+}
+
+fn get_view(body: &[u8], pos: &mut usize) -> Option<WireView> {
+    let epoch = get_uvarint(body, pos)?;
+    let kind = *body.get(*pos)?;
+    *pos += 1;
+    match kind {
+        VIEW_KIND_UNCHANGED => Some(WireView::Unchanged { epoch }),
+        VIEW_KIND_IO => {
+            let count = get_uvarint(body, pos)? as usize;
+            if count > body.len() {
+                return None; // each part needs ≥ 2 bytes
+            }
+            let mut parts = Vec::with_capacity(bounded_capacity(count));
+            let mut last: Option<u32> = None;
+            for _ in 0..count {
+                let p = u32::try_from(get_uvarint(body, pos)?).ok()?;
+                if last.is_some_and(|q| q >= p) {
+                    return None; // partitions must be sorted and unique
+                }
+                last = Some(p);
+                let len = get_uvarint(body, pos)? as usize;
+                let end = pos.checked_add(len).filter(|&e| e <= body.len())?;
+                parts.push((p, body[*pos..end].to_vec()));
+                *pos = end;
+            }
+            Some(WireView::InsertOnly { epoch, parts })
+        }
+        VIEW_KIND_ID => {
+            let count = get_uvarint(body, pos)? as usize;
+            if count > body.len() {
+                return None;
+            }
+            let mut pooled = Vec::with_capacity(bounded_capacity(count));
+            let mut last: Option<u32> = None;
+            for _ in 0..count {
+                let a = u32::try_from(get_uvarint(body, pos)?).ok()?;
+                if last.is_some_and(|q| q >= a) {
+                    return None; // vertices must be sorted and unique
+                }
+                last = Some(a);
+                let wcount = get_uvarint(body, pos)? as usize;
+                if wcount > body.len() - (*pos).min(body.len()) {
+                    return None; // each witness needs ≥ 1 byte
+                }
+                let mut ws = Vec::with_capacity(bounded_capacity(wcount));
+                for _ in 0..wcount {
+                    ws.push(get_uvarint(body, pos)?);
+                }
+                pooled.push((a, ws));
+            }
+            Some(WireView::InsertDelete { epoch, pooled })
+        }
+        _ => None,
     }
 }
 
@@ -578,6 +899,13 @@ impl Response {
                 }
             }),
             Response::Bye => frame_into(buf, Self::TAG_BYE, |_| {}),
+            Response::Pong => frame_into(buf, Self::TAG_PONG, |_| {}),
+            Response::NodeInfo(info) => frame_into(buf, Self::TAG_NODE_INFO, |body| {
+                put_node_info(body, info);
+            }),
+            Response::View(view) => frame_into(buf, Self::TAG_VIEW, |body| {
+                put_view(body, view);
+            }),
             Response::Error { code, message } => frame_into(buf, Self::TAG_ERROR, |body| {
                 body.push(*code as u8);
                 put_uvarint(body, message.len() as u64);
@@ -670,6 +998,13 @@ impl Response {
                 Response::Spaces(list)
             }
             Self::TAG_BYE => Response::Bye,
+            Self::TAG_PONG => Response::Pong,
+            Self::TAG_NODE_INFO => Response::NodeInfo(
+                get_node_info(body, &mut pos).ok_or(FrameError::Malformed("node info"))?,
+            ),
+            Self::TAG_VIEW => {
+                Response::View(get_view(body, &mut pos).ok_or(FrameError::Malformed("view"))?)
+            }
             Self::TAG_ERROR => {
                 let code = *body.get(pos).ok_or(FrameError::Malformed("error code"))?;
                 pos += 1;
@@ -779,6 +1114,45 @@ mod tests {
         roundtrip_request(Request::DropSpace);
         roundtrip_request(Request::ListSpaces);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::NodeHello);
+        roundtrip_request(Request::SliceAssign(vec![0, 3, 9]));
+        roundtrip_request(Request::SliceAssign(Vec::new()));
+        roundtrip_request(Request::ViewPull(u64::MAX));
+        roundtrip_request(Request::SliceCheckpoint(vec![1, 2]));
+        roundtrip_request(Request::SliceRestore(b"FEWWSLC1junk".to_vec()));
+        roundtrip_request(Request::JoinWorker("10.0.0.7:7411".into()));
+    }
+
+    #[test]
+    fn cluster_requests_police_damage() {
+        // Unsorted / duplicate partition ids are rejected.
+        for parts in [[3u64, 1], [2, 2]] {
+            let mut payload = vec![VERSION, 0x0E, 0x00];
+            put_uvarint(&mut payload, 2);
+            for p in parts {
+                put_uvarint(&mut payload, p);
+            }
+            assert_eq!(
+                Request::decode(&payload),
+                Err(FrameError::Malformed("partition ids not sorted unique"))
+            );
+        }
+        // Partition count far beyond the body size must not allocate.
+        let mut payload = vec![VERSION, 0x10, 0x00];
+        put_uvarint(&mut payload, u64::MAX);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(FrameError::Malformed(_))
+        ));
+        // Join-worker address running past the body.
+        let mut payload = vec![VERSION, 0x12, 0x00];
+        put_uvarint(&mut payload, 50);
+        payload.extend_from_slice(b"short");
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(FrameError::Malformed("worker address bytes"))
+        ));
     }
 
     #[test]
@@ -845,10 +1219,82 @@ mod tests {
             },
         ]));
         roundtrip_response(Response::Bye);
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::NodeInfo(WireNodeInfo {
+            model: 1,
+            seed: 2021,
+            partitions: 16,
+            n: 512,
+            m: 1 << 20,
+            d: 400,
+            alpha: 2,
+            ingested: 123_456,
+        }));
+        roundtrip_response(Response::View(WireView::Unchanged { epoch: 42 }));
+        roundtrip_response(Response::View(WireView::InsertOnly {
+            epoch: 7,
+            parts: vec![(0, vec![1, 2, 3]), (5, Vec::new()), (9, vec![0xFF; 40])],
+        }));
+        roundtrip_response(Response::View(WireView::InsertDelete {
+            epoch: 9,
+            pooled: vec![(3, vec![17, 2]), (8, Vec::new())],
+        }));
         roundtrip_response(Response::Error {
             code: ErrorCode::QuotaExceeded,
             message: "space tenant-1 over quota".into(),
         });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::NodeUnavailable,
+            message: "node 127.0.0.1:7431 is down".into(),
+        });
+    }
+
+    #[test]
+    fn view_frames_police_damage() {
+        // Unknown view kind byte.
+        let mut payload = vec![VERSION, 0x8C];
+        put_uvarint(&mut payload, 1); // epoch
+        payload.push(9); // bogus kind
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(FrameError::Malformed("view"))
+        ));
+        // Io part length running past the body.
+        let mut payload = vec![VERSION, 0x8C];
+        put_uvarint(&mut payload, 1);
+        payload.push(1); // io
+        put_uvarint(&mut payload, 1); // one part
+        put_uvarint(&mut payload, 0); // partition 0
+        put_uvarint(&mut payload, 100); // declared 100 payload bytes
+        payload.push(0xAA);
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(FrameError::Malformed("view"))
+        ));
+        // Unsorted io partitions.
+        let mut payload = vec![VERSION, 0x8C];
+        put_uvarint(&mut payload, 1);
+        payload.push(1);
+        put_uvarint(&mut payload, 2);
+        for p in [4u64, 2] {
+            put_uvarint(&mut payload, p);
+            put_uvarint(&mut payload, 0);
+        }
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(FrameError::Malformed("view"))
+        ));
+        // Id witness count far beyond the body must not allocate.
+        let mut payload = vec![VERSION, 0x8C];
+        put_uvarint(&mut payload, 1);
+        payload.push(2); // id
+        put_uvarint(&mut payload, 1); // one vertex
+        put_uvarint(&mut payload, 3); // vertex 3
+        put_uvarint(&mut payload, u64::MAX); // witness count
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(FrameError::Malformed("view"))
+        ));
     }
 
     #[test]

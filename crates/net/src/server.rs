@@ -59,13 +59,13 @@
 //! connection are unaffected.
 
 use crate::proto::{
-    check_frame_len, ErrorCode, FrameError, Request, Response, WireShardStats, WireSpaceInfo,
-    WireStats,
+    check_frame_len, ErrorCode, FrameError, Request, Response, WireNodeInfo, WireShardStats,
+    WireSpaceInfo, WireStats, WireView,
 };
 use fews_common::{SpaceConfig, SpaceId};
-use fews_engine::checkpoint::{unwrap_envelope, wrap_envelope};
+use fews_engine::checkpoint::{unwrap_envelope, wrap_envelope, Header};
 use fews_engine::wal::{wal_path, SpaceDir, Wal, WalHandle};
-use fews_engine::{Engine, EngineConfig, EngineStats, GlobalView, ModelSpec};
+use fews_engine::{partition_of, Engine, EngineConfig, EngineStats, GlobalView, ModelSpec};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -108,6 +108,11 @@ impl Default for ServerOptions {
 struct Published {
     view: Arc<GlobalView>,
     stats: EngineStats,
+    /// Monotonic publish counter — the *epoch* a cluster router stores as
+    /// this node's watermark. Any state change bumps it (it counts
+    /// publishes, not updates), so `version == watermark` proves the view
+    /// the router already holds is still exact.
+    version: u64,
 }
 
 impl Published {
@@ -336,6 +341,10 @@ struct SpaceHandle {
     /// Bytes this space has appended to the shared WAL since its last
     /// checkpoint — the lock-free stats mirror of its share of the log.
     wal_bytes: AtomicU64,
+    /// The partition slice a cluster router assigned to this space (`None`
+    /// = unassigned, serve every partition). Bounds what
+    /// [`Request::ViewPull`] ships.
+    slice: Mutex<Option<Vec<u32>>>,
 }
 
 impl SpaceHandle {
@@ -353,8 +362,13 @@ impl SpaceHandle {
             cfg,
             dir,
             state: Mutex::new(state),
-            published: Mutex::new(Arc::new(Published { view, stats })),
+            published: Mutex::new(Arc::new(Published {
+                view,
+                stats,
+                version: 1,
+            })),
             wal_bytes: AtomicU64::new(0),
+            slice: Mutex::new(None),
         })
     }
 
@@ -362,7 +376,13 @@ impl SpaceHandle {
     /// lock, so publishes are ordered consistently with state changes).
     fn publish(&self, engine: &mut Engine) {
         let (view, stats) = engine.refresh();
-        *self.published.lock().expect("published slot") = Arc::new(Published { view, stats });
+        let mut slot = self.published.lock().expect("published slot");
+        let version = slot.version + 1;
+        *slot = Arc::new(Published {
+            view,
+            stats,
+            version,
+        });
     }
 
     /// The latest snapshot — the whole query-path synchronization cost.
@@ -971,6 +991,12 @@ fn handle_request(space: SpaceId, request: Request, shared: &Shared) -> Response
         Request::DropSpace => drop_space(shared, &space),
         Request::ListSpaces => list_spaces(shared),
         Request::Shutdown => Response::Bye,
+        // Liveness needs no space: a dead-space probe must still pong.
+        Request::Ping => Response::Pong,
+        Request::JoinWorker(_) => Response::Error {
+            code: ErrorCode::Malformed,
+            message: "join-worker must be addressed to a cluster router, not a worker".into(),
+        },
         request => {
             let Some(handle) = shared.space(&space) else {
                 return Response::Error {
@@ -1242,12 +1268,147 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
             }
             Response::Checkpoint(envelope)
         }
-        // Handled in `handle_request`; unreachable here.
-        Request::CreateSpace(_) | Request::DropSpace | Request::ListSpaces | Request::Shutdown => {
-            Response::Error {
-                code: ErrorCode::Malformed,
-                message: "lifecycle request routed to a space handler".into(),
+        // Cluster-facing requests: what a router speaks to its workers.
+        Request::NodeHello => {
+            let h = Header::for_config(&handle.cfg);
+            Response::NodeInfo(WireNodeInfo {
+                model: h.model,
+                seed: h.seed,
+                partitions: h.partitions,
+                n: h.n,
+                m: h.m,
+                d: h.d,
+                alpha: h.alpha,
+                ingested: handle.snapshot().stats.ingested,
+            })
+        }
+        Request::SliceAssign(parts) => {
+            if let Some(&p) = parts.iter().find(|&&p| p as usize >= handle.cfg.partitions) {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: format!(
+                        "slice names partition {p}, space has {}",
+                        handle.cfg.partitions
+                    ),
+                };
+            }
+            *handle.slice.lock().expect("slice slot") = Some(parts);
+            Response::SpaceOk
+        }
+        Request::ViewPull(since) => {
+            let snap = handle.snapshot();
+            if snap.version == since {
+                // The puller's watermark is current: nothing to ship (the
+                // quiesced-cluster fast path).
+                return Response::View(WireView::Unchanged { epoch: since });
+            }
+            let slice = handle.slice.lock().expect("slice slot").clone();
+            let view = match snap.view.as_ref() {
+                GlobalView::InsertOnly { parts, .. } => {
+                    let owned: Vec<(u32, Vec<u8>)> = parts
+                        .iter()
+                        .enumerate()
+                        .filter(|(p, _)| slice.as_ref().is_none_or(|s| s.contains(&(*p as u32))))
+                        .map(|(p, state)| (p as u32, state.encode()))
+                        .collect();
+                    WireView::InsertOnly {
+                        epoch: snap.version,
+                        parts: owned,
+                    }
+                }
+                GlobalView::InsertDelete { pooled, .. } => {
+                    let owned: Vec<(u32, Vec<u64>)> = pooled
+                        .iter()
+                        .filter(|(a, _)| {
+                            let p = partition_of(*a, handle.cfg.partitions) as u32;
+                            slice.as_ref().is_none_or(|s| s.contains(&p))
+                        })
+                        .cloned()
+                        .collect();
+                    WireView::InsertDelete {
+                        epoch: snap.version,
+                        pooled: owned,
+                    }
+                }
+            };
+            // Worst-case wire size (varints at max width) — checked before
+            // encoding because an oversized frame is a panic, not an error,
+            // at the codec layer.
+            let bound = 21
+                + match &view {
+                    WireView::Unchanged { .. } => 0,
+                    WireView::InsertOnly { parts, .. } => {
+                        parts.iter().map(|(_, b)| 15 + b.len()).sum::<usize>()
+                    }
+                    WireView::InsertDelete { pooled, .. } => {
+                        pooled.iter().map(|(_, w)| 15 + 10 * w.len()).sum::<usize>()
+                    }
+                };
+            if !crate::proto::body_fits(bound) {
+                return Response::Error {
+                    code: ErrorCode::Oversized,
+                    message: format!("view is ~{bound} bytes, larger than one frame"),
+                };
+            }
+            Response::View(view)
+        }
+        Request::SliceCheckpoint(parts) => {
+            if let Some(&p) = parts.iter().find(|&&p| p as usize >= handle.cfg.partitions) {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: format!(
+                        "slice names partition {p}, space has {}",
+                        handle.cfg.partitions
+                    ),
+                };
+            }
+            let mut state = handle.state.lock().expect("space state");
+            let bytes = state.engine.checkpoint_slice(&parts);
+            if !crate::proto::body_fits(bytes.len()) {
+                return Response::Error {
+                    code: ErrorCode::Oversized,
+                    message: format!(
+                        "slice checkpoint is {} bytes, larger than one frame can carry",
+                        bytes.len()
+                    ),
+                };
+            }
+            Response::Checkpoint(bytes)
+        }
+        Request::SliceRestore(bytes) => {
+            let mut state = handle.state.lock().expect("space state");
+            match state.engine.restore_slice(&bytes) {
+                Ok(()) => {
+                    // Like a full restore, a grafted slice is a checkpoint
+                    // point under durability: persist before acknowledging.
+                    if shared.wal.is_some() {
+                        if let Err(e) = handle.write_checkpoint(&mut state) {
+                            return Response::Error {
+                                code: ErrorCode::Durability,
+                                message: format!(
+                                    "slice restore applied but could not be persisted: {e}"
+                                ),
+                            };
+                        }
+                    }
+                    handle.publish(&mut state.engine);
+                    Response::Restored
+                }
+                Err(e) => Response::Error {
+                    code: ErrorCode::Checkpoint,
+                    message: e.to_string(),
+                },
             }
         }
+        // Handled in `handle_request`; unreachable here.
+        Request::CreateSpace(_)
+        | Request::DropSpace
+        | Request::ListSpaces
+        | Request::Shutdown
+        | Request::Ping
+        | Request::JoinWorker(_) => Response::Error {
+            code: ErrorCode::Malformed,
+            message: "lifecycle request routed to a space handler".into(),
+        },
     }
 }

@@ -1,0 +1,397 @@
+//! Cluster-equivalence: an N-node `fews-cluster` — a [`Router`] fronting
+//! N in-process `fews-net` worker servers — must produce **byte-identical**
+//! answers to a single-threaded reference built directly from `fews-core`
+//! primitives, for N ∈ {2, 3, 4}, on all four workload generators, across
+//! two master seeds. Compared per run: the certified witness set, spot
+//! `certify(v)` probes, `top(5)`, and the full checkpoint container bytes.
+//!
+//! The reference is the same one `engine_equivalence.rs` uses: P partition
+//! instances seeded via [`fews_engine::partition_seed`], fed in stream order
+//! through [`fews_engine::partition_of`] routing, merged with the
+//! `fews-core` merge hooks. The cluster adds processes-worth of machinery —
+//! wire framing, partition routing, per-node epoch-gated view pulls, the
+//! cross-node merge — none of which may change a byte. A final test kills a
+//! worker mid-stream, keeps ingesting while it is down, revives it through
+//! the checkpoint-handoff rejoin path, and holds the recovered cluster to
+//! the same byte-identity bar.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use fews_cluster::{Router, RouterOptions};
+use fews_core::insertion_deletion::{FewwInsertDelete, IdConfig};
+use fews_core::insertion_only::{FewwConfig, FewwInsertOnly};
+use fews_core::neighbourhood::Neighbourhood;
+use fews_engine::checkpoint::{self, unwrap_envelope};
+use fews_engine::{partition_of, partition_seed, Engine, EngineConfig};
+use fews_net::{Client, ClientError, ClientOptions, ErrorCode, Server};
+use fews_stream::update::as_insertions;
+use fews_stream::Update;
+
+const PARTITIONS: usize = 8;
+const NODE_COUNTS: [usize; 3] = [2, 3, 4];
+const SEEDS: [u64; 2] = [2021, 77];
+const CHUNK: usize = 211;
+
+/// Single-threaded insertion-only reference: per-partition payloads plus the
+/// merged view's certified output.
+fn reference_io(
+    cfg: FewwConfig,
+    seed: u64,
+    updates: &[Update],
+) -> (Vec<(u32, Vec<u8>)>, Option<Neighbourhood>) {
+    let mut parts: Vec<FewwInsertOnly> = (0..PARTITIONS)
+        .map(|p| FewwInsertOnly::new(cfg, partition_seed(seed, p as u32)))
+        .collect();
+    for u in updates {
+        assert!(u.delta > 0, "insertion-only reference got a deletion");
+        parts[partition_of(u.edge.a, PARTITIONS)].push(u.edge);
+    }
+    let payloads = parts
+        .iter()
+        .enumerate()
+        .map(|(p, alg)| (p as u32, alg.snapshot().encode()))
+        .collect();
+    let mut merged = parts[0].snapshot();
+    for alg in &parts[1..] {
+        merged.merge(&alg.snapshot());
+    }
+    (payloads, merged.certified())
+}
+
+/// Single-threaded insertion-deletion reference (pooled-bank certified
+/// output: most witnesses, ties to the smaller vertex).
+fn reference_id(
+    cfg: IdConfig,
+    seed: u64,
+    updates: &[Update],
+) -> (Vec<(u32, Vec<u8>)>, Option<Neighbourhood>) {
+    let mut parts: Vec<FewwInsertDelete> = (0..PARTITIONS)
+        .map(|p| FewwInsertDelete::new(cfg, partition_seed(seed, p as u32)))
+        .collect();
+    for u in updates {
+        parts[partition_of(u.edge.a, PARTITIONS)].push(*u);
+    }
+    let payloads = parts
+        .iter()
+        .enumerate()
+        .map(|(p, alg)| (p as u32, alg.snapshot().encode()))
+        .collect();
+    let d2 = cfg.witness_target() as usize;
+    let certified = parts
+        .iter()
+        .flat_map(FewwInsertDelete::pooled_witnesses)
+        .filter(|(_, ws)| ws.len() >= d2)
+        .max_by_key(|(a, ws)| (ws.len(), std::cmp::Reverse(*a)))
+        .map(|(a, ws)| Neighbourhood::new(a, ws));
+    (payloads, certified)
+}
+
+/// Router options tuned for tests: no background heartbeat (the kill test
+/// drives recovery through the query path deterministically), and a refresh
+/// period small enough that every run exercises slice-checkpoint pull + log
+/// truncation. The timeout is generous because the whole workspace test
+/// suite shares one core — dead-worker detection goes through
+/// connection-refused, which is immediate, so it stays fast regardless.
+fn quick_opts() -> RouterOptions {
+    RouterOptions {
+        client: ClientOptions::bounded(Duration::from_secs(5), 0),
+        heartbeat: None,
+        refresh_updates: 1_024,
+        forward_shutdown: false,
+    }
+}
+
+/// An N-node cluster: N worker servers plus the fronting router.
+struct Cluster {
+    workers: Vec<Server>,
+    router: Router,
+}
+
+impl Cluster {
+    fn start(cfg: EngineConfig, n: usize) -> Cluster {
+        let workers: Vec<Server> = (0..n)
+            .map(|i| {
+                Server::start(cfg, "127.0.0.1:0").unwrap_or_else(|e| panic!("worker {i}: {e}"))
+            })
+            .collect();
+        let addrs: Vec<String> = workers.iter().map(|w| w.local_addr().to_string()).collect();
+        let router = Router::start(cfg, "127.0.0.1:0", &addrs, quick_opts()).expect("router");
+        Cluster { workers, router }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.router.local_addr()).expect("connect to router")
+    }
+
+    fn stop(self) {
+        self.router.shutdown();
+        self.router.join();
+        for w in self.workers {
+            w.shutdown();
+            w.join();
+        }
+    }
+}
+
+/// Restart a worker on a fixed address, retrying while the previous
+/// tenant's socket lingers.
+fn start_worker_at(cfg: EngineConfig, addr: SocketAddr) -> Server {
+    for _ in 0..100 {
+        match Server::start(cfg, &addr.to_string()) {
+            Ok(server) => return server,
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    panic!("could not rebind {addr}");
+}
+
+/// Run the cluster at every node count and hold its answers and checkpoint
+/// bytes to the reference.
+fn assert_cluster_matches(
+    make_cfg: impl Fn() -> EngineConfig,
+    updates: &[Update],
+    want_payloads: &[(u32, Vec<u8>)],
+    want_certified: &Option<Neighbourhood>,
+    label: &str,
+) {
+    // The engine is the oracle for query shapes the core reference does not
+    // expose directly (certify probes, top-k ordering); engine_equivalence
+    // pins the engine itself to the core reference.
+    let mut oracle = Engine::start(make_cfg());
+    oracle.ingest(updates.iter().copied());
+    let (view, _) = oracle.refresh();
+    let oracle_ckpt = oracle.checkpoint();
+
+    let mut checkpoints: Vec<Vec<u8>> = Vec::new();
+    for n in NODE_COUNTS {
+        let cluster = Cluster::start(make_cfg(), n);
+        let mut client = cluster.client();
+        for chunk in updates.chunks(CHUNK) {
+            client.ingest_batch(chunk).expect("ingest");
+        }
+
+        assert_eq!(
+            &client.certified().expect("certified"),
+            want_certified,
+            "{label}, N = {n}: certified witness set diverged from the reference"
+        );
+        for v in [0u32, 7, 13, 29] {
+            assert_eq!(
+                client.certify(v).expect("certify"),
+                view.certify(v),
+                "{label}, N = {n}: certify({v}) diverged"
+            );
+        }
+        assert_eq!(
+            client.top(5).expect("top"),
+            view.top(5),
+            "{label}, N = {n}: top(5) diverged"
+        );
+
+        let envelope = client.checkpoint().expect("checkpoint");
+        let inner = unwrap_envelope(&envelope).expect("envelope").inner.to_vec();
+        let (_, got_payloads) = checkpoint::decode(&inner).expect("cluster checkpoint decodes");
+        assert_eq!(
+            got_payloads, want_payloads,
+            "{label}, N = {n}: wire-format snapshots diverged from the reference"
+        );
+        assert_eq!(
+            inner, oracle_ckpt,
+            "{label}, N = {n}: checkpoint container bytes diverged from a single engine"
+        );
+        checkpoints.push(inner);
+        cluster.stop();
+    }
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] == w[1]),
+        "{label}: checkpoint bytes differ between node counts"
+    );
+}
+
+#[test]
+fn zipf_cluster_equals_reference() {
+    for seed in SEEDS {
+        let s = fews_stream::gen::zipf::zipf_stream(
+            256,
+            1.2,
+            20_000,
+            &mut fews_common::rng::rng_for(seed, 1),
+        );
+        let d = *s.frequencies.iter().max().unwrap();
+        let cfg = FewwConfig::new(256, d.max(1), 2);
+        let updates = as_insertions(&s.edges);
+        let (payloads, certified) = reference_io(cfg, seed, &updates);
+        assert!(certified.is_some(), "zipf stream must certify its head");
+        assert_cluster_matches(
+            || {
+                EngineConfig::insert_only(cfg, seed)
+                    .with_partitions(PARTITIONS)
+                    .with_shards(2)
+            },
+            &updates,
+            &payloads,
+            &certified,
+            "zipf",
+        );
+    }
+}
+
+#[test]
+fn planted_cluster_equals_reference() {
+    for seed in SEEDS {
+        let g = fews_stream::gen::planted::planted_star(
+            128,
+            1 << 16,
+            32,
+            4,
+            &mut fews_common::rng::rng_for(seed, 2),
+        );
+        let cfg = FewwConfig::new(128, 32, 2);
+        let updates = as_insertions(&g.edges);
+        let (payloads, certified) = reference_io(cfg, seed, &updates);
+        assert_cluster_matches(
+            || {
+                EngineConfig::insert_only(cfg, seed)
+                    .with_partitions(PARTITIONS)
+                    .with_shards(2)
+            },
+            &updates,
+            &payloads,
+            &certified,
+            "planted",
+        );
+    }
+}
+
+#[test]
+fn dos_cluster_equals_reference() {
+    for seed in SEEDS {
+        let t = fews_stream::gen::dos::dos_trace(
+            128,
+            1 << 20,
+            6_000,
+            1.0,
+            300,
+            &mut fews_common::rng::rng_for(seed, 3),
+        );
+        let cfg = FewwConfig::new(128, 300, 2);
+        let updates = as_insertions(&t.edges);
+        let (payloads, certified) = reference_io(cfg, seed, &updates);
+        assert_cluster_matches(
+            || {
+                EngineConfig::insert_only(cfg, seed)
+                    .with_partitions(PARTITIONS)
+                    .with_shards(2)
+            },
+            &updates,
+            &payloads,
+            &certified,
+            "dos",
+        );
+    }
+}
+
+#[test]
+fn dblog_cluster_equals_reference() {
+    for seed in SEEDS {
+        let log = fews_stream::gen::dblog::db_log(
+            32,
+            1 << 10,
+            12,
+            2,
+            0.4,
+            &mut fews_common::rng::rng_for(seed, 4),
+        );
+        let cfg = IdConfig::with_scale(32, 1 << 10, 12, 2, 0.03);
+        let (payloads, certified) = reference_id(cfg, seed, &log.updates);
+        assert_cluster_matches(
+            || {
+                EngineConfig::insert_delete(cfg, seed)
+                    .with_partitions(PARTITIONS)
+                    .with_shards(2)
+            },
+            &log.updates,
+            &payloads,
+            &certified,
+            "dblog",
+        );
+    }
+}
+
+/// Kill-a-worker interleaving: ingest half the stream, `kill -9` one worker
+/// (in-process `crash()`), keep ingesting while it is down (batches must
+/// still ack — the router retains them), observe the typed
+/// `node-unavailable` on a query that needs the missing slice, revive the
+/// worker *empty* on the same address, and require the rejoined cluster —
+/// recovered purely through checkpoint handoff + log replay — to be
+/// byte-identical to the single-threaded reference that saw every update.
+#[test]
+fn killed_worker_rejoins_byte_identical() {
+    let seed = SEEDS[0];
+    let s = fews_stream::gen::zipf::zipf_stream(
+        256,
+        1.2,
+        20_000,
+        &mut fews_common::rng::rng_for(seed, 1),
+    );
+    let d = *s.frequencies.iter().max().unwrap();
+    let core_cfg = FewwConfig::new(256, d.max(1), 2);
+    let updates = as_insertions(&s.edges);
+    let (payloads, certified) = reference_io(core_cfg, seed, &updates);
+    let cfg = EngineConfig::insert_only(core_cfg, seed)
+        .with_partitions(PARTITIONS)
+        .with_shards(2);
+
+    let mut cluster = Cluster::start(cfg, 3);
+    let mut client = cluster.client();
+    let (first, rest) = updates.split_at(updates.len() / 2);
+    for chunk in first.chunks(CHUNK) {
+        client.ingest_batch(chunk).expect("ingest");
+    }
+    client.certified().expect("healthy query");
+
+    // Hard-kill the middle worker and keep the stream flowing.
+    let victim = cluster.workers.remove(1);
+    let victim_addr = victim.local_addr();
+    victim.crash();
+    victim.join();
+    for chunk in rest.chunks(CHUNK) {
+        client
+            .ingest_batch(chunk)
+            .expect("degraded ingest still acks");
+    }
+    match client.certified() {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::NodeUnavailable),
+        other => panic!("query with a dead owner should be typed, got {other:?}"),
+    }
+
+    // Revive empty on the same address; the next query rejoins it via
+    // slice-restore + log replay.
+    cluster.workers.push(start_worker_at(cfg, victim_addr));
+    assert_eq!(
+        &client.certified().expect("recovered certified"),
+        &certified,
+        "recovered cluster diverged on the certified set"
+    );
+
+    let mut oracle = Engine::start(cfg);
+    oracle.ingest(updates.iter().copied());
+    let (view, _) = oracle.refresh();
+    assert_eq!(client.top(5).expect("top"), view.top(5));
+
+    let envelope = client.checkpoint().expect("checkpoint");
+    let inner = unwrap_envelope(&envelope).expect("envelope").inner.to_vec();
+    let (_, got_payloads) = checkpoint::decode(&inner).expect("decodes");
+    assert_eq!(
+        got_payloads, payloads,
+        "recovered cluster snapshots diverged from the reference"
+    );
+    assert_eq!(
+        inner,
+        oracle.checkpoint(),
+        "recovered cluster checkpoint bytes diverged from a single engine"
+    );
+
+    cluster.stop();
+}
