@@ -5,17 +5,23 @@
 //! with concurrent client threads running the same mixed workload as the
 //! `net` experiment: batched ingest frames interleaved with live queries
 //! (`certify`, `top`). Every op therefore pays the full cluster path —
-//! router framing, partition fan-out to the owning worker, and (for
+//! router framing, partition fan-out to every owning replica, and (for
 //! queries) the epoch-gated cross-node view merge. Reports sustained
 //! throughput, request rate, p50/p99 per-request latency split by request
-//! kind, and wire bytes per request, for N ∈ {1, 2, 4} workers; alongside
-//! the CSV it writes `BENCH_cluster.json` for the performance trajectory.
+//! kind, and wire bytes per request, over the replication grid
+//! R ∈ {1, 2} × N ∈ {1, 2, 3, 4} (R = 2 needs N ≥ 2); alongside the CSV it
+//! writes `BENCH_cluster.json` for the performance trajectory.
 //!
-//! N = 1 prices the coordinator itself against the plain `net` numbers
-//! (one extra hop, one extra frame encode/decode per request); N ∈ {2, 4}
-//! shows how the price moves as the slice spreads over more processes on
-//! the same box. On a 1-core dev machine the workers' shard pools cannot
-//! add real parallelism, so the interesting columns are the latency ones.
+//! R = 1, N = 1 prices the coordinator itself against the plain `net`
+//! numbers (one extra hop, one extra frame encode/decode per request);
+//! growing N shows how the price moves as the slice spreads over more
+//! processes on the same box, and the R = 2 column prices fault tolerance:
+//! every ingest frame fans out to two owners. The R = 2 cells run twice —
+//! pipelined fan-out (all owner frames written, then all acks collected)
+//! and sequential (send+ack per owner) — so the pipelining win is a
+//! committed before/after. On a 1-core dev machine the workers' shard
+//! pools cannot add real parallelism, so the interesting columns are the
+//! latency ones.
 
 use super::{percentile, ExpCtx};
 use crate::table::Table;
@@ -29,7 +35,8 @@ use fews_stream::update::as_insertions;
 use fews_stream::Update;
 use std::time::Instant;
 
-const NODE_COUNTS: [usize; 3] = [1, 2, 4];
+const NODE_COUNTS: [usize; 4] = [1, 2, 3, 4];
+const REPLICA_COUNTS: [usize; 2] = [1, 2];
 /// Client threads driving the router. The router serializes request
 /// handling behind one mutex by design, so more clients mostly measure
 /// queueing; two keep the wire busy without pretending otherwise.
@@ -108,8 +115,14 @@ fn model_of(cfg: &EngineConfig) -> (&'static str, u32) {
 }
 
 /// Drive `CLIENTS` threads of mixed ingest+query load through a router
-/// fronting `nodes` worker servers.
-fn run_cluster_load(w: &Workload, nodes: usize, query_every: usize) -> LoadMetrics {
+/// fronting `nodes` worker servers at `replicas` owners per partition.
+fn run_cluster_load(
+    w: &Workload,
+    nodes: usize,
+    replicas: usize,
+    pipeline: bool,
+    query_every: usize,
+) -> LoadMetrics {
     let cfg = w
         .cfg
         .with_partitions(PARTITIONS)
@@ -124,6 +137,8 @@ fn run_cluster_load(w: &Workload, nodes: usize, query_every: usize) -> LoadMetri
     let opts = RouterOptions {
         heartbeat: None,
         forward_shutdown: false,
+        replicas,
+        pipeline,
         ..RouterOptions::default()
     };
     let router = Router::start(cfg, "127.0.0.1:0", &addrs, opts).expect("bind router");
@@ -221,8 +236,10 @@ fn run_cluster_load(w: &Workload, nodes: usize, query_every: usize) -> LoadMetri
     }
 }
 
-/// Mixed ingest+query load through the cluster router at N ∈ {1, 2, 4}
-/// workers, plus `BENCH_cluster.json`.
+/// Mixed ingest+query load through the cluster router over the
+/// R ∈ {1, 2} × N ∈ {1, 2, 3, 4} replication grid (R = 2 needs N ≥ 2;
+/// R = 2 cells run pipelined *and* sequential fan-out), plus
+/// `BENCH_cluster.json`.
 pub fn cluster_exp(ctx: &ExpCtx) -> Vec<Table> {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let ws = workloads(ctx);
@@ -235,6 +252,8 @@ pub fn cluster_exp(ctx: &ExpCtx) -> Vec<Table> {
         "batch",
         "query_every",
         "nodes",
+        "replicas",
+        "fanout",
         "queries_sound",
         "secs",
         "ops_per_sec",
@@ -246,7 +265,7 @@ pub fn cluster_exp(ctx: &ExpCtx) -> Vec<Table> {
         "bytes_per_request",
     ];
     let mut load = Table::new(
-        "cluster — router + N workers, loopback mixed ingest+query load (K = 1 per worker)",
+        "cluster — router + N workers × R replicas, loopback mixed ingest+query load (K = 1 per worker)",
         &cols,
     );
     let mut json_rows = Vec::new();
@@ -255,68 +274,86 @@ pub fn cluster_exp(ctx: &ExpCtx) -> Vec<Table> {
         let query_every = ctx.query_every.unwrap_or(w.query_every).max(1);
         let total_updates = w.updates.len() * w.repeat;
         // Untimed warm-up pass (page cache, allocator growth, thread
-        // spawn) so the N = 1 cell that runs first is not penalized.
-        let _ = run_cluster_load(w, 1, query_every);
-        let mut node_cells = Vec::new();
-        for &nodes in &NODE_COUNTS {
-            let m = run_cluster_load(w, nodes, query_every);
-            let sound = m.queries >= floor;
-            if !sound {
-                eprintln!(
-                    "cluster: {} N={nodes} reports only {} timed queries (< {floor}) — \
-                     latency percentiles flagged as unsound",
-                    w.name, m.queries
-                );
+        // spawn) so the R = 1, N = 1 cell that runs first is not penalized.
+        let _ = run_cluster_load(w, 1, 1, true, query_every);
+        let mut cells = Vec::new();
+        for &replicas in &REPLICA_COUNTS {
+            for &nodes in &NODE_COUNTS {
+                if replicas > nodes {
+                    continue; // R clamps to N: the cell would duplicate R = N.
+                }
+                // Pipelined fan-out always; at R = 2 also the sequential
+                // before/after (the fan-out width is where pipelining pays).
+                let fanouts: &[bool] = if replicas >= 2 {
+                    &[true, false]
+                } else {
+                    &[true]
+                };
+                for &pipeline in fanouts {
+                    let fanout = if pipeline { "pipelined" } else { "sequential" };
+                    let m = run_cluster_load(w, nodes, replicas, pipeline, query_every);
+                    let sound = m.queries >= floor;
+                    if !sound {
+                        eprintln!(
+                            "cluster: {} N={nodes} R={replicas} {fanout} reports only {} timed \
+                             queries (< {floor}) — latency percentiles flagged as unsound",
+                            w.name, m.queries
+                        );
+                    }
+                    load.push_row(vec![
+                        w.name.into(),
+                        model.into(),
+                        total_updates.to_string(),
+                        w.batch.to_string(),
+                        query_every.to_string(),
+                        nodes.to_string(),
+                        replicas.to_string(),
+                        fanout.into(),
+                        if sound { "yes".into() } else { "NO".into() },
+                        format!("{:.3}", m.secs),
+                        format!("{:.0}", m.ops_per_sec),
+                        format!("{:.0}", m.requests_per_sec),
+                        m.p50_ingest_us.to_string(),
+                        m.p99_ingest_us.to_string(),
+                        m.p50_query_us.to_string(),
+                        m.p99_query_us.to_string(),
+                        format!("{:.0}", m.bytes_per_request),
+                    ]);
+                    cells.push(format!(
+                        "{{\"nodes\": {nodes}, \"replicas\": {replicas}, \
+                         \"fanout\": \"{fanout}\", \"ops_per_sec\": {:.0}, \
+                         \"requests_per_sec\": {:.0}, \"queries\": {}, \
+                         \"low_queries\": {}, \"p50_ingest_us\": {}, \
+                         \"p99_ingest_us\": {}, \"p50_query_us\": {}, \
+                         \"p99_query_us\": {}, \"bytes_per_request\": {:.0}}}",
+                        m.ops_per_sec,
+                        m.requests_per_sec,
+                        m.queries,
+                        !sound,
+                        m.p50_ingest_us,
+                        m.p99_ingest_us,
+                        m.p50_query_us,
+                        m.p99_query_us,
+                        m.bytes_per_request
+                    ));
+                }
             }
-            load.push_row(vec![
-                w.name.into(),
-                model.into(),
-                total_updates.to_string(),
-                w.batch.to_string(),
-                query_every.to_string(),
-                nodes.to_string(),
-                if sound { "yes".into() } else { "NO".into() },
-                format!("{:.3}", m.secs),
-                format!("{:.0}", m.ops_per_sec),
-                format!("{:.0}", m.requests_per_sec),
-                m.p50_ingest_us.to_string(),
-                m.p99_ingest_us.to_string(),
-                m.p50_query_us.to_string(),
-                m.p99_query_us.to_string(),
-                format!("{:.0}", m.bytes_per_request),
-            ]);
-            node_cells.push(format!(
-                "\"{}\": {{\"ops_per_sec\": {:.0}, \"requests_per_sec\": {:.0}, \
-                 \"queries\": {}, \"low_queries\": {}, \"p50_ingest_us\": {}, \
-                 \"p99_ingest_us\": {}, \"p50_query_us\": {}, \"p99_query_us\": {}, \
-                 \"bytes_per_request\": {:.0}}}",
-                nodes,
-                m.ops_per_sec,
-                m.requests_per_sec,
-                m.queries,
-                !sound,
-                m.p50_ingest_us,
-                m.p99_ingest_us,
-                m.p50_query_us,
-                m.p99_query_us,
-                m.bytes_per_request
-            ));
         }
         json_rows.push(format!(
             "  \"{}\": {{\"model\": \"{}\", \"updates\": {}, \"batch\": {}, \
-             \"query_every\": {}, \"nodes\": {{{}}}}}",
+             \"query_every\": {}, \"cells\": [{}]}}",
             w.name,
             model,
             total_updates,
             w.batch,
             query_every,
-            node_cells.join(", ")
+            cells.join(", ")
         ));
     }
     load.write_csv(&ctx.out_dir, "cluster_load").expect("csv");
 
     let json = format!(
-        "{{\n  \"experiment\": \"cluster\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"cores\": {cores},\n  \"query_floor\": {floor},\n  \"node_counts\": [1, 2, 4],\n  \"clients\": {CLIENTS},\n{}\n}}\n",
+        "{{\n  \"experiment\": \"cluster\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"cores\": {cores},\n  \"query_floor\": {floor},\n  \"node_counts\": [1, 2, 3, 4],\n  \"replica_counts\": [1, 2],\n  \"clients\": {CLIENTS},\n{}\n}}\n",
         if ctx.quick { "quick" } else { "full" },
         ctx.seed,
         json_rows.join(",\n")

@@ -1,6 +1,7 @@
 //! Experiment registry — one entry per theorem/lemma/figure (DESIGN.md).
 
 pub mod cluster;
+pub mod cluster_faults;
 pub mod engine;
 pub mod insertion_deletion;
 pub mod insertion_only;
@@ -170,8 +171,13 @@ pub fn registry() -> Vec<Experiment> {
         },
         Experiment {
             id: "cluster",
-            claim: "fews-cluster: router + N workers — mixed ingest+query through the coordinator at N ∈ {1,2,4} (writes BENCH_cluster.json)",
+            claim: "fews-cluster: router + N workers — mixed ingest+query at R ∈ {1,2} × N ∈ {1,2,3,4}, pipelined vs sequential fan-out (writes BENCH_cluster.json)",
             run: cluster::cluster_exp,
+        },
+        Experiment {
+            id: "cluster_faults",
+            claim: "fews-cluster fault lab: seeded transport fault schedules vs R=2 × 3 workers — every schedule converges byte-identical to the oracle",
+            run: cluster_faults::cluster_faults_exp,
         },
         Experiment {
             id: "latency",
@@ -193,7 +199,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 23);
+        assert_eq!(n, 24);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! fews listen --addr A --n N --d D [--shards K] [--model io|id] [--replay FILE]
 //!             [--data-dir DIR] [--compact-bytes N] …
 //! fews router --addr A --workers H1:P1,H2:P2,… --n N --d D [--model io|id]
-//!             [--timeout-ms T] [--retries R] [--heartbeat-ms H] [--refresh-updates U] …
+//!             [--replicas R] [--data-dir DIR] [--timeout-ms T] [--retries R] …
 //! fews client ADDR [--space S] [--timeout-ms T] [--retries R]
 //!                  <certified|certify V|top K|stats|ping|ingest FILE|checkpoint OUT|
 //!                   restore FILE|create-space NAME …|drop-space NAME|list-spaces|
@@ -21,10 +21,14 @@
 //! data command at tenant space `S` (default: the default space).
 //!
 //! `fews router` starts a cluster coordinator over running `fews listen`
-//! workers: ingest fans out by partition slice, queries answer from a
-//! merged cross-node view, and a worker that dies is revived by checkpoint
-//! handoff — the cluster's answers stay byte-identical to a single node's.
-//! Any `fews client` command works against a router address unchanged.
+//! workers: ingest fans out to every partition's `--replicas R` owners
+//! (default 2 — queries survive a worker loss with no pause), queries
+//! answer from a merged cross-node view, and a worker that dies is revived
+//! by checkpoint handoff in the background — the cluster's answers stay
+//! byte-identical to a single node's. `--data-dir DIR` makes the router
+//! itself durable: acked ingest is fsynced to a WAL before the ack, and a
+//! killed router restarts bit-exact from DIR. Any `fews client` command
+//! works against a router address unchanged.
 //!
 //! Stream files use the `fews-stream::io` text format: one `a b [-]` update
 //! per line.
@@ -96,15 +100,16 @@ fn usage(msg: &str) -> ! {
          {:13}[--data-dir DIR] [--compact-bytes N]\n  \
          fews router --addr HOST:PORT --workers H1:P1,H2:P2,… --n N --d D [--alpha A] \
          [--model io|id] [--seed S]\n  \
-         {:13}[--scale X] [--m M] [--partitions P] [--timeout-ms T] [--retries R]\n  \
-         {:13}[--heartbeat-ms H] [--refresh-updates U] [--forward-shutdown true|false]\n  \
+         {:13}[--scale X] [--m M] [--partitions P] [--replicas R] [--data-dir DIR]\n  \
+         {:13}[--timeout-ms T] [--retries R] [--heartbeat-ms H] [--refresh-updates U]\n  \
+         {:13}[--forward-shutdown true|false] [--sequential-fanout true|false]\n  \
          fews client ADDR [--space S] [--timeout-ms T] [--retries R] <certified | certify V | \
          top K | stats | ping |\n  \
          {:13}ingest FILE [--batch B] | checkpoint OUT | restore CKPT | shutdown |\n  \
          {:13}create-space NAME --n N --d D [--alpha A] [--model io|id] [--m M] [--scale X] \
          [--partitions P] [--quota Q] |\n  \
          {:13}drop-space NAME | list-spaces | join-worker ADDR>",
-        "", "", "", "", "", "", "", ""
+        "", "", "", "", "", "", "", "", ""
     );
     std::process::exit(2);
 }
@@ -631,23 +636,37 @@ fn router(rest: &[String]) {
     }
     let (cfg, ..) = engine_cfg_from(&o);
     let timeout = std::time::Duration::from_millis(o.get("timeout-ms", 2_000u64).max(1));
+    let mut client = fews_net::ClientOptions::bounded(timeout, o.get("retries", 2u32));
+    // Worker connections jitter their retry backoff from the master seed,
+    // de-correlated per node inside the router.
+    client.jitter_seed = Some(cfg.seed);
+    let data_dir = o.get_str("data-dir").map(std::path::PathBuf::from);
+    let durable = data_dir.clone();
     let opts = fews_cluster::RouterOptions {
-        client: fews_net::ClientOptions::bounded(timeout, o.get("retries", 2u32)),
+        client,
         heartbeat: Some(std::time::Duration::from_millis(
             o.get("heartbeat-ms", 1_000u64).max(1),
         )),
         refresh_updates: o.get("refresh-updates", 1u64 << 16),
         forward_shutdown: o.get("forward-shutdown", true),
+        replicas: o.get("replicas", 2usize).max(1),
+        pipeline: !o.get("sequential-fanout", false),
+        data_dir,
     };
+    let replicas = opts.replicas;
     let router = fews_cluster::Router::start(cfg, &addr, &workers, opts)
         .unwrap_or_else(|e| usage(&format!("start router at {addr}: {e}")));
     let bound = router.local_addr();
     outln!(
-        "routing on {bound} — {} worker(s) × {} partition(s); stop with `fews client {bound} \
-         shutdown`",
+        "routing on {bound} — {} worker(s) × {} partition(s), {} replica(s) per partition; \
+         stop with `fews client {bound} shutdown`",
         workers.len(),
-        cfg.partitions
+        cfg.partitions,
+        replicas.min(workers.len())
     );
+    if let Some(dir) = durable {
+        outln!("  durable: retained logs in {}", dir.display());
+    }
     for (i, w) in workers.iter().enumerate() {
         outln!("  node {i}: {w}");
     }

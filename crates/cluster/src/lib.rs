@@ -27,23 +27,46 @@
 //!   cached, already-decoded contribution — the PR 5 epoch trick, across
 //!   the wire. A fully quiesced cluster answers `certified`/`certify`/
 //!   `top` without touching any worker at all.
-//! * **Checkpoint-handoff membership.** The router retains, per partition,
+//! * **Replicated ownership.** Each partition has R owners
+//!   ([`RouterOptions::replicas`], default 2): the ring neighbours
+//!   `(p + k) % N`, primary first. Ingest fans out to every live owner
+//!   with pipelined sends (all frames written, then all acks collected —
+//!   one round-trip for R replicas), and the view merge picks each
+//!   partition's contribution from its first live owner (a *designated
+//!   reader*), deduping whatever the other replicas shipped. Because
+//!   partition state is a pure function of `(seed, p, stream)`, replicas
+//!   agree byte-for-byte by construction — no consensus round needed —
+//!   and at R ≥ 2 a single node loss degrades to "read from the replica"
+//!   with zero query errors and zero recovery pause.
+//! * **Checkpoint-handoff repair.** The router retains, per partition,
 //!   the last slice-checkpoint payload plus the updates routed since
 //!   (*log-before-send*: an update is logged before it is offered to a
 //!   worker). A dead worker — heartbeat miss or send failure — is marked
 //!   down; rejoin streams its slice back as exact engine container bytes
 //!   (`FEWWSLC1`) and replays the retained log, so the revived node is
-//!   bit-exact with a node that never died. `join-worker` rebalances a
-//!   healthy cluster the same way. While a node is down, ingest keeps
-//!   being accepted (it is retained in the router's log); queries that
-//!   need the missing slice fail with a typed `node-unavailable` error
-//!   until recovery, and recovery is attempted with bounded retry on
-//!   every touch.
+//!   bit-exact with a node that never died. At R ≥ 2 this runs as
+//!   *background* repair from the heartbeat thread; only a partition with
+//!   no live owner at all (the R=1 corner) forces a bounded rejoin on the
+//!   query path, and only its failure surfaces as a typed
+//!   `node-unavailable` error. `join-worker` rebalances a healthy cluster
+//!   through the same slice pushes.
+//! * **Durable coordination.** With [`RouterOptions::data_dir`] set, the
+//!   retained logs ride the same `fews_engine::wal` machinery as a single
+//!   durable server: every acked batch is fsynced to a CRC-framed WAL
+//!   before the ack, and whenever the retained logs drain the router
+//!   atomically checkpoints its payload store (watermarked with the WAL
+//!   sequence it covers) and resets the log. `kill -9` of the router
+//!   replays checkpoint + WAL tail to bit-exact retained state and
+//!   re-seeds every reachable worker wholesale — acknowledged means
+//!   durable end-to-end.
 //!
 //! The differential gate (`tests/tests/cluster_equivalence.rs`) holds a
-//! 2/3/4-node cluster — including one that lost and revived a worker —
-//! byte-identical to a single-threaded `fews-core` reference: certified
-//! sets, `top(k)`, and full checkpoint bytes.
+//! 2/3/4-node cluster — including one that lost and revived a worker, and
+//! randomized kill/rejoin interleavings at R ∈ {1,2,3} — byte-identical
+//! to a single-threaded `fews-core` reference: certified sets, `top(k)`,
+//! and full checkpoint bytes. The fault lab
+//! (`tests/tests/cluster_faults.rs`) drives the same assertions under
+//! seeded transport fault schedules injected via `fews_net::FaultPlan`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -10,8 +10,8 @@
 //!
 //! The router's source of truth for every partition `p` is the pair
 //! `(payloads[p], logs[p])`: the last slice-checkpoint payload pulled from
-//! `p`'s owner, plus every update routed since, in arrival order. An update
-//! is appended to the log *before* it is offered to a worker
+//! one of `p`'s owners, plus every update routed since, in arrival order.
+//! An update is appended to the log *before* it is offered to a worker
 //! (**log-before-send**), so whatever a send failure leaves behind on the
 //! worker — applied, dropped, or unknown — the router can always rebuild the
 //! exact state by restoring `payloads[p]` and replaying `logs[p]`. That
@@ -20,20 +20,49 @@
 //! through one code path and comes back bit-exact with a node that never
 //! died.
 //!
-//! Acknowledged ingest therefore means *retained at the router*: a batch is
-//! acked once it is logged and offered to every live owner, even if some
-//! owner is down. Queries are stricter — they need every owned slice, so a
-//! missing node surfaces as [`ErrorCode::NodeUnavailable`] (after a bounded
-//! rejoin attempt) rather than a silently partial answer.
+//! ## Replication
+//!
+//! Each partition has [`RouterOptions::replicas`] owners (`(p + k) % N` for
+//! `k < R`, primary first). Ingest fans out to every live owner — sends are
+//! pipelined (all frames written, then all acks collected) so R-way
+//! replication costs one round-trip, not R. Queries pull an epoch-gated
+//! view from every live node and merge by **designated reader**: each
+//! partition's contribution is taken from its first live owner, so replicas
+//! shipping overlapping partitions dedup by partition id and the merge is
+//! byte-identical to a single engine's regardless of which replicas are up.
+//! At R ≥ 2 a node loss therefore degrades to "read from the replica" with
+//! no recovery pause; only a partition with *no* live owner forces a
+//! bounded rejoin attempt on the query path (the R=1 behaviour), and only
+//! its failure surfaces as [`ErrorCode::NodeUnavailable`]. Down nodes are
+//! repaired in the background by the heartbeat thread instead of stalling
+//! ingest or queries.
+//!
+//! Acknowledged ingest means *retained at the router*: a batch is acked
+//! once it is logged (and, with a data dir, fsynced) and offered to every
+//! live owner, even if some owner is down.
+//!
+//! ## Durability
+//!
+//! With [`RouterOptions::data_dir`] set, the retained state is crash-safe
+//! through the same machinery a single durable server uses
+//! ([`fews_engine::wal`]): every acked batch is appended to a space-tagged,
+//! CRC-framed WAL and fsynced *before* the ack, and compaction (whenever
+//! every retained log is empty) atomically writes a checkpoint envelope
+//! whose watermark is the WAL sequence it covers, then resets the log.
+//! `kill -9` of the router replays checkpoint + WAL tail back to bit-exact
+//! retained state; restart then pushes every worker its slice wholesale, so
+//! the cluster's answers are byte-identical to an uninterrupted run.
 //!
 //! Logs are bounded by periodic *refresh*: every `refresh_updates` routed
 //! updates the router pulls fresh slice checkpoints from live owners,
 //! replacing `payloads` and truncating the covered `logs`.
 
+use fews_common::rng::derive_seed;
 use fews_common::SpaceId;
 use fews_core::wire::MemoryState;
 use fews_engine::checkpoint::{self, unwrap_envelope, Header};
-use fews_engine::{partition_of, EngineConfig, GlobalView, ModelSpec};
+use fews_engine::wal::{wal_path, SpaceDir, Wal};
+use fews_engine::{partition_of, Engine, EngineConfig, GlobalView, ModelSpec};
 use fews_net::proto::{body_fits, check_frame_len, FrameError};
 use fews_net::{
     Client, ClientError, ClientOptions, ErrorCode, Request, Response, WireNodeInfo, WireShardStats,
@@ -42,6 +71,7 @@ use fews_net::{
 use fews_stream::Update;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -58,17 +88,25 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 /// chunk always fits one frame, large enough to amortize round-trips.
 const REPLAY_CHUNK: usize = 8192;
 
+/// The router's durable metadata file inside the data dir.
+const META_FILE: &str = "router.meta";
+
 /// Behaviour knobs for [`Router::start`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RouterOptions {
     /// Connection behaviour towards workers. The default is bounded
     /// (2 s timeouts, 2 connect retries): a hung worker must cost the
-    /// cluster a timeout, never a wedge.
+    /// cluster a timeout, never a wedge. Each worker connection derives its
+    /// own jitter stream from [`ClientOptions::jitter_seed`], so retrying
+    /// connections never synchronize their storms against a recovering
+    /// node.
     pub client: ClientOptions,
     /// Heartbeat period: every tick, live nodes are pinged (a miss marks
-    /// them down) and down nodes get a rejoin attempt. `None` disables the
-    /// background thread — recovery then happens only on demand, when a
-    /// request touches the down node. Tests use `None` for determinism.
+    /// them down) and down nodes get a rejoin attempt — at R ≥ 2 this is
+    /// the background repair that restores full replication after a loss.
+    /// `None` disables the background thread — recovery then happens only
+    /// on demand, when a query finds a partition with no live owner. Tests
+    /// use `None` for determinism.
     pub heartbeat: Option<Duration>,
     /// Pull fresh slice checkpoints (and truncate the retained logs) every
     /// this many routed updates. 0 disables periodic refresh — logs then
@@ -78,6 +116,19 @@ pub struct RouterOptions {
     /// `Bye`. Routers owning their fleet (the CLI) want this; tests that
     /// manage worker lifetimes themselves do not.
     pub forward_shutdown: bool,
+    /// How many nodes own each partition (clamped to the node count).
+    /// At 1, a worker loss makes its partitions unavailable until rejoin;
+    /// at 2+, queries fail over to a surviving replica with no pause.
+    pub replicas: usize,
+    /// Pipeline the ingest fan-out: write the batch frame to every live
+    /// owner, then collect the acks — one round-trip for R replicas
+    /// instead of R. Off means send-then-ack per owner, sequentially.
+    pub pipeline: bool,
+    /// Durability root. `Some(dir)` write-ahead-logs every acked batch
+    /// (fsync before ack) and checkpoints retained payloads there, so a
+    /// killed router restarts bit-exact from disk. `None` keeps retained
+    /// state in memory only, as a cache-tier deployment would.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for RouterOptions {
@@ -87,6 +138,9 @@ impl Default for RouterOptions {
             heartbeat: Some(Duration::from_secs(1)),
             refresh_updates: 1 << 16,
             forward_shutdown: true,
+            replicas: 2,
+            pipeline: true,
+            data_dir: None,
         }
     }
 }
@@ -121,16 +175,38 @@ struct Node {
     batches: u64,
 }
 
+impl Node {
+    fn fresh(addr: String, client: Option<Client>) -> Node {
+        Node {
+            addr,
+            client,
+            watermark: 0,
+            contribution: Contribution::None,
+            routed: 0,
+            batches: 0,
+        }
+    }
+}
+
+/// The router's durable half: WAL + checkpoint store + metadata, all under
+/// one data dir.
+struct Durable {
+    wal: Wal,
+    store: SpaceDir,
+    meta: PathBuf,
+}
+
 /// All router state, behind the one mutex.
 struct Inner {
     cfg: EngineConfig,
     opts: RouterOptions,
     nodes: Vec<Node>,
-    /// `owners[p]` = index of the node hosting partition `p`.
-    owners: Vec<usize>,
+    /// `owners[p]` = the node indices hosting partition `p`, primary first.
+    owners: Vec<Vec<usize>>,
     /// Per-partition slice-checkpoint payload as of the last refresh.
-    /// Always populated: seeded at startup from an empty worker (empty
-    /// partition state is a pure function of `(seed, p)`).
+    /// Always populated: seeded at startup from a scratch local engine
+    /// (empty partition state is a pure function of `(seed, p)`), or from
+    /// the durable checkpoint on recovery.
     payloads: Vec<Vec<u8>>,
     /// Per-partition updates routed since `payloads[p]` was pulled, in
     /// arrival order. `payloads[p] + logs[p]` rebuilds the partition
@@ -139,12 +215,19 @@ struct Inner {
     /// Updates routed since the last refresh (compares against
     /// `opts.refresh_updates`).
     since_refresh: u64,
-    /// Updates accepted over the router's lifetime.
+    /// Updates accepted over the router's lifetime (recovered across
+    /// restarts when durable).
     ingested: u64,
+    /// Generation number of the ownership map: bumps every time the map is
+    /// (re)computed — startup, worker join — and persists with the
+    /// checkpoint so a restarted router knows how many assignments its
+    /// lifetime has seen.
+    assign_epoch: u64,
     /// The merged global view; exact iff `!dirty`.
     merged: Option<Arc<GlobalView>>,
     /// Set by ingest/restore/join; cleared when `merged` is rebuilt.
     dirty: bool,
+    durable: Option<Durable>,
     started: Instant,
 }
 
@@ -162,6 +245,55 @@ fn expected_info(cfg: &EngineConfig) -> WireNodeInfo {
         alpha: h.alpha,
         ingested: 0,
     }
+}
+
+/// `owners[p]` for every partition: the `min(replicas, nodes)` ring
+/// neighbours `(p + k) % nodes`, primary first. Every node owns the same
+/// number of partitions (up to rounding), and losing any single node
+/// leaves every partition with `R - 1` live owners.
+fn owner_map(partitions: usize, nodes: usize, replicas: usize) -> Vec<Vec<usize>> {
+    let r = replicas.clamp(1, nodes);
+    (0..partitions)
+        .map(|p| (0..r).map(|k| (p + k) % nodes).collect())
+        .collect()
+}
+
+/// The client options for node `i`: the shared options with a per-node
+/// jitter stream, so every worker connection de-correlates its backoff.
+fn client_opts_for(opts: &RouterOptions, i: usize) -> ClientOptions {
+    let mut o = opts.client.clone();
+    o.jitter_seed = o.jitter_seed.map(|s| derive_seed(s, i as u64));
+    o
+}
+
+/// Atomically (write-then-rename) persist the router's metadata line.
+fn write_meta(path: &Path, assign_epoch: u64, ingested: u64) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(
+        &tmp,
+        format!("fews-router-meta v1\nassign_epoch {assign_epoch}\ningested {ingested}\n"),
+    )?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Read the metadata file back; `None` if absent or unparseable (both
+/// recoverable — the counters restart from zero).
+fn read_meta(path: &Path) -> Option<(u64, u64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != "fews-router-meta v1" {
+        return None;
+    }
+    let (mut epoch, mut ingested) = (None, None);
+    for line in lines {
+        let mut it = line.split_whitespace();
+        match (it.next(), it.next()) {
+            (Some("assign_epoch"), Some(v)) => epoch = v.parse().ok(),
+            (Some("ingested"), Some(v)) => ingested = v.parse().ok(),
+            _ => {}
+        }
+    }
+    Some((epoch?, ingested?))
 }
 
 /// Connect to a worker and verify it serves the exact model, seed, and
@@ -252,20 +384,58 @@ fn validate_batch(cfg: &EngineConfig, updates: &[Update]) -> Result<(), Fail> {
 }
 
 impl Inner {
-    /// The sorted partition ids node `i` currently owns.
+    /// The sorted partition ids node `i` currently owns (as any replica).
     fn owned(&self, i: usize) -> Vec<u32> {
         (0..self.cfg.partitions as u32)
-            .filter(|&p| self.owners[p as usize] == i)
+            .filter(|&p| self.owners[p as usize].contains(&i))
             .collect()
     }
 
-    /// Make node `i` live, rejoining it via checkpoint handoff if it is
-    /// down. The one gate every worker-touching path goes through.
-    fn ensure_up(&mut self, i: usize) -> Result<(), Fail> {
-        if self.nodes[i].client.is_some() {
-            return Ok(());
+    /// Push node `i` its full slice over its (live) connection: wholesale
+    /// restore from the payload store, retained-log replay, assignment.
+    /// Failure marks the node down with the error typed.
+    fn push_slice(&mut self, i: usize) -> Result<(), Fail> {
+        let addr = self.nodes[i].addr.clone();
+        let owned = self.owned(i);
+        let slice: Vec<(u32, Vec<u8>)> = owned
+            .iter()
+            .map(|&p| (p, self.payloads[p as usize].clone()))
+            .collect();
+        let container = checkpoint::encode_slice(&self.cfg, &slice);
+        // Replay partition by partition: the engine orders per partition
+        // only, and logs[p] holds exactly p's updates in arrival order.
+        let mut replay: Vec<Update> = Vec::new();
+        for &p in &owned {
+            replay.extend_from_slice(&self.logs[p as usize]);
         }
-        self.rejoin(i)
+        let Some(client) = self.nodes[i].client.as_mut() else {
+            return Err((ErrorCode::NodeUnavailable, format!("worker {addr} is down")));
+        };
+        let mut res = client.slice_restore(&container);
+        if res.is_ok() {
+            for chunk in replay.chunks(REPLAY_CHUNK) {
+                if let Err(e) = client.ingest_batch(chunk) {
+                    res = Err(e);
+                    break;
+                }
+            }
+        }
+        if res.is_ok() {
+            res = client.slice_assign(&owned);
+        }
+        match res {
+            Ok(()) => {
+                let node = &mut self.nodes[i];
+                node.watermark = 0;
+                node.contribution = Contribution::None;
+                self.dirty = true;
+                Ok(())
+            }
+            Err(e) => {
+                self.nodes[i].client = None;
+                Err(node_fail(&addr, &e))
+            }
+        }
     }
 
     /// Checkpoint-handoff recovery: reconnect, verify identity, stream the
@@ -275,84 +445,121 @@ impl Inner {
     /// also erases any half-applied batch a send failure left behind).
     fn rejoin(&mut self, i: usize) -> Result<(), Fail> {
         let addr = self.nodes[i].addr.clone();
-        let (mut client, _) = admit(&addr, &self.cfg, &self.opts.client)
+        let (client, _) = admit(&addr, &self.cfg, &client_opts_for(&self.opts, i))
             .map_err(|m| (ErrorCode::NodeUnavailable, m))?;
-        let owned = self.owned(i);
-        let slice: Vec<(u32, Vec<u8>)> = owned
-            .iter()
-            .map(|&p| (p, self.payloads[p as usize].clone()))
-            .collect();
-        let container = checkpoint::encode_slice(&self.cfg, &slice);
-        client
-            .slice_restore(&container)
-            .map_err(|e| node_fail(&addr, &e))?;
-        // Replay partition by partition: the engine orders per partition
-        // only, and logs[p] holds exactly p's updates in arrival order.
-        let mut replay: Vec<Update> = Vec::new();
-        for &p in &owned {
-            replay.extend_from_slice(&self.logs[p as usize]);
-        }
-        for chunk in replay.chunks(REPLAY_CHUNK) {
-            client
-                .ingest_batch(chunk)
-                .map_err(|e| node_fail(&addr, &e))?;
-        }
-        client
-            .slice_assign(&owned)
-            .map_err(|e| node_fail(&addr, &e))?;
-        let node = &mut self.nodes[i];
-        node.client = Some(client);
-        node.watermark = 0;
-        node.contribution = Contribution::None;
-        self.dirty = true;
-        Ok(())
+        self.nodes[i].client = Some(client);
+        self.push_slice(i)
     }
 
-    /// Route one validated ingest batch: log every update under its
-    /// partition, fan the batch out by owner, ack. A send failure marks the
-    /// owner down and the ack stands — the updates are retained and replay
-    /// at rejoin.
+    /// A live owner for partition `p`: the first live node in `owners[p]`,
+    /// or — only if none is live — a bounded rejoin attempt over the owners
+    /// in order. The query path's last resort; at R ≥ 2 a single loss never
+    /// reaches the rejoin branch.
+    fn ensure_owner_up(&mut self, p: usize) -> Result<usize, Fail> {
+        if let Some(&i) = self.owners[p]
+            .iter()
+            .find(|&&i| self.nodes[i].client.is_some())
+        {
+            return Ok(i);
+        }
+        let owners = self.owners[p].clone();
+        let mut last: Option<Fail> = None;
+        for i in owners {
+            match self.rejoin(i) {
+                Ok(()) => return Ok(i),
+                Err(fail) => last = Some(fail),
+            }
+        }
+        Err(last.unwrap_or((
+            ErrorCode::NodeUnavailable,
+            format!("partition {p} has no live owner"),
+        )))
+    }
+
+    /// Route one validated ingest batch: WAL it (durable routers fsync
+    /// before the ack), log every update under its partition, fan the batch
+    /// out to every live owner, ack. A send failure marks the owner down
+    /// and the ack stands — the updates are retained and replay at rejoin,
+    /// which the heartbeat drives in the background.
     fn ingest(&mut self, updates: Vec<Update>) -> Response {
         if let Err((code, message)) = validate_batch(&self.cfg, &updates) {
             return Response::Error { code, message };
         }
         let count = updates.len() as u64;
+        if let Some(d) = &self.durable {
+            // Acknowledged means durable: the batch is on stable storage
+            // before any worker sees it. A sync failure refuses the ack
+            // (the buffered record is then a harmless never-acked orphan).
+            d.wal.append(SpaceId::default_space().as_str(), &updates);
+            if let Err(e) = d.wal.sync() {
+                return Response::Error {
+                    code: ErrorCode::Durability,
+                    message: format!("router wal: {e}"),
+                };
+            }
+        }
         let mut per_node: Vec<Vec<Update>> = vec![Vec::new(); self.nodes.len()];
         for u in &updates {
             let p = partition_of(u.edge.a, self.cfg.partitions);
             self.logs[p].push(*u);
-            per_node[self.owners[p]].push(*u);
+            for &i in &self.owners[p] {
+                per_node[i].push(*u);
+            }
         }
         self.dirty = true;
-        for i in 0..self.nodes.len() {
-            let batch = std::mem::take(&mut per_node[i]);
-            if batch.is_empty() {
-                continue;
-            }
-            if self.nodes[i].client.is_none() {
-                // Down owner: the batch is already in the log, so a
-                // successful rejoin replays it — don't send it again.
-                let _ = self.rejoin(i);
-                if self.nodes[i].client.is_some() {
-                    self.nodes[i].routed += batch.len() as u64;
-                    self.nodes[i].batches += 1;
+        if self.opts.pipeline {
+            // Phase 1: write every live owner's frame; phase 2: collect the
+            // acks in the same order. The owners apply concurrently, so the
+            // fan-out costs one round-trip instead of R.
+            let mut awaiting: Vec<usize> = Vec::new();
+            for i in 0..self.nodes.len() {
+                if per_node[i].is_empty() || self.nodes[i].client.is_none() {
+                    continue;
                 }
-                continue;
-            }
-            let sent = self.nodes[i]
-                .client
-                .as_mut()
-                .expect("live node")
-                .ingest_batch(&batch);
-            match sent {
-                Ok(_) => {
-                    self.nodes[i].routed += batch.len() as u64;
-                    self.nodes[i].batches += 1;
+                let sent = self.nodes[i]
+                    .client
+                    .as_mut()
+                    .expect("live node")
+                    .ingest_send(&per_node[i]);
+                match sent {
+                    Ok(()) => awaiting.push(i),
+                    Err(_) => self.nodes[i].client = None,
                 }
-                Err(_) => {
-                    // Whatever the worker did with the batch, the wholesale
-                    // restore at rejoin makes it exact again.
-                    self.nodes[i].client = None;
+            }
+            for i in awaiting {
+                let acked = self.nodes[i]
+                    .client
+                    .as_mut()
+                    .expect("live node")
+                    .ingest_ack();
+                match acked {
+                    Ok(_) => {
+                        self.nodes[i].routed += per_node[i].len() as u64;
+                        self.nodes[i].batches += 1;
+                    }
+                    Err(_) => {
+                        // Whatever the worker did with the batch, the
+                        // wholesale restore at rejoin makes it exact again.
+                        self.nodes[i].client = None;
+                    }
+                }
+            }
+        } else {
+            for i in 0..self.nodes.len() {
+                if per_node[i].is_empty() || self.nodes[i].client.is_none() {
+                    continue;
+                }
+                let sent = self.nodes[i]
+                    .client
+                    .as_mut()
+                    .expect("live node")
+                    .ingest_batch(&per_node[i]);
+                match sent {
+                    Ok(_) => {
+                        self.nodes[i].routed += per_node[i].len() as u64;
+                        self.nodes[i].batches += 1;
+                    }
+                    Err(_) => self.nodes[i].client = None,
                 }
             }
         }
@@ -364,50 +571,101 @@ impl Inner {
         Response::Ingested(count)
     }
 
-    /// Best-effort log compaction: pull fresh slice checkpoints from every
-    /// *live* owner, replace its partitions' payloads, truncate the covered
-    /// logs. Down nodes keep their logs (those updates are not yet anywhere
-    /// else); a node that fails mid-refresh is marked down with its logs
-    /// intact.
+    /// Install slice-checkpoint payloads a worker returned for `requested`
+    /// partitions, truncating the covered logs. Every returned partition id
+    /// is checked against the request — a worker shipping an unsolicited or
+    /// out-of-range partition is a protocol violation, not a panic.
+    fn install_payloads(
+        &mut self,
+        requested: &[u32],
+        payloads: Vec<(u32, Vec<u8>)>,
+    ) -> Result<(), String> {
+        for (p, bytes) in payloads {
+            // `requested` is built ascending, so the membership check can
+            // binary-search; membership also bounds the index.
+            if requested.binary_search(&p).is_err() {
+                return Err(format!("unsolicited partition {p} in a slice checkpoint"));
+            }
+            self.payloads[p as usize] = bytes;
+            self.logs[p as usize].clear();
+        }
+        Ok(())
+    }
+
+    /// Best-effort log compaction: for every partition with a non-empty
+    /// log, pull a fresh slice checkpoint from its first live owner
+    /// (grouped per node), replace the payload, truncate the log.
+    /// Partitions whose owners are all down keep their logs (those updates
+    /// are not yet anywhere else); a node that fails mid-refresh is marked
+    /// down with its logs intact. If every log drains, a durable router
+    /// compacts its WAL.
     fn refresh_retained(&mut self) {
-        for i in 0..self.nodes.len() {
-            if self.nodes[i].client.is_none() {
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
+        for p in 0..self.cfg.partitions {
+            if self.logs[p].is_empty() {
                 continue;
             }
-            let owned = self.owned(i);
+            if let Some(&i) = self.owners[p]
+                .iter()
+                .find(|&&i| self.nodes[i].client.is_some())
+            {
+                per_node[i].push(p as u32);
+            }
+        }
+        for i in 0..self.nodes.len() {
+            let parts = std::mem::take(&mut per_node[i]);
+            if parts.is_empty() || self.nodes[i].client.is_none() {
+                continue;
+            }
             let pulled = self.nodes[i]
                 .client
                 .as_mut()
                 .expect("live node")
-                .slice_checkpoint(&owned)
+                .slice_checkpoint(&parts)
                 .map_err(|e| e.to_string())
                 .and_then(|bytes| checkpoint::decode_slice(&bytes).map_err(|e| e.to_string()));
             match pulled {
                 Ok((_, payloads)) => {
-                    for (p, bytes) in payloads {
-                        self.payloads[p as usize] = bytes;
-                        self.logs[p as usize].clear();
+                    if self.install_payloads(&parts, payloads).is_err() {
+                        self.nodes[i].client = None;
                     }
                 }
                 Err(_) => self.nodes[i].client = None,
             }
         }
         self.since_refresh = 0;
+        if self.logs.iter().all(|l| l.is_empty()) {
+            // Disk state stays consistent even if this fails (the old
+            // checkpoint still pairs with the un-reset WAL), so a refresh
+            // never turns an I/O hiccup into a lost ack.
+            let _ = self.compact_durable();
+        }
     }
 
-    /// Like [`Inner::refresh_retained`], but every node must participate:
-    /// used where the payload store must cover *all* logged updates
-    /// (checkpoint, join). After success, every log is empty.
+    /// Like [`Inner::refresh_retained`], but *every* retained log must
+    /// drain: used where the payload store must cover all logged updates
+    /// (checkpoint, join, restore round-trips). After success, every log is
+    /// empty and a durable router has compacted.
     fn refresh_all_strict(&mut self) -> Result<(), Fail> {
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
+        for p in 0..self.cfg.partitions {
+            if self.logs[p].is_empty() {
+                continue;
+            }
+            let i = self.ensure_owner_up(p)?;
+            per_node[i].push(p as u32);
+        }
         for i in 0..self.nodes.len() {
-            self.ensure_up(i)?;
-            let owned = self.owned(i);
+            let parts = std::mem::take(&mut per_node[i]);
+            if parts.is_empty() {
+                continue;
+            }
             let addr = self.nodes[i].addr.clone();
             let bytes = match self.nodes[i]
                 .client
                 .as_mut()
                 .expect("live node")
-                .slice_checkpoint(&owned)
+                .slice_checkpoint(&parts)
             {
                 Ok(b) => b,
                 Err(e) => {
@@ -421,113 +679,208 @@ impl Inner {
                     format!("worker {addr}: slice checkpoint: {e}"),
                 )
             })?;
-            for (p, b) in payloads {
-                self.payloads[p as usize] = b;
-                self.logs[p as usize].clear();
-            }
+            self.install_payloads(&parts, payloads).map_err(|m| {
+                self.nodes[i].client = None;
+                (ErrorCode::Malformed, format!("worker {addr}: {m}"))
+            })?;
+        }
+        if let Some(p) = self.logs.iter().position(|l| !l.is_empty()) {
+            // A worker answered the request but omitted a partition it was
+            // asked for — refuse to pretend the store is complete.
+            return Err((
+                ErrorCode::Malformed,
+                format!("partition {p}'s owner omitted it from a slice checkpoint"),
+            ));
         }
         self.since_refresh = 0;
+        let _ = self.compact_durable();
+        Ok(())
+    }
+
+    /// Durably anchor the retained state: write the checkpoint envelope
+    /// (watermarked with the last WAL sequence it covers) and the metadata,
+    /// then reset the WAL. Sound only when every retained log is empty —
+    /// the payload store then *is* the full retained state.
+    fn compact_durable(&mut self) -> std::io::Result<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        debug_assert!(self.logs.iter().all(|l| l.is_empty()));
+        let listed: Vec<(u32, Vec<u8>)> = self
+            .payloads
+            .iter()
+            .enumerate()
+            .map(|(p, b)| (p as u32, b.clone()))
+            .collect();
+        let inner = checkpoint::encode(&self.cfg, &listed);
+        let env =
+            checkpoint::wrap_envelope(SpaceId::default_space().as_str(), d.wal.last_seq(), &inner);
+        d.store.write_checkpoint(&env)?;
+        write_meta(&d.meta, self.assign_epoch, self.ingested)?;
+        d.wal.reset()
+    }
+
+    /// Refresh node `i`'s cached view contribution with one epoch-gated
+    /// pull. Requires the node live; any failure (transport, protocol, or a
+    /// malformed contribution) marks it down and returns typed.
+    fn pull_view(&mut self, i: usize) -> Result<(), Fail> {
+        let io_model = matches!(self.cfg.model, ModelSpec::InsertOnly(_));
+        let addr = self.nodes[i].addr.clone();
+        let watermark = self.nodes[i].watermark;
+        let pulled = self.nodes[i]
+            .client
+            .as_mut()
+            .expect("live node")
+            .view_pull(watermark);
+        let view = match pulled {
+            Ok(v) => v,
+            Err(e) => {
+                self.nodes[i].client = None;
+                return Err(node_fail(&addr, &e));
+            }
+        };
+        match view {
+            WireView::Unchanged { .. } => {
+                if matches!(self.nodes[i].contribution, Contribution::None) {
+                    // A fresh or re-assigned node cannot be "unchanged":
+                    // its watermark was 0 and publish epochs start at 1.
+                    self.nodes[i].client = None;
+                    return Err((
+                        ErrorCode::Malformed,
+                        format!("worker {addr} answered 'unchanged' to a cold view pull"),
+                    ));
+                }
+            }
+            WireView::InsertOnly { epoch, parts } => {
+                if !io_model {
+                    self.nodes[i].client = None;
+                    return Err((
+                        ErrorCode::Malformed,
+                        format!(
+                            "worker {addr} shipped an insertion-only view for an \
+                                 insertion-deletion cluster"
+                        ),
+                    ));
+                }
+                let mut decoded = Vec::with_capacity(parts.len());
+                for (p, bytes) in parts {
+                    if p as usize >= self.cfg.partitions {
+                        self.nodes[i].client = None;
+                        return Err((
+                            ErrorCode::Malformed,
+                            format!(
+                                "worker {addr} shipped out-of-range partition {p} (of {})",
+                                self.cfg.partitions
+                            ),
+                        ));
+                    }
+                    let Some(state) = MemoryState::decode(&bytes) else {
+                        self.nodes[i].client = None;
+                        return Err((
+                            ErrorCode::Malformed,
+                            format!("worker {addr}: partition {p} state failed to decode"),
+                        ));
+                    };
+                    decoded.push((p, Arc::new(state)));
+                }
+                self.nodes[i].contribution = Contribution::InsertOnly(decoded);
+                self.nodes[i].watermark = epoch;
+            }
+            WireView::InsertDelete { epoch, pooled } => {
+                if io_model {
+                    self.nodes[i].client = None;
+                    return Err((
+                        ErrorCode::Malformed,
+                        format!(
+                            "worker {addr} shipped an insertion-deletion view for an \
+                                 insertion-only cluster"
+                        ),
+                    ));
+                }
+                self.nodes[i].contribution = Contribution::InsertDelete(pooled);
+                self.nodes[i].watermark = epoch;
+            }
+        }
         Ok(())
     }
 
     /// The merged global view. Quiesced fast path first; otherwise one
-    /// epoch-gated pull per node (unchanged nodes cost one tiny frame and
-    /// zero decoding), then reassemble.
+    /// epoch-gated pull per *live* node (a pull failure only marks the node
+    /// down — its partitions fail over to surviving replicas), then a
+    /// designated-reader merge: each partition's contribution comes from
+    /// its first live owner, deduping whatever the other replicas shipped.
     fn view(&mut self) -> Result<Arc<GlobalView>, Fail> {
         if !self.dirty {
             if let Some(v) = &self.merged {
                 return Ok(Arc::clone(v));
             }
         }
-        let io_model = matches!(self.cfg.model, ModelSpec::InsertOnly(_));
         for i in 0..self.nodes.len() {
-            self.ensure_up(i)?;
-            let addr = self.nodes[i].addr.clone();
-            let watermark = self.nodes[i].watermark;
-            let pulled = self.nodes[i]
-                .client
-                .as_mut()
-                .expect("live node")
-                .view_pull(watermark);
-            let view = match pulled {
-                Ok(v) => v,
-                Err(e) => {
-                    self.nodes[i].client = None;
-                    return Err(node_fail(&addr, &e));
-                }
-            };
-            match view {
-                WireView::Unchanged { .. } => {} // cached contribution is exact
-                WireView::InsertOnly { epoch, parts } => {
-                    if !io_model {
-                        return Err((
-                            ErrorCode::Malformed,
-                            format!(
-                                "worker {addr} shipped an insertion-only view for an \
-                                     insertion-deletion cluster"
-                            ),
-                        ));
-                    }
-                    let mut decoded = Vec::with_capacity(parts.len());
-                    for (p, bytes) in parts {
-                        let state = MemoryState::decode(&bytes).ok_or_else(|| {
-                            (
-                                ErrorCode::Malformed,
-                                format!("worker {addr}: partition {p} state failed to decode"),
-                            )
-                        })?;
-                        decoded.push((p, Arc::new(state)));
-                    }
-                    self.nodes[i].contribution = Contribution::InsertOnly(decoded);
-                    self.nodes[i].watermark = epoch;
-                }
-                WireView::InsertDelete { epoch, pooled } => {
-                    if io_model {
-                        return Err((
-                            ErrorCode::Malformed,
-                            format!(
-                                "worker {addr} shipped an insertion-deletion view for an \
-                                     insertion-only cluster"
-                            ),
-                        ));
-                    }
-                    self.nodes[i].contribution = Contribution::InsertDelete(pooled);
-                    self.nodes[i].watermark = epoch;
-                }
+            if self.nodes[i].client.is_some() {
+                let _ = self.pull_view(i);
             }
         }
+        let mut reader: Vec<usize> = Vec::with_capacity(self.cfg.partitions);
+        for p in 0..self.cfg.partitions {
+            let live = self.owners[p]
+                .iter()
+                .copied()
+                .find(|&i| self.nodes[i].client.is_some());
+            let i = match live {
+                Some(i) => i,
+                None => {
+                    // Every owner is down: the R=1 corner. One bounded
+                    // rejoin chain, then a fresh pull — or a typed error.
+                    let i = self.ensure_owner_up(p)?;
+                    self.pull_view(i)?;
+                    i
+                }
+            };
+            reader.push(i);
+        }
         let d2 = self.cfg.witness_target();
-        let merged = if io_model {
+        let merged = if matches!(self.cfg.model, ModelSpec::InsertOnly(_)) {
             // Dense reassembly: every partition exactly once, ascending —
             // the same shape `Engine::refresh` builds, so certified output
-            // is bit-exact against a single node.
-            let mut parts: Vec<Option<Arc<MemoryState>>> = vec![None; self.cfg.partitions];
-            for node in &self.nodes {
-                if let Contribution::InsertOnly(list) = &node.contribution {
-                    for (p, state) in list {
-                        parts[*p as usize] = Some(Arc::clone(state));
-                    }
-                }
-            }
-            let mut dense = Vec::with_capacity(parts.len());
-            for (p, slot) in parts.into_iter().enumerate() {
-                let Some(state) = slot else {
+            // is bit-exact against a single node no matter which replica
+            // served each partition.
+            let mut dense: Vec<Arc<MemoryState>> = Vec::with_capacity(self.cfg.partitions);
+            for p in 0..self.cfg.partitions {
+                let i = reader[p];
+                let Contribution::InsertOnly(list) = &self.nodes[i].contribution else {
                     return Err((
                         ErrorCode::Malformed,
-                        format!("no node contributed partition {p}"),
+                        format!(
+                            "worker {} has no view contribution for partition {p}",
+                            self.nodes[i].addr
+                        ),
                     ));
                 };
-                dense.push(state);
+                let Some((_, state)) = list.iter().find(|(q, _)| *q as usize == p) else {
+                    return Err((
+                        ErrorCode::Malformed,
+                        format!(
+                            "worker {} did not ship partition {p} in its view",
+                            self.nodes[i].addr
+                        ),
+                    ));
+                };
+                dense.push(Arc::clone(state));
             }
             GlobalView::InsertOnly { parts: dense, d2 }
         } else {
-            // Vertices are partition-disjoint across nodes, so node pools
-            // concatenate into a disjoint union; one sort restores the
-            // canonical vertex order.
+            // Replicas pool overlapping vertex sets; keep each vertex only
+            // from its partition's designated reader, then one sort
+            // restores the canonical vertex order.
             let mut pooled: Vec<(u32, Vec<u64>)> = Vec::new();
-            for node in &self.nodes {
+            for (i, node) in self.nodes.iter().enumerate() {
                 if let Contribution::InsertDelete(list) = &node.contribution {
-                    pooled.extend(list.iter().cloned());
+                    for (v, ws) in list {
+                        let p = partition_of(*v, self.cfg.partitions);
+                        if reader[p] == i {
+                            pooled.push((*v, ws.clone()));
+                        }
+                    }
                 }
             }
             pooled.sort_unstable_by_key(|(v, _)| *v);
@@ -560,9 +913,10 @@ impl Inner {
     }
 
     /// Install a full checkpoint cluster-wide. The payload store commits
-    /// first, then slices push to the owners; a node that misses the push
-    /// is marked down and recovers the restored state through the ordinary
-    /// rejoin path — so the restore is never torn.
+    /// first (durably, when the router has a data dir), then slices push to
+    /// the owners; a node that misses the push is marked down and recovers
+    /// the restored state through the ordinary rejoin path — so the restore
+    /// is never torn.
     fn restore(&mut self, bytes: &[u8]) -> Result<(), Fail> {
         let env = match unwrap_envelope(bytes) {
             Ok(env) if env.space != SpaceId::default_space().as_str() => {
@@ -585,7 +939,16 @@ impl Inner {
             .map_err(|e| (ErrorCode::Checkpoint, e.to_string()))?;
         let mut dense: Vec<Vec<u8>> = vec![Vec::new(); self.cfg.partitions];
         for (p, b) in payloads {
-            dense[p as usize] = b;
+            let Some(slot) = dense.get_mut(p as usize) else {
+                return Err((
+                    ErrorCode::Checkpoint,
+                    format!(
+                        "checkpoint names partition {p}, cluster has {}",
+                        self.cfg.partitions
+                    ),
+                ));
+            };
+            *slot = b;
         }
         // Commit router-side truth before any push.
         self.payloads = dense;
@@ -594,34 +957,29 @@ impl Inner {
         }
         self.dirty = true;
         self.merged = None;
+        // An acked restore must survive a router crash, same as acked
+        // ingest: persist before pushing to any worker.
+        if let Err(e) = self.compact_durable() {
+            return Err((
+                ErrorCode::Durability,
+                format!("persisting restored checkpoint: {e}"),
+            ));
+        }
         for i in 0..self.nodes.len() {
             if self.nodes[i].client.is_none() {
                 let _ = self.rejoin(i); // hands the restored slice
                 continue;
             }
-            let owned = self.owned(i);
-            let slice: Vec<(u32, Vec<u8>)> = owned
-                .iter()
-                .map(|&p| (p, self.payloads[p as usize].clone()))
-                .collect();
-            let container = checkpoint::encode_slice(&self.cfg, &slice);
-            let pushed = self.nodes[i]
-                .client
-                .as_mut()
-                .expect("live node")
-                .slice_restore(&container);
-            if pushed.is_err() {
-                self.nodes[i].client = None;
-                let _ = self.rejoin(i);
-            }
+            let _ = self.push_slice(i); // marks down on failure
         }
         Ok(())
     }
 
-    /// Admit a new worker and rebalance: partitions re-map to `p % (N+1)`,
-    /// every node receives its (possibly shrunk) slice as container bytes
-    /// plus a fresh assignment. Requires a fully live cluster — rebalancing
-    /// around a hole would have to guess the hole's state.
+    /// Admit a new worker and rebalance: the ownership map recomputes over
+    /// `N + 1` nodes, every node receives its (possibly shrunk) slice as
+    /// container bytes plus a fresh assignment. Requires a fully live
+    /// cluster — rebalancing around a hole would have to guess the hole's
+    /// state.
     fn join(&mut self, addr: &str) -> Result<(), Fail> {
         if self.nodes.iter().any(|n| n.addr == addr) {
             return Err((
@@ -632,18 +990,19 @@ impl Inner {
         // Drain logs so the new ownership map can be seeded from the
         // payload store alone.
         self.refresh_all_strict()?;
-        let (client, _) = admit(addr, &self.cfg, &self.opts.client)
-            .map_err(|m| (ErrorCode::NodeUnavailable, m))?;
-        self.nodes.push(Node {
-            addr: addr.to_string(),
-            client: Some(client),
-            watermark: 0,
-            contribution: Contribution::None,
-            routed: 0,
-            batches: 0,
-        });
+        let (client, _) = admit(
+            addr,
+            &self.cfg,
+            &client_opts_for(&self.opts, self.nodes.len()),
+        )
+        .map_err(|m| (ErrorCode::NodeUnavailable, m))?;
+        self.nodes.push(Node::fresh(addr.to_string(), Some(client)));
         let n = self.nodes.len();
-        self.owners = (0..self.cfg.partitions).map(|p| p % n).collect();
+        self.owners = owner_map(self.cfg.partitions, n, self.opts.replicas);
+        self.assign_epoch += 1;
+        if let Some(d) = &self.durable {
+            let _ = write_meta(&d.meta, self.assign_epoch, self.ingested);
+        }
         // Ownership changed under every node: no cached contribution may
         // outlive the map that scoped it.
         for node in &mut self.nodes {
@@ -653,64 +1012,56 @@ impl Inner {
         self.dirty = true;
         self.merged = None;
         for i in 0..n {
-            let owned = self.owned(i);
-            let slice: Vec<(u32, Vec<u8>)> = owned
-                .iter()
-                .map(|&p| (p, self.payloads[p as usize].clone()))
-                .collect();
-            let container = checkpoint::encode_slice(&self.cfg, &slice);
-            let Some(client) = self.nodes[i].client.as_mut() else {
+            if self.nodes[i].client.is_none() {
                 let _ = self.rejoin(i);
                 continue;
-            };
-            let res = client
-                .slice_restore(&container)
-                .and_then(|()| client.slice_assign(&owned));
-            if res.is_err() {
-                self.nodes[i].client = None;
-                let _ = self.rejoin(i);
             }
+            let _ = self.push_slice(i); // marks down on failure
         }
         Ok(())
     }
 
     /// Cluster statistics: the router's own ingest counter, one shard row
     /// per node (owned partitions, updates routed, measured worker state).
+    /// Down nodes report zero measured bytes instead of failing the call —
+    /// statistics must not stall behind a recovery.
     fn stats(&mut self) -> Result<WireStats, Fail> {
         let mut shards = Vec::with_capacity(self.nodes.len());
         let mut space_bytes = 0u64;
         for i in 0..self.nodes.len() {
-            self.ensure_up(i)?;
-            let addr = self.nodes[i].addr.clone();
-            let ws = match self.nodes[i].client.as_mut().expect("live node").stats() {
-                Ok(s) => s,
-                Err(e) => {
-                    self.nodes[i].client = None;
-                    return Err(node_fail(&addr, &e));
-                }
+            let measured = match self.nodes[i].client.as_mut() {
+                Some(client) => match client.stats() {
+                    Ok(s) => Some(s.space_bytes),
+                    Err(_) => {
+                        self.nodes[i].client = None;
+                        None
+                    }
+                },
+                None => None,
             };
             shards.push(WireShardStats {
                 partitions: self.owned(i).len() as u64,
                 processed: self.nodes[i].routed,
                 batches: self.nodes[i].batches,
-                space_bytes: ws.space_bytes,
+                space_bytes: measured.unwrap_or(0),
             });
-            space_bytes += ws.space_bytes;
+            space_bytes += measured.unwrap_or(0);
         }
         Ok(WireStats {
             ingested: self.ingested,
             uptime_micros: self.started.elapsed().as_micros() as u64,
             witness_target: self.cfg.witness_target() as u64,
             space_bytes,
-            wal_bytes: 0,
+            wal_bytes: self.durable.as_ref().map_or(0, |d| d.wal.bytes()),
             quota_bytes: 0,
             shards,
         })
     }
 
     /// One heartbeat tick: ping live nodes (a miss marks them down), try to
-    /// rejoin down nodes. A node going down does not invalidate the merged
-    /// view — losing a replica changes availability, not data.
+    /// rejoin down nodes — the background repair that restores full
+    /// replication after a loss. A node going down does not invalidate the
+    /// merged view — losing a replica changes availability, not data.
     fn heartbeat(&mut self) {
         for i in 0..self.nodes.len() {
             if let Some(client) = self.nodes[i].client.as_mut() {
@@ -741,11 +1092,12 @@ pub struct Router {
 }
 
 impl Router {
-    /// Bind the front end at `addr`, admit every worker (connect, verify
-    /// identity, require an empty engine), seed the per-partition payload
-    /// store from worker 0 (all workers are empty, and empty partition
-    /// state is a pure function of `(seed, p)`), assign each worker its
-    /// `p % N` slice, and start serving.
+    /// Bind the front end at `addr`, recover durable state if
+    /// [`RouterOptions::data_dir`] holds any (checkpoint restore + WAL tail
+    /// replay, then a wholesale slice push to every reachable worker),
+    /// otherwise admit every worker fresh (connect, verify identity,
+    /// require an empty engine), seed the per-partition payload store from
+    /// a scratch local engine, and assign each worker its replica slice.
     pub fn start(
         cfg: EngineConfig,
         addr: &str,
@@ -758,78 +1110,163 @@ impl Router {
                 "a cluster needs at least one worker",
             ));
         }
+        if opts.replicas == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "a partition needs at least one replica",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let invalid = |m: String| std::io::Error::new(ErrorKind::InvalidInput, m);
-        let mut nodes = Vec::with_capacity(workers.len());
-        for w in workers {
-            let (client, info) = admit(w, &cfg, &opts.client).map_err(invalid)?;
-            if info.ingested != 0 {
-                return Err(invalid(format!(
-                    "worker {w} already holds {} updates; start cluster workers empty",
-                    info.ingested
-                )));
-            }
-            nodes.push(Node {
-                addr: w.clone(),
-                client: Some(client),
-                watermark: 0,
-                contribution: Contribution::None,
-                routed: 0,
-                batches: 0,
-            });
-        }
         let partitions = cfg.partitions;
-        let owners: Vec<usize> = (0..partitions).map(|p| p % nodes.len()).collect();
-        let all: Vec<u32> = (0..partitions as u32).collect();
-        let seeded = nodes[0]
-            .client
-            .as_mut()
-            .expect("admitted node")
-            .slice_checkpoint(&all)
-            .map_err(|e| {
-                invalid(format!(
-                    "worker {}: baseline checkpoint: {e}",
-                    nodes[0].addr
-                ))
-            })
-            .and_then(|bytes| {
-                checkpoint::decode_slice(&bytes).map_err(|e| {
-                    invalid(format!(
-                        "worker {}: baseline checkpoint: {e}",
-                        nodes[0].addr
-                    ))
-                })
-            })?;
-        let mut payloads = vec![Vec::new(); partitions];
-        for (p, b) in seeded.1 {
-            payloads[p as usize] = b;
+
+        // Durable recovery first: what is on disk decides whether workers
+        // are admitted fresh (must be empty) or re-seeded wholesale.
+        let mut durable: Option<Durable> = None;
+        let mut recovered_payloads: Option<Vec<Vec<u8>>> = None;
+        let mut logs: Vec<Vec<Update>> = vec![Vec::new(); partitions];
+        let mut ingested = 0u64;
+        let mut assign_epoch = 0u64;
+        let mut recovered = false;
+        if let Some(dir) = &opts.data_dir {
+            std::fs::create_dir_all(dir)?;
+            let store = SpaceDir::new(dir, &SpaceId::default_space());
+            std::fs::create_dir_all(store.path())?;
+            let prior = store.read_checkpoint()?;
+            let floor = match &prior {
+                Some(env_bytes) => {
+                    let env = unwrap_envelope(env_bytes)
+                        .map_err(|e| invalid(format!("router checkpoint: {e}")))?;
+                    if env.space != SpaceId::default_space().as_str() {
+                        return Err(invalid(format!(
+                            "router checkpoint is for space '{}', expected the default space",
+                            env.space
+                        )));
+                    }
+                    let (header, listed) = checkpoint::decode(env.inner)
+                        .map_err(|e| invalid(format!("router checkpoint: {e}")))?;
+                    header
+                        .check_against(&cfg)
+                        .map_err(|e| invalid(format!("router checkpoint: {e}")))?;
+                    let mut dense = vec![Vec::new(); partitions];
+                    for (p, b) in listed {
+                        let slot = dense.get_mut(p as usize).ok_or_else(|| {
+                            invalid(format!(
+                                "router checkpoint names partition {p}, config has {partitions}"
+                            ))
+                        })?;
+                        *slot = b;
+                    }
+                    recovered_payloads = Some(dense);
+                    env.wal_seq
+                }
+                None => 0,
+            };
+            let (wal, recovery) = Wal::open(&wal_path(dir), floor)?;
+            let meta = dir.join(META_FILE);
+            if let Some((epoch, count)) = read_meta(&meta) {
+                assign_epoch = epoch;
+                ingested = count;
+            }
+            let mut replayed = 0u64;
+            for (seq, space, updates) in &recovery.replay {
+                if *seq <= floor || space != SpaceId::default_space().as_str() {
+                    continue;
+                }
+                for u in updates {
+                    logs[partition_of(u.edge.a, partitions)].push(*u);
+                }
+                replayed += updates.len() as u64;
+            }
+            ingested += replayed;
+            recovered = prior.is_some() || replayed > 0;
+            durable = Some(Durable { wal, store, meta });
         }
-        for i in 0..nodes.len() {
-            let owned: Vec<u32> = (0..partitions as u32)
-                .filter(|&p| owners[p as usize] == i)
-                .collect();
-            nodes[i]
-                .client
-                .as_mut()
-                .expect("admitted node")
-                .slice_assign(&owned)
-                .map_err(|e| invalid(format!("worker {}: slice assign: {e}", nodes[i].addr)))?;
+
+        // Baseline payloads: empty partition state is a pure function of
+        // `(seed, p)`, so build it from a scratch local engine instead of
+        // trusting any worker's bytes.
+        let payloads = match recovered_payloads {
+            Some(p) => p,
+            None => {
+                let mut scratch = Engine::start(cfg);
+                let all: Vec<u32> = (0..partitions as u32).collect();
+                let container = scratch.checkpoint_slice(&all);
+                let (_, listed) = checkpoint::decode_slice(&container)
+                    .map_err(|e| invalid(format!("baseline checkpoint: {e}")))?;
+                let mut dense = vec![Vec::new(); partitions];
+                for (p, b) in listed {
+                    dense[p as usize] = b;
+                }
+                dense
+            }
+        };
+
+        let mut nodes = Vec::with_capacity(workers.len());
+        for (i, w) in workers.iter().enumerate() {
+            let client_opts = client_opts_for(&opts, i);
+            match admit(w, &cfg, &client_opts) {
+                Ok((client, info)) => {
+                    if !recovered && info.ingested != 0 {
+                        return Err(invalid(format!(
+                            "worker {w} already holds {} updates; start cluster workers empty",
+                            info.ingested
+                        )));
+                    }
+                    nodes.push(Node::fresh(w.clone(), Some(client)));
+                }
+                // A fresh cluster needs every worker; a recovering one
+                // starts with the hole down and repairs it in background.
+                Err(_) if recovered => nodes.push(Node::fresh(w.clone(), None)),
+                Err(m) => return Err(invalid(m)),
+            }
         }
+        let owners = owner_map(partitions, nodes.len(), opts.replicas);
+        assign_epoch += 1;
         let heartbeat_period = opts.heartbeat;
-        let inner = Inner {
+        let mut inner = Inner {
             cfg,
             opts,
             nodes,
             owners,
             payloads,
-            logs: vec![Vec::new(); partitions],
+            logs,
             since_refresh: 0,
-            ingested: 0,
+            ingested,
+            assign_epoch,
             merged: None,
             dirty: true,
+            durable,
             started: Instant::now(),
         };
+        if recovered {
+            // Whatever the workers held when the old router died, the
+            // wholesale restore makes them exact; unreachable ones stay
+            // down and repair through rejoin.
+            for i in 0..inner.nodes.len() {
+                if inner.nodes[i].client.is_some() {
+                    let _ = inner.push_slice(i);
+                }
+            }
+        } else {
+            for i in 0..inner.nodes.len() {
+                let owned = inner.owned(i);
+                inner.nodes[i]
+                    .client
+                    .as_mut()
+                    .expect("admitted node")
+                    .slice_assign(&owned)
+                    .map_err(|e| {
+                        invalid(format!("worker {}: slice assign: {e}", inner.nodes[i].addr))
+                    })?;
+            }
+            if inner.durable.is_some() {
+                // Anchor the empty baseline so a crash before the first
+                // compaction still recovers through the checkpoint path.
+                inner.compact_durable()?;
+            }
+        }
         let shared = Arc::new(RouterShared {
             inner: Mutex::new(inner),
             shutdown: AtomicBool::new(false),
@@ -1179,7 +1616,6 @@ fn handle_request(space: SpaceId, request: Request, shared: &RouterShared) -> Re
 mod tests {
     use super::*;
     use fews_core::insertion_only::FewwConfig;
-    use fews_engine::Engine;
     use fews_net::Server;
     use fews_stream::Edge;
 
@@ -1209,6 +1645,16 @@ mod tests {
             heartbeat: None,
             refresh_updates: 200,
             forward_shutdown: false,
+            replicas: 1,
+            pipeline: true,
+            data_dir: None,
+        }
+    }
+
+    fn replicated_opts(replicas: usize) -> RouterOptions {
+        RouterOptions {
+            replicas,
+            ..quick_opts()
         }
     }
 
@@ -1221,6 +1667,30 @@ mod tests {
             }
         }
         panic!("could not rebind {addr}");
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fews-router-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn reference_view(cfg: EngineConfig, updates: &[Update]) -> Arc<GlobalView> {
+        let mut reference = Engine::start(cfg);
+        reference.ingest(updates.to_vec());
+        let (view, _) = reference.refresh();
+        view
+    }
+
+    #[test]
+    fn owner_map_balances_and_clamps() {
+        assert_eq!(owner_map(4, 2, 1), vec![vec![0], vec![1], vec![0], vec![1]]);
+        assert_eq!(
+            owner_map(4, 3, 2),
+            vec![vec![0, 1], vec![1, 2], vec![2, 0], vec![0, 1]]
+        );
+        // R clamps to the node count: every node owns everything.
+        assert_eq!(owner_map(2, 2, 5), vec![vec![0, 1], vec![1, 0]]);
     }
 
     #[test]
@@ -1305,6 +1775,7 @@ mod tests {
         let w2 = Server::start(cfg, "127.0.0.1:0").expect("worker 2");
         let w2_addr = w2.local_addr();
         let workers = vec![w1.local_addr().to_string(), w2_addr.to_string()];
+        // R=1: the dead worker's partitions have no surviving replica.
         let router = Router::start(cfg, "127.0.0.1:0", &workers, quick_opts()).expect("router");
         let mut client = Client::connect(router.local_addr()).expect("connect");
 
@@ -1349,6 +1820,258 @@ mod tests {
         w1.join();
         w2.shutdown();
         w2.join();
+    }
+
+    #[test]
+    fn replica_survives_worker_loss_without_pausing() {
+        let cfg = test_cfg();
+        let w1 = Server::start(cfg, "127.0.0.1:0").expect("worker 1");
+        let w2 = Server::start(cfg, "127.0.0.1:0").expect("worker 2");
+        let w3 = Server::start(cfg, "127.0.0.1:0").expect("worker 3");
+        let workers = vec![
+            w1.local_addr().to_string(),
+            w2.local_addr().to_string(),
+            w3.local_addr().to_string(),
+        ];
+        let router =
+            Router::start(cfg, "127.0.0.1:0", &workers, replicated_opts(2)).expect("router");
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+
+        let updates = stream(3_000);
+        let (first, rest) = updates.split_at(1_500);
+        for chunk in first.chunks(97) {
+            client.ingest_batch(chunk).expect("ingest");
+        }
+        client.certified().expect("healthy query");
+
+        // Kill one worker mid-stream. With R=2 every partition still has a
+        // live owner, so queries keep answering — no NodeUnavailable, no
+        // recovery pause — and they answer exactly.
+        w2.crash();
+        w2.join();
+        for (k, chunk) in rest.chunks(97).enumerate() {
+            client.ingest_batch(chunk).expect("degraded ingest acks");
+            if k % 4 == 0 {
+                let so_far = 1_500
+                    + rest
+                        .chunks(97)
+                        .take(k + 1)
+                        .map(<[Update]>::len)
+                        .sum::<usize>();
+                let view = reference_view(cfg, &updates[..so_far]);
+                assert_eq!(
+                    client.certified().expect("no pause under replica loss"),
+                    view.certified()
+                );
+            }
+        }
+
+        let view = reference_view(cfg, &updates);
+        assert_eq!(client.certified().expect("final"), view.certified());
+        for v in [0u32, 7, 13, 63] {
+            assert_eq!(client.certify(v).expect("certify"), view.certify(v));
+        }
+        assert_eq!(client.top(5).expect("top"), view.top(5));
+
+        // Checkpoint drains through surviving replicas only.
+        let mut reference = Engine::start(cfg);
+        reference.ingest(updates.clone());
+        let envelope = client.checkpoint().expect("checkpoint");
+        let env = unwrap_envelope(&envelope).expect("envelope");
+        assert_eq!(env.inner, reference.checkpoint());
+
+        router.shutdown();
+        router.join();
+        w1.shutdown();
+        w1.join();
+        w3.shutdown();
+        w3.join();
+    }
+
+    #[test]
+    fn killed_router_restarts_from_data_dir_byte_identical() {
+        let cfg = test_cfg();
+        let dir = scratch_dir("restart");
+        let w1 = Server::start(cfg, "127.0.0.1:0").expect("worker 1");
+        let w2 = Server::start(cfg, "127.0.0.1:0").expect("worker 2");
+        let (w1_addr, w2_addr) = (w1.local_addr(), w2.local_addr());
+        let workers = vec![w1_addr.to_string(), w2_addr.to_string()];
+        let opts = RouterOptions {
+            data_dir: Some(dir.clone()),
+            ..replicated_opts(2)
+        };
+
+        // 22 chunks of 97: the periodic refresh (threshold 200) compacts
+        // after chunk 21, so the final chunk is retained only in the WAL
+        // tail — the restart exercises checkpoint restore AND WAL replay.
+        let updates = stream(2_134);
+        {
+            let router = Router::start(cfg, "127.0.0.1:0", &workers, opts.clone()).expect("router");
+            let mut client = Client::connect(router.local_addr()).expect("connect");
+            for chunk in updates.chunks(97) {
+                client.ingest_batch(chunk).expect("ingest");
+            }
+            let stats = client.stats().expect("stats");
+            assert_eq!(stats.ingested, updates.len() as u64);
+            // No clean shutdown handshake: dropping the router here is a
+            // crash as far as durability is concerned (nothing is flushed
+            // on drop — every ack was already fsynced).
+            router.shutdown();
+            router.join();
+        }
+
+        // The workers die too; they come back empty. Everything the new
+        // router pushes them comes from disk alone.
+        w1.crash();
+        w1.join();
+        w2.crash();
+        w2.join();
+        let w1 = start_worker_at(cfg, w1_addr);
+        let w2 = start_worker_at(cfg, w2_addr);
+
+        let router = Router::start(cfg, "127.0.0.1:0", &workers, opts).expect("restarted router");
+        let mut client = Client::connect(router.local_addr()).expect("reconnect");
+        let view = reference_view(cfg, &updates);
+        assert_eq!(client.certified().expect("replayed"), view.certified());
+        let mut reference = Engine::start(cfg);
+        reference.ingest(updates.clone());
+        let envelope = client.checkpoint().expect("checkpoint");
+        let env = unwrap_envelope(&envelope).expect("envelope");
+        assert_eq!(env.inner, reference.checkpoint());
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.ingested, updates.len() as u64);
+
+        router.shutdown();
+        router.join();
+        w1.shutdown();
+        w1.join();
+        w2.shutdown();
+        w2.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// What the fake worker answers when the router pulls state from it.
+    #[derive(Clone, Copy)]
+    enum FakeMode {
+        /// Views name partition 7777 (out of range for an 8-partition
+        /// cluster) and slice checkpoints do the same.
+        AlienPartition,
+        /// Every state-bearing response is a garbage byte blob.
+        Garbage,
+    }
+
+    /// A protocol-correct worker for admission that turns byzantine for
+    /// state transfer — the regression harness for the unwrap audit: the
+    /// router must answer typed errors, never panic.
+    fn fake_worker(cfg: EngineConfig, mode: FakeMode) -> (SocketAddr, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake worker");
+        let addr = listener.local_addr().expect("fake worker addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("fake-worker".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(mut stream) = stream else { continue };
+                    serve_fake(&mut stream, &cfg, mode);
+                }
+            })
+            .expect("spawn fake worker");
+        (addr, stop)
+    }
+
+    fn serve_fake(stream: &mut TcpStream, cfg: &EngineConfig, mode: FakeMode) {
+        let mut header = [0u8; 4];
+        loop {
+            if stream.read_exact(&mut header).is_err() {
+                return;
+            }
+            let len = u32::from_le_bytes(header) as usize;
+            let mut payload = vec![0u8; len];
+            if stream.read_exact(&mut payload).is_err() {
+                return;
+            }
+            let Ok((_, request)) = Request::decode(&payload) else {
+                return;
+            };
+            let response = match request {
+                Request::Ping => Response::Pong,
+                Request::NodeHello => Response::NodeInfo(expected_info(cfg)),
+                Request::SliceAssign(_) => Response::SpaceOk,
+                Request::SliceRestore(_) => Response::Restored,
+                Request::IngestBatch(u) => Response::Ingested(u.len() as u64),
+                Request::ViewPull(_) => match mode {
+                    FakeMode::AlienPartition => Response::View(WireView::InsertOnly {
+                        epoch: 1,
+                        parts: vec![(7_777, vec![1, 2, 3])],
+                    }),
+                    FakeMode::Garbage => {
+                        // A frame that is not a decodable Response at all.
+                        let junk = [9u8, 99, 99, 99, 99];
+                        let _ = stream.write_all(&(junk.len() as u32).to_le_bytes());
+                        let _ = stream.write_all(&junk);
+                        continue;
+                    }
+                },
+                Request::SliceCheckpoint(_) => match mode {
+                    FakeMode::AlienPartition => Response::Checkpoint(checkpoint::encode_slice(
+                        cfg,
+                        &[(7_777, vec![4, 5, 6])],
+                    )),
+                    FakeMode::Garbage => Response::Checkpoint(vec![0xde, 0xad, 0xbe, 0xef]),
+                },
+                _ => Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: "unexpected request at fake worker".into(),
+                },
+            };
+            if stream.write_all(&response.encode()).is_err() {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_worker_yields_typed_errors_never_panics() {
+        for mode in [FakeMode::AlienPartition, FakeMode::Garbage] {
+            let cfg = test_cfg();
+            let (addr, stop) = fake_worker(cfg, mode);
+            let workers = vec![addr.to_string()];
+            let router =
+                Router::start(cfg, "127.0.0.1:0", &workers, quick_opts()).expect("router admits");
+            let mut client = Client::connect(router.local_addr()).expect("connect");
+
+            // Ingest acks (retained at the router regardless of the worker).
+            client.ingest_batch(&stream(300)).expect("ingest acks");
+
+            // Queries and checkpoints hit the byzantine state transfer:
+            // typed error frames, never a panic, and the router survives.
+            for _ in 0..3 {
+                match client.certified() {
+                    Err(ClientError::Server { code, .. }) => assert!(
+                        matches!(code, ErrorCode::Malformed | ErrorCode::NodeUnavailable),
+                        "unexpected code {code:?}"
+                    ),
+                    other => panic!("byzantine worker should yield typed errors, got {other:?}"),
+                }
+            }
+            match client.checkpoint() {
+                Err(ClientError::Server { code, .. }) => assert!(
+                    matches!(code, ErrorCode::Malformed | ErrorCode::NodeUnavailable),
+                    "unexpected code {code:?}"
+                ),
+                other => panic!("byzantine checkpoint should be typed, got {other:?}"),
+            }
+            client.ping().expect("router still alive");
+
+            stop.store(true, Ordering::SeqCst);
+            router.shutdown();
+            router.join();
+            let _ = TcpStream::connect(addr); // unblock the fake acceptor
+        }
     }
 
     #[test]

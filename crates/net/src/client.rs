@@ -1,13 +1,16 @@
 //! A blocking client for the `fews-net` protocol.
 
+use crate::fault::{FaultPlan, SendFault};
 use crate::proto::{
     check_frame_len, ErrorCode, Request, Response, WireNodeInfo, WireSpaceInfo, WireStats, WireView,
 };
+use fews_common::rng::splitmix64;
 use fews_common::{SpaceConfig, SpaceId};
 use fews_core::neighbourhood::Neighbourhood;
 use fews_stream::Update;
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Client-side failures.
@@ -57,7 +60,7 @@ const BUF_RETAIN: usize = 1 << 20;
 /// [`Client::connect`] behaviour: block forever on connect and i/o, no
 /// retries — interactive tools opt into bounds, the cluster router always
 /// runs with them (a hung worker must not wedge the whole cluster).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ClientOptions {
     /// Give up establishing the TCP connection after this long
     /// (`None` = OS default).
@@ -69,8 +72,19 @@ pub struct ClientOptions {
     /// Extra connect attempts after the first fails (0 = single attempt).
     pub retries: u32,
     /// Backoff before the first retry; doubles each subsequent attempt
-    /// (exponential), capped at one second.
+    /// (exponential), capped at [`ClientOptions::backoff_cap`].
     pub backoff: Duration,
+    /// Upper bound the exponential backoff saturates at.
+    pub backoff_cap: Duration,
+    /// Full-jitter seed. `Some(s)`: each retry sleeps a *uniform* draw from
+    /// `[0, capped backoff)`, derived deterministically from `(s, attempt)`
+    /// — N retrying clients seeded differently stop synchronizing their
+    /// retry storms against a recovering node. `None`: exact exponential
+    /// sleeps (the historic behaviour, and what deterministic tests want).
+    pub jitter_seed: Option<u64>,
+    /// Deterministic transport fault injection (the cluster fault lab);
+    /// `None` = a faithful transport.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ClientOptions {
@@ -81,6 +95,9 @@ impl Default for ClientOptions {
             write_timeout: None,
             retries: 0,
             backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            jitter_seed: None,
+            faults: None,
         }
     }
 }
@@ -122,6 +139,25 @@ pub struct Client {
     bytes_received: u64,
     send_buf: Vec<u8>,
     recv_buf: Vec<u8>,
+    /// Fault schedule consulted before every request write (`None` = a
+    /// faithful transport).
+    faults: Option<Arc<FaultPlan>>,
+    /// Requests attempted on this connection (drives fault slow-start).
+    ops: u64,
+}
+
+/// The sleep before retry `attempt`: `backoff` exactly, or — with a jitter
+/// seed — a deterministic full-jitter draw from `[0, backoff)`. Full jitter
+/// (rather than `backoff/2 + uniform(backoff/2)`) maximally decorrelates
+/// clients that started their retry clocks together.
+fn jittered(backoff: Duration, jitter_seed: Option<u64>, attempt: u32) -> Duration {
+    match jitter_seed {
+        None => backoff,
+        Some(seed) => {
+            let draw = splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Duration::from_nanos((backoff.as_nanos() as u64).saturating_mul(draw >> 32) >> 32)
+        }
+    }
 }
 
 impl Client {
@@ -133,10 +169,12 @@ impl Client {
 
     /// Connect with explicit timeouts and bounded retry: up to
     /// `1 + opts.retries` connect attempts, sleeping `opts.backoff` before
-    /// the first retry and doubling it each subsequent one (capped at one
-    /// second). The read/write timeouts stay armed on the stream for the
-    /// connection's whole life, so a server that hangs mid-response fails
-    /// the request instead of wedging the caller.
+    /// the first retry and doubling it each subsequent one (capped at
+    /// `opts.backoff_cap`; with `opts.jitter_seed` the sleep is a
+    /// deterministic full-jitter draw from `[0, capped backoff)`). The
+    /// read/write timeouts stay armed on the stream for the connection's
+    /// whole life, so a server that hangs mid-response fails the request
+    /// instead of wedging the caller.
     pub fn connect_with(addr: impl ToSocketAddrs, opts: &ClientOptions) -> std::io::Result<Client> {
         let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
         if addrs.is_empty() {
@@ -145,12 +183,22 @@ impl Client {
                 "address resolved to nothing",
             ));
         }
-        let mut backoff = opts.backoff.min(Duration::from_secs(1));
+        let cap = opts.backoff_cap.max(Duration::from_millis(1));
+        let mut backoff = opts.backoff.min(cap);
         let mut last_err = None;
         for attempt in 0..=opts.retries {
             if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_secs(1));
+                std::thread::sleep(jittered(backoff, opts.jitter_seed, attempt));
+                backoff = (backoff * 2).min(cap);
+            }
+            if let Some(plan) = &opts.faults {
+                if plan.connect_refused() {
+                    last_err = Some(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        "fault injection: connect refused",
+                    ));
+                    continue;
+                }
             }
             for sock in &addrs {
                 let connected = match opts.connect_timeout {
@@ -169,6 +217,8 @@ impl Client {
                             bytes_received: 0,
                             send_buf: Vec::new(),
                             recv_buf: Vec::new(),
+                            faults: opts.faults.clone(),
+                            ops: 0,
                         });
                     }
                     Err(e) => last_err = Some(e),
@@ -207,11 +257,50 @@ impl Client {
     /// Send the frame currently staged in `send_buf` and read one response
     /// frame into `recv_buf`. Both buffers keep their capacity across calls.
     fn transact_staged(&mut self) -> Result<Response, ClientError> {
+        self.write_staged()?;
+        self.read_staged()
+    }
+
+    /// Write the frame staged in `send_buf` — the split-phase send half. A
+    /// fault plan, if armed, may refuse to deliver it (cut or stall); the
+    /// payload bytes that do go out are never altered.
+    fn write_staged(&mut self) -> Result<(), ClientError> {
+        self.ops += 1;
+        if let Some(plan) = &self.faults {
+            if let Some(extra) = plan.slow_start(self.ops) {
+                std::thread::sleep(extra);
+            }
+            match plan.send_fault(self.send_buf.len()) {
+                SendFault::None => {}
+                SendFault::CutAfter(at) => {
+                    let at = at.min(self.send_buf.len().saturating_sub(1));
+                    let _ = self.stream.write_all(&self.send_buf[..at]);
+                    let _ = self.stream.shutdown(Shutdown::Both);
+                    self.bytes_sent += at as u64;
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::BrokenPipe,
+                        format!("fault injection: frame cut after {at} bytes"),
+                    )));
+                }
+                SendFault::Stall(d) => {
+                    std::thread::sleep(d);
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "fault injection: request stalled past the read timeout",
+                    )));
+                }
+            }
+        }
         self.stream.write_all(&self.send_buf)?;
         self.bytes_sent += self.send_buf.len() as u64;
         if self.send_buf.capacity() > BUF_RETAIN {
             self.send_buf.shrink_to(BUF_RETAIN); // see recv_buf below
         }
+        Ok(())
+    }
+
+    /// Read one response frame — the split-phase receive half.
+    fn read_staged(&mut self) -> Result<Response, ClientError> {
         let mut header = [0u8; 4];
         self.stream.read_exact(&mut header)?;
         let len = check_frame_len(u32::from_le_bytes(header) as u64)
@@ -258,6 +347,18 @@ impl Client {
 
     /// Apply a batch of updates; returns the server's applied count.
     pub fn ingest_batch(&mut self, updates: &[Update]) -> Result<u64, ClientError> {
+        self.ingest_send(updates)?;
+        self.ingest_ack()
+    }
+
+    /// Split-phase ingest, send half: encode and write the batch frame
+    /// without waiting for the acknowledgement. A fan-out caller issues
+    /// sends to *all* replicas, then collects every ack with
+    /// [`Client::ingest_ack`] — the replicas apply the batch concurrently
+    /// instead of one round-trip at a time. Exactly one `ingest_ack` must
+    /// follow each successful `ingest_send` before any other request on
+    /// this client.
+    pub fn ingest_send(&mut self, updates: &[Update]) -> Result<(), ClientError> {
         // Worst-case wire size per update: two max-length varints + sign.
         if !crate::proto::body_fits(updates.len().saturating_mul(16) + 80) {
             return Err(ClientError::Protocol(format!(
@@ -267,7 +368,14 @@ impl Client {
         }
         self.send_buf.clear();
         crate::proto::encode_ingest_batch_into(&mut self.send_buf, &self.space, updates);
-        match self.expect_staged()? {
+        self.write_staged()
+    }
+
+    /// Split-phase ingest, ack half: read the response to a previous
+    /// [`Client::ingest_send`]; returns the server's applied count.
+    pub fn ingest_ack(&mut self) -> Result<u64, ClientError> {
+        match self.read_staged()? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
             Response::Ingested(count) => Ok(count),
             other => Err(unexpected("Ingested", &other)),
         }

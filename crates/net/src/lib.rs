@@ -24,8 +24,14 @@
 //!   current-space cursor, space lifecycle calls, and byte counters for
 //!   measuring wire overhead. [`Client::connect_with`] adds
 //!   connect/read/write timeouts and bounded connect retry with
-//!   exponential backoff ([`ClientOptions`]) — what keeps a hung server
-//!   from wedging a caller, and what the `fews-cluster` router runs with.
+//!   exponential, optionally full-jittered backoff ([`ClientOptions`]) —
+//!   what keeps a hung server from wedging a caller, and what the
+//!   `fews-cluster` router runs with.
+//! * [`fault`] — [`FaultPlan`]: deterministic, seeded, budgeted transport
+//!   fault injection (connection refusal, mid-frame cuts, stalls,
+//!   slow-start) consulted by the client — the cluster fault lab's
+//!   instrument. Faults only ever surface as transport errors; payload
+//!   bytes are never altered.
 //!
 //! The protocol also carries the cluster-facing requests `fews-cluster`
 //! speaks to its workers: `ping` liveness, `node-hello` admission checks,
@@ -53,10 +59,12 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError, ClientOptions};
+pub use fault::{FaultCounts, FaultPlan, FaultProfile, SendFault};
 pub use proto::{
     ErrorCode, Request, Response, WireNodeInfo, WireShardStats, WireSpaceInfo, WireStats, WireView,
 };

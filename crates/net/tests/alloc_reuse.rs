@@ -85,25 +85,35 @@ fn warm_buffers_encode_frames_without_allocating() {
     let capacity = buf.capacity();
 
     // Steady state: 100 ingest frames + a mix of queries and responses into
-    // the same buffer — the hot path of a long-lived connection.
-    let allocs = allocations_during(|| {
-        for _ in 0..100 {
-            for space in &spaces {
-                buf.clear();
-                encode_ingest_batch_into(&mut buf, space, &updates);
-                buf.clear();
-                Request::Certified.encode_into(space, &mut buf);
-                buf.clear();
-                Request::Certify(17).encode_into(space, &mut buf);
-                buf.clear();
-                Request::Top(5).encode_into(space, &mut buf);
+    // the same buffer — the hot path of a long-lived connection. The
+    // counter is process-global, so the libtest harness thread can leak a
+    // stray allocation into a measurement window under load; the encode
+    // loop itself is deterministic, so a real regression allocates on
+    // every attempt — retry a bounded number of times before failing.
+    let mut allocs = u64::MAX;
+    for _ in 0..3 {
+        allocs = allocations_during(|| {
+            for _ in 0..100 {
+                for space in &spaces {
+                    buf.clear();
+                    encode_ingest_batch_into(&mut buf, space, &updates);
+                    buf.clear();
+                    Request::Certified.encode_into(space, &mut buf);
+                    buf.clear();
+                    Request::Certify(17).encode_into(space, &mut buf);
+                    buf.clear();
+                    Request::Top(5).encode_into(space, &mut buf);
+                }
+                for r in &responses {
+                    buf.clear();
+                    r.encode_into(&mut buf);
+                }
             }
-            for r in &responses {
-                buf.clear();
-                r.encode_into(&mut buf);
-            }
+        });
+        if allocs == 0 {
+            break;
         }
-    });
+    }
     assert_eq!(
         allocs, 0,
         "steady-state frame encoding must not allocate (capacity {capacity})"

@@ -26,7 +26,8 @@ use fews_engine::checkpoint::{self, unwrap_envelope};
 use fews_engine::{partition_of, partition_seed, Engine, EngineConfig};
 use fews_net::{Client, ClientError, ClientOptions, ErrorCode, Server};
 use fews_stream::update::as_insertions;
-use fews_stream::Update;
+use fews_stream::{Edge, Update};
+use proptest::prelude::*;
 
 const PARTITIONS: usize = 8;
 const NODE_COUNTS: [usize; 3] = [2, 3, 4];
@@ -99,6 +100,12 @@ fn quick_opts() -> RouterOptions {
         heartbeat: None,
         refresh_updates: 1_024,
         forward_shutdown: false,
+        // R=1 keeps the base equivalence runs on the sharpest path (every
+        // partition has exactly one owner, no replica masks a routing bug);
+        // the interleaving proptest below sweeps R ∈ {1, 2, 3}.
+        replicas: 1,
+        pipeline: true,
+        data_dir: None,
     }
 }
 
@@ -110,13 +117,17 @@ struct Cluster {
 
 impl Cluster {
     fn start(cfg: EngineConfig, n: usize) -> Cluster {
+        Cluster::start_with(cfg, n, quick_opts())
+    }
+
+    fn start_with(cfg: EngineConfig, n: usize, opts: RouterOptions) -> Cluster {
         let workers: Vec<Server> = (0..n)
             .map(|i| {
                 Server::start(cfg, "127.0.0.1:0").unwrap_or_else(|e| panic!("worker {i}: {e}"))
             })
             .collect();
         let addrs: Vec<String> = workers.iter().map(|w| w.local_addr().to_string()).collect();
-        let router = Router::start(cfg, "127.0.0.1:0", &addrs, quick_opts()).expect("router");
+        let router = Router::start(cfg, "127.0.0.1:0", &addrs, opts).expect("router");
         Cluster { workers, router }
     }
 
@@ -319,9 +330,10 @@ fn dblog_cluster_equals_reference() {
     }
 }
 
-/// Kill-a-worker interleaving: ingest half the stream, `kill -9` one worker
-/// (in-process `crash()`), keep ingesting while it is down (batches must
-/// still ack — the router retains them), observe the typed
+/// Kill-a-worker interleaving at R=1 (quick_opts pins one owner per
+/// partition, so the loss is observable): ingest half the stream, `kill -9`
+/// one worker (in-process `crash()`), keep ingesting while it is down
+/// (batches must still ack — the router retains them), observe the typed
 /// `node-unavailable` on a query that needs the missing slice, revive the
 /// worker *empty* on the same address, and require the rejoined cluster —
 /// recovered purely through checkpoint handoff + log replay — to be
@@ -394,4 +406,157 @@ fn killed_worker_rejoins_byte_identical() {
     );
 
     cluster.stop();
+}
+
+/// The (replicas, nodes) grid the interleaving property sweeps: R ∈ {1,2,3}
+/// crossed with N ∈ {2,3,4} along the interesting diagonal — under-, fully-,
+/// and over-replicated (R clamps to N) clusters.
+const RN_COMBOS: [(usize, usize); 6] = [(1, 2), (2, 2), (2, 3), (3, 3), (3, 4), (1, 4)];
+
+/// What one step of a random schedule does between ingest chunks.
+#[derive(Debug, Clone, Copy)]
+enum Act {
+    Ingest,
+    Kill,
+    Revive,
+    Query,
+}
+
+fn act_of(code: u8) -> Act {
+    match code % 4 {
+        0 => Act::Ingest,
+        1 => Act::Kill,
+        2 => Act::Revive,
+        _ => Act::Query,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Replicated-merge determinism under randomized interleavings of
+    /// ingest / node-kill / query / rejoin, at every (R, N) combo: every
+    /// ingest batch must ack, a query while at most one worker is dead must
+    /// *succeed* whenever R ≥ 2 (no pause, no typed error — the replica
+    /// answers) and must equal the single-threaded oracle whenever it
+    /// succeeds, and after reviving the world the certified set, certify
+    /// probes, top(5), and full checkpoint bytes must all be byte-identical
+    /// to the oracle.
+    #[test]
+    fn interleaved_kill_rejoin_stays_byte_identical(
+        edges in proptest::collection::vec((0u32..64, 0u64..512), 60..160),
+        schedule in proptest::collection::vec(0u8..4, 6..16),
+        seed in (0u64..2).prop_map(|i| SEEDS[i as usize]),
+    ) {
+        let updates: Vec<Update> = edges
+            .iter()
+            .map(|&(a, b)| Update::insert(Edge::new(a, b)))
+            .collect();
+        for (r, n) in RN_COMBOS {
+            let cfg = EngineConfig::insert_only(FewwConfig::new(64, 8, 2), seed)
+                .with_partitions(PARTITIONS)
+                .with_shards(2);
+            let mut opts = quick_opts();
+            opts.replicas = r;
+            // Small refresh period: interleavings cross refresh boundaries.
+            opts.refresh_updates = 64;
+
+            let mut workers: Vec<Option<Server>> = (0..n)
+                .map(|i| {
+                    Some(Server::start(cfg, "127.0.0.1:0")
+                        .unwrap_or_else(|e| panic!("worker {i}: {e}")))
+                })
+                .collect();
+            let addrs: Vec<SocketAddr> = workers
+                .iter()
+                .map(|w| w.as_ref().expect("fresh worker").local_addr())
+                .collect();
+            let names: Vec<String> = addrs.iter().map(SocketAddr::to_string).collect();
+            let router = Router::start(cfg, "127.0.0.1:0", &names, opts).expect("router");
+            let mut client = Client::connect(router.local_addr()).expect("connect");
+            let mut oracle = Engine::start(cfg);
+
+            let per = updates.len() / schedule.len() + 1;
+            let mut chunks = updates.chunks(per);
+            let mut dead: Option<usize> = None;
+            let mut rotation = 0usize;
+            for &code in &schedule {
+                if let Some(chunk) = chunks.next() {
+                    client.ingest_batch(chunk).expect("ingest must ack");
+                    oracle.ingest(chunk.iter().copied());
+                }
+                match act_of(code) {
+                    Act::Ingest => {}
+                    Act::Kill => {
+                        if dead.is_none() {
+                            let victim = rotation % n;
+                            rotation += 1;
+                            if let Some(w) = workers[victim].take() {
+                                w.crash();
+                                w.join();
+                                dead = Some(victim);
+                            }
+                        }
+                    }
+                    Act::Revive => {
+                        if let Some(v) = dead.take() {
+                            workers[v] = Some(start_worker_at(cfg, addrs[v]));
+                        }
+                    }
+                    Act::Query => {
+                        let (view, _) = oracle.refresh();
+                        match client.certified() {
+                            Ok(got) => prop_assert_eq!(
+                                got, view.certified(),
+                                "R={} N={}: certified diverged mid-interleaving", r, n
+                            ),
+                            Err(ClientError::Server { code, .. }) => prop_assert!(
+                                dead.is_some() && r == 1,
+                                "R={} N={}: typed {:?} without a dead sole owner", r, n, code
+                            ),
+                            Err(other) => {
+                                prop_assert!(false, "R={} N={}: transport-level {other:?}", r, n)
+                            }
+                        }
+                    }
+                }
+            }
+            for chunk in chunks {
+                client.ingest_batch(chunk).expect("ingest must ack");
+                oracle.ingest(chunk.iter().copied());
+            }
+            if let Some(v) = dead.take() {
+                workers[v] = Some(start_worker_at(cfg, addrs[v]));
+            }
+
+            let (view, _) = oracle.refresh();
+            prop_assert_eq!(
+                client.certified().expect("final certified"), view.certified(),
+                "R={} N={}: final certified diverged", r, n
+            );
+            for v in [0u32, 7, 13, 29] {
+                prop_assert_eq!(
+                    client.certify(v).expect("certify"), view.certify(v),
+                    "R={} N={}: certify({}) diverged", r, n, v
+                );
+            }
+            prop_assert_eq!(
+                client.top(5).expect("top"), view.top(5),
+                "R={} N={}: top(5) diverged", r, n
+            );
+            let envelope = client.checkpoint().expect("checkpoint");
+            let inner = unwrap_envelope(&envelope).expect("envelope").inner.to_vec();
+            prop_assert_eq!(
+                inner, oracle.checkpoint(),
+                "R={} N={}: checkpoint bytes diverged", r, n
+            );
+
+            router.shutdown();
+            router.join();
+            for w in workers.into_iter().flatten() {
+                w.shutdown();
+                w.join();
+            }
+        }
+    }
 }

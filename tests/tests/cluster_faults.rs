@@ -1,0 +1,217 @@
+//! The cluster fault lab: byte-identity under seeded transport fault
+//! schedules.
+//!
+//! A [`fews_net::FaultPlan`] is injected into the *router's* worker-facing
+//! transport (the test client's own connection to the router is clean), so
+//! every connect and every request the coordinator makes may be refused,
+//! cut mid-frame, or stalled past the read timeout — the full taxonomy a
+//! real worker loss presents. The plan is seeded and budgeted: the same
+//! seed replays the same schedule, and once the budget is spent the lab
+//! goes quiet.
+//!
+//! Under every schedule the bar is the same as the clean-path differential
+//! gate (`cluster_equivalence.rs`):
+//!
+//! * every ingest batch acks (faults must never lose an acknowledged byte);
+//! * every query either succeeds — and then equals the single-threaded
+//!   oracle on the exact prefix — or fails with a *typed* error frame,
+//!   never a transport-level break or a panic;
+//! * after the budget quiesces, the cluster converges to answers and
+//!   checkpoint bytes identical to an oracle that saw every update.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fews_cluster::{Router, RouterOptions};
+use fews_core::insertion_only::FewwConfig;
+use fews_engine::checkpoint::unwrap_envelope;
+use fews_engine::{Engine, EngineConfig};
+use fews_net::{Client, ClientError, ClientOptions, FaultPlan, FaultProfile, Server};
+use fews_stream::{Edge, Update};
+
+const PARTITIONS: usize = 8;
+const NODES: usize = 3;
+const REPLICAS: usize = 2;
+/// Distinct deterministic fault schedules (master seeds for the plan).
+const SCHEDULES: [u64; 4] = [11, 23, 37, 53];
+/// Hard cap on injected faults per schedule: chaos for the measured window,
+/// then a guaranteed-quiet convergence phase.
+const BUDGET: u64 = 24;
+
+fn test_cfg() -> EngineConfig {
+    EngineConfig::insert_only(FewwConfig::new(64, 8, 2), 2021)
+        .with_shards(2)
+        .with_partitions(PARTITIONS)
+}
+
+/// A deterministic insertion stream touching every partition.
+fn stream(len: u32) -> Vec<Update> {
+    (0..len)
+        .map(|i| {
+            let a = (i * 7 + i / 5) % 64;
+            let b = u64::from(i * 13 % 29);
+            Update::insert(Edge::new(a, b))
+        })
+        .collect()
+}
+
+/// Router options carrying the fault plan on the worker-facing transport.
+fn faulty_opts(plan: &Arc<FaultPlan>) -> RouterOptions {
+    let mut client = ClientOptions::bounded(Duration::from_secs(5), 3);
+    client.jitter_seed = Some(2021);
+    client.faults = Some(Arc::clone(plan));
+    RouterOptions {
+        client,
+        heartbeat: None,
+        refresh_updates: 256,
+        forward_shutdown: false,
+        replicas: REPLICAS,
+        pipeline: true,
+        data_dir: None,
+    }
+}
+
+struct Lab {
+    workers: Vec<Server>,
+    router: Router,
+    client: Client,
+    oracle: Engine,
+}
+
+fn start_lab(plan: &Arc<FaultPlan>) -> Lab {
+    let cfg = test_cfg();
+    let workers: Vec<Server> = (0..NODES)
+        .map(|i| Server::start(cfg, "127.0.0.1:0").unwrap_or_else(|e| panic!("worker {i}: {e}")))
+        .collect();
+    let addrs: Vec<String> = workers.iter().map(|w| w.local_addr().to_string()).collect();
+    let router =
+        Router::start(cfg, "127.0.0.1:0", &addrs, faulty_opts(plan)).expect("router starts");
+    let client = Client::connect(router.local_addr()).expect("connect");
+    Lab {
+        workers,
+        router,
+        client,
+        oracle: Engine::start(cfg),
+    }
+}
+
+fn stop_lab(lab: Lab) {
+    lab.router.shutdown();
+    lab.router.join();
+    for w in lab.workers {
+        w.shutdown();
+        w.join();
+    }
+}
+
+/// Drive one full schedule: sustained ingest with interleaved queries under
+/// fault injection, then a bounded convergence loop, then byte-identity.
+/// Returns what the plan injected (for the determinism check).
+fn run_schedule(fault_seed: u64) -> fews_net::FaultCounts {
+    let plan = Arc::new(FaultPlan::new(fault_seed, FaultProfile::default(), BUDGET));
+    let mut lab = start_lab(&plan);
+    let updates = stream(3_000);
+
+    for (k, chunk) in updates.chunks(101).enumerate() {
+        lab.client
+            .ingest_batch(chunk)
+            .unwrap_or_else(|e| panic!("schedule {fault_seed}: ingest must ack, got {e:?}"));
+        lab.oracle.ingest(chunk.iter().copied());
+        if k % 5 != 0 {
+            continue;
+        }
+        let (view, _) = lab.oracle.refresh();
+        match lab.client.certified() {
+            Ok(got) => assert_eq!(
+                got,
+                view.certified(),
+                "schedule {fault_seed}: a successful mid-chaos query must be exact"
+            ),
+            // Under injection a query may fail — but only as a typed frame.
+            Err(ClientError::Server { .. }) => {}
+            Err(other) => {
+                panic!("schedule {fault_seed}: transport-level client error {other:?}")
+            }
+        }
+    }
+
+    // Convergence: keep querying; every failed attempt burns schedule (and
+    // possibly budget), so a success arrives well within the bound.
+    let (view, _) = lab.oracle.refresh();
+    let mut converged = false;
+    for _ in 0..100 {
+        match lab.client.certified() {
+            Ok(got) => {
+                assert_eq!(
+                    got,
+                    view.certified(),
+                    "schedule {fault_seed}: converged certified"
+                );
+                converged = true;
+                break;
+            }
+            Err(ClientError::Server { .. }) => {}
+            Err(other) => panic!("schedule {fault_seed}: transport-level {other:?}"),
+        }
+    }
+    assert!(converged, "schedule {fault_seed}: cluster never converged");
+
+    for v in [0u32, 7, 13, 63] {
+        let got = retry(|| lab.client.certify(v), fault_seed);
+        assert_eq!(got, view.certify(v), "schedule {fault_seed}: certify({v})");
+    }
+    let top = retry(|| lab.client.top(5), fault_seed);
+    assert_eq!(top, view.top(5), "schedule {fault_seed}: top(5)");
+    let envelope = retry(|| lab.client.checkpoint(), fault_seed);
+    let env = unwrap_envelope(&envelope).expect("envelope");
+    assert_eq!(
+        env.inner,
+        lab.oracle.checkpoint(),
+        "schedule {fault_seed}: checkpoint bytes diverged from the oracle"
+    );
+
+    let counts = plan.counts();
+    assert!(
+        counts.refused + counts.cut + counts.stalled <= BUDGET,
+        "schedule {fault_seed}: plan overspent its budget"
+    );
+    stop_lab(lab);
+    counts
+}
+
+/// Retry a query until it succeeds (typed failures burn remaining faults);
+/// transport-level errors and exhaustion fail the test.
+fn retry<T>(mut f: impl FnMut() -> Result<T, ClientError>, fault_seed: u64) -> T {
+    for _ in 0..100 {
+        match f() {
+            Ok(v) => return v,
+            Err(ClientError::Server { .. }) => {}
+            Err(other) => panic!("schedule {fault_seed}: transport-level {other:?}"),
+        }
+    }
+    panic!("schedule {fault_seed}: query never recovered after the fault budget")
+}
+
+#[test]
+fn every_fault_schedule_converges_byte_identical() {
+    for fault_seed in SCHEDULES {
+        let counts = run_schedule(fault_seed);
+        // The lab must actually have injected something, or the schedule
+        // tested nothing: the profile rates over this many transport ops
+        // make zero injections a seed-selection bug, not chance.
+        assert!(
+            counts.refused + counts.cut + counts.stalled > 0,
+            "schedule {fault_seed} injected no faults — dead lab"
+        );
+    }
+}
+
+#[test]
+fn same_seed_replays_the_same_schedule() {
+    // The whole lab is deterministic end-to-end: a single driver thread,
+    // no background heartbeat, synchronous fault surfacing — so one seed
+    // must inject the identical fault trace across runs.
+    let a = run_schedule(SCHEDULES[0]);
+    let b = run_schedule(SCHEDULES[0]);
+    assert_eq!(a, b, "fault schedule {} did not replay", SCHEDULES[0]);
+}
