@@ -70,24 +70,36 @@ struct Cell {
     updates: usize,
     before: f64,
     after: f64,
+    /// The batched (`update_batch` / `push_batch`) rate, when the cell
+    /// measures one; `None` keeps the legacy two-column shape.
+    batched: Option<f64>,
     before_bytes: usize,
     after_bytes: usize,
 }
 
 impl Cell {
     fn json(&self, baseline: Option<f64>) -> String {
+        let best = self.batched.unwrap_or(self.after);
         let vs_baseline = baseline.map_or(String::new(), |b| {
-            format!(" \"speedup_vs_pr2_engine\": {:.1},", self.after / b)
+            format!(" \"speedup_vs_pr2_engine\": {:.1},", best / b)
+        });
+        let batched = self.batched.map_or(String::new(), |r| {
+            format!(
+                " \"batched_updates_per_sec\": {:.0}, \"batched_vs_scalar\": {:.2},",
+                r,
+                r / self.after
+            )
         });
         format!(
             "\"{}\": {{\"updates\": {}, \"reference_updates_per_sec\": {:.0}, \
-             \"banked_updates_per_sec\": {:.0}, \"speedup\": {:.1},{} \
+             \"banked_updates_per_sec\": {:.0}, \"speedup\": {:.1},{}{} \
              \"reference_space_bytes\": {}, \"banked_space_bytes\": {}}}",
             self.label,
             self.updates,
             self.before,
             self.after,
-            self.after / self.before,
+            best / self.before,
+            batched,
             vs_baseline,
             self.before_bytes,
             self.after_bytes
@@ -114,7 +126,9 @@ pub fn sketch_exp(ctx: &ExpCtx) -> Vec<Table> {
             "updates",
             "loose_updates_per_sec",
             "bank_updates_per_sec",
+            "bank_batched_updates_per_sec",
             "speedup",
+            "batched_vs_scalar",
             "loose_KiB",
             "bank_KiB",
         ],
@@ -139,6 +153,15 @@ pub fn sketch_exp(ctx: &ExpCtx) -> Vec<Table> {
                 bank.update(idx, delta);
             }
         });
+        // The batched sweep: same stream through `update_batch` in
+        // engine-batch-sized chunks — the per-update shared precompute and
+        // sampler-resident inner loop are what the autovectorizer turns
+        // into SIMD lanes.
+        let batched = rate(updates.len(), 0.5, 10_000, || {
+            for chunk in updates.chunks(256) {
+                bank.update_batch(chunk);
+            }
+        });
         let before_bytes = loose.space_bytes();
         let after_bytes = bank.space_bytes();
         sweep.push_row(vec![
@@ -146,7 +169,9 @@ pub fn sketch_exp(ctx: &ExpCtx) -> Vec<Table> {
             updates.len().to_string(),
             format!("{before:.0}"),
             format!("{after:.0}"),
-            f3(after / before),
+            format!("{batched:.0}"),
+            f3(batched / before),
+            f3(batched / after),
             (before_bytes / 1024).to_string(),
             (after_bytes / 1024).to_string(),
         ]);
@@ -155,6 +180,7 @@ pub fn sketch_exp(ctx: &ExpCtx) -> Vec<Table> {
             updates: updates.len(),
             before,
             after,
+            batched: Some(batched),
             before_bytes,
             after_bytes,
         });
@@ -194,17 +220,29 @@ pub fn sketch_exp(ctx: &ExpCtx) -> Vec<Table> {
     let after = rate(log.updates.len(), 0.5, 10_000, || {
         ingest(&mut banked, &log.updates)
     });
+    let batched = rate(log.updates.len(), 0.5, 10_000, || {
+        for chunk in log.updates.chunks(256) {
+            banked.push_batch(chunk);
+        }
+    });
+    // Satellite: the witness-pool intermediate is deduplicated per bank as
+    // it is collected; report what one query buffers now vs what the
+    // undeduplicated pool held (16 bytes per `(u32, u64)` pair).
+    let (pool_raw, pool_deduped) = banked.witness_pool_stats();
+    let pair_bytes = std::mem::size_of::<(u32, u64)>();
     let id_cell = Cell {
         label: "id_dblog".into(),
         updates: log.updates.len(),
         before,
         after,
+        batched: Some(batched),
         before_bytes: reference.space_bytes(),
         after_bytes: banked.space_bytes(),
     };
     for (name, alg, r) in [
         ("reference", &reference, before),
         ("banked", &banked, after),
+        ("banked (batched)", &banked, batched),
     ] {
         id_table.push_row(vec![
             name.into(),
@@ -226,10 +264,16 @@ pub fn sketch_exp(ctx: &ExpCtx) -> Vec<Table> {
     let json = format!(
         "{{\n  \"experiment\": \"sketch\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \
          \"baseline_pr2_engine_dblog_updates_per_sec\": 426,\n  {},\n  \
+         \"witness_pool\": {{\"raw_pairs\": {}, \"deduped_pairs\": {}, \
+         \"raw_bytes\": {}, \"deduped_bytes\": {}}},\n  \
          \"bank_sizes\": {{\n{}\n  }}\n}}\n",
         if ctx.quick { "quick" } else { "full" },
         seed,
         id_cell.json(Some(426.0)),
+        pool_raw,
+        pool_deduped,
+        pool_raw * pair_bytes,
+        pool_deduped * pair_bytes,
         size_json.join(",\n")
     );
     std::fs::write(ctx.out_dir.join("BENCH_sketch.json"), json).expect("write BENCH_sketch.json");

@@ -9,7 +9,7 @@
 //!             [--data-dir DIR] [--compact-bytes N] …
 //! fews router --addr A --workers H1:P1,H2:P2,… --n N --d D [--model io|id]
 //!             [--replicas R] [--data-dir DIR] [--timeout-ms T] [--retries R] …
-//! fews client ADDR [--space S] [--timeout-ms T] [--retries R]
+//! fews client ADDR [--space S] [--timeout-ms T] [--retries R] [--stale]
 //!                  <certified|certify V|top K|stats|ping|ingest FILE|checkpoint OUT|
 //!                   restore FILE|create-space NAME …|drop-space NAME|list-spaces|
 //!                   join-worker ADDR|shutdown>
@@ -19,6 +19,11 @@
 //! acknowledged ingest batches (fsync before ack) and is recovered on
 //! restart by checkpoint restore + WAL replay. `--space S` addresses any
 //! data command at tenant space `S` (default: the default space).
+//!
+//! Client reads are read-your-writes by default: every `ingest` ack carries
+//! a watermark and subsequent queries on the same client wait until the
+//! server's published snapshot covers it. `--stale` opts the connection out
+//! and answers immediately from the latest published snapshot.
 //!
 //! `fews router` starts a cluster coordinator over running `fews listen`
 //! workers: ingest fans out to every partition's `--replicas R` owners
@@ -103,8 +108,8 @@ fn usage(msg: &str) -> ! {
          {:13}[--scale X] [--m M] [--partitions P] [--replicas R] [--data-dir DIR]\n  \
          {:13}[--timeout-ms T] [--retries R] [--heartbeat-ms H] [--refresh-updates U]\n  \
          {:13}[--forward-shutdown true|false] [--sequential-fanout true|false]\n  \
-         fews client ADDR [--space S] [--timeout-ms T] [--retries R] <certified | certify V | \
-         top K | stats | ping |\n  \
+         fews client ADDR [--space S] [--timeout-ms T] [--retries R] [--stale] <certified | \
+         certify V | top K | stats | ping |\n  \
          {:13}ingest FILE [--batch B] | checkpoint OUT | restore CKPT | shutdown |\n  \
          {:13}create-space NAME --n N --d D [--alpha A] [--model io|id] [--m M] [--scale X] \
          [--partitions P] [--quota Q] |\n  \
@@ -581,6 +586,7 @@ fn listen(rest: &[String]) {
     let opts = ServerOptions {
         data_dir: o.get_str("data-dir").map(std::path::PathBuf::from),
         compact_bytes: o.get("compact-bytes", 8u64 << 20).max(1),
+        refresh_debounce: None,
     };
     let durable = opts.data_dir.clone();
     let server = Server::start_with(cfg, &addr, opts)
@@ -710,13 +716,15 @@ fn ingest_file(client: &mut Client, path: &str, batch: usize, n: u32, m: u64) ->
     count
 }
 
-/// Pull `--space S`, `--timeout-ms T`, and `--retries R` out of a client
-/// argument list (they may appear anywhere), returning the addressed space,
-/// the connection options, and the remaining positional args.
-fn extract_space(rest: &[String]) -> (SpaceId, fews_net::ClientOptions, Vec<String>) {
+/// Pull `--space S`, `--timeout-ms T`, `--retries R`, and `--stale` out of
+/// a client argument list (they may appear anywhere), returning the
+/// addressed space, the connection options, the stale flag, and the
+/// remaining positional args.
+fn extract_space(rest: &[String]) -> (SpaceId, fews_net::ClientOptions, bool, Vec<String>) {
     let mut space = SpaceId::default_space();
     let mut timeout_ms: Option<u64> = None;
     let mut retries: u32 = 0;
+    let mut stale = false;
     let mut out = Vec::with_capacity(rest.len());
     let mut i = 0usize;
     let value = |key: &str, val: Option<&String>| -> String {
@@ -745,6 +753,10 @@ fn extract_space(rest: &[String]) -> (SpaceId, fews_net::ClientOptions, Vec<Stri
                     .unwrap_or_else(|_| usage("--retries got an unparsable value"));
                 i += 2;
             }
+            "--stale" => {
+                stale = true;
+                i += 1;
+            }
             _ => {
                 out.push(rest[i].clone());
                 i += 1;
@@ -760,13 +772,15 @@ fn extract_space(rest: &[String]) -> (SpaceId, fews_net::ClientOptions, Vec<Stri
             ..fews_net::ClientOptions::default()
         },
     };
-    (space, opts, out)
+    (space, opts, stale, out)
 }
 
-/// `fews client ADDR [--space S] [--timeout-ms T] [--retries R] CMD…`: one
-/// request against a running `fews listen` or `fews router`.
+/// `fews client ADDR [--space S] [--timeout-ms T] [--retries R] [--stale]
+/// CMD…`: one request against a running `fews listen` or `fews router`.
+/// Reads are watermarked read-your-writes by default; `--stale` opts the
+/// connection out and answers from the latest published snapshot.
 fn client_cmd(rest: &[String]) {
-    let (space, copts, rest) = extract_space(rest);
+    let (space, copts, stale, rest) = extract_space(rest);
     let addr = rest
         .first()
         .cloned()
@@ -778,6 +792,7 @@ fn client_cmd(rest: &[String]) {
     let mut client = Client::connect_with(&addr, &copts)
         .unwrap_or_else(|e| usage(&format!("connect {addr}: {e}")))
         .with_space(space);
+    client.set_stale(stale);
     let fail = |e: fews_net::ClientError| -> ! { usage(&format!("{cmd}: {e}")) };
     match cmd.as_str() {
         "certified" => {
@@ -848,7 +863,8 @@ fn client_cmd(rest: &[String]) {
             // Ranges are enforced server-side; pass the widest bounds here.
             let count = ingest_file(&mut client, &path, batch, u32::MAX, 0);
             outln!(
-                "ingested {count} updates ({} bytes sent, {} received)",
+                "ingested {count} updates at watermark {} ({} bytes sent, {} received)",
+                client.watermark(),
                 client.bytes_sent(),
                 client.bytes_received()
             );

@@ -65,8 +65,8 @@ use fews_engine::wal::{wal_path, SpaceDir, Wal};
 use fews_engine::{partition_of, Engine, EngineConfig, GlobalView, ModelSpec};
 use fews_net::proto::{body_fits, check_frame_len, FrameError};
 use fews_net::{
-    Client, ClientError, ClientOptions, ErrorCode, Request, Response, WireNodeInfo, WireShardStats,
-    WireStats, WireView,
+    Client, ClientError, ClientOptions, ErrorCode, ReadMode, Request, Response, WireNodeInfo,
+    WireShardStats, WireStats, WireView,
 };
 use fews_stream::Update;
 use std::io::{ErrorKind, Read, Write};
@@ -168,6 +168,10 @@ struct Node {
     /// `since` so a quiesced node answers `unchanged` without shipping
     /// state.
     watermark: u64,
+    /// The node's highest acked *ingest* watermark — what a view pull
+    /// passes as `min_watermark`, so the worker's refresher must cover
+    /// everything the router routed to it before the pull answers.
+    acked: u64,
     contribution: Contribution,
     /// Updates routed to this node (the router-side `processed` counter).
     routed: u64,
@@ -181,6 +185,7 @@ impl Node {
             addr,
             client,
             watermark: 0,
+            acked: 0,
             contribution: Contribution::None,
             routed: 0,
             batches: 0,
@@ -427,6 +432,9 @@ impl Inner {
             Ok(()) => {
                 let node = &mut self.nodes[i];
                 node.watermark = 0;
+                // The replay acks carried the worker's current watermarks;
+                // future view pulls must cover everything just replayed.
+                node.acked = node.client.as_ref().map_or(0, Client::watermark);
                 node.contribution = Contribution::None;
                 self.dirty = true;
                 Ok(())
@@ -534,8 +542,10 @@ impl Inner {
                     .ingest_ack();
                 match acked {
                     Ok(_) => {
-                        self.nodes[i].routed += per_node[i].len() as u64;
-                        self.nodes[i].batches += 1;
+                        let node = &mut self.nodes[i];
+                        node.routed += per_node[i].len() as u64;
+                        node.batches += 1;
+                        node.acked = node.client.as_ref().map_or(0, Client::watermark);
                     }
                     Err(_) => {
                         // Whatever the worker did with the batch, the
@@ -556,8 +566,10 @@ impl Inner {
                     .ingest_batch(&per_node[i]);
                 match sent {
                     Ok(_) => {
-                        self.nodes[i].routed += per_node[i].len() as u64;
-                        self.nodes[i].batches += 1;
+                        let node = &mut self.nodes[i];
+                        node.routed += per_node[i].len() as u64;
+                        node.batches += 1;
+                        node.acked = node.client.as_ref().map_or(0, Client::watermark);
                     }
                     Err(_) => self.nodes[i].client = None,
                 }
@@ -568,7 +580,14 @@ impl Inner {
         if self.opts.refresh_updates > 0 && self.since_refresh >= self.opts.refresh_updates {
             self.refresh_retained();
         }
-        Response::Ingested(count)
+        // The router's ack watermark is its lifetime ingest count: queries
+        // carrying it back are satisfiable because every routed update is
+        // either on a live owner (whose pull waits for its own acked
+        // watermark) or retained in a log a rejoin replays.
+        Response::Ingested {
+            count,
+            watermark: self.ingested,
+        }
     }
 
     /// Install slice-checkpoint payloads a worker returned for `requested`
@@ -727,11 +746,12 @@ impl Inner {
         let io_model = matches!(self.cfg.model, ModelSpec::InsertOnly(_));
         let addr = self.nodes[i].addr.clone();
         let watermark = self.nodes[i].watermark;
+        let acked = self.nodes[i].acked;
         let pulled = self.nodes[i]
             .client
             .as_mut()
             .expect("live node")
-            .view_pull(watermark);
+            .view_pull(watermark, acked);
         let view = match pulled {
             Ok(v) => v,
             Err(e) => {
@@ -1019,6 +1039,40 @@ impl Inner {
             let _ = self.push_slice(i); // marks down on failure
         }
         Ok(())
+    }
+
+    /// Gate a front-end query's [`ReadMode`] against the router's acked
+    /// watermark. The router's merge is always fully fresh (every pull
+    /// waits for the node's own acked watermark, and partitions with no
+    /// live owner rejoin-and-replay), so any watermark the router has
+    /// acked is covered by construction — only a watermark it never issued
+    /// is refused, typed, instead of answered early.
+    fn check_watermark(&self, mode: &ReadMode) -> Result<(), Fail> {
+        match mode {
+            ReadMode::Stale => Ok(()),
+            ReadMode::AtLeast(w) if *w <= self.ingested => Ok(()),
+            ReadMode::AtLeast(w) => Err((
+                ErrorCode::WatermarkTimeout,
+                format!(
+                    "router has acked watermark {}, request wants {w}",
+                    self.ingested
+                ),
+            )),
+        }
+    }
+
+    /// The view a front-end query answers from. `Stale` serves the cached
+    /// merge without touching any worker when one exists (bounded
+    /// staleness: it may trail routed ingest); otherwise — and always for
+    /// `AtLeast` — the fully-fresh merged view.
+    fn read_view(&mut self, mode: &ReadMode) -> Result<Arc<GlobalView>, Fail> {
+        self.check_watermark(mode)?;
+        if matches!(mode, ReadMode::Stale) {
+            if let Some(v) = &self.merged {
+                return Ok(Arc::clone(v));
+            }
+        }
+        self.view()
     }
 
     /// Cluster statistics: the router's own ingest counter, one shard row
@@ -1531,7 +1585,7 @@ fn handle_request(space: SpaceId, request: Request, shared: &RouterShared) -> Re
             };
         }
         Request::SliceAssign(_)
-        | Request::ViewPull(_)
+        | Request::ViewPull { .. }
         | Request::SliceCheckpoint(_)
         | Request::SliceRestore(_) => {
             return Response::Error {
@@ -1550,19 +1604,19 @@ fn handle_request(space: SpaceId, request: Request, shared: &RouterShared) -> Re
     let mut inner = shared.inner.lock().expect("router state");
     match request {
         Request::IngestBatch(updates) => inner.ingest(updates),
-        Request::Certified => match inner.view() {
+        Request::Certified(mode) => match inner.read_view(&mode) {
             Ok(view) => Response::Answer(view.certified()),
             Err(fail) => fail_response(fail),
         },
-        Request::Certify(v) => match inner.view() {
+        Request::Certify(v, mode) => match inner.read_view(&mode) {
             Ok(view) => Response::Answer(view.certify(v)),
             Err(fail) => fail_response(fail),
         },
-        Request::Top(k) => match inner.view() {
+        Request::Top(k, mode) => match inner.read_view(&mode) {
             Ok(view) => Response::Top(view.top(k.min(u32::MAX as u64) as usize)),
             Err(fail) => fail_response(fail),
         },
-        Request::Stats => match inner.stats() {
+        Request::Stats(mode) => match inner.check_watermark(&mode).and_then(|()| inner.stats()) {
             Ok(stats) => Response::Stats(stats),
             Err(fail) => fail_response(fail),
         },
@@ -1603,7 +1657,7 @@ fn handle_request(space: SpaceId, request: Request, shared: &RouterShared) -> Re
         | Request::Shutdown
         | Request::Ping
         | Request::SliceAssign(_)
-        | Request::ViewPull(_)
+        | Request::ViewPull { .. }
         | Request::SliceCheckpoint(_)
         | Request::SliceRestore(_) => Response::Error {
             code: ErrorCode::Malformed,
@@ -2002,8 +2056,11 @@ mod tests {
                 Request::NodeHello => Response::NodeInfo(expected_info(cfg)),
                 Request::SliceAssign(_) => Response::SpaceOk,
                 Request::SliceRestore(_) => Response::Restored,
-                Request::IngestBatch(u) => Response::Ingested(u.len() as u64),
-                Request::ViewPull(_) => match mode {
+                Request::IngestBatch(u) => Response::Ingested {
+                    count: u.len() as u64,
+                    watermark: 1,
+                },
+                Request::ViewPull { .. } => match mode {
                     FakeMode::AlienPartition => Response::View(WireView::InsertOnly {
                         epoch: 1,
                         parts: vec![(7_777, vec![1, 2, 3])],

@@ -391,40 +391,115 @@ impl FewwInsertDelete {
         }
     }
 
+    /// Process a batch of turnstile updates — register-equivalent to
+    /// [`Self::push`]ing them one at a time, but each touched bank absorbs
+    /// its share of the batch in one [`SamplerBank::update_batch`] sweep:
+    /// the edge bank takes the whole batch, and the vertex-strategy work is
+    /// grouped per sampled vertex's bank first (per-bank application order
+    /// is free — cell updates are commutative additions). Every touched
+    /// bank's generation then bumps once per batch instead of once per
+    /// update, so the incremental decode cache stays exactly as selective.
+    /// The reference backend has no batch path and falls back to one-at-a-
+    /// time pushes.
+    pub fn push_batch(&mut self, updates: &[Update]) {
+        if updates.len() < 2 || matches!(self.backend, IdBackend::Reference { .. }) {
+            for &u in updates {
+                self.push(u);
+            }
+            return;
+        }
+        self.pushed += updates.len() as u64;
+        let (n, m) = (self.config.n, self.config.m);
+        let IdBackend::Banked {
+            vertex_banks,
+            vertex_index,
+            edge_bank,
+        } = &mut self.backend
+        else {
+            unreachable!("reference backend handled above")
+        };
+        let mut edge_updates: Vec<(u64, i64)> = Vec::with_capacity(updates.len());
+        let mut vertex_updates: Vec<(usize, u64, i64)> = Vec::new();
+        for u in updates {
+            let e = u.edge;
+            debug_assert!(e.a < n && e.b < m);
+            let delta = u.delta as i64;
+            edge_updates.push((e.linear_index(m), delta));
+            if let Some(&i) = vertex_index.get(&e.a) {
+                vertex_updates.push((i, e.b, delta));
+            }
+        }
+        // Group per bank with a plain sort — stability is unnecessary
+        // because per-bank order is free.
+        vertex_updates.sort_unstable_by_key(|&(i, _, _)| i);
+        let mut group: Vec<(u64, i64)> = Vec::new();
+        let mut start = 0;
+        while start < vertex_updates.len() {
+            let bank_i = vertex_updates[start].0;
+            let end = start
+                + vertex_updates[start..]
+                    .iter()
+                    .position(|&(i, _, _)| i != bank_i)
+                    .unwrap_or(vertex_updates.len() - start);
+            group.clear();
+            group.extend(vertex_updates[start..end].iter().map(|&(_, b, d)| (b, d)));
+            vertex_banks[bank_i].1.update_batch(&group);
+            start = end;
+        }
+        edge_bank.update_batch(&edge_updates);
+    }
+
     /// Every `(vertex, witness)` pair the vertex strategy currently
-    /// recovers.
+    /// recovers, deduplicated *per bank* as it is collected. A bank's
+    /// samplers mostly agree at low degree, so without the incremental
+    /// dedup the flat pool holds up to `samplers_per_bank` copies of the
+    /// same pair per sampled vertex before the final collect→sort→dedup —
+    /// the `--model id` large-`m` memory spike. One small sorted scratch
+    /// buffer per bank bounds the intermediate at the *distinct* count.
     fn vertex_strategy_pairs(&self) -> Vec<(u32, u64)> {
         let mut pairs = Vec::new();
+        let mut scratch: Vec<u64> = Vec::new();
         match &self.backend {
             IdBackend::Banked { vertex_banks, .. } => {
                 for (a, bank) in vertex_banks {
+                    scratch.clear();
                     for i in 0..bank.len() {
                         if let Some((b, c)) = bank.sample(i) {
                             if c > 0 {
-                                pairs.push((*a, b));
+                                scratch.push(b);
                             }
                         }
                     }
+                    scratch.sort_unstable();
+                    scratch.dedup();
+                    pairs.extend(scratch.iter().map(|&b| (*a, b)));
                 }
             }
             IdBackend::Reference {
                 vertex_samplers, ..
             } => {
                 for (&a, samplers) in vertex_samplers {
+                    scratch.clear();
                     for s in samplers {
                         if let Some((b, c)) = s.sample() {
                             if c > 0 {
-                                pairs.push((a, b));
+                                scratch.push(b);
                             }
                         }
                     }
+                    scratch.sort_unstable();
+                    scratch.dedup();
+                    pairs.extend(scratch.iter().map(|&b| (a, b)));
                 }
             }
         }
         pairs
     }
 
-    /// Every `(vertex, witness)` pair the edge strategy currently recovers.
+    /// Every `(vertex, witness)` pair the edge strategy currently recovers,
+    /// deduplicated before returning (same bound as
+    /// [`Self::vertex_strategy_pairs`]: the pool holds distinct pairs, not
+    /// one per agreeing sampler).
     fn edge_strategy_pairs(&self) -> Vec<(u32, u64)> {
         let mut pairs = Vec::new();
         let mut harvest = |sample: Option<(u64, i64)>| {
@@ -447,7 +522,56 @@ impl FewwInsertDelete {
                 }
             }
         }
+        pairs.sort_unstable();
+        pairs.dedup();
         pairs
+    }
+
+    /// Diagnostic for the witness-pool intermediate: `(raw, deduped)` pair
+    /// counts, where `raw` is every successful sampler draw (what the pool
+    /// held per query before per-bank dedup bounded it) and `deduped` is
+    /// what [`Self::pooled_witnesses`] actually buffers now. Multiply by
+    /// `size_of::<(u32, u64)>()` for resident bytes; the bench reports the
+    /// pair.
+    pub fn witness_pool_stats(&self) -> (usize, usize) {
+        let mut raw = 0usize;
+        let mut count = |sample: Option<(u64, i64)>| {
+            if matches!(sample, Some((_, c)) if c > 0) {
+                raw += 1;
+            }
+        };
+        match &self.backend {
+            IdBackend::Banked {
+                vertex_banks,
+                edge_bank,
+                ..
+            } => {
+                for (_, bank) in vertex_banks {
+                    for i in 0..bank.len() {
+                        count(bank.sample(i));
+                    }
+                }
+                for i in 0..edge_bank.len() {
+                    count(edge_bank.sample(i));
+                }
+            }
+            IdBackend::Reference {
+                vertex_samplers,
+                edge_samplers,
+                ..
+            } => {
+                for samplers in vertex_samplers.values() {
+                    for s in samplers {
+                        count(s.sample());
+                    }
+                }
+                for s in edge_samplers {
+                    count(s.sample());
+                }
+            }
+        }
+        let deduped = self.vertex_strategy_pairs().len() + self.edge_strategy_pairs().len();
+        (raw, deduped)
     }
 
     /// Pool every edge recovered by both strategies, grouped by A-vertex:
@@ -492,6 +616,11 @@ impl FewwInsertDelete {
                         }
                     }
                 }
+                // Dedup in the memo itself: agreeing samplers would
+                // otherwise keep `samplers_per_bank` copies resident for
+                // the cache's whole life, not just one query.
+                witnesses.sort_unstable();
+                witnesses.dedup();
                 *gen = bank.generation();
             }
         }
@@ -505,6 +634,8 @@ impl FewwInsertDelete {
                     }
                 }
             }
+            cache.edge.1.sort_unstable();
+            cache.edge.1.dedup();
             cache.edge.0 = edge_bank.generation();
         }
         let mut pairs: Vec<(u32, u64)> = Vec::new();

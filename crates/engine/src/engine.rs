@@ -5,7 +5,7 @@ use crate::shard::{run_shard, PartView, ShardMsg, ShardStatsMsg};
 use crate::view::GlobalView;
 use crate::{partition_of, EngineConfig, ModelSpec};
 use fews_stream::Update;
-use std::sync::mpsc::{channel, sync_channel, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -47,6 +47,57 @@ impl EngineStats {
     pub fn updates_per_sec(&self) -> f64 {
         self.ingested as f64 / self.uptime.as_secs_f64().max(1e-9)
     }
+}
+
+/// One shard's answer to a refresh barrier: rebuilt views for its dirty
+/// partitions plus its running counters.
+type RefreshReply = (Vec<(u32, PartView)>, ShardStatsMsg);
+
+/// An in-flight refresh barrier: [`Engine::refresh`]'s shard round-trip
+/// split out so the potentially long wait — the shards draining their
+/// queues and re-decoding touched sampler banks — can happen **without**
+/// borrowing the engine. Obtain with [`Engine::refresh_begin`], block on
+/// [`RefreshBarrier::wait`] with every engine borrow released, then hand
+/// the result to [`Engine::refresh_install`].
+pub struct RefreshBarrier {
+    replies: Vec<Receiver<RefreshReply>>,
+    /// Routed epochs captured when the barrier was sent: what the barrier
+    /// actually covers, and what the installed memos are tagged with.
+    epochs: Vec<u64>,
+    any_dirty: bool,
+    /// Routed-update count at send time (the publish-consistent `ingested`).
+    ingested: u64,
+}
+
+impl RefreshBarrier {
+    /// Block until every shard has answered. Borrows nothing from the
+    /// engine — ingest may proceed concurrently; updates routed while this
+    /// waits are simply not covered by the barrier.
+    pub fn wait(self) -> RefreshDone {
+        let mut views = Vec::new();
+        let mut stats = Vec::with_capacity(self.replies.len());
+        for rx in self.replies {
+            let (v, s) = rx.recv().expect("shard worker died");
+            views.extend(v);
+            stats.push(s);
+        }
+        RefreshDone {
+            views,
+            stats,
+            epochs: self.epochs,
+            any_dirty: self.any_dirty,
+            ingested: self.ingested,
+        }
+    }
+}
+
+/// A completed refresh barrier, ready for [`Engine::refresh_install`].
+pub struct RefreshDone {
+    views: Vec<(u32, PartView)>,
+    stats: Vec<ShardStatsMsg>,
+    epochs: Vec<u64>,
+    any_dirty: bool,
+    ingested: u64,
 }
 
 /// A running sharded engine. See the crate docs for the architecture.
@@ -165,6 +216,19 @@ impl Engine {
     /// built are re-gathered; for the insertion-deletion model the shard
     /// additionally re-decodes only the sampler banks those updates touched.
     fn sync(&mut self) -> Vec<ShardStatsMsg> {
+        let done = self.refresh_begin().wait();
+        self.install(done)
+    }
+
+    /// Send the refresh barrier without waiting for it: flush, compute the
+    /// stale partitions, hand every shard its re-gather list, and return a
+    /// [`RefreshBarrier`] owning the reply channels. The caller may drop
+    /// every engine borrow while the shards drain their queues and
+    /// re-decode — the expensive part — then re-borrow for
+    /// [`Engine::refresh_install`]. This is what lets a serving layer's
+    /// background refresher publish continuously without ever blocking
+    /// ingest on decode work.
+    pub fn refresh_begin(&mut self) -> RefreshBarrier {
         self.flush();
         let mut dirty_by_shard: Vec<Vec<u32>> = vec![Vec::new(); self.cfg.shards];
         let mut any_dirty = false;
@@ -186,18 +250,40 @@ impl Engine {
                 .expect("shard worker died");
             replies.push(rx);
         }
-        let mut stats = Vec::with_capacity(self.cfg.shards);
-        for rx in replies {
-            let (views, shard_stats) = rx.recv().expect("shard worker died");
-            for (p, v) in views {
-                self.memos[p as usize] = Some((self.epochs[p as usize], v));
-            }
-            stats.push(shard_stats);
+        RefreshBarrier {
+            replies,
+            epochs: self.epochs.clone(),
+            any_dirty,
+            ingested: self.ingested,
         }
-        if any_dirty || self.cached_view.is_none() {
+    }
+
+    /// Install a completed barrier: update the partition memos (tagged with
+    /// the epochs captured at *send* time — updates routed while the
+    /// barrier was in flight are not covered and leave their partitions
+    /// dirty), reassemble the combined view if anything changed, and wrap
+    /// the counters captured by the barrier (publish-consistent: `ingested`
+    /// is the routed count at send time, which the barrier guarantees is
+    /// fully applied in the returned view).
+    pub fn refresh_install(&mut self, done: RefreshDone) -> (Arc<GlobalView>, EngineStats) {
+        let ingested = done.ingested;
+        let per_shard = self.install(done);
+        let mut stats = self.wrap_stats(per_shard);
+        stats.ingested = ingested;
+        (
+            Arc::clone(self.cached_view.as_ref().expect("view assembled")),
+            stats,
+        )
+    }
+
+    fn install(&mut self, done: RefreshDone) -> Vec<ShardStatsMsg> {
+        for (p, v) in done.views {
+            self.memos[p as usize] = Some((done.epochs[p as usize], v));
+        }
+        if done.any_dirty || self.cached_view.is_none() {
             self.cached_view = Some(Arc::new(self.assemble_view()));
         }
-        stats
+        done.stats
     }
 
     /// Fold the (complete, current) partition memos into one [`GlobalView`]

@@ -63,7 +63,7 @@ mod shard;
 mod view;
 pub mod wal;
 
-pub use engine::{Engine, EngineStats, ShardStats};
+pub use engine::{Engine, EngineStats, RefreshBarrier, RefreshDone, ShardStats};
 pub use view::GlobalView;
 
 use fews_common::rng::{derive_seed, splitmix64};

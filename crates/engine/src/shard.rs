@@ -91,6 +91,21 @@ impl PartitionAlg {
         }
     }
 
+    /// Apply a group of updates routed to this partition.
+    /// Insertion-deletion hands the whole group to the banked batch path
+    /// (one cache-linear sweep per touched sampler bank); insertion-only
+    /// has no batch-shaped work and pushes one at a time.
+    fn push_batch(&mut self, updates: &[Update]) {
+        match self {
+            PartitionAlg::Io(_) => {
+                for &u in updates {
+                    self.push(u);
+                }
+            }
+            PartitionAlg::Id(alg) => alg.push_batch(updates),
+        }
+    }
+
     /// `&mut` because the insertion-deletion path memoizes per-bank decodes
     /// inside the algorithm (only banks touched since the last view are
     /// re-decoded); the reported view itself is a pure value.
@@ -195,13 +210,26 @@ pub(crate) fn run_shard(shard: usize, cfg: EngineConfig, rx: Receiver<ShardMsg>)
     let mut pending_restore: Option<Vec<(u32, DecodedState)>> = None;
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Batch(updates) => {
+            ShardMsg::Batch(mut updates) => {
                 processed += updates.len() as u64;
                 batches += 1;
-                for u in updates {
-                    let p = crate::partition_of(u.edge.a, cfg.partitions);
+                // Group the batch per owned partition, then apply each
+                // group in one `push_batch` call — what lets the
+                // insertion-deletion banks sweep their cells once per
+                // batch instead of once per update. The batch arrives in
+                // channel order, but per-partition order is all that could
+                // matter and a stable sort preserves it.
+                updates.sort_by_key(|u| crate::partition_of(u.edge.a, cfg.partitions));
+                let mut rest: &[Update] = &updates;
+                while let Some(first) = rest.first() {
+                    let p = crate::partition_of(first.edge.a, cfg.partitions);
                     debug_assert_eq!(p % cfg.shards, shard, "misrouted update");
-                    parts[local(p)].1.push(u);
+                    let len = rest
+                        .iter()
+                        .position(|u| crate::partition_of(u.edge.a, cfg.partitions) != p)
+                        .unwrap_or(rest.len());
+                    parts[local(p)].1.push_batch(&rest[..len]);
+                    rest = &rest[len..];
                 }
             }
             ShardMsg::Refresh(dirty, reply) => {

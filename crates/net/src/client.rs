@@ -2,12 +2,14 @@
 
 use crate::fault::{FaultPlan, SendFault};
 use crate::proto::{
-    check_frame_len, ErrorCode, Request, Response, WireNodeInfo, WireSpaceInfo, WireStats, WireView,
+    check_frame_len, ErrorCode, ReadMode, Request, Response, WireNodeInfo, WireSpaceInfo,
+    WireStats, WireView,
 };
 use fews_common::rng::splitmix64;
 use fews_common::{SpaceConfig, SpaceId};
 use fews_core::neighbourhood::Neighbourhood;
 use fews_stream::Update;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -131,6 +133,18 @@ impl ClientOptions {
 /// request frames are encoded in place and response payloads read in place,
 /// so the steady-state request loop performs no per-frame allocations
 /// beyond what the decoded response itself owns.
+///
+/// **Freshness.** Every ingest ack carries the server's watermark for the
+/// batch; the client remembers the highest one it has seen *per space*
+/// (watermarks are space-local sequence numbers — one tenant's counter
+/// says nothing about another's) and, by default, stamps every query with
+/// `ReadMode::AtLeast(watermark)` for the space it addresses — the server
+/// blocks (bounded) until its published snapshot covers the client's own
+/// acked writes. [`Client::set_stale`] opts the connection out (`?stale`):
+/// queries answer immediately from the latest published snapshot, which
+/// may trail the last ack by a publish interval. Dropping or (re)creating
+/// a space forgets its remembered watermark — the fresh space starts a
+/// fresh counter.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
@@ -144,6 +158,11 @@ pub struct Client {
     faults: Option<Arc<FaultPlan>>,
     /// Requests attempted on this connection (drives fault slow-start).
     ops: u64,
+    /// Highest ingest-ack watermark observed per space (absent = nothing
+    /// acked there yet, i.e. watermark 0).
+    watermarks: HashMap<SpaceId, u64>,
+    /// When set, queries read `?stale` instead of waiting for `watermark`.
+    stale: bool,
 }
 
 /// The sleep before retry `attempt`: `backoff` exactly, or — with a jitter
@@ -219,6 +238,8 @@ impl Client {
                             recv_buf: Vec::new(),
                             faults: opts.faults.clone(),
                             ops: 0,
+                            watermarks: HashMap::new(),
+                            stale: false,
                         });
                     }
                     Err(e) => last_err = Some(e),
@@ -252,6 +273,41 @@ impl Client {
     /// Bytes read from the socket so far (frames included).
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received
+    }
+
+    /// The highest ingest-ack watermark this client has observed for its
+    /// current space — what its queries wait for by default, and what a
+    /// fan-out caller passes to [`Client::view_pull`] as `min_watermark`.
+    pub fn watermark(&self) -> u64 {
+        self.watermarks.get(&self.space).copied().unwrap_or(0)
+    }
+
+    /// Override the current space's remembered watermark (e.g. a watermark
+    /// handed over from another connection — read-your-writes is
+    /// transferable between clients of the same space).
+    pub fn set_watermark(&mut self, watermark: u64) {
+        self.watermarks.insert(self.space.clone(), watermark);
+    }
+
+    /// Opt this connection's queries out of read-your-writes (`?stale`):
+    /// answer immediately from the latest published snapshot instead of
+    /// waiting for the client's watermark.
+    pub fn set_stale(&mut self, stale: bool) {
+        self.stale = stale;
+    }
+
+    /// Whether queries currently read `?stale`.
+    pub fn stale(&self) -> bool {
+        self.stale
+    }
+
+    /// The [`ReadMode`] the next query will carry.
+    fn read_mode(&self) -> ReadMode {
+        if self.stale {
+            ReadMode::Stale
+        } else {
+            ReadMode::AtLeast(self.watermark())
+        }
     }
 
     /// Send the frame currently staged in `send_buf` and read one response
@@ -372,18 +428,23 @@ impl Client {
     }
 
     /// Split-phase ingest, ack half: read the response to a previous
-    /// [`Client::ingest_send`]; returns the server's applied count.
+    /// [`Client::ingest_send`]; returns the server's applied count. The
+    /// ack's watermark is remembered — subsequent queries wait for it.
     pub fn ingest_ack(&mut self) -> Result<u64, ClientError> {
         match self.read_staged()? {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            Response::Ingested(count) => Ok(count),
+            Response::Ingested { count, watermark } => {
+                let entry = self.watermarks.entry(self.space.clone()).or_insert(0);
+                *entry = (*entry).max(watermark);
+                Ok(count)
+            }
             other => Err(unexpected("Ingested", &other)),
         }
     }
 
     /// The space's certified output.
     pub fn certified(&mut self) -> Result<Option<Neighbourhood>, ClientError> {
-        match self.expect(&Request::Certified)? {
+        match self.expect(&Request::Certified(self.read_mode()))? {
             Response::Answer(nb) => Ok(nb),
             other => Err(unexpected("Answer", &other)),
         }
@@ -391,7 +452,7 @@ impl Client {
 
     /// Everything provable about vertex `v`.
     pub fn certify(&mut self, v: u32) -> Result<Option<Neighbourhood>, ClientError> {
-        match self.expect(&Request::Certify(v))? {
+        match self.expect(&Request::Certify(v, self.read_mode()))? {
             Response::Answer(nb) => Ok(nb),
             other => Err(unexpected("Answer", &other)),
         }
@@ -399,7 +460,7 @@ impl Client {
 
     /// The `k` vertices with the most collected witnesses.
     pub fn top(&mut self, k: u64) -> Result<Vec<Neighbourhood>, ClientError> {
-        match self.expect(&Request::Top(k))? {
+        match self.expect(&Request::Top(k, self.read_mode()))? {
             Response::Top(list) => Ok(list),
             other => Err(unexpected("Top", &other)),
         }
@@ -407,7 +468,7 @@ impl Client {
 
     /// Statistics for the current space.
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
-        match self.expect(&Request::Stats)? {
+        match self.expect(&Request::Stats(self.read_mode()))? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected("Stats", &other)),
         }
@@ -437,18 +498,27 @@ impl Client {
         }
     }
 
-    /// Create space `name` with the given model config.
+    /// Create space `name` with the given model config. Any watermark
+    /// remembered under that name belonged to a previous incarnation and
+    /// is forgotten — the new space counts from zero.
     pub fn create_space(&mut self, name: &SpaceId, spec: SpaceConfig) -> Result<(), ClientError> {
         match self.expect_in(name, &Request::CreateSpace(spec))? {
-            Response::SpaceOk => Ok(()),
+            Response::SpaceOk => {
+                self.watermarks.remove(name);
+                Ok(())
+            }
             other => Err(unexpected("SpaceOk", &other)),
         }
     }
 
-    /// Drop space `name` and everything it holds.
+    /// Drop space `name` and everything it holds; its remembered watermark
+    /// goes with it.
     pub fn drop_space(&mut self, name: &SpaceId) -> Result<(), ClientError> {
         match self.expect_in(name, &Request::DropSpace)? {
-            Response::SpaceOk => Ok(()),
+            Response::SpaceOk => {
+                self.watermarks.remove(name);
+                Ok(())
+            }
             other => Err(unexpected("SpaceOk", &other)),
         }
     }
@@ -495,9 +565,15 @@ impl Client {
         }
     }
 
-    /// Pull the space's query view if it changed past epoch `since`.
-    pub fn view_pull(&mut self, since: u64) -> Result<WireView, ClientError> {
-        match self.expect(&Request::ViewPull(since))? {
+    /// Pull the space's query view if it changed past epoch `since`. The
+    /// server first waits for its published snapshot to cover
+    /// `min_watermark`, so a router pulling after acked ingest always
+    /// merges a view that includes everything it routed.
+    pub fn view_pull(&mut self, since: u64, min_watermark: u64) -> Result<WireView, ClientError> {
+        match self.expect(&Request::ViewPull {
+            since,
+            min_watermark,
+        })? {
             Response::View(view) => Ok(view),
             other => Err(unexpected("View", &other)),
         }
@@ -538,7 +614,7 @@ impl Client {
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
     let kind = match got {
-        Response::Ingested(_) => "Ingested",
+        Response::Ingested { .. } => "Ingested",
         Response::Answer(_) => "Answer",
         Response::Top(_) => "Top",
         Response::Stats(_) => "Stats",

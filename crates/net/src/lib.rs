@@ -66,6 +66,7 @@ pub mod server;
 pub use client::{Client, ClientError, ClientOptions};
 pub use fault::{FaultCounts, FaultPlan, FaultProfile, SendFault};
 pub use proto::{
-    ErrorCode, Request, Response, WireNodeInfo, WireShardStats, WireSpaceInfo, WireStats, WireView,
+    ErrorCode, ReadMode, Request, Response, WireNodeInfo, WireShardStats, WireSpaceInfo, WireStats,
+    WireView,
 };
 pub use server::{Server, ServerOptions};

@@ -50,6 +50,21 @@ pub const VERSION: u8 = 3;
 /// cannot make the server allocate without bound.
 pub const MAX_FRAME: usize = 64 << 20;
 
+/// How fresh the snapshot answering a query must be. Snapshots are
+/// published by a background refresher, so "latest published" can trail the
+/// last acked ingest — the read mode makes that staleness an explicit,
+/// per-request contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Answer immediately from the latest published snapshot (`?stale`):
+    /// minimum latency, bounded staleness.
+    Stale,
+    /// Wait until the published snapshot covers ingest watermark `w` before
+    /// answering — read-your-writes when `w` is the watermark carried by the
+    /// client's last ingest ack. `AtLeast(0)` is satisfied by any snapshot.
+    AtLeast(u64),
+}
+
 /// A request frame, client → server. The space it addresses travels in the
 /// frame's space header, alongside — not inside — these payloads; decoding
 /// yields `(SpaceId, Request)`.
@@ -58,13 +73,13 @@ pub enum Request {
     /// Apply a batch of turnstile updates to the addressed space.
     IngestBatch(Vec<Update>),
     /// The space's certified output (global view).
-    Certified,
+    Certified(ReadMode),
     /// Everything provable about one vertex.
-    Certify(u32),
+    Certify(u32, ReadMode),
     /// The `k` vertices with the most collected witnesses.
-    Top(u64),
+    Top(u64, ReadMode),
     /// Ingest counters and per-shard space usage for the addressed space.
-    Stats,
+    Stats(ReadMode),
     /// Serialize the space's engine into a checkpoint byte string.
     Checkpoint,
     /// Load a checkpoint into the addressed space's engine.
@@ -89,10 +104,17 @@ pub enum Request {
     /// partition ids). A worker answers [`Request::ViewPull`] with only the
     /// owned partitions; an unassigned worker serves all of them.
     SliceAssign(Vec<u32>),
-    /// Fetch the space's query view if it changed since epoch watermark
+    /// Fetch the space's query view if it changed since publish epoch
     /// `since`; answered with [`Response::View`]. A quiesced worker answers
-    /// `unchanged` in O(1).
-    ViewPull(u64),
+    /// `unchanged` in O(1). The view must cover ingest watermark
+    /// `min_watermark` — the puller passes the highest watermark it has seen
+    /// acked, so a router's merged view covers everything it routed.
+    ViewPull {
+        /// Publish epoch of the puller's cached copy (0 = nothing cached).
+        since: u64,
+        /// Lowest ingest watermark the answering snapshot may cover.
+        min_watermark: u64,
+    },
     /// Serialize the named partitions into a sparse slice-checkpoint
     /// container (answered with [`Response::Checkpoint`] carrying
     /// `FEWWSLC1` bytes).
@@ -283,6 +305,10 @@ pub enum ErrorCode {
     /// A cluster node needed to answer this request is down and could not be
     /// recovered within the router's bounded retry budget.
     NodeUnavailable = 13,
+    /// A watermarked read waited longer than the server's bound for the
+    /// published snapshot to reach the requested watermark. The write is
+    /// durable; retry the read (or read `?stale`).
+    WatermarkTimeout = 14,
 }
 
 impl ErrorCode {
@@ -302,6 +328,7 @@ impl ErrorCode {
             11 => ErrorCode::ModelMismatch,
             12 => ErrorCode::Durability,
             13 => ErrorCode::NodeUnavailable,
+            14 => ErrorCode::WatermarkTimeout,
             _ => return None,
         })
     }
@@ -310,8 +337,15 @@ impl ErrorCode {
 /// A response frame, server → client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// Batch applied; echoes the update count.
-    Ingested(u64),
+    /// Batch accepted (enqueued and, on a durable server, fsynced); echoes
+    /// the update count and carries the space's ingest watermark after this
+    /// batch — pass it back as [`ReadMode::AtLeast`] for read-your-writes.
+    Ingested {
+        /// Updates accepted from this batch.
+        count: u64,
+        /// The space's ingest watermark covering this batch.
+        watermark: u64,
+    },
     /// Answer to [`Request::Certified`] / [`Request::Certify`].
     Answer(Option<Neighbourhood>),
     /// Answer to [`Request::Top`].
@@ -450,6 +484,32 @@ fn put_space(buf: &mut Vec<u8>, space: &SpaceId) {
     }
 }
 
+/// Append a query read mode: `0x00` = stale, `0x01` + watermark varint =
+/// wait-for-watermark. The default-client steady state (`AtLeast(0)` before
+/// any ingest) costs two bytes.
+fn put_read_mode(buf: &mut Vec<u8>, mode: &ReadMode) {
+    match mode {
+        ReadMode::Stale => buf.push(0),
+        ReadMode::AtLeast(w) => {
+            buf.push(1);
+            put_uvarint(buf, *w);
+        }
+    }
+}
+
+/// Parse a query read mode at `pos`.
+fn get_read_mode(body: &[u8], pos: &mut usize) -> Result<ReadMode, FrameError> {
+    let kind = *body.get(*pos).ok_or(FrameError::Malformed("read mode"))?;
+    *pos += 1;
+    match kind {
+        0 => Ok(ReadMode::Stale),
+        1 => Ok(ReadMode::AtLeast(
+            get_uvarint(body, pos).ok_or(FrameError::Malformed("read-mode watermark"))?,
+        )),
+        _ => Err(FrameError::Malformed("read mode")),
+    }
+}
+
 /// Parse the request space header at `pos`. Zero-length = default space;
 /// anything else must be a valid [`SpaceId`] name.
 fn get_space(body: &[u8], pos: &mut usize) -> Result<SpaceId, FrameError> {
@@ -564,16 +624,24 @@ impl Request {
         match self {
             Request::IngestBatch(updates) => encode_ingest_batch_into(buf, space, updates),
             Request::Restore(bytes) => encode_restore_into(buf, space, bytes),
-            Request::Certified => frame_into(buf, Self::TAG_CERTIFIED, |b| put_space(b, space)),
-            Request::Certify(v) => frame_into(buf, Self::TAG_CERTIFY, |body| {
+            Request::Certified(mode) => frame_into(buf, Self::TAG_CERTIFIED, |body| {
+                put_space(body, space);
+                put_read_mode(body, mode);
+            }),
+            Request::Certify(v, mode) => frame_into(buf, Self::TAG_CERTIFY, |body| {
                 put_space(body, space);
                 put_uvarint(body, *v as u64);
+                put_read_mode(body, mode);
             }),
-            Request::Top(k) => frame_into(buf, Self::TAG_TOP, |body| {
+            Request::Top(k, mode) => frame_into(buf, Self::TAG_TOP, |body| {
                 put_space(body, space);
                 put_uvarint(body, *k);
+                put_read_mode(body, mode);
             }),
-            Request::Stats => frame_into(buf, Self::TAG_STATS, |b| put_space(b, space)),
+            Request::Stats(mode) => frame_into(buf, Self::TAG_STATS, |body| {
+                put_space(body, space);
+                put_read_mode(body, mode);
+            }),
             Request::Checkpoint => frame_into(buf, Self::TAG_CHECKPOINT, |b| put_space(b, space)),
             Request::CreateSpace(spec) => frame_into(buf, Self::TAG_CREATE_SPACE, |body| {
                 put_space(body, space);
@@ -588,9 +656,13 @@ impl Request {
                 put_space(body, space);
                 put_partitions(body, parts);
             }),
-            Request::ViewPull(since) => frame_into(buf, Self::TAG_VIEW_PULL, |body| {
+            Request::ViewPull {
+                since,
+                min_watermark,
+            } => frame_into(buf, Self::TAG_VIEW_PULL, |body| {
                 put_space(body, space);
                 put_uvarint(body, *since);
+                put_uvarint(body, *min_watermark);
             }),
             Request::SliceCheckpoint(parts) => {
                 frame_into(buf, Self::TAG_SLICE_CHECKPOINT, |body| {
@@ -646,16 +718,18 @@ impl Request {
                 }
                 Request::IngestBatch(updates)
             }
-            Self::TAG_CERTIFIED => Request::Certified,
-            Self::TAG_CERTIFY => Request::Certify(
-                get_uvarint(body, &mut pos)
+            Self::TAG_CERTIFIED => Request::Certified(get_read_mode(body, &mut pos)?),
+            Self::TAG_CERTIFY => {
+                let v = get_uvarint(body, &mut pos)
                     .and_then(|v| u32::try_from(v).ok())
-                    .ok_or(FrameError::Malformed("certify vertex"))?,
-            ),
-            Self::TAG_TOP => {
-                Request::Top(get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("top k"))?)
+                    .ok_or(FrameError::Malformed("certify vertex"))?;
+                Request::Certify(v, get_read_mode(body, &mut pos)?)
             }
-            Self::TAG_STATS => Request::Stats,
+            Self::TAG_TOP => {
+                let k = get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("top k"))?;
+                Request::Top(k, get_read_mode(body, &mut pos)?)
+            }
+            Self::TAG_STATS => Request::Stats(get_read_mode(body, &mut pos)?),
             Self::TAG_CHECKPOINT => Request::Checkpoint,
             Self::TAG_RESTORE => {
                 // Everything after the space header is the container.
@@ -672,9 +746,12 @@ impl Request {
             Self::TAG_PING => Request::Ping,
             Self::TAG_NODE_HELLO => Request::NodeHello,
             Self::TAG_SLICE_ASSIGN => Request::SliceAssign(get_partitions(body, &mut pos)?),
-            Self::TAG_VIEW_PULL => Request::ViewPull(
-                get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("view-pull since"))?,
-            ),
+            Self::TAG_VIEW_PULL => Request::ViewPull {
+                since: get_uvarint(body, &mut pos)
+                    .ok_or(FrameError::Malformed("view-pull since"))?,
+                min_watermark: get_uvarint(body, &mut pos)
+                    .ok_or(FrameError::Malformed("view-pull watermark"))?,
+            },
             Self::TAG_SLICE_CHECKPOINT => Request::SliceCheckpoint(get_partitions(body, &mut pos)?),
             Self::TAG_SLICE_RESTORE => {
                 // Everything after the space header is the slice container.
@@ -863,9 +940,12 @@ impl Response {
             Response::Checkpoint(bytes) => frame_into(buf, Self::TAG_CHECKPOINT, |body| {
                 body.extend_from_slice(bytes);
             }),
-            Response::Ingested(count) => frame_into(buf, Self::TAG_INGESTED, |body| {
-                put_uvarint(body, *count);
-            }),
+            Response::Ingested { count, watermark } => {
+                frame_into(buf, Self::TAG_INGESTED, |body| {
+                    put_uvarint(body, *count);
+                    put_uvarint(body, *watermark);
+                })
+            }
             Response::Answer(nb) => frame_into(buf, Self::TAG_ANSWER, |body| {
                 put_option_neighbourhood(body, nb);
             }),
@@ -919,9 +999,12 @@ impl Response {
         let (tag, body) = split_payload(payload)?;
         let mut pos = 0usize;
         let resp = match tag {
-            Self::TAG_INGESTED => Response::Ingested(
-                get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("ingested count"))?,
-            ),
+            Self::TAG_INGESTED => Response::Ingested {
+                count: get_uvarint(body, &mut pos)
+                    .ok_or(FrameError::Malformed("ingested count"))?,
+                watermark: get_uvarint(body, &mut pos)
+                    .ok_or(FrameError::Malformed("ingested watermark"))?,
+            },
             Self::TAG_ANSWER => Response::Answer(
                 get_option_neighbourhood(body, &mut pos)
                     .ok_or(FrameError::Malformed("answer neighbourhood"))?,
@@ -1102,10 +1185,14 @@ mod tests {
             Update::delete(Edge::new(0, u64::MAX / 3)),
         ]));
         roundtrip_request(Request::IngestBatch(Vec::new()));
-        roundtrip_request(Request::Certified);
-        roundtrip_request(Request::Certify(u32::MAX));
-        roundtrip_request(Request::Top(17));
-        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Certified(ReadMode::Stale));
+        roundtrip_request(Request::Certified(ReadMode::AtLeast(0)));
+        roundtrip_request(Request::Certified(ReadMode::AtLeast(u64::MAX)));
+        roundtrip_request(Request::Certify(u32::MAX, ReadMode::AtLeast(7)));
+        roundtrip_request(Request::Certify(0, ReadMode::Stale));
+        roundtrip_request(Request::Top(17, ReadMode::AtLeast(900)));
+        roundtrip_request(Request::Stats(ReadMode::Stale));
+        roundtrip_request(Request::Stats(ReadMode::AtLeast(3)));
         roundtrip_request(Request::Checkpoint);
         roundtrip_request(Request::Restore(vec![1, 2, 3, 255]));
         roundtrip_request(Request::CreateSpace(
@@ -1118,7 +1205,14 @@ mod tests {
         roundtrip_request(Request::NodeHello);
         roundtrip_request(Request::SliceAssign(vec![0, 3, 9]));
         roundtrip_request(Request::SliceAssign(Vec::new()));
-        roundtrip_request(Request::ViewPull(u64::MAX));
+        roundtrip_request(Request::ViewPull {
+            since: u64::MAX,
+            min_watermark: 0,
+        });
+        roundtrip_request(Request::ViewPull {
+            since: 3,
+            min_watermark: u64::MAX / 7,
+        });
         roundtrip_request(Request::SliceCheckpoint(vec![1, 2]));
         roundtrip_request(Request::SliceRestore(b"FEWWSLC1junk".to_vec()));
         roundtrip_request(Request::JoinWorker("10.0.0.7:7411".into()));
@@ -1158,21 +1252,32 @@ mod tests {
     #[test]
     fn default_space_header_is_one_byte() {
         // Steady-state single-tenant overhead vs protocol v1 is exactly one
-        // 0x00 byte after the tag.
-        let bytes = Request::Certified.encode(&SpaceId::default_space());
-        assert_eq!(&bytes[4..], &[VERSION, 0x02, 0x00]);
+        // 0x00 space byte after the tag, plus the query read mode (a stale
+        // read costs one byte, a watermarked read two).
+        let bytes = Request::Certified(ReadMode::Stale).encode(&SpaceId::default_space());
+        assert_eq!(&bytes[4..], &[VERSION, 0x02, 0x00, 0x00]);
+        let bytes = Request::Certified(ReadMode::AtLeast(5)).encode(&SpaceId::default_space());
+        assert_eq!(&bytes[4..], &[VERSION, 0x02, 0x00, 0x01, 0x05]);
         // And the explicit name decodes to the same space.
         let mut named = vec![VERSION, 0x02];
         put_uvarint(&mut named, 7);
         named.extend_from_slice(b"default");
+        named.push(0x00); // stale read mode
         let (space, req) = Request::decode(&named).unwrap();
         assert!(space.is_default());
-        assert_eq!(req, Request::Certified);
+        assert_eq!(req, Request::Certified(ReadMode::Stale));
     }
 
     #[test]
     fn responses_roundtrip() {
-        roundtrip_response(Response::Ingested(12));
+        roundtrip_response(Response::Ingested {
+            count: 12,
+            watermark: 0,
+        });
+        roundtrip_response(Response::Ingested {
+            count: 0,
+            watermark: u64::MAX,
+        });
         roundtrip_response(Response::Answer(None));
         roundtrip_response(Response::Answer(Some(Neighbourhood::new(7, vec![9, 2, 2]))));
         roundtrip_response(Response::Top(vec![
@@ -1299,14 +1404,15 @@ mod tests {
 
     #[test]
     fn version_and_tag_are_policed() {
-        let mut bytes = Request::Certified.encode(&SpaceId::default_space());
+        let certified = Request::Certified(ReadMode::Stale);
+        let mut bytes = certified.encode(&SpaceId::default_space());
         bytes[4] = 9; // version byte
         assert_eq!(
             Request::decode(&bytes[4..]),
             Err(FrameError::UnsupportedVersion(9))
         );
         // The shipped v1 version byte gets the same clean rejection.
-        let mut bytes = Request::Certified.encode(&SpaceId::default_space());
+        let mut bytes = certified.encode(&SpaceId::default_space());
         bytes[4] = 1;
         assert_eq!(
             Request::decode(&bytes[4..]),
@@ -1314,7 +1420,7 @@ mod tests {
         );
         // An unknown tag reports UnknownTag even though the space header
         // never got parsed.
-        let mut bytes = Request::Certified.encode(&SpaceId::default_space());
+        let mut bytes = certified.encode(&SpaceId::default_space());
         bytes[5] = 0x60; // tag byte
         assert_eq!(
             Request::decode(&bytes[4..]),
@@ -1359,8 +1465,22 @@ mod tests {
         ));
         // Trailing bytes after a complete request.
         assert!(matches!(
-            Request::decode(&[VERSION, 0x02, 0x00, 0x00]),
+            Request::decode(&[VERSION, 0x02, 0x00, 0x00, 0x00]),
             Err(FrameError::Malformed("trailing bytes"))
+        ));
+        // A query with no read mode byte is malformed, as is an unknown mode.
+        assert!(matches!(
+            Request::decode(&[VERSION, 0x02, 0x00]),
+            Err(FrameError::Malformed("read mode"))
+        ));
+        assert!(matches!(
+            Request::decode(&[VERSION, 0x02, 0x00, 0x09]),
+            Err(FrameError::Malformed("read mode"))
+        ));
+        // A watermarked read mode with a truncated watermark varint.
+        assert!(matches!(
+            Request::decode(&[VERSION, 0x02, 0x00, 0x01, 0x80]),
+            Err(FrameError::Malformed("read-mode watermark"))
         ));
         // Ingest count far beyond the body size must not allocate/overrun.
         let mut payload = vec![VERSION, 0x01, 0x00];

@@ -11,14 +11,16 @@
 //! ([`SpaceId::seed_for`]), so two spaces never share randomness.
 //!
 //! **Query serving never touches an engine.** State-changing requests
-//! (ingest, restore) hold the space's engine mutex, apply, then *publish* a
-//! fresh `Arc<GlobalView>` + statistics snapshot **before the response
-//! frame is sent** — the engine's epoch-cached incremental `refresh` makes
-//! that publish cost O(changes in the batch), not O(total state). Query
-//! requests (`certified` / `certify` / `top` / `stats`) clone the space's
-//! published `Arc` (a pointer copy behind a micro-mutex, the std-only
-//! stand-in for an atomic `Arc` swap) and answer from it: they never take
-//! the engine lock, never block ingest, and never block each other.
+//! (ingest, restore) hold the space's engine mutex just long enough to
+//! log-append and apply; a dedicated *refresher* thread publishes a fresh
+//! `Arc<GlobalView>` + statistics snapshot continuously in the background —
+//! the engine's epoch-cached incremental `refresh` makes each publish cost
+//! O(changes since the last publish), not O(total state), and the ingest
+//! ack path never pays for it. Query requests (`certified` / `certify` /
+//! `top` / `stats`) clone the space's published `Arc` (a pointer copy
+//! behind a micro-mutex, the std-only stand-in for an atomic `Arc` swap)
+//! and answer from it: they never take the engine lock, never block
+//! ingest, and never block each other.
 //!
 //! **Durability (`--data-dir`).** With [`ServerOptions::data_dir`] set,
 //! every space keeps a write-ahead log ([`fews_engine::wal`]): an ingest
@@ -39,14 +41,24 @@
 //! writes a final compacted checkpoint per space; [`Server::crash`] skips
 //! that finalization to simulate a hard kill in tests.
 //!
-//! **Freshness contract.** Every state change acknowledged to *any* client
-//! is visible to every query answered afterwards, because the snapshot is
-//! published before the acknowledgement. In particular, once ingest has
-//! quiesced, every query answer is byte-identical to the single-threaded
-//! reference (`tests/tests/net_stress.rs`). Mid-flight queries see the
-//! latest published prefix of the stream — a consistent point-in-time view,
-//! never a torn one. (`stats` reports counters as of the latest publish;
-//! its uptime field is the publish-time engine uptime.)
+//! **Freshness contract (bounded staleness + watermarks).** An ingest ack
+//! carries a *watermark*: the space's ingest sequence number after the
+//! batch (its WAL sequence number under durability, so watermarks stay
+//! meaningful across a restart). Queries carry a
+//! [`crate::proto::ReadMode`]: the default `AtLeast(watermark)` blocks
+//! until the refresher has published a snapshot covering that watermark —
+//! read-your-writes for everything the client has been acked, with
+//! [`ErrorCode::WatermarkTimeout`] if the refresher cannot catch up in
+//! time — while `Stale` answers immediately from the latest published
+//! snapshot, which may trail ingest by a publish interval. Every published
+//! snapshot is a consistent point-in-time prefix of the stream, never a
+//! torn one: the watermark is captured under the same lock as the apply,
+//! and the refresher's barrier covers every apply at or below it. Once
+//! ingest has quiesced and the refresher has caught up, every query answer
+//! is byte-identical to the single-threaded reference
+//! (`tests/tests/net_stress.rs`, `tests/tests/freshness.rs`). (`stats`
+//! counters are publish-consistent; its uptime field reports real elapsed
+//! time since the space started serving.)
 //!
 //! Ingest requests are validated *before* any update reaches the engine
 //! (vertex ranges as [`ErrorCode::BadUpdate`], deletions into an
@@ -59,8 +71,8 @@
 //! connection are unaffected.
 
 use crate::proto::{
-    check_frame_len, ErrorCode, FrameError, Request, Response, WireNodeInfo, WireShardStats,
-    WireSpaceInfo, WireStats, WireView,
+    check_frame_len, ErrorCode, FrameError, ReadMode, Request, Response, WireNodeInfo,
+    WireShardStats, WireSpaceInfo, WireStats, WireView,
 };
 use fews_common::{SpaceConfig, SpaceId};
 use fews_engine::checkpoint::{unwrap_envelope, wrap_envelope, Header};
@@ -73,7 +85,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a connection worker blocks in `read` before re-checking the
 /// shutdown flag. Bounds how late a worker can notice server shutdown.
@@ -84,6 +96,27 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 /// `write_all` forever — and with it the acceptor's shutdown join.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Upper bound on a watermarked query's wait for the refresher to catch
+/// up. Normally the refresher publishes within a millisecond of ingest, so
+/// this only fires if a client presents a watermark the server never acked
+/// (or a publish is pathologically stalled) — the reply is a typed
+/// [`ErrorCode::WatermarkTimeout`], never a hang.
+const WATERMARK_WAIT: Duration = Duration::from_secs(10);
+
+/// How long the refresher sleeps between registry sweeps when nobody has
+/// signalled new ingest. A safety net only: ingest signals the refresher
+/// directly, so the steady-state publish lag is the sweep cost, not this.
+const REFRESH_IDLE: Duration = Duration::from_millis(50);
+
+/// Sweeps cheaper than this don't trigger pacing — insert-only views and
+/// near-idle spaces republish as fast as the doorbell rings.
+const REFRESH_PACE_FLOOR: Duration = Duration::from_micros(500);
+
+/// Upper bound on the pacing sleep after an expensive sweep. Together with
+/// [`REFRESH_PACE_FLOOR`] this bounds watermarked-read latency at roughly
+/// `sweep + REFRESH_PACE_CAP` even when view rebuilds are slow.
+const REFRESH_PACE_CAP: Duration = Duration::from_millis(100);
+
 /// Serving options beyond the engine config and bind address.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -92,6 +125,11 @@ pub struct ServerOptions {
     pub data_dir: Option<PathBuf>,
     /// Compact a space's write-ahead log once it reaches this many bytes.
     pub compact_bytes: u64,
+    /// Artificial delay the refresher inserts before every publish sweep.
+    /// `None` (the default) publishes as fast as ingest signals. Tests set
+    /// this to simulate a slow refresher and prove watermarked reads still
+    /// never observe a torn or early view.
+    pub refresh_debounce: Option<Duration>,
 }
 
 impl Default for ServerOptions {
@@ -99,6 +137,7 @@ impl Default for ServerOptions {
         ServerOptions {
             data_dir: None,
             compact_bytes: 8 << 20,
+            refresh_debounce: None,
         }
     }
 }
@@ -108,11 +147,14 @@ impl Default for ServerOptions {
 struct Published {
     view: Arc<GlobalView>,
     stats: EngineStats,
-    /// Monotonic publish counter — the *epoch* a cluster router stores as
-    /// this node's watermark. Any state change bumps it (it counts
-    /// publishes, not updates), so `version == watermark` proves the view
-    /// the router already holds is still exact.
+    /// Monotonic publish counter — the *epoch* a cluster router stores
+    /// with a pulled view. It counts publishes, not updates, so
+    /// `version == since` proves the view the router already holds is
+    /// still exact.
     version: u64,
+    /// The space's ingest sequence number this snapshot covers: every
+    /// batch acked with a watermark ≤ this value is visible in `view`.
+    watermark: u64,
 }
 
 impl Published {
@@ -130,6 +172,12 @@ struct SpaceState {
     engine: Engine,
     /// Sequence number of this space's most recent WAL record (0 = none).
     last_seq: u64,
+    /// The watermark acked to ingest clients: bumped under this lock with
+    /// every applied batch. Under durability it rides the WAL sequence
+    /// number (monotonic across restarts — recovery re-seeds it from the
+    /// replay watermark, so pre-restart watermarks stay satisfiable);
+    /// in memory-only mode it is a plain batch counter.
+    ingest_seq: u64,
 }
 
 /// A batch's durability target: it may be acknowledged once the log of
@@ -338,6 +386,11 @@ struct SpaceHandle {
     /// clone/swap only — it is never held across engine or network work, so
     /// query connections scale with cores instead of serializing.
     published: Mutex<Arc<Published>>,
+    /// Signalled on every publish; watermarked queries wait here until the
+    /// published watermark covers their request.
+    publish_cv: Condvar,
+    /// When this space started serving — the live uptime `stats` reports.
+    started: Instant,
     /// Bytes this space has appended to the shared WAL since its last
     /// checkpoint — the lock-free stats mirror of its share of the log.
     wal_bytes: AtomicU64,
@@ -356,6 +409,7 @@ impl SpaceHandle {
         mut state: SpaceState,
     ) -> Arc<SpaceHandle> {
         let (view, stats) = state.engine.refresh();
+        let watermark = state.ingest_seq;
         Arc::new(SpaceHandle {
             space,
             spec,
@@ -366,28 +420,71 @@ impl SpaceHandle {
                 view,
                 stats,
                 version: 1,
+                watermark,
             })),
+            publish_cv: Condvar::new(),
+            started: Instant::now(),
             wal_bytes: AtomicU64::new(0),
             slice: Mutex::new(None),
         })
     }
 
-    /// Swap in a fresh snapshot from the engine (caller holds the state
-    /// lock, so publishes are ordered consistently with state changes).
-    fn publish(&self, engine: &mut Engine) {
-        let (view, stats) = engine.refresh();
+    /// Swap in a fresh snapshot from the engine and wake watermark waiters
+    /// (caller holds the state lock, so the watermark captured here covers
+    /// exactly the applies ordered before it).
+    fn publish_state(&self, state: &mut SpaceState) {
+        let watermark = state.ingest_seq;
+        let (view, stats) = state.engine.refresh();
+        self.publish(view, stats, watermark);
+    }
+
+    /// Install `(view, stats)` as the published snapshot at `watermark` and
+    /// wake watermark waiters. The published watermark never regresses: a
+    /// barrier that raced an inline publish (restore) installs its view but
+    /// keeps the higher coverage claim, so `wait_published` stays monotone.
+    fn publish(&self, view: Arc<GlobalView>, stats: EngineStats, watermark: u64) {
         let mut slot = self.published.lock().expect("published slot");
         let version = slot.version + 1;
+        let watermark = watermark.max(slot.watermark);
         *slot = Arc::new(Published {
             view,
             stats,
             version,
+            watermark,
         });
+        drop(slot);
+        self.publish_cv.notify_all();
     }
 
     /// The latest snapshot — the whole query-path synchronization cost.
     fn snapshot(&self) -> Arc<Published> {
         Arc::clone(&self.published.lock().expect("published slot"))
+    }
+
+    /// The watermark the latest snapshot covers.
+    fn published_watermark(&self) -> u64 {
+        self.published.lock().expect("published slot").watermark
+    }
+
+    /// Block until a published snapshot covers `want` (read-your-writes
+    /// for a client holding that ack watermark), or `Err` after `timeout`.
+    fn wait_published(&self, want: u64, timeout: Duration) -> Result<Arc<Published>, ()> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.published.lock().expect("published slot");
+        loop {
+            if slot.watermark >= want {
+                return Ok(Arc::clone(&slot));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(());
+            }
+            let (s, _) = self
+                .publish_cv
+                .wait_timeout(slot, deadline - now)
+                .expect("published slot");
+            slot = s;
+        }
     }
 
     /// Durably checkpoint this space at its current applied watermark. Part
@@ -432,6 +529,36 @@ fn compact_spaces(wal: &Wal, sync: &WalSync, spaces: &SpaceRegistry) -> std::io:
 /// The server's space roster, keyed by name.
 type SpaceRegistry = HashMap<SpaceId, Arc<SpaceHandle>>;
 
+/// Ingest-to-refresher doorbell. Ingest workers ring it (a counter bump +
+/// notify) after applying a batch; the refresher sleeps on it between
+/// sweeps, so publish lag is one condvar wakeup, not a poll interval.
+#[derive(Default)]
+struct RefreshSignal {
+    rung: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl RefreshSignal {
+    fn ring(&self) {
+        *self.rung.lock().expect("refresh signal") += 1;
+        self.cv.notify_all();
+    }
+
+    /// Wait until the bell has been rung past `seen` (or the idle timeout
+    /// elapses, as a safety net) and return the new count.
+    fn wait(&self, seen: u64) -> u64 {
+        let mut rung = self.rung.lock().expect("refresh signal");
+        if *rung == seen {
+            let (r, _) = self
+                .cv
+                .wait_timeout(rung, REFRESH_IDLE)
+                .expect("refresh signal");
+            rung = r;
+        }
+        *rung
+    }
+}
+
 struct Shared {
     spaces: RwLock<SpaceRegistry>,
     /// The default space's engine config — also the template (seed, runtime
@@ -449,6 +576,10 @@ struct Shared {
     /// ingest workers from piling up behind one.
     compact_gate: Mutex<()>,
     compact_bytes: u64,
+    /// Doorbell from ingest workers to the refresher thread.
+    refresh: RefreshSignal,
+    /// Test-only publish delay ([`ServerOptions::refresh_debounce`]).
+    refresh_debounce: Option<Duration>,
     shutdown: AtomicBool,
     /// Set by [`Server::crash`]: skip graceful finalization on join.
     crash: AtomicBool,
@@ -466,6 +597,7 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
     recovery_log: Vec<String>,
     finalized: bool,
 }
@@ -503,6 +635,8 @@ impl Server {
             sync: WalSync::default(),
             compact_gate: Mutex::new(()),
             compact_bytes: opts.compact_bytes.max(1),
+            refresh: RefreshSignal::default(),
+            refresh_debounce: opts.refresh_debounce,
             shutdown: AtomicBool::new(false),
             crash: AtomicBool::new(false),
         });
@@ -513,10 +647,18 @@ impl Server {
                 .spawn(move || run_acceptor(listener, shared))
                 .expect("spawn acceptor")
         };
+        let refresher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fews-net-refresher".into())
+                .spawn(move || run_refresher(shared))
+                .expect("spawn refresher")
+        };
         Ok(Server {
             addr,
             shared,
             acceptor: Some(acceptor),
+            refresher: Some(refresher),
             recovery_log,
             finalized: false,
         })
@@ -542,8 +684,10 @@ impl Server {
     /// [`Request::Shutdown`], minus the response frame).
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept.
+        // Wake the acceptor out of its blocking accept, and the refresher
+        // out of its doorbell wait.
         let _ = TcpStream::connect(self.addr);
+        self.shared.refresh.ring();
     }
 
     /// Shut down *without* graceful finalization — no final checkpoint, the
@@ -564,6 +708,11 @@ impl Server {
 
     fn join_inner(&mut self) -> u64 {
         if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.refresh.ring();
+        if let Some(handle) = self.refresher.take() {
             let _ = handle.join();
         }
         let spaces: Vec<Arc<SpaceHandle>> = {
@@ -642,6 +791,10 @@ fn restore_space(
         SpaceState {
             engine,
             last_seq: applied_seq,
+            // Re-seed the ack watermark from the replay watermark: every
+            // batch acked before the restart carried a WAL sequence ≤ this,
+            // so surviving clients' watermarks stay satisfiable.
+            ingest_seq: applied_seq,
         },
         restored,
     ))
@@ -662,6 +815,7 @@ fn build_spaces(
         let state = SpaceState {
             engine: Engine::start(base),
             last_seq: 0,
+            ingest_seq: 0,
         };
         spaces.insert(
             default.clone(),
@@ -737,6 +891,7 @@ fn build_spaces(
         replayed[idx].1 += updates.len();
         state.engine.ingest(updates.clone());
         state.last_seq = *seq;
+        state.ingest_seq = *seq;
     }
     for (idx, (space, _, _, _, _, watermark)) in restored.iter().enumerate() {
         let (batches, updates) = replayed[idx];
@@ -800,6 +955,64 @@ fn run_acceptor(listener: TcpListener, shared: Arc<Shared>) {
     }
     for worker in workers {
         let _ = worker.join();
+    }
+}
+
+/// The background snapshot refresher: sleep on the ingest doorbell, then
+/// sweep the registry and publish every space whose applied state has
+/// moved past its published watermark. One thread serves every space — a
+/// sweep is O(spaces) lock probes plus O(changes) refresh work, and the
+/// doorbell keeps the steady-state publish lag at one condvar wakeup.
+fn run_refresher(shared: Arc<Shared>) {
+    let mut seen = 0u64;
+    loop {
+        seen = shared.refresh.wait(seen);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(delay) = shared.refresh_debounce {
+            std::thread::sleep(delay);
+        }
+        let pass = Instant::now();
+        let handles: Vec<Arc<SpaceHandle>> = {
+            let registry = shared.spaces.read().expect("space registry");
+            registry.values().cloned().collect()
+        };
+        for handle in handles {
+            // Cheap probe first: skip the state lock entirely when the
+            // published snapshot already covers everything applied.
+            let published = handle.published_watermark();
+            let (barrier, watermark) = {
+                let mut state = handle.state.lock().expect("space state");
+                if state.ingest_seq <= published {
+                    continue;
+                }
+                (state.engine.refresh_begin(), state.ingest_seq)
+            };
+            // The expensive part — waiting for every shard to decode and
+            // answer the barrier — happens with the state lock RELEASED, so
+            // ingest acks keep flowing while the snapshot is being built.
+            // Updates applied meanwhile may even make it into the snapshot
+            // (the barrier drains whatever each shard has queued), which only
+            // widens coverage: `watermark` stays a valid lower bound.
+            let done = barrier.wait();
+            let (view, stats) = {
+                let mut state = handle.state.lock().expect("space state");
+                state.engine.refresh_install(done)
+            };
+            handle.publish(view, stats, watermark);
+        }
+        // Adaptive pacing: a sweep's cost is the shard time it steals from
+        // ingest (every barrier makes the shards re-decode their dirty
+        // partitions). Sleeping ~3× the sweep duration caps snapshot
+        // rebuilds at roughly a quarter of shard time, so sustained ingest
+        // keeps most of the machine while cheap sweeps (insert-only views,
+        // idle spaces) still republish near-continuously. The cap bounds
+        // watermarked-read latency even when a sweep is pathologically slow.
+        let took = pass.elapsed();
+        if took > REFRESH_PACE_FLOOR && !shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep((took * 3).min(REFRESH_PACE_CAP));
+        }
     }
 }
 
@@ -1035,6 +1248,7 @@ fn create_space(shared: &Shared, space: SpaceId, spec: SpaceConfig) -> Response 
     let state = SpaceState {
         engine: Engine::start(cfg),
         last_seq: 0,
+        ingest_seq: 0,
     };
     registry.insert(
         space.clone(),
@@ -1093,6 +1307,27 @@ fn list_spaces(shared: &Shared) -> Response {
     Response::Spaces(rows)
 }
 
+/// Resolve a query's snapshot under its [`ReadMode`]: the latest published
+/// one for `Stale`, or the first one covering the requested watermark for
+/// `AtLeast` — with a typed timeout error if the refresher cannot catch up.
+fn read_snapshot(handle: &SpaceHandle, mode: &ReadMode) -> Result<Arc<Published>, Response> {
+    match mode {
+        ReadMode::Stale => Ok(handle.snapshot()),
+        ReadMode::AtLeast(want) => {
+            handle
+                .wait_published(*want, WATERMARK_WAIT)
+                .map_err(|()| Response::Error {
+                    code: ErrorCode::WatermarkTimeout,
+                    message: format!(
+                        "published watermark did not reach {want} within {}s \
+                         (the write is durable; retry, or read ?stale)",
+                        WATERMARK_WAIT.as_secs()
+                    ),
+                })
+        }
+    }
+}
+
 fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared) -> Response {
     match request {
         // State-changing requests: space state lock, WAL-then-apply, then
@@ -1116,10 +1351,12 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
             }
             let count = updates.len() as u64;
             // Under the state lock: log-append (an in-memory buffer push),
-            // engine-apply, maybe compact, publish. The flush + fsync that
-            // make the batch acknowledgeable happen *after* the lock is
-            // released, through the group-commit barrier — concurrent
-            // batches share one write and one fsync.
+            // engine-apply (a shard enqueue), watermark bump. No snapshot
+            // publish — the refresher thread does that in the background,
+            // so the ack path is O(batch), not O(witness decode). The
+            // flush + fsync that make the batch acknowledgeable happen
+            // *after* the lock is released, through the group-commit
+            // barrier — concurrent batches share one write and one fsync.
             // Announce the append *before* queueing on the space lock, so a
             // group-commit leader elected while this batch is applying knows
             // to hold its fsync for it.
@@ -1127,7 +1364,7 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
             if announced {
                 shared.sync.begin_append();
             }
-            let durability = {
+            let (watermark, durability) = {
                 let mut state = handle.state.lock().expect("space state");
                 let mut ticket = None;
                 if let Some(wal) = shared.wal.as_ref() {
@@ -1146,9 +1383,19 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                     ticket = Some((wal.handle(), shared.sync.register(a.end)));
                 }
                 state.engine.ingest(updates);
-                handle.publish(&mut state.engine);
-                ticket
+                // The ack watermark rides the WAL sequence when there is
+                // one (monotonic across restarts); otherwise it is a plain
+                // per-space batch counter.
+                state.ingest_seq = if ticket.is_some() {
+                    state.last_seq
+                } else {
+                    state.ingest_seq + 1
+                };
+                (state.ingest_seq, ticket)
             };
+            // Ring the refresher outside the lock: it will publish a
+            // snapshot covering this watermark as soon as it gets the CPU.
+            shared.refresh.ring();
             // Compaction runs outside the space lock: the shared log spans
             // every space, so folding it away needs every space's state.
             if let Some(wal) = shared.wal.as_ref() {
@@ -1162,8 +1409,8 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                 }
             }
             if let Some((wal, ticket)) = durability {
-                // Fsync-before-ack: the batch is applied and published, but
-                // the acknowledgement waits for a covering flush + fsync.
+                // Fsync-before-ack: the batch is applied, but the
+                // acknowledgement waits for a covering flush + fsync.
                 if let Err(e) = shared.sync.wait_durable(&wal, ticket) {
                     return Response::Error {
                         code: ErrorCode::Durability,
@@ -1171,7 +1418,7 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                     };
                 }
             }
-            Response::Ingested(count)
+            Response::Ingested { count, watermark }
         }
         Request::Restore(bytes) => {
             // The envelope must be addressed to this space: a v2 envelope by
@@ -1210,7 +1457,11 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                             };
                         }
                     }
-                    handle.publish(&mut state.engine);
+                    // A restore is immediately visible: publish inline (the
+                    // restored state replaces the stream wholesale, so
+                    // waiting for the refresher would let a query observe
+                    // the pre-restore world after a Restored ack).
+                    handle.publish_state(&mut state);
                     Response::Restored
                 }
                 Err(e) => Response::Error {
@@ -1219,18 +1470,33 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                 },
             }
         }
-        // Query requests: answered from the published snapshot — no engine
+        // Query requests: answered from a published snapshot — no engine
         // lock, no shard barrier, no blocking against ingest or each other.
-        Request::Certified => Response::Answer(handle.snapshot().view.certified()),
-        Request::Certify(v) => Response::Answer(handle.snapshot().view.certify(v)),
-        Request::Top(k) => {
-            Response::Top(handle.snapshot().view.top(k.min(u32::MAX as u64) as usize))
-        }
-        Request::Stats => {
-            let snap = handle.snapshot();
+        // `AtLeast` waits (condvar, not engine work) for the refresher to
+        // cover the client's watermark; `Stale` answers immediately.
+        Request::Certified(mode) => match read_snapshot(handle, &mode) {
+            Ok(snap) => Response::Answer(snap.view.certified()),
+            Err(resp) => resp,
+        },
+        Request::Certify(v, mode) => match read_snapshot(handle, &mode) {
+            Ok(snap) => Response::Answer(snap.view.certify(v)),
+            Err(resp) => resp,
+        },
+        Request::Top(k, mode) => match read_snapshot(handle, &mode) {
+            Ok(snap) => Response::Top(snap.view.top(k.min(u32::MAX as u64) as usize)),
+            Err(resp) => resp,
+        },
+        Request::Stats(mode) => {
+            let snap = match read_snapshot(handle, &mode) {
+                Ok(snap) => snap,
+                Err(resp) => return resp,
+            };
             Response::Stats(WireStats {
                 ingested: snap.stats.ingested,
-                uptime_micros: snap.stats.uptime.as_micros() as u64,
+                // Counters are publish-consistent; uptime is live. A
+                // quiesced server's clock keeps running — the snapshot's
+                // engine uptime froze at publish time.
+                uptime_micros: handle.started.elapsed().as_micros() as u64,
                 witness_target: handle.cfg.witness_target() as u64,
                 space_bytes: snap.space_bytes(),
                 wal_bytes: handle.wal_bytes.load(Ordering::Relaxed),
@@ -1295,8 +1561,17 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
             *handle.slice.lock().expect("slice slot") = Some(parts);
             Response::SpaceOk
         }
-        Request::ViewPull(since) => {
-            let snap = handle.snapshot();
+        Request::ViewPull {
+            since,
+            min_watermark,
+        } => {
+            // A router pulls to answer a query that must cover everything
+            // it has routed: wait for the refresher to publish past the
+            // node's acked watermark before deciding anything.
+            let snap = match read_snapshot(handle, &ReadMode::AtLeast(min_watermark)) {
+                Ok(snap) => snap,
+                Err(resp) => return resp,
+            };
             if snap.version == since {
                 // The puller's watermark is current: nothing to ship (the
                 // quiesced-cluster fast path).
@@ -1391,7 +1666,7 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                             };
                         }
                     }
-                    handle.publish(&mut state.engine);
+                    handle.publish_state(&mut state);
                     Response::Restored
                 }
                 Err(e) => Response::Error {

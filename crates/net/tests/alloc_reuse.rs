@@ -2,10 +2,12 @@
 //! once a send buffer has grown to its steady-state capacity, encoding
 //! request/response frames into it performs **zero** heap allocations.
 //!
-//! A counting global allocator wraps the system one; the counter is only
-//! read around single-threaded regions, so other test threads cannot race
-//! the assertion (this integration test binary runs these tests serially
-//! via explicit call order in one `#[test]`).
+//! A counting global allocator wraps the system one, but counting is gated
+//! on a *thread-local* flag that only [`allocations_during`] flips — so the
+//! measurement is scoped to the test's own encode loop and other threads
+//! (the libtest harness, other tests in this binary) can never leak a stray
+//! allocation into the window. With the gate in place a single pass is
+//! deterministic: no retry loop, any count > 0 is a real regression.
 
 // The one place in the tree that needs `unsafe`: implementing
 // `GlobalAlloc` to count allocations. The production crates all stay
@@ -14,17 +16,35 @@
 
 use fews_common::SpaceId;
 use fews_net::proto::{encode_ingest_batch_into, Request, Response};
+use fews_net::ReadMode;
 use fews_stream::{Edge, Update};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Only allocations made while *this thread* is inside
+    /// [`allocations_during`] are counted.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_gated() {
+    // `try_with`: the allocator can be called during thread teardown after
+    // the thread-local has been dropped; those allocations are never ours.
+    let _ = COUNTING.try_with(|on| {
+        if on.get() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_if_gated();
         unsafe { System.alloc(layout) }
     }
 
@@ -33,7 +53,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_if_gated();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -43,7 +63,9 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations_during(f: impl FnOnce()) -> u64 {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|on| on.set(true));
     f();
+    COUNTING.with(|on| on.set(false));
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
@@ -60,7 +82,10 @@ fn warm_buffers_encode_frames_without_allocating() {
         })
         .collect();
     let responses = [
-        Response::Ingested(512),
+        Response::Ingested {
+            count: 512,
+            watermark: 512,
+        },
         Response::Answer(None),
         Response::Top(Vec::new()),
         Response::Restored,
@@ -85,35 +110,26 @@ fn warm_buffers_encode_frames_without_allocating() {
     let capacity = buf.capacity();
 
     // Steady state: 100 ingest frames + a mix of queries and responses into
-    // the same buffer — the hot path of a long-lived connection. The
-    // counter is process-global, so the libtest harness thread can leak a
-    // stray allocation into a measurement window under load; the encode
-    // loop itself is deterministic, so a real regression allocates on
-    // every attempt — retry a bounded number of times before failing.
-    let mut allocs = u64::MAX;
-    for _ in 0..3 {
-        allocs = allocations_during(|| {
-            for _ in 0..100 {
-                for space in &spaces {
-                    buf.clear();
-                    encode_ingest_batch_into(&mut buf, space, &updates);
-                    buf.clear();
-                    Request::Certified.encode_into(space, &mut buf);
-                    buf.clear();
-                    Request::Certify(17).encode_into(space, &mut buf);
-                    buf.clear();
-                    Request::Top(5).encode_into(space, &mut buf);
-                }
-                for r in &responses {
-                    buf.clear();
-                    r.encode_into(&mut buf);
-                }
+    // the same buffer — the hot path of a long-lived connection. Both read
+    // modes ride along so the watermark varint path is covered too.
+    let allocs = allocations_during(|| {
+        for _ in 0..100 {
+            for space in &spaces {
+                buf.clear();
+                encode_ingest_batch_into(&mut buf, space, &updates);
+                buf.clear();
+                Request::Certified(ReadMode::Stale).encode_into(space, &mut buf);
+                buf.clear();
+                Request::Certify(17, ReadMode::AtLeast(1 << 40)).encode_into(space, &mut buf);
+                buf.clear();
+                Request::Top(5, ReadMode::AtLeast(3)).encode_into(space, &mut buf);
             }
-        });
-        if allocs == 0 {
-            break;
+            for r in &responses {
+                buf.clear();
+                r.encode_into(&mut buf);
+            }
         }
-    }
+    });
     assert_eq!(
         allocs, 0,
         "steady-state frame encoding must not allocate (capacity {capacity})"

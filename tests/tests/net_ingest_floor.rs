@@ -1,0 +1,76 @@
+//! Regression gate for the background-refresher ingest path: the id-model
+//! dblog cell over loopback TCP must sustain batch ingest at a rate that
+//! publish-before-ack cannot reach. Acks return at shard enqueue, so the
+//! wire rate tracks the engine's batched bank updates — the old ack path
+//! paid a full witness decode per frame and lands an order of magnitude
+//! below the floor. The floor is deliberately far under healthy throughput
+//! (CI boxes are slow and shared) and is only enforced in release builds;
+//! the read-your-writes round-trip at the end is checked everywhere.
+
+use fews_core::insertion_deletion::IdConfig;
+use fews_engine::EngineConfig;
+use fews_net::{Client, Server};
+use std::time::{Duration, Instant};
+
+#[test]
+fn dblog_net_ingest_stays_above_floor() {
+    const SEED: u64 = 2021;
+    let log = fews_stream::gen::dblog::db_log(
+        32,
+        1 << 10,
+        12,
+        4,
+        0.5,
+        &mut fews_common::rng::rng_for(SEED, 4),
+    );
+    let cfg = EngineConfig::insert_delete(IdConfig::with_scale(32, 1 << 10, 12, 2, 0.02), SEED)
+        .with_partitions(16)
+        .with_batch(1024);
+    let server = Server::start(cfg, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Sustained mixed load: small ingest frames with an interleaved stale
+    // query per frame, dblog-cell shaped. Repeat the log so the timed
+    // window is long enough to be meaningful.
+    let mut ingested = 0u64;
+    let mut query_lat = Vec::new();
+    let started = Instant::now();
+    client.set_stale(true);
+    for _ in 0..8 {
+        for chunk in log.updates.chunks(64) {
+            assert_eq!(
+                client.ingest_batch(chunk).expect("ingest"),
+                chunk.len() as u64
+            );
+            ingested += chunk.len() as u64;
+            let t0 = Instant::now();
+            let _ = client.certified().expect("stale certified");
+            query_lat.push(t0.elapsed());
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // Read-your-writes round-trip: drop the stale opt-out and query at the
+    // acked watermark — the published snapshot must catch up and answer.
+    client.set_stale(false);
+    assert!(client.watermark() > 0, "ingest acks must carry a watermark");
+    let stats = client.stats().expect("watermarked stats");
+    assert_eq!(stats.ingested, ingested, "watermarked stats lag the acks");
+
+    if cfg!(debug_assertions) {
+        return; // the floor prices the release-mode hot path only
+    }
+    let rate = ingested as f64 / elapsed.as_secs_f64();
+    assert!(
+        rate >= 8_000.0,
+        "dblog net ingest sustained only {rate:.0} updates/s over {elapsed:?} — the ack path \
+         has re-grown per-frame publish work"
+    );
+    query_lat.sort_unstable();
+    let p50 = query_lat[query_lat.len() / 2];
+    assert!(
+        p50 < Duration::from_millis(20),
+        "stale query p50 under sustained ingest is {p50:?} — snapshot reads are blocking on \
+         ingest or refresh again"
+    );
+}

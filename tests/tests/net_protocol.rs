@@ -97,7 +97,7 @@ fn unknown_tag_errors_and_connection_stays_usable() {
     expect_error(read_response(&mut stream), ErrorCode::UnknownTag);
     // Same connection, valid request: frame boundaries were never lost.
     stream
-        .write_all(&Request::Stats.encode(&SpaceId::default_space()))
+        .write_all(&Request::Stats(fews_net::ReadMode::Stale).encode(&SpaceId::default_space()))
         .unwrap();
     assert!(matches!(read_response(&mut stream), Response::Stats(_)));
     assert_alive(&server);
@@ -128,7 +128,7 @@ fn malformed_body_errors_and_connection_stays_usable() {
         .unwrap();
     expect_error(read_response(&mut stream), ErrorCode::Malformed);
     stream
-        .write_all(&Request::Certified.encode(&SpaceId::default_space()))
+        .write_all(&Request::Certified(fews_net::ReadMode::Stale).encode(&SpaceId::default_space()))
         .unwrap();
     assert!(matches!(read_response(&mut stream), Response::Answer(_)));
     assert_alive(&server);

@@ -51,6 +51,7 @@ fn durable(dir: &Path) -> ServerOptions {
         // Large enough that no test here compacts mid-stream; compaction on
         // the threshold path gets its own coverage via graceful shutdown.
         compact_bytes: 64 << 20,
+        refresh_debounce: None,
     }
 }
 
