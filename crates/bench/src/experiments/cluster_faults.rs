@@ -68,6 +68,7 @@ fn run_schedule(
         replicas: REPLICAS,
         pipeline: true,
         data_dir: None,
+        retained_budget: 1 << 20,
     };
     let router = Router::start(cfg, "127.0.0.1:0", &addrs, opts).expect("router starts");
     let mut client = Client::connect(router.local_addr()).expect("connect");

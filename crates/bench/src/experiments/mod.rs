@@ -9,6 +9,7 @@ pub mod latency;
 pub mod lower_bounds;
 pub mod misc;
 pub mod net;
+pub mod overload;
 pub mod sketch;
 
 use crate::table::Table;
@@ -180,6 +181,11 @@ pub fn registry() -> Vec<Experiment> {
             run: cluster_faults::cluster_faults_exp,
         },
         Experiment {
+            id: "overload",
+            claim: "fews-net overload lab: flash-crowd admission shedding + seeded disk-fault recovery — typed errors, stale reads answer, no acked batch lost (writes BENCH_overload.json)",
+            run: overload::overload_exp,
+        },
+        Experiment {
             id: "latency",
             claim: "fews-net snapshot serving: query p50/p99 under sustained ingest + O(1) quiesced repeats (writes BENCH_latency.json)",
             run: latency::latency_exp,
@@ -199,7 +205,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 24);
+        assert_eq!(n, 25);
     }
 
     #[test]

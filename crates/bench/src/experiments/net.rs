@@ -292,6 +292,9 @@ fn run_spaces_cell(
         // not checkpoint writes.
         compact_bytes: 64 << 20,
         refresh_debounce: None,
+        max_conns: 0,
+        limits: fews_net::OverloadLimits::default(),
+        ..ServerOptions::default()
     };
     let server = Server::start_with(base, "127.0.0.1:0", opts).expect("bind spaces server");
     let addr = server.local_addr();

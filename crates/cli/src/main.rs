@@ -6,7 +6,8 @@
 //! fews run FILE --n N --d D [--alpha A] [--model io|id] [--seed S] [--scale X]
 //! fews serve FILE --n N --d D [--shards K] [--batch B] [--model io|id] …
 //! fews listen --addr A --n N --d D [--shards K] [--model io|id] [--replay FILE]
-//!             [--data-dir DIR] [--compact-bytes N] …
+//!             [--data-dir DIR] [--compact-bytes N] [--max-conns C]
+//!             [--inflight-updates U] [--inflight-bytes B] [--lag-budget L] …
 //! fews router --addr A --workers H1:P1,H2:P2,… --n N --d D [--model io|id]
 //!             [--replicas R] [--data-dir DIR] [--timeout-ms T] [--retries R] …
 //! fews client ADDR [--space S] [--timeout-ms T] [--retries R] [--stale]
@@ -24,6 +25,17 @@
 //! a watermark and subsequent queries on the same client wait until the
 //! server's published snapshot covers it. `--stale` opts the connection out
 //! and answers immediately from the latest published snapshot.
+//!
+//! Overload protection: `--max-conns C` caps concurrent connections
+//! (excess dials are shed with a typed `overloaded` error and a
+//! retry-after hint), `--inflight-updates U` / `--inflight-bytes B` bound
+//! un-acked ingest per space, and `--lag-budget L` fails fresh reads fast
+//! once the published snapshot trails acked ingest by more than `L`
+//! records (`--stale` reads keep answering). On the client,
+//! `--overload-retries O` retries shed requests after the server's hint,
+//! and `--resend` opts ingest into resending after an *indeterminate*
+//! transport failure — safe only for idempotent streams, since the lost
+//! ack may have been applied.
 //!
 //! `fews router` starts a cluster coordinator over running `fews listen`
 //! workers: ingest fans out to every partition's `--replicas R` owners
@@ -102,19 +114,21 @@ fn usage(msg: &str) -> ! {
          fews listen --addr HOST:PORT --n N --d D [--alpha A] [--model io|id] [--seed S] \
          [--scale X] [--m M]\n  \
          {:13}[--shards K] [--partitions P] [--batch B] [--replay FILE] [--restore CKPT]\n  \
-         {:13}[--data-dir DIR] [--compact-bytes N]\n  \
+         {:13}[--data-dir DIR] [--compact-bytes N] [--max-conns C]\n  \
+         {:13}[--inflight-updates U] [--inflight-bytes B] [--lag-budget L]\n  \
          fews router --addr HOST:PORT --workers H1:P1,H2:P2,… --n N --d D [--alpha A] \
          [--model io|id] [--seed S]\n  \
          {:13}[--scale X] [--m M] [--partitions P] [--replicas R] [--data-dir DIR]\n  \
          {:13}[--timeout-ms T] [--retries R] [--heartbeat-ms H] [--refresh-updates U]\n  \
-         {:13}[--forward-shutdown true|false] [--sequential-fanout true|false]\n  \
-         fews client ADDR [--space S] [--timeout-ms T] [--retries R] [--stale] <certified | \
-         certify V | top K | stats | ping |\n  \
+         {:13}[--forward-shutdown true|false] [--sequential-fanout true|false] \
+         [--retained-budget N]\n  \
+         fews client ADDR [--space S] [--timeout-ms T] [--retries R] [--overload-retries O] \
+         [--resend] [--stale] <certified | certify V | top K | stats | ping |\n  \
          {:13}ingest FILE [--batch B] | checkpoint OUT | restore CKPT | shutdown |\n  \
          {:13}create-space NAME --n N --d D [--alpha A] [--model io|id] [--m M] [--scale X] \
          [--partitions P] [--quota Q] |\n  \
          {:13}drop-space NAME | list-spaces | join-worker ADDR>",
-        "", "", "", "", "", "", "", "", ""
+        "", "", "", "", "", "", "", "", "", ""
     );
     std::process::exit(2);
 }
@@ -587,6 +601,13 @@ fn listen(rest: &[String]) {
         data_dir: o.get_str("data-dir").map(std::path::PathBuf::from),
         compact_bytes: o.get("compact-bytes", 8u64 << 20).max(1),
         refresh_debounce: None,
+        max_conns: o.get("max-conns", 0usize),
+        limits: fews_net::OverloadLimits {
+            inflight_updates: o.get("inflight-updates", 0u64),
+            inflight_bytes: o.get("inflight-bytes", 0u64),
+            lag_budget: o.get("lag-budget", 0u64),
+        },
+        disk_faults: None,
     };
     let durable = opts.data_dir.clone();
     let server = Server::start_with(cfg, &addr, opts)
@@ -658,6 +679,7 @@ fn router(rest: &[String]) {
         replicas: o.get("replicas", 2usize).max(1),
         pipeline: !o.get("sequential-fanout", false),
         data_dir,
+        retained_budget: o.get("retained-budget", 1u64 << 20),
     };
     let replicas = opts.replicas;
     let router = fews_cluster::Router::start(cfg, &addr, &workers, opts)
@@ -724,6 +746,8 @@ fn extract_space(rest: &[String]) -> (SpaceId, fews_net::ClientOptions, bool, Ve
     let mut space = SpaceId::default_space();
     let mut timeout_ms: Option<u64> = None;
     let mut retries: u32 = 0;
+    let mut overload_retries: u32 = 0;
+    let mut resend = false;
     let mut stale = false;
     let mut out = Vec::with_capacity(rest.len());
     let mut i = 0usize;
@@ -753,6 +777,17 @@ fn extract_space(rest: &[String]) -> (SpaceId, fews_net::ClientOptions, bool, Ve
                     .unwrap_or_else(|_| usage("--retries got an unparsable value"));
                 i += 2;
             }
+            "--overload-retries" => {
+                let r = value("--overload-retries", rest.get(i + 1));
+                overload_retries = r
+                    .parse()
+                    .unwrap_or_else(|_| usage("--overload-retries got an unparsable value"));
+                i += 2;
+            }
+            "--resend" => {
+                resend = true;
+                i += 1;
+            }
             "--stale" => {
                 stale = true;
                 i += 1;
@@ -763,7 +798,7 @@ fn extract_space(rest: &[String]) -> (SpaceId, fews_net::ClientOptions, bool, Ve
             }
         }
     }
-    let opts = match timeout_ms {
+    let mut opts = match timeout_ms {
         Some(ms) => {
             fews_net::ClientOptions::bounded(std::time::Duration::from_millis(ms.max(1)), retries)
         }
@@ -772,6 +807,8 @@ fn extract_space(rest: &[String]) -> (SpaceId, fews_net::ClientOptions, bool, Ve
             ..fews_net::ClientOptions::default()
         },
     };
+    opts.overload_retries = overload_retries;
+    opts.ingest_resend = resend;
     (space, opts, stale, out)
 }
 
@@ -842,6 +879,18 @@ fn client_cmd(rest: &[String]) {
                 } else {
                     format!("{} KiB", s.quota_bytes / 1024)
                 }
+            );
+            let o = &s.overload;
+            outln!(
+                "  overload: {} in flight ({} KiB) | lag {} updates ({} ms) | \
+                 shed {} ingest / {} reads / {} conns",
+                o.inflight_updates,
+                o.inflight_bytes / 1024,
+                o.lag_updates,
+                o.lag_ms,
+                o.shed_ingest,
+                o.shed_reads,
+                o.shed_conns
             );
             for (i, sh) in s.shards.iter().enumerate() {
                 outln!(

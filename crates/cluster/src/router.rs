@@ -66,7 +66,7 @@ use fews_engine::{partition_of, Engine, EngineConfig, GlobalView, ModelSpec};
 use fews_net::proto::{body_fits, check_frame_len, FrameError};
 use fews_net::{
     Client, ClientError, ClientOptions, ErrorCode, ReadMode, Request, Response, WireNodeInfo,
-    WireShardStats, WireStats, WireView,
+    WireOverload, WireShardStats, WireStats, WireView,
 };
 use fews_stream::Update;
 use std::io::{ErrorKind, Read, Write};
@@ -90,6 +90,10 @@ const REPLAY_CHUNK: usize = 8192;
 
 /// The router's durable metadata file inside the data dir.
 const META_FILE: &str = "router.meta";
+
+/// Base unit of the `retry_after_ms` hint on router-side shedding, scaled
+/// by how far past the retained-log budget the router is.
+const ROUTER_RETRY_MS: u64 = 100;
 
 /// Behaviour knobs for [`Router::start`].
 #[derive(Debug, Clone)]
@@ -129,6 +133,14 @@ pub struct RouterOptions {
     /// killed router restarts bit-exact from disk. `None` keeps retained
     /// state in memory only, as a cache-tier deployment would.
     pub data_dir: Option<PathBuf>,
+    /// Cap on updates the retained logs may hold before ingest is shed
+    /// with [`ErrorCode::Overloaded`] + retry-after (0 = unbounded). The
+    /// retained logs are what down or shedding workers still owe; without
+    /// a bound, one overloaded worker turns into unbounded router memory
+    /// growth. Shedding here is how worker overload *composes* up the
+    /// tiers instead of amplifying: the router stops accepting what it
+    /// cannot place and tells clients when to come back.
+    pub retained_budget: u64,
 }
 
 impl Default for RouterOptions {
@@ -141,6 +153,7 @@ impl Default for RouterOptions {
             replicas: 2,
             pipeline: true,
             data_dir: None,
+            retained_budget: 1 << 20,
         }
     }
 }
@@ -234,6 +247,9 @@ struct Inner {
     dirty: bool,
     durable: Option<Durable>,
     started: Instant,
+    /// Ingest batches the router itself shed with [`ErrorCode::Overloaded`]
+    /// (retained-log budget exhausted) — surfaced in `stats`.
+    shed_ingest: u64,
 }
 
 /// The identity card every worker must match: the checkpoint header of the
@@ -341,7 +357,7 @@ fn node_fail(addr: &str, e: &ClientError) -> Fail {
             ErrorCode::Malformed,
             format!("worker {addr} protocol error: {m}"),
         ),
-        ClientError::Server { code, message } => (*code, format!("worker {addr}: {message}")),
+        ClientError::Server { code, message, .. } => (*code, format!("worker {addr}: {message}")),
     }
 }
 
@@ -489,21 +505,48 @@ impl Inner {
     /// out to every live owner, ack. A send failure marks the owner down
     /// and the ack stands — the updates are retained and replay at rejoin,
     /// which the heartbeat drives in the background.
+    /// Updates currently held in the retained logs — what down or shedding
+    /// workers still owe.
+    fn retained(&self) -> u64 {
+        self.logs.iter().map(|l| l.len() as u64).sum()
+    }
+
     fn ingest(&mut self, updates: Vec<Update>) -> Response {
         if let Err((code, message)) = validate_batch(&self.cfg, &updates) {
-            return Response::Error { code, message };
+            return Response::error(code, message);
         }
         let count = updates.len() as u64;
+        // Backpressure, checked before the batch touches the WAL or the
+        // retained logs (so the rejection is determinate and clients may
+        // retry blindly). When the budget is hit, first try to drain — if
+        // the owners are merely behind, a refresh truncates the logs and
+        // the batch admits; if they are down or shedding, the drain is a
+        // cheap no-op and the overload propagates to the client with a
+        // retry hint instead of growing the router without bound.
+        if self.opts.retained_budget > 0 && self.retained() + count > self.opts.retained_budget {
+            self.refresh_retained();
+            let retained = self.retained();
+            if retained + count > self.opts.retained_budget && retained > 0 {
+                self.shed_ingest += 1;
+                let hint = ROUTER_RETRY_MS
+                    .saturating_mul((retained / self.opts.retained_budget).clamp(1, 10));
+                return Response::overloaded(
+                    format!(
+                        "router retains {retained} updates awaiting worker catch-up \
+                         (budget {}); workers are down or shedding",
+                        self.opts.retained_budget
+                    ),
+                    hint,
+                );
+            }
+        }
         if let Some(d) = &self.durable {
             // Acknowledged means durable: the batch is on stable storage
             // before any worker sees it. A sync failure refuses the ack
             // (the buffered record is then a harmless never-acked orphan).
             d.wal.append(SpaceId::default_space().as_str(), &updates);
             if let Err(e) = d.wal.sync() {
-                return Response::Error {
-                    code: ErrorCode::Durability,
-                    message: format!("router wal: {e}"),
-                };
+                return Response::error(ErrorCode::Durability, format!("router wal: {e}"));
             }
         }
         let mut per_node: Vec<Vec<Update>> = vec![Vec::new(); self.nodes.len()];
@@ -1101,6 +1144,10 @@ impl Inner {
             });
             space_bytes += measured.unwrap_or(0);
         }
+        // The router's overload picture: its own sheds, and the retained
+        // backlog standing in for in-flight work (what shedding or down
+        // workers still owe it).
+        let retained = self.retained();
         Ok(WireStats {
             ingested: self.ingested,
             uptime_micros: self.started.elapsed().as_micros() as u64,
@@ -1108,6 +1155,15 @@ impl Inner {
             space_bytes,
             wal_bytes: self.durable.as_ref().map_or(0, |d| d.wal.bytes()),
             quota_bytes: 0,
+            overload: WireOverload {
+                shed_ingest: self.shed_ingest,
+                shed_reads: 0,
+                shed_conns: 0,
+                inflight_updates: retained,
+                inflight_bytes: retained * std::mem::size_of::<Update>() as u64,
+                lag_updates: retained,
+                lag_ms: 0,
+            },
             shards,
         })
     }
@@ -1293,6 +1349,7 @@ impl Router {
             dirty: true,
             durable,
             started: Instant::now(),
+            shed_ingest: 0,
         };
         if recovered {
             // Whatever the workers held when the old router died, the
@@ -1469,7 +1526,7 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &RouterShared) -> R
 }
 
 fn send_error(stream: &mut TcpStream, code: ErrorCode, message: String) {
-    let _ = stream.write_all(&Response::Error { code, message }.encode());
+    let _ = stream.write_all(&Response::error(code, message).encode());
 }
 
 fn error_code_for(err: &FrameError) -> ErrorCode {
@@ -1557,7 +1614,13 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
 }
 
 fn fail_response((code, message): Fail) -> Response {
-    Response::Error { code, message }
+    // A worker's Overloaded passing through the router keeps its meaning —
+    // and gets a hint, so the router's clients back off the same way the
+    // router's own clients would against the worker.
+    if code == ErrorCode::Overloaded {
+        return Response::overloaded(message, ROUTER_RETRY_MS);
+    }
+    Response::error(code, message)
 }
 
 fn handle_request(space: SpaceId, request: Request, shared: &RouterShared) -> Response {
@@ -1578,28 +1641,27 @@ fn handle_request(space: SpaceId, request: Request, shared: &RouterShared) -> Re
             return Response::Bye;
         }
         Request::CreateSpace(_) | Request::DropSpace | Request::ListSpaces => {
-            return Response::Error {
-                code: ErrorCode::Malformed,
-                message: "a cluster router does not manage spaces; address its workers directly"
-                    .into(),
-            };
+            return Response::error(
+                ErrorCode::Malformed,
+                "a cluster router does not manage spaces; address its workers directly".into(),
+            );
         }
         Request::SliceAssign(_)
         | Request::ViewPull { .. }
         | Request::SliceCheckpoint(_)
         | Request::SliceRestore(_) => {
-            return Response::Error {
-                code: ErrorCode::Malformed,
-                message: "worker-facing request sent to a cluster router".into(),
-            };
+            return Response::error(
+                ErrorCode::Malformed,
+                "worker-facing request sent to a cluster router".into(),
+            );
         }
         _ => {}
     }
     if !space.is_default() {
-        return Response::Error {
-            code: ErrorCode::UnknownSpace,
-            message: format!("a cluster router serves the default space only (got '{space}')"),
-        };
+        return Response::error(
+            ErrorCode::UnknownSpace,
+            format!("a cluster router serves the default space only (got '{space}')"),
+        );
     }
     let mut inner = shared.inner.lock().expect("router state");
     match request {
@@ -1623,13 +1685,13 @@ fn handle_request(space: SpaceId, request: Request, shared: &RouterShared) -> Re
         Request::Checkpoint => match inner.checkpoint() {
             Ok(bytes) => {
                 if !body_fits(bytes.len()) {
-                    return Response::Error {
-                        code: ErrorCode::Oversized,
-                        message: format!(
+                    return Response::error(
+                        ErrorCode::Oversized,
+                        format!(
                             "checkpoint is {} bytes, larger than one frame can carry",
                             bytes.len()
                         ),
-                    };
+                    );
                 }
                 Response::Checkpoint(bytes)
             }
@@ -1659,10 +1721,10 @@ fn handle_request(space: SpaceId, request: Request, shared: &RouterShared) -> Re
         | Request::SliceAssign(_)
         | Request::ViewPull { .. }
         | Request::SliceCheckpoint(_)
-        | Request::SliceRestore(_) => Response::Error {
-            code: ErrorCode::Malformed,
-            message: "request handled before space routing".into(),
-        },
+        | Request::SliceRestore(_) => Response::error(
+            ErrorCode::Malformed,
+            "request handled before space routing".into(),
+        ),
     }
 }
 
@@ -1702,6 +1764,7 @@ mod tests {
             replicas: 1,
             pipeline: true,
             data_dir: None,
+            retained_budget: 1 << 20,
         }
     }
 
@@ -2080,10 +2143,10 @@ mod tests {
                     )),
                     FakeMode::Garbage => Response::Checkpoint(vec![0xde, 0xad, 0xbe, 0xef]),
                 },
-                _ => Response::Error {
-                    code: ErrorCode::Malformed,
-                    message: "unexpected request at fake worker".into(),
-                },
+                _ => Response::error(
+                    ErrorCode::Malformed,
+                    "unexpected request at fake worker".into(),
+                ),
             };
             if stream.write_all(&response.encode()).is_err() {
                 return;

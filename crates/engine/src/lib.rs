@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod diskfault;
 mod engine;
 mod shard;
 mod view;

@@ -41,6 +41,14 @@
 //! under fsync-before-ack) silently disappears, and mid-log corruption is
 //! reported while the valid prefix is recovered.
 //!
+//! Every flush, fsync, and checkpoint replace can be run under a seeded
+//! [`crate::diskfault::DiskFaultPlan`] ([`Wal::open_with`],
+//! [`SpaceDir::with_faults`]): injected fsync failures, short writes, and
+//! `ENOSPC` surface as `std::io::Error`s from the exact site a real
+//! failure would use, and an armed [`crate::diskfault::CrashPoint`] stops
+//! a checkpoint replace dead at any of its five steps — the storage fault
+//! lab the recovery suite sweeps.
+//!
 //! ## Compaction
 //!
 //! The log is not allowed to grow without bound: once it passes the serving
@@ -50,6 +58,7 @@
 //! atomically (tmp + `fsync` + `rename` + directory `fsync`), and the log
 //! is reset. A crash between those steps is safe: replay skips every record
 //! at or below its space's envelope watermark, so nothing is applied twice.
+use crate::diskfault::{CrashPoint, DiskFault, DiskFaultPlan};
 use fews_common::{SpaceConfig, SpaceId};
 use fews_core::wire::{get_space_config, get_uvarint, put_space_config, put_uvarint};
 use fews_stream::{Edge, Update};
@@ -286,6 +295,9 @@ struct WalBuf {
 pub struct WalHandle {
     file: Arc<File>,
     pending: Arc<Mutex<WalBuf>>,
+    /// Storage fault lab, consulted on every flush and fsync (`None` in
+    /// production).
+    faults: Option<Arc<DiskFaultPlan>>,
 }
 
 impl WalHandle {
@@ -303,6 +315,22 @@ impl WalHandle {
                 pending.allocated = grown;
             }
             let offset = pending.bytes - pending.data.len() as u64;
+            match self
+                .faults
+                .as_ref()
+                .map_or(DiskFault::None, |plan| plan.write_fault(pending.data.len()))
+            {
+                DiskFault::None => {}
+                DiskFault::Short(wrote) => {
+                    // The device accepted a prefix. It lands in the file —
+                    // past the last synced record, so recovery's scanner
+                    // truncates it — and the buffer is kept intact: the
+                    // flush failed, nothing it covered may be acked.
+                    self.file.write_all_at(&pending.data[..wrote], offset)?;
+                    return Err(DiskFaultPlan::short_write_error(wrote, pending.data.len()));
+                }
+                DiskFault::NoSpace => return Err(DiskFaultPlan::no_space_error()),
+            }
             self.file.write_all_at(&pending.data, offset)?;
             pending.data.clear();
         }
@@ -313,6 +341,12 @@ impl WalHandle {
     /// is on stable storage when it returns.
     pub fn sync(&self) -> std::io::Result<()> {
         self.flush()?;
+        if self.faults.as_ref().is_some_and(|plan| plan.sync_fails()) {
+            // The real fsync is skipped: after a failed fsync the page
+            // cache state is unknowable, which is exactly the state the
+            // caller must treat as poisoned.
+            return Err(DiskFaultPlan::sync_error());
+        }
         self.file.sync_data()
     }
 }
@@ -324,6 +358,18 @@ impl Wal {
     /// since those sequence numbers were issued, and new records must stay
     /// above every watermark or replay would skip them.
     pub fn open(path: &Path, floor_seq: u64) -> std::io::Result<(Wal, WalRecovery)> {
+        Self::open_with(path, floor_seq, None)
+    }
+
+    /// [`Wal::open`] with a storage fault plan consulted on every flush and
+    /// fsync — the fault lab's entry point. Recovery itself runs clean: the
+    /// plan models a flaky device under a live log, not a corrupted read
+    /// path.
+    pub fn open_with(
+        path: &Path,
+        floor_seq: u64,
+        faults: Option<Arc<DiskFaultPlan>>,
+    ) -> std::io::Result<(Wal, WalRecovery)> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -352,6 +398,7 @@ impl Wal {
                     allocated,
                     next_seq: last_seq.max(floor_seq) + 1,
                 })),
+                faults,
             },
         };
         Ok((
@@ -433,16 +480,52 @@ impl Wal {
 /// Atomically replace `path` with `bytes`: write a sibling tmp file, fsync
 /// it, rename over the target, fsync the parent directory. A crash at any
 /// point leaves either the old complete file or the new complete file.
-fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+///
+/// With a fault plan attached, every step first consults its
+/// [`CrashPoint`] (an armed crash stops dead, leaving the directory
+/// exactly as a `kill -9` at that instant would) and the tmp write and
+/// fsync draw from the plan's probabilistic stream — short writes,
+/// `ENOSPC`, fsync failures — so a flaky disk under the checkpoint writer
+/// is replayable from a seed.
+fn atomic_write(path: &Path, bytes: &[u8], faults: Option<&DiskFaultPlan>) -> std::io::Result<()> {
+    let crash = |point| faults.and_then(|plan| plan.crash(point));
+    if let Some(e) = crash(CrashPoint::Buffer) {
+        return Err(e);
+    }
     let mut tmp_name = path.file_name().expect("file path").to_os_string();
     tmp_name.push(TMP_SUFFIX);
     let tmp = path.with_file_name(tmp_name);
     {
         let mut f = File::create(&tmp)?;
+        if let Some(e) = crash(CrashPoint::TmpWrite) {
+            // Kill -9 mid-write: a partial tmp sibling is the artifact.
+            f.write_all(&bytes[..bytes.len() / 2])?;
+            return Err(e);
+        }
+        match faults.map_or(DiskFault::None, |plan| plan.write_fault(bytes.len())) {
+            DiskFault::None => {}
+            DiskFault::Short(wrote) => {
+                f.write_all(&bytes[..wrote])?;
+                return Err(DiskFaultPlan::short_write_error(wrote, bytes.len()));
+            }
+            DiskFault::NoSpace => return Err(DiskFaultPlan::no_space_error()),
+        }
         f.write_all(bytes)?;
+        if let Some(e) = crash(CrashPoint::TmpSync) {
+            return Err(e);
+        }
+        if faults.is_some_and(|plan| plan.sync_fails()) {
+            return Err(DiskFaultPlan::sync_error());
+        }
         f.sync_all()?;
     }
+    if let Some(e) = crash(CrashPoint::Rename) {
+        return Err(e);
+    }
     std::fs::rename(&tmp, path)?;
+    if let Some(e) = crash(CrashPoint::DirSync) {
+        return Err(e);
+    }
     if let Some(parent) = path.parent() {
         File::open(parent)?.sync_all()?;
     }
@@ -468,6 +551,9 @@ pub fn wal_path(data_dir: &Path) -> PathBuf {
 #[derive(Debug, Clone)]
 pub struct SpaceDir {
     dir: PathBuf,
+    /// Storage fault lab, consulted by the checkpoint writer (`None` in
+    /// production).
+    faults: Option<Arc<DiskFaultPlan>>,
 }
 
 impl SpaceDir {
@@ -475,7 +561,14 @@ impl SpaceDir {
     pub fn new(data_dir: &Path, space: &SpaceId) -> SpaceDir {
         SpaceDir {
             dir: data_dir.join(space.as_str()),
+            faults: None,
         }
+    }
+
+    /// Attach a storage fault plan to this directory's checkpoint writes.
+    pub fn with_faults(mut self, faults: Option<Arc<DiskFaultPlan>>) -> SpaceDir {
+        self.faults = faults;
+        self
     }
 
     /// The space's directory path.
@@ -495,7 +588,7 @@ impl SpaceDir {
         buf.extend_from_slice(SPACE_CONFIG_MAGIC);
         put_uvarint(&mut buf, seed);
         put_space_config(&mut buf, spec);
-        atomic_write(&self.dir.join(CONFIG_FILE), &buf)?;
+        atomic_write(&self.dir.join(CONFIG_FILE), &buf, None)?;
         // Make the new directory entry itself durable.
         if let Some(parent) = self.dir.parent() {
             File::open(parent)?.sync_all()?;
@@ -525,7 +618,11 @@ impl SpaceDir {
 
     /// Atomically replace the space's checkpoint envelope.
     pub fn write_checkpoint(&self, envelope: &[u8]) -> std::io::Result<()> {
-        atomic_write(&self.dir.join(CHECKPOINT_FILE), envelope)
+        atomic_write(
+            &self.dir.join(CHECKPOINT_FILE),
+            envelope,
+            self.faults.as_deref(),
+        )
     }
 
     /// Read the space's checkpoint envelope, if one has been written.
@@ -740,6 +837,97 @@ mod tests {
         assert_eq!(listed, vec![space.clone()]);
         sd.remove().expect("remove");
         assert!(SpaceDir::list_spaces(&root).expect("list").is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn injected_flush_faults_keep_the_buffer_and_the_valid_prefix() {
+        use crate::diskfault::{DiskFaultPlan, DiskFaultProfile};
+        let dir = tmp_dir("diskfault-flush");
+        let path = dir.join(WAL_FILE);
+        // Every write lands short, every fsync would fail after it.
+        let profile = DiskFaultProfile {
+            sync_fail_permille: 0,
+            short_write_permille: 1000,
+            enospc_permille: 0,
+        };
+        let plan = Arc::new(DiskFaultPlan::new(5, profile, 1));
+        let (wal, _) = Wal::open_with(&path, 0, Some(Arc::clone(&plan))).expect("open");
+        wal.append("default", &batch(0, 12));
+        let err = wal.sync().expect_err("short write must fail the flush");
+        assert_eq!(err.kind(), ErrorKind::WriteZero);
+        assert_eq!(plan.counts().short_writes, 1);
+        // The budget is spent: the retryable flush now lands everything —
+        // the record was kept in the buffer, not lost with the failure.
+        wal.sync().expect("post-budget flush is clean");
+        drop(wal);
+        let (_, rec) = Wal::open(&path, 0).expect("reopen");
+        assert_eq!(rec.replay.len(), 1, "the record survived the short write");
+        assert!(rec.damage.is_none(), "the full write covered the partial");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces_without_touching_the_file() {
+        use crate::diskfault::{DiskFaultPlan, DiskFaultProfile};
+        let dir = tmp_dir("diskfault-sync");
+        let path = dir.join(WAL_FILE);
+        let profile = DiskFaultProfile {
+            sync_fail_permille: 1000,
+            short_write_permille: 0,
+            enospc_permille: 0,
+        };
+        let plan = Arc::new(DiskFaultPlan::new(6, profile, 1));
+        let (wal, _) = Wal::open_with(&path, 0, Some(plan)).expect("open");
+        wal.append("default", &batch(0, 4));
+        wal.sync().expect_err("fsync failure must surface");
+        // The flush preceding the failed fsync did land; a reopen (fresh
+        // plan-free handle) sees the record — what fsync-before-ack means
+        // is only that it was never *promised*.
+        drop(wal);
+        let (_, rec) = Wal::open(&path, 0).expect("reopen");
+        assert_eq!(rec.replay.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_crash_points_leave_old_or_new_complete_envelope() {
+        use crate::diskfault::{CrashPoint, DiskFaultPlan};
+        let root = tmp_dir("diskfault-crash");
+        let space = SpaceId::new("s").expect("name");
+        let plan = Arc::new(DiskFaultPlan::crash_only(8));
+        let sd = SpaceDir::new(&root, &space).with_faults(Some(Arc::clone(&plan)));
+        sd.init(&SpaceConfig::insert_only(8, 4, 2), 1)
+            .expect("init");
+        sd.write_checkpoint(b"OLD-ENVELOPE").expect("baseline");
+        let sweep = [
+            (CrashPoint::Buffer, false),
+            (CrashPoint::TmpWrite, false),
+            (CrashPoint::TmpSync, false),
+            (CrashPoint::Rename, false),
+            // Rename done: the *new* envelope is the visible one.
+            (CrashPoint::DirSync, true),
+        ];
+        for (point, new_visible) in sweep {
+            sd.write_checkpoint(b"OLD-ENVELOPE")
+                .expect("reset baseline");
+            plan.arm_crash(point);
+            let err = sd
+                .write_checkpoint(b"NEW-ENVELOPE-LONGER")
+                .expect_err("armed crash must stop the replace");
+            assert!(err.to_string().contains("injected crash"), "{point:?}");
+            let got = sd.read_checkpoint().expect("read").expect("present");
+            let want: &[u8] = if new_visible {
+                b"NEW-ENVELOPE-LONGER"
+            } else {
+                b"OLD-ENVELOPE"
+            };
+            assert_eq!(
+                got, want,
+                "crash at {point:?} must leave a complete envelope"
+            );
+        }
+        assert_eq!(plan.counts().crashes, sweep.len() as u64);
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -28,7 +28,26 @@ pub enum ClientError {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Backoff hint in milliseconds (meaningful for
+        /// [`ErrorCode::Overloaded`]; 0 = no hint).
+        retry_after_ms: u64,
     },
+}
+
+impl ClientError {
+    /// The server's backoff hint, when this error is a load-shedding
+    /// rejection ([`ErrorCode::Overloaded`]): wait at least this long
+    /// before retrying.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Server {
+                code: ErrorCode::Overloaded,
+                retry_after_ms,
+                ..
+            } => Some(Duration::from_millis(*retry_after_ms)),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -36,8 +55,16 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ClientError::Server { code, message } => {
-                write!(f, "server rejected request ({code:?}): {message}")
+            ClientError::Server {
+                code,
+                message,
+                retry_after_ms,
+            } => {
+                write!(f, "server rejected request ({code:?}): {message}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms} ms)")?;
+                }
+                Ok(())
             }
         }
     }
@@ -84,6 +111,21 @@ pub struct ClientOptions {
     /// retry storms against a recovering node. `None`: exact exponential
     /// sleeps (the historic behaviour, and what deterministic tests want).
     pub jitter_seed: Option<u64>,
+    /// Extra attempts after a request is rejected [`ErrorCode::Overloaded`]
+    /// (0 = surface the rejection immediately). Each retry sleeps at least
+    /// the server's `retry_after_ms` hint, and at least the jittered
+    /// exponential backoff — honoring the hint is what keeps a shedding
+    /// server from being hammered by synchronized retries. Overload
+    /// rejections are *determinate* (nothing was applied), so this retry is
+    /// safe for every request kind, ingest included.
+    pub overload_retries: u32,
+    /// Opt-in: resend an ingest batch (over a fresh connection) after an
+    /// *indeterminate* transport failure — the frame may have been delivered
+    /// and applied even though no ack arrived, so a resend can double-apply
+    /// the batch. Leave this off unless the stream is idempotent or an
+    /// external ledger deduplicates; the default surfaces the error and
+    /// leaves the applied-or-not question to the caller.
+    pub ingest_resend: bool,
     /// Deterministic transport fault injection (the cluster fault lab);
     /// `None` = a faithful transport.
     pub faults: Option<Arc<FaultPlan>>,
@@ -99,6 +141,8 @@ impl Default for ClientOptions {
             backoff: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(1),
             jitter_seed: None,
+            overload_retries: 0,
+            ingest_resend: false,
             faults: None,
         }
     }
@@ -153,9 +197,11 @@ pub struct Client {
     bytes_received: u64,
     send_buf: Vec<u8>,
     recv_buf: Vec<u8>,
-    /// Fault schedule consulted before every request write (`None` = a
-    /// faithful transport).
-    faults: Option<Arc<FaultPlan>>,
+    /// The options this client was dialled with — kept for overload backoff
+    /// and (opt-in) ingest resend over a fresh connection.
+    opts: ClientOptions,
+    /// The resolved addresses the client dialled (reused by reconnects).
+    addrs: Vec<std::net::SocketAddr>,
     /// Requests attempted on this connection (drives fault slow-start).
     ops: u64,
     /// Highest ingest-ack watermark observed per space (absent = nothing
@@ -177,6 +223,50 @@ fn jittered(backoff: Duration, jitter_seed: Option<u64>, attempt: u32) -> Durati
             Duration::from_nanos((backoff.as_nanos() as u64).saturating_mul(draw >> 32) >> 32)
         }
     }
+}
+
+/// A server's `retry_after_ms` hint may not be trusted blindly — a buggy or
+/// hostile peer could park a client for hours. Clamp here.
+const MAX_RETRY_HINT: Duration = Duration::from_secs(10);
+
+/// Establish one TCP connection with the options' bounded-retry loop:
+/// up to `1 + opts.retries` attempts with (jittered) exponential backoff,
+/// consulting the fault plan at each attempt.
+fn dial(addrs: &[std::net::SocketAddr], opts: &ClientOptions) -> std::io::Result<TcpStream> {
+    let cap = opts.backoff_cap.max(Duration::from_millis(1));
+    let mut backoff = opts.backoff.min(cap);
+    let mut last_err = None;
+    for attempt in 0..=opts.retries {
+        if attempt > 0 {
+            std::thread::sleep(jittered(backoff, opts.jitter_seed, attempt));
+            backoff = (backoff * 2).min(cap);
+        }
+        if let Some(plan) = &opts.faults {
+            if plan.connect_refused() {
+                last_err = Some(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "fault injection: connect refused",
+                ));
+                continue;
+            }
+        }
+        for sock in addrs {
+            let connected = match opts.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(sock, t),
+                None => TcpStream::connect(sock),
+            };
+            match connected {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(opts.read_timeout)?;
+                    stream.set_write_timeout(opts.write_timeout)?;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
 }
 
 impl Client {
@@ -202,51 +292,31 @@ impl Client {
                 "address resolved to nothing",
             ));
         }
-        let cap = opts.backoff_cap.max(Duration::from_millis(1));
-        let mut backoff = opts.backoff.min(cap);
-        let mut last_err = None;
-        for attempt in 0..=opts.retries {
-            if attempt > 0 {
-                std::thread::sleep(jittered(backoff, opts.jitter_seed, attempt));
-                backoff = (backoff * 2).min(cap);
-            }
-            if let Some(plan) = &opts.faults {
-                if plan.connect_refused() {
-                    last_err = Some(std::io::Error::new(
-                        std::io::ErrorKind::ConnectionRefused,
-                        "fault injection: connect refused",
-                    ));
-                    continue;
-                }
-            }
-            for sock in &addrs {
-                let connected = match opts.connect_timeout {
-                    Some(t) => TcpStream::connect_timeout(sock, t),
-                    None => TcpStream::connect(sock),
-                };
-                match connected {
-                    Ok(stream) => {
-                        stream.set_nodelay(true)?;
-                        stream.set_read_timeout(opts.read_timeout)?;
-                        stream.set_write_timeout(opts.write_timeout)?;
-                        return Ok(Client {
-                            stream,
-                            space: SpaceId::default_space(),
-                            bytes_sent: 0,
-                            bytes_received: 0,
-                            send_buf: Vec::new(),
-                            recv_buf: Vec::new(),
-                            faults: opts.faults.clone(),
-                            ops: 0,
-                            watermarks: HashMap::new(),
-                            stale: false,
-                        });
-                    }
-                    Err(e) => last_err = Some(e),
-                }
-            }
-        }
-        Err(last_err.expect("at least one attempt"))
+        let stream = dial(&addrs, opts)?;
+        Ok(Client {
+            stream,
+            space: SpaceId::default_space(),
+            bytes_sent: 0,
+            bytes_received: 0,
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
+            opts: opts.clone(),
+            addrs,
+            ops: 0,
+            watermarks: HashMap::new(),
+            stale: false,
+        })
+    }
+
+    /// Drop the current connection and dial the same address with the same
+    /// options (fresh slow-start, fresh fault-plan connection state). The
+    /// remembered per-space watermarks survive — read-your-writes carries
+    /// across reconnects to the same server.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.stream = dial(&self.addrs, &self.opts)?;
+        self.ops = 0;
+        Ok(())
     }
 
     /// The space this client currently addresses.
@@ -322,7 +392,7 @@ impl Client {
     /// payload bytes that do go out are never altered.
     fn write_staged(&mut self) -> Result<(), ClientError> {
         self.ops += 1;
-        if let Some(plan) = &self.faults {
+        if let Some(plan) = &self.opts.faults {
             if let Some(extra) = plan.slow_start(self.ops) {
                 std::thread::sleep(extra);
             }
@@ -343,6 +413,19 @@ impl Client {
                     return Err(ClientError::Io(std::io::Error::new(
                         std::io::ErrorKind::TimedOut,
                         "fault injection: request stalled past the read timeout",
+                    )));
+                }
+                SendFault::DeliverThenCut => {
+                    // The indeterminate failure: the whole frame reaches the
+                    // server, the connection dies before any response. The
+                    // server may have applied the request.
+                    let _ = self.stream.write_all(&self.send_buf);
+                    let _ = self.stream.flush();
+                    self.bytes_sent += self.send_buf.len() as u64;
+                    let _ = self.stream.shutdown(Shutdown::Both);
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        "fault injection: frame delivered, connection cut before the response",
                     )));
                 }
             }
@@ -386,7 +469,15 @@ impl Client {
 
     fn expect_staged(&mut self) -> Result<Response, ClientError> {
         match self.transact_staged()? {
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after_ms,
+            }),
             other => Ok(other),
         }
     }
@@ -395,16 +486,66 @@ impl Client {
         self.expect_in(&self.space.clone(), request)
     }
 
+    /// Sleep before overload retry number `attempt`: at least the jittered
+    /// exponential backoff, and at least the server's hint (clamped to
+    /// [`MAX_RETRY_HINT`]) — the hint is what spreads a flash crowd's
+    /// retries out instead of re-synchronizing them on the shedding server.
+    fn overload_pause(&self, hint: Duration, attempt: u32) {
+        let cap = self.opts.backoff_cap.max(Duration::from_millis(1));
+        let exp = self
+            .opts
+            .backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(cap);
+        let sleep = jittered(exp, self.opts.jitter_seed, attempt).max(hint.min(MAX_RETRY_HINT));
+        std::thread::sleep(sleep);
+    }
+
     fn expect_in(&mut self, space: &SpaceId, request: &Request) -> Result<Response, ClientError> {
-        self.send_buf.clear();
-        request.encode_into(space, &mut self.send_buf);
-        self.expect_staged()
+        let mut attempt = 0u32;
+        loop {
+            self.send_buf.clear();
+            request.encode_into(space, &mut self.send_buf);
+            match self.expect_staged() {
+                Err(e) if attempt < self.opts.overload_retries && e.retry_after().is_some() => {
+                    attempt += 1;
+                    self.overload_pause(e.retry_after().unwrap_or_default(), attempt);
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Apply a batch of updates; returns the server's applied count.
+    ///
+    /// An [`ErrorCode::Overloaded`] rejection is *determinate* (the server
+    /// admitted nothing), so with [`ClientOptions::overload_retries`] > 0
+    /// the batch is retried after honoring the retry-after hint. A
+    /// transport failure is *indeterminate* — the batch may already be
+    /// applied — and is only resent (over a fresh connection) when the
+    /// caller opted in via [`ClientOptions::ingest_resend`].
     pub fn ingest_batch(&mut self, updates: &[Update]) -> Result<u64, ClientError> {
-        self.ingest_send(updates)?;
-        self.ingest_ack()
+        let mut overload_attempt = 0u32;
+        let mut resends = 0u32;
+        loop {
+            let outcome = self.ingest_send(updates).and_then(|()| self.ingest_ack());
+            match outcome {
+                Err(e)
+                    if overload_attempt < self.opts.overload_retries
+                        && e.retry_after().is_some() =>
+                {
+                    overload_attempt += 1;
+                    self.overload_pause(e.retry_after().unwrap_or_default(), overload_attempt);
+                }
+                Err(ClientError::Io(_))
+                    if self.opts.ingest_resend && resends <= self.opts.retries =>
+                {
+                    resends += 1;
+                    self.reconnect()?;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Split-phase ingest, send half: encode and write the batch frame
@@ -432,7 +573,15 @@ impl Client {
     /// ack's watermark is remembered — subsequent queries wait for it.
     pub fn ingest_ack(&mut self) -> Result<u64, ClientError> {
         match self.read_staged()? {
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after_ms,
+            }),
             Response::Ingested { count, watermark } => {
                 let entry = self.watermarks.entry(self.space.clone()).or_insert(0);
                 *entry = (*entry).max(watermark);

@@ -45,6 +45,11 @@ pub enum SendFault {
     /// Sleep this long, then fail the request as timed out without writing
     /// a byte.
     Stall(Duration),
+    /// Deliver the *whole* frame, then tear the connection down before the
+    /// response can be read — the indeterminate failure: the server may
+    /// have applied the request, the caller cannot know. This is the fault
+    /// that makes blind ingest resends double-apply.
+    DeliverThenCut,
 }
 
 /// Per-mille probabilities and shapes of the injected faults.
@@ -56,6 +61,12 @@ pub struct FaultProfile {
     pub cut_permille: u32,
     /// Per-mille chance a request stalls past the read timeout.
     pub stall_permille: u32,
+    /// Per-mille chance a request frame is delivered in full and the
+    /// connection cut before the response — the *indeterminate* failure
+    /// (default 0: the classic schedules never leave the applied/not-applied
+    /// question open, which is what keeps their byte-identity assertions
+    /// simple).
+    pub deliver_cut_permille: u32,
     /// Simulated stall duration (keep it past the caller's read timeout in
     /// spirit, short in wall-clock — the failure is reported directly).
     pub stall: Duration,
@@ -72,6 +83,7 @@ impl Default for FaultProfile {
             refuse_permille: 30,
             cut_permille: 30,
             stall_permille: 20,
+            deliver_cut_permille: 0,
             stall: Duration::from_millis(10),
             slow_start: Duration::from_millis(1),
             slow_ops: 4,
@@ -95,6 +107,7 @@ pub struct FaultPlan {
     refused: AtomicU64,
     cut: AtomicU64,
     stalled: AtomicU64,
+    delivered_cut: AtomicU64,
 }
 
 /// Counters of what a [`FaultPlan`] actually injected.
@@ -106,6 +119,8 @@ pub struct FaultCounts {
     pub cut: u64,
     /// Requests stalled past the read timeout.
     pub stalled: u64,
+    /// Frames delivered in full with the connection cut before the response.
+    pub delivered_cut: u64,
 }
 
 impl FaultPlan {
@@ -121,6 +136,7 @@ impl FaultPlan {
             refused: AtomicU64::new(0),
             cut: AtomicU64::new(0),
             stalled: AtomicU64::new(0),
+            delivered_cut: AtomicU64::new(0),
         }
     }
 
@@ -166,9 +182,18 @@ impl FaultPlan {
                 let at = 1 + (self.draw() as usize) % (frame_len - 1);
                 return SendFault::CutAfter(at);
             }
-        } else if r < u64::from(p.cut_permille) + u64::from(p.stall_permille) && self.spend() {
-            self.stalled.fetch_add(1, Ordering::SeqCst);
-            return SendFault::Stall(p.stall);
+        } else if r < u64::from(p.cut_permille) + u64::from(p.stall_permille) {
+            if self.spend() {
+                self.stalled.fetch_add(1, Ordering::SeqCst);
+                return SendFault::Stall(p.stall);
+            }
+        } else if r < u64::from(p.cut_permille)
+            + u64::from(p.stall_permille)
+            + u64::from(p.deliver_cut_permille)
+            && self.spend()
+        {
+            self.delivered_cut.fetch_add(1, Ordering::SeqCst);
+            return SendFault::DeliverThenCut;
         }
         SendFault::None
     }
@@ -187,6 +212,7 @@ impl FaultPlan {
             refused: self.refused.load(Ordering::SeqCst),
             cut: self.cut.load(Ordering::SeqCst),
             stalled: self.stalled.load(Ordering::SeqCst),
+            delivered_cut: self.delivered_cut.load(Ordering::SeqCst),
         }
     }
 }
@@ -200,6 +226,7 @@ mod tests {
             refuse_permille: 500,
             cut_permille: 300,
             stall_permille: 200,
+            deliver_cut_permille: 0,
             stall: Duration::from_millis(1),
             slow_start: Duration::from_micros(10),
             slow_ops: 2,
@@ -241,6 +268,23 @@ mod tests {
                 assert!((1..37).contains(&at));
             }
         }
+    }
+
+    #[test]
+    fn deliver_then_cut_draws_deterministically() {
+        let profile = FaultProfile {
+            refuse_permille: 0,
+            cut_permille: 0,
+            stall_permille: 0,
+            deliver_cut_permille: 1000,
+            ..FaultProfile::default()
+        };
+        let plan = FaultPlan::new(11, profile, 3);
+        for _ in 0..10 {
+            let _ = plan.send_fault(64);
+        }
+        assert_eq!(plan.counts().delivered_cut, 3);
+        assert_eq!(plan.send_fault(64), SendFault::None);
     }
 
     #[test]

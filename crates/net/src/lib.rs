@@ -66,7 +66,7 @@ pub mod server;
 pub use client::{Client, ClientError, ClientOptions};
 pub use fault::{FaultCounts, FaultPlan, FaultProfile, SendFault};
 pub use proto::{
-    ErrorCode, ReadMode, Request, Response, WireNodeInfo, WireShardStats, WireSpaceInfo, WireStats,
-    WireView,
+    ErrorCode, ReadMode, Request, Response, WireNodeInfo, WireOverload, WireShardStats,
+    WireSpaceInfo, WireStats, WireView,
 };
-pub use server::{Server, ServerOptions};
+pub use server::{OverloadLimits, Server, ServerOptions};

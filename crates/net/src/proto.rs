@@ -169,6 +169,31 @@ pub struct WireShardStats {
     pub space_bytes: u64,
 }
 
+/// Overload-protection gauges and counters for one space, carried inside
+/// [`WireStats`]. The `shed_*` counters are monotone since the space (or
+/// server) started; `inflight_*` and `lag_*` are instantaneous gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireOverload {
+    /// Ingest batches rejected by admission control ([`ErrorCode::Overloaded`]).
+    pub shed_ingest: u64,
+    /// Watermarked reads failed fast because the refresher lag exceeded the
+    /// lag budget.
+    pub shed_reads: u64,
+    /// Connections refused at accept because the server hit `--max-conns`
+    /// (server-wide, reported identically in every space's stats).
+    pub shed_conns: u64,
+    /// Updates currently admitted but not yet acked (in the WAL/engine path).
+    pub inflight_updates: u64,
+    /// Wire bytes currently admitted but not yet acked.
+    pub inflight_bytes: u64,
+    /// Acked ingest watermark minus published snapshot watermark: how many
+    /// updates the refresher currently trails by.
+    pub lag_updates: u64,
+    /// Age of the published snapshot relative to the last ack, in
+    /// milliseconds — the refresher's current lag in time units.
+    pub lag_ms: u64,
+}
+
 /// Per-space statistics as they travel over the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireStats {
@@ -185,6 +210,8 @@ pub struct WireStats {
     pub wal_bytes: u64,
     /// The space's soft quota in bytes (0 = unlimited).
     pub quota_bytes: u64,
+    /// Overload-protection counters and gauges.
+    pub overload: WireOverload,
     /// Per-shard counters, in shard order.
     pub shards: Vec<WireShardStats>,
 }
@@ -309,6 +336,12 @@ pub enum ErrorCode {
     /// published snapshot to reach the requested watermark. The write is
     /// durable; retry the read (or read `?stale`).
     WatermarkTimeout = 14,
+    /// The server is shedding load: the space's in-flight ingest budget is
+    /// exhausted, the connection limit is reached, or the published snapshot
+    /// trails the acked watermark by more than the lag budget. Nothing was
+    /// applied. The error frame carries a `retry_after_ms` hint; back off at
+    /// least that long (or, for reads, fall back to `?stale`).
+    Overloaded = 15,
 }
 
 impl ErrorCode {
@@ -329,6 +362,7 @@ impl ErrorCode {
             12 => ErrorCode::Durability,
             13 => ErrorCode::NodeUnavailable,
             14 => ErrorCode::WatermarkTimeout,
+            15 => ErrorCode::Overloaded,
             _ => return None,
         })
     }
@@ -376,7 +410,33 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Backoff hint in milliseconds, meaningful for
+        /// [`ErrorCode::Overloaded`]: how long the client should wait before
+        /// retrying. 0 = no hint. Travels as an optional trailing varint so
+        /// hint-less error frames cost nothing extra.
+        retry_after_ms: u64,
     },
+}
+
+impl Response {
+    /// An error frame with no backoff hint — every rejection that is not
+    /// load shedding.
+    pub fn error(code: ErrorCode, message: String) -> Response {
+        Response::Error {
+            code,
+            message,
+            retry_after_ms: 0,
+        }
+    }
+
+    /// An [`ErrorCode::Overloaded`] error frame carrying a backoff hint.
+    pub fn overloaded(message: String, retry_after_ms: u64) -> Response {
+        Response::Error {
+            code: ErrorCode::Overloaded,
+            message,
+            retry_after_ms,
+        }
+    }
 }
 
 impl Response {
@@ -962,6 +1022,17 @@ impl Response {
                 put_uvarint(body, stats.space_bytes);
                 put_uvarint(body, stats.wal_bytes);
                 put_uvarint(body, stats.quota_bytes);
+                for v in [
+                    stats.overload.shed_ingest,
+                    stats.overload.shed_reads,
+                    stats.overload.shed_conns,
+                    stats.overload.inflight_updates,
+                    stats.overload.inflight_bytes,
+                    stats.overload.lag_updates,
+                    stats.overload.lag_ms,
+                ] {
+                    put_uvarint(body, v);
+                }
                 put_uvarint(body, stats.shards.len() as u64);
                 for s in &stats.shards {
                     put_uvarint(body, s.partitions);
@@ -986,10 +1057,17 @@ impl Response {
             Response::View(view) => frame_into(buf, Self::TAG_VIEW, |body| {
                 put_view(body, view);
             }),
-            Response::Error { code, message } => frame_into(buf, Self::TAG_ERROR, |body| {
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => frame_into(buf, Self::TAG_ERROR, |body| {
                 body.push(*code as u8);
                 put_uvarint(body, message.len() as u64);
                 body.extend_from_slice(message.as_bytes());
+                if *retry_after_ms > 0 {
+                    put_uvarint(body, *retry_after_ms);
+                }
             }),
         }
     }
@@ -1033,6 +1111,15 @@ impl Response {
                 let space_bytes = next("stats space bytes")?;
                 let wal_bytes = next("stats wal bytes")?;
                 let quota_bytes = next("stats quota bytes")?;
+                let overload = WireOverload {
+                    shed_ingest: next("stats shed ingest")?,
+                    shed_reads: next("stats shed reads")?,
+                    shed_conns: next("stats shed conns")?,
+                    inflight_updates: next("stats inflight updates")?,
+                    inflight_bytes: next("stats inflight bytes")?,
+                    lag_updates: next("stats lag updates")?,
+                    lag_ms: next("stats lag ms")?,
+                };
                 let count = next("stats shard count")? as usize;
                 if count > body.len() {
                     return Err(FrameError::Malformed("shard count exceeds body"));
@@ -1055,6 +1142,7 @@ impl Response {
                     space_bytes,
                     wal_bytes,
                     quota_bytes,
+                    overload,
                     shards,
                 })
             }
@@ -1102,7 +1190,18 @@ impl Response {
                     .map_err(|_| FrameError::Malformed("error message utf8"))?
                     .to_string();
                 pos = end;
-                Response::Error { code, message }
+                // The backoff hint is an optional trailing varint: absent on
+                // hint-less frames, so its decode never rejects older shapes.
+                let retry_after_ms = if pos < body.len() {
+                    get_uvarint(body, &mut pos).ok_or(FrameError::Malformed("error retry hint"))?
+                } else {
+                    0
+                };
+                Response::Error {
+                    code,
+                    message,
+                    retry_after_ms,
+                }
             }
             other => return Err(FrameError::UnknownTag(other)),
         };
@@ -1291,6 +1390,15 @@ mod tests {
             space_bytes: (1 << 20) + (1 << 19),
             wal_bytes: 4096,
             quota_bytes: 1 << 30,
+            overload: WireOverload {
+                shed_ingest: 17,
+                shed_reads: 3,
+                shed_conns: 1,
+                inflight_updates: 512,
+                inflight_bytes: 4096,
+                lag_updates: 900,
+                lag_ms: 120,
+            },
             shards: vec![
                 WireShardStats {
                     partitions: 4,
@@ -1344,14 +1452,36 @@ mod tests {
             epoch: 9,
             pooled: vec![(3, vec![17, 2]), (8, Vec::new())],
         }));
-        roundtrip_response(Response::Error {
-            code: ErrorCode::QuotaExceeded,
-            message: "space tenant-1 over quota".into(),
-        });
-        roundtrip_response(Response::Error {
-            code: ErrorCode::NodeUnavailable,
-            message: "node 127.0.0.1:7431 is down".into(),
-        });
+        roundtrip_response(Response::error(
+            ErrorCode::QuotaExceeded,
+            "space tenant-1 over quota".into(),
+        ));
+        roundtrip_response(Response::error(
+            ErrorCode::NodeUnavailable,
+            "node 127.0.0.1:7431 is down".into(),
+        ));
+        roundtrip_response(Response::overloaded(
+            "in-flight ingest budget exhausted".into(),
+            250,
+        ));
+        roundtrip_response(Response::overloaded(String::new(), u64::MAX));
+    }
+
+    #[test]
+    fn error_retry_hint_is_optional_on_the_wire() {
+        // A hint-less frame omits the trailing varint entirely…
+        let bytes = Response::error(ErrorCode::Durability, "disk".into()).encode();
+        let hinted = Response::overloaded("disk".into(), 40).encode();
+        assert_eq!(hinted.len(), bytes.len() + 1);
+        // …and a hand-built frame without the hint decodes to retry 0, so
+        // the extension rejects nothing an older encoder produced.
+        let mut payload = vec![VERSION, 0xFF, 15];
+        put_uvarint(&mut payload, 2);
+        payload.extend_from_slice(b"hi");
+        assert_eq!(
+            Response::decode(&payload).unwrap(),
+            Response::error(ErrorCode::Overloaded, "hi".into())
+        );
     }
 
     #[test]

@@ -96,6 +96,21 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 /// `write_all` forever — and with it the acceptor's shutdown join.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Once a frame's first byte arrives, the rest of it (header and payload)
+/// must land within this deadline. A slowloris peer trickling one byte per
+/// poll interval would otherwise hold a worker — and, under
+/// [`ServerOptions::max_conns`], a connection slot — forever. Idle time
+/// *between* frames is unbounded: a quiet, well-formed connection is cheap.
+const FRAME_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Base unit of the `retry_after_ms` hint on shed requests; scaled by how
+/// far past its budget the space is, so harder overload spreads retries
+/// over a wider window.
+const RETRY_BASE_MS: u64 = 50;
+
+/// Retry hint handed to connections shed at accept time.
+const CONN_RETRY_MS: u64 = 200;
+
 /// Upper bound on a watermarked query's wait for the refresher to catch
 /// up. Normally the refresher publishes within a millisecond of ingest, so
 /// this only fires if a client presents a watermark the server never acked
@@ -117,6 +132,26 @@ const REFRESH_PACE_FLOOR: Duration = Duration::from_micros(500);
 /// `sweep + REFRESH_PACE_CAP` even when view rebuilds are slow.
 const REFRESH_PACE_CAP: Duration = Duration::from_millis(100);
 
+/// Overload-protection budgets. Every limit defaults to `0` = *off* — the
+/// historic accept-everything behaviour; `fews listen` and the stress
+/// harnesses opt in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverloadLimits {
+    /// Per-space cap on updates admitted to the ingest path and not yet
+    /// acknowledged. A batch that arrives with the budget exhausted is shed
+    /// with [`ErrorCode::Overloaded`] *before* it touches the WAL — nothing
+    /// was applied, so the client may retry blindly after the hint.
+    pub inflight_updates: u64,
+    /// Per-space cap on in-flight ingest payload bytes (same shedding).
+    pub inflight_bytes: u64,
+    /// Shed `AtLeast` queries once the published snapshot trails the acked
+    /// watermark by more than this many WAL records (batches): under that
+    /// much refresher lag a watermarked read would only stack condvar
+    /// waiters, so it fails fast with a retry hint while `?stale` reads
+    /// keep answering from the snapshot that *is* published.
+    pub lag_budget: u64,
+}
+
 /// Serving options beyond the engine config and bind address.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -130,6 +165,17 @@ pub struct ServerOptions {
     /// this to simulate a slow refresher and prove watermarked reads still
     /// never observe a torn or early view.
     pub refresh_debounce: Option<Duration>,
+    /// Cap on concurrent connections (0 = unlimited). Connections past the
+    /// cap are shed *at accept time* with a best-effort typed
+    /// [`ErrorCode::Overloaded`] frame instead of being left to rot in the
+    /// SYN queue.
+    pub max_conns: usize,
+    /// Ingest admission and query-shedding budgets.
+    pub limits: OverloadLimits,
+    /// Storage fault lab: a seeded plan consulted by every WAL flush/fsync
+    /// and checkpoint replace ([`fews_engine::diskfault::DiskFaultPlan`]).
+    /// `None` (the default) runs the real disk untouched.
+    pub disk_faults: Option<Arc<fews_engine::diskfault::DiskFaultPlan>>,
 }
 
 impl Default for ServerOptions {
@@ -138,6 +184,9 @@ impl Default for ServerOptions {
             data_dir: None,
             compact_bytes: 8 << 20,
             refresh_debounce: None,
+            max_conns: 0,
+            limits: OverloadLimits::default(),
+            disk_faults: None,
         }
     }
 }
@@ -155,6 +204,9 @@ struct Published {
     /// The space's ingest sequence number this snapshot covers: every
     /// batch acked with a watermark ≤ this value is visible in `view`.
     watermark: u64,
+    /// When this snapshot was installed — the age of the published view,
+    /// and (while ingest is ahead of it) the refresher's current lag.
+    at: Instant,
 }
 
 impl Published {
@@ -372,6 +424,84 @@ impl WalSync {
     }
 }
 
+/// A space's live load picture: the in-flight admission gauges and the
+/// overload counters `stats` reports. All lock-free — the admission check
+/// sits on the hot ingest path and the shed paths must stay cheap when the
+/// server is busiest.
+#[derive(Default)]
+struct SpaceLoad {
+    /// Updates admitted to the ingest path and not yet released.
+    inflight_updates: AtomicU64,
+    /// Approximate payload bytes admitted and not yet released.
+    inflight_bytes: AtomicU64,
+    /// Ingest batches shed with [`ErrorCode::Overloaded`] (monotone).
+    shed_ingest: AtomicU64,
+    /// Watermarked queries shed for refresher lag (monotone).
+    shed_reads: AtomicU64,
+    /// Lock-free mirror of the space's acked ingest watermark, for lag
+    /// probes that must not touch the state lock.
+    acked_seq: AtomicU64,
+}
+
+/// An admission ticket: the in-flight budget it holds is released exactly
+/// once, on drop — whichever of the ingest arm's many exit paths runs
+/// (validation failure, WAL poison, fsync error, clean ack), the gauges
+/// come back down. That structural guarantee is what the budget-leak
+/// proptest pins.
+struct Admitted<'a> {
+    load: &'a SpaceLoad,
+    updates: u64,
+    bytes: u64,
+}
+
+impl Drop for Admitted<'_> {
+    fn drop(&mut self) {
+        self.load
+            .inflight_updates
+            .fetch_sub(self.updates, Ordering::SeqCst);
+        self.load
+            .inflight_bytes
+            .fetch_sub(self.bytes, Ordering::SeqCst);
+    }
+}
+
+impl SpaceLoad {
+    /// Admit `updates`/`bytes` of ingest against the budget, or return the
+    /// `retry_after_ms` hint to shed with. A batch is only rejected when
+    /// *other* work is in flight — a lone batch bigger than the whole
+    /// budget still admits (the budget bounds concurrency, not batch size;
+    /// frames already cap the latter).
+    fn admit<'a>(
+        &'a self,
+        updates: u64,
+        bytes: u64,
+        limits: &OverloadLimits,
+    ) -> Result<Admitted<'a>, u64> {
+        let u = self.inflight_updates.fetch_add(updates, Ordering::SeqCst) + updates;
+        let b = self.inflight_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        let over_u = limits.inflight_updates > 0 && u > limits.inflight_updates && u > updates;
+        let over_b = limits.inflight_bytes > 0 && b > limits.inflight_bytes && b > bytes;
+        if over_u || over_b {
+            self.inflight_updates.fetch_sub(updates, Ordering::SeqCst);
+            self.inflight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            self.shed_ingest.fetch_add(1, Ordering::SeqCst);
+            // Scale the hint with how far past budget the space is: deeper
+            // overload spreads the retry wave over a wider window.
+            let pressure = if over_u {
+                u / limits.inflight_updates.max(1)
+            } else {
+                b / limits.inflight_bytes.max(1)
+            };
+            return Err(RETRY_BASE_MS.saturating_mul(pressure.clamp(1, 10)));
+        }
+        Ok(Admitted {
+            load: self,
+            updates,
+            bytes,
+        })
+    }
+}
+
 /// Everything the server knows about one live space.
 struct SpaceHandle {
     space: SpaceId,
@@ -398,6 +528,8 @@ struct SpaceHandle {
     /// = unassigned, serve every partition). Bounds what
     /// [`Request::ViewPull`] ships.
     slice: Mutex<Option<Vec<u32>>>,
+    /// In-flight admission gauges and shed counters.
+    load: SpaceLoad,
 }
 
 impl SpaceHandle {
@@ -410,6 +542,8 @@ impl SpaceHandle {
     ) -> Arc<SpaceHandle> {
         let (view, stats) = state.engine.refresh();
         let watermark = state.ingest_seq;
+        let load = SpaceLoad::default();
+        load.acked_seq.store(watermark, Ordering::SeqCst);
         Arc::new(SpaceHandle {
             space,
             spec,
@@ -421,11 +555,13 @@ impl SpaceHandle {
                 stats,
                 version: 1,
                 watermark,
+                at: Instant::now(),
             })),
             publish_cv: Condvar::new(),
             started: Instant::now(),
             wal_bytes: AtomicU64::new(0),
             slice: Mutex::new(None),
+            load,
         })
     }
 
@@ -451,6 +587,7 @@ impl SpaceHandle {
             stats,
             version,
             watermark,
+            at: Instant::now(),
         });
         drop(slot);
         self.publish_cv.notify_all();
@@ -580,6 +717,17 @@ struct Shared {
     refresh: RefreshSignal,
     /// Test-only publish delay ([`ServerOptions::refresh_debounce`]).
     refresh_debounce: Option<Duration>,
+    /// Overload budgets ([`ServerOptions::limits`]).
+    limits: OverloadLimits,
+    /// Connection cap ([`ServerOptions::max_conns`]; 0 = unlimited).
+    max_conns: usize,
+    /// Live connection workers.
+    conns: AtomicU64,
+    /// Connections shed at accept time (monotone, server-wide).
+    shed_conns: AtomicU64,
+    /// Storage fault lab ([`ServerOptions::disk_faults`]), attached to
+    /// every created space's checkpoint writer.
+    disk_faults: Option<Arc<fews_engine::diskfault::DiskFaultPlan>>,
     shutdown: AtomicBool,
     /// Set by [`Server::crash`]: skip graceful finalization on join.
     crash: AtomicBool,
@@ -637,6 +785,11 @@ impl Server {
             compact_bytes: opts.compact_bytes.max(1),
             refresh: RefreshSignal::default(),
             refresh_debounce: opts.refresh_debounce,
+            limits: opts.limits,
+            max_conns: opts.max_conns,
+            conns: AtomicU64::new(0),
+            shed_conns: AtomicU64::new(0),
+            disk_faults: opts.disk_faults,
             shutdown: AtomicBool::new(false),
             crash: AtomicBool::new(false),
         });
@@ -826,7 +979,7 @@ fn build_spaces(
     std::fs::create_dir_all(data_dir)?;
     // The default space's model comes from the serve flags; the data dir
     // must agree with them or the stream would be fed into the wrong model.
-    let default_dir = SpaceDir::new(data_dir, &default);
+    let default_dir = SpaceDir::new(data_dir, &default).with_faults(opts.disk_faults.clone());
     let default_spec = if default_dir.exists() {
         let (stored, seed) = default_dir.load_config()?;
         if seed != base.seed || stored != base.to_space(stored.quota_bytes) {
@@ -856,7 +1009,7 @@ fn build_spaces(
         Option<u64>,
     )> = Vec::new();
     for space in SpaceDir::list_spaces(data_dir)? {
-        let dir = SpaceDir::new(data_dir, &space);
+        let dir = SpaceDir::new(data_dir, &space).with_faults(opts.disk_faults.clone());
         let (spec, cfg) = if space.is_default() {
             (default_spec, base)
         } else {
@@ -872,7 +1025,7 @@ fn build_spaces(
     // Pass 2: one scan of the shared log, demultiplexed by space tag. The
     // floor keeps new sequence numbers above every checkpoint watermark.
     let floor = restored.iter().map(|r| r.4.last_seq).max().unwrap_or(0);
-    let (wal, recovery) = Wal::open(&wal_path(data_dir), floor)?;
+    let (wal, recovery) = Wal::open_with(&wal_path(data_dir), floor, opts.disk_faults.clone())?;
     let mut replayed = vec![(0usize, 0usize); restored.len()];
     let mut skipped = 0usize;
     for (seq, name, updates) in &recovery.replay {
@@ -944,6 +1097,23 @@ fn run_acceptor(listener: TcpListener, shared: Arc<Shared>) {
             std::thread::sleep(Duration::from_millis(50));
             continue;
         };
+        // Accept-time shedding: past the connection cap, answer with a
+        // typed Overloaded frame and close — the peer learns to back off
+        // instead of discovering a dead socket (or a full SYN queue) later.
+        if shared.max_conns > 0 && shared.conns.load(Ordering::SeqCst) >= shared.max_conns as u64 {
+            shared.shed_conns.fetch_add(1, Ordering::SeqCst);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = stream.write_all(
+                &Response::overloaded(
+                    format!("server is at its connection limit ({})", shared.max_conns),
+                    CONN_RETRY_MS,
+                )
+                .encode(),
+            );
+            continue;
+        }
+        shared.conns.fetch_add(1, Ordering::SeqCst);
         let shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("fews-net-conn".into())
@@ -1026,11 +1196,22 @@ enum ReadOutcome {
     Truncated,
     /// The server is shutting down.
     ShuttingDown,
+    /// The frame's read deadline expired before the buffer filled — a
+    /// slowloris peer trickling bytes, or one that wandered off mid-frame.
+    DeadlineExpired,
 }
 
 /// Fill `buf` from `stream`, tolerating read timeouts (used as a shutdown
 /// poll) without ever losing bytes: the fill position survives timeouts.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOutcome {
+/// With a `deadline`, the fill must complete before it — the slowloris
+/// guard on a started frame; without one, the wait is unbounded (the idle
+/// wait between frames).
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    deadline: Option<Instant>,
+) -> ReadOutcome {
     let mut filled = 0usize;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
@@ -1046,6 +1227,9 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOut
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return ReadOutcome::ShuttingDown;
                 }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return ReadOutcome::DeadlineExpired;
+                }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => return ReadOutcome::Truncated,
@@ -1056,7 +1240,7 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOut
 
 /// Best-effort error reply; the peer may already be gone.
 fn send_error(stream: &mut TcpStream, code: ErrorCode, message: String) {
-    let _ = stream.write_all(&Response::Error { code, message }.encode());
+    let _ = stream.write_all(&Response::error(code, message).encode());
 }
 
 fn error_code_for(err: &FrameError) -> ErrorCode {
@@ -1068,7 +1252,18 @@ fn error_code_for(err: &FrameError) -> ErrorCode {
     }
 }
 
+/// Releases a connection's slot in [`Shared::conns`] however its worker
+/// exits.
+struct ConnSlot<'a>(&'a Shared);
+
+impl Drop for ConnSlot<'_> {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _slot = ConnSlot(&shared);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
@@ -1091,10 +1286,30 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        match read_full(&mut stream, &mut header, &shared) {
+        // Idle wait (unbounded) for a frame's first byte; once it lands,
+        // the whole frame — header and payload — must complete within
+        // FRAME_DEADLINE, or the connection is closed with a typed error.
+        match read_full(&mut stream, &mut header[..1], &shared, None) {
             ReadOutcome::Full => {}
             ReadOutcome::CleanEof | ReadOutcome::ShuttingDown => return,
-            ReadOutcome::Truncated => return, // not even a header to answer
+            ReadOutcome::Truncated | ReadOutcome::DeadlineExpired => return,
+        }
+        let deadline = Some(Instant::now() + FRAME_DEADLINE);
+        match read_full(&mut stream, &mut header[1..], &shared, deadline) {
+            ReadOutcome::Full => {}
+            ReadOutcome::ShuttingDown => return,
+            ReadOutcome::CleanEof | ReadOutcome::Truncated => return,
+            ReadOutcome::DeadlineExpired => {
+                send_error(
+                    &mut stream,
+                    ErrorCode::Truncated,
+                    format!(
+                        "frame header did not complete within {}s",
+                        FRAME_DEADLINE.as_secs()
+                    ),
+                );
+                return;
+            }
         }
         let declared = u32::from_le_bytes(header) as u64;
         let len = match check_frame_len(declared) {
@@ -1107,7 +1322,7 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         };
         payload.clear();
         payload.resize(len, 0);
-        match read_full(&mut stream, &mut payload, &shared) {
+        match read_full(&mut stream, &mut payload, &shared, deadline) {
             ReadOutcome::Full => {}
             ReadOutcome::ShuttingDown => return,
             ReadOutcome::CleanEof | ReadOutcome::Truncated => {
@@ -1115,6 +1330,17 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                     &mut stream,
                     ErrorCode::Truncated,
                     "frame truncated before declared length".into(),
+                );
+                return;
+            }
+            ReadOutcome::DeadlineExpired => {
+                send_error(
+                    &mut stream,
+                    ErrorCode::Truncated,
+                    format!(
+                        "frame payload did not complete within {}s",
+                        FRAME_DEADLINE.as_secs()
+                    ),
                 );
                 return;
             }
@@ -1206,16 +1432,16 @@ fn handle_request(space: SpaceId, request: Request, shared: &Shared) -> Response
         Request::Shutdown => Response::Bye,
         // Liveness needs no space: a dead-space probe must still pong.
         Request::Ping => Response::Pong,
-        Request::JoinWorker(_) => Response::Error {
-            code: ErrorCode::Malformed,
-            message: "join-worker must be addressed to a cluster router, not a worker".into(),
-        },
+        Request::JoinWorker(_) => Response::error(
+            ErrorCode::Malformed,
+            "join-worker must be addressed to a cluster router, not a worker".into(),
+        ),
         request => {
             let Some(handle) = shared.space(&space) else {
-                return Response::Error {
-                    code: ErrorCode::UnknownSpace,
-                    message: format!("unknown space '{space}'"),
-                };
+                return Response::error(
+                    ErrorCode::UnknownSpace,
+                    format!("unknown space '{space}'"),
+                );
             };
             handle_space_request(&handle, request, shared)
         }
@@ -1225,23 +1451,23 @@ fn handle_request(space: SpaceId, request: Request, shared: &Shared) -> Response
 fn create_space(shared: &Shared, space: SpaceId, spec: SpaceConfig) -> Response {
     let mut registry = shared.spaces.write().expect("space registry");
     if registry.contains_key(&space) {
-        return Response::Error {
-            code: ErrorCode::SpaceExists,
-            message: format!("space '{space}' already exists"),
-        };
+        return Response::error(
+            ErrorCode::SpaceExists,
+            format!("space '{space}' already exists"),
+        );
     }
     let seed = space.seed_for(shared.base.seed);
     let cfg = space_engine_cfg(&shared.base, &spec, seed);
     let mut dir = None;
     if let Some(data_dir) = &shared.data_dir {
-        let sd = SpaceDir::new(data_dir, &space);
+        let sd = SpaceDir::new(data_dir, &space).with_faults(shared.disk_faults.clone());
         if let Err(e) = sd.init(&spec, seed) {
             // Don't leave a half-initialised directory behind.
             let _ = sd.remove();
-            return Response::Error {
-                code: ErrorCode::Durability,
-                message: format!("space '{space}' could not be initialised on disk: {e}"),
-            };
+            return Response::error(
+                ErrorCode::Durability,
+                format!("space '{space}' could not be initialised on disk: {e}"),
+            );
         }
         dir = Some(sd);
     }
@@ -1259,24 +1485,21 @@ fn create_space(shared: &Shared, space: SpaceId, spec: SpaceConfig) -> Response 
 
 fn drop_space(shared: &Shared, space: &SpaceId) -> Response {
     if space.is_default() {
-        return Response::Error {
-            code: ErrorCode::Malformed,
-            message: "the default space cannot be dropped".into(),
-        };
+        return Response::error(
+            ErrorCode::Malformed,
+            "the default space cannot be dropped".into(),
+        );
     }
     let mut registry = shared.spaces.write().expect("space registry");
     let Some(handle) = registry.remove(space) else {
-        return Response::Error {
-            code: ErrorCode::UnknownSpace,
-            message: format!("unknown space '{space}'"),
-        };
+        return Response::error(ErrorCode::UnknownSpace, format!("unknown space '{space}'"));
     };
     if let Some(dir) = &handle.dir {
         if let Err(e) = dir.remove() {
-            return Response::Error {
-                code: ErrorCode::Durability,
-                message: format!("space '{space}' dropped but its directory remains: {e}"),
-            };
+            return Response::error(
+                ErrorCode::Durability,
+                format!("space '{space}' dropped but its directory remains: {e}"),
+            );
         }
     }
     // The shared log may still hold the dropped space's records. Compact
@@ -1310,20 +1533,49 @@ fn list_spaces(shared: &Shared) -> Response {
 /// Resolve a query's snapshot under its [`ReadMode`]: the latest published
 /// one for `Stale`, or the first one covering the requested watermark for
 /// `AtLeast` — with a typed timeout error if the refresher cannot catch up.
-fn read_snapshot(handle: &SpaceHandle, mode: &ReadMode) -> Result<Arc<Published>, Response> {
+/// When the refresher's lag is past the configured budget, `AtLeast`
+/// queries shed immediately with [`ErrorCode::Overloaded`] + retry-after
+/// instead of stacking condvar waiters behind a snapshot that is many
+/// publishes away; `Stale` never sheds — answering from the snapshot that
+/// *is* published is the graceful-degradation path.
+fn read_snapshot(
+    handle: &SpaceHandle,
+    mode: &ReadMode,
+    limits: &OverloadLimits,
+) -> Result<Arc<Published>, Box<Response>> {
     match mode {
         ReadMode::Stale => Ok(handle.snapshot()),
         ReadMode::AtLeast(want) => {
-            handle
-                .wait_published(*want, WATERMARK_WAIT)
-                .map_err(|()| Response::Error {
-                    code: ErrorCode::WatermarkTimeout,
-                    message: format!(
+            let snap = handle.snapshot();
+            if snap.watermark >= *want {
+                return Ok(snap);
+            }
+            if limits.lag_budget > 0 {
+                let acked = handle.load.acked_seq.load(Ordering::SeqCst);
+                let lag = acked.saturating_sub(snap.watermark);
+                if lag > limits.lag_budget {
+                    handle.load.shed_reads.fetch_add(1, Ordering::SeqCst);
+                    let hint = RETRY_BASE_MS.saturating_mul((lag / limits.lag_budget).clamp(1, 10));
+                    return Err(Box::new(Response::overloaded(
+                        format!(
+                            "published snapshot trails acked ingest by {lag} records \
+                             (lag budget {}); retry after the hint, or read ?stale",
+                            limits.lag_budget
+                        ),
+                        hint,
+                    )));
+                }
+            }
+            handle.wait_published(*want, WATERMARK_WAIT).map_err(|()| {
+                Box::new(Response::error(
+                    ErrorCode::WatermarkTimeout,
+                    format!(
                         "published watermark did not reach {want} within {}s \
-                         (the write is durable; retry, or read ?stale)",
+                             (the write is durable; retry, or read ?stale)",
                         WATERMARK_WAIT.as_secs()
                     ),
-                })
+                ))
+            })
         }
     }
 }
@@ -1334,22 +1586,43 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
         // publish-before-ack.
         Request::IngestBatch(updates) => {
             if let Err((code, message)) = validate_batch(&handle.cfg, &updates) {
-                return Response::Error { code, message };
+                return Response::error(code, message);
             }
+            // Admission control, *before* the WAL sees a byte: if the
+            // space's in-flight budget is exhausted, shed with a typed
+            // Overloaded + retry hint. The rejection is determinate —
+            // nothing was logged or applied — so clients retry blindly.
+            // The ticket rides to the end of the arm; its Drop releases
+            // the budget on every exit path below.
+            let count = updates.len() as u64;
+            let batch_bytes = (updates.len() * std::mem::size_of::<fews_stream::Update>()) as u64;
+            let _admitted = match handle.load.admit(count, batch_bytes, &shared.limits) {
+                Ok(ticket) => ticket,
+                Err(retry_after_ms) => {
+                    return Response::overloaded(
+                        format!(
+                            "space '{}' ingest budget exhausted ({} updates / {} bytes in flight)",
+                            handle.space,
+                            handle.load.inflight_updates.load(Ordering::SeqCst),
+                            handle.load.inflight_bytes.load(Ordering::SeqCst),
+                        ),
+                        retry_after_ms,
+                    );
+                }
+            };
             // Quota is a soft limit on measured state: admit while under it.
             if handle.spec.quota_bytes > 0 {
                 let used = handle.snapshot().space_bytes();
                 if used >= handle.spec.quota_bytes {
-                    return Response::Error {
-                        code: ErrorCode::QuotaExceeded,
-                        message: format!(
+                    return Response::error(
+                        ErrorCode::QuotaExceeded,
+                        format!(
                             "space '{}' holds {used} bytes, quota is {}",
                             handle.space, handle.spec.quota_bytes
                         ),
-                    };
+                    );
                 }
             }
-            let count = updates.len() as u64;
             // Under the state lock: log-append (an in-memory buffer push),
             // engine-apply (a shard enqueue), watermark bump. No snapshot
             // publish — the refresher thread does that in the background,
@@ -1370,10 +1643,10 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                 if let Some(wal) = shared.wal.as_ref() {
                     if shared.sync.poisoned() {
                         shared.sync.abort_append();
-                        return Response::Error {
-                            code: ErrorCode::Durability,
-                            message: "durability disabled: a write-ahead log fsync failed".into(),
-                        };
+                        return Response::error(
+                            ErrorCode::Durability,
+                            "durability disabled: a write-ahead log fsync failed".into(),
+                        );
                     }
                     // Log before applying, so the log order and the engine
                     // order of this space can never disagree.
@@ -1393,6 +1666,9 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                 };
                 (state.ingest_seq, ticket)
             };
+            // Mirror the acked watermark where lag probes can read it
+            // without the state lock.
+            handle.load.acked_seq.fetch_max(watermark, Ordering::SeqCst);
             // Ring the refresher outside the lock: it will publish a
             // snapshot covering this watermark as soon as it gets the CPU.
             shared.refresh.ring();
@@ -1412,10 +1688,10 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                 // Fsync-before-ack: the batch is applied, but the
                 // acknowledgement waits for a covering flush + fsync.
                 if let Err(e) = shared.sync.wait_durable(&wal, ticket) {
-                    return Response::Error {
-                        code: ErrorCode::Durability,
-                        message: format!("write-ahead log fsync failed: {e}"),
-                    };
+                    return Response::error(
+                        ErrorCode::Durability,
+                        format!("write-ahead log fsync failed: {e}"),
+                    );
                 }
             }
             Response::Ingested { count, watermark }
@@ -1425,21 +1701,18 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
             // name, a bare v1 container implicitly to the default space.
             match unwrap_envelope(&bytes) {
                 Ok(env) if env.space != handle.space.as_str() => {
-                    return Response::Error {
-                        code: ErrorCode::Checkpoint,
-                        message: format!(
+                    return Response::error(
+                        ErrorCode::Checkpoint,
+                        format!(
                             "checkpoint space mismatch: container is for '{}', request \
                              addressed '{}'",
                             env.space, handle.space
                         ),
-                    };
+                    );
                 }
                 Ok(_) => {}
                 Err(e) => {
-                    return Response::Error {
-                        code: ErrorCode::Checkpoint,
-                        message: e.to_string(),
-                    };
+                    return Response::error(ErrorCode::Checkpoint, e.to_string());
                 }
             }
             let mut state = handle.state.lock().expect("space state");
@@ -1451,10 +1724,10 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                     // the restore can never replay over it.
                     if shared.wal.is_some() {
                         if let Err(e) = handle.write_checkpoint(&mut state) {
-                            return Response::Error {
-                                code: ErrorCode::Durability,
-                                message: format!("restore applied but could not be persisted: {e}"),
-                            };
+                            return Response::error(
+                                ErrorCode::Durability,
+                                format!("restore applied but could not be persisted: {e}"),
+                            );
                         }
                     }
                     // A restore is immediately visible: publish inline (the
@@ -1464,32 +1737,50 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                     handle.publish_state(&mut state);
                     Response::Restored
                 }
-                Err(e) => Response::Error {
-                    code: ErrorCode::Checkpoint,
-                    message: e.to_string(),
-                },
+                Err(e) => Response::error(ErrorCode::Checkpoint, e.to_string()),
             }
         }
         // Query requests: answered from a published snapshot — no engine
         // lock, no shard barrier, no blocking against ingest or each other.
         // `AtLeast` waits (condvar, not engine work) for the refresher to
         // cover the client's watermark; `Stale` answers immediately.
-        Request::Certified(mode) => match read_snapshot(handle, &mode) {
+        Request::Certified(mode) => match read_snapshot(handle, &mode, &shared.limits) {
             Ok(snap) => Response::Answer(snap.view.certified()),
-            Err(resp) => resp,
+            Err(resp) => *resp,
         },
-        Request::Certify(v, mode) => match read_snapshot(handle, &mode) {
+        Request::Certify(v, mode) => match read_snapshot(handle, &mode, &shared.limits) {
             Ok(snap) => Response::Answer(snap.view.certify(v)),
-            Err(resp) => resp,
+            Err(resp) => *resp,
         },
-        Request::Top(k, mode) => match read_snapshot(handle, &mode) {
+        Request::Top(k, mode) => match read_snapshot(handle, &mode, &shared.limits) {
             Ok(snap) => Response::Top(snap.view.top(k.min(u32::MAX as u64) as usize)),
-            Err(resp) => resp,
+            Err(resp) => *resp,
         },
         Request::Stats(mode) => {
-            let snap = match read_snapshot(handle, &mode) {
+            let snap = match read_snapshot(handle, &mode, &shared.limits) {
                 Ok(snap) => snap,
-                Err(resp) => return resp,
+                Err(resp) => return *resp,
+            };
+            // The overload block is live (gauges + monotone counters), not
+            // publish-consistent: its whole point is to describe the load
+            // the server is under *now*. Lag is measured against the
+            // latest published snapshot, whatever snapshot the read mode
+            // resolved.
+            let latest = handle.snapshot();
+            let acked = handle.load.acked_seq.load(Ordering::SeqCst);
+            let lag_updates = acked.saturating_sub(latest.watermark);
+            let overload = crate::proto::WireOverload {
+                shed_ingest: handle.load.shed_ingest.load(Ordering::SeqCst),
+                shed_reads: handle.load.shed_reads.load(Ordering::SeqCst),
+                shed_conns: shared.shed_conns.load(Ordering::SeqCst),
+                inflight_updates: handle.load.inflight_updates.load(Ordering::SeqCst),
+                inflight_bytes: handle.load.inflight_bytes.load(Ordering::SeqCst),
+                lag_updates,
+                lag_ms: if lag_updates > 0 {
+                    latest.at.elapsed().as_millis() as u64
+                } else {
+                    0
+                },
             };
             Response::Stats(WireStats {
                 ingested: snap.stats.ingested,
@@ -1501,6 +1792,7 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                 space_bytes: snap.space_bytes(),
                 wal_bytes: handle.wal_bytes.load(Ordering::Relaxed),
                 quota_bytes: handle.spec.quota_bytes,
+                overload,
                 shards: snap
                     .stats
                     .shards
@@ -1524,13 +1816,13 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
             let inner = state.engine.checkpoint();
             let envelope = wrap_envelope(handle.space.as_str(), seq, &inner);
             if !crate::proto::body_fits(envelope.len()) {
-                return Response::Error {
-                    code: ErrorCode::Oversized,
-                    message: format!(
+                return Response::error(
+                    ErrorCode::Oversized,
+                    format!(
                         "checkpoint is {} bytes, larger than one frame can carry",
                         envelope.len()
                     ),
-                };
+                );
             }
             Response::Checkpoint(envelope)
         }
@@ -1550,13 +1842,13 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
         }
         Request::SliceAssign(parts) => {
             if let Some(&p) = parts.iter().find(|&&p| p as usize >= handle.cfg.partitions) {
-                return Response::Error {
-                    code: ErrorCode::Malformed,
-                    message: format!(
+                return Response::error(
+                    ErrorCode::Malformed,
+                    format!(
                         "slice names partition {p}, space has {}",
                         handle.cfg.partitions
                     ),
-                };
+                );
             }
             *handle.slice.lock().expect("slice slot") = Some(parts);
             Response::SpaceOk
@@ -1568,10 +1860,11 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
             // A router pulls to answer a query that must cover everything
             // it has routed: wait for the refresher to publish past the
             // node's acked watermark before deciding anything.
-            let snap = match read_snapshot(handle, &ReadMode::AtLeast(min_watermark)) {
-                Ok(snap) => snap,
-                Err(resp) => return resp,
-            };
+            let snap =
+                match read_snapshot(handle, &ReadMode::AtLeast(min_watermark), &shared.limits) {
+                    Ok(snap) => snap,
+                    Err(resp) => return *resp,
+                };
             if snap.version == since {
                 // The puller's watermark is current: nothing to ship (the
                 // quiesced-cluster fast path).
@@ -1620,33 +1913,33 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                     }
                 };
             if !crate::proto::body_fits(bound) {
-                return Response::Error {
-                    code: ErrorCode::Oversized,
-                    message: format!("view is ~{bound} bytes, larger than one frame"),
-                };
+                return Response::error(
+                    ErrorCode::Oversized,
+                    format!("view is ~{bound} bytes, larger than one frame"),
+                );
             }
             Response::View(view)
         }
         Request::SliceCheckpoint(parts) => {
             if let Some(&p) = parts.iter().find(|&&p| p as usize >= handle.cfg.partitions) {
-                return Response::Error {
-                    code: ErrorCode::Malformed,
-                    message: format!(
+                return Response::error(
+                    ErrorCode::Malformed,
+                    format!(
                         "slice names partition {p}, space has {}",
                         handle.cfg.partitions
                     ),
-                };
+                );
             }
             let mut state = handle.state.lock().expect("space state");
             let bytes = state.engine.checkpoint_slice(&parts);
             if !crate::proto::body_fits(bytes.len()) {
-                return Response::Error {
-                    code: ErrorCode::Oversized,
-                    message: format!(
+                return Response::error(
+                    ErrorCode::Oversized,
+                    format!(
                         "slice checkpoint is {} bytes, larger than one frame can carry",
                         bytes.len()
                     ),
-                };
+                );
             }
             Response::Checkpoint(bytes)
         }
@@ -1658,21 +1951,16 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
                     // point under durability: persist before acknowledging.
                     if shared.wal.is_some() {
                         if let Err(e) = handle.write_checkpoint(&mut state) {
-                            return Response::Error {
-                                code: ErrorCode::Durability,
-                                message: format!(
-                                    "slice restore applied but could not be persisted: {e}"
-                                ),
-                            };
+                            return Response::error(
+                                ErrorCode::Durability,
+                                format!("slice restore applied but could not be persisted: {e}"),
+                            );
                         }
                     }
                     handle.publish_state(&mut state);
                     Response::Restored
                 }
-                Err(e) => Response::Error {
-                    code: ErrorCode::Checkpoint,
-                    message: e.to_string(),
-                },
+                Err(e) => Response::error(ErrorCode::Checkpoint, e.to_string()),
             }
         }
         // Handled in `handle_request`; unreachable here.
@@ -1681,9 +1969,9 @@ fn handle_space_request(handle: &SpaceHandle, request: Request, shared: &Shared)
         | Request::ListSpaces
         | Request::Shutdown
         | Request::Ping
-        | Request::JoinWorker(_) => Response::Error {
-            code: ErrorCode::Malformed,
-            message: "lifecycle request routed to a space handler".into(),
-        },
+        | Request::JoinWorker(_) => Response::error(
+            ErrorCode::Malformed,
+            "lifecycle request routed to a space handler".into(),
+        ),
     }
 }

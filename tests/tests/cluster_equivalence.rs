@@ -106,6 +106,7 @@ fn quick_opts() -> RouterOptions {
         replicas: 1,
         pipeline: true,
         data_dir: None,
+        retained_budget: 1 << 20,
     }
 }
 

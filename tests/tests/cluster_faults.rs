@@ -68,6 +68,7 @@ fn faulty_opts(plan: &Arc<FaultPlan>) -> RouterOptions {
         replicas: REPLICAS,
         pipeline: true,
         data_dir: None,
+        retained_budget: 1 << 20,
     }
 }
 

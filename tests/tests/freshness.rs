@@ -126,6 +126,7 @@ fn watermarked_reads_match_reference_through_router() {
         replicas: 2,
         pipeline: true,
         data_dir: None,
+        retained_budget: 1 << 20,
     };
     let router = fews_cluster::Router::start(cfg, "127.0.0.1:0", &addrs, opts).expect("router");
     let mut client = Client::connect(router.local_addr()).expect("connect");
@@ -152,6 +153,7 @@ fn watermarked_reads_survive_data_dir_restart() {
         data_dir: Some(dir.clone()),
         compact_bytes: 64 << 20,
         refresh_debounce: None,
+        ..ServerOptions::default()
     };
     let mut reference = Engine::start(cfg.with_shards(1));
     let half = updates.len() / 2;
@@ -208,6 +210,7 @@ fn slow_refresher_never_serves_torn_views() {
             data_dir: None,
             compact_bytes: 64 << 20,
             refresh_debounce: Some(Duration::from_millis(25)),
+            ..ServerOptions::default()
         },
     )
     .expect("bind");

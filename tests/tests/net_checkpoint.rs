@@ -138,7 +138,7 @@ fn restore_rejects_garbage_and_mismatches_over_the_wire() {
     let (other_server, mut other) = serve(make(128));
     let foreign = other.checkpoint().expect("foreign checkpoint");
     match client.restore(&foreign) {
-        Err(ClientError::Server { code, message }) => {
+        Err(ClientError::Server { code, message, .. }) => {
             assert_eq!(code, ErrorCode::Checkpoint);
             assert!(message.contains("mismatch"), "message: {message}");
         }

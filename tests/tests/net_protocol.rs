@@ -144,7 +144,7 @@ fn ingest_validation_rejects_bad_updates_without_state_change() {
         Update::insert(Edge::new(64, 0)),
     ];
     match client.ingest_batch(&bad) {
-        Err(ClientError::Server { code, message }) => {
+        Err(ClientError::Server { code, message, .. }) => {
             assert_eq!(code, ErrorCode::BadUpdate);
             assert!(message.contains("out of range"), "message: {message}");
         }
@@ -238,7 +238,7 @@ fn requests_for_unknown_spaces_get_the_typed_error() {
         client.certified().map(|_| 0),
     ] {
         match result {
-            Err(ClientError::Server { code, message }) => {
+            Err(ClientError::Server { code, message, .. }) => {
                 assert_eq!(code, ErrorCode::UnknownSpace);
                 assert!(message.contains("no-such-tenant"), "message: {message}");
             }

@@ -70,7 +70,7 @@ fn tenant_stream(spec: &SpaceConfig, salt: u64) -> Vec<Update> {
 
 fn expect_code(result: Result<impl std::fmt::Debug, ClientError>, want: ErrorCode) -> String {
     match result {
-        Err(ClientError::Server { code, message }) => {
+        Err(ClientError::Server { code, message, .. }) => {
             assert_eq!(code, want, "message: {message}");
             message
         }

@@ -16,12 +16,14 @@ use fews_common::rng::rng_for;
 use fews_common::{SpaceConfig, SpaceId};
 use fews_core::insertion_only::FewwConfig;
 use fews_engine::checkpoint::unwrap_envelope;
+use fews_engine::diskfault::{CrashPoint, DiskFaultPlan, DiskFaultProfile};
 use fews_engine::EngineConfig;
-use fews_net::{Client, Server, ServerOptions};
+use fews_net::{Client, ClientError, ErrorCode, Server, ServerOptions};
 use fews_stream::update::as_insertions;
 use fews_stream::Update;
 use rand::RngExt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const SEED: u64 = 2021;
 const BATCH: usize = 97;
@@ -52,6 +54,7 @@ fn durable(dir: &Path) -> ServerOptions {
         // the threshold path gets its own coverage via graceful shutdown.
         compact_bytes: 64 << 20,
         refresh_debounce: None,
+        ..ServerOptions::default()
     }
 }
 
@@ -399,6 +402,182 @@ fn every_space_recovers_after_crash_with_its_own_config_and_data() {
     client.set_space(id_space);
     assert_eq!(client.certified().expect("certified"), id_certified);
     assert_eq!(client.top(4).expect("top"), id_top);
+    client.shutdown().expect("shutdown");
+    revived.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Storage-fault lab: seeded disk faults under the WAL and checkpoint writer.
+// ---------------------------------------------------------------------------
+
+/// `durable`, plus a seeded [`DiskFaultPlan`] threaded under the WAL and the
+/// checkpoint writer, and a compaction threshold the test picks.
+fn faulty(dir: &Path, plan: &Arc<DiskFaultPlan>, compact_bytes: u64) -> ServerOptions {
+    ServerOptions {
+        data_dir: Some(dir.to_path_buf()),
+        compact_bytes,
+        refresh_debounce: None,
+        disk_faults: Some(Arc::clone(plan)),
+        ..ServerOptions::default()
+    }
+}
+
+/// Kill -9 at **every** step of the checkpoint writer's atomic-rename dance
+/// — before the tmp write, mid tmp write, before the tmp fsync, before the
+/// rename, before the directory fsync — and require recovery to come back
+/// bit-exact every time. An aborted compaction must leave the WAL alone
+/// (`compact_spaces` resets the log only after every checkpoint landed), so
+/// no acked byte has anywhere to vanish.
+#[test]
+fn compaction_crash_point_sweep_recovers_bit_exact() {
+    let updates = workload();
+    let (want_certified, _, want_inner) = reference_state(&updates);
+    let sweep = [
+        CrashPoint::Buffer,
+        CrashPoint::TmpWrite,
+        CrashPoint::TmpSync,
+        CrashPoint::Rename,
+        CrashPoint::DirSync,
+    ];
+    for (i, point) in sweep.into_iter().enumerate() {
+        let dir = scratch(&format!("crashpoint-{i}"));
+        let plan = Arc::new(DiskFaultPlan::crash_only(900 + i as u64));
+        plan.arm_crash(point);
+        // A tiny threshold forces compactions mid-stream; the armed crash
+        // fires at the first one and is consumed, so later compactions run
+        // clean — exactly one power cut per cell, at a chosen instruction.
+        let server =
+            Server::start_with(base_cfg(), "127.0.0.1:0", faulty(&dir, &plan, 512)).expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for chunk in updates.chunks(BATCH) {
+            // Compaction failure is invisible to writers: correctness rests
+            // on the append fsync, so every batch still acks.
+            client
+                .ingest_batch(chunk)
+                .expect("ingest under armed crash");
+        }
+        assert_eq!(
+            plan.counts().crashes,
+            1,
+            "{point:?}: armed crash fired once"
+        );
+        server.crash();
+        drop(client);
+        server.join();
+
+        let revived =
+            Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("restart");
+        let mut client = Client::connect(revived.local_addr()).expect("reconnect");
+        assert_eq!(
+            client.certified().expect("certified"),
+            want_certified,
+            "{point:?}: certified answer"
+        );
+        let ckpt = client.checkpoint().expect("checkpoint");
+        assert_eq!(
+            unwrap_envelope(&ckpt).expect("envelope").inner,
+            &want_inner[..],
+            "{point:?}: recovered state is bit-exact"
+        );
+        client.shutdown().expect("shutdown");
+        revived.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Seeded probabilistic faults — failed fsyncs, short writes, `ENOSPC` —
+/// under a live ingest stream. The first fault poisons durability: the
+/// in-flight ack fails typed, later writes are refused up front, reads keep
+/// serving. After a kill -9, recovery replays at least every acked batch
+/// (never fewer — "acked" means "fsynced") and lands on a batch-prefix of
+/// the stream, bit-exact against a memory-only reference.
+#[test]
+fn injected_disk_faults_never_lose_an_acked_update() {
+    let updates = workload();
+    let dir = scratch("faultlab");
+    let plan = Arc::new(DiskFaultPlan::new(
+        4242,
+        DiskFaultProfile {
+            sync_fail_permille: 300,
+            short_write_permille: 300,
+            enospc_permille: 150,
+        },
+        1, // one fault, then the disk behaves — the poison must outlive it
+    ));
+    let server =
+        Server::start_with(base_cfg(), "127.0.0.1:0", faulty(&dir, &plan, 64 << 20)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let mut sent: Vec<&[Update]> = Vec::new();
+    let mut acked = 0usize;
+    let mut poisoned = false;
+    for chunk in updates.chunks(BATCH) {
+        sent.push(chunk);
+        match client.ingest_batch(chunk) {
+            Ok(_) => acked += 1,
+            Err(ClientError::Server {
+                code: ErrorCode::Durability,
+                ..
+            }) => {
+                poisoned = true;
+                break;
+            }
+            Err(e) => panic!("expected a typed durability error, got {e:?}"),
+        }
+    }
+    assert!(poisoned, "seeded plan never fired within the workload");
+    let c = plan.counts();
+    assert_eq!(
+        c.sync_failed + c.short_writes + c.no_space,
+        1,
+        "fault budget honoured: {c:?}"
+    );
+    // The poison is sticky: later writes are refused before touching the
+    // log, so the surviving WAL stays a clean batch-prefix…
+    match client.ingest_batch(&updates[..8]) {
+        Err(ClientError::Server {
+            code: ErrorCode::Durability,
+            message,
+            ..
+        }) => {
+            assert!(message.contains("durability disabled"), "got {message:?}")
+        }
+        other => panic!("poisoned server accepted a write: {other:?}"),
+    }
+    // …while reads keep answering: degraded, not dead.
+    client.certified().expect("reads survive the poison");
+
+    server.crash();
+    drop(client);
+    server.join();
+
+    let revived = Server::start_with(base_cfg(), "127.0.0.1:0", durable(&dir)).expect("restart");
+    let log = revived.recovery_log();
+    let replayed: usize = log
+        .iter()
+        .find_map(|l| {
+            let (_, tail) = l.split_once("replayed ")?;
+            tail.split_once(" wal batches")?.0.parse().ok()
+        })
+        .unwrap_or_else(|| panic!("no replay count in recovery log {log:?}"));
+    // The batch whose ack the fault killed may or may not have reached the
+    // platter — both are legal. Losing an *acked* batch is not.
+    assert!(
+        replayed >= acked && replayed <= sent.len(),
+        "replayed {replayed} batches, acked {acked}, appended {}",
+        sent.len()
+    );
+    let replayed_updates: Vec<Update> = sent[..replayed].concat();
+    let (want_certified, _, want_inner) = reference_state(&replayed_updates);
+    let mut client = Client::connect(revived.local_addr()).expect("reconnect");
+    assert_eq!(client.certified().expect("certified"), want_certified);
+    let ckpt = client.checkpoint().expect("checkpoint");
+    assert_eq!(
+        unwrap_envelope(&ckpt).expect("envelope").inner,
+        &want_inner[..],
+        "recovered state is a bit-exact batch-prefix"
+    );
     client.shutdown().expect("shutdown");
     revived.join();
     let _ = std::fs::remove_dir_all(&dir);
